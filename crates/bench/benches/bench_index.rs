@@ -1,0 +1,53 @@
+//! Criterion micro-bench for the index substrate: dynamic insertion vs
+//! the three bulk loaders, plus range-query and kNN throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csj_bench::datasets::{DatasetPoints, PaperDataset};
+use csj_geom::{Metric, Point};
+use csj_index::{bulk, rstar::RStarTree, RTreeConfig};
+
+fn bench_index(c: &mut Criterion) {
+    let DatasetPoints::D2(pts) = PaperDataset::MgCounty.generate(10_000) else {
+        unreachable!("MG County is 2-D")
+    };
+    let cfg = RTreeConfig::default();
+
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("rstar_dynamic_insert", |b| {
+        b.iter(|| RStarTree::from_points(&pts, cfg))
+    });
+    group.bench_function("bulk_str", |b| b.iter(|| bulk::str_pack(&pts, cfg)));
+    group.bench_function("bulk_hilbert", |b| b.iter(|| bulk::hilbert_pack(&pts, cfg)));
+    group.bench_function("bulk_omt", |b| b.iter(|| bulk::omt_pack(&pts, cfg)));
+    group.finish();
+
+    let tree = RStarTree::bulk_load_str(&pts, cfg);
+    let queries: Vec<Point<2>> = (0..256)
+        .map(|i| Point::new([(i as f64 * 0.613).fract(), (i as f64 * 0.287).fract()]))
+        .collect();
+    let mut group = c.benchmark_group("index_query");
+    group.sample_size(20);
+    group.bench_function("range_ball_256q", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &queries {
+                hits += tree.core().range_query_ball(q, 0.02, Metric::Euclidean).len();
+            }
+            hits
+        })
+    });
+    group.bench_function("knn10_256q", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &queries {
+                hits += tree.core().knn(q, 10, Metric::Euclidean).len();
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Minimal flag parsing shared by the experiment binaries.
+
+/// Common experiment options.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// Dataset scale factor in `(0, 1]`: each dataset uses
+    /// `ceil(scale * paper_size)` points.
+    pub scale: f64,
+    /// Timing repetitions per configuration (the paper used 25).
+    pub iters: usize,
+    /// SSJ link budget before switching to estimate mode.
+    pub ssj_budget: u64,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs { scale: 1.0, iters: 3, ssj_budget: 300_000_000 }
+    }
+}
+
+impl CommonArgs {
+    /// Parses `--scale <f>`, `--iters <n>`, `--ssj-budget <n>` and
+    /// `--quick` (shorthand for `--scale 0.1 --iters 1`) from the process
+    /// arguments. Unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        let mut out = CommonArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--scale" => out.scale = expect_value(&flag, args.next()),
+                "--iters" => out.iters = expect_value(&flag, args.next()),
+                "--ssj-budget" => out.ssj_budget = expect_value(&flag, args.next()),
+                "--quick" => {
+                    out.scale = 0.1;
+                    out.iters = 1;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --scale <f in (0,1]>  --iters <n>  --ssj-budget <links>  --quick"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        assert!(out.scale > 0.0 && out.scale <= 1.0, "--scale must be in (0, 1]");
+        assert!(out.iters >= 1, "--iters must be at least 1");
+        out
+    }
+
+    /// Applies the scale factor to a paper dataset size.
+    pub fn scaled(&self, paper_size: usize) -> usize {
+        ((self.scale * paper_size as f64).ceil() as usize).max(1)
+    }
+}
+
+fn expect_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = value.unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    });
+    raw.parse().unwrap_or_else(|e| {
+        eprintln!("bad value for {flag}: {e}");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = CommonArgs::default();
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.iters, 3);
+    }
+
+    #[test]
+    fn scaled_sizes() {
+        let a = CommonArgs { scale: 0.1, ..Default::default() };
+        assert_eq!(a.scaled(27_000), 2700);
+        assert_eq!(a.scaled(5), 1);
+        let a = CommonArgs { scale: 1.0, ..Default::default() };
+        assert_eq!(a.scaled(27_000), 27_000);
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation for the plane-sweep access ordering (the optimization the
+//! paper cites as Brinkhoff et al. \[1\]: "optimally ordering the access
+//! of children in branch nodes and the objects in leaf nodes").
+//!
+//! Compares SSJ and CSJ(10) with the sweep on and off across the ε
+//! sweep: distance computations skipped, wall time, and (for CSJ) the
+//! output-size effect of the changed traversal order.
+
+use csj_bench::args::CommonArgs;
+use csj_bench::datasets::{DatasetPoints, PaperDataset};
+use csj_bench::harness::median_time_ms;
+use csj_core::csj::CsjJoin;
+use csj_core::ssj::SsjJoin;
+use csj_index::{rstar::RStarTree, RTreeConfig};
+use csj_storage::{CountingSink, OutputWriter};
+
+fn main() {
+    let args = CommonArgs::parse();
+    let ds = PaperDataset::MgCounty;
+    let n = args.scaled(ds.paper_size());
+    let DatasetPoints::D2(pts) = ds.generate(n) else { unreachable!("MG County is 2-D") };
+    let width = OutputWriter::<CountingSink>::id_width_for(n);
+    let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::default());
+
+    println!("algo\tsweep\teps\ttime_ms\tdistance_computations\tbytes");
+    for eps in ds.eps_sweep() {
+        for sweep in [false, true] {
+            // SSJ.
+            let ssj = if sweep { SsjJoin::new(eps).with_plane_sweep() } else { SsjJoin::new(eps) };
+            let mut w = OutputWriter::new(CountingSink::new(), width);
+            let stats = ssj.run_streaming(&tree, &mut w);
+            let t = median_time_ms(args.iters, || {
+                let mut w = OutputWriter::new(CountingSink::new(), width);
+                let _ = ssj.run_streaming(&tree, &mut w);
+            });
+            println!(
+                "SSJ\t{}\t{eps:.6}\t{t:.3}\t{}\t{}",
+                sweep,
+                stats.distance_computations,
+                w.bytes_written()
+            );
+
+            // CSJ(10).
+            let csj = if sweep {
+                CsjJoin::new(eps).with_window(10).with_plane_sweep()
+            } else {
+                CsjJoin::new(eps).with_window(10)
+            };
+            let mut w = OutputWriter::new(CountingSink::new(), width);
+            let stats = csj.run_streaming(&tree, &mut w);
+            let t = median_time_ms(args.iters, || {
+                let mut w = OutputWriter::new(CountingSink::new(), width);
+                let _ = csj.run_streaming(&tree, &mut w);
+            });
+            println!(
+                "CSJ(10)\t{}\t{eps:.6}\t{t:.3}\t{}\t{}",
+                sweep,
+                stats.distance_computations,
+                w.bytes_written()
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 4 reproduction: scatter plots of the four datasets, rendered
+//! as ASCII density maps plus summary statistics.
+
+use csj_bench::args::CommonArgs;
+use csj_bench::datasets::{DatasetPoints, PaperDataset};
+use csj_bench::harness::density_map;
+use csj_geom::Point;
+
+fn main() {
+    let args = CommonArgs::parse();
+    for ds in PaperDataset::ALL {
+        let n = args.scaled(ds.paper_size());
+        let points = ds.generate(n);
+        println!("=== {} (n = {}) ===", ds.name(), n);
+        match &points {
+            DatasetPoints::D2(pts) => {
+                summarize(pts);
+                println!("{}", density_map(pts, 72, 24));
+            }
+            DatasetPoints::D3(pts) => {
+                // Project onto (x, y) like the paper's 2-D rendering of
+                // the pyramid.
+                let proj: Vec<Point<2>> = pts.iter().map(|p| Point::new([p[0], p[1]])).collect();
+                summarize3(pts);
+                println!("{}", density_map(&proj, 72, 24));
+            }
+        }
+    }
+}
+
+fn summarize(pts: &[Point<2>]) {
+    let (mut cx, mut cy) = (0.0, 0.0);
+    for p in pts {
+        cx += p[0];
+        cy += p[1];
+    }
+    let n = pts.len() as f64;
+    println!("centroid = ({:.3}, {:.3})  occupancy_skew(20x20 top decile) = {:.2}",
+        cx / n, cy / n, skew(pts));
+}
+
+fn summarize3(pts: &[Point<3>]) {
+    let mut c = [0.0; 3];
+    for p in pts {
+        for d in 0..3 {
+            c[d] += p[d];
+        }
+    }
+    let n = pts.len() as f64;
+    println!("centroid = ({:.3}, {:.3}, {:.3})", c[0] / n, c[1] / n, c[2] / n);
+}
+
+fn skew(pts: &[Point<2>]) -> f64 {
+    let grid = 20usize;
+    let mut counts = vec![0usize; grid * grid];
+    for p in pts {
+        let x = ((p[0] * grid as f64) as usize).min(grid - 1);
+        let y = ((p[1] * grid as f64) as usize).min(grid - 1);
+        counts[y * grid + x] += 1;
+    }
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    counts.iter().take(grid * grid / 10).sum::<usize>() as f64 / pts.len() as f64
+}

@@ -1,0 +1,23 @@
+//! Experiment harness for the Compact Similarity Joins reproduction.
+//!
+//! One binary per figure/table of the paper (see DESIGN.md §4):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `figure4` | Fig. 4 — dataset scatter plots (ASCII density maps + stats) |
+//! | `figure5` | Fig. 5 / Exp. 1 — time & output size vs ε, per dataset |
+//! | `figure6` | Fig. 6 / Exp. 1b — time & size vs window size g |
+//! | `figure7` | Fig. 7 / Exp. 2 — scalability in N (Sierpinski3D, ε = 0.125) |
+//! | `figure8` | Fig. 8 / Exp. 3 — compute vs write split, page/cache accesses |
+//! | `experiment4` | Exp. 4 — R-tree vs R*-tree vs M-tree |
+//! | `ablation_shapes` | §V-A — MBR vs ball group shapes |
+//! | `ablation_ordering` | §V-B — insertion-order sensitivity |
+//! | `ablation_egrid` | §VII — compact ε-grid-order extension |
+//!
+//! Every binary prints a TSV table to stdout (commentary on stderr), is
+//! deterministic given its seed, and accepts `--scale <f>` to shrink the
+//! datasets and `--iters <n>` for timing repetitions.
+
+pub mod args;
+pub mod datasets;
+pub mod harness;

@@ -1,0 +1,461 @@
+//! The five `csj` subcommands.
+
+use std::io::Write;
+use std::time::Instant;
+
+use csj_core::csj::CsjJoin;
+use csj_core::ncsj::NcsjJoin;
+use csj_core::ssj::SsjJoin;
+use csj_core::verify::verify_lossless;
+use csj_core::JoinStats;
+use csj_data::fractal;
+use csj_geom::{Metric, Point};
+use csj_index::mtree::{MTree, MTreeConfig};
+use csj_index::{rstar::RStarTree, rtree::RTree, JoinIndex, RTreeConfig};
+use csj_storage::{FileSink, OutputSink, OutputWriter};
+
+use crate::opts::{parse_metric, Opts};
+
+/// `csj generate <dataset> --n N [--seed S] --out FILE`
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["n", "seed", "out"])?;
+    let dataset = opts.positional(0, "dataset")?;
+    let out = opts.require::<String>("out")?;
+    let seed = opts.get_or("seed", 42u64)?;
+
+    // The presets carry their paper sizes; --n overrides.
+    let write2 = |pts: Vec<Point<2>>| -> Result<usize, String> {
+        let n = pts.len();
+        csj_data::io::write_points(&out, &pts).map_err(|e| e.to_string())?;
+        Ok(n)
+    };
+    let write3 = |pts: Vec<Point<3>>| -> Result<usize, String> {
+        let n = pts.len();
+        csj_data::io::write_points(&out, &pts).map_err(|e| e.to_string())?;
+        Ok(n)
+    };
+
+    let n_flag = opts.get("n").map(|raw| raw.parse::<usize>().map_err(|e| e.to_string()));
+    let n_of = |default: usize| -> Result<usize, String> {
+        match &n_flag {
+            Some(Ok(n)) => Ok(*n),
+            Some(Err(e)) => Err(format!("bad value for --n: {e}")),
+            None => Ok(default),
+        }
+    };
+
+    let written = match dataset {
+        "uniform2d" => write2(csj_data::uniform::uniform::<2>(n_of(10_000)?, seed))?,
+        "uniform3d" => write3(csj_data::uniform::uniform::<3>(n_of(10_000)?, seed))?,
+        "sierpinski2d" => write2(csj_data::sierpinski::triangle_2d(n_of(100_000)?, seed))?,
+        "sierpinski3d" => write3(csj_data::sierpinski::pyramid_3d(n_of(100_000)?, seed))?,
+        "clusters2d" => write2(csj_data::clusters::gaussian_mixture::<2>(
+            n_of(10_000)?,
+            csj_data::clusters::ClusterConfig::default(),
+            seed,
+        ))?,
+        "roads" => write2(csj_data::roads::road_network(&csj_data::roads::RoadConfig {
+            n_points: n_of(50_000)?,
+            cores: 4,
+            core_sigma: 0.07,
+            rural_fraction: 0.3,
+            grid_snap_prob: 0.8,
+            step: 0.003,
+            mean_road_len: 0.05,
+            seed,
+        }))?,
+        "mg-county" => write2(csj_data::roads::mg_county())?,
+        "lb-county" => write2(csj_data::roads::lb_county())?,
+        "pacific-nw" => write2(csj_data::roads::pacific_nw(n_of(csj_data::roads::PACIFIC_NW_SIZE)?))?,
+        other => return Err(format!("unknown dataset {other:?}; see `csj help`")),
+    };
+    eprintln!("wrote {written} points to {out}");
+    Ok(())
+}
+
+/// `csj index <points-file> --out FILE [--bulk str|hilbert|omt|none] [--dim 2|3]`
+pub fn index(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["out", "bulk", "dim"])?;
+    match opts.get_or("dim", 2usize)? {
+        2 => index_dim::<2>(&opts),
+        3 => index_dim::<3>(&opts),
+        d => Err(format!("unsupported dimension {d} (2 or 3)")),
+    }
+}
+
+fn index_dim<const D: usize>(opts: &Opts) -> Result<(), String> {
+    let file = opts.positional(0, "points-file")?;
+    let out = opts.require::<String>("out")?;
+    let bulk = opts.get("bulk").unwrap_or("str");
+    let points: Vec<Point<D>> = csj_data::io::read_points(file).map_err(|e| e.to_string())?;
+    let cfg = RTreeConfig::default();
+    let start = Instant::now();
+    let tree = match bulk {
+        "str" => RStarTree::bulk_load_str(&points, cfg),
+        "hilbert" => RStarTree::bulk_load_hilbert(&points, cfg),
+        "omt" => RStarTree::bulk_load_omt(&points, cfg),
+        "none" => RStarTree::from_points(&points, cfg),
+        other => return Err(format!("unknown --bulk {other:?}")),
+    };
+    let built_ms = start.elapsed().as_secs_f64() * 1e3;
+    let bytes = tree.to_bytes();
+    std::fs::write(&out, &bytes).map_err(|e| e.to_string())?;
+    eprintln!(
+        "indexed {} points in {built_ms:.1} ms; wrote {} bytes to {out}",
+        points.len(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+/// `csj analyze <points-file> [--dim 2|3]`
+pub fn analyze(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["dim"])?;
+    let file = opts.positional(0, "points-file")?;
+    match opts.get_or("dim", 2usize)? {
+        2 => analyze_dim::<2>(file),
+        3 => analyze_dim::<3>(file),
+        d => Err(format!("unsupported dimension {d} (2 or 3)")),
+    }
+}
+
+fn analyze_dim<const D: usize>(file: &str) -> Result<(), String> {
+    let mut points: Vec<Point<D>> =
+        csj_data::io::read_points(file).map_err(|e| e.to_string())?;
+    println!("points: {}", points.len());
+    if points.is_empty() {
+        return Ok(());
+    }
+    let bounds = csj_geom::Mbr::from_points(&points).expect("non-empty");
+    println!("bounds: {:?} .. {:?}", bounds.lo.coords(), bounds.hi.coords());
+    // Fractal dimensions are computed on the normalized copy.
+    csj_data::normalize_unit_cube(&mut points);
+    let d0 = fractal::box_counting_dimension(&points, &[2, 3, 4, 5]);
+    let d2 = fractal::correlation_dimension(&points, &[0.01, 0.02, 0.04, 0.08]);
+    println!("fractal dimension: D0 (box counting) = {d0:.3}, D2 (correlation) = {d2:.3}");
+    if D == 2 {
+        let proj: Vec<Point<2>> =
+            points.iter().map(|p| Point::new([p[0], p[1]])).collect();
+        println!("density map (log scale):");
+        print!("{}", density_map(&proj, 64, 20));
+    }
+    Ok(())
+}
+
+/// `csj join <points-file> --eps E [options]`
+pub fn join(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["eps", "algo", "window", "metric", "tree", "bulk", "dim", "out", "index"],
+    )?;
+    match opts.get_or("dim", 2usize)? {
+        2 => join_dim::<2>(&opts),
+        3 => join_dim::<3>(&opts),
+        d => Err(format!("unsupported dimension {d} (2 or 3)")),
+    }
+}
+
+fn join_dim<const D: usize>(opts: &Opts) -> Result<(), String> {
+    let eps = opts.require::<f64>("eps")?;
+    if !(eps >= 0.0 && eps.is_finite()) {
+        return Err("--eps must be finite and non-negative".into());
+    }
+    // Persisted-index mode: skip building entirely.
+    if let Some(index_file) = opts.get("index") {
+        let algo = opts.get("algo").unwrap_or("csj").to_string();
+        let window = opts.get_or("window", 10usize)?;
+        let metric = parse_metric(opts.get("metric").unwrap_or("l2"))?;
+        let out = opts.get("out").map(str::to_string);
+        let bytes = std::fs::read(index_file).map_err(|e| e.to_string())?;
+        let start = Instant::now();
+        let tree = RStarTree::<D>::from_bytes(&bytes).map_err(|e| e.to_string())?;
+        eprintln!(
+            "loaded index with {} records in {:.1} ms",
+            tree.num_records(),
+            start.elapsed().as_secs_f64() * 1e3
+        );
+        let width =
+            OutputWriter::<csj_storage::CountingSink>::id_width_for(tree.num_records());
+        return run_join(&tree, &algo, eps, window, metric, width, out.as_deref());
+    }
+    let file = opts.positional(0, "points-file")?;
+    let algo = opts.get("algo").unwrap_or("csj").to_string();
+    let window = opts.get_or("window", 10usize)?;
+    let metric = parse_metric(opts.get("metric").unwrap_or("l2"))?;
+    let tree_kind = opts.get("tree").unwrap_or("rstar").to_string();
+    let bulk = opts.get("bulk").unwrap_or("str").to_string();
+    let out = opts.get("out").map(str::to_string);
+
+    let points: Vec<Point<D>> = csj_data::io::read_points(file).map_err(|e| e.to_string())?;
+    eprintln!("loaded {} points from {file}", points.len());
+    let width = OutputWriter::<csj_storage::CountingSink>::id_width_for(points.len());
+    let cfg = RTreeConfig::default();
+
+    let build_start = Instant::now();
+    macro_rules! finish {
+        ($tree:expr) => {{
+            let tree = $tree;
+            eprintln!(
+                "index built in {:.1} ms ({} nodes, height {})",
+                build_start.elapsed().as_secs_f64() * 1e3,
+                tree.subtree_node_count(tree.root().expect("non-empty tree")),
+                tree.height()
+            );
+            run_join(&tree, &algo, eps, window, metric, width, out.as_deref())
+        }};
+    }
+    if points.is_empty() {
+        eprintln!("empty input; nothing to join");
+        return Ok(());
+    }
+    match (tree_kind.as_str(), bulk.as_str()) {
+        ("rstar", "str") => finish!(RStarTree::bulk_load_str(&points, cfg)),
+        ("rstar", "hilbert") => finish!(RStarTree::bulk_load_hilbert(&points, cfg)),
+        ("rstar", "omt") => finish!(RStarTree::bulk_load_omt(&points, cfg)),
+        ("rstar", "none") => finish!(RStarTree::from_points(&points, cfg)),
+        ("rtree", _) => finish!(RTree::from_points(&points, cfg)),
+        ("mtree", _) => {
+            finish!(MTree::from_points(&points, MTreeConfig::default().with_metric(metric)))
+        }
+        (t, b) => Err(format!("unsupported --tree {t:?} / --bulk {b:?} combination")),
+    }
+}
+
+fn run_join<T: JoinIndex<D>, const D: usize>(
+    tree: &T,
+    algo: &str,
+    eps: f64,
+    window: usize,
+    metric: Metric,
+    width: usize,
+    out: Option<&str>,
+) -> Result<(), String> {
+    let start = Instant::now();
+    let (stats, bytes) = match out {
+        Some(path) => {
+            let sink = FileSink::create(path).map_err(|e| e.to_string())?;
+            let mut writer = OutputWriter::new(sink, width);
+            let stats = dispatch_algo(tree, algo, eps, window, metric, &mut writer)?;
+            let sink = writer.finish();
+            (stats, sink.bytes_written())
+        }
+        None => {
+            let mut writer = OutputWriter::new(StdoutSink::new(), width);
+            let stats = dispatch_algo(tree, algo, eps, window, metric, &mut writer)?;
+            let sink = writer.finish();
+            (stats, sink.bytes_written())
+        }
+    };
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "{algo} eps={eps}: {:.1} ms, {} bytes, {} links + {} groups, {} distance computations",
+        elapsed,
+        bytes,
+        stats.links_emitted,
+        stats.groups_emitted,
+        stats.distance_computations
+    );
+    Ok(())
+}
+
+fn dispatch_algo<T: JoinIndex<D>, S: OutputSink, const D: usize>(
+    tree: &T,
+    algo: &str,
+    eps: f64,
+    window: usize,
+    metric: Metric,
+    writer: &mut OutputWriter<S>,
+) -> Result<JoinStats, String> {
+    match algo {
+        "ssj" => Ok(SsjJoin::new(eps).with_metric(metric).run_streaming(tree, writer)),
+        "ncsj" => Ok(NcsjJoin::new(eps).with_metric(metric).run_streaming(tree, writer)),
+        "csj" => Ok(CsjJoin::new(eps)
+            .with_metric(metric)
+            .with_window(window)
+            .run_streaming(tree, writer)),
+        other => Err(format!("unknown --algo {other:?} (ssj, ncsj or csj)")),
+    }
+}
+
+/// `csj join2 <left> <right> --eps E [--mode ...] [--window g] [--out FILE]`
+pub fn join2(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["eps", "mode", "window", "metric", "dim", "out"])?;
+    match opts.get_or("dim", 2usize)? {
+        2 => join2_dim::<2>(&opts),
+        3 => join2_dim::<3>(&opts),
+        d => Err(format!("unsupported dimension {d} (2 or 3)")),
+    }
+}
+
+fn join2_dim<const D: usize>(opts: &Opts) -> Result<(), String> {
+    use csj_core::spatial::{SpatialJoin, SpatialMode};
+
+    let left_file = opts.positional(0, "left-file")?;
+    let right_file = opts.positional(1, "right-file")?;
+    let eps = opts.require::<f64>("eps")?;
+    let window = opts.get_or("window", 10usize)?;
+    let metric = parse_metric(opts.get("metric").unwrap_or("l2"))?;
+    let mode = match opts.get("mode").unwrap_or("windowed") {
+        "standard" => SpatialMode::Standard,
+        "compact" => SpatialMode::Compact,
+        "windowed" => SpatialMode::CompactWindowed(window),
+        other => return Err(format!("unknown --mode {other:?}")),
+    };
+
+    let left: Vec<Point<D>> = csj_data::io::read_points(left_file).map_err(|e| e.to_string())?;
+    let right: Vec<Point<D>> = csj_data::io::read_points(right_file).map_err(|e| e.to_string())?;
+    eprintln!("loaded {} left and {} right points", left.len(), right.len());
+    let lt = RStarTree::bulk_load_str(&left, RTreeConfig::default());
+    let rt = RStarTree::bulk_load_str(&right, RTreeConfig::default());
+
+    let start = Instant::now();
+    let output = SpatialJoin::new(eps, mode).with_metric(metric).run(&lt, &rt);
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    let width = OutputWriter::<csj_storage::CountingSink>::id_width_for(left.len().max(right.len()));
+    match opts.get("out") {
+        Some(path) => {
+            let mut sink = FileSink::create(path).map_err(|e| e.to_string())?;
+            output.write_to(&mut sink, width);
+            sink.flush().map_err(|e| e.to_string())?;
+        }
+        None => {
+            let mut sink = StdoutSink::new();
+            output.write_to(&mut sink, width);
+            let _ = sink.flush();
+        }
+    }
+    eprintln!(
+        "spatial join eps={eps}: {elapsed:.1} ms, {} rows ({} links + {} groups), {} bytes, {} cross links implied",
+        output.items.len(),
+        output.num_links(),
+        output.num_groups(),
+        output.total_bytes(width),
+        output.expanded_link_set().len()
+    );
+    Ok(())
+}
+
+/// `csj verify <points-file> --eps E [--dim 2|3]`
+pub fn verify(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["eps", "dim"])?;
+    let file = opts.positional(0, "points-file")?;
+    let eps = opts.require::<f64>("eps")?;
+    match opts.get_or("dim", 2usize)? {
+        2 => verify_dim::<2>(file, eps),
+        3 => verify_dim::<3>(file, eps),
+        d => Err(format!("unsupported dimension {d} (2 or 3)")),
+    }
+}
+
+fn verify_dim<const D: usize>(file: &str, eps: f64) -> Result<(), String> {
+    let points: Vec<Point<D>> = csj_data::io::read_points(file).map_err(|e| e.to_string())?;
+    if points.len() > 50_000 {
+        eprintln!(
+            "note: verification is O(n²) ground truth over {} points; this may take a while",
+            points.len()
+        );
+    }
+    let tree = RStarTree::bulk_load_str(&points, RTreeConfig::default());
+    let output = CsjJoin::new(eps).with_window(10).run(&tree);
+    let report =
+        verify_lossless(&output, &points, eps, Metric::Euclidean).map_err(|e| e.to_string())?;
+    println!(
+        "verified: {} true links, represented losslessly by {} rows ({} groups checked)",
+        report.true_links, report.rows, report.groups_checked
+    );
+    Ok(())
+}
+
+/// `csj expand <output-file>`: compact rows → individual links on stdout.
+pub fn expand(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    if opts.num_positional() != 1 {
+        return Err("expand takes exactly one <output-file>".into());
+    }
+    let file = opts.positional(0, "output-file")?;
+    let text = std::fs::read_to_string(file).map_err(|e| e.to_string())?;
+    let stdout = std::io::stdout();
+    let mut w = std::io::BufWriter::new(stdout.lock());
+    let mut seen = std::collections::BTreeSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ids: Result<Vec<u32>, _> = line.split_whitespace().map(str::parse).collect();
+        let ids = ids.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let (a, b) = (ids[i].min(ids[j]), ids[i].max(ids[j]));
+                if a != b && seen.insert((a, b)) {
+                    if let Err(e) = writeln!(w, "{a} {b}") {
+                        // Downstream closed the pipe (e.g. `| head`):
+                        // that is a normal way to stop, not an error.
+                        if e.kind() == std::io::ErrorKind::BrokenPipe {
+                            return Ok(());
+                        }
+                        return Err(e.to_string());
+                    }
+                }
+            }
+        }
+    }
+    match w.flush() {
+        Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => return Err(e.to_string()),
+        _ => {}
+    }
+    eprintln!("{} distinct links", seen.len());
+    Ok(())
+}
+
+/// A byte-counting sink over buffered stdout.
+struct StdoutSink {
+    writer: std::io::BufWriter<std::io::Stdout>,
+    bytes: u64,
+}
+
+impl StdoutSink {
+    fn new() -> Self {
+        StdoutSink { writer: std::io::BufWriter::new(std::io::stdout()), bytes: 0 }
+    }
+}
+
+impl OutputSink for StdoutSink {
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        self.bytes += bytes.len() as u64;
+        self.writer.write_all(bytes).expect("stdout write failed");
+    }
+    fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// ASCII density map (shared with the bench harness's Figure 4 view).
+fn density_map(points: &[Point<2>], width: usize, height: usize) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let mut counts = vec![0usize; width * height];
+    for p in points {
+        let x = ((p[0] * width as f64) as usize).min(width - 1);
+        let y = ((p[1] * height as f64) as usize).min(height - 1);
+        counts[(height - 1 - y) * width + x] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in 0..height {
+        for col in 0..width {
+            let c = counts[row * width + col];
+            let shade = if c == 0 {
+                0
+            } else {
+                1 + ((c as f64).ln() / (max as f64).ln().max(1e-9)
+                    * (SHADES.len() - 2) as f64)
+                    .round() as usize
+            };
+            out.push(SHADES[shade.min(SHADES.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,81 @@
+//! `csj` — the compact-similarity-joins command line.
+//!
+//! ```text
+//! csj generate <dataset> --n <N> [--seed <S>] --out <file>
+//! csj analyze  <points-file> [--dim 2|3]
+//! csj join     <points-file> --eps <E> [--algo ssj|ncsj|csj] [--window g]
+//!              [--metric l2|l1|linf] [--tree rstar|rtree|mtree]
+//!              [--bulk str|hilbert|omt|none] [--dim 2|3] [--out <file>]
+//! csj verify   <points-file> --eps <E> [--dim 2|3]
+//! csj expand   <output-file>
+//! ```
+//!
+//! Point files are whitespace-separated coordinates, one point per line
+//! (`#` comments allowed); join output files use the paper's zero-padded
+//! id format. Argument parsing is hand-rolled to keep the dependency
+//! footprint at zero beyond the workspace crates.
+
+mod commands;
+mod opts;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        print_usage();
+        return Ok(());
+    };
+    match command.as_str() {
+        "generate" => commands::generate(rest),
+        "index" => commands::index(rest),
+        "analyze" => commands::analyze(rest),
+        "join" => commands::join(rest),
+        "join2" => commands::join2(rest),
+        "verify" => commands::verify(rest),
+        "expand" => commands::expand(rest),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; see `csj help`")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "csj — compact similarity joins (ICDE 2008 reproduction)
+
+commands:
+  generate <dataset> --n <N> [--seed <S>] --out <file>
+      datasets: uniform2d uniform3d sierpinski2d sierpinski3d clusters2d
+                roads mg-county lb-county pacific-nw
+  analyze <points-file> [--dim 2|3]
+      bounds, density map, fractal dimensions (D0, D2)
+  index <points-file> --out <index-file> [--bulk str|hilbert|omt|none] [--dim 2|3]
+      build an R*-tree once and persist it (reload with join --index)
+  join <points-file> --eps <E> [--algo ssj|ncsj|csj] [--window <g>]
+       [--metric l2|l1|linf] [--tree rstar|rtree|mtree]
+       [--bulk str|hilbert|omt|none] [--dim 2|3] [--out <file>]
+      run a similarity self-join; stats go to stderr, rows to --out/stdout
+  join --index <index-file> --eps <E> [--algo ...] [--dim 2|3] [--out <file>]
+      same, over a persisted index instead of raw points
+  join2 <left-file> <right-file> --eps <E> [--mode standard|compact|windowed]
+        [--window <g>] [--metric l2|l1|linf] [--dim 2|3] [--out <file>]
+      spatial join of two datasets (links pair a left with a right record)
+  verify <points-file> --eps <E> [--dim 2|3]
+      run CSJ(10) and machine-check Theorems 1 & 2 against brute force
+  expand <output-file>
+      expand a compact join output back into individual links"
+    );
+}

@@ -1,0 +1,134 @@
+//! Flag parsing helpers: a tiny `--key value` parser with typed lookups.
+
+use std::collections::HashMap;
+
+/// Parsed command arguments: leading positionals plus `--key value` pairs.
+#[derive(Debug, Default)]
+pub struct Opts {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Opts {
+    /// Parses `args`. Every `--key` must be followed by a value; unknown
+    /// keys are validated against `allowed`.
+    pub fn parse(args: &[String], allowed: &[&str]) -> Result<Self, String> {
+        let mut out = Opts::default();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if !allowed.contains(&key) {
+                    return Err(format!(
+                        "unknown flag --{key}; allowed: {}",
+                        allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(" ")
+                    ));
+                }
+                let value = iter.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                if out.flags.insert(key.to_string(), value.clone()).is_some() {
+                    return Err(format!("--{key} given twice"));
+                }
+            } else {
+                out.positional.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument, required.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing <{name}> argument"))
+    }
+
+    /// Number of positional arguments.
+    pub fn num_positional(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required, typed flag.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let raw = self.get(key).ok_or_else(|| format!("--{key} is required"))?;
+        raw.parse().map_err(|e| format!("bad value for --{key}: {e}"))
+    }
+
+    /// An optional, typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e| format!("bad value for --{key}: {e}")),
+        }
+    }
+}
+
+/// Parses a metric name.
+pub fn parse_metric(name: &str) -> Result<csj_geom::Metric, String> {
+    match name {
+        "l2" | "euclidean" => Ok(csj_geom::Metric::Euclidean),
+        "l1" | "manhattan" => Ok(csj_geom::Metric::Manhattan),
+        "linf" | "chebyshev" => Ok(csj_geom::Metric::Chebyshev),
+        other => Err(format!("unknown metric {other:?} (use l2, l1 or linf)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let o = Opts::parse(&strs(&["file.txt", "--eps", "0.5"]), &["eps"]).unwrap();
+        assert_eq!(o.positional(0, "file").unwrap(), "file.txt");
+        assert_eq!(o.require::<f64>("eps").unwrap(), 0.5);
+        assert_eq!(o.num_positional(), 1);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let err = Opts::parse(&strs(&["--bogus", "1"]), &["eps"]).unwrap_err();
+        assert!(err.contains("--bogus"));
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = Opts::parse(&strs(&["--eps"]), &["eps"]).unwrap_err();
+        assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        let err = Opts::parse(&strs(&["--eps", "1", "--eps", "2"]), &["eps"]).unwrap_err();
+        assert!(err.contains("twice"));
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let o = Opts::parse(&strs(&[]), &["window"]).unwrap();
+        assert_eq!(o.get_or("window", 10usize).unwrap(), 10);
+        assert!(o.require::<f64>("eps").is_err());
+        assert!(o.positional(0, "file").is_err());
+    }
+
+    #[test]
+    fn metric_names() {
+        assert_eq!(parse_metric("l2").unwrap(), csj_geom::Metric::Euclidean);
+        assert_eq!(parse_metric("manhattan").unwrap(), csj_geom::Metric::Manhattan);
+        assert!(parse_metric("cosine").is_err());
+    }
+}

@@ -1,0 +1,681 @@
+//! The shared recursive join engine.
+//!
+//! Figure 3 of the paper gives one pseudo-code skeleton for all three
+//! algorithms — `simJoin(n)` / `simJoin(n1, n2)` — with the compact
+//! variants differing only in the italicized early-stopping lines and in
+//! what happens to a qualifying link. [`Engine`] is that skeleton:
+//!
+//! * `early_stop = false`, [`DirectEmit`] → **SSJ**;
+//! * `early_stop = true`, [`DirectEmit`] → **N-CSJ**;
+//! * `early_stop = true`, [`WindowedEmit`] → **CSJ(g)**.
+//!
+//! Output rows go to a [`RowSink`] — collected in memory or streamed
+//! straight into a `csj-storage` writer — so the same engine serves both
+//! verification (structured output) and the experiment harness (byte
+//! counting at full speed).
+
+use csj_geom::{Mbr, Metric, Point, RecordId};
+use csj_index::{JoinIndex, NodeId};
+use csj_storage::{OutputSink, OutputWriter};
+
+use crate::group::{GroupShape, GroupWindow, OpenGroup};
+use crate::output::{JoinOutput, OutputItem};
+use crate::stats::JoinStats;
+use crate::JoinConfig;
+
+/// Receives finished output rows.
+pub trait RowSink {
+    /// An individual link row.
+    fn link_row(&mut self, a: RecordId, b: RecordId);
+    /// A group row (at least two members).
+    fn group_row(&mut self, ids: &[RecordId]);
+}
+
+/// Collects rows into a [`JoinOutput`].
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// Rows collected so far.
+    pub items: Vec<OutputItem>,
+}
+
+impl RowSink for CollectSink {
+    fn link_row(&mut self, a: RecordId, b: RecordId) {
+        self.items.push(OutputItem::Link(a, b));
+    }
+    fn group_row(&mut self, ids: &[RecordId]) {
+        self.items.push(OutputItem::Group(ids.to_vec()));
+    }
+}
+
+/// Streams rows into an [`OutputWriter`] without retaining them.
+pub struct StreamSink<'w, S> {
+    writer: &'w mut OutputWriter<S>,
+}
+
+impl<'w, S: OutputSink> StreamSink<'w, S> {
+    /// Wraps a writer.
+    pub fn new(writer: &'w mut OutputWriter<S>) -> Self {
+        StreamSink { writer }
+    }
+}
+
+impl<S: OutputSink> RowSink for StreamSink<'_, S> {
+    fn link_row(&mut self, a: RecordId, b: RecordId) {
+        self.writer.write_link(a, b);
+    }
+    fn group_row(&mut self, ids: &[RecordId]) {
+        self.writer.write_group(ids);
+    }
+}
+
+/// What to do with a qualifying link / an early-stopped subtree.
+pub trait LinkHandler<const D: usize> {
+    /// Handles one qualifying link.
+    fn on_link<R: RowSink>(
+        &mut self,
+        a: RecordId,
+        pa: &Point<D>,
+        b: RecordId,
+        pb: &Point<D>,
+        sink: &mut R,
+        stats: &mut JoinStats,
+    );
+
+    /// Handles a subtree (or pair of subtrees) whose bounding shape fits
+    /// within ε: `ids` are all records below, `mbr` the covering shape.
+    fn on_subtree<R: RowSink>(
+        &mut self,
+        ids: Vec<RecordId>,
+        mbr: &Mbr<D>,
+        sink: &mut R,
+        stats: &mut JoinStats,
+    );
+
+    /// Flushes any buffered state at the end of the join.
+    fn finish<R: RowSink>(&mut self, sink: &mut R, stats: &mut JoinStats);
+}
+
+fn emit_group_row<R: RowSink>(sink: &mut R, stats: &mut JoinStats, members: &[RecordId]) {
+    // Single-member groups encode no links; suppress them.
+    if members.len() < 2 {
+        return;
+    }
+    sink.group_row(members);
+    stats.groups_emitted += 1;
+    stats.group_members_emitted += members.len() as u64;
+}
+
+/// SSJ / N-CSJ behaviour: links go out individually, subtrees as one
+/// group row each.
+#[derive(Debug, Default)]
+pub struct DirectEmit;
+
+impl<const D: usize> LinkHandler<D> for DirectEmit {
+    fn on_link<R: RowSink>(
+        &mut self,
+        a: RecordId,
+        _pa: &Point<D>,
+        b: RecordId,
+        _pb: &Point<D>,
+        sink: &mut R,
+        stats: &mut JoinStats,
+    ) {
+        sink.link_row(a, b);
+        stats.links_emitted += 1;
+    }
+
+    fn on_subtree<R: RowSink>(
+        &mut self,
+        ids: Vec<RecordId>,
+        _mbr: &Mbr<D>,
+        sink: &mut R,
+        stats: &mut JoinStats,
+    ) {
+        emit_group_row(sink, stats, &ids);
+    }
+
+    fn finish<R: RowSink>(&mut self, _sink: &mut R, _stats: &mut JoinStats) {}
+}
+
+/// CSJ(g) behaviour: links are merged into the `g` most recent groups
+/// (opening a new group on failure); subtree groups also enter the
+/// window. Groups leave the window — and reach the sink — oldest first.
+#[derive(Debug)]
+pub struct WindowedEmit<S, const D: usize> {
+    window: GroupWindow<S, D>,
+    eps: f64,
+    metric: Metric,
+}
+
+impl<S: GroupShape<D>, const D: usize> WindowedEmit<S, D> {
+    /// A window of `g` recent groups under the join parameters.
+    pub fn new(g: usize, eps: f64, metric: Metric) -> Self {
+        WindowedEmit { window: GroupWindow::new(g), eps, metric }
+    }
+}
+
+impl<S: GroupShape<D>, const D: usize> LinkHandler<D> for WindowedEmit<S, D> {
+    fn on_link<R: RowSink>(
+        &mut self,
+        a: RecordId,
+        pa: &Point<D>,
+        b: RecordId,
+        pb: &Point<D>,
+        sink: &mut R,
+        stats: &mut JoinStats,
+    ) {
+        if self
+            .window
+            .try_merge_link(a, pa, b, pb, self.eps, self.metric, &mut stats.merge_attempts)
+        {
+            stats.merges_succeeded += 1;
+            return;
+        }
+        let group = OpenGroup::from_link(a, pa, b, pb, self.metric);
+        if let Some(evicted) = self.window.push(group) {
+            emit_group_row(sink, stats, &evicted.into_sorted_members());
+        }
+    }
+
+    fn on_subtree<R: RowSink>(
+        &mut self,
+        ids: Vec<RecordId>,
+        mbr: &Mbr<D>,
+        sink: &mut R,
+        stats: &mut JoinStats,
+    ) {
+        let group = OpenGroup::from_subtree(ids, mbr, self.metric);
+        if let Some(evicted) = self.window.push(group) {
+            emit_group_row(sink, stats, &evicted.into_sorted_members());
+        }
+    }
+
+    fn finish<R: RowSink>(&mut self, sink: &mut R, stats: &mut JoinStats) {
+        let finals: Vec<Vec<RecordId>> =
+            self.window.drain().map(|g| g.into_sorted_members()).collect();
+        for members in finals {
+            emit_group_row(sink, stats, &members);
+        }
+    }
+}
+
+/// The Figure-3 recursion, generic over tree, link handling and row sink.
+pub struct Engine<'t, T, H, R, const D: usize> {
+    tree: &'t T,
+    cfg: JoinConfig,
+    early_stop: bool,
+    handler: H,
+    /// The row sink (public so callers can recover collected rows).
+    pub sink: R,
+    /// Accumulated counters.
+    pub stats: JoinStats,
+}
+
+impl<'t, T, H, R, const D: usize> Engine<'t, T, H, R, D>
+where
+    T: JoinIndex<D>,
+    H: LinkHandler<D>,
+    R: RowSink,
+{
+    /// Builds an engine; `early_stop` enables the compact-join group
+    /// rules (italic lines of Figure 3).
+    pub fn new(tree: &'t T, cfg: JoinConfig, early_stop: bool, handler: H, sink: R) -> Self {
+        Engine {
+            tree,
+            cfg,
+            early_stop,
+            handler,
+            sink,
+            stats: JoinStats::new(cfg.record_access_log),
+        }
+    }
+
+    /// Runs the full self-join.
+    pub fn run(&mut self) {
+        if let Some(root) = self.tree.root() {
+            self.join_node(root);
+        }
+        self.handler.finish(&mut self.sink, &mut self.stats);
+    }
+
+    /// Runs only the finish step (used by the budgeted runner after an
+    /// aborted traversal).
+    pub fn finish_only(&mut self) {
+        self.handler.finish(&mut self.sink, &mut self.stats);
+    }
+
+    /// The subtree group MBR: the node's bounding shape by default, or
+    /// recomputed from the member points when configured.
+    fn subtree_mbr(&self, ids_node: NodeId) -> Mbr<D> {
+        if self.cfg.tighten_group_mbr {
+            let mut entries = Vec::new();
+            self.tree.collect_entries(ids_node, &mut entries);
+            let mut mbr = Mbr::empty();
+            for e in &entries {
+                mbr.expand_to_point(&e.point);
+            }
+            mbr
+        } else {
+            self.tree.node_mbr(ids_node)
+        }
+    }
+
+    /// `simJoin(n)`: self-join of one subtree.
+    pub fn join_node(&mut self, n: NodeId) {
+        self.stats.node_visits += 1;
+        self.stats.touch_node(n.0);
+        let eps = self.cfg.epsilon;
+        let metric = self.cfg.metric;
+
+        if self.early_stop && self.tree.max_diameter(n, metric) <= eps {
+            self.stats.early_stops_node += 1;
+            let mut ids = Vec::new();
+            self.tree.collect_record_ids(n, &mut ids);
+            let mbr = self.subtree_mbr(n);
+            self.handler.on_subtree(ids, &mbr, &mut self.sink, &mut self.stats);
+            return;
+        }
+
+        if self.tree.is_leaf(n) {
+            if self.cfg.plane_sweep {
+                self.leaf_self_sweep(n);
+                return;
+            }
+            let entries = self.tree.leaf_entries(n);
+            for i in 0..entries.len() {
+                for j in (i + 1)..entries.len() {
+                    self.stats.distance_computations += 1;
+                    if metric.within(&entries[i].point, &entries[j].point, eps) {
+                        self.handler.on_link(
+                            entries[i].id,
+                            &entries[i].point,
+                            entries[j].id,
+                            &entries[j].point,
+                            &mut self.sink,
+                            &mut self.stats,
+                        );
+                    }
+                }
+            }
+        } else if self.cfg.plane_sweep {
+            self.internal_self_sweep(n);
+        } else {
+            let children = self.tree.children(n).to_vec();
+            for (i, &a) in children.iter().enumerate() {
+                self.join_node(a);
+                for &b in &children[(i + 1)..] {
+                    if self.tree.min_dist(a, b, metric) <= eps {
+                        self.join_pair(a, b);
+                    } else {
+                        self.stats.pairs_pruned += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sweep axis for a node: the widest side of its bounding box, where
+    /// axis separation prunes the most pairs.
+    fn sweep_axis(&self, n: NodeId) -> usize {
+        let mbr = self.tree.node_mbr(n);
+        let mut best = 0;
+        let mut best_extent = f64::NEG_INFINITY;
+        for d in 0..D {
+            let e = mbr.extent(d);
+            if e > best_extent {
+                best_extent = e;
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// Plane-sweep leaf self-join: entries sorted along the sweep axis;
+    /// the inner scan stops once the axis gap alone exceeds ε (valid for
+    /// every `Lp` metric, where per-axis deltas lower-bound the distance).
+    fn leaf_self_sweep(&mut self, n: NodeId) {
+        let eps = self.cfg.epsilon;
+        let metric = self.cfg.metric;
+        let axis = self.sweep_axis(n);
+        let mut entries = self.tree.leaf_entries(n).to_vec();
+        entries.sort_by(|x, y| x.point[axis].total_cmp(&y.point[axis]));
+        for i in 0..entries.len() {
+            for j in (i + 1)..entries.len() {
+                if entries[j].point[axis] - entries[i].point[axis] > eps {
+                    break;
+                }
+                self.stats.distance_computations += 1;
+                if metric.within(&entries[i].point, &entries[j].point, eps) {
+                    self.handler.on_link(
+                        entries[i].id,
+                        &entries[i].point,
+                        entries[j].id,
+                        &entries[j].point,
+                        &mut self.sink,
+                        &mut self.stats,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Plane-sweep child pairing: children sorted by their lower bound on
+    /// the sweep axis; a pair is skipped as soon as the axis gap exceeds ε.
+    fn internal_self_sweep(&mut self, n: NodeId) {
+        let eps = self.cfg.epsilon;
+        let metric = self.cfg.metric;
+        let axis = self.sweep_axis(n);
+        let mut children: Vec<(f64, f64, NodeId)> = self
+            .tree
+            .children(n)
+            .iter()
+            .map(|&c| {
+                let m = self.tree.node_mbr(c);
+                (m.lo[axis], m.hi[axis], c)
+            })
+            .collect();
+        children.sort_by(|x, y| x.0.total_cmp(&y.0));
+        for i in 0..children.len() {
+            self.join_node(children[i].2);
+            for j in (i + 1)..children.len() {
+                if children[j].0 - children[i].1 > eps {
+                    break; // sorted by lo: every later child is farther
+                }
+                if self.tree.min_dist(children[i].2, children[j].2, metric) <= eps {
+                    self.join_pair(children[i].2, children[j].2);
+                } else {
+                    self.stats.pairs_pruned += 1;
+                }
+            }
+        }
+    }
+
+    /// `simJoin(n1, n2)`: join across two subtrees.
+    pub fn join_pair(&mut self, a: NodeId, b: NodeId) {
+        self.stats.pair_visits += 1;
+        self.stats.touch_node(a.0);
+        self.stats.touch_node(b.0);
+        let eps = self.cfg.epsilon;
+        let metric = self.cfg.metric;
+
+        if self.early_stop && self.tree.pair_diameter(a, b, metric) <= eps {
+            self.stats.early_stops_pair += 1;
+            let mut ids = Vec::new();
+            self.tree.collect_record_ids(a, &mut ids);
+            self.tree.collect_record_ids(b, &mut ids);
+            let mbr = self.subtree_mbr(a).union(&self.subtree_mbr(b));
+            self.handler.on_subtree(ids, &mbr, &mut self.sink, &mut self.stats);
+            return;
+        }
+
+        match (self.tree.is_leaf(a), self.tree.is_leaf(b)) {
+            (true, true) => {
+                if self.cfg.plane_sweep {
+                    self.leaf_cross_sweep(a, b);
+                    return;
+                }
+                let ea = self.tree.leaf_entries(a);
+                let eb = self.tree.leaf_entries(b);
+                for x in ea {
+                    for y in eb {
+                        self.stats.distance_computations += 1;
+                        if metric.within(&x.point, &y.point, eps) {
+                            self.handler.on_link(
+                                x.id,
+                                &x.point,
+                                y.id,
+                                &y.point,
+                                &mut self.sink,
+                                &mut self.stats,
+                            );
+                        }
+                    }
+                }
+            }
+            (true, false) => {
+                let children = self.tree.children(b).to_vec();
+                for c in children {
+                    if self.tree.min_dist(a, c, metric) <= eps {
+                        self.join_pair(a, c);
+                    } else {
+                        self.stats.pairs_pruned += 1;
+                    }
+                }
+            }
+            (false, true) => {
+                let children = self.tree.children(a).to_vec();
+                for c in children {
+                    if self.tree.min_dist(c, b, metric) <= eps {
+                        self.join_pair(c, b);
+                    } else {
+                        self.stats.pairs_pruned += 1;
+                    }
+                }
+            }
+            (false, false) => {
+                if self.cfg.plane_sweep {
+                    self.internal_cross_sweep(a, b);
+                    return;
+                }
+                let ca = self.tree.children(a).to_vec();
+                let cb = self.tree.children(b).to_vec();
+                for &x in &ca {
+                    for &y in &cb {
+                        if self.tree.min_dist(x, y, metric) <= eps {
+                            self.join_pair(x, y);
+                        } else {
+                            self.stats.pairs_pruned += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Plane-sweep leaf cross-join: both entry lists sorted on the sweep
+    /// axis of the combined box, joined with a sliding window.
+    fn leaf_cross_sweep(&mut self, a: NodeId, b: NodeId) {
+        let eps = self.cfg.epsilon;
+        let metric = self.cfg.metric;
+        let axis = {
+            let union = self.tree.node_mbr(a).union(&self.tree.node_mbr(b));
+            let mut best = 0;
+            let mut best_extent = f64::NEG_INFINITY;
+            for d in 0..D {
+                if union.extent(d) > best_extent {
+                    best_extent = union.extent(d);
+                    best = d;
+                }
+            }
+            best
+        };
+        let mut ea = self.tree.leaf_entries(a).to_vec();
+        let mut eb = self.tree.leaf_entries(b).to_vec();
+        ea.sort_by(|x, y| x.point[axis].total_cmp(&y.point[axis]));
+        eb.sort_by(|x, y| x.point[axis].total_cmp(&y.point[axis]));
+        let mut start = 0usize;
+        for x in &ea {
+            while start < eb.len() && eb[start].point[axis] < x.point[axis] - eps {
+                start += 1;
+            }
+            for y in &eb[start..] {
+                if y.point[axis] - x.point[axis] > eps {
+                    break;
+                }
+                self.stats.distance_computations += 1;
+                if metric.within(&x.point, &y.point, eps) {
+                    self.handler.on_link(
+                        x.id,
+                        &x.point,
+                        y.id,
+                        &y.point,
+                        &mut self.sink,
+                        &mut self.stats,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Plane-sweep internal cross-join: `b`'s children sorted by their
+    /// lower bound; for each child of `a`, the scan stops once the axis
+    /// gap exceeds ε.
+    fn internal_cross_sweep(&mut self, a: NodeId, b: NodeId) {
+        let eps = self.cfg.epsilon;
+        let metric = self.cfg.metric;
+        let axis = {
+            let union = self.tree.node_mbr(a).union(&self.tree.node_mbr(b));
+            let mut best = 0;
+            let mut best_extent = f64::NEG_INFINITY;
+            for d in 0..D {
+                if union.extent(d) > best_extent {
+                    best_extent = union.extent(d);
+                    best = d;
+                }
+            }
+            best
+        };
+        let span = |c: NodeId| {
+            let m = self.tree.node_mbr(c);
+            (m.lo[axis], m.hi[axis], c)
+        };
+        let mut ca: Vec<(f64, f64, NodeId)> =
+            self.tree.children(a).iter().map(|&c| span(c)).collect();
+        let mut cb: Vec<(f64, f64, NodeId)> =
+            self.tree.children(b).iter().map(|&c| span(c)).collect();
+        ca.sort_by(|x, y| x.0.total_cmp(&y.0));
+        cb.sort_by(|x, y| x.0.total_cmp(&y.0));
+        for &(_, x_hi, x) in &ca {
+            for &(y_lo, _, y) in &cb {
+                if y_lo - x_hi > eps {
+                    break; // sorted by lo: all later children are farther
+                }
+                if self.tree.min_dist(x, y, metric) <= eps {
+                    self.join_pair(x, y);
+                } else {
+                    self.stats.pairs_pruned += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Runs an engine that collects rows, packaging the result.
+pub fn run_collecting<T, H, const D: usize>(tree: &T, cfg: JoinConfig, early_stop: bool, handler: H) -> JoinOutput
+where
+    T: JoinIndex<D>,
+    H: LinkHandler<D>,
+{
+    let mut engine = Engine::new(tree, cfg, early_stop, handler, CollectSink::default());
+    engine.run();
+    JoinOutput { items: std::mem::take(&mut engine.sink.items), stats: engine.stats }
+}
+
+/// Runs an engine that streams rows into `writer`, returning the stats.
+pub fn run_streaming<T, H, S, const D: usize>(
+    tree: &T,
+    cfg: JoinConfig,
+    early_stop: bool,
+    handler: H,
+    writer: &mut OutputWriter<S>,
+) -> JoinStats
+where
+    T: JoinIndex<D>,
+    H: LinkHandler<D>,
+    S: OutputSink,
+{
+    let mut engine = Engine::new(tree, cfg, early_stop, handler, StreamSink::new(writer));
+    engine.run();
+    engine.stats
+}
+
+#[cfg(test)]
+mod sweep_tests {
+    use crate::brute::brute_force_links;
+    use crate::csj::CsjJoin;
+    use crate::ncsj::NcsjJoin;
+    use crate::ssj::SsjJoin;
+    use csj_geom::{Metric, Point};
+    use csj_index::{rstar::RStarTree, RTreeConfig};
+
+    fn stripe(n: usize) -> Vec<Point<2>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                Point::new([t, (t * 29.0).sin() * 0.04])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_reports_the_same_link_set() {
+        let pts = stripe(800);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(8));
+        for eps in [0.004, 0.02, 0.1] {
+            let truth = brute_force_links(&pts, eps);
+            let plain = SsjJoin::new(eps).run(&tree);
+            let swept = SsjJoin::new(eps).with_plane_sweep().run(&tree);
+            assert_eq!(plain.expanded_link_set(), truth, "plain eps={eps}");
+            assert_eq!(swept.expanded_link_set(), truth, "swept eps={eps}");
+            let nc = NcsjJoin::new(eps).with_plane_sweep().run(&tree);
+            assert_eq!(nc.expanded_link_set(), truth, "ncsj swept eps={eps}");
+            let cs = CsjJoin::new(eps).with_window(10).with_plane_sweep().run(&tree);
+            assert_eq!(cs.expanded_link_set(), truth, "csj swept eps={eps}");
+        }
+    }
+
+    #[test]
+    fn sweep_reduces_distance_computations_at_small_eps() {
+        // A long thin stripe with small eps: most leaf pairs are far
+        // apart along x, exactly what the sweep skips without a distance
+        // computation.
+        let pts = stripe(2000);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(32));
+        let eps = 0.002;
+        let plain = SsjJoin::new(eps).run(&tree);
+        let swept = SsjJoin::new(eps).with_plane_sweep().run(&tree);
+        assert!(
+            swept.stats.distance_computations < plain.stats.distance_computations / 2,
+            "sweep {} vs plain {}",
+            swept.stats.distance_computations,
+            plain.stats.distance_computations
+        );
+        assert_eq!(swept.expanded_link_set(), plain.expanded_link_set());
+    }
+
+    #[test]
+    fn sweep_correct_under_non_euclidean_metrics() {
+        // The sweep prune (axis gap > eps implies distance > eps) must
+        // hold for L1 and Linf too.
+        let pts = stripe(500);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(8));
+        for metric in [Metric::Manhattan, Metric::Chebyshev] {
+            let eps = 0.01;
+            let plain = SsjJoin::new(eps).with_metric(metric).run(&tree);
+            let swept = SsjJoin::new(eps).with_metric(metric).with_plane_sweep().run(&tree);
+            assert_eq!(plain.expanded_link_set(), swept.expanded_link_set(), "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_on_3d_data() {
+        let pts: Vec<Point<3>> = (0..600)
+            .map(|i| {
+                let t = i as f64 / 600.0;
+                Point::new([t, (t * 13.0).cos() * 0.05, (t * 7.0).sin() * 0.05])
+            })
+            .collect();
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        let eps = 0.01;
+        let mut truth = std::collections::BTreeSet::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if pts[i].euclidean(&pts[j]) <= eps {
+                    truth.insert((i as u32, j as u32));
+                }
+            }
+        }
+        let swept = SsjJoin::new(eps).with_plane_sweep().run(&tree);
+        assert_eq!(swept.expanded_link_set(), truth);
+    }
+}

@@ -1,0 +1,424 @@
+//! Group shapes and the CSJ window of open groups.
+//!
+//! §V-A: a group's bounding shape must support constant-time membership
+//! checks and updates, and must *guarantee* that any two covered points
+//! mutually satisfy the range — i.e. its diameter under the join metric is
+//! at most ε. The paper chooses minimum bounding hyper-rectangles (the
+//! diagonal-`≤ ε` rule); bounding circles cover more area per group but
+//! cost more to center optimally. Both are implemented here behind
+//! [`GroupShape`], so the §V-A trade-off is measurable
+//! (`ablation_shapes` bench).
+
+use std::collections::VecDeque;
+
+use csj_geom::{Mbr, Metric, Point, RecordId, Sphere};
+
+/// A constant-time-updatable bounding shape for an output group.
+///
+/// The contract: after any sequence of constructor / `try_extend` calls,
+/// every point ever covered lies within the shape, and
+/// `diameter() <= ε` implies all covered point pairs are within ε.
+pub trait GroupShape<const D: usize>: Clone + std::fmt::Debug {
+    /// Smallest shape covering two points.
+    fn from_pair(a: &Point<D>, b: &Point<D>) -> Self;
+
+    /// Shape covering an existing bounding rectangle (used when a whole
+    /// subtree becomes a group: the node's bounding shape is reused).
+    fn from_mbr(mbr: &Mbr<D>, metric: Metric) -> Self;
+
+    /// Diameter under `metric`: an upper bound on the distance between
+    /// any two covered points.
+    fn diameter(&self, metric: Metric) -> f64;
+
+    /// Attempts to grow the shape to also cover `a` and `b` while keeping
+    /// `diameter() <= eps`. On success the shape is updated and `true` is
+    /// returned; on failure the shape is left unchanged (the pseudo-code's
+    /// "undo extension").
+    fn try_extend(&mut self, a: &Point<D>, b: &Point<D>, eps: f64, metric: Metric) -> bool;
+}
+
+/// The paper's group shape: a minimum bounding hyper-rectangle whose
+/// metric diameter (Euclidean: main diagonal) must stay within ε.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MbrShape<const D: usize>(pub Mbr<D>);
+
+impl<const D: usize> GroupShape<D> for MbrShape<D> {
+    fn from_pair(a: &Point<D>, b: &Point<D>) -> Self {
+        MbrShape(Mbr::from_corners(a, b))
+    }
+
+    fn from_mbr(mbr: &Mbr<D>, _metric: Metric) -> Self {
+        MbrShape(*mbr)
+    }
+
+    fn diameter(&self, metric: Metric) -> f64 {
+        metric.mbr_diameter(&self.0)
+    }
+
+    fn try_extend(&mut self, a: &Point<D>, b: &Point<D>, eps: f64, metric: Metric) -> bool {
+        let mut grown = self.0;
+        grown.expand_to_point(a);
+        grown.expand_to_point(b);
+        if metric.mbr_diameter(&grown) <= eps {
+            self.0 = grown;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// §V-A alternative: a bounding ball. Covers up to ~57% more area than a
+/// rectangle of the same diameter in 2-D, but the incremental center
+/// updates (Ritter steps) are approximate, so merge acceptance differs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BallShape<const D: usize>(pub Sphere<D>);
+
+impl<const D: usize> GroupShape<D> for BallShape<D> {
+    fn from_pair(a: &Point<D>, b: &Point<D>) -> Self {
+        // Midpoint center is exact for L2 and valid (covering) for the
+        // other metrics after the radius check below.
+        let center = a.midpoint(b);
+        BallShape(Sphere::new(center, 0.0))
+    }
+
+    fn from_mbr(mbr: &Mbr<D>, metric: Metric) -> Self {
+        BallShape(Sphere::new(mbr.center(), 0.5 * metric.mbr_diameter(mbr)))
+    }
+
+    fn diameter(&self, _metric: Metric) -> f64 {
+        self.0.diameter()
+    }
+
+    fn try_extend(&mut self, a: &Point<D>, b: &Point<D>, eps: f64, metric: Metric) -> bool {
+        let mut grown = self.0;
+        grown.expand_to_point(a, metric);
+        grown.expand_to_point(b, metric);
+        if grown.diameter() <= eps {
+            self.0 = grown;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// An output group still open for CSJ merging.
+///
+/// Members are kept as a raw push log (consecutive duplicates skipped);
+/// [`OpenGroup::into_sorted_members`] deduplicates at emission time. This
+/// keeps the per-link merge cost to a couple of comparisons instead of a
+/// hash insert — the merge loop is the hottest path of CSJ(g).
+#[derive(Clone, Debug)]
+pub struct OpenGroup<S, const D: usize> {
+    /// Member record ids as pushed (may contain non-consecutive repeats).
+    pub members: Vec<RecordId>,
+    /// Current bounding shape.
+    pub shape: S,
+}
+
+impl<S: GroupShape<D>, const D: usize> OpenGroup<S, D> {
+    /// Opens a group from a single qualifying link.
+    pub fn from_link(a: RecordId, pa: &Point<D>, b: RecordId, pb: &Point<D>, metric: Metric) -> Self {
+        let mut shape = S::from_pair(pa, pb);
+        // from_pair may produce a degenerate shape (e.g. a zero-radius
+        // ball at the midpoint); extend covers both endpoints exactly.
+        let grew = shape.try_extend(pa, pb, f64::INFINITY, metric);
+        debug_assert!(grew);
+        let mut g = OpenGroup { members: Vec::with_capacity(2), shape };
+        g.add_member(a);
+        g.add_member(b);
+        g
+    }
+
+    /// Opens a group for a whole subtree (the early-stopping rule).
+    pub fn from_subtree(members: Vec<RecordId>, mbr: &Mbr<D>, metric: Metric) -> Self {
+        debug_assert!(!members.is_empty());
+        OpenGroup { members, shape: S::from_mbr(mbr, metric) }
+    }
+
+    fn add_member(&mut self, id: RecordId) {
+        // Skip the common case of the same endpoint recurring across
+        // consecutive links (nested leaf loops); full deduplication
+        // happens once, at emission.
+        if self.members.last() != Some(&id) {
+            self.members.push(id);
+        }
+    }
+
+    /// The pseudo-code's merge step: try to extend the shape to cover the
+    /// link; on success add both endpoints as members.
+    pub fn try_merge(
+        &mut self,
+        a: RecordId,
+        pa: &Point<D>,
+        b: RecordId,
+        pb: &Point<D>,
+        eps: f64,
+        metric: Metric,
+    ) -> bool {
+        if self.shape.try_extend(pa, pb, eps, metric) {
+            self.add_member(a);
+            self.add_member(b);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of member entries pushed so far (counts repeats; use
+    /// [`OpenGroup::into_sorted_members`] for the true member set).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the group has no members (never happens for constructed
+    /// groups; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Finalizes the group: the member set, sorted and deduplicated.
+    pub fn into_sorted_members(self) -> Vec<RecordId> {
+        let mut m = self.members;
+        m.sort_unstable();
+        m.dedup();
+        m
+    }
+}
+
+/// The `g` most recent groups, as a FIFO ring. Pushing beyond capacity
+/// evicts (returns) the oldest group, which is then final and can be
+/// emitted — groups outside the window can never change again.
+#[derive(Debug)]
+pub struct GroupWindow<S, const D: usize> {
+    ring: VecDeque<OpenGroup<S, D>>,
+    capacity: usize,
+}
+
+impl<S: GroupShape<D>, const D: usize> GroupWindow<S, D> {
+    /// A window considering the `capacity` most recent groups.
+    pub fn new(capacity: usize) -> Self {
+        GroupWindow { ring: VecDeque::with_capacity(capacity.min(1024)), capacity }
+    }
+
+    /// Number of currently open groups.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if no groups are open.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Tries to merge a link into the open groups, newest first. Returns
+    /// `true` on success and reports the number of attempts via
+    /// `attempts`.
+    #[allow(clippy::too_many_arguments)] // mirrors the pseudo-code's signature
+    pub fn try_merge_link(
+        &mut self,
+        a: RecordId,
+        pa: &Point<D>,
+        b: RecordId,
+        pb: &Point<D>,
+        eps: f64,
+        metric: Metric,
+        attempts: &mut u64,
+    ) -> bool {
+        for group in self.ring.iter_mut().rev() {
+            *attempts += 1;
+            if group.try_merge(a, pa, b, pb, eps, metric) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Pushes a freshly opened group; returns the evicted (now final)
+    /// group if the window overflowed. With capacity 0 the pushed group
+    /// itself is returned immediately.
+    #[must_use]
+    pub fn push(&mut self, group: OpenGroup<S, D>) -> Option<OpenGroup<S, D>> {
+        if self.capacity == 0 {
+            return Some(group);
+        }
+        self.ring.push_back(group);
+        if self.ring.len() > self.capacity {
+            self.ring.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Closes the window, yielding all remaining groups oldest-first.
+    pub fn drain(&mut self) -> impl Iterator<Item = OpenGroup<S, D>> + '_ {
+        self.ring.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L2: Metric = Metric::Euclidean;
+
+    fn p(x: f64, y: f64) -> Point<2> {
+        Point::new([x, y])
+    }
+
+    #[test]
+    fn mbr_shape_pair_and_diameter() {
+        let s = <MbrShape<2> as GroupShape<2>>::from_pair(&p(0.0, 0.0), &p(3.0, 4.0));
+        assert_eq!(s.diameter(L2), 5.0);
+    }
+
+    #[test]
+    fn mbr_shape_extend_respects_eps() {
+        let mut s = <MbrShape<2> as GroupShape<2>>::from_pair(&p(0.0, 0.0), &p(0.3, 0.0));
+        assert!(s.try_extend(&p(0.5, 0.0), &p(0.6, 0.0), 1.0, L2));
+        assert_eq!(s.diameter(L2), 0.6);
+        // Refusal leaves the shape unchanged.
+        let before = s;
+        assert!(!s.try_extend(&p(2.0, 0.0), &p(0.0, 0.0), 1.0, L2));
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn ball_shape_covers_link_endpoints() {
+        let a = p(0.0, 0.0);
+        let b = p(0.6, 0.8); // distance 1.0
+        let g: OpenGroup<BallShape<2>, 2> = OpenGroup::from_link(1, &a, 2, &b, L2);
+        assert!(g.shape.0.contains_point(&a, L2));
+        assert!(g.shape.0.contains_point(&b, L2));
+        assert!((g.shape.diameter(L2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_group_deduplicates_members() {
+        let mut g: OpenGroup<MbrShape<2>, 2> =
+            OpenGroup::from_link(1, &p(0.0, 0.0), 2, &p(0.1, 0.0), L2);
+        assert!(g.try_merge(2, &p(0.1, 0.0), 3, &p(0.2, 0.0), 1.0, L2));
+        // Consecutive repeat of 2 is skipped at push time …
+        assert_eq!(g.members, vec![1, 2, 3]);
+        // … and any remaining repeats vanish at emission.
+        assert!(g.clone().try_merge(1, &p(0.0, 0.0), 2, &p(0.1, 0.0), 1.0, L2));
+        let mut g2 = g.clone();
+        assert!(g2.try_merge(1, &p(0.0, 0.0), 2, &p(0.1, 0.0), 1.0, L2));
+        assert_eq!(g2.into_sorted_members(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn subtree_group_has_node_shape() {
+        let mbr = Mbr::from_corners(&p(0.0, 0.0), &p(0.3, 0.4));
+        let g: OpenGroup<MbrShape<2>, 2> = OpenGroup::from_subtree(vec![5, 6, 7], &mbr, L2);
+        assert_eq!(g.members, vec![5, 6, 7]);
+        assert_eq!(g.shape.diameter(L2), 0.5);
+    }
+
+    #[test]
+    fn window_eviction_fifo() {
+        let mut w: GroupWindow<MbrShape<2>, 2> = GroupWindow::new(2);
+        let g1 = OpenGroup::from_link(1, &p(0.0, 0.0), 2, &p(0.01, 0.0), L2);
+        let g2 = OpenGroup::from_link(3, &p(1.0, 0.0), 4, &p(1.01, 0.0), L2);
+        let g3 = OpenGroup::from_link(5, &p(2.0, 0.0), 6, &p(2.01, 0.0), L2);
+        assert!(w.push(g1).is_none());
+        assert!(w.push(g2).is_none());
+        let evicted = w.push(g3).expect("window overflow evicts oldest");
+        assert_eq!(evicted.into_sorted_members(), vec![1, 2]);
+        assert_eq!(w.len(), 2);
+        let rest: Vec<Vec<u32>> = w.drain().map(|g| g.into_sorted_members()).collect();
+        assert_eq!(rest, vec![vec![3, 4], vec![5, 6]]);
+    }
+
+    #[test]
+    fn window_capacity_zero_bounces_groups() {
+        let mut w: GroupWindow<MbrShape<2>, 2> = GroupWindow::new(0);
+        let g = OpenGroup::from_link(1, &p(0.0, 0.0), 2, &p(0.01, 0.0), L2);
+        let bounced = w.push(g).expect("capacity 0 returns the group");
+        assert_eq!(bounced.into_sorted_members(), vec![1, 2]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn merge_prefers_newest_group() {
+        let mut w: GroupWindow<MbrShape<2>, 2> = GroupWindow::new(5);
+        // Two groups both able to absorb the link; newest must win.
+        let _ = w.push(OpenGroup::from_link(1, &p(0.0, 0.0), 2, &p(0.02, 0.0), L2));
+        let _ = w.push(OpenGroup::from_link(3, &p(0.05, 0.0), 4, &p(0.07, 0.0), L2));
+        let mut attempts = 0;
+        let ok = w.try_merge_link(8, &p(0.04, 0.0), 9, &p(0.06, 0.0), 0.1, L2, &mut attempts);
+        assert!(ok);
+        assert_eq!(attempts, 1, "newest group tried first and accepted");
+        let groups: Vec<Vec<u32>> = w.drain().map(|g| g.into_sorted_members()).collect();
+        assert_eq!(groups, vec![vec![1, 2], vec![3, 4, 8, 9]]);
+    }
+
+    #[test]
+    fn merge_fails_when_no_group_fits() {
+        let mut w: GroupWindow<MbrShape<2>, 2> = GroupWindow::new(5);
+        let _ = w.push(OpenGroup::from_link(1, &p(0.0, 0.0), 2, &p(0.02, 0.0), L2));
+        let mut attempts = 0;
+        let ok = w.try_merge_link(8, &p(5.0, 0.0), 9, &p(5.01, 0.0), 0.1, L2, &mut attempts);
+        assert!(!ok);
+        assert_eq!(attempts, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// After any merge sequence, an MBR group's diameter never exceeds
+        /// ε and every member link endpoint stays covered — the invariant
+        /// behind Theorem 2.
+        #[test]
+        fn mbr_group_invariant(
+            links in prop::collection::vec(
+                (prop::array::uniform2(0.0f64..1.0), prop::array::uniform2(0.0f64..1.0)),
+                1..60
+            ),
+            eps in 0.05f64..0.8,
+        ) {
+            let metric = Metric::Euclidean;
+            let mut covered: Vec<Point<2>> = Vec::new();
+            let mut group: Option<OpenGroup<MbrShape<2>, 2>> = None;
+            for (i, (a, b)) in links.iter().enumerate() {
+                let (pa, pb) = (Point::new(*a), Point::new(*b));
+                if metric.distance(&pa, &pb) > eps {
+                    continue; // not a link
+                }
+                match &mut group {
+                    None => {
+                        let g: OpenGroup<MbrShape<2>, 2> = OpenGroup::from_link(2 * i as u32, &pa, 2 * i as u32 + 1, &pb, metric);
+                        if g.shape.diameter(metric) <= eps {
+                            covered.push(pa);
+                            covered.push(pb);
+                            group = Some(g);
+                        }
+                    }
+                    Some(g) => {
+                        if g.try_merge(2 * i as u32, &pa, 2 * i as u32 + 1, &pb, eps, metric) {
+                            covered.push(pa);
+                            covered.push(pb);
+                        }
+                    }
+                }
+                if let Some(g) = &group {
+                    prop_assert!(g.shape.diameter(metric) <= eps + 1e-9);
+                    for p in &covered {
+                        prop_assert!(g.shape.0.contains_point(p));
+                    }
+                    // Diameter <= eps really does bound all pairs.
+                    for x in &covered {
+                        for y in &covered {
+                            prop_assert!(metric.distance(x, y) <= eps + 1e-9);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Join output: links and groups, expansion, byte accounting.
+
+use std::collections::BTreeSet;
+
+use csj_geom::RecordId;
+use csj_storage::{OutputSink, OutputWriter};
+
+use crate::stats::JoinStats;
+
+/// One output row: an individual link or a group of mutually-qualifying
+/// records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OutputItem {
+    /// A single qualifying pair.
+    Link(RecordId, RecordId),
+    /// `k` records all within ε of each other, encoding `k·(k−1)/2` links.
+    Group(Vec<RecordId>),
+}
+
+impl OutputItem {
+    /// Number of links this row implies.
+    pub fn implied_links(&self) -> u64 {
+        match self {
+            OutputItem::Link(..) => 1,
+            OutputItem::Group(ids) => {
+                let k = ids.len() as u64;
+                k * (k - 1) / 2
+            }
+        }
+    }
+
+    /// Bytes this row occupies in the paper's text format with the given
+    /// id width: each id is `width` bytes, ids are space-separated, the
+    /// line ends in `\n` — so a row of `k` ids is `k·width + k` bytes.
+    /// Assumes every id fits in `width` digits (use
+    /// [`csj_storage::OutputWriter::id_width_for`]).
+    pub fn format_bytes(&self, width: usize) -> u64 {
+        let k = match self {
+            OutputItem::Link(..) => 2,
+            OutputItem::Group(ids) => ids.len(),
+        };
+        (k * width + k) as u64
+    }
+}
+
+/// The collected result of a join run.
+#[derive(Clone, Debug, Default)]
+pub struct JoinOutput {
+    /// Output rows in emission order.
+    pub items: Vec<OutputItem>,
+    /// Operation counters of the producing run.
+    pub stats: JoinStats,
+}
+
+impl JoinOutput {
+    /// Number of individual link rows.
+    pub fn num_links(&self) -> usize {
+        self.items.iter().filter(|i| matches!(i, OutputItem::Link(..))).count()
+    }
+
+    /// Number of group rows.
+    pub fn num_groups(&self) -> usize {
+        self.items.iter().filter(|i| matches!(i, OutputItem::Group(_))).count()
+    }
+
+    /// Total links implied by the output, counting duplicates once per
+    /// occurrence (the sum of [`OutputItem::implied_links`]).
+    pub fn implied_links(&self) -> u64 {
+        self.items.iter().map(OutputItem::implied_links).sum()
+    }
+
+    /// Output size in bytes in the paper's text format at the given id
+    /// width — exactly what an [`OutputWriter`] would produce.
+    pub fn total_bytes(&self, width: usize) -> u64 {
+        self.items.iter().map(|i| i.format_bytes(width)).sum()
+    }
+
+    /// Expands the compact output back to the plain link set: every link,
+    /// each normalized to `(min, max)`, deduplicated. This is the paper's
+    /// "individual links can easily be recovered by expanding the
+    /// returned groups", used by the lossless-ness checks.
+    pub fn expanded_link_set(&self) -> BTreeSet<(RecordId, RecordId)> {
+        let mut set = BTreeSet::new();
+        for item in &self.items {
+            match item {
+                OutputItem::Link(a, b) => {
+                    if a != b {
+                        set.insert((*a.min(b), *a.max(b)));
+                    }
+                }
+                OutputItem::Group(ids) => {
+                    for i in 0..ids.len() {
+                        for j in (i + 1)..ids.len() {
+                            let (a, b) = (ids[i], ids[j]);
+                            if a != b {
+                                set.insert((a.min(b), a.max(b)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Streams the rows into an [`OutputWriter`] (for file output or
+    /// byte-exact re-measurement).
+    pub fn write_to<S: OutputSink>(&self, writer: &mut OutputWriter<S>) {
+        for item in &self.items {
+            match item {
+                OutputItem::Link(a, b) => writer.write_link(*a, *b),
+                OutputItem::Group(ids) => writer.write_group(ids),
+            }
+        }
+    }
+
+    /// Sizes of all group rows, descending — the view the outlier-mining
+    /// application (§I) starts from.
+    pub fn group_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                OutputItem::Group(ids) => Some(ids.len()),
+                OutputItem::Link(..) => None,
+            })
+            .collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csj_storage::VecSink;
+
+    #[test]
+    fn implied_links_per_item() {
+        assert_eq!(OutputItem::Link(1, 2).implied_links(), 1);
+        assert_eq!(OutputItem::Group(vec![1, 2, 3, 4]).implied_links(), 6);
+        assert_eq!(OutputItem::Group(vec![9]).implied_links(), 0);
+    }
+
+    #[test]
+    fn format_bytes_matches_writer() {
+        let items = [
+            OutputItem::Link(1, 22),
+            OutputItem::Group(vec![1, 2, 3]),
+            OutputItem::Group(vec![7]),
+        ];
+        for width in [2usize, 4, 7] {
+            let out = JoinOutput { items: items.to_vec(), stats: JoinStats::default() };
+            let mut w = OutputWriter::new(VecSink::new(), width);
+            out.write_to(&mut w);
+            assert_eq!(out.total_bytes(width), w.bytes_written(), "width {width}");
+        }
+    }
+
+    #[test]
+    fn paper_figure1_example_counts() {
+        // Figure 1: 8 links reduced to 3 groups ({1,2,3,4}, {4,5}, {6,7}),
+        // a 50% savings in rows.
+        let compact = JoinOutput {
+            items: vec![
+                OutputItem::Group(vec![1, 2, 3, 4]),
+                OutputItem::Group(vec![4, 5]),
+                OutputItem::Group(vec![6, 7]),
+            ],
+            stats: JoinStats::default(),
+        };
+        assert_eq!(compact.num_groups(), 3);
+        assert_eq!(compact.expanded_link_set().len(), 8);
+    }
+
+    #[test]
+    fn expansion_dedups_overlapping_groups() {
+        // Figure 2: groups {1,2,3,4}, {2,5}, {3,4,5} over the integer line
+        // with eps = 3 expand to exactly the 9 standard-join links.
+        let out = JoinOutput {
+            items: vec![
+                OutputItem::Group(vec![1, 2, 3, 4]),
+                OutputItem::Group(vec![2, 5]),
+                OutputItem::Group(vec![3, 4, 5]),
+            ],
+            stats: JoinStats::default(),
+        };
+        let set = out.expanded_link_set();
+        assert_eq!(set.len(), 9);
+        for a in 1u32..=5 {
+            for b in (a + 1)..=5 {
+                assert_eq!(set.contains(&(a, b)), b - a <= 3, "pair ({a},{b})");
+            }
+        }
+        // Implied links count duplicates: 6 + 1 + 3 = 10 > 9.
+        assert_eq!(out.implied_links(), 10);
+    }
+
+    #[test]
+    fn expansion_normalizes_and_ignores_self_pairs() {
+        let out = JoinOutput {
+            items: vec![OutputItem::Link(5, 3), OutputItem::Link(3, 5), OutputItem::Link(4, 4)],
+            stats: JoinStats::default(),
+        };
+        let set = out.expanded_link_set();
+        assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![(3, 5)]);
+    }
+
+    #[test]
+    fn group_sizes_sorted_descending() {
+        let out = JoinOutput {
+            items: vec![
+                OutputItem::Group(vec![1, 2]),
+                OutputItem::Link(8, 9),
+                OutputItem::Group(vec![3, 4, 5, 6]),
+                OutputItem::Group(vec![7, 8, 9]),
+            ],
+            stats: JoinStats::default(),
+        };
+        assert_eq!(out.group_sizes(), vec![4, 3, 2]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Parallel similarity joins (extension beyond the paper).
+//!
+//! The recursion of Figure 3 decomposes naturally: expand the tree a few
+//! levels into independent *tasks* (subtree self-joins and qualifying
+//! subtree pairs), then run the ordinary [`Engine`] on each task from a
+//! worker pool. Results are reassembled in task order, so output is
+//! deterministic regardless of scheduling.
+//!
+//! Correctness is unchanged: SSJ and N-CSJ share no state across tasks;
+//! for CSJ(g), each task gets its own fresh window — windows only affect
+//! *compaction* (which links land in which group), never the represented
+//! link set, so the parallel CSJ is still lossless. Its output is
+//! slightly larger than the sequential run's because merges cannot cross
+//! task boundaries.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use csj_index::{JoinIndex, NodeId};
+
+use crate::engine::{CollectSink, DirectEmit, Engine, LinkHandler, WindowedEmit};
+use crate::group::MbrShape;
+use crate::output::{JoinOutput, OutputItem};
+use crate::stats::JoinStats;
+use crate::JoinConfig;
+
+/// Which algorithm the parallel runner executes per task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParallelAlgo {
+    /// Standard similarity join.
+    Ssj,
+    /// Naive compact join.
+    Ncsj,
+    /// Compact join; every task gets a fresh window of this size.
+    Csj(usize),
+}
+
+/// A parallel similarity self-join.
+///
+/// ```
+/// use csj_core::parallel::{ParallelAlgo, ParallelJoin};
+/// use csj_core::ssj::SsjJoin;
+/// use csj_geom::Point;
+/// use csj_index::{rstar::RStarTree, RTreeConfig};
+///
+/// let pts: Vec<Point<2>> = (0..2000)
+///     .map(|i| Point::new([(i % 50) as f64 / 50.0, (i / 50) as f64 / 40.0]))
+///     .collect();
+/// let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+/// let par = ParallelJoin::new(0.05, ParallelAlgo::Ssj).with_threads(4).run(&tree);
+/// let seq = SsjJoin::new(0.05).run(&tree);
+/// assert_eq!(par.expanded_link_set(), seq.expanded_link_set());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelJoin {
+    cfg: JoinConfig,
+    algo: ParallelAlgo,
+    threads: usize,
+}
+
+enum Task {
+    SelfJoin(NodeId),
+    PairJoin(NodeId, NodeId),
+}
+
+impl ParallelJoin {
+    /// A parallel join with range `epsilon`.
+    pub fn new(epsilon: f64, algo: ParallelAlgo) -> Self {
+        ParallelJoin { cfg: JoinConfig::new(epsilon), algo, threads: 4 }
+    }
+
+    /// A parallel join from an explicit configuration.
+    pub fn with_config(cfg: JoinConfig, algo: ParallelAlgo) -> Self {
+        ParallelJoin { cfg, algo, threads: 4 }
+    }
+
+    /// Sets the worker count (default 4; clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the metric.
+    pub fn with_metric(mut self, metric: csj_geom::Metric) -> Self {
+        self.cfg.metric = metric;
+        self
+    }
+
+    /// Runs the join. Output rows appear in deterministic (task) order.
+    pub fn run<T: JoinIndex<D> + Sync, const D: usize>(&self, tree: &T) -> JoinOutput {
+        let tasks = self.expand_tasks(tree);
+        if tasks.is_empty() {
+            return JoinOutput::default();
+        }
+        type TaskResult = (Vec<OutputItem>, JoinStats);
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<TaskResult>>> =
+            Mutex::new((0..tasks.len()).map(|_| None).collect());
+
+        crossbeam::scope(|scope| {
+            for _ in 0..self.threads.min(tasks.len()) {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(idx) else { break };
+                    let (items, stats) = self.run_task(tree, task);
+                    results.lock().expect("worker panicked holding results")[idx] =
+                        Some((items, stats));
+                });
+            }
+        })
+        .expect("join worker panicked");
+
+        let mut output = JoinOutput {
+            stats: JoinStats::new(self.cfg.record_access_log),
+            ..Default::default()
+        };
+        for slot in results.into_inner().expect("poisoned results") {
+            let (items, stats) = slot.expect("task never ran");
+            output.items.extend(items);
+            output.stats.absorb(&stats);
+        }
+        output
+    }
+
+    fn run_task<T: JoinIndex<D>, const D: usize>(
+        &self,
+        tree: &T,
+        task: &Task,
+    ) -> (Vec<OutputItem>, JoinStats) {
+        match self.algo {
+            ParallelAlgo::Ssj => self.run_task_with(tree, task, false, DirectEmit),
+            ParallelAlgo::Ncsj => self.run_task_with(tree, task, true, DirectEmit),
+            ParallelAlgo::Csj(g) => self.run_task_with(
+                tree,
+                task,
+                true,
+                WindowedEmit::<MbrShape<D>, D>::new(g, self.cfg.epsilon, self.cfg.metric),
+            ),
+        }
+    }
+
+    fn run_task_with<T: JoinIndex<D>, H: LinkHandler<D>, const D: usize>(
+        &self,
+        tree: &T,
+        task: &Task,
+        early_stop: bool,
+        handler: H,
+    ) -> (Vec<OutputItem>, JoinStats) {
+        let mut engine =
+            Engine::new(tree, self.cfg, early_stop, handler, CollectSink::default());
+        match task {
+            Task::SelfJoin(n) => engine.join_node(*n),
+            Task::PairJoin(a, b) => engine.join_pair(*a, *b),
+        }
+        engine.finish_only();
+        (std::mem::take(&mut engine.sink.items), engine.stats)
+    }
+
+    /// Breadth-first task expansion until there are comfortably more
+    /// tasks than workers (or nothing left to split).
+    fn expand_tasks<T: JoinIndex<D>, const D: usize>(&self, tree: &T) -> Vec<Task> {
+        let Some(root) = tree.root() else { return Vec::new() };
+        let target = self.threads * 8;
+        let eps = self.cfg.epsilon;
+        let metric = self.cfg.metric;
+
+        let mut queue = std::collections::VecDeque::from([Task::SelfJoin(root)]);
+        let mut done: Vec<Task> = Vec::new();
+        while done.len() + queue.len() < target {
+            let Some(task) = queue.pop_front() else { break };
+            match task {
+                Task::SelfJoin(n) if !tree.is_leaf(n) => {
+                    // A compact join would early-stop this whole subtree;
+                    // do not split it apart.
+                    if self.algo != ParallelAlgo::Ssj && tree.max_diameter(n, metric) <= eps {
+                        done.push(Task::SelfJoin(n));
+                        continue;
+                    }
+                    let children = tree.children(n).to_vec();
+                    for (i, &a) in children.iter().enumerate() {
+                        queue.push_back(Task::SelfJoin(a));
+                        for &b in &children[(i + 1)..] {
+                            if tree.min_dist(a, b, metric) <= eps {
+                                queue.push_back(Task::PairJoin(a, b));
+                            }
+                        }
+                    }
+                }
+                other => done.push(other),
+            }
+        }
+        done.extend(queue);
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_links;
+    use crate::csj::CsjJoin;
+    use crate::ssj::SsjJoin;
+    use csj_geom::Point;
+    use csj_index::{rstar::RStarTree, RTreeConfig};
+
+    fn clustered(n: usize) -> Vec<Point<2>> {
+        (0..n)
+            .map(|i| {
+                let c = (i % 7) as f64 * 0.13;
+                Point::new([c + ((i * 31) % 97) as f64 * 2e-4, c + ((i * 57) % 89) as f64 * 2e-4])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_ssj_matches_sequential() {
+        let pts = clustered(3_000);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        for eps in [0.01, 0.1] {
+            let seq = SsjJoin::new(eps).run(&tree);
+            for threads in [1, 2, 8] {
+                let par = ParallelJoin::new(eps, ParallelAlgo::Ssj)
+                    .with_threads(threads)
+                    .run(&tree);
+                assert_eq!(par.expanded_link_set(), seq.expanded_link_set(), "threads={threads}");
+                assert_eq!(
+                    par.stats.distance_computations, seq.stats.distance_computations,
+                    "identical work, just distributed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_ncsj_and_csj_are_lossless() {
+        let pts = clustered(2_500);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        let eps = 0.05;
+        let truth = brute_force_links(&pts, eps);
+        for algo in [ParallelAlgo::Ncsj, ParallelAlgo::Csj(10)] {
+            let out = ParallelJoin::new(eps, algo).with_threads(6).run(&tree);
+            assert_eq!(out.expanded_link_set(), truth, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_deterministic() {
+        let pts = clustered(2_000);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(8));
+        let join = ParallelJoin::new(0.05, ParallelAlgo::Csj(10)).with_threads(7);
+        let a = join.run(&tree);
+        let b = join.run(&tree);
+        assert_eq!(a.items, b.items, "same rows in the same order every run");
+    }
+
+    #[test]
+    fn parallel_csj_compacts_close_to_sequential() {
+        let pts = clustered(3_000);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        let eps = 0.05;
+        let seq = CsjJoin::new(eps).with_window(10).run(&tree);
+        let par = ParallelJoin::new(eps, ParallelAlgo::Csj(10)).with_threads(4).run(&tree);
+        assert_eq!(par.expanded_link_set(), seq.expanded_link_set());
+        // Per-task windows lose some merges but not catastrophically.
+        let (ps, ss) = (par.total_bytes(4) as f64, seq.total_bytes(4) as f64);
+        assert!(ps <= ss * 1.5, "parallel bytes {ps} vs sequential {ss}");
+    }
+
+    #[test]
+    fn empty_and_tiny_trees() {
+        let empty = RStarTree::<2>::new(RTreeConfig::default());
+        let out = ParallelJoin::new(0.1, ParallelAlgo::Ssj).run(&empty);
+        assert!(out.items.is_empty());
+        let one = RStarTree::from_points(&[Point::new([0.5, 0.5])], RTreeConfig::default());
+        let out = ParallelJoin::new(0.1, ParallelAlgo::Csj(10)).run(&one);
+        assert!(out.items.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::brute::brute_force_links;
+    use csj_geom::Point;
+    use csj_index::{rstar::RStarTree, RTreeConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The parallel runner is lossless for every algorithm, thread
+        /// count and window over arbitrary data.
+        #[test]
+        fn parallel_lossless(
+            pts in prop::collection::vec(prop::array::uniform2(0.0f64..1.0), 0..150),
+            eps in 0.0f64..0.5,
+            threads in 1usize..6,
+            algo_idx in 0usize..3,
+        ) {
+            let points: Vec<Point<2>> = pts.into_iter().map(Point::new).collect();
+            let tree = RStarTree::from_points(&points, RTreeConfig::with_max_fanout(5));
+            let algo = [ParallelAlgo::Ssj, ParallelAlgo::Ncsj, ParallelAlgo::Csj(7)][algo_idx];
+            let out = ParallelJoin::new(eps, algo).with_threads(threads).run(&tree);
+            prop_assert_eq!(out.expanded_link_set(), brute_force_links(&points, eps));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Operation counters collected by every join run.
+//!
+//! The paper's evaluation needs three views of a run: wall-clock time
+//! (measured by the harness), output size in bytes (from the writer), and
+//! *why* the time went where it did — Experiment 3 attributes the compact
+//! joins' savings mostly to the early-stopping rule (fewer distance
+//! computations) and partly to smaller output. These counters expose that
+//! attribution directly.
+
+/// Counters accumulated during a join.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Single-node recursion steps (`simJoin(n)` calls).
+    pub node_visits: u64,
+    /// Node-pair recursion steps (`simJoin(n1, n2)` calls).
+    pub pair_visits: u64,
+    /// Point-to-point distance predicate evaluations.
+    pub distance_computations: u64,
+    /// Early stops on a single node (subtree emitted as one group).
+    pub early_stops_node: u64,
+    /// Early stops on a node pair.
+    pub early_stops_pair: u64,
+    /// Links emitted individually.
+    pub links_emitted: u64,
+    /// Groups emitted (early stops + CSJ window groups).
+    pub groups_emitted: u64,
+    /// Sum of group sizes (members across all emitted groups).
+    pub group_members_emitted: u64,
+    /// CSJ: merge attempts against a window group.
+    pub merge_attempts: u64,
+    /// CSJ: links successfully merged into an existing group.
+    pub merges_succeeded: u64,
+    /// Node-pair recursions skipped because MINDIST exceeded ε.
+    pub pairs_pruned: u64,
+    /// Sequence of visited node ids (one entry per node access), present
+    /// only when [`crate::JoinConfig::record_access_log`] is set.
+    pub access_log: Option<Vec<u32>>,
+}
+
+impl JoinStats {
+    /// A fresh stats block, with the access log pre-armed when requested.
+    pub fn new(record_access_log: bool) -> Self {
+        JoinStats {
+            access_log: record_access_log.then(Vec::new),
+            ..Default::default()
+        }
+    }
+
+    /// Records a node access (counted, and logged when armed).
+    #[inline]
+    pub fn touch_node(&mut self, node: u32) {
+        if let Some(log) = &mut self.access_log {
+            log.push(node);
+        }
+    }
+
+    /// Total output rows (links + groups).
+    pub fn rows_emitted(&self) -> u64 {
+        self.links_emitted + self.groups_emitted
+    }
+
+    /// Merges these stats into `self` (used by the parallel runner).
+    pub fn absorb(&mut self, other: &JoinStats) {
+        self.node_visits += other.node_visits;
+        self.pair_visits += other.pair_visits;
+        self.distance_computations += other.distance_computations;
+        self.early_stops_node += other.early_stops_node;
+        self.early_stops_pair += other.early_stops_pair;
+        self.links_emitted += other.links_emitted;
+        self.groups_emitted += other.groups_emitted;
+        self.group_members_emitted += other.group_members_emitted;
+        self.merge_attempts += other.merge_attempts;
+        self.merges_succeeded += other.merges_succeeded;
+        self.pairs_pruned += other.pairs_pruned;
+        if let (Some(mine), Some(theirs)) = (&mut self.access_log, &other.access_log) {
+            mine.extend_from_slice(theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_without_log() {
+        let s = JoinStats::new(false);
+        assert!(s.access_log.is_none());
+        assert_eq!(s.rows_emitted(), 0);
+    }
+
+    #[test]
+    fn touch_node_logs_when_armed() {
+        let mut s = JoinStats::new(true);
+        s.touch_node(3);
+        s.touch_node(7);
+        assert_eq!(s.access_log.as_deref(), Some(&[3, 7][..]));
+        let mut silent = JoinStats::new(false);
+        silent.touch_node(3);
+        assert!(silent.access_log.is_none());
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_logs() {
+        let mut a = JoinStats::new(true);
+        a.links_emitted = 5;
+        a.touch_node(1);
+        let mut b = JoinStats::new(true);
+        b.links_emitted = 7;
+        b.groups_emitted = 2;
+        b.touch_node(9);
+        a.absorb(&b);
+        assert_eq!(a.links_emitted, 12);
+        assert_eq!(a.groups_emitted, 2);
+        assert_eq!(a.rows_emitted(), 14);
+        assert_eq!(a.access_log.as_deref(), Some(&[1, 9][..]));
+    }
+}

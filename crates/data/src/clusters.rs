@@ -1,0 +1,114 @@
+//! Gaussian-mixture clustered points.
+//!
+//! The generic "locally dense" workload: `k` cluster centers, points
+//! scattered around them with per-cluster spread. Used by tests and the
+//! ablation benches to dial density (and thus output explosion) directly.
+
+use csj_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a standard-normal value via Box–Muller (keeps the dependency
+/// footprint to `rand` itself; see DESIGN.md §6).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0): shift the open interval.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Configuration for [`gaussian_mixture`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of cluster centers (uniformly placed in `[0.1, 0.9]^D`).
+    pub clusters: usize,
+    /// Standard deviation of each cluster.
+    pub sigma: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { clusters: 8, sigma: 0.02 }
+    }
+}
+
+/// `n` points from a `k`-cluster Gaussian mixture, clamped to the unit
+/// cube. Deterministic in `seed`.
+pub fn gaussian_mixture<const D: usize>(n: usize, config: ClusterConfig, seed: u64) -> Vec<Point<D>> {
+    assert!(config.clusters >= 1, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point<D>> = (0..config.clusters)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = 0.1 + 0.8 * rng.random::<f64>();
+            }
+            Point::new(c)
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let center = &centers[rng.random_range(0..centers.len())];
+            let mut c = [0.0; D];
+            for (d, v) in c.iter_mut().enumerate() {
+                *v = (center[d] + config.sigma * standard_normal(&mut rng)).clamp(0.0, 1.0);
+            }
+            Point::new(c)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_bounds_determinism() {
+        let cfg = ClusterConfig::default();
+        let a = gaussian_mixture::<2>(800, cfg, 5);
+        assert_eq!(a.len(), 800);
+        assert_eq!(a, gaussian_mixture::<2>(800, cfg, 5));
+        for p in &a {
+            assert!((0.0..=1.0).contains(&p[0]) && (0.0..=1.0).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn clusters_are_tighter_than_uniform() {
+        // Average nearest-neighbour distance in a tight mixture is far
+        // below the uniform expectation.
+        let cfg = ClusterConfig { clusters: 4, sigma: 0.005 };
+        let pts = gaussian_mixture::<2>(400, cfg, 9);
+        let mut nn_sum = 0.0;
+        for (i, p) in pts.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            for (j, q) in pts.iter().enumerate() {
+                if i != j {
+                    best = best.min(p.euclidean(q));
+                }
+            }
+            nn_sum += best;
+        }
+        let avg_nn = nn_sum / pts.len() as f64;
+        // Uniform 400 points in the unit square: avg NN ≈ 0.5 / sqrt(400) = 0.025.
+        assert!(avg_nn < 0.01, "avg nn {avg_nn} not cluster-like");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let _ = gaussian_mixture::<2>(10, ClusterConfig { clusters: 0, sigma: 0.1 }, 1);
+    }
+}

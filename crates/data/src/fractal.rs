@@ -1,0 +1,244 @@
+//! Fractal (intrinsic) dimension estimators.
+//!
+//! The paper closes with: *"A promising future research problem is the
+//! analysis of the response time of the methods as a function of the
+//! query range ε, and also as a function of the intrinsic ('fractal')
+//! dimensionality of the input data set."* These estimators supply that
+//! analysis (see the `ablation_fractal` experiment binary):
+//!
+//! * [`box_counting_dimension`] — the Hausdorff-style `D0`: slope of
+//!   `log N(r)` vs `log (1/r)` over occupied grid cells;
+//! * [`correlation_integral`] / [`correlation_dimension`] — `D2`: slope
+//!   of `log C(r)` vs `log r`, where `C(r)` is the fraction of point
+//!   pairs within `r`. `C(ε) · n²/2` *is* the similarity join's output
+//!   size, which is why `D2` predicts the join's response curve.
+
+use std::collections::{HashMap, HashSet};
+
+use csj_geom::Point;
+
+/// Least-squares slope of `y` against `x`. Returns 0 for fewer than two
+/// points or a degenerate x-range.
+pub fn lsq_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        var += (x - mx) * (x - mx);
+    }
+    if var <= 0.0 {
+        0.0
+    } else {
+        cov / var
+    }
+}
+
+/// Number of occupied cells when the unit cube is cut into `2^level`
+/// cells per axis. Points are expected in `[0, 1]^D`.
+pub fn occupied_cells<const D: usize>(points: &[Point<D>], level: u32) -> usize {
+    let side = (1u64 << level) as f64;
+    let mut cells: HashSet<[u32; D]> = HashSet::new();
+    for p in points {
+        let mut key = [0u32; D];
+        for (d, slot) in key.iter_mut().enumerate() {
+            *slot = (p[d] * side).clamp(0.0, side - 1.0) as u32;
+        }
+        cells.insert(key);
+    }
+    cells.len()
+}
+
+/// Box-counting dimension `D0` over grid levels `levels` (cell side
+/// `2^-level`): the least-squares slope of `log2 N(level)` vs `level`.
+///
+/// Sensible level ranges depend on `n`: the finest level should still
+/// keep multiple points per occupied cell (`2^(level·D0) << n`).
+pub fn box_counting_dimension<const D: usize>(points: &[Point<D>], levels: &[u32]) -> f64 {
+    let xs: Vec<f64> = levels.iter().map(|&l| l as f64).collect();
+    let ys: Vec<f64> = levels
+        .iter()
+        .map(|&l| (occupied_cells(points, l).max(1) as f64).log2())
+        .collect();
+    lsq_slope(&xs, &ys)
+}
+
+/// The correlation integral `C(r)`: the fraction of unordered point
+/// pairs within Euclidean distance `r`. Exact, computed with an `r`-wide
+/// grid so the cost is proportional to the number of near pairs, not
+/// `n²`.
+pub fn correlation_integral<const D: usize>(points: &[Point<D>], r: f64) -> f64 {
+    let n = points.len();
+    if n < 2 {
+        return 0.0;
+    }
+    assert!(r > 0.0, "radius must be positive");
+    let mut cells: HashMap<[i64; D], Vec<u32>> = HashMap::new();
+    for (i, p) in points.iter().enumerate() {
+        let mut key = [0i64; D];
+        for (d, slot) in key.iter_mut().enumerate() {
+            *slot = (p[d] / r).floor() as i64;
+        }
+        cells.entry(key).or_default().push(i as u32);
+    }
+    let r2 = r * r;
+    let mut count: u64 = 0;
+    let offsets = half_neighborhood::<D>();
+    for (key, bucket) in &cells {
+        // Within the cell.
+        for (i, &a) in bucket.iter().enumerate() {
+            for &b in &bucket[(i + 1)..] {
+                if points[a as usize].sq_euclidean(&points[b as usize]) <= r2 {
+                    count += 1;
+                }
+            }
+        }
+        // Across the positive half-neighbourhood.
+        for off in &offsets {
+            let mut nkey = *key;
+            for d in 0..D {
+                nkey[d] += off[d];
+            }
+            if let Some(nb) = cells.get(&nkey) {
+                for &a in bucket {
+                    for &b in nb {
+                        if points[a as usize].sq_euclidean(&points[b as usize]) <= r2 {
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    count as f64 / (n as f64 * (n - 1) as f64 / 2.0)
+}
+
+/// Correlation dimension `D2`: least-squares slope of `ln C(r)` vs
+/// `ln r` over the given radii. Radii with `C(r) = 0` are skipped.
+pub fn correlation_dimension<const D: usize>(points: &[Point<D>], radii: &[f64]) -> f64 {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &r in radii {
+        let c = correlation_integral(points, r);
+        if c > 0.0 {
+            xs.push(r.ln());
+            ys.push(c.ln());
+        }
+    }
+    lsq_slope(&xs, &ys)
+}
+
+fn half_neighborhood<const D: usize>() -> Vec<[i64; D]> {
+    let mut out = Vec::new();
+    for code in 0..3usize.pow(D as u32) {
+        let mut off = [0i64; D];
+        let mut c = code;
+        for slot in off.iter_mut() {
+            *slot = (c % 3) as i64 - 1;
+            c /= 3;
+        }
+        if off.iter().find(|&&v| v != 0).is_some_and(|&v| v > 0) {
+            out.push(off);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sierpinski;
+    use crate::uniform::uniform;
+
+    #[test]
+    fn lsq_slope_basics() {
+        assert_eq!(lsq_slope(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]), 2.0);
+        assert_eq!(lsq_slope(&[], &[]), 0.0);
+        assert_eq!(lsq_slope(&[1.0], &[5.0]), 0.0);
+        assert_eq!(lsq_slope(&[2.0, 2.0], &[1.0, 9.0]), 0.0, "degenerate x");
+    }
+
+    #[test]
+    fn correlation_integral_exact_on_small_set() {
+        // 3 points: pairs at distance 1, 1, 2. C(1.5) = 2/3; C(3) = 1.
+        let pts = vec![
+            Point::new([0.0, 0.0]),
+            Point::new([1.0, 0.0]),
+            Point::new([2.0, 0.0]),
+        ];
+        assert!((correlation_integral(&pts, 1.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((correlation_integral(&pts, 3.0) - 1.0).abs() < 1e-12);
+        assert_eq!(correlation_integral(&pts, 0.5), 0.0);
+        assert_eq!(correlation_integral::<2>(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn correlation_integral_matches_brute_force() {
+        let pts = uniform::<2>(300, 4);
+        for r in [0.05, 0.2, 0.7] {
+            let mut brute = 0u64;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    if pts[i].euclidean(&pts[j]) <= r {
+                        brute += 1;
+                    }
+                }
+            }
+            let want = brute as f64 / (pts.len() * (pts.len() - 1) / 2) as f64;
+            let got = correlation_integral(&pts, r);
+            assert!((got - want).abs() < 1e-12, "r={r}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn uniform_2d_has_dimension_2() {
+        let pts = uniform::<2>(20_000, 9);
+        let d0 = box_counting_dimension(&pts, &[2, 3, 4]);
+        assert!((d0 - 2.0).abs() < 0.25, "D0 of uniform 2-D: {d0}");
+        let d2 = correlation_dimension(&pts, &[0.01, 0.02, 0.04, 0.08]);
+        assert!((d2 - 2.0).abs() < 0.25, "D2 of uniform 2-D: {d2}");
+    }
+
+    #[test]
+    fn line_has_dimension_1() {
+        let pts: Vec<Point<2>> =
+            (0..10_000).map(|i| Point::new([i as f64 / 10_000.0, 0.5])).collect();
+        let d0 = box_counting_dimension(&pts, &[2, 3, 4, 5]);
+        assert!((d0 - 1.0).abs() < 0.1, "D0 of a line: {d0}");
+        let d2 = correlation_dimension(&pts, &[0.01, 0.02, 0.04]);
+        assert!((d2 - 1.0).abs() < 0.1, "D2 of a line: {d2}");
+    }
+
+    #[test]
+    fn sierpinski_triangle_has_fractal_dimension() {
+        // ln 3 / ln 2 ≈ 1.585.
+        let pts = sierpinski::triangle_2d(30_000, 7);
+        let d0 = box_counting_dimension(&pts, &[2, 3, 4, 5]);
+        assert!((d0 - 1.585).abs() < 0.2, "D0 of the triangle: {d0}");
+        let d2 = correlation_dimension(&pts, &[0.01, 0.02, 0.04, 0.08]);
+        assert!((d2 - 1.585).abs() < 0.3, "D2 of the triangle: {d2}");
+    }
+
+    #[test]
+    fn sierpinski_pyramid_has_dimension_2() {
+        // ln 4 / ln 2 = 2 exactly, embedded in 3-D.
+        let pts = sierpinski::pyramid_3d(30_000, 7);
+        let d0 = box_counting_dimension(&pts, &[2, 3, 4]);
+        assert!((d0 - 2.0).abs() < 0.25, "D0 of the pyramid: {d0}");
+    }
+
+    #[test]
+    fn occupied_cells_monotone_in_level() {
+        let pts = uniform::<2>(2_000, 1);
+        let c2 = occupied_cells(&pts, 2);
+        let c4 = occupied_cells(&pts, 4);
+        assert!(c2 <= c4);
+        assert!(c2 <= 16);
+    }
+}

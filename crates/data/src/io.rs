@@ -1,0 +1,158 @@
+//! Point-set I/O: a minimal whitespace-separated text format.
+//!
+//! One point per line, coordinates separated by single spaces, `#` lines
+//! are comments. This is the interchange format the experiment binaries
+//! use to export datasets (Figure 4 reproduction) and lets users run the
+//! harness on their own point files (e.g. the real TIGER extracts).
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use csj_geom::Point;
+
+/// Errors from [`read_points`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line had the wrong number of columns or a non-numeric field.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Writes points one per line with full float precision.
+pub fn write_points<const D: usize>(path: impl AsRef<Path>, points: &[Point<D>]) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    for p in points {
+        for d in 0..D {
+            if d > 0 {
+                w.write_all(b" ")?;
+            }
+            // {:?} prints the shortest representation that round-trips.
+            write!(w, "{:?}", p[d])?;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Reads points written by [`write_points`] (or any whitespace-separated
+/// numeric file with `D` columns). Blank lines and `#` comments are
+/// skipped.
+pub fn read_points<const D: usize>(path: impl AsRef<Path>) -> Result<Vec<Point<D>>, ReadError> {
+    let file = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(file);
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut coords = [0.0; D];
+        let mut fields = trimmed.split_whitespace();
+        for (d, slot) in coords.iter_mut().enumerate() {
+            let field = fields.next().ok_or_else(|| ReadError::Parse {
+                line: idx + 1,
+                message: format!("expected {D} columns, found {d}"),
+            })?;
+            *slot = field.parse().map_err(|e| ReadError::Parse {
+                line: idx + 1,
+                message: format!("bad number {field:?}: {e}"),
+            })?;
+        }
+        if fields.next().is_some() {
+            return Err(ReadError::Parse {
+                line: idx + 1,
+                message: format!("more than {D} columns"),
+            });
+        }
+        out.push(Point::new(coords));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("csj_io_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_exact_values() {
+        let path = temp("roundtrip");
+        let pts = vec![
+            Point::new([0.1, 0.2]),
+            Point::new([1.0 / 3.0, std::f64::consts::PI]),
+            Point::new([-5.5e-10, 1e20]),
+        ];
+        write_points(&path, &pts).unwrap();
+        let back: Vec<Point<2>> = read_points(&path).unwrap();
+        assert_eq!(back, pts, "full-precision round trip");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let path = temp("comments");
+        std::fs::write(&path, "# header\n\n0.5 0.5\n  \n# tail\n1 2\n").unwrap();
+        let pts: Vec<Point<2>> = read_points(&path).unwrap();
+        assert_eq!(pts, vec![Point::new([0.5, 0.5]), Point::new([1.0, 2.0])]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_column_count_reports_line() {
+        let path = temp("columns");
+        std::fs::write(&path, "0.1 0.2\n0.3\n").unwrap();
+        match read_points::<2>(&path) {
+            Err(ReadError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error on line 2, got {other:?}"),
+        }
+        std::fs::write(&path, "0.1 0.2 0.3\n").unwrap();
+        assert!(matches!(read_points::<2>(&path), Err(ReadError::Parse { line: 1, .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let path = temp("badnum");
+        std::fs::write(&path, "0.1 abc\n").unwrap();
+        match read_points::<2>(&path) {
+            Err(ReadError::Parse { line: 1, message }) => assert!(message.contains("abc")),
+            other => panic!("unexpected: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_points::<2>("/nonexistent/csj/file.txt"),
+            Err(ReadError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! Dataset generators and I/O for the compact-similarity-join experiments.
+//!
+//! The paper evaluates on four point sets, all normalized to the unit
+//! square (§VI):
+//!
+//! | paper dataset | here |
+//! |---|---|
+//! | MG County (27K, 2-D road/feature endpoints) | [`roads::mg_county`] — synthetic road network, county profile |
+//! | LB County (36K, 2-D) | [`roads::lb_county`] — denser coastal-county profile |
+//! | Sierpinski3D (100K, 3-D fractal) | [`sierpinski::pyramid_3d`] — exact reproduction |
+//! | Pacific NW (1.5M, 2-D TIGER road segments) | [`roads::pacific_nw`] — metropolitan-scale road network |
+//!
+//! The two county sets and Pacific NW are *substitutions* (the originals
+//! are not redistributable here); the road generator reproduces the
+//! property the join algorithms are sensitive to — points concentrated
+//! along one-dimensional features with highly non-uniform local density —
+//! see DESIGN.md §3. Everything is seeded and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod clusters;
+pub mod fractal;
+pub mod io;
+pub mod normalize;
+pub mod roads;
+pub mod sierpinski;
+pub mod uniform;
+
+pub use normalize::normalize_unit_cube;

@@ -1,0 +1,76 @@
+//! Normalization to the unit hypercube.
+//!
+//! §VI: "All data sets were normalized to fit into the unit square." The
+//! same affine map is applied to every axis? No — each axis is scaled
+//! independently to `[0, 1]` so the data fills the square, matching how
+//! the county datasets are conventionally prepared.
+
+use csj_geom::{Mbr, Point};
+
+/// Rescales `points` in place so each axis spans `[0, 1]`.
+///
+/// Degenerate axes (zero extent) map to `0.5`. Empty input is a no-op.
+/// Returns the original bounding box for callers that need to invert the
+/// map.
+pub fn normalize_unit_cube<const D: usize>(points: &mut [Point<D>]) -> Option<Mbr<D>> {
+    let bounds = Mbr::from_points(points)?;
+    for p in points.iter_mut() {
+        for d in 0..D {
+            let span = bounds.hi[d] - bounds.lo[d];
+            p[d] = if span > 0.0 { (p[d] - bounds.lo[d]) / span } else { 0.5 };
+        }
+    }
+    Some(bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_become_unit() {
+        let mut pts = vec![
+            Point::new([10.0, -5.0]),
+            Point::new([20.0, 5.0]),
+            Point::new([15.0, 0.0]),
+        ];
+        let bounds = normalize_unit_cube(&mut pts).unwrap();
+        assert_eq!(bounds.lo.coords(), [10.0, -5.0]);
+        assert_eq!(pts[0].coords(), [0.0, 0.0]);
+        assert_eq!(pts[1].coords(), [1.0, 1.0]);
+        assert_eq!(pts[2].coords(), [0.5, 0.5]);
+    }
+
+    #[test]
+    fn degenerate_axis_maps_to_half() {
+        let mut pts = vec![Point::new([1.0, 7.0]), Point::new([2.0, 7.0])];
+        normalize_unit_cube(&mut pts).unwrap();
+        assert_eq!(pts[0].coords(), [0.0, 0.5]);
+        assert_eq!(pts[1].coords(), [1.0, 0.5]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut pts: Vec<Point<2>> = vec![];
+        assert!(normalize_unit_cube(&mut pts).is_none());
+    }
+
+    #[test]
+    fn all_outputs_in_unit_cube() {
+        let mut pts: Vec<Point<3>> = (0..100)
+            .map(|i| {
+                Point::new([
+                    (i as f64 * 13.7).sin() * 100.0,
+                    (i as f64 * 7.3).cos() * 55.0 + 1000.0,
+                    i as f64,
+                ])
+            })
+            .collect();
+        normalize_unit_cube(&mut pts).unwrap();
+        for p in &pts {
+            for d in 0..3 {
+                assert!((0.0..=1.0).contains(&p[d]), "{p:?}");
+            }
+        }
+    }
+}

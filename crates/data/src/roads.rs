@@ -1,0 +1,285 @@
+//! Synthetic road-network point sets.
+//!
+//! Stand-ins for the paper's MG County, LB County and Pacific NW (TIGER)
+//! datasets, which are road / hydrography segment endpoints. What the
+//! join algorithms are sensitive to is their density profile: points
+//! concentrated along one-dimensional features (streets) embedded in
+//! 2-D, dense urban grids, sparse rural webs, and empty voids — exactly
+//! what makes the output explode at moderate ε. The generator reproduces
+//! that profile:
+//!
+//! * a handful of weighted *urban cores*; roads start near a core (or
+//!   anywhere, for rural roads) and walk in a direction that usually
+//!   snaps to the compass grid (street patterns), occasionally turning;
+//! * segment endpoints are emitted at a fixed step with small jitter, so
+//!   points lie along 1-D polylines;
+//! * everything is clamped to — and fills — the unit square (§VI).
+
+use csj_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clusters::standard_normal;
+
+/// Parameters of the road-network generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RoadConfig {
+    /// Number of points (segment endpoints) to generate.
+    pub n_points: usize,
+    /// Number of urban cores.
+    pub cores: usize,
+    /// Gaussian spread of urban road starts around their core.
+    pub core_sigma: f64,
+    /// Fraction of roads that are rural (start anywhere, run longer).
+    pub rural_fraction: f64,
+    /// Probability a road's heading snaps to the N/S/E/W grid.
+    pub grid_snap_prob: f64,
+    /// Distance between consecutive emitted endpoints along a road.
+    pub step: f64,
+    /// Mean road length for urban roads (rural roads are 5x longer).
+    pub mean_road_len: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a road network per `config`. Deterministic in the seed.
+pub fn road_network(config: &RoadConfig) -> Vec<Point<2>> {
+    assert!(config.cores >= 1 && config.step > 0.0 && config.mean_road_len > 0.0);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Weighted urban cores.
+    let cores: Vec<(Point<2>, f64)> = (0..config.cores)
+        .map(|_| {
+            let c = Point::new([
+                0.15 + 0.7 * rng.random::<f64>(),
+                0.15 + 0.7 * rng.random::<f64>(),
+            ]);
+            let weight = 0.2 + rng.random::<f64>();
+            (c, weight)
+        })
+        .collect();
+    let total_weight: f64 = cores.iter().map(|(_, w)| w).sum();
+
+    let mut points = Vec::with_capacity(config.n_points);
+    while points.len() < config.n_points {
+        let rural = rng.random::<f64>() < config.rural_fraction;
+        // Road start.
+        let start = if rural {
+            Point::new([rng.random::<f64>(), rng.random::<f64>()])
+        } else {
+            // Pick a core by weight.
+            let mut pick = rng.random::<f64>() * total_weight;
+            let mut chosen = &cores[0].0;
+            for (c, w) in &cores {
+                pick -= w;
+                if pick <= 0.0 {
+                    chosen = c;
+                    break;
+                }
+            }
+            Point::new([
+                (chosen[0] + config.core_sigma * standard_normal(&mut rng)).clamp(0.0, 1.0),
+                (chosen[1] + config.core_sigma * standard_normal(&mut rng)).clamp(0.0, 1.0),
+            ])
+        };
+
+        // Heading: snapped to the compass grid for street patterns.
+        let mut angle = if rng.random::<f64>() < config.grid_snap_prob {
+            rng.random_range(0..4) as f64 * std::f64::consts::FRAC_PI_2
+        } else {
+            rng.random::<f64>() * std::f64::consts::TAU
+        };
+
+        let mean_len = if rural { config.mean_road_len * 5.0 } else { config.mean_road_len };
+        // Exponential length via inverse CDF.
+        let len = -mean_len * (1.0 - rng.random::<f64>()).ln();
+        let steps = ((len / config.step).ceil() as usize).clamp(1, 4 * config.n_points);
+
+        let mut pos = start;
+        for _ in 0..steps {
+            if points.len() >= config.n_points {
+                break;
+            }
+            // Small perpendicular jitter so endpoints are not perfectly
+            // collinear (surveying noise).
+            let jitter = 0.1 * config.step * standard_normal(&mut rng);
+            let (dx, dy) = (angle.cos(), angle.sin());
+            let p = Point::new([
+                (pos[0] + jitter * -dy).clamp(0.0, 1.0),
+                (pos[1] + jitter * dx).clamp(0.0, 1.0),
+            ]);
+            points.push(p);
+            pos = Point::new([
+                (pos[0] + config.step * dx).clamp(0.0, 1.0),
+                (pos[1] + config.step * dy).clamp(0.0, 1.0),
+            ]);
+            // Occasional 90° turns (city blocks).
+            if rng.random::<f64>() < 0.08 {
+                let turn = if rng.random::<f64>() < 0.5 { 1.0 } else { -1.0 };
+                angle += turn * std::f64::consts::FRAC_PI_2;
+            }
+        }
+    }
+    points
+}
+
+/// MG County profile: 27K endpoints, a small county seat plus sparse
+/// rural web (the paper's Montgomery County dataset shape).
+pub fn mg_county() -> Vec<Point<2>> {
+    road_network(&RoadConfig {
+        n_points: 27_000,
+        cores: 3,
+        core_sigma: 0.08,
+        rural_fraction: 0.35,
+        grid_snap_prob: 0.75,
+        step: 0.004,
+        mean_road_len: 0.05,
+        seed: 0x4D47, // "MG"
+    })
+}
+
+/// LB County profile: 36K endpoints, denser urban grid (the paper's Long
+/// Beach County dataset shape).
+pub fn lb_county() -> Vec<Point<2>> {
+    road_network(&RoadConfig {
+        n_points: 36_000,
+        cores: 2,
+        core_sigma: 0.12,
+        rural_fraction: 0.2,
+        grid_snap_prob: 0.9,
+        step: 0.003,
+        mean_road_len: 0.06,
+        seed: 0x4C42, // "LB"
+    })
+}
+
+/// Default size of the Pacific NW dataset (the paper's 1.5M).
+pub const PACIFIC_NW_SIZE: usize = 1_500_000;
+
+/// Pacific NW profile at a chosen size: several metropolitan cores
+/// (Seattle/Portland/Spokane/Boise analogues) plus a wide rural web. The
+/// paper's dataset has 1.5M points ([`PACIFIC_NW_SIZE`]); smaller draws
+/// of the same process are used for quick runs.
+pub fn pacific_nw(n_points: usize) -> Vec<Point<2>> {
+    road_network(&RoadConfig {
+        n_points,
+        cores: 8,
+        core_sigma: 0.05,
+        rural_fraction: 0.3,
+        grid_snap_prob: 0.8,
+        step: 0.0012,
+        mean_road_len: 0.03,
+        seed: 0x504E57, // "PNW"
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occupancy_skew(pts: &[Point<2>], grid: usize) -> f64 {
+        // Fraction of points inside the top-decile densest cells.
+        let mut counts = vec![0usize; grid * grid];
+        for p in pts {
+            let x = ((p[0] * grid as f64) as usize).min(grid - 1);
+            let y = ((p[1] * grid as f64) as usize).min(grid - 1);
+            counts[y * grid + x] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top = counts.iter().take(grid * grid / 10).sum::<usize>();
+        top as f64 / pts.len() as f64
+    }
+
+    #[test]
+    fn generator_counts_and_bounds() {
+        let cfg = RoadConfig {
+            n_points: 5000,
+            cores: 4,
+            core_sigma: 0.05,
+            rural_fraction: 0.3,
+            grid_snap_prob: 0.8,
+            step: 0.003,
+            mean_road_len: 0.05,
+            seed: 1,
+        };
+        let pts = road_network(&cfg);
+        assert_eq!(pts.len(), 5000);
+        for p in &pts {
+            assert!((0.0..=1.0).contains(&p[0]) && (0.0..=1.0).contains(&p[1]));
+        }
+        assert_eq!(pts, road_network(&cfg), "deterministic");
+    }
+
+    #[test]
+    fn density_is_road_like_not_uniform() {
+        let cfg = RoadConfig {
+            n_points: 20_000,
+            cores: 4,
+            core_sigma: 0.06,
+            rural_fraction: 0.3,
+            grid_snap_prob: 0.8,
+            step: 0.002,
+            mean_road_len: 0.04,
+            seed: 2,
+        };
+        let road = road_network(&cfg);
+        let uniform = crate::uniform::uniform::<2>(20_000, 2);
+        let road_skew = occupancy_skew(&road, 20);
+        let uniform_skew = occupancy_skew(&uniform, 20);
+        assert!(
+            road_skew > uniform_skew * 1.8,
+            "road skew {road_skew} vs uniform {uniform_skew}: not clustered enough"
+        );
+    }
+
+    #[test]
+    fn presets_have_paper_sizes() {
+        // Generate scaled-down versions through the same code path to
+        // keep the test fast, then check the real presets' configured
+        // sizes via their constants.
+        assert_eq!(PACIFIC_NW_SIZE, 1_500_000);
+        let mg = mg_county();
+        assert_eq!(mg.len(), 27_000);
+        let lb = lb_county();
+        assert_eq!(lb.len(), 36_000);
+    }
+
+    #[test]
+    fn small_pacific_nw_sample() {
+        let pts = pacific_nw(10_000);
+        assert_eq!(pts.len(), 10_000);
+        // Metropolitan cores: strong skew expected.
+        assert!(occupancy_skew(&pts, 20) > 0.3);
+    }
+
+    #[test]
+    fn points_lie_along_linear_features() {
+        // For road-like data, a point's nearest neighbour is typically at
+        // ~step distance (the next endpoint along the same road), much
+        // closer than the uniform expectation.
+        let cfg = RoadConfig {
+            n_points: 4000,
+            cores: 3,
+            core_sigma: 0.05,
+            rural_fraction: 0.3,
+            grid_snap_prob: 0.8,
+            step: 0.003,
+            mean_road_len: 0.05,
+            seed: 3,
+        };
+        let pts = road_network(&cfg);
+        let mut close_nn = 0usize;
+        for (i, p) in pts.iter().enumerate().take(500) {
+            let mut best = f64::INFINITY;
+            for (j, q) in pts.iter().enumerate() {
+                if i != j {
+                    best = best.min(p.euclidean(q));
+                }
+            }
+            if best < 2.0 * cfg.step {
+                close_nn += 1;
+            }
+        }
+        assert!(close_nn > 350, "only {close_nn}/500 points have along-road neighbours");
+    }
+}

@@ -1,0 +1,124 @@
+//! Sierpinski fractal point sets (chaos game).
+//!
+//! The paper's synthetic dataset is "100,000 datapoints from a Sierpinski
+//! pyramid (3D)", with smaller/larger draws used for the Experiment 2
+//! scalability sweep. The chaos game converges to the attractor
+//! geometrically, so after a short burn-in every emitted point lies on
+//! the fractal (to fp precision). Fractal data is the classic stress test
+//! for similarity joins: the intrinsic dimension is below the embedding
+//! dimension, so local density is extremely non-uniform.
+
+use csj_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BURN_IN: usize = 32;
+
+fn chaos_game<const D: usize>(vertices: &[Point<D>], n: usize, seed: u64) -> Vec<Point<D>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = vertices[0];
+    for _ in 0..BURN_IN {
+        let v = &vertices[rng.random_range(0..vertices.len())];
+        current = current.midpoint(v);
+    }
+    (0..n)
+        .map(|_| {
+            let v = &vertices[rng.random_range(0..vertices.len())];
+            current = current.midpoint(v);
+            current
+        })
+        .collect()
+}
+
+/// `n` points on the 2-D Sierpinski triangle inside the unit square.
+pub fn triangle_2d(n: usize, seed: u64) -> Vec<Point<2>> {
+    let vertices = [
+        Point::new([0.0, 0.0]),
+        Point::new([1.0, 0.0]),
+        Point::new([0.5, 1.0]),
+    ];
+    chaos_game(&vertices, n, seed)
+}
+
+/// `n` points on the 3-D Sierpinski pyramid (tetrahedron) inside the unit
+/// cube — the paper's Sierpinski3D dataset at `n = 100_000`.
+pub fn pyramid_3d(n: usize, seed: u64) -> Vec<Point<3>> {
+    let vertices = [
+        Point::new([0.0, 0.0, 0.0]),
+        Point::new([1.0, 0.0, 0.0]),
+        Point::new([0.5, 1.0, 0.0]),
+        Point::new([0.5, 0.5, 1.0]),
+    ];
+    chaos_game(&vertices, n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_determinism() {
+        let a = pyramid_3d(1000, 9);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, pyramid_3d(1000, 9));
+        assert_ne!(a, pyramid_3d(1000, 10));
+    }
+
+    #[test]
+    fn points_inside_unit_cube() {
+        for p in pyramid_3d(2000, 3) {
+            for d in 0..3 {
+                assert!((0.0..=1.0).contains(&p[d]), "{p:?}");
+            }
+        }
+        for p in triangle_2d(2000, 3) {
+            assert!((0.0..=1.0).contains(&p[0]) && (0.0..=1.0).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn triangle_points_avoid_the_central_hole() {
+        // The central hole of the Sierpinski triangle: the middle triangle
+        // with vertices at the edge midpoints. No attractor point lies
+        // strictly inside it.
+        let pts = triangle_2d(5000, 11);
+        // The hole triangle has corners (0.25, 0.5), (0.75, 0.5), (0.5, 0).
+        // Points strictly inside satisfy y < 0.5, y > 2x − 1, y > 1 − 2x.
+        let strictly_inside = |p: &Point<2>| {
+            let (x, y) = (p[0], p[1]);
+            let m = 1e-9;
+            y < 0.5 - m && y > 2.0 * x - 1.0 + m && y > 1.0 - 2.0 * x + m
+        };
+        let violators = pts.iter().filter(|p| strictly_inside(p)).count();
+        assert_eq!(violators, 0, "attractor points inside the central hole");
+    }
+
+    #[test]
+    fn fractal_occupies_all_three_corners() {
+        let pts = triangle_2d(3000, 5);
+        let near = |cx: f64, cy: f64| {
+            pts.iter().any(|p| (p[0] - cx).abs() < 0.1 && (p[1] - cy).abs() < 0.1)
+        };
+        assert!(near(0.0, 0.0) && near(1.0, 0.0) && near(0.5, 1.0));
+    }
+
+    #[test]
+    fn pyramid_density_is_nonuniform() {
+        // Fractal dimension of the Sierpinski tetrahedron is 2 (< 3):
+        // occupied cells at grid resolution 8 should be far fewer than a
+        // uniform fill would occupy.
+        let pts = pyramid_3d(20_000, 1);
+        let mut cells = std::collections::HashSet::new();
+        for p in &pts {
+            let key = (
+                (p[0] * 8.0).min(7.0) as u32,
+                (p[1] * 8.0).min(7.0) as u32,
+                (p[2] * 8.0).min(7.0) as u32,
+            );
+            cells.insert(key);
+        }
+        // Uniform data would fill most of the ~512 occupiable cells; the
+        // tetrahedron fills ~4^3 = 64 at this depth.
+        assert!(cells.len() < 200, "occupied cells: {}", cells.len());
+    }
+}

@@ -1,0 +1,46 @@
+//! Uniform random points in the unit hypercube.
+
+use csj_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` points drawn uniformly from `[0, 1]^D`, deterministic in `seed`.
+pub fn uniform<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = rng.random::<f64>();
+            }
+            Point::new(c)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_and_bounds() {
+        let pts = uniform::<2>(500, 1);
+        assert_eq!(pts.len(), 500);
+        for p in &pts {
+            assert!((0.0..1.0).contains(&p[0]) && (0.0..1.0).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(uniform::<3>(50, 42), uniform::<3>(50, 42));
+        assert_ne!(uniform::<3>(50, 42), uniform::<3>(50, 43));
+    }
+
+    #[test]
+    fn roughly_uniform_quadrants() {
+        let pts = uniform::<2>(4000, 7);
+        let q1 = pts.iter().filter(|p| p[0] < 0.5 && p[1] < 0.5).count();
+        assert!((800..1200).contains(&q1), "quadrant count {q1} implausible for uniform");
+    }
+}

@@ -1,0 +1,375 @@
+//! Minimum bounding hyper-rectangles (MBRs).
+//!
+//! MBRs are the bounding shape of R-tree / R*-tree nodes and — per §V-A of
+//! the paper — the shape used to represent output groups: membership
+//! checks, insertions and boundary updates are all `O(D)`, which keeps the
+//! compact join no slower than the standard join even under output
+//! explosion.
+
+// Indexed loops over `[f64; D]` pairs in lockstep are the clearest
+// form for these numeric kernels.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{Metric, Point};
+
+/// An axis-aligned minimum bounding hyper-rectangle in `D` dimensions.
+///
+/// Invariant: `lo[i] <= hi[i]` for every axis `i` (enforced by all
+/// constructors; `debug_assert`ed). A degenerate rectangle (a single point)
+/// is valid and is how leaf entries are boxed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mbr<const D: usize> {
+    /// Lower corner (componentwise minimum).
+    pub lo: Point<D>,
+    /// Upper corner (componentwise maximum).
+    pub hi: Point<D>,
+}
+
+impl<const D: usize> Mbr<D> {
+    /// Creates an MBR from an already-ordered pair of corners.
+    ///
+    /// Debug-asserts `lo <= hi` on every axis; use [`Mbr::from_corners`]
+    /// when the ordering is not known.
+    #[inline]
+    pub fn new(lo: Point<D>, hi: Point<D>) -> Self {
+        debug_assert!((0..D).all(|i| lo[i] <= hi[i]), "Mbr corners out of order");
+        Mbr { lo, hi }
+    }
+
+    /// Creates an MBR from two arbitrary corners, ordering each axis.
+    #[inline]
+    pub fn from_corners(a: &Point<D>, b: &Point<D>) -> Self {
+        Mbr { lo: a.min(b), hi: a.max(b) }
+    }
+
+    /// The degenerate MBR covering a single point.
+    #[inline]
+    pub fn from_point(p: &Point<D>) -> Self {
+        Mbr { lo: *p, hi: *p }
+    }
+
+    /// The minimum bounding rectangle of a non-empty point slice.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn from_points(points: &[Point<D>]) -> Option<Self> {
+        let (first, rest) = points.split_first()?;
+        let mut mbr = Self::from_point(first);
+        for p in rest {
+            mbr.expand_to_point(p);
+        }
+        Some(mbr)
+    }
+
+    /// An "empty" MBR that acts as the identity for [`Mbr::union`]: any
+    /// expansion replaces it. `contains`/`intersects` are always false.
+    #[inline]
+    pub fn empty() -> Self {
+        Mbr {
+            lo: Point::new([f64::INFINITY; D]),
+            hi: Point::new([f64::NEG_INFINITY; D]),
+        }
+    }
+
+    /// `true` if this is the identity element produced by [`Mbr::empty`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        (0..D).any(|i| self.lo[i] > self.hi[i])
+    }
+
+    /// Grows the MBR (in place) to cover `p`.
+    #[inline]
+    pub fn expand_to_point(&mut self, p: &Point<D>) {
+        self.lo = self.lo.min(p);
+        self.hi = self.hi.max(p);
+    }
+
+    /// Grows the MBR (in place) to cover `other`.
+    #[inline]
+    pub fn expand_to_mbr(&mut self, other: &Mbr<D>) {
+        self.lo = self.lo.min(&other.lo);
+        self.hi = self.hi.max(&other.hi);
+    }
+
+    /// The union (smallest common bounding rectangle) of two MBRs.
+    #[inline]
+    pub fn union(&self, other: &Mbr<D>) -> Self {
+        Mbr {
+            lo: self.lo.min(&other.lo),
+            hi: self.hi.max(&other.hi),
+        }
+    }
+
+    /// The intersection of two MBRs, or `None` if they are disjoint.
+    pub fn intersection(&self, other: &Mbr<D>) -> Option<Self> {
+        let lo = self.lo.max(&other.lo);
+        let hi = self.hi.min(&other.hi);
+        if (0..D).all(|i| lo[i] <= hi[i]) {
+            Some(Mbr { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// `true` if `p` lies inside (boundary inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: &Point<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= p[i] && p[i] <= self.hi[i])
+    }
+
+    /// `true` if `other` lies entirely inside `self` (boundary inclusive).
+    ///
+    /// This is the *inclusion property* the paper identifies (§VII) as the
+    /// only essential index requirement: parent MBRs include child MBRs.
+    #[inline]
+    pub fn contains_mbr(&self, other: &Mbr<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= other.lo[i] && other.hi[i] <= self.hi[i])
+    }
+
+    /// `true` if the rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Mbr<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= other.hi[i] && other.lo[i] <= self.hi[i])
+    }
+
+    /// Side length on axis `i`.
+    #[inline]
+    pub fn extent(&self, i: usize) -> f64 {
+        self.hi[i] - self.lo[i]
+    }
+
+    /// All `D` side lengths.
+    #[inline]
+    pub fn side_lengths(&self) -> [f64; D] {
+        let mut s = [0.0; D];
+        for i in 0..D {
+            s[i] = self.hi[i] - self.lo[i];
+        }
+        s
+    }
+
+    /// `D`-dimensional volume (area in 2-D). Zero for degenerate rects.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let mut v = 1.0;
+        for i in 0..D {
+            v *= self.extent(i);
+        }
+        v
+    }
+
+    /// Half-perimeter generalisation: the sum of the side lengths. The
+    /// R*-tree split heuristic minimises this *margin*.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.side_lengths().iter().sum()
+    }
+
+    /// Volume of the overlap with `other` (zero if disjoint). Used by the
+    /// R*-tree ChooseSubtree heuristic.
+    #[inline]
+    pub fn overlap_volume(&self, other: &Mbr<D>) -> f64 {
+        let mut v = 1.0;
+        for i in 0..D {
+            let lo = self.lo[i].max(other.lo[i]);
+            let hi = self.hi[i].min(other.hi[i]);
+            if lo >= hi {
+                return 0.0;
+            }
+            v *= hi - lo;
+        }
+        v
+    }
+
+    /// How much volume the MBR would gain if grown to cover `other`.
+    #[inline]
+    pub fn enlargement(&self, other: &Mbr<D>) -> f64 {
+        self.union(other).volume() - self.volume()
+    }
+
+    /// Center point of the rectangle.
+    #[inline]
+    pub fn center(&self) -> Point<D> {
+        self.lo.midpoint(&self.hi)
+    }
+
+    /// Diameter (largest point-to-point distance within the rect) under
+    /// `metric`. Convenience wrapper over [`Metric::mbr_diameter`].
+    #[inline]
+    pub fn diameter(&self, metric: Metric) -> f64 {
+        metric.mbr_diameter(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbr2(lo: [f64; 2], hi: [f64; 2]) -> Mbr<2> {
+        Mbr::new(Point::new(lo), Point::new(hi))
+    }
+
+    #[test]
+    fn from_corners_orders_axes() {
+        let m = Mbr::from_corners(&Point::new([3.0, 0.0]), &Point::new([1.0, 2.0]));
+        assert_eq!(m.lo.coords(), [1.0, 0.0]);
+        assert_eq!(m.hi.coords(), [3.0, 2.0]);
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point::new([0.0, 5.0]),
+            Point::new([2.0, 1.0]),
+            Point::new([-1.0, 3.0]),
+        ];
+        let m = Mbr::from_points(&pts).unwrap();
+        assert_eq!(m.lo.coords(), [-1.0, 1.0]);
+        assert_eq!(m.hi.coords(), [2.0, 5.0]);
+        for p in &pts {
+            assert!(m.contains_point(p));
+        }
+        assert!(Mbr::<2>::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_is_union_identity() {
+        let e = Mbr::<2>::empty();
+        assert!(e.is_empty());
+        let m = mbr2([0.0, 0.0], [1.0, 1.0]);
+        assert_eq!(e.union(&m), m);
+        assert_eq!(m.union(&e), m);
+        assert!(!e.contains_point(&Point::new([0.0, 0.0])));
+        assert!(!e.intersects(&m));
+    }
+
+    #[test]
+    fn expand_in_place() {
+        let mut m = Mbr::from_point(&Point::new([1.0, 1.0]));
+        m.expand_to_point(&Point::new([0.0, 2.0]));
+        assert_eq!(m, mbr2([0.0, 1.0], [1.0, 2.0]));
+        m.expand_to_mbr(&mbr2([3.0, 3.0], [4.0, 4.0]));
+        assert_eq!(m, mbr2([0.0, 1.0], [4.0, 4.0]));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = mbr2([0.0, 0.0], [2.0, 2.0]);
+        let b = mbr2([1.0, 1.0], [3.0, 3.0]);
+        assert_eq!(a.intersection(&b), Some(mbr2([1.0, 1.0], [2.0, 2.0])));
+        let c = mbr2([5.0, 5.0], [6.0, 6.0]);
+        assert_eq!(a.intersection(&c), None);
+        // Touching edges intersect in a degenerate rect.
+        let d = mbr2([2.0, 0.0], [3.0, 2.0]);
+        assert_eq!(a.intersection(&d), Some(mbr2([2.0, 0.0], [2.0, 2.0])));
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = mbr2([0.0, 0.0], [10.0, 10.0]);
+        let inner = mbr2([2.0, 2.0], [3.0, 3.0]);
+        assert!(outer.contains_mbr(&inner));
+        assert!(!inner.contains_mbr(&outer));
+        assert!(outer.contains_mbr(&outer), "containment is reflexive");
+        assert!(outer.contains_point(&Point::new([10.0, 10.0])), "boundary inclusive");
+        assert!(!outer.contains_point(&Point::new([10.0, 10.1])));
+    }
+
+    #[test]
+    fn measures() {
+        let m = mbr2([0.0, 0.0], [3.0, 4.0]);
+        assert_eq!(m.volume(), 12.0);
+        assert_eq!(m.margin(), 7.0);
+        assert_eq!(m.extent(0), 3.0);
+        assert_eq!(m.side_lengths(), [3.0, 4.0]);
+        assert_eq!(m.center().coords(), [1.5, 2.0]);
+        assert_eq!(m.diameter(Metric::Euclidean), 5.0);
+        let point = Mbr::from_point(&Point::new([1.0, 1.0]));
+        assert_eq!(point.volume(), 0.0);
+        assert_eq!(point.diameter(Metric::Euclidean), 0.0);
+    }
+
+    #[test]
+    fn overlap_and_enlargement() {
+        let a = mbr2([0.0, 0.0], [2.0, 2.0]);
+        let b = mbr2([1.0, 1.0], [3.0, 3.0]);
+        assert_eq!(a.overlap_volume(&b), 1.0);
+        let c = mbr2([5.0, 5.0], [6.0, 6.0]);
+        assert_eq!(a.overlap_volume(&c), 0.0);
+        // Union of a and c is [0,6]^2 = 36; a has volume 4.
+        assert_eq!(a.enlargement(&c), 32.0);
+        assert_eq!(a.enlargement(&a), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_point() -> impl Strategy<Value = Point<2>> {
+        prop::array::uniform2(-50.0f64..50.0).prop_map(Point::new)
+    }
+
+    fn arb_mbr() -> impl Strategy<Value = Mbr<2>> {
+        (arb_point(), arb_point()).prop_map(|(a, b)| Mbr::from_corners(&a, &b))
+    }
+
+    proptest! {
+        /// Union is commutative, associative-ish (up to fp), and contains
+        /// both operands.
+        #[test]
+        fn union_laws(a in arb_mbr(), b in arb_mbr()) {
+            let u = a.union(&b);
+            prop_assert_eq!(u, b.union(&a));
+            prop_assert!(u.contains_mbr(&a));
+            prop_assert!(u.contains_mbr(&b));
+            prop_assert_eq!(a.union(&a), a);
+        }
+
+        /// Intersection, when present, is contained in both operands and
+        /// implies `intersects`.
+        #[test]
+        fn intersection_contained(a in arb_mbr(), b in arb_mbr()) {
+            match a.intersection(&b) {
+                Some(i) => {
+                    prop_assert!(a.contains_mbr(&i));
+                    prop_assert!(b.contains_mbr(&i));
+                    prop_assert!(a.intersects(&b));
+                }
+                None => prop_assert!(!a.intersects(&b)),
+            }
+        }
+
+        /// from_points produces the *minimum* bounding rect: shrinking any
+        /// face by epsilon loses a point.
+        #[test]
+        fn from_points_is_minimal(pts in prop::collection::vec(arb_point(), 1..40)) {
+            let m = Mbr::from_points(&pts).unwrap();
+            for p in &pts {
+                prop_assert!(m.contains_point(p));
+            }
+            for axis in 0..2 {
+                prop_assert!(pts.iter().any(|p| (p[axis] - m.lo[axis]).abs() < 1e-12));
+                prop_assert!(pts.iter().any(|p| (p[axis] - m.hi[axis]).abs() < 1e-12));
+            }
+        }
+
+        /// Enlargement is non-negative and zero iff already contained.
+        #[test]
+        fn enlargement_nonnegative(a in arb_mbr(), b in arb_mbr()) {
+            let e = a.enlargement(&b);
+            prop_assert!(e >= -1e-9);
+            if a.contains_mbr(&b) {
+                prop_assert!(e.abs() < 1e-9);
+            }
+        }
+
+        /// Volume of the union is at least the max of the volumes.
+        #[test]
+        fn union_volume_monotone(a in arb_mbr(), b in arb_mbr()) {
+            let u = a.union(&b);
+            prop_assert!(u.volume() >= a.volume().max(b.volume()) - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Exact diameters of point sets.
+//!
+//! Used by the verification machinery (`csj-core::verify`) to check the
+//! paper's Correctness theorem: every group emitted by a compact join must
+//! have true point-set diameter `<= ε`. The brute-force routine is the
+//! ground truth; the 2-D rotating-calipers routine makes verification of
+//! large groups cheap in the common 2-D case.
+
+use crate::{Metric, Point};
+
+/// Exact diameter (max pairwise distance) by brute force: `O(n²)`.
+///
+/// Returns 0.0 for sets with fewer than two points.
+pub fn diameter_brute<const D: usize>(points: &[Point<D>], metric: Metric) -> f64 {
+    let mut best = 0.0_f64;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            best = best.max(metric.distance(&points[i], &points[j]));
+        }
+    }
+    best
+}
+
+/// Exact Euclidean diameter of a 2-D point set in `O(n log n)` via convex
+/// hull + rotating calipers.
+pub fn diameter_2d(points: &[Point<2>]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let hull = convex_hull(points);
+    if hull.len() < 2 {
+        return 0.0;
+    }
+    if hull.len() == 2 {
+        return hull[0].euclidean(&hull[1]);
+    }
+    rotating_calipers(&hull)
+}
+
+/// Andrew's monotone-chain convex hull; returns hull vertices in
+/// counter-clockwise order without the closing repeat. Collinear points on
+/// hull edges are dropped.
+pub fn convex_hull(points: &[Point<2>]) -> Vec<Point<2>> {
+    let mut pts: Vec<Point<2>> = points.to_vec();
+    pts.sort_by(|a, b| a[0].total_cmp(&b[0]).then(a[1].total_cmp(&b[1])));
+    pts.dedup_by(|a, b| a[0] == b[0] && a[1] == b[1]);
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+    let cross = |o: &Point<2>, a: &Point<2>, b: &Point<2>| {
+        (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+    };
+    let mut hull: Vec<Point<2>> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for p in &pts {
+        while hull.len() >= 2 && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for p in pts.iter().rev() {
+        while hull.len() >= lower_len
+            && cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+/// Rotating calipers over a convex polygon in CCW order.
+fn rotating_calipers(hull: &[Point<2>]) -> f64 {
+    let n = hull.len();
+    let area2 = |a: &Point<2>, b: &Point<2>, c: &Point<2>| {
+        ((b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])).abs()
+    };
+    let mut best = 0.0_f64;
+    let mut j = 1;
+    for i in 0..n {
+        let ni = (i + 1) % n;
+        // Advance j while the triangle area keeps growing: j is then the
+        // farthest vertex from edge (i, ni).
+        while area2(&hull[i], &hull[ni], &hull[(j + 1) % n]) > area2(&hull[i], &hull[ni], &hull[j])
+        {
+            j = (j + 1) % n;
+        }
+        best = best.max(hull[i].euclidean(&hull[j]));
+        best = best.max(hull[ni].euclidean(&hull[j]));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_trivial_sets() {
+        assert_eq!(diameter_brute::<2>(&[], Metric::Euclidean), 0.0);
+        assert_eq!(
+            diameter_brute(&[Point::new([1.0, 1.0])], Metric::Euclidean),
+            0.0
+        );
+        let two = [Point::new([0.0, 0.0]), Point::new([3.0, 4.0])];
+        assert_eq!(diameter_brute(&two, Metric::Euclidean), 5.0);
+        assert_eq!(diameter_brute(&two, Metric::Manhattan), 7.0);
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = [
+            Point::new([0.0, 0.0]),
+            Point::new([1.0, 0.0]),
+            Point::new([1.0, 1.0]),
+            Point::new([0.0, 1.0]),
+            Point::new([0.5, 0.5]),
+            Point::new([0.25, 0.75]),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!((diameter_2d(&pts) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hull_collinear_points() {
+        let pts = [
+            Point::new([0.0, 0.0]),
+            Point::new([1.0, 1.0]),
+            Point::new([2.0, 2.0]),
+            Point::new([3.0, 3.0]),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 2, "collinear set hull degenerates to a segment");
+        assert!((diameter_2d(&pts) - 18.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hull_duplicates() {
+        let pts = [
+            Point::new([0.0, 0.0]),
+            Point::new([0.0, 0.0]),
+            Point::new([1.0, 0.0]),
+        ];
+        assert_eq!(convex_hull(&pts).len(), 2);
+        assert_eq!(diameter_2d(&pts), 1.0);
+    }
+
+    #[test]
+    fn calipers_matches_brute_on_circle() {
+        let pts: Vec<Point<2>> = (0..100)
+            .map(|i| {
+                let t = i as f64 / 100.0 * std::f64::consts::TAU;
+                Point::new([t.cos(), t.sin()])
+            })
+            .collect();
+        let fast = diameter_2d(&pts);
+        let brute = diameter_brute(&pts, Metric::Euclidean);
+        assert!((fast - brute).abs() < 1e-12);
+        assert!((fast - 2.0).abs() < 1e-3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Rotating calipers agrees with brute force on arbitrary sets.
+        #[test]
+        fn calipers_equals_brute(
+            pts in prop::collection::vec(prop::array::uniform2(-100.0f64..100.0).prop_map(Point::new), 0..80)
+        ) {
+            let fast = diameter_2d(&pts);
+            let brute = diameter_brute(&pts, Metric::Euclidean);
+            prop_assert!((fast - brute).abs() < 1e-9, "fast={fast} brute={brute}");
+        }
+
+        /// Hull vertices are a subset of the input and contain the extremes.
+        #[test]
+        fn hull_subset_and_extremes(
+            pts in prop::collection::vec(prop::array::uniform2(-100.0f64..100.0).prop_map(Point::new), 1..60)
+        ) {
+            let hull = convex_hull(&pts);
+            for h in &hull {
+                prop_assert!(pts.iter().any(|p| p == h));
+            }
+            let min_x = pts.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+            let max_x = pts.iter().map(|p| p[0]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(hull.iter().any(|h| h[0] == min_x));
+            prop_assert!(hull.iter().any(|h| h[0] == max_x));
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! `Lp` metrics and metric-aware bounds on rectangles.
+//!
+//! The paper's algorithms need three quantities from the metric (§IV):
+//! point-to-point distance, a lower bound on the distance between two
+//! bounding shapes (MINDIST, for pruning), and an upper bound on the
+//! diameter of one or two bounding shapes (MAXDIST, for the early-stopping
+//! group rule). All three are provided here for axis-aligned rectangles
+//! under every supported metric.
+
+// Indexed loops over `[f64; D]` pairs in lockstep are the clearest
+// form for these numeric kernels.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{Mbr, Point};
+
+/// An `Lp` metric on `R^D`.
+///
+/// `Euclidean` is the paper's default. The compact-join machinery is metric
+/// generic: the group constraint "maximal diameter of the bounding shape
+/// `< ε`" is evaluated under the active metric, so groups remain provably
+/// correct for any choice here.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Default)]
+pub enum Metric {
+    /// `L2`: straight-line distance. MBR diameter is the main diagonal.
+    #[default]
+    Euclidean,
+    /// `L1` (Manhattan): sum of absolute coordinate differences. MBR
+    /// diameter is the sum of the side lengths.
+    Manhattan,
+    /// `L∞` (Chebyshev): maximum absolute coordinate difference. MBR
+    /// diameter is the longest side.
+    Chebyshev,
+    /// General `Lp` for finite `p ≥ 1`.
+    Minkowski(f64),
+}
+
+
+impl Metric {
+    /// Distance between two points under this metric.
+    #[inline]
+    pub fn distance<const D: usize>(&self, a: &Point<D>, b: &Point<D>) -> f64 {
+        match self {
+            Metric::Euclidean => a.euclidean(b),
+            Metric::Manhattan => {
+                let mut acc = 0.0;
+                for i in 0..D {
+                    acc += (a[i] - b[i]).abs();
+                }
+                acc
+            }
+            Metric::Chebyshev => {
+                let mut acc: f64 = 0.0;
+                for i in 0..D {
+                    acc = acc.max((a[i] - b[i]).abs());
+                }
+                acc
+            }
+            Metric::Minkowski(p) => {
+                let mut acc = 0.0;
+                for i in 0..D {
+                    acc += (a[i] - b[i]).abs().powf(*p);
+                }
+                acc.powf(1.0 / p)
+            }
+        }
+    }
+
+    /// `true` if `distance(a, b) <= eps`.
+    ///
+    /// Fast path for the Euclidean metric (compares squared distances,
+    /// skipping the square root); the predicate the join inner loops use.
+    #[inline]
+    pub fn within<const D: usize>(&self, a: &Point<D>, b: &Point<D>, eps: f64) -> bool {
+        match self {
+            Metric::Euclidean => a.sq_euclidean(b) <= eps * eps,
+            _ => self.distance(a, b) <= eps,
+        }
+    }
+
+    /// Combines per-axis non-negative deltas into a distance (the `p`-norm
+    /// of the delta vector).
+    #[inline]
+    pub(crate) fn norm<const D: usize>(&self, deltas: [f64; D]) -> f64 {
+        match self {
+            Metric::Euclidean => {
+                let mut acc = 0.0;
+                for d in deltas {
+                    acc += d * d;
+                }
+                acc.sqrt()
+            }
+            Metric::Manhattan => deltas.iter().sum(),
+            Metric::Chebyshev => deltas.iter().fold(0.0_f64, |m, &d| m.max(d)),
+            Metric::Minkowski(p) => {
+                let mut acc = 0.0;
+                for d in deltas {
+                    acc += d.powf(*p);
+                }
+                acc.powf(1.0 / p)
+            }
+        }
+    }
+
+    /// Diameter of a rectangle: the largest distance between any two of its
+    /// points, which for every `Lp` metric is attained at opposite corners
+    /// and equals the `p`-norm of the side-length vector.
+    #[inline]
+    pub fn mbr_diameter<const D: usize>(&self, mbr: &Mbr<D>) -> f64 {
+        self.norm(mbr.side_lengths())
+    }
+
+    /// MINDIST: a tight lower bound on the distance between any point of
+    /// `a` and any point of `b`. Zero when the rectangles intersect.
+    #[inline]
+    pub fn min_dist_mbr<const D: usize>(&self, a: &Mbr<D>, b: &Mbr<D>) -> f64 {
+        let mut gaps = [0.0; D];
+        for i in 0..D {
+            let g = (b.lo[i] - a.hi[i]).max(a.lo[i] - b.hi[i]).max(0.0);
+            gaps[i] = g;
+        }
+        self.norm(gaps)
+    }
+
+    /// MAXDIST: a tight upper bound on the distance between any point of
+    /// `a` and any point of `b` — equivalently, the diameter of the pair of
+    /// rectangles treated as one shape. Attained at corners.
+    #[inline]
+    pub fn max_dist_mbr<const D: usize>(&self, a: &Mbr<D>, b: &Mbr<D>) -> f64 {
+        let mut spans = [0.0; D];
+        for i in 0..D {
+            spans[i] = (a.hi[i].max(b.hi[i])) - (a.lo[i].min(b.lo[i]));
+        }
+        self.norm(spans)
+    }
+
+    /// MINDIST from a point to a rectangle (zero if the point is inside).
+    #[inline]
+    pub fn min_dist_point_mbr<const D: usize>(&self, p: &Point<D>, r: &Mbr<D>) -> f64 {
+        let mut gaps = [0.0; D];
+        for i in 0..D {
+            gaps[i] = (r.lo[i] - p[i]).max(p[i] - r.hi[i]).max(0.0);
+        }
+        self.norm(gaps)
+    }
+
+    /// MAXDIST from a point to a rectangle (distance to the farthest corner).
+    #[inline]
+    pub fn max_dist_point_mbr<const D: usize>(&self, p: &Point<D>, r: &Mbr<D>) -> f64 {
+        let mut spans = [0.0; D];
+        for i in 0..D {
+            spans[i] = (p[i] - r.lo[i]).abs().max((p[i] - r.hi[i]).abs());
+        }
+        self.norm(spans)
+    }
+
+    /// Short human-readable name, used in experiment output.
+    pub fn name(&self) -> String {
+        match self {
+            Metric::Euclidean => "L2".to_string(),
+            Metric::Manhattan => "L1".to_string(),
+            Metric::Chebyshev => "Linf".to_string(),
+            Metric::Minkowski(p) => format!("L{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbr2(lo: [f64; 2], hi: [f64; 2]) -> Mbr<2> {
+        Mbr::new(Point::new(lo), Point::new(hi))
+    }
+
+    #[test]
+    fn point_distances_agree_on_axis() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 0.0]);
+        for m in [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::Minkowski(3.0),
+        ] {
+            assert!((m.distance(&a, &b) - 3.0).abs() < 1e-12, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn point_distances_differ_off_axis() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert_eq!(Metric::Euclidean.distance(&a, &b), 5.0);
+        assert_eq!(Metric::Manhattan.distance(&a, &b), 7.0);
+        assert_eq!(Metric::Chebyshev.distance(&a, &b), 4.0);
+        let p3 = Metric::Minkowski(3.0).distance(&a, &b);
+        assert!(p3 > 4.0 && p3 < 5.0, "L3 between Linf and L2: {p3}");
+    }
+
+    #[test]
+    fn minkowski_2_matches_euclidean() {
+        let a = Point::new([1.0, -2.0, 0.5]);
+        let b = Point::new([-0.5, 3.0, 2.0]);
+        let d2 = Metric::Euclidean.distance(&a, &b);
+        let dm = Metric::Minkowski(2.0).distance(&a, &b);
+        assert!((d2 - dm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mbr_diameter_per_metric() {
+        let r = mbr2([0.0, 0.0], [3.0, 4.0]);
+        assert_eq!(Metric::Euclidean.mbr_diameter(&r), 5.0);
+        assert_eq!(Metric::Manhattan.mbr_diameter(&r), 7.0);
+        assert_eq!(Metric::Chebyshev.mbr_diameter(&r), 4.0);
+    }
+
+    #[test]
+    fn min_dist_disjoint_rects() {
+        // Rects separated by 1.0 horizontally, aligned vertically.
+        let a = mbr2([0.0, 0.0], [1.0, 1.0]);
+        let b = mbr2([2.0, 0.0], [3.0, 1.0]);
+        assert_eq!(Metric::Euclidean.min_dist_mbr(&a, &b), 1.0);
+        assert_eq!(Metric::Euclidean.min_dist_mbr(&b, &a), 1.0);
+        // Diagonal separation: gaps (1, 2).
+        let c = mbr2([2.0, 3.0], [4.0, 5.0]);
+        let d = Metric::Euclidean.min_dist_mbr(&a, &c);
+        assert!((d - (1.0f64 + 4.0).sqrt()).abs() < 1e-12);
+        assert_eq!(Metric::Manhattan.min_dist_mbr(&a, &c), 3.0);
+        assert_eq!(Metric::Chebyshev.min_dist_mbr(&a, &c), 2.0);
+    }
+
+    #[test]
+    fn min_dist_overlapping_is_zero() {
+        let a = mbr2([0.0, 0.0], [2.0, 2.0]);
+        let b = mbr2([1.0, 1.0], [3.0, 3.0]);
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            assert_eq!(m.min_dist_mbr(&a, &b), 0.0);
+        }
+    }
+
+    #[test]
+    fn max_dist_covers_pair_span() {
+        let a = mbr2([0.0, 0.0], [1.0, 1.0]);
+        let b = mbr2([2.0, 0.0], [3.0, 1.0]);
+        // Combined span: 3 x 1.
+        assert!((Metric::Euclidean.max_dist_mbr(&a, &b) - (9.0f64 + 1.0).sqrt()).abs() < 1e-12);
+        assert_eq!(Metric::Manhattan.max_dist_mbr(&a, &b), 4.0);
+        assert_eq!(Metric::Chebyshev.max_dist_mbr(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn point_mbr_bounds() {
+        let r = mbr2([1.0, 1.0], [2.0, 2.0]);
+        let inside = Point::new([1.5, 1.5]);
+        assert_eq!(Metric::Euclidean.min_dist_point_mbr(&inside, &r), 0.0);
+        let outside = Point::new([0.0, 1.0]);
+        assert_eq!(Metric::Euclidean.min_dist_point_mbr(&outside, &r), 1.0);
+        // Farthest corner from (0,1) is (2,2): distance sqrt(4+1).
+        assert!(
+            (Metric::Euclidean.max_dist_point_mbr(&outside, &r) - 5.0f64.sqrt()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Metric::Euclidean.name(), "L2");
+        assert_eq!(Metric::Manhattan.name(), "L1");
+        assert_eq!(Metric::Chebyshev.name(), "Linf");
+        assert_eq!(Metric::Minkowski(3.0).name(), "L3");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_point() -> impl Strategy<Value = Point<3>> {
+        prop::array::uniform3(-100.0f64..100.0).prop_map(Point::new)
+    }
+
+    fn arb_mbr() -> impl Strategy<Value = Mbr<3>> {
+        (arb_point(), arb_point()).prop_map(|(a, b)| Mbr::from_corners(&a, &b))
+    }
+
+    fn metrics() -> impl Strategy<Value = Metric> {
+        prop_oneof![
+            Just(Metric::Euclidean),
+            Just(Metric::Manhattan),
+            Just(Metric::Chebyshev),
+            (1.0f64..6.0).prop_map(Metric::Minkowski),
+        ]
+    }
+
+    proptest! {
+        /// Metric axioms: symmetry, identity, triangle inequality.
+        #[test]
+        fn metric_axioms(m in metrics(), a in arb_point(), b in arb_point(), c in arb_point()) {
+            let ab = m.distance(&a, &b);
+            let ba = m.distance(&b, &a);
+            prop_assert!((ab - ba).abs() < 1e-9);
+            prop_assert!(m.distance(&a, &a) < 1e-12);
+            let ac = m.distance(&a, &c);
+            let cb = m.distance(&c, &b);
+            prop_assert!(ab <= ac + cb + 1e-9);
+        }
+
+        /// MINDIST lower-bounds and MAXDIST upper-bounds the true distance
+        /// between contained points.
+        #[test]
+        fn mindist_maxdist_bound_contained_points(
+            m in metrics(),
+            ra in arb_mbr(), rb in arb_mbr(),
+            ta in prop::array::uniform3(0.0f64..1.0),
+            tb in prop::array::uniform3(0.0f64..1.0),
+        ) {
+            // A point inside each rect, via per-axis interpolation.
+            let mut pa = [0.0; 3];
+            let mut pb = [0.0; 3];
+            for i in 0..3 {
+                pa[i] = ra.lo[i] + ta[i] * (ra.hi[i] - ra.lo[i]);
+                pb[i] = rb.lo[i] + tb[i] * (rb.hi[i] - rb.lo[i]);
+            }
+            let (pa, pb) = (Point::new(pa), Point::new(pb));
+            let d = m.distance(&pa, &pb);
+            prop_assert!(m.min_dist_mbr(&ra, &rb) <= d + 1e-9);
+            prop_assert!(m.max_dist_mbr(&ra, &rb) >= d - 1e-9);
+        }
+
+        /// The diameter of one rect equals MAXDIST of the rect with itself.
+        #[test]
+        fn diameter_is_self_maxdist(m in metrics(), r in arb_mbr()) {
+            let d = m.mbr_diameter(&r);
+            let sm = m.max_dist_mbr(&r, &r);
+            prop_assert!((d - sm).abs() < 1e-9);
+        }
+
+        /// Point-in-rect implies zero MINDIST to the rect.
+        #[test]
+        fn inside_point_zero_mindist(m in metrics(), r in arb_mbr(), t in prop::array::uniform3(0.0f64..1.0)) {
+            let mut p = [0.0; 3];
+            for i in 0..3 {
+                p[i] = r.lo[i] + t[i] * (r.hi[i] - r.lo[i]);
+            }
+            prop_assert!(m.min_dist_point_mbr(&Point::new(p), &r) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! `D`-dimensional points.
+
+// Indexed loops over `[f64; D]` pairs in lockstep are the clearest
+// form for these numeric kernels.
+#![allow(clippy::needless_range_loop)]
+
+use std::ops::{Add, Div, Index, IndexMut, Mul, Sub};
+
+/// A point in `D`-dimensional Euclidean space.
+///
+/// A thin, `Copy` wrapper over `[f64; D]`. Arithmetic is componentwise and
+/// allocation-free. Coordinates are ordinary `f64`s; the library treats NaN
+/// coordinates as a caller bug (constructors in `csj-data` never produce
+/// them, and tree insertion debug-asserts against them).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point<const D: usize>(pub [f64; D]);
+
+impl<const D: usize> Point<D> {
+    /// The origin (all coordinates zero).
+    pub const ORIGIN: Self = Point([0.0; D]);
+
+    /// Creates a point from its coordinate array.
+    #[inline]
+    pub const fn new(coords: [f64; D]) -> Self {
+        Point(coords)
+    }
+
+    /// Returns the coordinate array.
+    #[inline]
+    pub const fn coords(&self) -> [f64; D] {
+        self.0
+    }
+
+    /// Returns the dimensionality `D`.
+    #[inline]
+    pub const fn dim(&self) -> usize {
+        D
+    }
+
+    /// `true` if every coordinate is finite (not NaN / ±∞).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|c| c.is_finite())
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Cheaper than [`Self::euclidean`] (no square root); preferred in hot
+    /// loops where the comparison threshold can be squared instead.
+    #[inline]
+    pub fn sq_euclidean(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.0[i] - other.0[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean (`L2`) distance to `other`.
+    #[inline]
+    pub fn euclidean(&self, other: &Self) -> f64 {
+        self.sq_euclidean(other).sqrt()
+    }
+
+    /// Componentwise minimum of two points.
+    #[inline]
+    pub fn min(&self, other: &Self) -> Self {
+        let mut out = self.0;
+        for i in 0..D {
+            out[i] = out[i].min(other.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Componentwise maximum of two points.
+    #[inline]
+    pub fn max(&self, other: &Self) -> Self {
+        let mut out = self.0;
+        for i in 0..D {
+            out[i] = out[i].max(other.0[i]);
+        }
+        Point(out)
+    }
+
+    /// The midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(&self, other: &Self) -> Self {
+        let mut out = self.0;
+        for i in 0..D {
+            out[i] = 0.5 * (out[i] + other.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(&self, other: &Self, t: f64) -> Self {
+        let mut out = self.0;
+        for i in 0..D {
+            out[i] += t * (other.0[i] - out[i]);
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Self::ORIGIN
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Point(coords)
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl<const D: usize> Add for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for i in 0..D {
+            out[i] += rhs.0[i];
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> Sub for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for i in 0..D {
+            out[i] -= rhs.0[i];
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> Mul<f64> for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f64) -> Self {
+        let mut out = self.0;
+        for c in out.iter_mut() {
+            *c *= s;
+        }
+        Point(out)
+    }
+}
+
+impl<const D: usize> Div<f64> for Point<D> {
+    type Output = Self;
+    #[inline]
+    fn div(self, s: f64) -> Self {
+        let mut out = self.0;
+        for c in out.iter_mut() {
+            *c /= s;
+        }
+        Point(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let p = Point::new([1.0, 2.0, 3.0]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[2], 3.0);
+        assert_eq!(p.coords(), [1.0, 2.0, 3.0]);
+        let q: Point<3> = [1.0, 2.0, 3.0].into();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn origin_is_zero() {
+        let o = Point::<4>::ORIGIN;
+        assert_eq!(o.coords(), [0.0; 4]);
+        assert_eq!(Point::<4>::default(), o);
+    }
+
+    #[test]
+    fn euclidean_distance_345() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert_eq!(a.sq_euclidean(&b), 25.0);
+        assert_eq!(a.euclidean(&b), 5.0);
+        assert_eq!(b.euclidean(&a), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new([1.5, -2.5, 0.25]);
+        assert_eq!(a.euclidean(&a), 0.0);
+    }
+
+    #[test]
+    fn componentwise_min_max() {
+        let a = Point::new([1.0, 5.0]);
+        let b = Point::new([3.0, 2.0]);
+        assert_eq!(a.min(&b).coords(), [1.0, 2.0]);
+        assert_eq!(a.max(&b).coords(), [3.0, 5.0]);
+    }
+
+    #[test]
+    fn midpoint_and_lerp() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([2.0, 4.0]);
+        assert_eq!(a.midpoint(&b).coords(), [1.0, 2.0]);
+        assert_eq!(a.lerp(&b, 0.25).coords(), [0.5, 1.0]);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Point::new([1.0, 2.0]);
+        let b = Point::new([3.0, 5.0]);
+        assert_eq!((a + b).coords(), [4.0, 7.0]);
+        assert_eq!((b - a).coords(), [2.0, 3.0]);
+        assert_eq!((a * 2.0).coords(), [2.0, 4.0]);
+        assert_eq!((b / 2.0).coords(), [1.5, 2.5]);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Point::new([1.0, 2.0]).is_finite());
+        assert!(!Point::new([f64::NAN, 0.0]).is_finite());
+        assert!(!Point::new([0.0, f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn index_mut() {
+        let mut p = Point::new([0.0, 0.0]);
+        p[1] = 7.0;
+        assert_eq!(p.coords(), [0.0, 7.0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Bounding spheres (balls).
+//!
+//! Two consumers: the M-tree, whose covering shapes are metric balls, and
+//! the §V-A discussion of group shapes — a ball of diameter ε is the
+//! largest shape in which all point pairs mutually satisfy the range, so we
+//! implement ball-shaped groups as an ablation against the paper's MBR
+//! groups (`csj-core::group`).
+
+use crate::{Metric, Point};
+
+/// A ball `{x : d(center, x) <= radius}` under some metric.
+///
+/// The metric is *not* stored; the operations that need one take it as an
+/// argument, mirroring [`crate::Mbr`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sphere<const D: usize> {
+    /// Ball center.
+    pub center: Point<D>,
+    /// Ball radius (non-negative).
+    pub radius: f64,
+}
+
+impl<const D: usize> Sphere<D> {
+    /// Creates a ball; debug-asserts a non-negative radius.
+    #[inline]
+    pub fn new(center: Point<D>, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "negative sphere radius");
+        Sphere { center, radius }
+    }
+
+    /// The degenerate ball around a single point.
+    #[inline]
+    pub fn from_point(p: &Point<D>) -> Self {
+        Sphere { center: *p, radius: 0.0 }
+    }
+
+    /// `true` if `p` lies inside the ball (boundary inclusive) under `metric`.
+    #[inline]
+    pub fn contains_point(&self, p: &Point<D>, metric: Metric) -> bool {
+        metric.distance(&self.center, p) <= self.radius
+    }
+
+    /// Diameter of the ball: `2 * radius`. By the triangle inequality this
+    /// upper-bounds the distance between any two contained points under the
+    /// same metric the ball was built with.
+    #[inline]
+    pub fn diameter(&self) -> f64 {
+        2.0 * self.radius
+    }
+
+    /// Lower bound on the distance between points of two balls:
+    /// `max(0, d(c1,c2) - r1 - r2)`.
+    #[inline]
+    pub fn min_dist(&self, other: &Sphere<D>, metric: Metric) -> f64 {
+        (metric.distance(&self.center, &other.center) - self.radius - other.radius).max(0.0)
+    }
+
+    /// Upper bound on the distance between points of two balls:
+    /// `d(c1,c2) + r1 + r2`.
+    #[inline]
+    pub fn max_dist(&self, other: &Sphere<D>, metric: Metric) -> f64 {
+        metric.distance(&self.center, &other.center) + self.radius + other.radius
+    }
+
+    /// Grows the ball (in place) so it covers `p`, moving the center as
+    /// little as possible (the Ritter update step): the new ball is the
+    /// smallest ball containing the old ball and `p`.
+    pub fn expand_to_point(&mut self, p: &Point<D>, metric: Metric) {
+        let d = metric.distance(&self.center, p);
+        if d <= self.radius {
+            return;
+        }
+        let new_radius = 0.5 * (d + self.radius);
+        // Shift the center toward p along the segment (exact for L2;
+        // conservative-in-spirit for other metrics where we simply keep a
+        // valid covering ball by re-checking the radius).
+        let t = if d > 0.0 { (new_radius - self.radius) / d } else { 0.0 };
+        let new_center = self.center.lerp(p, t);
+        // Under non-Euclidean metrics lerp may not preserve exact coverage;
+        // enforce it by measuring.
+        let r_cover_old = metric.distance(&new_center, &self.center) + self.radius;
+        let r_cover_p = metric.distance(&new_center, p);
+        self.center = new_center;
+        self.radius = new_radius.max(r_cover_old).max(r_cover_p);
+    }
+
+    /// Ritter's approximate smallest enclosing ball of a point set.
+    ///
+    /// Guaranteed to cover all points; radius within a small constant
+    /// factor (~1.1x for L2) of optimal. Returns `None` on an empty slice.
+    pub fn ritter(points: &[Point<D>], metric: Metric) -> Option<Self> {
+        let first = points.first()?;
+        // Pick the point farthest from an arbitrary start, then the point
+        // farthest from that: a diametral-ish pair.
+        let a = points
+            .iter()
+            .max_by(|x, y| {
+                metric
+                    .distance(first, x)
+                    .total_cmp(&metric.distance(first, y))
+            })
+            .unwrap();
+        let b = points
+            .iter()
+            .max_by(|x, y| metric.distance(a, x).total_cmp(&metric.distance(a, y)))
+            .unwrap();
+        let mut ball = Sphere::new(a.midpoint(b), 0.5 * metric.distance(a, b));
+        for p in points {
+            ball.expand_to_point(p, metric);
+        }
+        Some(ball)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_diameter() {
+        let s = Sphere::new(Point::new([0.0, 0.0]), 1.0);
+        assert!(s.contains_point(&Point::new([1.0, 0.0]), Metric::Euclidean));
+        assert!(!s.contains_point(&Point::new([1.1, 0.0]), Metric::Euclidean));
+        assert_eq!(s.diameter(), 2.0);
+    }
+
+    #[test]
+    fn ball_pair_bounds() {
+        let a = Sphere::new(Point::new([0.0, 0.0]), 1.0);
+        let b = Sphere::new(Point::new([5.0, 0.0]), 1.5);
+        assert_eq!(a.min_dist(&b, Metric::Euclidean), 2.5);
+        assert_eq!(a.max_dist(&b, Metric::Euclidean), 7.5);
+        // Overlapping balls: min dist clamps to zero.
+        let c = Sphere::new(Point::new([1.0, 0.0]), 1.0);
+        assert_eq!(a.min_dist(&c, Metric::Euclidean), 0.0);
+    }
+
+    #[test]
+    fn expand_noop_when_inside() {
+        let mut s = Sphere::new(Point::new([0.0, 0.0]), 2.0);
+        let before = s;
+        s.expand_to_point(&Point::new([1.0, 1.0]), Metric::Euclidean);
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn expand_covers_old_ball_and_new_point() {
+        let mut s = Sphere::new(Point::new([0.0, 0.0]), 1.0);
+        let p = Point::new([5.0, 0.0]);
+        s.expand_to_point(&p, Metric::Euclidean);
+        assert!(s.contains_point(&p, Metric::Euclidean));
+        // Old extreme point (-1, 0) must still be covered.
+        assert!(s.contains_point(&Point::new([-1.0, 0.0]), Metric::Euclidean));
+        // Optimal new ball: center (2, 0), radius 3.
+        assert!((s.radius - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ritter_covers_all_points() {
+        let pts: Vec<Point<2>> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                Point::new([t.sin() * 3.0, t.cos() * 2.0])
+            })
+            .collect();
+        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            let ball = Sphere::ritter(&pts, metric).unwrap();
+            for p in &pts {
+                assert!(
+                    metric.distance(&ball.center, p) <= ball.radius + 1e-9,
+                    "{metric:?} fails to cover {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ritter_empty_and_singleton() {
+        assert!(Sphere::<2>::ritter(&[], Metric::Euclidean).is_none());
+        let one = [Point::new([3.0, 4.0])];
+        let b = Sphere::ritter(&one, Metric::Euclidean).unwrap();
+        assert_eq!(b.center, one[0]);
+        assert_eq!(b.radius, 0.0);
+    }
+
+    #[test]
+    fn ritter_near_optimal_on_antipodal_pair() {
+        let pts = [Point::new([0.0, 0.0]), Point::new([10.0, 0.0])];
+        let b = Sphere::ritter(&pts, Metric::Euclidean).unwrap();
+        assert!((b.radius - 5.0).abs() < 1e-9);
+        assert!((b.center.coords()[0] - 5.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_points() -> impl Strategy<Value = Vec<Point<3>>> {
+        prop::collection::vec(prop::array::uniform3(-10.0f64..10.0).prop_map(Point::new), 1..60)
+    }
+
+    proptest! {
+        /// Ritter's ball always covers every input point, for all metrics.
+        #[test]
+        fn ritter_coverage(pts in arb_points()) {
+            for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+                let ball = Sphere::ritter(&pts, metric).unwrap();
+                for p in &pts {
+                    prop_assert!(metric.distance(&ball.center, p) <= ball.radius + 1e-9);
+                }
+            }
+        }
+
+        /// The ball diameter upper-bounds every pairwise distance —
+        /// exactly the property group shapes need (§V-A).
+        #[test]
+        fn diameter_bounds_pairs(pts in arb_points()) {
+            let metric = Metric::Euclidean;
+            let ball = Sphere::ritter(&pts, metric).unwrap();
+            for a in &pts {
+                for b in &pts {
+                    prop_assert!(metric.distance(a, b) <= ball.diameter() + 1e-9);
+                }
+            }
+        }
+
+        /// Sequential expansion (the CSJ group-update path) preserves
+        /// coverage of every point seen so far.
+        #[test]
+        fn sequential_expansion_coverage(pts in arb_points()) {
+            let metric = Metric::Euclidean;
+            let mut ball = Sphere::from_point(&pts[0]);
+            for (i, p) in pts.iter().enumerate() {
+                ball.expand_to_point(p, metric);
+                for q in &pts[..=i] {
+                    prop_assert!(metric.distance(&ball.center, q) <= ball.radius + 1e-6);
+                }
+            }
+        }
+    }
+}

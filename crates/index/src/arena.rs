@@ -1,0 +1,218 @@
+//! Slab arena for tree nodes.
+//!
+//! All three trees store their nodes in a flat `Vec` and refer to them by
+//! [`NodeId`] (a `u32` index). This keeps nodes contiguous in memory, makes
+//! a node a natural unit for the paged-storage simulation in `csj-storage`
+//! (one node ≈ one page), and avoids `Rc`/`Box` pointer webs.
+
+/// Index of a node inside a tree's arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena slot as a usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A growable slab of nodes with a free list.
+///
+/// Deletion support in the R-tree frees nodes back to the list, so long
+/// insert/delete workloads do not leak arena slots.
+#[derive(Clone, Debug)]
+pub struct Arena<N> {
+    slots: Vec<Option<N>>,
+    free: Vec<NodeId>,
+}
+
+impl<N> Default for Arena<N> {
+    fn default() -> Self {
+        Arena { slots: Vec::new(), free: Vec::new() }
+    }
+}
+
+impl<N> Arena<N> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty arena with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena { slots: Vec::with_capacity(cap), free: Vec::new() }
+    }
+
+    /// Stores `node`, returning its id. Reuses freed slots when available.
+    pub fn alloc(&mut self, node: N) -> NodeId {
+        match self.free.pop() {
+            Some(id) => {
+                self.slots[id.index()] = Some(node);
+                id
+            }
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "arena full");
+                let id = NodeId(self.slots.len() as u32);
+                self.slots.push(Some(node));
+                id
+            }
+        }
+    }
+
+    /// Removes the node at `id`, returning it and recycling the slot.
+    ///
+    /// Panics if the slot is already free.
+    pub fn free(&mut self, id: NodeId) -> N {
+        let node = self.slots[id.index()].take().expect("double free of arena slot");
+        self.free.push(id);
+        node
+    }
+
+    /// Shared access. Panics on a freed or out-of-range id.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> &N {
+        self.slots[id.index()].as_ref().expect("freed arena slot")
+    }
+
+    /// Mutable access. Panics on a freed or out-of-range id.
+    #[inline]
+    pub fn get_mut(&mut self, id: NodeId) -> &mut N {
+        self.slots[id.index()].as_mut().expect("freed arena slot")
+    }
+
+    /// Mutable access to two distinct nodes at once.
+    ///
+    /// Panics if `a == b` or either slot is free.
+    pub fn get2_mut(&mut self, a: NodeId, b: NodeId) -> (&mut N, &mut N) {
+        assert_ne!(a, b, "get2_mut requires distinct ids");
+        let (lo, hi, swapped) = if a.index() < b.index() {
+            (a.index(), b.index(), false)
+        } else {
+            (b.index(), a.index(), true)
+        };
+        let (left, right) = self.slots.split_at_mut(hi);
+        let lo_ref = left[lo].as_mut().expect("freed arena slot");
+        let hi_ref = right[0].as_mut().expect("freed arena slot");
+        if swapped {
+            (hi_ref, lo_ref)
+        } else {
+            (lo_ref, hi_ref)
+        }
+    }
+
+    /// Number of live (allocated, not freed) nodes.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// `true` if no nodes are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over `(id, node)` for every live node.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|n| (NodeId(i as u32), n)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_roundtrip() {
+        let mut a = Arena::new();
+        let x = a.alloc("x");
+        let y = a.alloc("y");
+        assert_ne!(x, y);
+        assert_eq!(*a.get(x), "x");
+        assert_eq!(*a.get(y), "y");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn free_recycles_slots() {
+        let mut a = Arena::new();
+        let x = a.alloc(1);
+        let _y = a.alloc(2);
+        assert_eq!(a.free(x), 1);
+        assert_eq!(a.len(), 1);
+        let z = a.alloc(3);
+        assert_eq!(z, x, "freed slot is reused");
+        assert_eq!(*a.get(z), 3);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = Arena::new();
+        let x = a.alloc(1);
+        a.free(x);
+        a.free(x);
+    }
+
+    #[test]
+    #[should_panic(expected = "freed arena slot")]
+    fn get_after_free_panics() {
+        let mut a = Arena::new();
+        let x = a.alloc(1);
+        a.free(x);
+        a.get(x);
+    }
+
+    #[test]
+    fn get2_mut_both_orders() {
+        let mut a = Arena::new();
+        let x = a.alloc(1);
+        let y = a.alloc(2);
+        {
+            let (rx, ry) = a.get2_mut(x, y);
+            *rx += 10;
+            *ry += 20;
+        }
+        {
+            let (ry, rx) = a.get2_mut(y, x);
+            assert_eq!(*ry, 22);
+            assert_eq!(*rx, 11);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct ids")]
+    fn get2_mut_same_id_panics() {
+        let mut a = Arena::new();
+        let x = a.alloc(1);
+        let _ = a.get2_mut(x, x);
+    }
+
+    #[test]
+    fn iter_skips_freed() {
+        let mut a = Arena::new();
+        let x = a.alloc(1);
+        let _y = a.alloc(2);
+        let _z = a.alloc(3);
+        a.free(x);
+        let live: Vec<i32> = a.iter().map(|(_, n)| *n).collect();
+        assert_eq!(live, vec![2, 3]);
+    }
+
+    #[test]
+    fn mutation_via_get_mut() {
+        let mut a = Arena::new();
+        let x = a.alloc(vec![1, 2]);
+        a.get_mut(x).push(3);
+        assert_eq!(a.get(x).len(), 3);
+    }
+}

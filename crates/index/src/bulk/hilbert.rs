@@ -1,0 +1,146 @@
+//! `D`-dimensional Hilbert curve keys (Skilling's transpose algorithm,
+//! "Programming the Hilbert curve", AIP Conf. Proc. 707, 2004).
+//!
+//! Used by the Hilbert bulk loader to impose a locality-preserving total
+//! order on points before packing.
+
+/// Number of bits of precision per coordinate used by the bulk loader.
+pub const DEFAULT_BITS: u32 = 16;
+
+/// Maps quantized coordinates (each in `[0, 2^bits)`) to their index along
+/// the `D`-dimensional Hilbert curve of order `bits`.
+///
+/// The result occupies `D * bits` bits; with `D <= 8` and
+/// `bits <= 16` it fits comfortably in a `u128`.
+pub fn hilbert_key<const D: usize>(coords: [u32; D], bits: u32) -> u128 {
+    assert!((1..=32).contains(&bits), "bits out of range");
+    assert!((D as u32) * bits <= 128, "key would overflow u128");
+    let mut x = coords;
+
+    // Skilling's AxesToTranspose: inverse-undo pass …
+    let m = 1u32 << (bits - 1);
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..D {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // … then Gray encode.
+    for i in 1..D {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    q = m;
+    while q > 1 {
+        if x[D - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+
+    // Interleave the transposed form into a single key, most significant
+    // bit-plane first.
+    let mut key: u128 = 0;
+    for b in (0..bits).rev() {
+        for xi in x.iter() {
+            key = (key << 1) | (((xi >> b) & 1) as u128);
+        }
+    }
+    key
+}
+
+/// Quantizes a coordinate in `[lo, hi]` to `bits` bits. Degenerate ranges
+/// map to 0.
+pub fn quantize(value: f64, lo: f64, hi: f64, bits: u32) -> u32 {
+    let span = hi - lo;
+    if span <= 0.0 {
+        return 0;
+    }
+    let max = (1u64 << bits) - 1;
+    let t = ((value - lo) / span).clamp(0.0, 1.0);
+    (t * max as f64).round() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_a_permutation_2d() {
+        let bits = 3;
+        let side = 1u32 << bits;
+        let mut keys: Vec<u128> = Vec::new();
+        for x in 0..side {
+            for y in 0..side {
+                keys.push(hilbert_key([x, y], bits));
+            }
+        }
+        keys.sort_unstable();
+        let expected: Vec<u128> = (0..(side as u128 * side as u128)).collect();
+        assert_eq!(keys, expected, "keys must be a bijection onto 0..4^bits");
+    }
+
+    #[test]
+    fn consecutive_keys_are_grid_neighbors_2d() {
+        // The defining property of the Hilbert curve: successive cells are
+        // adjacent (Manhattan distance exactly 1).
+        let bits = 4;
+        let side = 1u32 << bits;
+        let mut cells: Vec<(u128, u32, u32)> = Vec::new();
+        for x in 0..side {
+            for y in 0..side {
+                cells.push((hilbert_key([x, y], bits), x, y));
+            }
+        }
+        cells.sort_unstable();
+        for w in cells.windows(2) {
+            let (ka, xa, ya) = w[0];
+            let (kb, xb, yb) = w[1];
+            assert_eq!(kb, ka + 1);
+            let dist = xa.abs_diff(xb) + ya.abs_diff(yb);
+            assert_eq!(dist, 1, "cells ({xa},{ya}) and ({xb},{yb}) not adjacent");
+        }
+    }
+
+    #[test]
+    fn consecutive_keys_are_grid_neighbors_3d() {
+        let bits = 3;
+        let side = 1u32 << bits;
+        let mut cells: Vec<(u128, [u32; 3])> = Vec::new();
+        for x in 0..side {
+            for y in 0..side {
+                for z in 0..side {
+                    cells.push((hilbert_key([x, y, z], bits), [x, y, z]));
+                }
+            }
+        }
+        cells.sort_unstable_by_key(|c| c.0);
+        for w in cells.windows(2) {
+            let dist: u32 = (0..3).map(|i| w[0].1[i].abs_diff(w[1].1[i])).sum();
+            assert_eq!(dist, 1, "3-D curve must visit adjacent cells");
+        }
+    }
+
+    #[test]
+    fn quantize_bounds() {
+        assert_eq!(quantize(0.0, 0.0, 1.0, 8), 0);
+        assert_eq!(quantize(1.0, 0.0, 1.0, 8), 255);
+        assert_eq!(quantize(0.5, 0.0, 1.0, 8), 128);
+        // Out-of-range values clamp.
+        assert_eq!(quantize(-5.0, 0.0, 1.0, 8), 0);
+        assert_eq!(quantize(5.0, 0.0, 1.0, 8), 255);
+        // Degenerate span.
+        assert_eq!(quantize(3.0, 3.0, 3.0, 8), 0);
+    }
+}

@@ -1,0 +1,689 @@
+//! The M-tree (Ciaccia, Patella, Zezula — VLDB 1997).
+//!
+//! A dynamically balanced tree whose nodes are *metric balls* (pivot +
+//! covering radius) rather than rectangles, making it valid in any metric
+//! space — the structure behind the paper's "Metric trees" in Experiment 4
+//! and its §VII claim that the compact-join gains carry over to metric
+//! data.
+//!
+//! Invariant maintained (and checked by [`crate::validate::validate_mtree`]):
+//! every child ball is contained in its parent ball, so in particular every
+//! record below a node lies within the node's covering radius. That is all
+//! [`crate::JoinIndex`] needs: `min_dist` and `pair_diameter` follow from
+//! the triangle inequality.
+
+pub mod split;
+
+use crate::arena::{Arena, NodeId};
+use crate::traits::{JoinIndex, LeafEntry};
+use csj_geom::{Mbr, Metric, Point, RecordId};
+
+/// Configuration for [`MTree`].
+#[derive(Clone, Copy, Debug)]
+pub struct MTreeConfig {
+    /// Maximum entries per node.
+    pub max_fanout: usize,
+    /// Minimum entries per non-root node.
+    pub min_fanout: usize,
+    /// The metric the tree (and all its distance bounds) lives in.
+    pub metric: Metric,
+}
+
+impl Default for MTreeConfig {
+    fn default() -> Self {
+        MTreeConfig { max_fanout: 50, min_fanout: 20, metric: Metric::Euclidean }
+    }
+}
+
+impl MTreeConfig {
+    /// Config with the given maximum fanout and a 40% minimum.
+    pub fn with_max_fanout(max_fanout: usize) -> Self {
+        assert!(max_fanout >= 4, "max fanout must be at least 4");
+        MTreeConfig {
+            max_fanout,
+            min_fanout: (max_fanout * 2 / 5).max(2),
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the metric.
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+}
+
+/// A node of the M-tree: a pivot point with a covering radius.
+#[derive(Clone, Debug)]
+pub struct MNode<const D: usize> {
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Distance from the leaf level (0 = leaf).
+    pub level: u32,
+    /// Routing pivot.
+    pub center: Point<D>,
+    /// Covering radius: every record below lies within this distance of
+    /// the pivot.
+    pub radius: f64,
+    /// Child nodes (internal nodes only).
+    pub children: Vec<NodeId>,
+    /// Data records (leaves only).
+    pub entries: Vec<LeafEntry<D>>,
+}
+
+impl<const D: usize> MNode<D> {
+    fn new_leaf(center: Point<D>) -> Self {
+        MNode { parent: None, level: 0, center, radius: 0.0, children: Vec::new(), entries: Vec::new() }
+    }
+
+    fn new_internal(center: Point<D>, level: u32) -> Self {
+        MNode { parent: None, level, center, radius: 0.0, children: Vec::new(), entries: Vec::new() }
+    }
+
+    /// `true` if the node stores records directly.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Entries for leaves, children for internals.
+    pub fn occupancy(&self) -> usize {
+        if self.is_leaf() {
+            self.entries.len()
+        } else {
+            self.children.len()
+        }
+    }
+}
+
+/// A dynamic M-tree over `D`-dimensional points under a fixed metric.
+///
+/// ```
+/// use csj_index::mtree::{MTree, MTreeConfig};
+/// use csj_geom::{Metric, Point};
+///
+/// let cfg = MTreeConfig::with_max_fanout(8).with_metric(Metric::Manhattan);
+/// let mut tree = MTree::<2>::new(cfg);
+/// for i in 0..200u32 {
+///     tree.insert(i, Point::new([(i % 17) as f64, (i % 13) as f64]));
+/// }
+/// let hits = tree.range_query(&Point::new([3.0, 5.0]), 1.5);
+/// assert!(!hits.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MTree<const D: usize> {
+    arena: Arena<MNode<D>>,
+    root: Option<NodeId>,
+    config: MTreeConfig,
+    num_records: usize,
+}
+
+impl<const D: usize> MTree<D> {
+    /// An empty M-tree.
+    pub fn new(config: MTreeConfig) -> Self {
+        assert!(config.min_fanout >= 2 && config.min_fanout <= config.max_fanout / 2);
+        MTree { arena: Arena::new(), root: None, config, num_records: 0 }
+    }
+
+    /// Builds the tree by inserting `points` one by one; record ids are
+    /// the slice indexes.
+    pub fn from_points(points: &[Point<D>], config: MTreeConfig) -> Self {
+        let mut tree = Self::new(config);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(i as RecordId, *p);
+        }
+        tree
+    }
+
+    /// The tree's metric.
+    pub fn metric(&self) -> Metric {
+        self.config.metric
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &MTreeConfig {
+        &self.config
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.num_records
+    }
+
+    /// `true` if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.num_records == 0
+    }
+
+    /// Root node id (`None` when empty). Named to avoid clashing with
+    /// [`JoinIndex::root`].
+    pub fn root_id(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Shared node access (used by the validator and the join plumbing).
+    pub fn node_ref(&self, id: NodeId) -> &MNode<D> {
+        self.arena.get(id)
+    }
+
+    /// Inserts a record.
+    pub fn insert(&mut self, id: RecordId, point: Point<D>) {
+        debug_assert!(point.is_finite(), "non-finite point inserted");
+        let entry = LeafEntry::new(id, point);
+        let Some(root) = self.root else {
+            let mut leaf = MNode::new_leaf(point);
+            leaf.entries.push(entry);
+            self.root = Some(self.arena.alloc(leaf));
+            self.num_records = 1;
+            return;
+        };
+        let leaf = self.choose_leaf(root, &point);
+        self.arena.get_mut(leaf).entries.push(entry);
+        self.num_records += 1;
+        // Maintain strict ball inclusion up the path.
+        self.update_radii_upward(leaf, &point);
+        if self.arena.get(leaf).entries.len() > self.config.max_fanout {
+            self.split_overflowing(leaf);
+        }
+    }
+
+    /// Descends to the leaf best suited for `point`: prefer children whose
+    /// ball already contains it (min distance), otherwise the child
+    /// needing the least radius enlargement.
+    fn choose_leaf(&self, mut node: NodeId, point: &Point<D>) -> NodeId {
+        let metric = self.config.metric;
+        loop {
+            let n = self.arena.get(node);
+            if n.is_leaf() {
+                return node;
+            }
+            let mut best = n.children[0];
+            let mut best_key = (f64::INFINITY, f64::INFINITY);
+            for &c in &n.children {
+                let child = self.arena.get(c);
+                let d = metric.distance(&child.center, point);
+                let key = if d <= child.radius {
+                    (0.0, d) // contained: prefer the closest pivot
+                } else {
+                    (d - child.radius, d) // enlargement needed
+                };
+                if key < best_key {
+                    best_key = key;
+                    best = c;
+                }
+            }
+            node = best;
+        }
+    }
+
+    /// Walks from `leaf` to the root growing radii so that strict ball
+    /// inclusion (and hence point coverage of `point`) holds everywhere.
+    fn update_radii_upward(&mut self, leaf: NodeId, point: &Point<D>) {
+        let metric = self.config.metric;
+        let mut cur = leaf;
+        // Leaf radius covers the new point directly.
+        {
+            let n = self.arena.get_mut(cur);
+            let d = metric.distance(&n.center, point);
+            n.radius = n.radius.max(d);
+        }
+        while let Some(parent) = self.arena.get(cur).parent {
+            let (child_center, child_radius) = {
+                let c = self.arena.get(cur);
+                (c.center, c.radius)
+            };
+            let p = self.arena.get_mut(parent);
+            let needed = metric.distance(&p.center, &child_center) + child_radius;
+            p.radius = p.radius.max(needed);
+            cur = parent;
+        }
+    }
+
+    /// Splits an overflowing node, promoting two pivots and partitioning
+    /// its contents; propagates overflow to the root.
+    fn split_overflowing(&mut self, node_id: NodeId) {
+        let metric = self.config.metric;
+        let min_fanout = self.config.min_fanout;
+        let (is_leaf, level) = {
+            let n = self.arena.get(node_id);
+            (n.is_leaf(), n.level)
+        };
+
+        let sibling = if is_leaf {
+            let entries = std::mem::take(&mut self.arena.get_mut(node_id).entries);
+            let split = split::split_leaf(entries, metric, min_fanout);
+            {
+                let n = self.arena.get_mut(node_id);
+                n.center = split.left_pivot;
+                n.radius = split.left_radius;
+                n.entries = split.left;
+            }
+            let mut sib = MNode::new_leaf(split.right_pivot);
+            sib.radius = split.right_radius;
+            sib.entries = split.right;
+            self.arena.alloc(sib)
+        } else {
+            let children = std::mem::take(&mut self.arena.get_mut(node_id).children);
+            let balls: Vec<split::Ball<D>> = children
+                .iter()
+                .map(|&c| {
+                    let n = self.arena.get(c);
+                    split::Ball { id: c, center: n.center, radius: n.radius }
+                })
+                .collect();
+            let split = split::split_internal(balls, metric, min_fanout);
+            {
+                let n = self.arena.get_mut(node_id);
+                n.center = split.left_pivot;
+                n.radius = split.left_radius;
+                n.children = split.left.iter().map(|b| b.id).collect();
+            }
+            let mut sib = MNode::new_internal(split.right_pivot, level);
+            sib.radius = split.right_radius;
+            sib.children = split.right.iter().map(|b| b.id).collect();
+            let sib_id = self.arena.alloc(sib);
+            for b in &split.right {
+                self.arena.get_mut(b.id).parent = Some(sib_id);
+            }
+            // Left children keep node_id as parent (unchanged).
+            sib_id
+        };
+
+        match self.arena.get(node_id).parent {
+            None => {
+                // Grow a new root whose pivot is the left pivot.
+                let (lc, lr) = {
+                    let n = self.arena.get(node_id);
+                    (n.center, n.radius)
+                };
+                let (rc, rr) = {
+                    let n = self.arena.get(sibling);
+                    (n.center, n.radius)
+                };
+                let mut root = MNode::new_internal(lc, level + 1);
+                root.radius = lr.max(metric.distance(&lc, &rc) + rr);
+                let root_id = self.arena.alloc(root);
+                self.arena.get_mut(root_id).children = vec![node_id, sibling];
+                self.arena.get_mut(node_id).parent = Some(root_id);
+                self.arena.get_mut(sibling).parent = Some(root_id);
+                self.root = Some(root_id);
+            }
+            Some(parent) => {
+                self.arena.get_mut(sibling).parent = Some(parent);
+                self.arena.get_mut(parent).children.push(sibling);
+                // The split may have shrunk/moved both balls; restore
+                // inclusion for both under the parent and upward.
+                self.restore_inclusion_upward(parent);
+                if self.arena.get(parent).children.len() > self.config.max_fanout {
+                    self.split_overflowing(parent);
+                }
+            }
+        }
+    }
+
+    /// Recomputes covering radii from `node` to the root so that every
+    /// child ball is included (used after splits rearrange children).
+    fn restore_inclusion_upward(&mut self, mut node: NodeId) {
+        let metric = self.config.metric;
+        loop {
+            let children = self.arena.get(node).children.clone();
+            if !children.is_empty() {
+                let center = self.arena.get(node).center;
+                let mut r = 0.0_f64;
+                for c in children {
+                    let ch = self.arena.get(c);
+                    r = r.max(metric.distance(&center, &ch.center) + ch.radius);
+                }
+                self.arena.get_mut(node).radius = r;
+            }
+            match self.arena.get(node).parent {
+                Some(p) => node = p,
+                None => break,
+            }
+        }
+    }
+
+    /// The `k` records nearest to `query` under the tree metric, closest
+    /// first (best-first search over the ball bounds).
+    pub fn knn(&self, query: &Point<D>, k: usize) -> Vec<(RecordId, f64)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Cand(f64, bool, u32);
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        let metric = self.config.metric;
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        if k == 0 {
+            return out;
+        }
+        let ball_min_dist = |n: &MNode<D>| (metric.distance(&n.center, query) - n.radius).max(0.0);
+        let mut heap: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        heap.push(Reverse(Cand(ball_min_dist(self.arena.get(root)), false, root.0)));
+        while let Some(Reverse(Cand(dist, is_record, id))) = heap.pop() {
+            if is_record {
+                out.push((id, dist));
+                if out.len() == k {
+                    break;
+                }
+                continue;
+            }
+            let node = self.arena.get(NodeId(id));
+            if node.is_leaf() {
+                for e in &node.entries {
+                    heap.push(Reverse(Cand(metric.distance(query, &e.point), true, e.id)));
+                }
+            } else {
+                for &c in &node.children {
+                    heap.push(Reverse(Cand(ball_min_dist(self.arena.get(c)), false, c.0)));
+                }
+            }
+        }
+        out
+    }
+
+    /// All record ids within `eps` of `query` under the tree metric.
+    pub fn range_query(&self, query: &Point<D>, eps: f64) -> Vec<RecordId> {
+        let metric = self.config.metric;
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = self.arena.get(id);
+            if metric.distance(&node.center, query) > node.radius + eps {
+                continue;
+            }
+            if node.is_leaf() {
+                out.extend(
+                    node.entries
+                        .iter()
+                        .filter(|e| metric.distance(query, &e.point) <= eps)
+                        .map(|e| e.id),
+                );
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        out
+    }
+}
+
+impl<const D: usize> JoinIndex<D> for MTree<D> {
+    fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+    fn is_leaf(&self, n: NodeId) -> bool {
+        self.arena.get(n).is_leaf()
+    }
+    fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.arena.get(n).children
+    }
+    fn leaf_entries(&self, n: NodeId) -> &[LeafEntry<D>] {
+        &self.arena.get(n).entries
+    }
+    fn node_mbr(&self, n: NodeId) -> Mbr<D> {
+        // The L∞ box circumscribing the ball: |x_i - c_i| <= d(x, c) <= r
+        // for every Lp metric, so this box always covers the ball.
+        let node = self.arena.get(n);
+        let mut lo = node.center;
+        let mut hi = node.center;
+        for i in 0..D {
+            lo[i] -= node.radius;
+            hi[i] += node.radius;
+        }
+        Mbr::new(lo, hi)
+    }
+    fn max_diameter(&self, n: NodeId, _metric: Metric) -> f64 {
+        // Ball diameter under the tree's own metric; the `metric` argument
+        // must agree with the tree metric for the bound to be valid, which
+        // the join layer guarantees by construction.
+        2.0 * self.arena.get(n).radius
+    }
+    fn pair_diameter(&self, a: NodeId, b: NodeId, _metric: Metric) -> f64 {
+        // Diameter of the union of the two balls: the cross bound
+        // `d + r_a + r_b` alone is NOT enough — when one ball lies inside
+        // the other's radius it can be smaller than an intra-ball
+        // distance, so the individual diameters must be folded in.
+        let (na, nb) = (self.arena.get(a), self.arena.get(b));
+        let cross =
+            self.config.metric.distance(&na.center, &nb.center) + na.radius + nb.radius;
+        cross.max(2.0 * na.radius).max(2.0 * nb.radius)
+    }
+    fn min_dist(&self, a: NodeId, b: NodeId, _metric: Metric) -> f64 {
+        let (na, nb) = (self.arena.get(a), self.arena.get(b));
+        (self.config.metric.distance(&na.center, &nb.center) - na.radius - nb.radius).max(0.0)
+    }
+    fn num_records(&self) -> usize {
+        self.num_records
+    }
+    fn height(&self) -> usize {
+        self.root.map_or(0, |r| self.arena.get(r).level as usize + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_mtree;
+
+    fn ring_points(n: usize) -> Vec<Point<2>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64 * std::f64::consts::TAU;
+                let r = 0.3 + 0.1 * ((i * 7) % 5) as f64 / 5.0;
+                Point::new([0.5 + r * t.cos(), 0.5 + r * t.sin()])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = MTree::<2>::new(MTreeConfig::default());
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        assert!(tree.range_query(&Point::new([0.0, 0.0]), 1.0).is_empty());
+        validate_mtree(&tree).unwrap();
+    }
+
+    #[test]
+    fn insert_many_preserves_invariants() {
+        let pts = ring_points(400);
+        let tree = MTree::from_points(&pts, MTreeConfig::with_max_fanout(8));
+        assert_eq!(tree.len(), 400);
+        assert!(tree.height() >= 2);
+        validate_mtree(&tree).unwrap();
+    }
+
+    #[test]
+    fn range_query_matches_scan_euclidean() {
+        let pts = ring_points(300);
+        let tree = MTree::from_points(&pts, MTreeConfig::with_max_fanout(10));
+        let q = Point::new([0.5, 0.8]);
+        let eps = 0.12;
+        let mut got = tree.range_query(&q, eps);
+        got.sort_unstable();
+        let mut want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.euclidean(p) <= eps)
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn range_query_matches_scan_manhattan() {
+        let pts = ring_points(300);
+        let cfg = MTreeConfig::with_max_fanout(10).with_metric(Metric::Manhattan);
+        let tree = MTree::from_points(&pts, cfg);
+        validate_mtree(&tree).unwrap();
+        let q = Point::new([0.2, 0.5]);
+        let eps = 0.2;
+        let mut got = tree.range_query(&q, eps);
+        got.sort_unstable();
+        let mut want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| Metric::Manhattan.distance(&q, p) <= eps)
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_matches_sorted_scan() {
+        let pts = ring_points(300);
+        let tree = MTree::from_points(&pts, MTreeConfig::with_max_fanout(8));
+        let q = Point::new([0.4, 0.55]);
+        for k in [1usize, 5, 17] {
+            let got = tree.knn(&q, k);
+            let mut dists: Vec<f64> = pts.iter().map(|p| q.euclidean(p)).collect();
+            dists.sort_by(f64::total_cmp);
+            assert_eq!(got.len(), k);
+            for (i, (_, d)) in got.iter().enumerate() {
+                assert!((d - dists[i]).abs() < 1e-12, "rank {i}");
+            }
+        }
+        assert!(tree.knn(&q, 0).is_empty());
+        assert_eq!(tree.knn(&q, 10_000).len(), 300, "k larger than n");
+    }
+
+    #[test]
+    fn knn_under_manhattan_metric() {
+        let pts = ring_points(150);
+        let cfg = MTreeConfig::with_max_fanout(6).with_metric(Metric::Manhattan);
+        let tree = MTree::from_points(&pts, cfg);
+        let q = Point::new([0.7, 0.3]);
+        let got = tree.knn(&q, 3);
+        let mut dists: Vec<f64> =
+            pts.iter().map(|p| Metric::Manhattan.distance(&q, p)).collect();
+        dists.sort_by(f64::total_cmp);
+        for (i, (_, d)) in got.iter().enumerate() {
+            assert!((d - dists[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn node_mbr_covers_subtree_points() {
+        let pts = ring_points(200);
+        let tree = MTree::from_points(&pts, MTreeConfig::with_max_fanout(6));
+        let root = tree.root_id().unwrap();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let mbr = tree.node_mbr(id);
+            let mut entries = Vec::new();
+            tree.collect_entries(id, &mut entries);
+            for e in &entries {
+                assert!(mbr.contains_point(&e.point), "node box must cover records");
+            }
+            stack.extend_from_slice(tree.children(id));
+        }
+    }
+
+    #[test]
+    fn pair_diameter_bounds_intra_ball_distances() {
+        // Regression: a tiny ball near a big ball's center used to yield
+        // pair_diameter < the big ball's own diameter, letting the joins
+        // over-group. The union diameter must dominate both balls.
+        let big: Vec<Point<2>> = (0..8)
+            .map(|i| {
+                let t = i as f64 / 8.0 * std::f64::consts::TAU;
+                Point::new([0.5 + 0.06 * t.cos(), 0.5 + 0.06 * t.sin()])
+            })
+            .collect();
+        let mut pts = big;
+        pts.push(Point::new([0.5, 0.5]));
+        pts.push(Point::new([0.5001, 0.5]));
+        let tree = MTree::from_points(&pts, MTreeConfig::with_max_fanout(4));
+        let root = tree.root_id().unwrap();
+        let children = tree.children(root).to_vec();
+        for &a in &children {
+            for &b in &children {
+                if a == b {
+                    continue;
+                }
+                let pd = tree.pair_diameter(a, b, Metric::Euclidean);
+                assert!(pd >= tree.max_diameter(a, Metric::Euclidean));
+                assert!(pd >= tree.max_diameter(b, Metric::Euclidean));
+                // And it really bounds every pair below the two nodes.
+                let mut ea = Vec::new();
+                let mut eb = Vec::new();
+                tree.collect_entries(a, &mut ea);
+                tree.collect_entries(b, &mut eb);
+                for x in ea.iter().chain(&eb) {
+                    for y in ea.iter().chain(&eb) {
+                        assert!(x.point.euclidean(&y.point) <= pd + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_and_degenerate_input() {
+        let pts = vec![Point::new([0.3, 0.3]); 60];
+        let tree = MTree::from_points(&pts, MTreeConfig::with_max_fanout(6));
+        assert_eq!(tree.len(), 60);
+        validate_mtree(&tree).unwrap();
+        assert_eq!(tree.range_query(&Point::new([0.3, 0.3]), 0.0).len(), 60);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::validate::validate_mtree;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        /// Insertion preserves invariants for all metrics.
+        #[test]
+        fn insertion_valid_all_metrics(
+            pts in prop::collection::vec(prop::array::uniform2(0.0f64..1.0), 1..250),
+            which in 0usize..3,
+            fanout in 4usize..12,
+        ) {
+            let metric = [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev][which];
+            let cfg = MTreeConfig::with_max_fanout(fanout).with_metric(metric);
+            let points: Vec<Point<2>> = pts.into_iter().map(Point::new).collect();
+            let tree = MTree::from_points(&points, cfg);
+            prop_assert_eq!(tree.len(), points.len());
+            prop_assert!(validate_mtree(&tree).is_ok());
+        }
+
+        /// Range queries agree with a linear scan under the tree metric.
+        #[test]
+        fn range_query_matches_scan(
+            pts in prop::collection::vec(prop::array::uniform2(0.0f64..1.0), 1..150),
+            q in prop::array::uniform2(0.0f64..1.0),
+            eps in 0.0f64..0.4,
+        ) {
+            let points: Vec<Point<2>> = pts.into_iter().map(Point::new).collect();
+            let tree = MTree::from_points(&points, MTreeConfig::with_max_fanout(6));
+            let q = Point::new(q);
+            let mut got = tree.range_query(&q, eps);
+            got.sort_unstable();
+            let mut want: Vec<u32> = points.iter().enumerate()
+                .filter(|(_, p)| q.euclidean(p) <= eps)
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

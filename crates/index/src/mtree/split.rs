@@ -1,0 +1,249 @@
+//! M-tree node splitting: pivot promotion and partitioning.
+//!
+//! Promotion uses the `mM_RAD` policy of the M-tree paper: among all
+//! candidate pivot pairs, choose the one minimizing the larger of the two
+//! covering radii after partitioning. Partitioning assigns each item to
+//! its nearer pivot (generalized hyperplane), then rebalances to honour
+//! the minimum fanout.
+
+use crate::arena::NodeId;
+use crate::traits::LeafEntry;
+use csj_geom::{Metric, Point};
+
+/// Result of splitting a node's contents around two promoted pivots.
+pub struct MSplit<T, const D: usize> {
+    /// Pivot of the first group.
+    pub left_pivot: Point<D>,
+    /// Covering radius of the first group.
+    pub left_radius: f64,
+    /// Items of the first group.
+    pub left: Vec<T>,
+    /// Pivot of the second group.
+    pub right_pivot: Point<D>,
+    /// Covering radius of the second group.
+    pub right_radius: f64,
+    /// Items of the second group.
+    pub right: Vec<T>,
+}
+
+/// A child node viewed as a split item: assigning child `b` to pivot `p`
+/// costs `d(p, b.center) + b.radius` (the radius needed to include the
+/// child's whole ball).
+#[derive(Clone, Copy, Debug)]
+pub struct Ball<const D: usize> {
+    /// Child node id.
+    pub id: NodeId,
+    /// Child pivot.
+    pub center: Point<D>,
+    /// Child covering radius.
+    pub radius: f64,
+}
+
+/// Splits leaf entries. Cost of assigning a record to a pivot is its
+/// distance to the pivot.
+pub fn split_leaf<const D: usize>(
+    entries: Vec<LeafEntry<D>>,
+    metric: Metric,
+    min_fanout: usize,
+) -> MSplit<LeafEntry<D>, D> {
+    split_generic(entries, metric, min_fanout, |e| e.point, |_| 0.0)
+}
+
+/// Splits internal entries (child balls).
+pub fn split_internal<const D: usize>(
+    children: Vec<Ball<D>>,
+    metric: Metric,
+    min_fanout: usize,
+) -> MSplit<Ball<D>, D> {
+    split_generic(children, metric, min_fanout, |b| b.center, |b| b.radius)
+}
+
+/// mM_RAD promotion + hyperplane partition + min-fanout rebalance.
+///
+/// `anchor` extracts the item's representative point; `slack` the extra
+/// radius the item carries (0 for records, the child radius for balls).
+fn split_generic<T: Clone, const D: usize>(
+    items: Vec<T>,
+    metric: Metric,
+    min_fanout: usize,
+    anchor: fn(&T) -> Point<D>,
+    slack: fn(&T) -> f64,
+) -> MSplit<T, D> {
+    let n = items.len();
+    debug_assert!(n >= 2 * min_fanout, "cannot split {n} items with min fanout {min_fanout}");
+
+    // Distance matrix between anchors (n <= max_fanout + 1, so tiny).
+    let mut dist = vec![0.0_f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = metric.distance(&anchor(&items[i]), &anchor(&items[j]));
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let slacks: Vec<f64> = items.iter().map(slack).collect();
+
+    // mM_RAD: evaluate every pivot pair by the max covering radius of the
+    // hyperplane partition it induces.
+    let mut best_pair = (0, 1);
+    let mut best_score = f64::INFINITY;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let mut ra = 0.0_f64;
+            let mut rb = 0.0_f64;
+            for k in 0..n {
+                let da = dist[a * n + k] + slacks[k];
+                let db = dist[b * n + k] + slacks[k];
+                if da <= db {
+                    ra = ra.max(da);
+                } else {
+                    rb = rb.max(db);
+                }
+            }
+            let score = ra.max(rb);
+            if score < best_score {
+                best_score = score;
+                best_pair = (a, b);
+            }
+        }
+    }
+    let (a, b) = best_pair;
+
+    // Partition by nearer pivot; remember assignment costs for rebalance.
+    let mut left_idx: Vec<usize> = Vec::new();
+    let mut right_idx: Vec<usize> = Vec::new();
+    for k in 0..n {
+        let da = dist[a * n + k] + slacks[k];
+        let db = dist[b * n + k] + slacks[k];
+        if da <= db {
+            left_idx.push(k);
+        } else {
+            right_idx.push(k);
+        }
+    }
+
+    // Rebalance: move the cheapest boundary items into the underfull side.
+    let move_cost = |k: usize, to_a: bool| {
+        if to_a {
+            dist[a * n + k] + slacks[k]
+        } else {
+            dist[b * n + k] + slacks[k]
+        }
+    };
+    while left_idx.len() < min_fanout {
+        let (pos, _) = right_idx
+            .iter()
+            .enumerate()
+            .min_by(|(_, &x), (_, &y)| move_cost(x, true).total_cmp(&move_cost(y, true)))
+            .expect("right side cannot be empty while left is underfull");
+        left_idx.push(right_idx.swap_remove(pos));
+    }
+    while right_idx.len() < min_fanout {
+        let (pos, _) = left_idx
+            .iter()
+            .enumerate()
+            .min_by(|(_, &x), (_, &y)| move_cost(x, false).total_cmp(&move_cost(y, false)))
+            .expect("left side cannot be empty while right is underfull");
+        right_idx.push(left_idx.swap_remove(pos));
+    }
+
+    let radius_of = |idx: &[usize], pivot: usize| {
+        idx.iter()
+            .map(|&k| dist[pivot * n + k] + slacks[k])
+            .fold(0.0_f64, f64::max)
+    };
+    let left_radius = radius_of(&left_idx, a);
+    let right_radius = radius_of(&right_idx, b);
+
+    let left: Vec<T> = left_idx.iter().map(|&k| items[k].clone()).collect();
+    let right: Vec<T> = right_idx.iter().map(|&k| items[k].clone()).collect();
+    MSplit {
+        left_pivot: anchor(&items[a]),
+        left_radius,
+        left,
+        right_pivot: anchor(&items[b]),
+        right_radius,
+        right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(pts: &[[f64; 2]]) -> Vec<LeafEntry<2>> {
+        pts.iter()
+            .enumerate()
+            .map(|(i, p)| LeafEntry::new(i as u32, Point::new(*p)))
+            .collect()
+    }
+
+    fn check_coverage(s: &MSplit<LeafEntry<2>, 2>, metric: Metric) {
+        for e in &s.left {
+            assert!(metric.distance(&s.left_pivot, &e.point) <= s.left_radius + 1e-9);
+        }
+        for e in &s.right {
+            assert!(metric.distance(&s.right_pivot, &e.point) <= s.right_radius + 1e-9);
+        }
+    }
+
+    #[test]
+    fn splits_two_clusters_cleanly() {
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            pts.push([i as f64 * 0.01, 0.0]);
+            pts.push([10.0 + i as f64 * 0.01, 0.0]);
+        }
+        let s = split_leaf(entries(&pts), Metric::Euclidean, 3);
+        assert_eq!(s.left.len() + s.right.len(), 12);
+        assert_eq!(s.left.len(), 6);
+        assert_eq!(s.right.len(), 6);
+        check_coverage(&s, Metric::Euclidean);
+        // Each cluster's radius is tiny compared to the separation.
+        assert!(s.left_radius < 1.0 && s.right_radius < 1.0);
+    }
+
+    #[test]
+    fn rebalance_fixes_skewed_partition() {
+        // 1 far outlier + 9 clustered: hyperplane alone would give 1/9,
+        // min fanout 4 forces 4/6 or better.
+        let mut pts = vec![[50.0, 50.0]];
+        for i in 0..9 {
+            pts.push([i as f64 * 0.01, 0.0]);
+        }
+        let s = split_leaf(entries(&pts), Metric::Euclidean, 4);
+        assert!(s.left.len() >= 4 && s.right.len() >= 4);
+        assert_eq!(s.left.len() + s.right.len(), 10);
+        check_coverage(&s, Metric::Euclidean);
+    }
+
+    #[test]
+    fn internal_split_covers_child_balls() {
+        let balls: Vec<Ball<2>> = (0..8)
+            .map(|i| Ball {
+                id: NodeId(i),
+                center: Point::new([i as f64, 0.0]),
+                radius: 0.4,
+            })
+            .collect();
+        let s = split_internal(balls, Metric::Euclidean, 3);
+        assert_eq!(s.left.len() + s.right.len(), 8);
+        for b in &s.left {
+            let d = Metric::Euclidean.distance(&s.left_pivot, &b.center);
+            assert!(d + b.radius <= s.left_radius + 1e-9, "ball inclusion");
+        }
+        for b in &s.right {
+            let d = Metric::Euclidean.distance(&s.right_pivot, &b.center);
+            assert!(d + b.radius <= s.right_radius + 1e-9, "ball inclusion");
+        }
+    }
+
+    #[test]
+    fn identical_points_split_validly() {
+        let pts = vec![[2.0, 2.0]; 10];
+        let s = split_leaf(entries(&pts), Metric::Euclidean, 4);
+        assert!(s.left.len() >= 4 && s.right.len() >= 4);
+        assert_eq!(s.left_radius, 0.0);
+        assert_eq!(s.right_radius, 0.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! A bucket PR-quadtree (octree in 3-D): space-partitioning rather than
+//! data-partitioning.
+//!
+//! Not one of the paper's three evaluated structures, but the paper's
+//! design claim is stronger — the compact joins run on *any* index whose
+//! nodes have computable distance bounds and satisfy the inclusion
+//! property (§IV, §VII). The quadtree is the classic structure with very
+//! different balance characteristics (unbalanced, space- not
+//! data-partitioned, fanout up to `2^D` with empty quadrants elided), so
+//! it makes the index-independence test bite harder.
+//!
+//! Each node stores the *tight* MBR of its contents alongside its cell,
+//! so the join bounds are as good as an R-tree's even though the cells
+//! are rigid.
+
+use crate::arena::{Arena, NodeId};
+use crate::traits::{JoinIndex, LeafEntry};
+use csj_geom::{Mbr, Metric, Point, RecordId};
+
+/// Configuration for [`QuadTree`].
+#[derive(Clone, Copy, Debug)]
+pub struct QuadTreeConfig {
+    /// Maximum records per leaf before it splits.
+    pub capacity: usize,
+    /// Depth limit; leaves at this depth hold any number of records
+    /// (guards against unbounded splitting on duplicate points).
+    pub max_depth: u32,
+}
+
+impl Default for QuadTreeConfig {
+    fn default() -> Self {
+        QuadTreeConfig { capacity: 50, max_depth: 24 }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct QNode<const D: usize> {
+    /// Tight bounding rectangle of the records below (the shape the join
+    /// bounds use).
+    mbr: Mbr<D>,
+    /// Child nodes (empty quadrants are not materialized).
+    children: Vec<NodeId>,
+    /// Records (leaves only).
+    entries: Vec<LeafEntry<D>>,
+}
+
+/// A static bucket quadtree over `D`-dimensional points, built by
+/// recursive subdivision.
+///
+/// ```
+/// use csj_index::quadtree::{QuadTree, QuadTreeConfig};
+/// use csj_index::JoinIndex;
+/// use csj_geom::Point;
+///
+/// let pts: Vec<Point<2>> = (0..1000)
+///     .map(|i| Point::new([(i % 40) as f64 / 40.0, (i / 40) as f64 / 25.0]))
+///     .collect();
+/// let tree = QuadTree::build(&pts, QuadTreeConfig { capacity: 16, max_depth: 16 });
+/// assert_eq!(tree.num_records(), 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct QuadTree<const D: usize> {
+    arena: Arena<QNode<D>>,
+    root: Option<NodeId>,
+    num_records: usize,
+    height: usize,
+}
+
+impl<const D: usize> QuadTree<D> {
+    /// Builds the tree over `points`; record ids are the slice indexes.
+    pub fn build(points: &[Point<D>], config: QuadTreeConfig) -> Self {
+        assert!(config.capacity >= 1, "capacity must be at least 1");
+        let mut tree =
+            QuadTree { arena: Arena::new(), root: None, num_records: points.len(), height: 0 };
+        if points.is_empty() {
+            return tree;
+        }
+        let entries: Vec<LeafEntry<D>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                debug_assert!(p.is_finite(), "non-finite point");
+                LeafEntry::new(i as RecordId, *p)
+            })
+            .collect();
+        let cell = Mbr::from_points(points).expect("non-empty");
+        let (root, height) = tree.build_node(entries, cell, 0, &config);
+        tree.root = Some(root);
+        tree.height = height;
+        tree
+    }
+
+    fn build_node(
+        &mut self,
+        entries: Vec<LeafEntry<D>>,
+        cell: Mbr<D>,
+        depth: u32,
+        config: &QuadTreeConfig,
+    ) -> (NodeId, usize) {
+        let mut mbr = Mbr::empty();
+        for e in &entries {
+            mbr.expand_to_point(&e.point);
+        }
+        if entries.len() <= config.capacity || depth >= config.max_depth {
+            let id = self.arena.alloc(QNode { mbr, children: Vec::new(), entries });
+            return (id, 1);
+        }
+        // Partition into 2^D quadrants around the cell center.
+        let center = cell.center();
+        let mut buckets: Vec<Vec<LeafEntry<D>>> = (0..(1usize << D)).map(|_| Vec::new()).collect();
+        for e in entries {
+            let mut idx = 0usize;
+            for d in 0..D {
+                if e.point[d] > center[d] {
+                    idx |= 1 << d;
+                }
+            }
+            buckets[idx].push(e);
+        }
+        // Degenerate case (all points identical / on the split plane):
+        // everything lands in one bucket — stop splitting.
+        if buckets.iter().filter(|b| !b.is_empty()).count() <= 1 {
+            let entries = buckets.into_iter().flatten().collect();
+            let id = self.arena.alloc(QNode { mbr, children: Vec::new(), entries });
+            return (id, 1);
+        }
+        let mut children = Vec::new();
+        let mut max_child_height = 0usize;
+        for (idx, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut sub_lo = cell.lo;
+            let mut sub_hi = cell.hi;
+            for d in 0..D {
+                if idx & (1 << d) != 0 {
+                    sub_lo[d] = center[d];
+                } else {
+                    sub_hi[d] = center[d];
+                }
+            }
+            let (child, h) = self.build_node(bucket, Mbr::new(sub_lo, sub_hi), depth + 1, config);
+            max_child_height = max_child_height.max(h);
+            children.push(child);
+        }
+        let id = self.arena.alloc(QNode { mbr, children, entries: Vec::new() });
+        (id, max_child_height + 1)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// All record ids within `eps` of `query` under `metric`.
+    pub fn range_query_ball(&self, query: &Point<D>, eps: f64, metric: Metric) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = self.arena.get(id);
+            if metric.min_dist_point_mbr(query, &node.mbr) > eps {
+                continue;
+            }
+            if node.children.is_empty() {
+                out.extend(
+                    node.entries
+                        .iter()
+                        .filter(|e| metric.distance(query, &e.point) <= eps)
+                        .map(|e| e.id),
+                );
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        out
+    }
+}
+
+impl<const D: usize> JoinIndex<D> for QuadTree<D> {
+    fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+    fn is_leaf(&self, n: NodeId) -> bool {
+        self.arena.get(n).children.is_empty()
+    }
+    fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.arena.get(n).children
+    }
+    fn leaf_entries(&self, n: NodeId) -> &[LeafEntry<D>] {
+        &self.arena.get(n).entries
+    }
+    fn node_mbr(&self, n: NodeId) -> Mbr<D> {
+        self.arena.get(n).mbr
+    }
+    fn max_diameter(&self, n: NodeId, metric: Metric) -> f64 {
+        metric.mbr_diameter(&self.arena.get(n).mbr)
+    }
+    fn pair_diameter(&self, a: NodeId, b: NodeId, metric: Metric) -> f64 {
+        metric.max_dist_mbr(&self.arena.get(a).mbr, &self.arena.get(b).mbr)
+    }
+    fn min_dist(&self, a: NodeId, b: NodeId, metric: Metric) -> f64 {
+        metric.min_dist_mbr(&self.arena.get(a).mbr, &self.arena.get(b).mbr)
+    }
+    fn num_records(&self) -> usize {
+        self.num_records
+    }
+    fn height(&self) -> usize {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize) -> Vec<Point<2>> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 2654435761) % 100_000) as f64 / 100_000.0;
+                let y = ((i * 40503 + 17) % 100_000) as f64 / 100_000.0;
+                Point::new([x, y])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_and_counts() {
+        let pts = scatter(2_000);
+        let tree = QuadTree::build(&pts, QuadTreeConfig { capacity: 20, max_depth: 20 });
+        assert_eq!(tree.num_records(), 2_000);
+        assert!(tree.height() >= 2);
+        let mut ids = Vec::new();
+        tree.collect_record_ids(tree.root().unwrap(), &mut ids);
+        ids.sort_unstable();
+        assert_eq!(ids, (0..2000u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let tree = QuadTree::<2>::build(&[], QuadTreeConfig::default());
+        assert!(tree.root().is_none());
+        assert_eq!(tree.height(), 0);
+        let one = QuadTree::build(&[Point::new([0.3, 0.7])], QuadTreeConfig::default());
+        assert_eq!(one.num_records(), 1);
+        assert_eq!(one.height(), 1);
+    }
+
+    #[test]
+    fn duplicates_bounded_by_max_depth() {
+        let pts = vec![Point::new([0.5, 0.5]); 500];
+        let tree = QuadTree::build(&pts, QuadTreeConfig { capacity: 4, max_depth: 6 });
+        assert_eq!(tree.num_records(), 500);
+        // Identical points cannot be separated; the degenerate-split stop
+        // keeps the tree shallow.
+        assert_eq!(tree.height(), 1, "identical points collapse to one leaf");
+    }
+
+    #[test]
+    fn inclusion_property_holds() {
+        let pts = scatter(1_500);
+        let tree = QuadTree::build(&pts, QuadTreeConfig { capacity: 12, max_depth: 16 });
+        let mut stack = vec![tree.root().unwrap()];
+        while let Some(id) = stack.pop() {
+            let mbr = tree.node_mbr(id);
+            for &c in tree.children(id) {
+                assert!(mbr.contains_mbr(&tree.node_mbr(c)), "inclusion property");
+                stack.push(c);
+            }
+            for e in tree.leaf_entries(id) {
+                assert!(mbr.contains_point(&e.point));
+            }
+        }
+    }
+
+    #[test]
+    fn range_query_matches_scan() {
+        let pts = scatter(1_200);
+        let tree = QuadTree::build(&pts, QuadTreeConfig { capacity: 10, max_depth: 16 });
+        let q = Point::new([0.4, 0.6]);
+        let eps = 0.1;
+        let mut got = tree.range_query_ball(&q, eps, Metric::Euclidean);
+        got.sort_unstable();
+        let mut want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.euclidean(p) <= eps)
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn three_dimensional_octree() {
+        let pts: Vec<Point<3>> = (0..800)
+            .map(|i| {
+                Point::new([
+                    ((i * 31) % 97) as f64 / 97.0,
+                    ((i * 57) % 89) as f64 / 89.0,
+                    ((i * 13) % 83) as f64 / 83.0,
+                ])
+            })
+            .collect();
+        let tree = QuadTree::build(&pts, QuadTreeConfig { capacity: 8, max_depth: 12 });
+        assert_eq!(tree.num_records(), 800);
+        // Octree fanout is at most 8.
+        let mut stack = vec![tree.root().unwrap()];
+        while let Some(id) = stack.pop() {
+            assert!(tree.children(id).len() <= 8);
+            stack.extend_from_slice(tree.children(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every record lands in exactly one leaf, inclusion holds, and
+        /// range queries agree with a scan.
+        #[test]
+        fn quadtree_valid(
+            pts in prop::collection::vec(prop::array::uniform2(0.0f64..1.0), 0..300),
+            capacity in 1usize..20,
+            q in prop::array::uniform2(0.0f64..1.0),
+            eps in 0.0f64..0.5,
+        ) {
+            let points: Vec<Point<2>> = pts.into_iter().map(Point::new).collect();
+            let tree = QuadTree::build(&points, QuadTreeConfig { capacity, max_depth: 16 });
+            prop_assert_eq!(tree.num_records(), points.len());
+            if let Some(root) = tree.root() {
+                let mut ids = Vec::new();
+                tree.collect_record_ids(root, &mut ids);
+                ids.sort_unstable();
+                let want: Vec<u32> = (0..points.len() as u32).collect();
+                prop_assert_eq!(ids, want);
+            }
+            let q = Point::new(q);
+            let mut got = tree.range_query_ball(&q, eps, Metric::Euclidean);
+            got.sort_unstable();
+            let mut want: Vec<u32> = points.iter().enumerate()
+                .filter(|(_, p)| q.euclidean(p) <= eps)
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! Shared machinery for the rectangle trees (R-tree and R*-tree).
+//!
+//! Both trees use the same node layout and differ only in their insertion
+//! and split policies, so the arena, MBR maintenance, queries and the
+//! [`crate::JoinIndex`] plumbing live here and are reused by `rtree`, `rstar` and
+//! the bulk loaders.
+
+use crate::arena::{Arena, NodeId};
+use crate::traits::LeafEntry;
+use crate::RTreeConfig;
+use csj_geom::{Mbr, Metric, Point, RecordId};
+
+/// A node of a rectangle tree.
+///
+/// `level == 0` means leaf (uses `entries`); otherwise internal (uses
+/// `children`). The MBR always covers exactly the node's contents.
+#[derive(Clone, Debug)]
+pub struct RNode<const D: usize> {
+    /// Minimum bounding rectangle of everything below this node.
+    pub mbr: Mbr<D>,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Distance from the leaf level (0 = leaf).
+    pub level: u32,
+    /// Child nodes (internal nodes only).
+    pub children: Vec<NodeId>,
+    /// Data records (leaves only).
+    pub entries: Vec<LeafEntry<D>>,
+}
+
+impl<const D: usize> RNode<D> {
+    /// A fresh empty leaf.
+    pub fn new_leaf() -> Self {
+        RNode {
+            mbr: Mbr::empty(),
+            parent: None,
+            level: 0,
+            children: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// A fresh empty internal node at `level >= 1`.
+    pub fn new_internal(level: u32) -> Self {
+        debug_assert!(level >= 1);
+        RNode {
+            mbr: Mbr::empty(),
+            parent: None,
+            level,
+            children: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// `true` if the node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of slots in use (entries for leaves, children for internals).
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        if self.is_leaf() {
+            self.entries.len()
+        } else {
+            self.children.len()
+        }
+    }
+}
+
+/// Arena, root pointer and config shared by both rectangle trees.
+#[derive(Clone, Debug)]
+pub struct RectCore<const D: usize> {
+    /// Node storage.
+    pub arena: Arena<RNode<D>>,
+    /// Root node (`None` iff the tree is empty).
+    pub root: Option<NodeId>,
+    /// Fanout and split configuration.
+    pub config: RTreeConfig,
+    /// Number of data records currently stored.
+    pub num_records: usize,
+}
+
+impl<const D: usize> RectCore<D> {
+    /// An empty tree core.
+    pub fn new(config: RTreeConfig) -> Self {
+        config.validate();
+        RectCore {
+            arena: Arena::new(),
+            root: None,
+            config,
+            num_records: 0,
+        }
+    }
+
+    /// Shared node access.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &RNode<D> {
+        self.arena.get(id)
+    }
+
+    /// Mutable node access.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut RNode<D> {
+        self.arena.get_mut(id)
+    }
+
+    /// Recomputes a node's MBR from its direct contents.
+    pub fn recompute_mbr(&mut self, id: NodeId) {
+        let node = self.arena.get(id);
+        let mut mbr = Mbr::empty();
+        if node.is_leaf() {
+            for e in &node.entries {
+                mbr.expand_to_point(&e.point);
+            }
+        } else {
+            // Collect child MBRs first to appease the borrow checker.
+            let child_mbrs: Vec<Mbr<D>> =
+                node.children.iter().map(|&c| self.arena.get(c).mbr).collect();
+            for m in child_mbrs {
+                mbr.expand_to_mbr(&m);
+            }
+        }
+        self.arena.get_mut(id).mbr = mbr;
+    }
+
+    /// Recomputes MBRs from `id` up to the root (after a structural change).
+    pub fn adjust_upward(&mut self, mut id: NodeId) {
+        loop {
+            self.recompute_mbr(id);
+            match self.arena.get(id).parent {
+                Some(p) => id = p,
+                None => break,
+            }
+        }
+    }
+
+    /// Grows ancestor MBRs to cover `mbr` starting at `id` (cheaper than
+    /// full recomputation when only an insertion happened).
+    pub fn expand_upward(&mut self, mut id: NodeId, mbr: &Mbr<D>) {
+        loop {
+            let node = self.arena.get_mut(id);
+            node.mbr.expand_to_mbr(mbr);
+            match node.parent {
+                Some(p) => id = p,
+                None => break,
+            }
+        }
+    }
+
+    /// Attaches `child` under `parent`, updating parent pointer and MBR
+    /// along the path to the root. Does **not** handle overflow.
+    pub fn attach_child(&mut self, parent: NodeId, child: NodeId) {
+        let child_mbr = self.arena.get(child).mbr;
+        self.arena.get_mut(child).parent = Some(parent);
+        self.arena.get_mut(parent).children.push(child);
+        self.expand_upward(parent, &child_mbr);
+    }
+
+    /// Grows the tree by one level: makes a new root with the old root and
+    /// `sibling` as children.
+    pub fn grow_root(&mut self, sibling: NodeId) {
+        let old_root = self.root.expect("grow_root on empty tree");
+        let level = self.arena.get(old_root).level + 1;
+        let new_root = self.arena.alloc(RNode::new_internal(level));
+        self.root = Some(new_root);
+        for id in [old_root, sibling] {
+            self.arena.get_mut(id).parent = Some(new_root);
+            self.arena.get_mut(new_root).children.push(id);
+        }
+        self.recompute_mbr(new_root);
+    }
+
+    /// Tree height: `root level + 1`, or 0 when empty.
+    pub fn height(&self) -> usize {
+        self.root.map_or(0, |r| self.arena.get(r).level as usize + 1)
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// All record ids whose point lies inside `query` (boundary inclusive).
+    pub fn range_query_mbr(&self, query: &Mbr<D>) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = self.arena.get(id);
+            if !node.mbr.intersects(query) {
+                continue;
+            }
+            if node.is_leaf() {
+                out.extend(
+                    node.entries
+                        .iter()
+                        .filter(|e| query.contains_point(&e.point))
+                        .map(|e| e.id),
+                );
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        out
+    }
+
+    /// All record ids within distance `eps` of `center` under `metric`.
+    pub fn range_query_ball(&self, center: &Point<D>, eps: f64, metric: Metric) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = self.arena.get(id);
+            if metric.min_dist_point_mbr(center, &node.mbr) > eps {
+                continue;
+            }
+            if node.is_leaf() {
+                out.extend(
+                    node.entries
+                        .iter()
+                        .filter(|e| metric.distance(center, &e.point) <= eps)
+                        .map(|e| e.id),
+                );
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        out
+    }
+
+    /// The `k` records nearest to `query` under `metric`, closest first.
+    /// Ties are broken arbitrarily. Returns fewer than `k` if the tree is
+    /// smaller.
+    pub fn knn(&self, query: &Point<D>, k: usize, metric: Metric) -> Vec<(RecordId, f64)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Cand(f64, bool, u32); // (distance, is_record, id)
+        impl Eq for Cand {}
+        impl PartialOrd for Cand {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Cand {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        if k == 0 {
+            return out;
+        }
+        let mut heap: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        heap.push(Reverse(Cand(
+            metric.min_dist_point_mbr(query, &self.arena.get(root).mbr),
+            false,
+            root.0,
+        )));
+        while let Some(Reverse(Cand(dist, is_record, id))) = heap.pop() {
+            if is_record {
+                out.push((id, dist));
+                if out.len() == k {
+                    break;
+                }
+                continue;
+            }
+            let node = self.arena.get(NodeId(id));
+            if node.is_leaf() {
+                for e in &node.entries {
+                    heap.push(Reverse(Cand(metric.distance(query, &e.point), true, e.id)));
+                }
+            } else {
+                for &c in &node.children {
+                    let d = metric.min_dist_point_mbr(query, &self.arena.get(c).mbr);
+                    heap.push(Reverse(Cand(d, false, c.0)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over every stored record (id, point) in arbitrary order.
+    pub fn iter_records(&self) -> impl Iterator<Item = &LeafEntry<D>> {
+        self.arena
+            .iter()
+            .filter(|(_, n)| n.is_leaf())
+            .flat_map(|(_, n)| n.entries.iter())
+    }
+}
+
+/// Implements [`crate::JoinIndex`] for a type with a `core: RectCore<D>` field.
+macro_rules! impl_join_index_for_rect {
+    ($ty:ident) => {
+        impl<const D: usize> crate::traits::JoinIndex<D> for $ty<D> {
+            fn root(&self) -> Option<crate::arena::NodeId> {
+                self.core.root
+            }
+            fn is_leaf(&self, n: crate::arena::NodeId) -> bool {
+                self.core.node(n).is_leaf()
+            }
+            fn children(&self, n: crate::arena::NodeId) -> &[crate::arena::NodeId] {
+                &self.core.node(n).children
+            }
+            fn leaf_entries(&self, n: crate::arena::NodeId) -> &[crate::traits::LeafEntry<D>] {
+                &self.core.node(n).entries
+            }
+            fn node_mbr(&self, n: crate::arena::NodeId) -> csj_geom::Mbr<D> {
+                self.core.node(n).mbr
+            }
+            fn max_diameter(&self, n: crate::arena::NodeId, metric: csj_geom::Metric) -> f64 {
+                metric.mbr_diameter(&self.core.node(n).mbr)
+            }
+            fn pair_diameter(
+                &self,
+                a: crate::arena::NodeId,
+                b: crate::arena::NodeId,
+                metric: csj_geom::Metric,
+            ) -> f64 {
+                metric.max_dist_mbr(&self.core.node(a).mbr, &self.core.node(b).mbr)
+            }
+            fn min_dist(
+                &self,
+                a: crate::arena::NodeId,
+                b: crate::arena::NodeId,
+                metric: csj_geom::Metric,
+            ) -> f64 {
+                metric.min_dist_mbr(&self.core.node(a).mbr, &self.core.node(b).mbr)
+            }
+            fn num_records(&self) -> usize {
+                self.core.num_records
+            }
+            fn height(&self) -> usize {
+                self.core.height()
+            }
+        }
+    };
+}
+pub(crate) use impl_join_index_for_rect;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_with(core: &mut RectCore<2>, pts: &[[f64; 2]], first_id: u32) -> NodeId {
+        let id = core.arena.alloc(RNode::new_leaf());
+        for (i, p) in pts.iter().enumerate() {
+            let e = LeafEntry::new(first_id + i as u32, Point::new(*p));
+            core.arena.get_mut(id).entries.push(e);
+        }
+        core.recompute_mbr(id);
+        core.num_records += pts.len();
+        id
+    }
+
+    #[test]
+    fn recompute_leaf_mbr() {
+        let mut core = RectCore::<2>::new(RTreeConfig::default());
+        let l = leaf_with(&mut core, &[[0.0, 0.0], [2.0, 3.0]], 0);
+        assert_eq!(core.node(l).mbr, Mbr::from_corners(&Point::new([0.0, 0.0]), &Point::new([2.0, 3.0])));
+    }
+
+    #[test]
+    fn grow_root_and_adjust() {
+        let mut core = RectCore::<2>::new(RTreeConfig::default());
+        let l1 = leaf_with(&mut core, &[[0.0, 0.0], [1.0, 1.0]], 0);
+        let l2 = leaf_with(&mut core, &[[5.0, 5.0], [6.0, 6.0]], 2);
+        core.root = Some(l1);
+        core.grow_root(l2);
+        let root = core.root.unwrap();
+        assert_eq!(core.node(root).level, 1);
+        assert_eq!(core.node(root).children.len(), 2);
+        assert_eq!(core.node(l1).parent, Some(root));
+        assert_eq!(core.height(), 2);
+        let root_mbr = core.node(root).mbr;
+        assert!(root_mbr.contains_mbr(&core.node(l1).mbr));
+        assert!(root_mbr.contains_mbr(&core.node(l2).mbr));
+    }
+
+    #[test]
+    fn range_queries_on_manual_tree() {
+        let mut core = RectCore::<2>::new(RTreeConfig::default());
+        let l1 = leaf_with(&mut core, &[[0.1, 0.1], [0.2, 0.2]], 0);
+        let l2 = leaf_with(&mut core, &[[0.8, 0.8], [0.9, 0.9]], 2);
+        core.root = Some(l1);
+        core.grow_root(l2);
+
+        let q = Mbr::from_corners(&Point::new([0.0, 0.0]), &Point::new([0.5, 0.5]));
+        let mut hits = core.range_query_mbr(&q);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+
+        let mut ball = core.range_query_ball(&Point::new([0.85, 0.85]), 0.1, Metric::Euclidean);
+        ball.sort_unstable();
+        assert_eq!(ball, vec![2, 3]);
+
+        assert!(core.range_query_ball(&Point::new([0.5, 0.5]), 0.05, Metric::Euclidean).is_empty());
+    }
+
+    #[test]
+    fn knn_on_manual_tree() {
+        let mut core = RectCore::<2>::new(RTreeConfig::default());
+        let l1 = leaf_with(&mut core, &[[0.0, 0.0], [0.3, 0.0]], 0);
+        let l2 = leaf_with(&mut core, &[[1.0, 0.0], [2.0, 0.0]], 2);
+        core.root = Some(l1);
+        core.grow_root(l2);
+        let nn = core.knn(&Point::new([0.1, 0.0]), 2, Metric::Euclidean);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0].0, 0);
+        assert_eq!(nn[1].0, 1);
+        assert!(nn[0].1 <= nn[1].1, "results ordered by distance");
+        assert!(core.knn(&Point::new([0.0, 0.0]), 0, Metric::Euclidean).is_empty());
+        assert_eq!(core.knn(&Point::new([0.0, 0.0]), 10, Metric::Euclidean).len(), 4);
+    }
+
+    #[test]
+    fn empty_core_queries() {
+        let core = RectCore::<2>::new(RTreeConfig::default());
+        assert_eq!(core.height(), 0);
+        assert!(core
+            .range_query_ball(&Point::new([0.0, 0.0]), 1.0, Metric::Euclidean)
+            .is_empty());
+        assert!(core.knn(&Point::new([0.0, 0.0]), 3, Metric::Euclidean).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod knn_proptests {
+    use crate::rstar::RStarTree;
+    use crate::RTreeConfig;
+    use csj_geom::{Metric, Point};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// kNN returns exactly the k smallest distances (compared against
+        /// a full sort), in non-decreasing order.
+        #[test]
+        fn knn_matches_sorted_scan(
+            pts in prop::collection::vec(prop::array::uniform2(0.0f64..1.0), 1..150),
+            q in prop::array::uniform2(0.0f64..1.0),
+            k in 1usize..20,
+        ) {
+            let points: Vec<Point<2>> = pts.into_iter().map(Point::new).collect();
+            let tree = RStarTree::from_points(&points, RTreeConfig::with_max_fanout(5));
+            let q = Point::new(q);
+            let got = tree.core().knn(&q, k, Metric::Euclidean);
+            let mut dists: Vec<f64> = points.iter().map(|p| q.euclidean(p)).collect();
+            dists.sort_by(f64::total_cmp);
+            prop_assert_eq!(got.len(), k.min(points.len()));
+            for (i, (_, d)) in got.iter().enumerate() {
+                prop_assert!((d - dists[i]).abs() < 1e-12, "rank {i}: {d} vs {}", dists[i]);
+                if i > 0 {
+                    prop_assert!(got[i - 1].1 <= *d, "results out of order");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! The R*-tree (Beckmann, Kriegel, Schneider, Seeger — SIGMOD 1990).
+//!
+//! The paper's default index ("we used ... a standard R*-Tree
+//! implementation"). Differs from the Guttman R-tree in three ways, all
+//! implemented here:
+//!
+//! * **ChooseSubtree** minimizes *overlap* enlargement at the level just
+//!   above the target (area enlargement higher up);
+//! * **topological split** picks the split axis by minimal margin and the
+//!   split index by minimal overlap ([`split`]);
+//! * **forced reinsertion**: the first overflow per level per insertion
+//!   evicts the ~30% of entries farthest from the node center and
+//!   reinserts them, letting the tree reorganize instead of splitting.
+
+pub mod split;
+
+use crate::arena::NodeId;
+use crate::rect::{impl_join_index_for_rect, RNode, RectCore};
+use crate::rtree::split::{ChildItem, SplitResult};
+use crate::traits::LeafEntry;
+use crate::RTreeConfig;
+use csj_geom::{Mbr, Point, RecordId};
+use split::split_rstar;
+
+/// A dynamic R*-tree over `D`-dimensional points.
+///
+/// ```
+/// use csj_index::{rstar::RStarTree, RTreeConfig, JoinIndex};
+/// use csj_geom::Point;
+///
+/// let mut tree = RStarTree::<2>::new(RTreeConfig::with_max_fanout(10));
+/// for i in 0..500u32 {
+///     let t = i as f64 / 500.0;
+///     tree.insert(i, Point::new([t, (t * 37.0).fract()]));
+/// }
+/// assert_eq!(tree.num_records(), 500);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RStarTree<const D: usize> {
+    pub(crate) core: RectCore<D>,
+}
+
+impl_join_index_for_rect!(RStarTree);
+
+impl<const D: usize> RStarTree<D> {
+    /// An empty R*-tree.
+    pub fn new(config: RTreeConfig) -> Self {
+        RStarTree { core: RectCore::new(config) }
+    }
+
+    /// Builds the tree by inserting `points` one by one; record ids are
+    /// the slice indexes.
+    pub fn from_points(points: &[Point<D>], config: RTreeConfig) -> Self {
+        let mut tree = Self::new(config);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(i as RecordId, *p);
+        }
+        tree
+    }
+
+    /// Bulk-loads via Sort-Tile-Recursive packing (see [`crate::bulk`]).
+    pub fn bulk_load_str(points: &[Point<D>], config: RTreeConfig) -> Self {
+        RStarTree { core: crate::bulk::str_pack(points, config) }
+    }
+
+    /// Bulk-loads via Hilbert-curve packing (see [`crate::bulk`]).
+    pub fn bulk_load_hilbert(points: &[Point<D>], config: RTreeConfig) -> Self {
+        RStarTree { core: crate::bulk::hilbert_pack(points, config) }
+    }
+
+    /// Bulk-loads via OMT top-down packing (see [`crate::bulk`]).
+    pub fn bulk_load_omt(points: &[Point<D>], config: RTreeConfig) -> Self {
+        RStarTree { core: crate::bulk::omt_pack(points, config) }
+    }
+
+    /// Access to the shared rectangle-tree core (queries, stats).
+    pub fn core(&self) -> &RectCore<D> {
+        &self.core
+    }
+
+    /// Inserts a record.
+    pub fn insert(&mut self, id: RecordId, point: Point<D>) {
+        debug_assert!(point.is_finite(), "non-finite point inserted");
+        let entry = LeafEntry::new(id, point);
+        if self.core.root.is_none() {
+            let leaf = self.core.arena.alloc(RNode::new_leaf());
+            let node = self.core.arena.get_mut(leaf);
+            node.entries.push(entry);
+            node.mbr = Mbr::from_point(&point);
+            self.core.root = Some(leaf);
+            self.core.num_records = 1;
+            return;
+        }
+        // One forced-reinsert opportunity per level per top-level insert.
+        let mut reinserted = vec![false; self.core.height()];
+        self.insert_leaf_entry(entry, &mut reinserted);
+        self.core.num_records += 1;
+    }
+
+    fn insert_leaf_entry(&mut self, entry: LeafEntry<D>, reinserted: &mut Vec<bool>) {
+        let leaf = self.choose_subtree(&Mbr::from_point(&entry.point), 0);
+        let point_mbr = Mbr::from_point(&entry.point);
+        self.core.node_mut(leaf).entries.push(entry);
+        self.core.expand_upward(leaf, &point_mbr);
+        if self.core.node(leaf).entries.len() > self.core.config.max_fanout {
+            self.overflow_treatment(leaf, reinserted);
+        }
+    }
+
+    /// Re-attaches an orphaned node (from a forced reinsert at an internal
+    /// level) under a parent at `node.level + 1`.
+    fn insert_orphan_node(&mut self, orphan: NodeId, reinserted: &mut Vec<bool>) {
+        let (orphan_mbr, level) = {
+            let n = self.core.node(orphan);
+            (n.mbr, n.level)
+        };
+        let parent = self.choose_subtree(&orphan_mbr, level + 1);
+        self.core.node_mut(orphan).parent = Some(parent);
+        self.core.node_mut(parent).children.push(orphan);
+        self.core.expand_upward(parent, &orphan_mbr);
+        if self.core.node(parent).children.len() > self.core.config.max_fanout {
+            self.overflow_treatment(parent, reinserted);
+        }
+    }
+
+    /// ChooseSubtree: descend to the node at `target_level` best suited to
+    /// receive `new_mbr`.
+    fn choose_subtree(&self, new_mbr: &Mbr<D>, target_level: u32) -> NodeId {
+        let mut node = self.core.root.expect("choose_subtree on empty tree");
+        loop {
+            let n = self.core.node(node);
+            if n.level == target_level {
+                return node;
+            }
+            debug_assert!(n.level > target_level);
+            let use_overlap_rule = n.level == target_level + 1;
+            let mut best = n.children[0];
+            let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            for &c in &n.children {
+                let cm = self.core.node(c).mbr;
+                let enlargement = cm.enlargement(new_mbr);
+                let key = if use_overlap_rule {
+                    // Overlap enlargement against the siblings.
+                    let grown = cm.union(new_mbr);
+                    let mut overlap_delta = 0.0;
+                    for &s in &n.children {
+                        if s == c {
+                            continue;
+                        }
+                        let sm = self.core.node(s).mbr;
+                        overlap_delta += grown.overlap_volume(&sm) - cm.overlap_volume(&sm);
+                    }
+                    (overlap_delta, enlargement, cm.volume())
+                } else {
+                    (enlargement, cm.volume(), 0.0)
+                };
+                if key < best_key {
+                    best_key = key;
+                    best = c;
+                }
+            }
+            node = best;
+        }
+    }
+
+    /// OverflowTreatment: forced reinsert on the first overflow at a level
+    /// (unless the node is the root), split otherwise.
+    fn overflow_treatment(&mut self, node: NodeId, reinserted: &mut Vec<bool>) {
+        let level = self.core.node(node).level as usize;
+        let is_root = self.core.node(node).parent.is_none();
+        if !is_root && level < reinserted.len() && !reinserted[level] {
+            reinserted[level] = true;
+            self.forced_reinsert(node, reinserted);
+        } else {
+            self.split_overflowing(node, reinserted);
+        }
+    }
+
+    /// Evicts the `p` entries whose centers are farthest from the node
+    /// center and reinserts them closest-first ("close reinsert").
+    fn forced_reinsert(&mut self, node_id: NodeId, reinserted: &mut Vec<bool>) {
+        let p = ((self.core.config.reinsert_fraction * self.core.config.max_fanout as f64).ceil()
+            as usize)
+            .max(1);
+        let center = self.core.node(node_id).mbr.center();
+        let is_leaf = self.core.node(node_id).is_leaf();
+
+        if is_leaf {
+            let entries = &mut self.core.arena.get_mut(node_id).entries;
+            // Farthest entries at the tail.
+            entries.sort_by(|a, b| {
+                a.point
+                    .sq_euclidean(&center)
+                    .total_cmp(&b.point.sq_euclidean(&center))
+            });
+            let keep = entries.len() - p;
+            let evicted: Vec<LeafEntry<D>> = entries.split_off(keep);
+            self.core.adjust_upward(node_id);
+            // Close reinsert: nearest evictee first.
+            for e in evicted.into_iter() {
+                self.insert_leaf_entry(e, reinserted);
+            }
+        } else {
+            let children = &mut self.core.arena.get_mut(node_id).children;
+            let mut with_dist: Vec<NodeId> = std::mem::take(children);
+            // Need center distances; re-borrow immutably per child.
+            with_dist.sort_by(|&a, &b| {
+                let da = self.core.node(a).mbr.center().sq_euclidean(&center);
+                let db = self.core.node(b).mbr.center().sq_euclidean(&center);
+                da.total_cmp(&db)
+            });
+            let keep = with_dist.len() - p;
+            let evicted: Vec<NodeId> = with_dist.split_off(keep);
+            self.core.arena.get_mut(node_id).children = with_dist;
+            self.core.adjust_upward(node_id);
+            for c in evicted.into_iter() {
+                self.insert_orphan_node(c, reinserted);
+            }
+        }
+    }
+
+    /// Splits an overflowing node with the R* topological split and
+    /// propagates to the root.
+    fn split_overflowing(&mut self, node_id: NodeId, reinserted: &mut Vec<bool>) {
+        let (is_leaf, level) = {
+            let n = self.core.node(node_id);
+            (n.is_leaf(), n.level)
+        };
+        let min_fanout = self.core.config.min_fanout;
+
+        let sibling = if is_leaf {
+            let entries = std::mem::take(&mut self.core.node_mut(node_id).entries);
+            let SplitResult { left, left_mbr, right, right_mbr } =
+                split_rstar(entries, min_fanout);
+            let node = self.core.node_mut(node_id);
+            node.entries = left;
+            node.mbr = left_mbr;
+            let mut sib = RNode::new_leaf();
+            sib.entries = right;
+            sib.mbr = right_mbr;
+            self.core.arena.alloc(sib)
+        } else {
+            let children = std::mem::take(&mut self.core.node_mut(node_id).children);
+            let items: Vec<ChildItem<D>> = children
+                .into_iter()
+                .map(|c| ChildItem { id: c, mbr: self.core.node(c).mbr })
+                .collect();
+            let SplitResult { left, left_mbr, right, right_mbr } =
+                split_rstar(items, min_fanout);
+            let node = self.core.node_mut(node_id);
+            node.children = left.iter().map(|c| c.id).collect();
+            node.mbr = left_mbr;
+            let mut sib = RNode::new_internal(level);
+            sib.children = right.iter().map(|c| c.id).collect();
+            sib.mbr = right_mbr;
+            let sib_id = self.core.arena.alloc(sib);
+            for c in &right {
+                self.core.node_mut(c.id).parent = Some(sib_id);
+            }
+            sib_id
+        };
+
+        match self.core.node(node_id).parent {
+            None => {
+                self.core.grow_root(sibling);
+                reinserted.push(false); // tree grew a level
+            }
+            Some(parent) => {
+                self.core.node_mut(sibling).parent = Some(parent);
+                self.core.node_mut(parent).children.push(sibling);
+                self.core.adjust_upward(parent);
+                if self.core.node(parent).children.len() > self.core.config.max_fanout {
+                    self.overflow_treatment(parent, reinserted);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::JoinIndex;
+    use crate::stats::TreeStats;
+    use crate::validate::validate_rect_tree;
+    use csj_geom::Metric;
+
+    fn spiral_points(n: usize) -> Vec<Point<2>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                Point::new([0.5 + t.cos() * t * 0.01, 0.5 + t.sin() * t * 0.01])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_many_preserves_invariants() {
+        let pts = spiral_points(500);
+        let tree = RStarTree::from_points(&pts, RTreeConfig::with_max_fanout(8));
+        assert_eq!(tree.num_records(), 500);
+        validate_rect_tree(tree.core()).unwrap();
+        assert!(tree.height() >= 3);
+    }
+
+    #[test]
+    fn queries_match_scan() {
+        let pts = spiral_points(400);
+        let tree = RStarTree::from_points(&pts, RTreeConfig::with_max_fanout(10));
+        let center = Point::new([0.5, 0.5]);
+        let eps = 0.1;
+        let mut got = tree.core().range_query_ball(&center, eps, Metric::Euclidean);
+        got.sort_unstable();
+        let mut want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| center.euclidean(p) <= eps)
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rstar_packs_tighter_than_rtree_on_clustered_data() {
+        // The R*-tree should produce leaves with no larger average
+        // diameter than the Guttman linear R-tree on skewed data.
+        let mut pts = Vec::new();
+        for c in 0..10 {
+            let cx = (c as f64 * 0.37).fract();
+            let cy = (c as f64 * 0.61).fract();
+            for i in 0..60 {
+                let dx = ((i * 31 + c * 7) % 100) as f64 / 100.0 * 0.02;
+                let dy = ((i * 17 + c * 13) % 100) as f64 / 100.0 * 0.02;
+                pts.push(Point::new([cx + dx, cy + dy]));
+            }
+        }
+        let config = RTreeConfig::with_max_fanout(10);
+        let rstar = RStarTree::from_points(&pts, config);
+        let rlin = crate::rtree::RTree::from_points(
+            &pts,
+            config.with_split(crate::SplitStrategy::Linear),
+        );
+        let s_star = TreeStats::compute(&rstar, Metric::Euclidean);
+        let s_lin = TreeStats::compute(&rlin, Metric::Euclidean);
+        assert!(
+            s_star.avg_leaf_diameter <= s_lin.avg_leaf_diameter * 1.5,
+            "r* leaves unexpectedly loose: {} vs {}",
+            s_star.avg_leaf_diameter,
+            s_lin.avg_leaf_diameter
+        );
+        validate_rect_tree(rstar.core()).unwrap();
+    }
+
+    #[test]
+    fn duplicate_heavy_input() {
+        let mut pts = vec![Point::new([0.5, 0.5]); 100];
+        pts.extend(spiral_points(100));
+        let tree = RStarTree::from_points(&pts, RTreeConfig::with_max_fanout(6));
+        assert_eq!(tree.num_records(), 200);
+        validate_rect_tree(tree.core()).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    #[allow(unused_imports)]
+    use crate::traits::JoinIndex;
+    use crate::validate::validate_rect_tree;
+    use csj_geom::Metric;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Arbitrary insertion sequences leave a valid tree.
+        #[test]
+        fn insertion_preserves_invariants(
+            pts in prop::collection::vec(prop::array::uniform2(0.0f64..1.0), 1..400),
+            fanout in 4usize..14,
+        ) {
+            let points: Vec<Point<2>> = pts.into_iter().map(Point::new).collect();
+            let tree = RStarTree::from_points(&points, RTreeConfig::with_max_fanout(fanout));
+            prop_assert_eq!(tree.num_records(), points.len());
+            prop_assert!(validate_rect_tree(tree.core()).is_ok());
+        }
+
+        /// Every inserted record is findable by an exact ball query.
+        #[test]
+        fn all_records_findable(
+            pts in prop::collection::vec(prop::array::uniform2(0.0f64..1.0), 1..150),
+        ) {
+            let points: Vec<Point<2>> = pts.into_iter().map(Point::new).collect();
+            let tree = RStarTree::from_points(&points, RTreeConfig::with_max_fanout(6));
+            for (i, p) in points.iter().enumerate() {
+                let hits = tree.core().range_query_ball(p, 0.0, Metric::Euclidean);
+                prop_assert!(hits.contains(&(i as u32)), "record {i} missing");
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The R*-tree topological split (Beckmann et al., SIGMOD 1990).
+//!
+//! ChooseSplitAxis picks the axis with minimal total margin over all
+//! candidate distributions; ChooseSplitIndex then picks the distribution
+//! with minimal overlap (ties: minimal combined volume).
+
+use crate::rtree::split::{SplitItem, SplitResult};
+use csj_geom::Mbr;
+
+/// Splits an overflowing set of `M + 1` items per the R* algorithm.
+///
+/// `min_fanout` is the tree's `m`; every distribution keeps at least `m`
+/// items on each side.
+pub fn split_rstar<T: SplitItem<D> + Clone, const D: usize>(
+    items: Vec<T>,
+    min_fanout: usize,
+) -> SplitResult<T, D> {
+    let n = items.len();
+    debug_assert!(n >= 2 * min_fanout);
+    let k_range = min_fanout..=(n - min_fanout);
+
+    // ChooseSplitAxis: for each axis, margin summed over both sort orders
+    // and all distributions.
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..D {
+        let mut margin_sum = 0.0;
+        for by_upper in [false, true] {
+            let sorted = sort_by_axis(&items, axis, by_upper);
+            let (prefix, suffix) = prefix_suffix_mbrs(&sorted);
+            for k in k_range.clone() {
+                margin_sum += prefix[k - 1].margin() + suffix[k].margin();
+            }
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // ChooseSplitIndex on the winning axis: minimal overlap, ties by
+    // minimal combined volume, over both sort orders.
+    let mut best: Option<(Vec<T>, usize, f64, f64)> = None; // (sorted, k, overlap, volume)
+    for by_upper in [false, true] {
+        let sorted = sort_by_axis(&items, best_axis, by_upper);
+        let (prefix, suffix) = prefix_suffix_mbrs(&sorted);
+        for k in k_range.clone() {
+            let overlap = prefix[k - 1].overlap_volume(&suffix[k]);
+            let volume = prefix[k - 1].volume() + suffix[k].volume();
+            let better = match &best {
+                None => true,
+                Some((_, _, bo, bv)) => {
+                    overlap < *bo || (overlap == *bo && volume < *bv)
+                }
+            };
+            if better {
+                best = Some((sorted.clone(), k, overlap, volume));
+            }
+        }
+    }
+    let (sorted, k, _, _) = best.expect("at least one distribution exists");
+    let mut left = sorted;
+    let right = left.split_off(k);
+    let left_mbr = items_mbr(&left);
+    let right_mbr = items_mbr(&right);
+    SplitResult { left, left_mbr, right, right_mbr }
+}
+
+fn sort_by_axis<T: SplitItem<D> + Clone, const D: usize>(
+    items: &[T],
+    axis: usize,
+    by_upper: bool,
+) -> Vec<T> {
+    let mut sorted = items.to_vec();
+    if by_upper {
+        sorted.sort_by(|a, b| a.mbr().hi[axis].total_cmp(&b.mbr().hi[axis]));
+    } else {
+        sorted.sort_by(|a, b| a.mbr().lo[axis].total_cmp(&b.mbr().lo[axis]));
+    }
+    sorted
+}
+
+/// `prefix[i]` bounds items `0..=i`; `suffix[i]` bounds items `i..`.
+fn prefix_suffix_mbrs<T: SplitItem<D>, const D: usize>(
+    items: &[T],
+) -> (Vec<Mbr<D>>, Vec<Mbr<D>>) {
+    let n = items.len();
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = Mbr::empty();
+    for it in items {
+        acc.expand_to_mbr(&it.mbr());
+        prefix.push(acc);
+    }
+    let mut suffix = vec![Mbr::empty(); n];
+    let mut acc = Mbr::empty();
+    for i in (0..n).rev() {
+        acc.expand_to_mbr(&items[i].mbr());
+        suffix[i] = acc;
+    }
+    (prefix, suffix)
+}
+
+fn items_mbr<T: SplitItem<D>, const D: usize>(items: &[T]) -> Mbr<D> {
+    let mut m = Mbr::empty();
+    for it in items {
+        m.expand_to_mbr(&it.mbr());
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::LeafEntry;
+    use csj_geom::Point;
+
+    fn entries(pts: &[[f64; 2]]) -> Vec<LeafEntry<2>> {
+        pts.iter()
+            .enumerate()
+            .map(|(i, p)| LeafEntry::new(i as u32, Point::new(*p)))
+            .collect()
+    }
+
+    #[test]
+    fn splits_two_clusters_with_zero_overlap() {
+        let mut pts = vec![];
+        for i in 0..6 {
+            pts.push([i as f64 * 0.01, i as f64 * 0.01]);
+            pts.push([5.0 + i as f64 * 0.01, 5.0 + i as f64 * 0.01]);
+        }
+        let r = split_rstar(entries(&pts), 3);
+        assert_eq!(r.left.len() + r.right.len(), 12);
+        assert!(r.left.len() >= 3 && r.right.len() >= 3);
+        assert_eq!(r.left_mbr.overlap_volume(&r.right_mbr), 0.0);
+    }
+
+    #[test]
+    fn split_respects_min_fanout_on_skewed_data() {
+        // One outlier, many duplicates.
+        let mut pts = vec![[9.0, 9.0]];
+        pts.extend(std::iter::repeat_n([0.0, 0.0], 9));
+        let r = split_rstar(entries(&pts), 4);
+        assert!(r.left.len() >= 4 && r.right.len() >= 4);
+        assert_eq!(r.left.len() + r.right.len(), 10);
+    }
+
+    #[test]
+    fn chooses_axis_with_better_separation() {
+        // Spread along y, tight along x: split must cut along y.
+        let pts: Vec<[f64; 2]> = (0..10).map(|i| [0.0, i as f64]).collect();
+        let r = split_rstar(entries(&pts), 3);
+        // A y-cut gives disjoint y-ranges.
+        let max_left_y = r.left.iter().map(|e| e.point[1]).fold(f64::NEG_INFINITY, f64::max);
+        let min_right_y = r.right.iter().map(|e| e.point[1]).fold(f64::INFINITY, f64::min);
+        let (lo, hi) = if max_left_y < min_right_y {
+            (max_left_y, min_right_y)
+        } else {
+            let max_right_y =
+                r.right.iter().map(|e| e.point[1]).fold(f64::NEG_INFINITY, f64::max);
+            let min_left_y = r.left.iter().map(|e| e.point[1]).fold(f64::INFINITY, f64::min);
+            (max_right_y, min_left_y)
+        };
+        assert!(lo < hi, "groups must not interleave on the split axis");
+    }
+
+    #[test]
+    fn prefix_suffix_cover() {
+        let items = entries(&[[0.0, 0.0], [1.0, 1.0], [2.0, 0.5]]);
+        let (prefix, suffix) = prefix_suffix_mbrs(&items);
+        assert_eq!(prefix.len(), 3);
+        assert_eq!(suffix.len(), 3);
+        assert_eq!(prefix[2], suffix[0]);
+        assert!(prefix[0].contains_point(&items[0].point));
+        assert!(suffix[2].contains_point(&items[2].point));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::traits::LeafEntry;
+    use csj_geom::Point;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The R* split is a valid partition with covering MBRs.
+        #[test]
+        fn rstar_split_valid(
+            pts in prop::collection::vec(prop::array::uniform2(-10.0f64..10.0), 8..50)
+        ) {
+            let items: Vec<LeafEntry<2>> = pts.iter().enumerate()
+                .map(|(i, p)| LeafEntry::new(i as u32, Point::new(*p)))
+                .collect();
+            let n = items.len();
+            let min_fanout = n / 3;
+            let r = split_rstar(items, min_fanout);
+            prop_assert_eq!(r.left.len() + r.right.len(), n);
+            prop_assert!(r.left.len() >= min_fanout);
+            prop_assert!(r.right.len() >= min_fanout);
+            for e in &r.left {
+                prop_assert!(r.left_mbr.contains_point(&e.point));
+            }
+            for e in &r.right {
+                prop_assert!(r.right_mbr.contains_point(&e.point));
+            }
+        }
+    }
+}

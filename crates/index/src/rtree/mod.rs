@@ -1,0 +1,497 @@
+//! Guttman's R-tree (SIGMOD 1984).
+//!
+//! Dynamic insertion with ChooseLeaf (least enlargement), linear or
+//! quadratic node splitting, and deletion with tree condensation. One of
+//! the three index structures of the paper's Experiment 4.
+
+pub mod split;
+
+use crate::arena::NodeId;
+use crate::rect::{impl_join_index_for_rect, RNode, RectCore};
+use crate::traits::LeafEntry;
+use crate::{RTreeConfig, SplitStrategy};
+use csj_geom::{Mbr, Point, RecordId};
+use split::{ChildItem, SplitResult};
+
+/// A dynamic R-tree over `D`-dimensional points.
+///
+/// ```
+/// use csj_index::{rtree::RTree, RTreeConfig, JoinIndex};
+/// use csj_geom::Point;
+///
+/// let mut tree = RTree::<2>::new(RTreeConfig::with_max_fanout(8));
+/// for i in 0..100u32 {
+///     tree.insert(i, Point::new([i as f64, (i % 10) as f64]));
+/// }
+/// assert_eq!(tree.num_records(), 100);
+/// assert!(tree.remove(5, &Point::new([5.0, 5.0])));
+/// assert_eq!(tree.num_records(), 99);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RTree<const D: usize> {
+    pub(crate) core: RectCore<D>,
+}
+
+impl_join_index_for_rect!(RTree);
+
+impl<const D: usize> RTree<D> {
+    /// An empty R-tree.
+    pub fn new(config: RTreeConfig) -> Self {
+        RTree { core: RectCore::new(config) }
+    }
+
+    /// Builds the tree by inserting `points` one by one; record ids are
+    /// the slice indexes.
+    pub fn from_points(points: &[Point<D>], config: RTreeConfig) -> Self {
+        let mut tree = Self::new(config);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(i as RecordId, *p);
+        }
+        tree
+    }
+
+    /// Bulk-loads via Sort-Tile-Recursive packing (see [`crate::bulk`]).
+    pub fn bulk_load_str(points: &[Point<D>], config: RTreeConfig) -> Self {
+        RTree { core: crate::bulk::str_pack(points, config) }
+    }
+
+    /// Access to the shared rectangle-tree core (queries, stats).
+    pub fn core(&self) -> &RectCore<D> {
+        &self.core
+    }
+
+    /// Inserts a record.
+    pub fn insert(&mut self, id: RecordId, point: Point<D>) {
+        debug_assert!(point.is_finite(), "non-finite point inserted");
+        let entry = LeafEntry::new(id, point);
+        let Some(root) = self.core.root else {
+            let leaf = self.core.arena.alloc(RNode::new_leaf());
+            let node = self.core.arena.get_mut(leaf);
+            node.entries.push(entry);
+            node.mbr = Mbr::from_point(&point);
+            self.core.root = Some(leaf);
+            self.core.num_records = 1;
+            return;
+        };
+        let leaf = self.choose_leaf(root, &point);
+        self.core.node_mut(leaf).entries.push(entry);
+        self.core.expand_upward(leaf, &Mbr::from_point(&point));
+        self.core.num_records += 1;
+        if self.core.node(leaf).entries.len() > self.core.config.max_fanout {
+            self.split_overflowing(leaf);
+        }
+    }
+
+    /// ChooseLeaf: descend picking the child needing least enlargement
+    /// (ties: smaller volume, then fewer children).
+    fn choose_leaf(&self, mut node: NodeId, point: &Point<D>) -> NodeId {
+        let pm = Mbr::from_point(point);
+        loop {
+            let n = self.core.node(node);
+            if n.is_leaf() {
+                return node;
+            }
+            let mut best = n.children[0];
+            let mut best_enl = f64::INFINITY;
+            let mut best_vol = f64::INFINITY;
+            for &c in &n.children {
+                let cm = self.core.node(c).mbr;
+                let enl = cm.enlargement(&pm);
+                let vol = cm.volume();
+                if enl < best_enl || (enl == best_enl && vol < best_vol) {
+                    best = c;
+                    best_enl = enl;
+                    best_vol = vol;
+                }
+            }
+            node = best;
+        }
+    }
+
+    /// Splits an overflowing node and propagates splits/MBR updates to the
+    /// root.
+    fn split_overflowing(&mut self, node_id: NodeId) {
+        let (is_leaf, level) = {
+            let n = self.core.node(node_id);
+            (n.is_leaf(), n.level)
+        };
+        let min_fanout = self.core.config.min_fanout;
+        let strategy = self.core.config.split;
+
+        let sibling = if is_leaf {
+            let entries = std::mem::take(&mut self.core.node_mut(node_id).entries);
+            let SplitResult { left, left_mbr, right, right_mbr } = match strategy {
+                SplitStrategy::Linear => split::split_linear(entries, min_fanout),
+                SplitStrategy::Quadratic => split::split_quadratic(entries, min_fanout),
+            };
+            let node = self.core.node_mut(node_id);
+            node.entries = left;
+            node.mbr = left_mbr;
+            let mut sib = RNode::new_leaf();
+            sib.entries = right;
+            sib.mbr = right_mbr;
+            self.core.arena.alloc(sib)
+        } else {
+            let children = std::mem::take(&mut self.core.node_mut(node_id).children);
+            let items: Vec<ChildItem<D>> = children
+                .into_iter()
+                .map(|c| ChildItem { id: c, mbr: self.core.node(c).mbr })
+                .collect();
+            let SplitResult { left, left_mbr, right, right_mbr } = match strategy {
+                SplitStrategy::Linear => split::split_linear(items, min_fanout),
+                SplitStrategy::Quadratic => split::split_quadratic(items, min_fanout),
+            };
+            let node = self.core.node_mut(node_id);
+            node.children = left.iter().map(|c| c.id).collect();
+            node.mbr = left_mbr;
+            let mut sib = RNode::new_internal(level);
+            sib.children = right.iter().map(|c| c.id).collect();
+            sib.mbr = right_mbr;
+            let sib_id = self.core.arena.alloc(sib);
+            for c in &right {
+                self.core.node_mut(c.id).parent = Some(sib_id);
+            }
+            sib_id
+        };
+
+        match self.core.node(node_id).parent {
+            None => self.core.grow_root(sibling),
+            Some(parent) => {
+                self.core.node_mut(sibling).parent = Some(parent);
+                self.core.node_mut(parent).children.push(sibling);
+                self.core.adjust_upward(parent);
+                if self.core.node(parent).children.len() > self.core.config.max_fanout {
+                    self.split_overflowing(parent);
+                }
+            }
+        }
+    }
+
+    /// Removes the record with the given id at the given point.
+    ///
+    /// Returns `false` (tree unchanged) if no such record exists. Underflow
+    /// is handled by tree condensation: underfull nodes are dissolved and
+    /// their records reinserted.
+    pub fn remove(&mut self, id: RecordId, point: &Point<D>) -> bool {
+        let Some(root) = self.core.root else { return false };
+        let Some(leaf) = self.find_leaf(root, id, point) else { return false };
+        let node = self.core.node_mut(leaf);
+        let pos = node
+            .entries
+            .iter()
+            .position(|e| e.id == id)
+            .expect("find_leaf returned a leaf without the entry");
+        node.entries.swap_remove(pos);
+        self.core.num_records -= 1;
+        self.condense_tree(leaf);
+        true
+    }
+
+    /// Locates the leaf holding record `id` at `point` (DFS over nodes
+    /// whose MBR contains the point).
+    fn find_leaf(&self, from: NodeId, id: RecordId, point: &Point<D>) -> Option<NodeId> {
+        let mut stack = vec![from];
+        while let Some(cur) = stack.pop() {
+            let node = self.core.node(cur);
+            if !node.mbr.contains_point(point) {
+                continue;
+            }
+            if node.is_leaf() {
+                if node.entries.iter().any(|e| e.id == id) {
+                    return Some(cur);
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        None
+    }
+
+    /// CondenseTree: dissolve underfull ancestors, shrink the root, and
+    /// reinsert orphaned records.
+    fn condense_tree(&mut self, leaf: NodeId) {
+        let min_fanout = self.core.config.min_fanout;
+        let mut orphans: Vec<LeafEntry<D>> = Vec::new();
+        let mut current = leaf;
+        loop {
+            let parent = self.core.node(current).parent;
+            match parent {
+                None => {
+                    self.core.recompute_mbr(current);
+                    break;
+                }
+                Some(p) => {
+                    if self.core.node(current).occupancy() < min_fanout {
+                        // Detach and dissolve the whole subtree.
+                        let pos = self
+                            .core
+                            .node(p)
+                            .children
+                            .iter()
+                            .position(|&c| c == current)
+                            .expect("child missing from parent");
+                        self.core.node_mut(p).children.swap_remove(pos);
+                        self.dissolve_subtree(current, &mut orphans);
+                    } else {
+                        self.core.recompute_mbr(current);
+                    }
+                    current = p;
+                }
+            }
+        }
+        // Shrink the root while it is an internal node with one child.
+        while let Some(root) = self.core.root {
+            let node = self.core.node(root);
+            if !node.is_leaf() && node.children.len() == 1 {
+                let only = node.children[0];
+                self.core.node_mut(only).parent = None;
+                self.core.root = Some(only);
+                self.core.arena.free(root);
+            } else if node.is_leaf() && node.entries.is_empty() && orphans.is_empty() {
+                self.core.arena.free(root);
+                self.core.root = None;
+                break;
+            } else if !node.is_leaf() && node.children.is_empty() {
+                // All children dissolved into orphans.
+                self.core.arena.free(root);
+                self.core.root = None;
+                break;
+            } else {
+                break;
+            }
+        }
+        // Reinsert orphaned records.
+        self.core.num_records -= orphans.len();
+        for e in orphans {
+            self.insert(e.id, e.point);
+        }
+    }
+
+    /// Frees every node in the subtree, collecting its records.
+    fn dissolve_subtree(&mut self, root: NodeId, orphans: &mut Vec<LeafEntry<D>>) {
+        let mut stack = vec![root];
+        while let Some(cur) = stack.pop() {
+            let node = self.core.arena.free(cur);
+            if node.is_leaf() {
+                orphans.extend(node.entries);
+            } else {
+                stack.extend(node.children);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::JoinIndex;
+    use csj_geom::Metric;
+    use crate::validate::validate_rect_tree;
+
+    fn grid_points(n_side: usize) -> Vec<Point<2>> {
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                pts.push(Point::new([i as f64, j as f64]));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RTree::<2>::new(RTreeConfig::default());
+        assert_eq!(tree.num_records(), 0);
+        assert_eq!(tree.height(), 0);
+        assert!(tree.root().is_none());
+    }
+
+    #[test]
+    fn single_insert() {
+        let mut tree = RTree::<2>::new(RTreeConfig::default());
+        tree.insert(7, Point::new([0.5, 0.5]));
+        assert_eq!(tree.num_records(), 1);
+        assert_eq!(tree.height(), 1);
+        let root = tree.root().unwrap();
+        assert!(tree.is_leaf(root));
+        assert_eq!(tree.leaf_entries(root)[0].id, 7);
+    }
+
+    #[test]
+    fn insert_many_valid_both_strategies() {
+        for split in [SplitStrategy::Linear, SplitStrategy::Quadratic] {
+            let config = RTreeConfig::with_max_fanout(8).with_split(split);
+            let tree = RTree::from_points(&grid_points(20), config);
+            assert_eq!(tree.num_records(), 400);
+            assert!(tree.height() >= 2, "tree must have split");
+            validate_rect_tree(tree.core()).unwrap_or_else(|e| panic!("{split:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let pts = grid_points(15);
+        let tree = RTree::from_points(&pts, RTreeConfig::with_max_fanout(6));
+        let q = Mbr::from_corners(&Point::new([2.5, 2.5]), &Point::new([6.5, 8.5]));
+        let mut got = tree.core().range_query_mbr(&q);
+        got.sort_unstable();
+        let mut want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains_point(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ball_query_matches_filter() {
+        let pts = grid_points(12);
+        let tree = RTree::from_points(&pts, RTreeConfig::with_max_fanout(6));
+        let center = Point::new([5.3, 5.7]);
+        let eps = 2.4;
+        let mut got = tree.core().range_query_ball(&center, eps, Metric::Euclidean);
+        got.sort_unstable();
+        let mut want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| center.euclidean(p) <= eps)
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn remove_all_records() {
+        let pts = grid_points(10);
+        let mut tree = RTree::from_points(&pts, RTreeConfig::with_max_fanout(5));
+        for (i, p) in pts.iter().enumerate() {
+            assert!(tree.remove(i as u32, p), "record {i} must be removable");
+            validate_rect_tree(tree.core()).unwrap();
+        }
+        assert_eq!(tree.num_records(), 0);
+        assert!(tree.root().is_none());
+        assert_eq!(tree.core().node_count(), 0, "no leaked nodes");
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let mut tree = RTree::from_points(&grid_points(5), RTreeConfig::with_max_fanout(5));
+        assert!(!tree.remove(999, &Point::new([0.0, 0.0])));
+        assert!(!tree.remove(0, &Point::new([100.0, 100.0])), "wrong location");
+        assert_eq!(tree.num_records(), 25);
+    }
+
+    #[test]
+    fn interleaved_insert_remove() {
+        let mut tree = RTree::<2>::new(RTreeConfig::with_max_fanout(4));
+        let pts = grid_points(8);
+        for (i, p) in pts.iter().enumerate() {
+            tree.insert(i as u32, *p);
+            if i % 3 == 2 {
+                assert!(tree.remove((i - 1) as u32, &pts[i - 1]));
+            }
+            validate_rect_tree(tree.core()).unwrap();
+        }
+        let expected = 64 - 64 / 3;
+        assert_eq!(tree.num_records(), expected);
+    }
+
+    #[test]
+    fn duplicate_points_allowed() {
+        let mut tree = RTree::<2>::new(RTreeConfig::with_max_fanout(4));
+        let p = Point::new([0.5, 0.5]);
+        for i in 0..20 {
+            tree.insert(i, p);
+        }
+        assert_eq!(tree.num_records(), 20);
+        validate_rect_tree(tree.core()).unwrap();
+        assert_eq!(tree.core().range_query_ball(&p, 0.0, Metric::Euclidean).len(), 20);
+    }
+
+    #[test]
+    fn collect_record_ids_covers_tree() {
+        let tree = RTree::from_points(&grid_points(9), RTreeConfig::with_max_fanout(5));
+        let mut ids = Vec::new();
+        tree.collect_record_ids(tree.root().unwrap(), &mut ids);
+        ids.sort_unstable();
+        assert_eq!(ids, (0..81u32).collect::<Vec<_>>());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    #[allow(unused_imports)]
+    use crate::traits::JoinIndex;
+    use csj_geom::Metric;
+    use crate::validate::validate_rect_tree;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Invariants hold after arbitrary insertion sequences, for both
+        /// split strategies and several fanouts.
+        #[test]
+        fn insertion_preserves_invariants(
+            pts in prop::collection::vec(prop::array::uniform2(0.0f64..1.0), 1..300),
+            quadratic in any::<bool>(),
+            fanout in 4usize..16,
+        ) {
+            let split = if quadratic { SplitStrategy::Quadratic } else { SplitStrategy::Linear };
+            let config = RTreeConfig::with_max_fanout(fanout).with_split(split);
+            let points: Vec<Point<2>> = pts.into_iter().map(Point::new).collect();
+            let tree = RTree::from_points(&points, config);
+            prop_assert_eq!(tree.num_records(), points.len());
+            prop_assert!(validate_rect_tree(tree.core()).is_ok());
+        }
+
+        /// Ball queries agree with a linear scan.
+        #[test]
+        fn ball_query_matches_scan(
+            pts in prop::collection::vec(prop::array::uniform2(0.0f64..1.0), 1..200),
+            center in prop::array::uniform2(0.0f64..1.0),
+            eps in 0.0f64..0.5,
+        ) {
+            let points: Vec<Point<2>> = pts.into_iter().map(Point::new).collect();
+            let tree = RTree::from_points(&points, RTreeConfig::with_max_fanout(8));
+            let center = Point::new(center);
+            let mut got = tree.core().range_query_ball(&center, eps, Metric::Euclidean);
+            got.sort_unstable();
+            let mut want: Vec<u32> = points.iter().enumerate()
+                .filter(|(_, p)| center.euclidean(p) <= eps)
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Removing a random subset leaves exactly the complement, with
+        /// invariants intact throughout.
+        #[test]
+        fn removal_leaves_complement(
+            pts in prop::collection::vec(prop::array::uniform2(0.0f64..1.0), 1..120),
+            seed in any::<u64>(),
+        ) {
+            let points: Vec<Point<2>> = pts.into_iter().map(Point::new).collect();
+            let mut tree = RTree::from_points(&points, RTreeConfig::with_max_fanout(5));
+            let mut kept: Vec<u32> = Vec::new();
+            for (i, p) in points.iter().enumerate() {
+                // Simple deterministic pseudo-random selection.
+                if (seed.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(i as u32)) & 1 == 0 {
+                    prop_assert!(tree.remove(i as u32, p));
+                } else {
+                    kept.push(i as u32);
+                }
+            }
+            prop_assert!(validate_rect_tree(tree.core()).is_ok());
+            prop_assert_eq!(tree.num_records(), kept.len());
+            let mut ids: Vec<u32> = tree.core().iter_records().map(|e| e.id).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, kept);
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Guttman node-split algorithms (linear and quadratic).
+//!
+//! The splits are generic over the item being distributed — leaf entries
+//! (point records) or internal entries (child nodes with MBRs) — so one
+//! implementation serves both levels of the tree.
+
+use crate::arena::NodeId;
+use crate::traits::LeafEntry;
+use csj_geom::Mbr;
+
+/// An item that a node split can distribute: anything with an MBR.
+pub trait SplitItem<const D: usize> {
+    /// Bounding rectangle of the item.
+    fn mbr(&self) -> Mbr<D>;
+}
+
+impl<const D: usize> SplitItem<D> for LeafEntry<D> {
+    fn mbr(&self) -> Mbr<D> {
+        Mbr::from_point(&self.point)
+    }
+}
+
+/// A child node viewed as a split item.
+#[derive(Clone, Copy, Debug)]
+pub struct ChildItem<const D: usize> {
+    /// Child node id.
+    pub id: NodeId,
+    /// The child's MBR at split time.
+    pub mbr: Mbr<D>,
+}
+
+impl<const D: usize> SplitItem<D> for ChildItem<D> {
+    fn mbr(&self) -> Mbr<D> {
+        self.mbr
+    }
+}
+
+/// Result of distributing an overflowing node's items into two groups.
+pub struct SplitResult<T, const D: usize> {
+    /// First group (stays in the original node).
+    pub left: Vec<T>,
+    /// MBR of the first group.
+    pub left_mbr: Mbr<D>,
+    /// Second group (moves to the new sibling).
+    pub right: Vec<T>,
+    /// MBR of the second group.
+    pub right_mbr: Mbr<D>,
+}
+
+
+/// Guttman's linear-cost split.
+///
+/// Seeds are the pair with greatest normalized separation along any axis;
+/// remaining items go to the group whose MBR grows least, with the minimum
+/// fanout enforced.
+pub fn split_linear<T: SplitItem<D>, const D: usize>(
+    items: Vec<T>,
+    min_fanout: usize,
+) -> SplitResult<T, D> {
+    debug_assert!(items.len() >= 2 * min_fanout.max(1));
+    let n = items.len();
+
+    // LinearPickSeeds: per axis, the entry with the highest low side and
+    // the entry with the lowest high side; separation normalized by the
+    // total width on that axis.
+    let mut best_sep = f64::NEG_INFINITY;
+    let mut seed_a = 0;
+    let mut seed_b = n - 1;
+    for axis in 0..D {
+        let mut highest_lo = 0;
+        let mut lowest_hi = 0;
+        let mut min_lo = f64::INFINITY;
+        let mut max_hi = f64::NEG_INFINITY;
+        for (i, it) in items.iter().enumerate() {
+            let m = it.mbr();
+            if m.lo[axis] > items[highest_lo].mbr().lo[axis] {
+                highest_lo = i;
+            }
+            if m.hi[axis] < items[lowest_hi].mbr().hi[axis] {
+                lowest_hi = i;
+            }
+            min_lo = min_lo.min(m.lo[axis]);
+            max_hi = max_hi.max(m.hi[axis]);
+        }
+        let width = max_hi - min_lo;
+        if width <= 0.0 || highest_lo == lowest_hi {
+            continue;
+        }
+        let sep = (items[highest_lo].mbr().lo[axis] - items[lowest_hi].mbr().hi[axis]) / width;
+        if sep > best_sep {
+            best_sep = sep;
+            seed_a = lowest_hi;
+            seed_b = highest_lo;
+        }
+    }
+    if seed_a == seed_b {
+        // Degenerate data (e.g. all identical rects): any two distinct items.
+        seed_b = if seed_a == 0 { 1 } else { 0 };
+    }
+    distribute(items, seed_a, seed_b, min_fanout, false)
+}
+
+/// Guttman's quadratic-cost split.
+///
+/// Seeds are the pair wasting the most area if grouped together; remaining
+/// items are assigned in order of strongest preference.
+pub fn split_quadratic<T: SplitItem<D>, const D: usize>(
+    items: Vec<T>,
+    min_fanout: usize,
+) -> SplitResult<T, D> {
+    debug_assert!(items.len() >= 2 * min_fanout.max(1));
+    // QuadraticPickSeeds: maximize dead space of the pair's union.
+    let mut best_waste = f64::NEG_INFINITY;
+    let mut seed_a = 0;
+    let mut seed_b = 1;
+    for (i, item_i) in items.iter().enumerate() {
+        let mi = item_i.mbr();
+        for (j, item_j) in items.iter().enumerate().skip(i + 1) {
+            let mj = item_j.mbr();
+            let waste = mi.union(&mj).volume() - mi.volume() - mj.volume();
+            if waste > best_waste {
+                best_waste = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    distribute(items, seed_a, seed_b, min_fanout, true)
+}
+
+/// Shared assignment loop. With `pick_next`, the next item is chosen by
+/// maximal preference difference (quadratic); otherwise items are taken in
+/// input order (linear).
+fn distribute<T: SplitItem<D>, const D: usize>(
+    mut items: Vec<T>,
+    seed_a: usize,
+    seed_b: usize,
+    min_fanout: usize,
+    pick_next: bool,
+) -> SplitResult<T, D> {
+    debug_assert_ne!(seed_a, seed_b);
+    // Remove seeds (higher index first so the lower stays valid).
+    let (hi, lo) = if seed_a > seed_b { (seed_a, seed_b) } else { (seed_b, seed_a) };
+    let item_hi = items.swap_remove(hi);
+    let item_lo = items.swap_remove(lo);
+
+    let mut left = vec![item_lo];
+    let mut right = vec![item_hi];
+    let mut left_mbr = left[0].mbr();
+    let mut right_mbr = right[0].mbr();
+
+    while !items.is_empty() {
+        let remaining = items.len();
+        // Min-fanout forcing: if one group needs every remaining item,
+        // hand them all over.
+        if left.len() + remaining <= min_fanout {
+            for it in items.drain(..) {
+                left_mbr.expand_to_mbr(&it.mbr());
+                left.push(it);
+            }
+            break;
+        }
+        if right.len() + remaining <= min_fanout {
+            for it in items.drain(..) {
+                right_mbr.expand_to_mbr(&it.mbr());
+                right.push(it);
+            }
+            break;
+        }
+
+        let idx = if pick_next {
+            // PickNext: strongest preference for one group.
+            let mut best = 0;
+            let mut best_diff = f64::NEG_INFINITY;
+            for (i, it) in items.iter().enumerate() {
+                let m = it.mbr();
+                let d1 = left_mbr.enlargement(&m);
+                let d2 = right_mbr.enlargement(&m);
+                let diff = (d1 - d2).abs();
+                if diff > best_diff {
+                    best_diff = diff;
+                    best = i;
+                }
+            }
+            best
+        } else {
+            items.len() - 1
+        };
+        let it = items.swap_remove(idx);
+        let m = it.mbr();
+        let e_left = left_mbr.enlargement(&m);
+        let e_right = right_mbr.enlargement(&m);
+        let to_left = match e_left.partial_cmp(&e_right) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => {
+                // Ties: smaller area, then fewer items.
+                match left_mbr.volume().partial_cmp(&right_mbr.volume()) {
+                    Some(std::cmp::Ordering::Less) => true,
+                    Some(std::cmp::Ordering::Greater) => false,
+                    _ => left.len() <= right.len(),
+                }
+            }
+        };
+        if to_left {
+            left_mbr.expand_to_mbr(&m);
+            left.push(it);
+        } else {
+            right_mbr.expand_to_mbr(&m);
+            right.push(it);
+        }
+    }
+
+    SplitResult { left, left_mbr, right, right_mbr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csj_geom::Point;
+
+    fn entries(pts: &[[f64; 2]]) -> Vec<LeafEntry<2>> {
+        pts.iter()
+            .enumerate()
+            .map(|(i, p)| LeafEntry::new(i as u32, Point::new(*p)))
+            .collect()
+    }
+
+    fn check_result(r: &SplitResult<LeafEntry<2>, 2>, total: usize, min_fanout: usize) {
+        assert_eq!(r.left.len() + r.right.len(), total);
+        assert!(r.left.len() >= min_fanout, "left {} < {min_fanout}", r.left.len());
+        assert!(r.right.len() >= min_fanout, "right {} < {min_fanout}", r.right.len());
+        for e in &r.left {
+            assert!(r.left_mbr.contains_point(&e.point));
+        }
+        for e in &r.right {
+            assert!(r.right_mbr.contains_point(&e.point));
+        }
+    }
+
+    #[test]
+    fn linear_separates_two_clusters() {
+        let mut pts = vec![];
+        for i in 0..5 {
+            pts.push([i as f64 * 0.01, 0.0]);
+            pts.push([10.0 + i as f64 * 0.01, 0.0]);
+        }
+        let r = split_linear(entries(&pts), 2);
+        check_result(&r, 10, 2);
+        // Two well-separated clusters should be cleanly cut.
+        assert_eq!(r.left.len(), 5);
+        assert_eq!(r.right.len(), 5);
+        assert_eq!(r.left_mbr.overlap_volume(&r.right_mbr), 0.0);
+    }
+
+    #[test]
+    fn quadratic_separates_two_clusters() {
+        let mut pts = vec![];
+        for i in 0..5 {
+            pts.push([0.0, i as f64 * 0.01]);
+            pts.push([0.0, 7.0 + i as f64 * 0.01]);
+        }
+        let r = split_quadratic(entries(&pts), 2);
+        check_result(&r, 10, 2);
+        assert_eq!(r.left.len(), 5);
+        assert_eq!(r.right.len(), 5);
+    }
+
+    #[test]
+    fn identical_points_still_split_validly() {
+        let pts = vec![[1.0, 1.0]; 8];
+        let r = split_linear(entries(&pts), 3);
+        check_result(&r, 8, 3);
+        let r = split_quadratic(entries(&pts), 3);
+        check_result(&r, 8, 3);
+    }
+
+    #[test]
+    fn min_fanout_forced_assignment() {
+        // 9 points: 8 near origin, 1 far away. With min fanout 4, the far
+        // singleton's group must be topped up to 4.
+        let mut pts = vec![[100.0, 100.0]];
+        for i in 0..8 {
+            pts.push([i as f64 * 0.001, 0.0]);
+        }
+        for r in [split_linear(entries(&pts), 4), split_quadratic(entries(&pts), 4)] {
+            check_result(&r, 9, 4);
+        }
+    }
+
+    #[test]
+    fn child_items_split() {
+        let items: Vec<ChildItem<2>> = (0..6)
+            .map(|i| ChildItem {
+                id: NodeId(i),
+                mbr: Mbr::from_corners(
+                    &Point::new([i as f64 * 5.0, 0.0]),
+                    &Point::new([i as f64 * 5.0 + 1.0, 1.0]),
+                ),
+            })
+            .collect();
+        let r = split_quadratic(items, 2);
+        assert_eq!(r.left.len() + r.right.len(), 6);
+        assert!(r.left.len() >= 2 && r.right.len() >= 2);
+        // Ids preserved.
+        let mut ids: Vec<u32> =
+            r.left.iter().chain(r.right.iter()).map(|c| c.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use csj_geom::Point;
+    use proptest::prelude::*;
+
+    fn arb_entries() -> impl Strategy<Value = Vec<LeafEntry<2>>> {
+        prop::collection::vec(prop::array::uniform2(-100.0f64..100.0), 6..60).prop_map(|v| {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, p)| LeafEntry::new(i as u32, Point::new(p)))
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// Both splits partition the input, respect the minimum fanout and
+        /// produce covering MBRs.
+        #[test]
+        fn splits_are_valid_partitions(items in arb_entries(), quadratic in any::<bool>()) {
+            let n = items.len();
+            let min_fanout = (n / 3).clamp(1, n / 2);
+            let ids_before: std::collections::BTreeSet<u32> =
+                items.iter().map(|e| e.id).collect();
+            let r = if quadratic {
+                split_quadratic(items, min_fanout)
+            } else {
+                split_linear(items, min_fanout)
+            };
+            prop_assert_eq!(r.left.len() + r.right.len(), n);
+            prop_assert!(r.left.len() >= min_fanout);
+            prop_assert!(r.right.len() >= min_fanout);
+            let ids_after: std::collections::BTreeSet<u32> =
+                r.left.iter().chain(r.right.iter()).map(|e| e.id).collect();
+            prop_assert_eq!(ids_before, ids_after);
+            for e in &r.left {
+                prop_assert!(r.left_mbr.contains_point(&e.point));
+            }
+            for e in &r.right {
+                prop_assert!(r.right_mbr.contains_point(&e.point));
+            }
+        }
+    }
+}

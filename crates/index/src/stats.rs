@@ -1,0 +1,131 @@
+//! Descriptive statistics over index trees.
+//!
+//! Experiment interpretation (which ε produces early stops, where SSJ and
+//! the compact joins diverge — point 3 of the paper's trend list) depends
+//! on the distribution of node diameters; this module computes those
+//! summaries for any [`JoinIndex`].
+
+use crate::traits::JoinIndex;
+use csj_geom::Metric;
+
+/// Summary statistics of a tree's shape and node geometry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStats {
+    /// Number of data records.
+    pub num_records: usize,
+    /// Total node count.
+    pub node_count: usize,
+    /// Leaf node count.
+    pub leaf_count: usize,
+    /// Tree height (1 = single leaf root).
+    pub height: usize,
+    /// Mean leaf occupancy.
+    pub avg_leaf_occupancy: f64,
+    /// Minimum diameter over leaf bounding shapes.
+    pub min_leaf_diameter: f64,
+    /// Mean diameter over leaf bounding shapes.
+    pub avg_leaf_diameter: f64,
+    /// Maximum diameter over leaf bounding shapes.
+    pub max_leaf_diameter: f64,
+}
+
+impl TreeStats {
+    /// Computes statistics for `tree` under `metric`.
+    pub fn compute<const D: usize, T: JoinIndex<D>>(tree: &T, metric: Metric) -> Self {
+        let mut node_count = 0usize;
+        let mut leaf_count = 0usize;
+        let mut occupancy_sum = 0usize;
+        let mut dia_min = f64::INFINITY;
+        let mut dia_max: f64 = 0.0;
+        let mut dia_sum = 0.0;
+        if let Some(root) = tree.root() {
+            let mut stack = vec![root];
+            while let Some(id) = stack.pop() {
+                node_count += 1;
+                if tree.is_leaf(id) {
+                    leaf_count += 1;
+                    occupancy_sum += tree.leaf_entries(id).len();
+                    let d = tree.max_diameter(id, metric);
+                    dia_min = dia_min.min(d);
+                    dia_max = dia_max.max(d);
+                    dia_sum += d;
+                } else {
+                    stack.extend_from_slice(tree.children(id));
+                }
+            }
+        }
+        TreeStats {
+            num_records: tree.num_records(),
+            node_count,
+            leaf_count,
+            height: tree.height(),
+            avg_leaf_occupancy: if leaf_count == 0 {
+                0.0
+            } else {
+                occupancy_sum as f64 / leaf_count as f64
+            },
+            min_leaf_diameter: if leaf_count == 0 { 0.0 } else { dia_min },
+            avg_leaf_diameter: if leaf_count == 0 {
+                0.0
+            } else {
+                dia_sum / leaf_count as f64
+            },
+            max_leaf_diameter: dia_max,
+        }
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "records={} nodes={} leaves={} height={} avg_fill={:.1} leaf_diam[min/avg/max]={:.4}/{:.4}/{:.4}",
+            self.num_records,
+            self.node_count,
+            self.leaf_count,
+            self.height,
+            self.avg_leaf_occupancy,
+            self.min_leaf_diameter,
+            self.avg_leaf_diameter,
+            self.max_leaf_diameter
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtree::RTree;
+    use crate::RTreeConfig;
+    use csj_geom::Point;
+
+    #[test]
+    fn stats_of_empty_tree() {
+        let tree = RTree::<2>::new(RTreeConfig::default());
+        let s = TreeStats::compute(&tree, Metric::Euclidean);
+        assert_eq!(s.num_records, 0);
+        assert_eq!(s.node_count, 0);
+        assert_eq!(s.height, 0);
+        assert_eq!(s.avg_leaf_occupancy, 0.0);
+    }
+
+    #[test]
+    fn stats_of_populated_tree() {
+        let pts: Vec<Point<2>> = (0..200)
+            .map(|i| Point::new([(i % 20) as f64 / 20.0, (i / 20) as f64 / 10.0]))
+            .collect();
+        let tree = RTree::from_points(&pts, RTreeConfig::with_max_fanout(8));
+        let s = TreeStats::compute(&tree, Metric::Euclidean);
+        assert_eq!(s.num_records, 200);
+        assert!(s.leaf_count > 1);
+        assert!(s.node_count > s.leaf_count, "has internal nodes");
+        assert!(s.height >= 2);
+        assert!(s.avg_leaf_occupancy > 0.0 && s.avg_leaf_occupancy <= 8.0);
+        assert!(s.min_leaf_diameter <= s.avg_leaf_diameter);
+        assert!(s.avg_leaf_diameter <= s.max_leaf_diameter);
+        // Sanity: leaf diameters are below the dataset diameter.
+        assert!(s.max_leaf_diameter <= 2.0f64.sqrt() + 1e-9);
+        let shown = s.to_string();
+        assert!(shown.contains("records=200"));
+    }
+}

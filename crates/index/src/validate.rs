@@ -1,0 +1,189 @@
+//! Structural invariant checkers.
+//!
+//! Used pervasively in tests (including property tests) to assert that
+//! every mutation leaves a tree in a valid state. The checks mirror the
+//! *inclusion property* the paper identifies as the one essential index
+//! requirement, plus the usual balance/fanout invariants.
+
+use crate::mtree::MTree;
+use crate::rect::RectCore;
+use std::fmt;
+
+/// A violated tree invariant, with context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation(pub String);
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tree invariant violated: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+// The negated float comparisons inside `ensure!` are deliberate: an
+// invariant must hold, and NaN (incomparable) must also fail it.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn holds(cond: bool) -> bool {
+    cond
+}
+
+macro_rules! ensure {
+    ($cond:expr, $($arg:tt)*) => {
+        if !holds($cond) {
+            return Err(InvariantViolation(format!($($arg)*)));
+        }
+    };
+}
+
+/// Validates a rectangle tree (R-tree or R*-tree):
+///
+/// * parent/child pointers are mutually consistent and acyclic;
+/// * every node's MBR is exactly the bound of its contents (inclusion);
+/// * all leaves are at level 0 and levels decrease by one per step;
+/// * fanout bounds hold for every non-root node;
+/// * the record count matches;
+/// * every live arena node is reachable from the root.
+pub fn validate_rect_tree<const D: usize>(core: &RectCore<D>) -> Result<(), InvariantViolation> {
+    let Some(root) = core.root else {
+        ensure!(core.num_records == 0, "empty tree with {} records", core.num_records);
+        ensure!(core.arena.is_empty(), "empty tree with {} live nodes", core.arena.len());
+        return Ok(());
+    };
+    ensure!(core.node(root).parent.is_none(), "root has a parent");
+
+    let mut records = 0usize;
+    let mut visited = 0usize;
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        visited += 1;
+        let node = core.node(id);
+        if id != root {
+            ensure!(
+                node.occupancy() >= core.config.min_fanout,
+                "{id} underfull: {} < {}",
+                node.occupancy(),
+                core.config.min_fanout
+            );
+        } else if !node.is_leaf() {
+            ensure!(node.children.len() >= 2, "internal root with < 2 children");
+        }
+        ensure!(
+            node.occupancy() <= core.config.max_fanout,
+            "{id} overfull: {} > {}",
+            node.occupancy(),
+            core.config.max_fanout
+        );
+        if node.is_leaf() {
+            ensure!(node.children.is_empty(), "leaf {id} has children");
+            records += node.entries.len();
+            let mut mbr = csj_geom::Mbr::empty();
+            for e in &node.entries {
+                mbr.expand_to_point(&e.point);
+            }
+            ensure!(mbr == node.mbr, "leaf {id} MBR stale: {:?} != {:?}", node.mbr, mbr);
+        } else {
+            ensure!(node.entries.is_empty(), "internal {id} has leaf entries");
+            let mut mbr = csj_geom::Mbr::empty();
+            for &c in &node.children {
+                let child = core.node(c);
+                ensure!(
+                    child.parent == Some(id),
+                    "child {c} of {id} has parent {:?}",
+                    child.parent
+                );
+                ensure!(
+                    child.level + 1 == node.level,
+                    "child {c} level {} under {id} level {}",
+                    child.level,
+                    node.level
+                );
+                ensure!(
+                    node.mbr.contains_mbr(&child.mbr),
+                    "inclusion property violated: {id} does not contain child {c}"
+                );
+                mbr.expand_to_mbr(&child.mbr);
+                stack.push(c);
+            }
+            ensure!(mbr == node.mbr, "internal {id} MBR stale");
+        }
+    }
+    ensure!(
+        records == core.num_records,
+        "record count mismatch: stored {} vs counted {records}",
+        core.num_records
+    );
+    ensure!(
+        visited == core.arena.len(),
+        "unreachable nodes: visited {visited}, arena holds {}",
+        core.arena.len()
+    );
+    Ok(())
+}
+
+/// Validates an M-tree:
+///
+/// * parent/child pointers consistent, levels decrease by one;
+/// * every leaf record lies within its node's covering radius;
+/// * every child ball is contained in its parent ball
+///   (`d(parent, child) + r_child <= r_parent`, up to fp slack);
+/// * fanout bounds and record count hold.
+pub fn validate_mtree<const D: usize>(tree: &MTree<D>) -> Result<(), InvariantViolation> {
+    let metric = tree.metric();
+    let Some(root) = tree.root_id() else {
+        ensure!(tree.is_empty(), "empty m-tree with {} records", tree.len());
+        return Ok(());
+    };
+    let mut records = 0usize;
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        let node = tree.node_ref(id);
+        if id != root {
+            ensure!(
+                node.occupancy() >= tree.config().min_fanout,
+                "{id} underfull ({})",
+                node.occupancy()
+            );
+        }
+        ensure!(
+            node.occupancy() <= tree.config().max_fanout,
+            "{id} overfull ({})",
+            node.occupancy()
+        );
+        if node.is_leaf() {
+            records += node.entries.len();
+            for e in &node.entries {
+                let d = metric.distance(&node.center, &e.point);
+                ensure!(
+                    d <= node.radius + 1e-9,
+                    "leaf {id}: record {} at distance {d} outside radius {}",
+                    e.id,
+                    node.radius
+                );
+            }
+        } else {
+            for &c in &node.children {
+                let child = tree.node_ref(c);
+                ensure!(child.parent == Some(id), "m-tree child {c} parent mismatch");
+                ensure!(
+                    child.level + 1 == node.level,
+                    "m-tree child {c} level mismatch"
+                );
+                let d = metric.distance(&node.center, &child.center);
+                ensure!(
+                    d + child.radius <= node.radius + 1e-9,
+                    "ball inclusion violated: {id} (r={}) does not contain {c} (d={d}, r={})",
+                    node.radius,
+                    child.radius
+                );
+                stack.push(c);
+            }
+        }
+    }
+    ensure!(
+        records == tree.len(),
+        "m-tree record count mismatch: {} vs {records}",
+        tree.len()
+    );
+    Ok(())
+}

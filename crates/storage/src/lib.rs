@@ -1,0 +1,29 @@
+//! Storage substrate for compact similarity joins.
+//!
+//! The paper measures two storage-facing quantities:
+//!
+//! * **Output size** — "the size in bytes of the resulting output text
+//!   file", where "each data point is zero-padded to ensure it is
+//!   represented by the same fixed number of bits", links are written as
+//!   `0001 0002` lines and groups as `0001 0002 0003...` lines (§VI).
+//!   [`writer`] reproduces that format byte-for-byte, over counting,
+//!   in-memory or real-file sinks.
+//! * **I/O behaviour** — Experiment 3 compares page / cache accesses and
+//!   splits runtime into computation vs disk-write time. [`page`],
+//!   [`buffer`] and [`pager`] provide a paged-storage simulation (one tree
+//!   node ≈ one page) with an LRU buffer pool and hit/miss counters, and
+//!   [`costmodel`] turns byte/page counts into deterministic,
+//!   machine-independent time estimates.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod costmodel;
+pub mod page;
+pub mod pager;
+pub mod writer;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use costmodel::CostModel;
+pub use page::{Page, PageId, PAGE_SIZE};
+pub use writer::{CountingSink, FileSink, OutputSink, OutputWriter, VecSink};

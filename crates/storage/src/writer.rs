@@ -1,0 +1,350 @@
+//! Join-output writers in the paper's text format.
+//!
+//! §VI: "Output size is measured by the size in bytes of the resulting
+//! output text file. Each data point is zero-padded to ensure it is
+//! represented by the same fixed number of bits. A link is written as a
+//! single line in the output file containing the two data points, e.g.
+//! `0001 0002`, while a cluster is written as the line
+//! `0001 0002 0003...`."
+//!
+//! [`OutputWriter`] reproduces exactly that: fixed-width zero-padded
+//! record ids, space-separated, newline-terminated lines. The sink is
+//! pluggable so experiments can count bytes without materializing output
+//! ([`CountingSink`]), keep it for inspection ([`VecSink`]) or write a
+//! real file ([`FileSink`]).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Where formatted output bytes go.
+pub trait OutputSink {
+    /// Consumes a chunk of formatted output.
+    fn write_bytes(&mut self, bytes: &[u8]);
+    /// Total bytes consumed so far.
+    fn bytes_written(&self) -> u64;
+    /// Flushes buffered state (no-op for in-memory sinks).
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards output, keeping only the byte count. The default for
+/// experiments: output size is measured without disk traffic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingSink {
+    bytes: u64,
+}
+
+impl CountingSink {
+    /// A fresh counting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl OutputSink for CountingSink {
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        self.bytes += bytes.len() as u64;
+    }
+    fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Buffers output in memory (tests, small runs).
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    buf: Vec<u8>,
+}
+
+impl VecSink {
+    /// A fresh in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated output bytes.
+    pub fn contents(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// The accumulated output as UTF-8 (the format is pure ASCII).
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf).expect("output format is ASCII")
+    }
+}
+
+impl OutputSink for VecSink {
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+    fn bytes_written(&self) -> u64 {
+        self.buf.len() as u64
+    }
+}
+
+/// Writes output to a real file through a buffered writer.
+#[derive(Debug)]
+pub struct FileSink {
+    writer: BufWriter<File>,
+    bytes: u64,
+}
+
+impl FileSink {
+    /// Creates (truncates) `path` for writing.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(FileSink { writer: BufWriter::new(File::create(path)?), bytes: 0 })
+    }
+}
+
+impl OutputSink for FileSink {
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        self.bytes += bytes.len() as u64;
+        self.writer.write_all(bytes).expect("output file write failed");
+    }
+    fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Formats links and groups in the paper's fixed-width text format.
+#[derive(Debug)]
+pub struct OutputWriter<S> {
+    sink: S,
+    width: usize,
+    links: u64,
+    groups: u64,
+    scratch: Vec<u8>,
+}
+
+impl<S: OutputSink> OutputWriter<S> {
+    /// Creates a writer whose ids are zero-padded to `width` digits.
+    ///
+    /// Use [`OutputWriter::id_width_for`] to derive the width from the
+    /// dataset size, as the paper does ("the same fixed number of bits").
+    pub fn new(sink: S, width: usize) -> Self {
+        assert!((1..=20).contains(&width), "id width out of range");
+        OutputWriter { sink, width, links: 0, groups: 0, scratch: Vec::with_capacity(256) }
+    }
+
+    /// The minimal width that fits every id of a dataset with `n` records.
+    pub fn id_width_for(n: usize) -> usize {
+        let mut width = 1;
+        let mut bound = 10usize;
+        while n > bound {
+            width += 1;
+            bound = bound.saturating_mul(10);
+        }
+        width
+    }
+
+    /// Writes one link line: two padded ids separated by a space.
+    pub fn write_link(&mut self, a: u32, b: u32) {
+        self.scratch.clear();
+        Self::push_padded(&mut self.scratch, a, self.width);
+        self.scratch.push(b' ');
+        Self::push_padded(&mut self.scratch, b, self.width);
+        self.scratch.push(b'\n');
+        self.sink.write_bytes(&self.scratch);
+        self.links += 1;
+    }
+
+    /// Writes one group line: every member id, space separated.
+    ///
+    /// Panics on an empty group — the algorithms never emit one.
+    pub fn write_group(&mut self, ids: &[u32]) {
+        assert!(!ids.is_empty(), "empty group written");
+        self.scratch.clear();
+        for (i, &id) in ids.iter().enumerate() {
+            if i > 0 {
+                self.scratch.push(b' ');
+            }
+            Self::push_padded(&mut self.scratch, id, self.width);
+        }
+        self.scratch.push(b'\n');
+        self.sink.write_bytes(&self.scratch);
+        self.groups += 1;
+    }
+
+    fn push_padded(buf: &mut Vec<u8>, value: u32, width: usize) {
+        let mut digits = [0u8; 10];
+        let mut v = value;
+        let mut n = 0;
+        loop {
+            digits[n] = b'0' + (v % 10) as u8;
+            v /= 10;
+            n += 1;
+            if v == 0 {
+                break;
+            }
+        }
+        // Pad (ids wider than `width` are written unpadded rather than
+        // truncated, preserving correctness over formatting).
+        for _ in n..width {
+            buf.push(b'0');
+        }
+        for i in (0..n).rev() {
+            buf.push(digits[i]);
+        }
+    }
+
+    /// Number of link lines written.
+    pub fn links_written(&self) -> u64 {
+        self.links
+    }
+
+    /// Number of group lines written.
+    pub fn groups_written(&self) -> u64 {
+        self.groups
+    }
+
+    /// Total output bytes so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.sink.bytes_written()
+    }
+
+    /// Flushes and returns the sink.
+    pub fn finish(mut self) -> S {
+        self.sink.flush().expect("flush failed");
+        self.sink
+    }
+
+    /// Borrow the sink (e.g. to inspect a [`VecSink`]).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_format_matches_paper_example() {
+        let mut w = OutputWriter::new(VecSink::new(), 4);
+        w.write_link(1, 2);
+        assert_eq!(w.sink().as_str(), "0001 0002\n");
+        assert_eq!(w.links_written(), 1);
+        assert_eq!(w.bytes_written(), 10);
+    }
+
+    #[test]
+    fn group_format_matches_paper_example() {
+        let mut w = OutputWriter::new(VecSink::new(), 4);
+        w.write_group(&[1, 2, 3]);
+        assert_eq!(w.sink().as_str(), "0001 0002 0003\n");
+        assert_eq!(w.groups_written(), 1);
+        assert_eq!(w.bytes_written(), 15);
+    }
+
+    #[test]
+    fn fixed_width_padding() {
+        let mut w = OutputWriter::new(VecSink::new(), 6);
+        w.write_link(0, 123456);
+        assert_eq!(w.sink().as_str(), "000000 123456\n");
+        // Wider-than-width ids are not truncated.
+        let mut w = OutputWriter::new(VecSink::new(), 2);
+        w.write_link(12345, 7);
+        assert_eq!(w.sink().as_str(), "12345 07\n");
+    }
+
+    #[test]
+    fn byte_counts_are_deterministic() {
+        // A link line is 2*width + 2 bytes; a k-group is k*width + k.
+        let width = 5;
+        let mut w = OutputWriter::new(CountingSink::new(), width);
+        w.write_link(1, 2);
+        assert_eq!(w.bytes_written(), (2 * width + 2) as u64);
+        let before = w.bytes_written();
+        w.write_group(&[1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(w.bytes_written() - before, (7 * width + 7) as u64);
+    }
+
+    #[test]
+    fn id_width_for_sizes() {
+        assert_eq!(OutputWriter::<CountingSink>::id_width_for(0), 1);
+        assert_eq!(OutputWriter::<CountingSink>::id_width_for(9), 1);
+        assert_eq!(OutputWriter::<CountingSink>::id_width_for(10), 1);
+        assert_eq!(OutputWriter::<CountingSink>::id_width_for(11), 2);
+        assert_eq!(OutputWriter::<CountingSink>::id_width_for(27_000), 5);
+        assert_eq!(OutputWriter::<CountingSink>::id_width_for(1_500_000), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn empty_group_panics() {
+        let mut w = OutputWriter::new(CountingSink::new(), 4);
+        w.write_group(&[]);
+    }
+
+    #[test]
+    fn file_sink_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("csj_writer_test.txt");
+        {
+            let mut w = OutputWriter::new(FileSink::create(&path).unwrap(), 3);
+            w.write_link(7, 42);
+            w.write_group(&[1, 2, 3]);
+            let sink = w.finish();
+            assert_eq!(sink.bytes_written(), 8 + 12);
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "007 042\n001 002 003\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn counting_matches_vec_sink() {
+        let mut count = OutputWriter::new(CountingSink::new(), 4);
+        let mut vec = OutputWriter::new(VecSink::new(), 4);
+        for i in 0..50u32 {
+            count.write_link(i, i * 7 % 97);
+            vec.write_link(i, i * 7 % 97);
+            if i % 5 == 0 {
+                let g = [i, i + 1, i + 2];
+                count.write_group(&g);
+                vec.write_group(&g);
+            }
+        }
+        assert_eq!(count.bytes_written(), vec.bytes_written());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every emitted line parses back to the written ids (round-trip).
+        #[test]
+        fn lines_roundtrip(
+            links in prop::collection::vec((0u32..100_000, 0u32..100_000), 0..50),
+            groups in prop::collection::vec(prop::collection::vec(0u32..100_000, 1..20), 0..20),
+            width in 1usize..8,
+        ) {
+            let mut w = OutputWriter::new(VecSink::new(), width);
+            for &(a, b) in &links {
+                w.write_link(a, b);
+            }
+            for g in &groups {
+                w.write_group(g);
+            }
+            let text = w.sink().as_str().to_string();
+            let lines: Vec<&str> = text.lines().collect();
+            prop_assert_eq!(lines.len(), links.len() + groups.len());
+            for (line, &(a, b)) in lines.iter().zip(&links) {
+                let ids: Vec<u32> = line.split(' ').map(|t| t.parse().unwrap()).collect();
+                prop_assert_eq!(ids, vec![a, b]);
+            }
+            for (line, g) in lines[links.len()..].iter().zip(&groups) {
+                let ids: Vec<u32> = line.split(' ').map(|t| t.parse().unwrap()).collect();
+                prop_assert_eq!(&ids, g);
+            }
+        }
+    }
+}

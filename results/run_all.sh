@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerates every figure/table of the paper at full scale.
+set -x
+cd /root/repo
+cargo run --release -q -p csj-bench --bin figure4 -- --scale 1.0 > results/figure4.txt 2> results/figure4.log
+cargo run --release -q -p csj-bench --bin figure5 -- --iters 3 > results/figure5.tsv 2> results/figure5.log
+cargo run --release -q -p csj-bench --bin figure6 -- --iters 3 > results/figure6.tsv 2> results/figure6.log
+cargo run --release -q -p csj-bench --bin figure7 -- --iters 3 > results/figure7.tsv 2> results/figure7.log
+cargo run --release -q -p csj-bench --bin figure8 -- --iters 3 > results/figure8.tsv 2> results/figure8.log
+cargo run --release -q -p csj-bench --bin experiment4 -- --iters 3 > results/experiment4.tsv 2> results/experiment4.log
+cargo run --release -q -p csj-bench --bin ablation_shapes -- --iters 3 > results/ablation_shapes.tsv 2> results/ablation_shapes.log
+cargo run --release -q -p csj-bench --bin ablation_ordering > results/ablation_ordering.txt 2> results/ablation_ordering.log
+cargo run --release -q -p csj-bench --bin ablation_egrid -- --iters 3 > results/ablation_egrid.tsv 2> results/ablation_egrid.log
+cargo run --release -q -p csj-bench --bin ablation_fractal -- --iters 3 > results/ablation_fractal.tsv 2> results/ablation_fractal.log
+cargo run --release -q -p csj-bench --bin ablation_sweep -- --iters 3 > results/ablation_sweep.tsv 2> results/ablation_sweep.log
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,121 @@
+//! Byte-exact output format through the full stack: join → text file →
+//! parse back → expand → compare against brute force.
+
+use std::collections::BTreeSet;
+
+use csj_core::brute::brute_force_links;
+use csj_core::csj::CsjJoin;
+use csj_core::ncsj::NcsjJoin;
+use csj_core::ssj::SsjJoin;
+use csj_index::{rstar::RStarTree, RTreeConfig};
+use csj_storage::{FileSink, OutputSink, OutputWriter, VecSink};
+
+fn sample_points() -> Vec<csj_geom::Point<2>> {
+    csj_data::clusters::gaussian_mixture(
+        600,
+        csj_data::clusters::ClusterConfig { clusters: 5, sigma: 0.02 },
+        3,
+    )
+}
+
+/// Parses the paper's text format back into a link set: each line is a
+/// row; a 2-id line could be a link or a 2-group (identical bytes — the
+/// formats coincide by design), longer lines are groups.
+fn parse_link_set(text: &str) -> BTreeSet<(u32, u32)> {
+    let mut set = BTreeSet::new();
+    for line in text.lines() {
+        let ids: Vec<u32> = line.split(' ').map(|t| t.parse().unwrap()).collect();
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                let (a, b) = (ids[i].min(ids[j]), ids[i].max(ids[j]));
+                if a != b {
+                    set.insert((a, b));
+                }
+            }
+        }
+    }
+    set
+}
+
+#[test]
+fn text_roundtrip_all_algorithms() {
+    let pts = sample_points();
+    let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(12));
+    let eps = 0.05;
+    let truth = brute_force_links(&pts, eps);
+    let width = 3;
+
+    let mut w = OutputWriter::new(VecSink::new(), width);
+    SsjJoin::new(eps).run_streaming(&tree, &mut w);
+    assert_eq!(parse_link_set(w.sink().as_str()), truth, "ssj");
+
+    let mut w = OutputWriter::new(VecSink::new(), width);
+    NcsjJoin::new(eps).run_streaming(&tree, &mut w);
+    assert_eq!(parse_link_set(w.sink().as_str()), truth, "ncsj");
+
+    let mut w = OutputWriter::new(VecSink::new(), width);
+    CsjJoin::new(eps).with_window(10).run_streaming(&tree, &mut w);
+    assert_eq!(parse_link_set(w.sink().as_str()), truth, "csj");
+}
+
+#[test]
+fn file_bytes_equal_counted_bytes() {
+    let pts = sample_points();
+    let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(12));
+    let eps = 0.04;
+    let width = 3;
+    let join = CsjJoin::new(eps).with_window(10);
+
+    // Collected accounting.
+    let collected = join.run(&tree);
+    let expected_bytes = collected.total_bytes(width);
+
+    // Real file.
+    let path = std::env::temp_dir().join(format!("csj_fmt_{}.txt", std::process::id()));
+    let mut w = OutputWriter::new(FileSink::create(&path).unwrap(), width);
+    join.run_streaming(&tree, &mut w);
+    let sink = w.finish();
+    assert_eq!(sink.bytes_written(), expected_bytes);
+    let on_disk = std::fs::metadata(&path).unwrap().len();
+    assert_eq!(on_disk, expected_bytes, "file size equals the byte accounting");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn streamed_and_collected_rows_are_identical() {
+    let pts = sample_points();
+    let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(12));
+    let eps = 0.06;
+    let width = 3;
+    let join = CsjJoin::new(eps).with_window(7);
+
+    let collected = join.run(&tree);
+    let mut from_collected = OutputWriter::new(VecSink::new(), width);
+    collected.write_to(&mut from_collected);
+
+    let mut streamed = OutputWriter::new(VecSink::new(), width);
+    join.run_streaming(&tree, &mut streamed);
+
+    assert_eq!(
+        from_collected.sink().as_str(),
+        streamed.sink().as_str(),
+        "stream and collect must produce byte-identical output"
+    );
+}
+
+#[test]
+fn dataset_export_import_roundtrip() {
+    let pts = sample_points();
+    let path = std::env::temp_dir().join(format!("csj_pts_{}.txt", std::process::id()));
+    csj_data::io::write_points(&path, &pts).unwrap();
+    let back: Vec<csj_geom::Point<2>> = csj_data::io::read_points(&path).unwrap();
+    assert_eq!(back, pts);
+    std::fs::remove_file(&path).ok();
+
+    // Joins over the re-imported data give identical results.
+    let t1 = RStarTree::bulk_load_str(&pts, RTreeConfig::default());
+    let t2 = RStarTree::bulk_load_str(&back, RTreeConfig::default());
+    let o1 = CsjJoin::new(0.03).run(&t1);
+    let o2 = CsjJoin::new(0.03).run(&t2);
+    assert_eq!(o1.expanded_link_set(), o2.expanded_link_set());
+}

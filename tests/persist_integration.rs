@@ -1,0 +1,58 @@
+//! Persistence end-to-end: a join over a saved-and-reloaded index is
+//! byte-identical to a join over the original.
+
+use csj_core::csj::CsjJoin;
+use csj_core::ssj::SsjJoin;
+use csj_index::{rstar::RStarTree, JoinIndex, RTreeConfig};
+use csj_storage::{OutputWriter, VecSink};
+
+fn dataset() -> Vec<csj_geom::Point<2>> {
+    csj_data::roads::road_network(&csj_data::roads::RoadConfig {
+        n_points: 3_000,
+        cores: 3,
+        core_sigma: 0.07,
+        rural_fraction: 0.3,
+        grid_snap_prob: 0.8,
+        step: 0.003,
+        mean_road_len: 0.05,
+        seed: 0xBEEF,
+    })
+}
+
+#[test]
+fn join_over_reloaded_index_is_byte_identical() {
+    let pts = dataset();
+    let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::default());
+    let loaded = RStarTree::<2>::from_bytes(&tree.to_bytes()).expect("roundtrip");
+    assert_eq!(loaded.num_records(), tree.num_records());
+
+    for eps in [0.005, 0.05] {
+        let mut a = OutputWriter::new(VecSink::new(), 4);
+        let mut b = OutputWriter::new(VecSink::new(), 4);
+        CsjJoin::new(eps).with_window(10).run_streaming(&tree, &mut a);
+        CsjJoin::new(eps).with_window(10).run_streaming(&loaded, &mut b);
+        assert_eq!(
+            a.sink().as_str(),
+            b.sink().as_str(),
+            "eps={eps}: joins over original and reloaded trees must match"
+        );
+        let mut a = OutputWriter::new(VecSink::new(), 4);
+        let mut b = OutputWriter::new(VecSink::new(), 4);
+        SsjJoin::new(eps).run_streaming(&tree, &mut a);
+        SsjJoin::new(eps).run_streaming(&loaded, &mut b);
+        assert_eq!(a.sink().as_str(), b.sink().as_str(), "eps={eps} (ssj)");
+    }
+}
+
+#[test]
+fn file_roundtrip_through_disk() {
+    let pts = dataset();
+    let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::default());
+    let path = std::env::temp_dir().join(format!("csj_persist_{}.idx", std::process::id()));
+    std::fs::write(&path, tree.to_bytes()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let loaded = RStarTree::<2>::from_bytes(&bytes).unwrap();
+    assert_eq!(loaded.num_records(), 3_000);
+    csj_index::validate::validate_rect_tree(loaded.core()).unwrap();
+    std::fs::remove_file(&path).ok();
+}
