@@ -14,9 +14,7 @@ fn bench_index(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("index_build");
     group.sample_size(10);
-    group.bench_function("rstar_dynamic_insert", |b| {
-        b.iter(|| RStarTree::from_points(&pts, cfg))
-    });
+    group.bench_function("rstar_dynamic_insert", |b| b.iter(|| RStarTree::from_points(&pts, cfg)));
     group.bench_function("bulk_str", |b| b.iter(|| bulk::str_pack(&pts, cfg)));
     group.bench_function("bulk_hilbert", |b| b.iter(|| bulk::hilbert_pack(&pts, cfg)));
     group.bench_function("bulk_omt", |b| b.iter(|| bulk::omt_pack(&pts, cfg)));

@@ -49,7 +49,7 @@ fn run_dataset<const D: usize>(name: &str, pts: &[Point<D>], eps: f64, args: &Co
     let tree = RStarTree::bulk_load_str(pts, RTreeConfig::default());
     let join = CsjJoin::new(eps).with_window(10);
     let mut writer = OutputWriter::new(CountingSink::new(), width);
-    let stats = join.run_streaming(&tree, &mut writer);
+    let stats = join.run_streaming(&tree, &mut writer).expect("counting sink cannot fail");
     let time_ms = median_time_ms(args.iters, || {
         let mut w = OutputWriter::new(CountingSink::new(), width);
         let _ = join.run_streaming(&tree, &mut w);

@@ -83,9 +83,7 @@ fn report<T: JoinIndex<D>, const D: usize>(
     let t_hi = time_csj(tree, 0.16, args);
     let ratio = t_hi / t_lo.max(1e-9);
 
-    println!(
-        "{name}\t{embed}\t{theory:.3}\t{d0:.3}\t{d2:.3}\t{exponent:.3}\t{ratio:.2}"
-    );
+    println!("{name}\t{embed}\t{theory:.3}\t{d0:.3}\t{d2:.3}\t{exponent:.3}\t{ratio:.2}");
 }
 
 fn time_csj<T: JoinIndex<D>, const D: usize>(tree: &T, eps: f64, args: &CommonArgs) -> f64 {

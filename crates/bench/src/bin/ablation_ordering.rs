@@ -53,7 +53,9 @@ fn line_example() {
         println!("#   group: {g:?}");
     }
     println!("# groups = {}, total members written = {total}", groups.len());
-    println!("# optimal for this instance: 3 groups, 20 members (e.g. {{1..8}}, {{2,9}}, {{3..10}})");
+    println!(
+        "# optimal for this instance: 3 groups, 20 members (e.g. {{1..8}}, {{2,9}}, {{3..10}})"
+    );
 }
 
 /// Part 2: the traversal order induced by each index build.
@@ -74,7 +76,7 @@ fn tree_order_comparison(args: &CommonArgs) {
     for (name, tree) in &builds {
         let join = CsjJoin::new(eps).with_window(10);
         let mut writer = OutputWriter::new(CountingSink::new(), width);
-        let stats = join.run_streaming(tree, &mut writer);
+        let stats = join.run_streaming(tree, &mut writer).expect("counting sink cannot fail");
         println!(
             "{name}\t{eps:.3}\t{}\t{}\t{}",
             writer.bytes_written(),

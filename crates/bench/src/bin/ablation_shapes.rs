@@ -29,7 +29,7 @@ fn main() {
             ("ball", CsjJoin::new(eps).with_window(10).with_shape(GroupShapeKind::Ball)),
         ] {
             let mut writer = OutputWriter::new(CountingSink::new(), width);
-            let stats = join.run_streaming(&tree, &mut writer);
+            let stats = join.run_streaming(&tree, &mut writer).expect("counting sink cannot fail");
             let time_ms = median_time_ms(args.iters, || {
                 let mut w = OutputWriter::new(CountingSink::new(), width);
                 let _ = join.run_streaming(&tree, &mut w);

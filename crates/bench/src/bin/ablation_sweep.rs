@@ -28,7 +28,7 @@ fn main() {
             // SSJ.
             let ssj = if sweep { SsjJoin::new(eps).with_plane_sweep() } else { SsjJoin::new(eps) };
             let mut w = OutputWriter::new(CountingSink::new(), width);
-            let stats = ssj.run_streaming(&tree, &mut w);
+            let stats = ssj.run_streaming(&tree, &mut w).expect("counting sink cannot fail");
             let t = median_time_ms(args.iters, || {
                 let mut w = OutputWriter::new(CountingSink::new(), width);
                 let _ = ssj.run_streaming(&tree, &mut w);
@@ -47,7 +47,7 @@ fn main() {
                 CsjJoin::new(eps).with_window(10)
             };
             let mut w = OutputWriter::new(CountingSink::new(), width);
-            let stats = csj.run_streaming(&tree, &mut w);
+            let stats = csj.run_streaming(&tree, &mut w).expect("counting sink cannot fail");
             let t = median_time_ms(args.iters, || {
                 let mut w = OutputWriter::new(CountingSink::new(), width);
                 let _ = csj.run_streaming(&tree, &mut w);

@@ -35,8 +35,12 @@ fn summarize(pts: &[Point<2>]) {
         cy += p[1];
     }
     let n = pts.len() as f64;
-    println!("centroid = ({:.3}, {:.3})  occupancy_skew(20x20 top decile) = {:.2}",
-        cx / n, cy / n, skew(pts));
+    println!(
+        "centroid = ({:.3}, {:.3})  occupancy_skew(20x20 top decile) = {:.2}",
+        cx / n,
+        cy / n,
+        skew(pts)
+    );
 }
 
 fn summarize3(pts: &[Point<3>]) {

@@ -47,7 +47,8 @@ fn main() {
         });
 
         // 2. Measured write time: same run against a real file.
-        let path = std::env::temp_dir().join(format!("csj_fig8_{}.txt", algo.replace(['(', ')'], "_")));
+        let path =
+            std::env::temp_dir().join(format!("csj_fig8_{}.txt", algo.replace(['(', ')'], "_")));
         let total_ms = median_time_ms(args.iters, || {
             let mut w = OutputWriter::new(FileSink::create(&path).expect("temp file"), width);
             let _ = run(algo, &tree, &mut w, false);
@@ -91,14 +92,14 @@ fn run<T: JoinIndex<2>, S: csj_storage::OutputSink>(
             if with_log {
                 j = j.with_access_log();
             }
-            j.run_streaming(tree, writer)
+            j.run_streaming(tree, writer).expect("counting sink cannot fail")
         }
         "N-CSJ" => {
             let mut j = NcsjJoin::new(EPS);
             if with_log {
                 j = j.with_access_log();
             }
-            j.run_streaming(tree, writer)
+            j.run_streaming(tree, writer).expect("counting sink cannot fail")
         }
         other => {
             let g: usize = other
@@ -110,7 +111,7 @@ fn run<T: JoinIndex<2>, S: csj_storage::OutputSink>(
             if with_log {
                 j = j.with_access_log();
             }
-            j.run_streaming(tree, writer)
+            j.run_streaming(tree, writer).expect("counting sink cannot fail")
         }
     }
 }

@@ -117,7 +117,7 @@ pub fn measure<T: JoinIndex<D>, const D: usize>(
         Algo::Ncsj => {
             let join = NcsjJoin::new(eps);
             let mut writer = OutputWriter::new(CountingSink::new(), id_width);
-            let stats = join.run_streaming(tree, &mut writer);
+            let stats = join.run_streaming(tree, &mut writer).expect("counting sink cannot fail");
             let time_ms = median_time_ms(iters, || {
                 let mut w = OutputWriter::new(CountingSink::new(), id_width);
                 let _ = join.run_streaming(tree, &mut w);
@@ -137,7 +137,7 @@ pub fn measure<T: JoinIndex<D>, const D: usize>(
         Algo::Csj(g) => {
             let join = CsjJoin::new(eps).with_window(g);
             let mut writer = OutputWriter::new(CountingSink::new(), id_width);
-            let stats = join.run_streaming(tree, &mut writer);
+            let stats = join.run_streaming(tree, &mut writer).expect("counting sink cannot fail");
             let time_ms = median_time_ms(iters, || {
                 let mut w = OutputWriter::new(CountingSink::new(), id_width);
                 let _ = join.run_streaming(tree, &mut w);
@@ -160,7 +160,14 @@ pub fn measure<T: JoinIndex<D>, const D: usize>(
 /// Prints the TSV header used by all experiment binaries.
 pub fn print_header(extra: &[&str]) {
     let mut cols = vec![
-        "dataset", "n", "algo", "eps", "comp_ms", "total_ms_hdd_model", "bytes", "rows",
+        "dataset",
+        "n",
+        "algo",
+        "eps",
+        "comp_ms",
+        "total_ms_hdd_model",
+        "bytes",
+        "rows",
         "estimated",
     ];
     cols.extend_from_slice(extra);

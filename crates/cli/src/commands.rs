@@ -1,45 +1,67 @@
-//! The five `csj` subcommands.
+//! The `csj` subcommands.
+//!
+//! Every command returns a classified [`CliError`] so failures exit with
+//! a distinct code (see `crate::error`); nothing in here panics on
+//! user-controlled input.
 
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use csj_core::csj::CsjJoin;
-use csj_core::ncsj::NcsjJoin;
-use csj_core::ssj::SsjJoin;
+use csj_core::parallel::ParallelAlgo;
 use csj_core::verify::verify_lossless;
-use csj_core::JoinStats;
+use csj_core::{Completion, JoinConfig, ResilientJoin, RunBudget};
 use csj_data::fractal;
 use csj_geom::{Metric, Point};
 use csj_index::mtree::{MTree, MTreeConfig};
+use csj_index::persist::PersistError;
 use csj_index::{rstar::RStarTree, rtree::RTree, JoinIndex, RTreeConfig};
-use csj_storage::{FileSink, OutputSink, OutputWriter};
+use csj_storage::{FileSink, IoOp, OutputSink, OutputWriter, StorageError};
 
+use crate::error::CliError;
 use crate::opts::{parse_metric, Opts};
 
+/// Maps a flag-parsing error (`Result<_, String>`) to a usage failure.
+trait UsageExt<T> {
+    fn usage(self) -> Result<T, CliError>;
+}
+
+impl<T> UsageExt<T> for Result<T, String> {
+    fn usage(self) -> Result<T, CliError> {
+        self.map_err(CliError::Usage)
+    }
+}
+
+fn read_points_input<const D: usize>(file: &str) -> Result<Vec<Point<D>>, CliError> {
+    csj_data::io::read_points(file).map_err(|e| CliError::input(format!("{file}: {e}")))
+}
+
 /// `csj generate <dataset> --n N [--seed S] --out FILE`
-pub fn generate(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["n", "seed", "out"])?;
-    let dataset = opts.positional(0, "dataset")?;
-    let out = opts.require::<String>("out")?;
-    let seed = opts.get_or("seed", 42u64)?;
+pub fn generate(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &["n", "seed", "out"]).usage()?;
+    let dataset = opts.positional(0, "dataset").usage()?;
+    let out = opts.require::<String>("out").usage()?;
+    let seed = opts.get_or("seed", 42u64).usage()?;
 
     // The presets carry their paper sizes; --n overrides.
-    let write2 = |pts: Vec<Point<2>>| -> Result<usize, String> {
+    let write2 = |pts: Vec<Point<2>>| -> Result<usize, CliError> {
         let n = pts.len();
-        csj_data::io::write_points(&out, &pts).map_err(|e| e.to_string())?;
+        csj_data::io::write_points(&out, &pts)
+            .map_err(|e| StorageError::io_at(IoOp::Write, out.as_ref(), &e))?;
         Ok(n)
     };
-    let write3 = |pts: Vec<Point<3>>| -> Result<usize, String> {
+    let write3 = |pts: Vec<Point<3>>| -> Result<usize, CliError> {
         let n = pts.len();
-        csj_data::io::write_points(&out, &pts).map_err(|e| e.to_string())?;
+        csj_data::io::write_points(&out, &pts)
+            .map_err(|e| StorageError::io_at(IoOp::Write, out.as_ref(), &e))?;
         Ok(n)
     };
 
-    let n_flag = opts.get("n").map(|raw| raw.parse::<usize>().map_err(|e| e.to_string()));
-    let n_of = |default: usize| -> Result<usize, String> {
+    let n_flag = opts.get("n").map(|raw| raw.parse::<usize>());
+    let n_of = |default: usize| -> Result<usize, CliError> {
         match &n_flag {
             Some(Ok(n)) => Ok(*n),
-            Some(Err(e)) => Err(format!("bad value for --n: {e}")),
+            Some(Err(e)) => Err(CliError::usage(format!("bad value for --n: {e}"))),
             None => Ok(default),
         }
     };
@@ -66,28 +88,30 @@ pub fn generate(args: &[String]) -> Result<(), String> {
         }))?,
         "mg-county" => write2(csj_data::roads::mg_county())?,
         "lb-county" => write2(csj_data::roads::lb_county())?,
-        "pacific-nw" => write2(csj_data::roads::pacific_nw(n_of(csj_data::roads::PACIFIC_NW_SIZE)?))?,
-        other => return Err(format!("unknown dataset {other:?}; see `csj help`")),
+        "pacific-nw" => {
+            write2(csj_data::roads::pacific_nw(n_of(csj_data::roads::PACIFIC_NW_SIZE)?))?
+        }
+        other => return Err(CliError::usage(format!("unknown dataset {other:?}; see `csj help`"))),
     };
     eprintln!("wrote {written} points to {out}");
     Ok(())
 }
 
 /// `csj index <points-file> --out FILE [--bulk str|hilbert|omt|none] [--dim 2|3]`
-pub fn index(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["out", "bulk", "dim"])?;
-    match opts.get_or("dim", 2usize)? {
+pub fn index(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &["out", "bulk", "dim"]).usage()?;
+    match opts.get_or("dim", 2usize).usage()? {
         2 => index_dim::<2>(&opts),
         3 => index_dim::<3>(&opts),
-        d => Err(format!("unsupported dimension {d} (2 or 3)")),
+        d => Err(CliError::usage(format!("unsupported dimension {d} (2 or 3)"))),
     }
 }
 
-fn index_dim<const D: usize>(opts: &Opts) -> Result<(), String> {
-    let file = opts.positional(0, "points-file")?;
-    let out = opts.require::<String>("out")?;
+fn index_dim<const D: usize>(opts: &Opts) -> Result<(), CliError> {
+    let file = opts.positional(0, "points-file").usage()?;
+    let out = opts.require::<String>("out").usage()?;
     let bulk = opts.get("bulk").unwrap_or("str");
-    let points: Vec<Point<D>> = csj_data::io::read_points(file).map_err(|e| e.to_string())?;
+    let points: Vec<Point<D>> = read_points_input(file)?;
     let cfg = RTreeConfig::default();
     let start = Instant::now();
     let tree = match bulk {
@@ -95,38 +119,36 @@ fn index_dim<const D: usize>(opts: &Opts) -> Result<(), String> {
         "hilbert" => RStarTree::bulk_load_hilbert(&points, cfg),
         "omt" => RStarTree::bulk_load_omt(&points, cfg),
         "none" => RStarTree::from_points(&points, cfg),
-        other => return Err(format!("unknown --bulk {other:?}")),
+        other => return Err(CliError::usage(format!("unknown --bulk {other:?}"))),
     };
     let built_ms = start.elapsed().as_secs_f64() * 1e3;
-    let bytes = tree.to_bytes();
-    std::fs::write(&out, &bytes).map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    tree.save_to_file(&out).map_err(|e| CliError::Index(format!("{out}: {e}")))?;
+    let saved_ms = start.elapsed().as_secs_f64() * 1e3;
     eprintln!(
-        "indexed {} points in {built_ms:.1} ms; wrote {} bytes to {out}",
+        "indexed {} points in {built_ms:.1} ms; saved (checksummed, atomic) to {out} in {saved_ms:.1} ms",
         points.len(),
-        bytes.len()
     );
     Ok(())
 }
 
 /// `csj analyze <points-file> [--dim 2|3]`
-pub fn analyze(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["dim"])?;
-    let file = opts.positional(0, "points-file")?;
-    match opts.get_or("dim", 2usize)? {
+pub fn analyze(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &["dim"]).usage()?;
+    let file = opts.positional(0, "points-file").usage()?;
+    match opts.get_or("dim", 2usize).usage()? {
         2 => analyze_dim::<2>(file),
         3 => analyze_dim::<3>(file),
-        d => Err(format!("unsupported dimension {d} (2 or 3)")),
+        d => Err(CliError::usage(format!("unsupported dimension {d} (2 or 3)"))),
     }
 }
 
-fn analyze_dim<const D: usize>(file: &str) -> Result<(), String> {
-    let mut points: Vec<Point<D>> =
-        csj_data::io::read_points(file).map_err(|e| e.to_string())?;
+fn analyze_dim<const D: usize>(file: &str) -> Result<(), CliError> {
+    let mut points: Vec<Point<D>> = read_points_input(file)?;
     println!("points: {}", points.len());
-    if points.is_empty() {
-        return Ok(());
-    }
-    let bounds = csj_geom::Mbr::from_points(&points).expect("non-empty");
+    let Some(bounds) = csj_geom::Mbr::from_points(&points) else {
+        return Ok(()); // empty input: nothing more to report
+    };
     println!("bounds: {:?} .. {:?}", bounds.lo.coords(), bounds.hi.coords());
     // Fractal dimensions are computed on the normalized copy.
     csj_data::normalize_unit_cube(&mut points);
@@ -134,8 +156,7 @@ fn analyze_dim<const D: usize>(file: &str) -> Result<(), String> {
     let d2 = fractal::correlation_dimension(&points, &[0.01, 0.02, 0.04, 0.08]);
     println!("fractal dimension: D0 (box counting) = {d0:.3}, D2 (correlation) = {d2:.3}");
     if D == 2 {
-        let proj: Vec<Point<2>> =
-            points.iter().map(|p| Point::new([p[0], p[1]])).collect();
+        let proj: Vec<Point<2>> = points.iter().map(|p| Point::new([p[0], p[1]])).collect();
         println!("density map (log scale):");
         print!("{}", density_map(&proj, 64, 20));
     }
@@ -143,50 +164,94 @@ fn analyze_dim<const D: usize>(file: &str) -> Result<(), String> {
 }
 
 /// `csj join <points-file> --eps E [options]`
-pub fn join(args: &[String]) -> Result<(), String> {
+pub fn join(args: &[String]) -> Result<(), CliError> {
     let opts = Opts::parse(
         args,
-        &["eps", "algo", "window", "metric", "tree", "bulk", "dim", "out", "index"],
-    )?;
-    match opts.get_or("dim", 2usize)? {
+        &[
+            "eps",
+            "algo",
+            "window",
+            "metric",
+            "tree",
+            "bulk",
+            "dim",
+            "out",
+            "index",
+            "max-links",
+            "max-bytes",
+            "deadline",
+        ],
+    )
+    .usage()?;
+    match opts.get_or("dim", 2usize).usage()? {
         2 => join_dim::<2>(&opts),
         3 => join_dim::<3>(&opts),
-        d => Err(format!("unsupported dimension {d} (2 or 3)")),
+        d => Err(CliError::usage(format!("unsupported dimension {d} (2 or 3)"))),
     }
 }
 
-fn join_dim<const D: usize>(opts: &Opts) -> Result<(), String> {
-    let eps = opts.require::<f64>("eps")?;
-    if !(eps >= 0.0 && eps.is_finite()) {
-        return Err("--eps must be finite and non-negative".into());
+/// Builds the resource budget from `--max-links`, `--max-bytes` and
+/// `--deadline <seconds>` (all optional; absent means unlimited).
+fn parse_budget(opts: &Opts) -> Result<RunBudget, CliError> {
+    let mut budget = RunBudget::unlimited();
+    if let Some(raw) = opts.get("max-links") {
+        let n: u64 =
+            raw.parse().map_err(|e| CliError::usage(format!("bad value for --max-links: {e}")))?;
+        budget = budget.with_max_links(n);
     }
+    if let Some(raw) = opts.get("max-bytes") {
+        let n: u64 =
+            raw.parse().map_err(|e| CliError::usage(format!("bad value for --max-bytes: {e}")))?;
+        budget = budget.with_max_bytes(n);
+    }
+    if let Some(raw) = opts.get("deadline") {
+        let secs: f64 =
+            raw.parse().map_err(|e| CliError::usage(format!("bad value for --deadline: {e}")))?;
+        if !(secs >= 0.0 && secs.is_finite()) {
+            return Err(CliError::usage(
+                "--deadline must be a finite, non-negative number of seconds".to_string(),
+            ));
+        }
+        budget = budget.with_deadline(Duration::from_secs_f64(secs));
+    }
+    Ok(budget)
+}
+
+fn join_dim<const D: usize>(opts: &Opts) -> Result<(), CliError> {
+    let eps = opts.require::<f64>("eps").usage()?;
+    if !(eps >= 0.0 && eps.is_finite()) {
+        return Err(CliError::usage("--eps must be finite and non-negative".to_string()));
+    }
+    let budget = parse_budget(opts)?;
     // Persisted-index mode: skip building entirely.
     if let Some(index_file) = opts.get("index") {
         let algo = opts.get("algo").unwrap_or("csj").to_string();
-        let window = opts.get_or("window", 10usize)?;
-        let metric = parse_metric(opts.get("metric").unwrap_or("l2"))?;
+        let window = opts.get_or("window", 10usize).usage()?;
+        let metric = parse_metric(opts.get("metric").unwrap_or("l2")).usage()?;
         let out = opts.get("out").map(str::to_string);
-        let bytes = std::fs::read(index_file).map_err(|e| e.to_string())?;
         let start = Instant::now();
-        let tree = RStarTree::<D>::from_bytes(&bytes).map_err(|e| e.to_string())?;
+        let tree = RStarTree::<D>::load_from_file(index_file).map_err(|e| match e {
+            // `load_from_file` already names the path in its I/O errors.
+            PersistError::Io(detail) => CliError::Index(detail),
+            other => CliError::Index(format!("{index_file}: {other}")),
+        })?;
         eprintln!(
             "loaded index with {} records in {:.1} ms",
             tree.num_records(),
             start.elapsed().as_secs_f64() * 1e3
         );
-        let width =
-            OutputWriter::<csj_storage::CountingSink>::id_width_for(tree.num_records());
-        return run_join(&tree, &algo, eps, window, metric, width, out.as_deref());
+        let width = OutputWriter::<csj_storage::CountingSink>::id_width_for(tree.num_records());
+        return run_join(&tree, &algo, eps, window, metric, width, out.as_deref(), budget);
     }
-    let file = opts.positional(0, "points-file")?;
+    let file = opts.positional(0, "points-file").usage()?;
     let algo = opts.get("algo").unwrap_or("csj").to_string();
-    let window = opts.get_or("window", 10usize)?;
-    let metric = parse_metric(opts.get("metric").unwrap_or("l2"))?;
+    let window = opts.get_or("window", 10usize).usage()?;
+    let metric = parse_metric(opts.get("metric").unwrap_or("l2")).usage()?;
     let tree_kind = opts.get("tree").unwrap_or("rstar").to_string();
     let bulk = opts.get("bulk").unwrap_or("str").to_string();
     let out = opts.get("out").map(str::to_string);
 
-    let points: Vec<Point<D>> = csj_data::io::read_points(file).map_err(|e| e.to_string())?;
+    let points: Vec<Point<D>> = read_points_input(file)?;
     eprintln!("loaded {} points from {file}", points.len());
     let width = OutputWriter::<csj_storage::CountingSink>::id_width_for(points.len());
     let cfg = RTreeConfig::default();
@@ -198,10 +263,10 @@ fn join_dim<const D: usize>(opts: &Opts) -> Result<(), String> {
             eprintln!(
                 "index built in {:.1} ms ({} nodes, height {})",
                 build_start.elapsed().as_secs_f64() * 1e3,
-                tree.subtree_node_count(tree.root().expect("non-empty tree")),
+                tree.root().map_or(0, |r| tree.subtree_node_count(r)),
                 tree.height()
             );
-            run_join(&tree, &algo, eps, window, metric, width, out.as_deref())
+            run_join(&tree, &algo, eps, window, metric, width, out.as_deref(), budget)
         }};
     }
     if points.is_empty() {
@@ -217,10 +282,13 @@ fn join_dim<const D: usize>(opts: &Opts) -> Result<(), String> {
         ("mtree", _) => {
             finish!(MTree::from_points(&points, MTreeConfig::default().with_metric(metric)))
         }
-        (t, b) => Err(format!("unsupported --tree {t:?} / --bulk {b:?} combination")),
+        (t, b) => {
+            Err(CliError::usage(format!("unsupported --tree {t:?} / --bulk {b:?} combination")))
+        }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_join<T: JoinIndex<D>, const D: usize>(
     tree: &T,
     algo: &str,
@@ -229,21 +297,33 @@ fn run_join<T: JoinIndex<D>, const D: usize>(
     metric: Metric,
     width: usize,
     out: Option<&str>,
-) -> Result<(), String> {
+    budget: RunBudget,
+) -> Result<(), CliError> {
+    let parallel_algo = match algo {
+        "ssj" => ParallelAlgo::Ssj,
+        "ncsj" => ParallelAlgo::Ncsj,
+        "csj" => ParallelAlgo::Csj(window),
+        other => {
+            return Err(CliError::usage(format!("unknown --algo {other:?} (ssj, ncsj or csj)")))
+        }
+    };
+    let join = ResilientJoin::with_config(JoinConfig::new(eps).with_metric(metric), parallel_algo)
+        .with_budget(budget)
+        .with_id_width(width);
+
     let start = Instant::now();
-    let (stats, bytes) = match out {
+    let (report, bytes) = match out {
         Some(path) => {
-            let sink = FileSink::create(path).map_err(|e| e.to_string())?;
-            let mut writer = OutputWriter::new(sink, width);
-            let stats = dispatch_algo(tree, algo, eps, window, metric, &mut writer)?;
-            let sink = writer.finish();
-            (stats, sink.bytes_written())
+            let mut writer = OutputWriter::new(FileSink::create(path)?, width);
+            let report = join.run_streaming(tree, &mut writer)?;
+            let sink = writer.finish()?;
+            (report, sink.bytes_written())
         }
         None => {
             let mut writer = OutputWriter::new(StdoutSink::new(), width);
-            let stats = dispatch_algo(tree, algo, eps, window, metric, &mut writer)?;
-            let sink = writer.finish();
-            (stats, sink.bytes_written())
+            let report = join.run_streaming(tree, &mut writer)?;
+            let sink = writer.finish()?;
+            (report, sink.bytes_written())
         }
     };
     let elapsed = start.elapsed().as_secs_f64() * 1e3;
@@ -251,59 +331,53 @@ fn run_join<T: JoinIndex<D>, const D: usize>(
         "{algo} eps={eps}: {:.1} ms, {} bytes, {} links + {} groups, {} distance computations",
         elapsed,
         bytes,
-        stats.links_emitted,
-        stats.groups_emitted,
-        stats.distance_computations
+        report.stats.links_emitted,
+        report.stats.groups_emitted,
+        report.stats.distance_computations
     );
+    if let Completion::Partial { reason, completed_fraction, estimated_links, estimated_bytes } =
+        report.completion
+    {
+        eprintln!(
+            "partial result: {reason} after {:.1}% of root tasks; output above is lossless \
+             over the processed region; extrapolated totals ≈ {estimated_links:.0} links, \
+             {estimated_bytes:.0} bytes",
+            completed_fraction * 100.0
+        );
+    }
     Ok(())
 }
 
-fn dispatch_algo<T: JoinIndex<D>, S: OutputSink, const D: usize>(
-    tree: &T,
-    algo: &str,
-    eps: f64,
-    window: usize,
-    metric: Metric,
-    writer: &mut OutputWriter<S>,
-) -> Result<JoinStats, String> {
-    match algo {
-        "ssj" => Ok(SsjJoin::new(eps).with_metric(metric).run_streaming(tree, writer)),
-        "ncsj" => Ok(NcsjJoin::new(eps).with_metric(metric).run_streaming(tree, writer)),
-        "csj" => Ok(CsjJoin::new(eps)
-            .with_metric(metric)
-            .with_window(window)
-            .run_streaming(tree, writer)),
-        other => Err(format!("unknown --algo {other:?} (ssj, ncsj or csj)")),
-    }
-}
-
 /// `csj join2 <left> <right> --eps E [--mode ...] [--window g] [--out FILE]`
-pub fn join2(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["eps", "mode", "window", "metric", "dim", "out"])?;
-    match opts.get_or("dim", 2usize)? {
+pub fn join2(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &["eps", "mode", "window", "metric", "dim", "out"]).usage()?;
+    match opts.get_or("dim", 2usize).usage()? {
         2 => join2_dim::<2>(&opts),
         3 => join2_dim::<3>(&opts),
-        d => Err(format!("unsupported dimension {d} (2 or 3)")),
+        d => Err(CliError::usage(format!("unsupported dimension {d} (2 or 3)"))),
     }
 }
 
-fn join2_dim<const D: usize>(opts: &Opts) -> Result<(), String> {
+fn join2_dim<const D: usize>(opts: &Opts) -> Result<(), CliError> {
     use csj_core::spatial::{SpatialJoin, SpatialMode};
 
-    let left_file = opts.positional(0, "left-file")?;
-    let right_file = opts.positional(1, "right-file")?;
-    let eps = opts.require::<f64>("eps")?;
-    let window = opts.get_or("window", 10usize)?;
-    let metric = parse_metric(opts.get("metric").unwrap_or("l2"))?;
+    let left_file = opts.positional(0, "left-file").usage()?;
+    let right_file = opts.positional(1, "right-file").usage()?;
+    let eps = opts.require::<f64>("eps").usage()?;
+    if !(eps >= 0.0 && eps.is_finite()) {
+        return Err(CliError::usage("--eps must be finite and non-negative".to_string()));
+    }
+    let window = opts.get_or("window", 10usize).usage()?;
+    let metric = parse_metric(opts.get("metric").unwrap_or("l2")).usage()?;
     let mode = match opts.get("mode").unwrap_or("windowed") {
         "standard" => SpatialMode::Standard,
         "compact" => SpatialMode::Compact,
         "windowed" => SpatialMode::CompactWindowed(window),
-        other => return Err(format!("unknown --mode {other:?}")),
+        other => return Err(CliError::usage(format!("unknown --mode {other:?}"))),
     };
 
-    let left: Vec<Point<D>> = csj_data::io::read_points(left_file).map_err(|e| e.to_string())?;
-    let right: Vec<Point<D>> = csj_data::io::read_points(right_file).map_err(|e| e.to_string())?;
+    let left: Vec<Point<D>> = read_points_input(left_file)?;
+    let right: Vec<Point<D>> = read_points_input(right_file)?;
     eprintln!("loaded {} left and {} right points", left.len(), right.len());
     let lt = RStarTree::bulk_load_str(&left, RTreeConfig::default());
     let rt = RStarTree::bulk_load_str(&right, RTreeConfig::default());
@@ -311,17 +385,18 @@ fn join2_dim<const D: usize>(opts: &Opts) -> Result<(), String> {
     let start = Instant::now();
     let output = SpatialJoin::new(eps, mode).with_metric(metric).run(&lt, &rt);
     let elapsed = start.elapsed().as_secs_f64() * 1e3;
-    let width = OutputWriter::<csj_storage::CountingSink>::id_width_for(left.len().max(right.len()));
+    let width =
+        OutputWriter::<csj_storage::CountingSink>::id_width_for(left.len().max(right.len()));
     match opts.get("out") {
         Some(path) => {
-            let mut sink = FileSink::create(path).map_err(|e| e.to_string())?;
-            output.write_to(&mut sink, width);
-            sink.flush().map_err(|e| e.to_string())?;
+            let mut sink = FileSink::create(path)?;
+            output.write_to(&mut sink, width)?;
+            sink.flush()?;
         }
         None => {
             let mut sink = StdoutSink::new();
-            output.write_to(&mut sink, width);
-            let _ = sink.flush();
+            output.write_to(&mut sink, width)?;
+            sink.flush()?;
         }
     }
     eprintln!(
@@ -336,19 +411,22 @@ fn join2_dim<const D: usize>(opts: &Opts) -> Result<(), String> {
 }
 
 /// `csj verify <points-file> --eps E [--dim 2|3]`
-pub fn verify(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["eps", "dim"])?;
-    let file = opts.positional(0, "points-file")?;
-    let eps = opts.require::<f64>("eps")?;
-    match opts.get_or("dim", 2usize)? {
+pub fn verify(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &["eps", "dim"]).usage()?;
+    let file = opts.positional(0, "points-file").usage()?;
+    let eps = opts.require::<f64>("eps").usage()?;
+    if !(eps >= 0.0 && eps.is_finite()) {
+        return Err(CliError::usage("--eps must be finite and non-negative".to_string()));
+    }
+    match opts.get_or("dim", 2usize).usage()? {
         2 => verify_dim::<2>(file, eps),
         3 => verify_dim::<3>(file, eps),
-        d => Err(format!("unsupported dimension {d} (2 or 3)")),
+        d => Err(CliError::usage(format!("unsupported dimension {d} (2 or 3)"))),
     }
 }
 
-fn verify_dim<const D: usize>(file: &str, eps: f64) -> Result<(), String> {
-    let points: Vec<Point<D>> = csj_data::io::read_points(file).map_err(|e| e.to_string())?;
+fn verify_dim<const D: usize>(file: &str, eps: f64) -> Result<(), CliError> {
+    let points: Vec<Point<D>> = read_points_input(file)?;
     if points.len() > 50_000 {
         eprintln!(
             "note: verification is O(n²) ground truth over {} points; this may take a while",
@@ -357,8 +435,8 @@ fn verify_dim<const D: usize>(file: &str, eps: f64) -> Result<(), String> {
     }
     let tree = RStarTree::bulk_load_str(&points, RTreeConfig::default());
     let output = CsjJoin::new(eps).with_window(10).run(&tree);
-    let report =
-        verify_lossless(&output, &points, eps, Metric::Euclidean).map_err(|e| e.to_string())?;
+    let report = verify_lossless(&output, &points, eps, Metric::Euclidean)
+        .map_err(|e| CliError::Verify(e.to_string()))?;
     println!(
         "verified: {} true links, represented losslessly by {} rows ({} groups checked)",
         report.true_links, report.rows, report.groups_checked
@@ -367,13 +445,14 @@ fn verify_dim<const D: usize>(file: &str, eps: f64) -> Result<(), String> {
 }
 
 /// `csj expand <output-file>`: compact rows → individual links on stdout.
-pub fn expand(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &[])?;
+pub fn expand(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(args, &[]).usage()?;
     if opts.num_positional() != 1 {
-        return Err("expand takes exactly one <output-file>".into());
+        return Err(CliError::usage("expand takes exactly one <output-file>".to_string()));
     }
-    let file = opts.positional(0, "output-file")?;
-    let text = std::fs::read_to_string(file).map_err(|e| e.to_string())?;
+    let file = opts.positional(0, "output-file").usage()?;
+    let text =
+        std::fs::read_to_string(file).map_err(|e| CliError::input(format!("{file}: {e}")))?;
     let stdout = std::io::stdout();
     let mut w = std::io::BufWriter::new(stdout.lock());
     let mut seen = std::collections::BTreeSet::new();
@@ -382,7 +461,7 @@ pub fn expand(args: &[String]) -> Result<(), String> {
             continue;
         }
         let ids: Result<Vec<u32>, _> = line.split_whitespace().map(str::parse).collect();
-        let ids = ids.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let ids = ids.map_err(|e| CliError::input(format!("{file}: line {}: {e}", lineno + 1)))?;
         for i in 0..ids.len() {
             for j in (i + 1)..ids.len() {
                 let (a, b) = (ids[i].min(ids[j]), ids[i].max(ids[j]));
@@ -393,42 +472,70 @@ pub fn expand(args: &[String]) -> Result<(), String> {
                         if e.kind() == std::io::ErrorKind::BrokenPipe {
                             return Ok(());
                         }
-                        return Err(e.to_string());
+                        return Err(StorageError::io(IoOp::Write, &e).into());
                     }
                 }
             }
         }
     }
     match w.flush() {
-        Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => return Err(e.to_string()),
+        Err(e) if e.kind() != std::io::ErrorKind::BrokenPipe => {
+            return Err(StorageError::io(IoOp::Flush, &e).into())
+        }
         _ => {}
     }
     eprintln!("{} distinct links", seen.len());
     Ok(())
 }
 
-/// A byte-counting sink over buffered stdout.
+/// A byte-counting sink over buffered stdout. A broken pipe (downstream
+/// `| head` exiting) quietly stops output instead of failing the join.
 struct StdoutSink {
     writer: std::io::BufWriter<std::io::Stdout>,
     bytes: u64,
+    pipe_closed: bool,
 }
 
 impl StdoutSink {
     fn new() -> Self {
-        StdoutSink { writer: std::io::BufWriter::new(std::io::stdout()), bytes: 0 }
+        StdoutSink {
+            writer: std::io::BufWriter::new(std::io::stdout()),
+            bytes: 0,
+            pipe_closed: false,
+        }
     }
 }
 
 impl OutputSink for StdoutSink {
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
         self.bytes += bytes.len() as u64;
-        self.writer.write_all(bytes).expect("stdout write failed");
+        if self.pipe_closed {
+            return Ok(());
+        }
+        match self.writer.write_all(bytes) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {
+                self.pipe_closed = true;
+                Ok(())
+            }
+            Err(e) => Err(StorageError::io(IoOp::Write, &e)),
+        }
     }
     fn bytes_written(&self) -> u64 {
         self.bytes
     }
-    fn flush(&mut self) -> std::io::Result<()> {
-        self.writer.flush()
+    fn flush(&mut self) -> Result<(), StorageError> {
+        if self.pipe_closed {
+            return Ok(());
+        }
+        match self.writer.flush() {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {
+                self.pipe_closed = true;
+                Ok(())
+            }
+            Err(e) => Err(StorageError::io(IoOp::Flush, &e)),
+        }
     }
 }
 
@@ -449,8 +556,7 @@ fn density_map(points: &[Point<2>], width: usize, height: usize) -> String {
             let shade = if c == 0 {
                 0
             } else {
-                1 + ((c as f64).ln() / (max as f64).ln().max(1e-9)
-                    * (SHADES.len() - 2) as f64)
+                1 + ((c as f64).ln() / (max as f64).ln().max(1e-9) * (SHADES.len() - 2) as f64)
                     .round() as usize
             };
             out.push(SHADES[shade.min(SHADES.len() - 1)] as char);

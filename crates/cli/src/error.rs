@@ -1,0 +1,121 @@
+//! The CLI error type: every failure class maps to a distinct exit code
+//! so scripts can tell *why* a run failed without parsing stderr.
+//!
+//! | code | class | examples |
+//! |---|---|---|
+//! | 2 | usage | unknown flag, bad `--eps`, unknown algorithm |
+//! | 3 | input | unreadable/ malformed points file |
+//! | 4 | storage | output file creation/write/flush failed |
+//! | 5 | index | persisted index corrupt, truncated or mismatched |
+//! | 6 | verify | the lossless-ness machine check found a violation |
+
+use csj_core::CsjError;
+use csj_index::persist::PersistError;
+use csj_storage::StorageError;
+
+/// A classified CLI failure. Each variant carries exactly the context
+/// needed for a one-line diagnostic naming the offending input.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself is wrong (exit 2).
+    Usage(String),
+    /// A user-supplied data file is missing or malformed (exit 3).
+    Input(String),
+    /// The storage layer failed writing or flushing output (exit 4).
+    Storage(StorageError),
+    /// A persisted index could not be saved or loaded (exit 5). The
+    /// message names the offending file where it is known.
+    Index(String),
+    /// The verification machine check failed (exit 6).
+    Verify(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::Storage(_) => 4,
+            CliError::Index(_) => 5,
+            CliError::Verify(_) => 6,
+        }
+    }
+
+    /// A usage error from a plain message.
+    pub fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    /// An input error naming the offending file.
+    pub fn input(msg: impl Into<String>) -> Self {
+        CliError::Input(msg.into())
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Input(msg) => write!(f, "{msg}"),
+            CliError::Storage(e) => write!(f, "storage: {e}"),
+            CliError::Index(e) => write!(f, "index: {e}"),
+            CliError::Verify(msg) => write!(f, "verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<StorageError> for CliError {
+    fn from(e: StorageError) -> Self {
+        CliError::Storage(e)
+    }
+}
+
+impl From<PersistError> for CliError {
+    fn from(e: PersistError) -> Self {
+        CliError::Index(e.to_string())
+    }
+}
+
+impl From<CsjError> for CliError {
+    fn from(e: CsjError) -> Self {
+        match e {
+            CsjError::Storage(s) => CliError::Storage(s),
+            CsjError::Persist(p) => CliError::Index(p.to_string()),
+            CsjError::InvalidConfig(msg) => CliError::Usage(msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        let errs = [
+            CliError::usage("x"),
+            CliError::input("x"),
+            CliError::Storage(StorageError::EmptyGroupRow),
+            CliError::from(PersistError::ChecksumMismatch),
+            CliError::Verify("x".into()),
+        ];
+        let mut codes: Vec<u8> = errs.iter().map(CliError::exit_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len(), "every class needs its own code");
+        assert!(!codes.contains(&0) && !codes.contains(&1), "0/1 are reserved");
+    }
+
+    #[test]
+    fn csj_error_classification() {
+        let e: CliError = CsjError::Storage(StorageError::EmptyGroupRow).into();
+        assert_eq!(e.exit_code(), 4);
+        let e: CliError = CsjError::Persist(PersistError::ChecksumMismatch).into();
+        assert_eq!(e.exit_code(), 5);
+        let e: CliError = CsjError::InvalidConfig("bad".into()).into();
+        assert_eq!(e.exit_code(), 2);
+    }
+}

@@ -6,6 +6,7 @@
 //! csj join     <points-file> --eps <E> [--algo ssj|ncsj|csj] [--window g]
 //!              [--metric l2|l1|linf] [--tree rstar|rtree|mtree]
 //!              [--bulk str|hilbert|omt|none] [--dim 2|3] [--out <file>]
+//!              [--max-links <N>] [--max-bytes <N>] [--deadline <secs>]
 //! csj verify   <points-file> --eps <E> [--dim 2|3]
 //! csj expand   <output-file>
 //! ```
@@ -14,11 +15,17 @@
 //! (`#` comments allowed); join output files use the paper's zero-padded
 //! id format. Argument parsing is hand-rolled to keep the dependency
 //! footprint at zero beyond the workspace crates.
+//!
+//! Failures exit with a class-specific code (usage 2, input 3, storage 4,
+//! index 5, verification 6) — see `error.rs`.
 
 mod commands;
+mod error;
 mod opts;
 
 use std::process::ExitCode;
+
+use error::CliError;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,12 +33,12 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(1)
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some((command, rest)) = args.split_first() else {
         print_usage();
         return Ok(());
@@ -48,7 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}; see `csj help`")),
+        other => Err(CliError::usage(format!("unknown command {other:?}; see `csj help`"))),
     }
 }
 
@@ -67,7 +74,11 @@ commands:
   join <points-file> --eps <E> [--algo ssj|ncsj|csj] [--window <g>]
        [--metric l2|l1|linf] [--tree rstar|rtree|mtree]
        [--bulk str|hilbert|omt|none] [--dim 2|3] [--out <file>]
-      run a similarity self-join; stats go to stderr, rows to --out/stdout
+       [--max-links <N>] [--max-bytes <N>] [--deadline <secs>]
+      run a similarity self-join; stats go to stderr, rows to --out/stdout.
+      budget flags stop the run early at a task boundary: output stays a
+      lossless join over the processed region and stderr reports the
+      completed fraction plus extrapolated totals (partial results exit 0)
   join --index <index-file> --eps <E> [--algo ...] [--dim 2|3] [--out <file>]
       same, over a persisted index instead of raw points
   join2 <left-file> <right-file> --eps <E> [--mode standard|compact|windowed]
@@ -76,6 +87,9 @@ commands:
   verify <points-file> --eps <E> [--dim 2|3]
       run CSJ(10) and machine-check Theorems 1 & 2 against brute force
   expand <output-file>
-      expand a compact join output back into individual links"
+      expand a compact join output back into individual links
+
+exit codes: 0 ok (including budget-partial results), 2 usage, 3 input,
+4 storage, 5 index, 6 verification"
     );
 }

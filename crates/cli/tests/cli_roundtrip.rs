@@ -83,18 +83,10 @@ fn generate_join_expand_roundtrip() {
 #[test]
 fn verify_subcommand_passes_on_generated_data() {
     let pts = temp("verify_pts.txt");
-    let status = csj()
-        .args(["generate", "sierpinski2d", "--n", "600", "--out"])
-        .arg(&pts)
-        .status()
-        .unwrap();
+    let status =
+        csj().args(["generate", "sierpinski2d", "--n", "600", "--out"]).arg(&pts).status().unwrap();
     assert!(status.success());
-    let output = csj()
-        .arg("verify")
-        .arg(&pts)
-        .args(["--eps", "0.05"])
-        .output()
-        .unwrap();
+    let output = csj().arg("verify").arg(&pts).args(["--eps", "0.05"]).output().unwrap();
     assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("verified"), "{stdout}");
@@ -104,11 +96,8 @@ fn verify_subcommand_passes_on_generated_data() {
 #[test]
 fn analyze_reports_dimension() {
     let pts = temp("analyze_pts.txt");
-    let status = csj()
-        .args(["generate", "uniform2d", "--n", "3000", "--out"])
-        .arg(&pts)
-        .status()
-        .unwrap();
+    let status =
+        csj().args(["generate", "uniform2d", "--n", "3000", "--out"]).arg(&pts).status().unwrap();
     assert!(status.success());
     let output = csj().arg("analyze").arg(&pts).output().unwrap();
     assert!(output.status.success());
@@ -155,14 +144,7 @@ fn persisted_index_join_matches_direct_join() {
         .status()
         .unwrap()
         .success());
-    assert!(csj()
-        .arg("index")
-        .arg(&pts)
-        .arg("--out")
-        .arg(&idx)
-        .status()
-        .unwrap()
-        .success());
+    assert!(csj().arg("index").arg(&pts).arg("--out").arg(&idx).status().unwrap().success());
     assert!(csj()
         .arg("join")
         .arg(&pts)
@@ -189,12 +171,8 @@ fn persisted_index_join_matches_direct_join() {
     let mid = broken.len() / 2;
     broken[mid] ^= 0xFF;
     std::fs::write(&idx, &broken).unwrap();
-    let output = csj()
-        .args(["join", "--index"])
-        .arg(&idx)
-        .args(["--eps", "0.03"])
-        .output()
-        .unwrap();
+    let output =
+        csj().args(["join", "--index"]).arg(&idx).args(["--eps", "0.03"]).output().unwrap();
     assert!(!output.status.success());
     assert!(String::from_utf8_lossy(&output.stderr).contains("checksum"));
 

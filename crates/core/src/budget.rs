@@ -1,0 +1,266 @@
+//! Resource budgets, cooperative cancellation and partial completion.
+//!
+//! In the paper's §VI several SSJ data points are *estimates* (the
+//! filled markers of Figures 5 and 7): the run crashed once the output
+//! outgrew free disk space, and the totals were extrapolated from the
+//! completed fraction. This module turns that crash into a recoverable
+//! runtime state: a [`RunBudget`] caps links, resident groups/bytes and
+//! wall-clock time; when a limit is hit the join *finishes the current
+//! root-level task*, drains its group window (staying lossless over the
+//! processed region) and reports [`Completion::Partial`] with the same
+//! measured-over-fraction extrapolation the paper used. A
+//! [`CancelToken`] gives callers the same graceful stop on demand.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Resource limits for a join run, checked at root-level task
+/// boundaries. The default is unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunBudget {
+    /// Stop once this many links (individual rows plus links implied by
+    /// emitted groups) have been produced.
+    pub max_links: Option<u64>,
+    /// Stop once this many group rows have been emitted.
+    pub max_groups: Option<u64>,
+    /// Stop once the formatted output exceeds this many bytes.
+    pub max_bytes: Option<u64>,
+    /// Stop once this much wall-clock time has elapsed.
+    pub deadline: Option<Duration>,
+}
+
+impl RunBudget {
+    /// No limits: the join always runs to completion.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Caps produced links (emitted + implied by groups).
+    pub fn with_max_links(mut self, n: u64) -> Self {
+        self.max_links = Some(n);
+        self
+    }
+
+    /// Caps emitted group rows.
+    pub fn with_max_groups(mut self, n: u64) -> Self {
+        self.max_groups = Some(n);
+        self
+    }
+
+    /// Caps formatted output bytes.
+    pub fn with_max_bytes(mut self, n: u64) -> Self {
+        self.max_bytes = Some(n);
+        self
+    }
+
+    /// Caps wall-clock time.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// `true` when no limit is set (the common fast path).
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// First limit `usage` violates, if any. `elapsed` is the run's
+    /// wall-clock age.
+    pub fn exceeded_by(&self, usage: &BudgetUsage, elapsed: Duration) -> Option<StopReason> {
+        if self.max_links.is_some_and(|cap| usage.links >= cap) {
+            return Some(StopReason::LinkBudget);
+        }
+        if self.max_groups.is_some_and(|cap| usage.groups >= cap) {
+            return Some(StopReason::GroupBudget);
+        }
+        if self.max_bytes.is_some_and(|cap| usage.bytes >= cap) {
+            return Some(StopReason::ByteBudget);
+        }
+        if self.deadline.is_some_and(|cap| elapsed >= cap) {
+            return Some(StopReason::Deadline);
+        }
+        None
+    }
+}
+
+/// Resources consumed so far, as seen at a task boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetUsage {
+    /// Links produced: emitted individually plus implied by groups.
+    pub links: u64,
+    /// Group rows emitted.
+    pub groups: u64,
+    /// Formatted output bytes produced.
+    pub bytes: u64,
+}
+
+/// Why a run stopped before completing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The link budget was exhausted.
+    LinkBudget,
+    /// The group budget was exhausted.
+    GroupBudget,
+    /// The output-byte budget was exhausted.
+    ByteBudget,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// A [`CancelToken`] was triggered.
+    Canceled,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::LinkBudget => write!(f, "link budget exhausted"),
+            StopReason::GroupBudget => write!(f, "group budget exhausted"),
+            StopReason::ByteBudget => write!(f, "output byte budget exhausted"),
+            StopReason::Deadline => write!(f, "deadline passed"),
+            StopReason::Canceled => write!(f, "canceled"),
+        }
+    }
+}
+
+/// A cooperative cancellation flag, cheap to clone and share across
+/// threads. The join checks it between recursion steps, so a cancel
+/// takes effect promptly and the caller still receives the lossless
+/// output produced so far.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-triggered token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_canceled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Whether a run finished, and if not, how far it got.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Completion {
+    /// The run finished: the output is the exact join result.
+    #[default]
+    Complete,
+    /// The run stopped early. The output is still *lossless over the
+    /// processed region* (every row is a true link / valid ≤ ε group);
+    /// totals are extrapolated the way the paper extrapolates its
+    /// crashed-run estimates.
+    Partial {
+        /// What stopped the run.
+        reason: StopReason,
+        /// Fraction of root-level tasks completed, in `[0, 1]`.
+        completed_fraction: f64,
+        /// Extrapolated total link count (`measured / fraction`); 0.0
+        /// when nothing was measured.
+        estimated_links: f64,
+        /// Extrapolated total output bytes; 0.0 when nothing measured.
+        estimated_bytes: f64,
+    },
+}
+
+impl Completion {
+    /// `true` for a finished run.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completion::Complete)
+    }
+
+    /// The stop reason of a partial run.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        match self {
+            Completion::Complete => None,
+            Completion::Partial { reason, .. } => Some(*reason),
+        }
+    }
+
+    /// The completed fraction: 1.0 for a finished run.
+    pub fn completed_fraction(&self) -> f64 {
+        match self {
+            Completion::Complete => 1.0,
+            Completion::Partial { completed_fraction, .. } => *completed_fraction,
+        }
+    }
+
+    /// Builds a `Partial` with the paper's measured-over-fraction
+    /// extrapolation (0.0 estimates when the fraction is zero).
+    pub fn partial(reason: StopReason, fraction: f64, links: u64, bytes: u64) -> Self {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let scale = |v: u64| if fraction > 0.0 { v as f64 / fraction } else { 0.0 };
+        Completion::Partial {
+            reason,
+            completed_fraction: fraction,
+            estimated_links: scale(links),
+            estimated_bytes: scale(bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_stops() {
+        let usage = BudgetUsage { links: u64::MAX, groups: u64::MAX, bytes: u64::MAX };
+        assert_eq!(RunBudget::unlimited().exceeded_by(&usage, Duration::from_secs(86_400)), None);
+        assert!(RunBudget::unlimited().is_unlimited());
+    }
+
+    #[test]
+    fn limits_trip_in_priority_order() {
+        let b = RunBudget::unlimited().with_max_links(100).with_max_groups(5);
+        let none = BudgetUsage { links: 99, groups: 4, bytes: 0 };
+        assert_eq!(b.exceeded_by(&none, Duration::ZERO), None);
+        let links = BudgetUsage { links: 100, groups: 9, bytes: 0 };
+        assert_eq!(b.exceeded_by(&links, Duration::ZERO), Some(StopReason::LinkBudget));
+        let groups = BudgetUsage { links: 0, groups: 5, bytes: 0 };
+        assert_eq!(b.exceeded_by(&groups, Duration::ZERO), Some(StopReason::GroupBudget));
+    }
+
+    #[test]
+    fn deadline_uses_elapsed_time() {
+        let b = RunBudget::unlimited().with_deadline(Duration::from_millis(10));
+        let usage = BudgetUsage::default();
+        assert_eq!(b.exceeded_by(&usage, Duration::from_millis(9)), None);
+        assert_eq!(b.exceeded_by(&usage, Duration::from_millis(10)), Some(StopReason::Deadline));
+    }
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_canceled());
+        t.cancel();
+        assert!(clone.is_canceled());
+    }
+
+    #[test]
+    fn partial_extrapolates_like_the_paper() {
+        let c = Completion::partial(StopReason::LinkBudget, 0.25, 1000, 4000);
+        match c {
+            Completion::Partial {
+                estimated_links, estimated_bytes, completed_fraction, ..
+            } => {
+                assert_eq!(completed_fraction, 0.25);
+                assert_eq!(estimated_links, 4000.0);
+                assert_eq!(estimated_bytes, 16000.0);
+            }
+            Completion::Complete => panic!("expected partial"),
+        }
+        // Zero fraction: no division by zero, estimates are 0.
+        let c = Completion::partial(StopReason::Canceled, 0.0, 0, 0);
+        assert_eq!(c.completed_fraction(), 0.0);
+    }
+}

@@ -12,6 +12,7 @@ use csj_index::JoinIndex;
 use csj_storage::{OutputSink, OutputWriter};
 
 use crate::engine::{run_collecting, run_streaming, WindowedEmit};
+use crate::error::CsjError;
 use crate::group::{BallShape, MbrShape};
 use crate::output::JoinOutput;
 use crate::stats::JoinStats;
@@ -128,18 +129,23 @@ impl CsjJoin {
                 tree,
                 self.cfg,
                 true,
-                WindowedEmit::<BallShape<D>, D>::new(self.window, self.cfg.epsilon, self.cfg.metric),
+                WindowedEmit::<BallShape<D>, D>::new(
+                    self.window,
+                    self.cfg.epsilon,
+                    self.cfg.metric,
+                ),
             ),
         }
     }
 
     /// Runs the join, streaming rows into `writer` (memory bounded by the
-    /// window, not the output).
+    /// window, not the output). A sink failure surfaces as `Err`; rows
+    /// already written remain valid join output.
     pub fn run_streaming<T: JoinIndex<D>, S: OutputSink, const D: usize>(
         &self,
         tree: &T,
         writer: &mut OutputWriter<S>,
-    ) -> JoinStats {
+    ) -> Result<JoinStats, CsjError> {
         match self.shape {
             GroupShapeKind::Mbr => run_streaming(
                 tree,
@@ -152,7 +158,11 @@ impl CsjJoin {
                 tree,
                 self.cfg,
                 true,
-                WindowedEmit::<BallShape<D>, D>::new(self.window, self.cfg.epsilon, self.cfg.metric),
+                WindowedEmit::<BallShape<D>, D>::new(
+                    self.window,
+                    self.cfg.epsilon,
+                    self.cfg.metric,
+                ),
                 writer,
             ),
         }
@@ -166,7 +176,12 @@ mod tests {
     use crate::ncsj::NcsjJoin;
     use crate::ssj::SsjJoin;
     use csj_geom::Point;
-    use csj_index::{mtree::{MTree, MTreeConfig}, rstar::RStarTree, rtree::RTree, RTreeConfig};
+    use csj_index::{
+        mtree::{MTree, MTreeConfig},
+        rstar::RStarTree,
+        rtree::RTree,
+        RTreeConfig,
+    };
 
     /// Clustered data with plenty of cross-node links.
     fn stripe_points(n: usize) -> Vec<Point<2>> {
@@ -239,8 +254,7 @@ mod tests {
         let pts = stripe_points(400);
         let tree = RStarTree::from_points(&pts, RTreeConfig::with_max_fanout(8));
         let eps = 0.04;
-        let bytes =
-            |g: usize| CsjJoin::new(eps).with_window(g).run(&tree).total_bytes(3) as f64;
+        let bytes = |g: usize| CsjJoin::new(eps).with_window(g).run(&tree).total_bytes(3) as f64;
         let (b1, b10, b100) = (bytes(1), bytes(10), bytes(100));
         assert!(b10 <= b1 * 1.001, "g=10 ({b10}) worse than g=1 ({b1})");
         assert!(b100 <= b10 * 1.001, "g=100 ({b100}) worse than g=10 ({b10})");
@@ -290,7 +304,7 @@ mod tests {
         let join = CsjJoin::new(0.05).with_window(10);
         let collected = join.run(&tree);
         let mut writer = OutputWriter::new(CountingSink::new(), 3);
-        let stats = join.run_streaming(&tree, &mut writer);
+        let stats = join.run_streaming(&tree, &mut writer).expect("counting sink cannot fail");
         assert_eq!(collected.total_bytes(3), writer.bytes_written());
         assert_eq!(collected.stats.groups_emitted, stats.groups_emitted);
         assert_eq!(collected.stats.merges_succeeded, stats.merges_succeeded);

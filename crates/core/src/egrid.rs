@@ -22,8 +22,8 @@ use std::collections::HashMap;
 
 use csj_geom::{Mbr, Metric, Point, RecordId};
 
-use crate::engine::{CollectSink, LinkHandler, RowSink, WindowedEmit};
 use crate::engine::DirectEmit;
+use crate::engine::{infallible, CollectSink, LinkHandler, RowSink, WindowedEmit};
 use crate::group::MbrShape;
 use crate::output::JoinOutput;
 use crate::stats::JoinStats;
@@ -78,11 +78,8 @@ impl GridJoin {
     /// Runs the join over `points` (record ids are slice indexes).
     pub fn run<const D: usize>(&self, points: &[Point<D>]) -> JoinOutput {
         if self.window > 0 {
-            let handler = WindowedEmit::<MbrShape<D>, D>::new(
-                self.window,
-                self.cfg.epsilon,
-                self.cfg.metric,
-            );
+            let handler =
+                WindowedEmit::<MbrShape<D>, D>::new(self.window, self.cfg.epsilon, self.cfg.metric);
             self.run_with(points, handler)
         } else {
             self.run_with(points, DirectEmit)
@@ -101,8 +98,8 @@ impl GridJoin {
         if eps <= 0.0 {
             // Degenerate range: only exactly-coincident points qualify.
             self.join_coincident(points, &mut handler, &mut sink, &mut stats);
-            handler.finish(&mut sink, &mut stats);
-            return JoinOutput { items: sink.items, stats };
+            infallible(handler.finish(&mut sink, &mut stats));
+            return JoinOutput { items: sink.items, stats, ..Default::default() };
         }
 
         // Bucket points into ε-wide cells.
@@ -140,8 +137,8 @@ impl GridJoin {
                 }
             }
         }
-        handler.finish(&mut sink, &mut stats);
-        JoinOutput { items: sink.items, stats }
+        infallible(handler.finish(&mut sink, &mut stats));
+        JoinOutput { items: sink.items, stats, ..Default::default() }
     }
 
     /// The JoinBuffer step: one cell with itself (`other == None`) or two
@@ -167,7 +164,7 @@ impl GridJoin {
                 stats.early_stops_node += 1;
                 let ids: Vec<RecordId> =
                     bucket.iter().chain(other.into_iter().flatten()).copied().collect();
-                handler.on_subtree(ids, &mbr, sink, stats);
+                infallible(handler.on_subtree(ids, &mbr, sink, stats));
                 return;
             }
         }
@@ -179,7 +176,7 @@ impl GridJoin {
                         let pb = &points[b as usize];
                         stats.distance_computations += 1;
                         if metric.within(pa, pb, eps) {
-                            handler.on_link(bucket[i], pa, b, pb, sink, stats);
+                            infallible(handler.on_link(bucket[i], pa, b, pb, sink, stats));
                         }
                     }
                 }
@@ -191,7 +188,7 @@ impl GridJoin {
                         let pb = &points[b as usize];
                         stats.distance_computations += 1;
                         if metric.within(pa, pb, eps) {
-                            handler.on_link(a, pa, b, pb, sink, stats);
+                            infallible(handler.on_link(a, pa, b, pb, sink, stats));
                         }
                     }
                 }
@@ -219,14 +216,14 @@ impl GridJoin {
                 for j in (i + 1)..bucket.len() {
                     stats.distance_computations += 1;
                     let (a, b) = (bucket[i], bucket[j]);
-                    handler.on_link(
+                    infallible(handler.on_link(
                         a,
                         &points[a as usize],
                         b,
                         &points[b as usize],
                         sink,
                         stats,
-                    );
+                    ));
                 }
             }
         }
@@ -332,19 +329,13 @@ mod tests {
         ];
         let eps = 0.2;
         let out = GridJoin::new(eps).run(&pts);
-        assert_eq!(
-            out.expanded_link_set(),
-            brute_force_links_metric(&pts, eps, Metric::Euclidean)
-        );
+        assert_eq!(out.expanded_link_set(), brute_force_links_metric(&pts, eps, Metric::Euclidean));
     }
 
     #[test]
     fn zero_epsilon_joins_only_duplicates() {
-        let pts = vec![
-            Point::new([0.5, 0.5]),
-            Point::new([0.5, 0.5]),
-            Point::new([0.5, 0.5000001]),
-        ];
+        let pts =
+            vec![Point::new([0.5, 0.5]), Point::new([0.5, 0.5]), Point::new([0.5, 0.5000001])];
         let out = GridJoin::new(0.0).run(&pts);
         let set = out.expanded_link_set();
         assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![(0, 1)]);
@@ -363,10 +354,7 @@ mod tests {
             .collect();
         let eps = 0.15;
         let out = GridJoin::new(eps).run(&pts);
-        assert_eq!(
-            out.expanded_link_set(),
-            brute_force_links_metric(&pts, eps, Metric::Euclidean)
-        );
+        assert_eq!(out.expanded_link_set(), brute_force_links_metric(&pts, eps, Metric::Euclidean));
     }
 
     #[test]
@@ -374,10 +362,7 @@ mod tests {
         let pts = scatter(200);
         let eps = 0.1;
         let out = GridJoin::new(eps).with_metric(Metric::Manhattan).run(&pts);
-        assert_eq!(
-            out.expanded_link_set(),
-            brute_force_links_metric(&pts, eps, Metric::Manhattan)
-        );
+        assert_eq!(out.expanded_link_set(), brute_force_links_metric(&pts, eps, Metric::Manhattan));
     }
 }
 

@@ -18,17 +18,21 @@ use csj_geom::{Mbr, Metric, Point, RecordId};
 use csj_index::{JoinIndex, NodeId};
 use csj_storage::{OutputSink, OutputWriter};
 
+use crate::budget::{CancelToken, StopReason};
+use crate::error::CsjError;
 use crate::group::{GroupShape, GroupWindow, OpenGroup};
 use crate::output::{JoinOutput, OutputItem};
 use crate::stats::JoinStats;
 use crate::JoinConfig;
 
-/// Receives finished output rows.
+/// Receives finished output rows. Row delivery is fallible: a sink
+/// backed by real storage can fail, and the engine stops cleanly at the
+/// row boundary instead of panicking.
 pub trait RowSink {
     /// An individual link row.
-    fn link_row(&mut self, a: RecordId, b: RecordId);
+    fn link_row(&mut self, a: RecordId, b: RecordId) -> Result<(), CsjError>;
     /// A group row (at least two members).
-    fn group_row(&mut self, ids: &[RecordId]);
+    fn group_row(&mut self, ids: &[RecordId]) -> Result<(), CsjError>;
 }
 
 /// Collects rows into a [`JoinOutput`].
@@ -39,11 +43,13 @@ pub struct CollectSink {
 }
 
 impl RowSink for CollectSink {
-    fn link_row(&mut self, a: RecordId, b: RecordId) {
+    fn link_row(&mut self, a: RecordId, b: RecordId) -> Result<(), CsjError> {
         self.items.push(OutputItem::Link(a, b));
+        Ok(())
     }
-    fn group_row(&mut self, ids: &[RecordId]) {
+    fn group_row(&mut self, ids: &[RecordId]) -> Result<(), CsjError> {
         self.items.push(OutputItem::Group(ids.to_vec()));
+        Ok(())
     }
 }
 
@@ -60,11 +66,11 @@ impl<'w, S: OutputSink> StreamSink<'w, S> {
 }
 
 impl<S: OutputSink> RowSink for StreamSink<'_, S> {
-    fn link_row(&mut self, a: RecordId, b: RecordId) {
-        self.writer.write_link(a, b);
+    fn link_row(&mut self, a: RecordId, b: RecordId) -> Result<(), CsjError> {
+        self.writer.write_link(a, b).map_err(CsjError::from)
     }
-    fn group_row(&mut self, ids: &[RecordId]) {
-        self.writer.write_group(ids);
+    fn group_row(&mut self, ids: &[RecordId]) -> Result<(), CsjError> {
+        self.writer.write_group(ids).map_err(CsjError::from)
     }
 }
 
@@ -79,7 +85,7 @@ pub trait LinkHandler<const D: usize> {
         pb: &Point<D>,
         sink: &mut R,
         stats: &mut JoinStats,
-    );
+    ) -> Result<(), CsjError>;
 
     /// Handles a subtree (or pair of subtrees) whose bounding shape fits
     /// within ε: `ids` are all records below, `mbr` the covering shape.
@@ -89,20 +95,27 @@ pub trait LinkHandler<const D: usize> {
         mbr: &Mbr<D>,
         sink: &mut R,
         stats: &mut JoinStats,
-    );
+    ) -> Result<(), CsjError>;
 
     /// Flushes any buffered state at the end of the join.
-    fn finish<R: RowSink>(&mut self, sink: &mut R, stats: &mut JoinStats);
+    fn finish<R: RowSink>(&mut self, sink: &mut R, stats: &mut JoinStats) -> Result<(), CsjError>;
 }
 
-fn emit_group_row<R: RowSink>(sink: &mut R, stats: &mut JoinStats, members: &[RecordId]) {
+fn emit_group_row<R: RowSink>(
+    sink: &mut R,
+    stats: &mut JoinStats,
+    members: &[RecordId],
+) -> Result<(), CsjError> {
     // Single-member groups encode no links; suppress them.
     if members.len() < 2 {
-        return;
+        return Ok(());
     }
-    sink.group_row(members);
+    sink.group_row(members)?;
     stats.groups_emitted += 1;
     stats.group_members_emitted += members.len() as u64;
+    let k = members.len() as u64;
+    stats.links_in_groups += k * (k - 1) / 2;
+    Ok(())
 }
 
 /// SSJ / N-CSJ behaviour: links go out individually, subtrees as one
@@ -119,9 +132,10 @@ impl<const D: usize> LinkHandler<D> for DirectEmit {
         _pb: &Point<D>,
         sink: &mut R,
         stats: &mut JoinStats,
-    ) {
-        sink.link_row(a, b);
+    ) -> Result<(), CsjError> {
+        sink.link_row(a, b)?;
         stats.links_emitted += 1;
+        Ok(())
     }
 
     fn on_subtree<R: RowSink>(
@@ -130,11 +144,17 @@ impl<const D: usize> LinkHandler<D> for DirectEmit {
         _mbr: &Mbr<D>,
         sink: &mut R,
         stats: &mut JoinStats,
-    ) {
-        emit_group_row(sink, stats, &ids);
+    ) -> Result<(), CsjError> {
+        emit_group_row(sink, stats, &ids)
     }
 
-    fn finish<R: RowSink>(&mut self, _sink: &mut R, _stats: &mut JoinStats) {}
+    fn finish<R: RowSink>(
+        &mut self,
+        _sink: &mut R,
+        _stats: &mut JoinStats,
+    ) -> Result<(), CsjError> {
+        Ok(())
+    }
 }
 
 /// CSJ(g) behaviour: links are merged into the `g` most recent groups
@@ -163,18 +183,24 @@ impl<S: GroupShape<D>, const D: usize> LinkHandler<D> for WindowedEmit<S, D> {
         pb: &Point<D>,
         sink: &mut R,
         stats: &mut JoinStats,
-    ) {
-        if self
-            .window
-            .try_merge_link(a, pa, b, pb, self.eps, self.metric, &mut stats.merge_attempts)
-        {
+    ) -> Result<(), CsjError> {
+        if self.window.try_merge_link(
+            a,
+            pa,
+            b,
+            pb,
+            self.eps,
+            self.metric,
+            &mut stats.merge_attempts,
+        ) {
             stats.merges_succeeded += 1;
-            return;
+            return Ok(());
         }
         let group = OpenGroup::from_link(a, pa, b, pb, self.metric);
         if let Some(evicted) = self.window.push(group) {
-            emit_group_row(sink, stats, &evicted.into_sorted_members());
+            emit_group_row(sink, stats, &evicted.into_sorted_members())?;
         }
+        Ok(())
     }
 
     fn on_subtree<R: RowSink>(
@@ -183,19 +209,21 @@ impl<S: GroupShape<D>, const D: usize> LinkHandler<D> for WindowedEmit<S, D> {
         mbr: &Mbr<D>,
         sink: &mut R,
         stats: &mut JoinStats,
-    ) {
+    ) -> Result<(), CsjError> {
         let group = OpenGroup::from_subtree(ids, mbr, self.metric);
         if let Some(evicted) = self.window.push(group) {
-            emit_group_row(sink, stats, &evicted.into_sorted_members());
+            emit_group_row(sink, stats, &evicted.into_sorted_members())?;
         }
+        Ok(())
     }
 
-    fn finish<R: RowSink>(&mut self, sink: &mut R, stats: &mut JoinStats) {
+    fn finish<R: RowSink>(&mut self, sink: &mut R, stats: &mut JoinStats) -> Result<(), CsjError> {
         let finals: Vec<Vec<RecordId>> =
             self.window.drain().map(|g| g.into_sorted_members()).collect();
         for members in finals {
-            emit_group_row(sink, stats, &members);
+            emit_group_row(sink, stats, &members)?;
         }
+        Ok(())
     }
 }
 
@@ -205,6 +233,8 @@ pub struct Engine<'t, T, H, R, const D: usize> {
     cfg: JoinConfig,
     early_stop: bool,
     handler: H,
+    cancel: Option<CancelToken>,
+    stopped: Option<StopReason>,
     /// The row sink (public so callers can recover collected rows).
     pub sink: R,
     /// Accumulated counters.
@@ -225,23 +255,51 @@ where
             cfg,
             early_stop,
             handler,
+            cancel: None,
+            stopped: None,
             sink,
             stats: JoinStats::new(cfg.record_access_log),
         }
     }
 
-    /// Runs the full self-join.
-    pub fn run(&mut self) {
-        if let Some(root) = self.tree.root() {
-            self.join_node(root);
+    /// Arms a cooperative cancellation token: the recursion checks it on
+    /// every node visit and unwinds promptly (keeping all rows emitted so
+    /// far) once it is triggered.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Why the traversal stopped early, if it did.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stopped
+    }
+
+    /// `true` once the traversal has been stopped (it then unwinds
+    /// without visiting further nodes).
+    fn check_stopped(&mut self) -> bool {
+        if self.stopped.is_some() {
+            return true;
         }
-        self.handler.finish(&mut self.sink, &mut self.stats);
+        if self.cancel.as_ref().is_some_and(CancelToken::is_canceled) {
+            self.stopped = Some(StopReason::Canceled);
+            return true;
+        }
+        false
+    }
+
+    /// Runs the full self-join.
+    pub fn run(&mut self) -> Result<(), CsjError> {
+        if let Some(root) = self.tree.root() {
+            self.join_node(root)?;
+        }
+        self.finish_only()
     }
 
     /// Runs only the finish step (used by the budgeted runner after an
-    /// aborted traversal).
-    pub fn finish_only(&mut self) {
-        self.handler.finish(&mut self.sink, &mut self.stats);
+    /// aborted traversal; drains the CSJ window so the output stays
+    /// lossless over the processed region).
+    pub fn finish_only(&mut self) -> Result<(), CsjError> {
+        self.handler.finish(&mut self.sink, &mut self.stats)
     }
 
     /// The subtree group MBR: the node's bounding shape by default, or
@@ -261,7 +319,10 @@ where
     }
 
     /// `simJoin(n)`: self-join of one subtree.
-    pub fn join_node(&mut self, n: NodeId) {
+    pub fn join_node(&mut self, n: NodeId) -> Result<(), CsjError> {
+        if self.check_stopped() {
+            return Ok(());
+        }
         self.stats.node_visits += 1;
         self.stats.touch_node(n.0);
         let eps = self.cfg.epsilon;
@@ -272,14 +333,12 @@ where
             let mut ids = Vec::new();
             self.tree.collect_record_ids(n, &mut ids);
             let mbr = self.subtree_mbr(n);
-            self.handler.on_subtree(ids, &mbr, &mut self.sink, &mut self.stats);
-            return;
+            return self.handler.on_subtree(ids, &mbr, &mut self.sink, &mut self.stats);
         }
 
         if self.tree.is_leaf(n) {
             if self.cfg.plane_sweep {
-                self.leaf_self_sweep(n);
-                return;
+                return self.leaf_self_sweep(n);
             }
             let entries = self.tree.leaf_entries(n);
             for i in 0..entries.len() {
@@ -293,25 +352,26 @@ where
                             &entries[j].point,
                             &mut self.sink,
                             &mut self.stats,
-                        );
+                        )?;
                     }
                 }
             }
         } else if self.cfg.plane_sweep {
-            self.internal_self_sweep(n);
+            self.internal_self_sweep(n)?;
         } else {
             let children = self.tree.children(n).to_vec();
             for (i, &a) in children.iter().enumerate() {
-                self.join_node(a);
+                self.join_node(a)?;
                 for &b in &children[(i + 1)..] {
                     if self.tree.min_dist(a, b, metric) <= eps {
-                        self.join_pair(a, b);
+                        self.join_pair(a, b)?;
                     } else {
                         self.stats.pairs_pruned += 1;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Sweep axis for a node: the widest side of its bounding box, where
@@ -333,7 +393,7 @@ where
     /// Plane-sweep leaf self-join: entries sorted along the sweep axis;
     /// the inner scan stops once the axis gap alone exceeds ε (valid for
     /// every `Lp` metric, where per-axis deltas lower-bound the distance).
-    fn leaf_self_sweep(&mut self, n: NodeId) {
+    fn leaf_self_sweep(&mut self, n: NodeId) -> Result<(), CsjError> {
         let eps = self.cfg.epsilon;
         let metric = self.cfg.metric;
         let axis = self.sweep_axis(n);
@@ -353,15 +413,16 @@ where
                         &entries[j].point,
                         &mut self.sink,
                         &mut self.stats,
-                    );
+                    )?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Plane-sweep child pairing: children sorted by their lower bound on
     /// the sweep axis; a pair is skipped as soon as the axis gap exceeds ε.
-    fn internal_self_sweep(&mut self, n: NodeId) {
+    fn internal_self_sweep(&mut self, n: NodeId) -> Result<(), CsjError> {
         let eps = self.cfg.epsilon;
         let metric = self.cfg.metric;
         let axis = self.sweep_axis(n);
@@ -376,22 +437,26 @@ where
             .collect();
         children.sort_by(|x, y| x.0.total_cmp(&y.0));
         for i in 0..children.len() {
-            self.join_node(children[i].2);
+            self.join_node(children[i].2)?;
             for j in (i + 1)..children.len() {
                 if children[j].0 - children[i].1 > eps {
                     break; // sorted by lo: every later child is farther
                 }
                 if self.tree.min_dist(children[i].2, children[j].2, metric) <= eps {
-                    self.join_pair(children[i].2, children[j].2);
+                    self.join_pair(children[i].2, children[j].2)?;
                 } else {
                     self.stats.pairs_pruned += 1;
                 }
             }
         }
+        Ok(())
     }
 
     /// `simJoin(n1, n2)`: join across two subtrees.
-    pub fn join_pair(&mut self, a: NodeId, b: NodeId) {
+    pub fn join_pair(&mut self, a: NodeId, b: NodeId) -> Result<(), CsjError> {
+        if self.check_stopped() {
+            return Ok(());
+        }
         self.stats.pair_visits += 1;
         self.stats.touch_node(a.0);
         self.stats.touch_node(b.0);
@@ -404,15 +469,13 @@ where
             self.tree.collect_record_ids(a, &mut ids);
             self.tree.collect_record_ids(b, &mut ids);
             let mbr = self.subtree_mbr(a).union(&self.subtree_mbr(b));
-            self.handler.on_subtree(ids, &mbr, &mut self.sink, &mut self.stats);
-            return;
+            return self.handler.on_subtree(ids, &mbr, &mut self.sink, &mut self.stats);
         }
 
         match (self.tree.is_leaf(a), self.tree.is_leaf(b)) {
             (true, true) => {
                 if self.cfg.plane_sweep {
-                    self.leaf_cross_sweep(a, b);
-                    return;
+                    return self.leaf_cross_sweep(a, b);
                 }
                 let ea = self.tree.leaf_entries(a);
                 let eb = self.tree.leaf_entries(b);
@@ -427,7 +490,7 @@ where
                                 &y.point,
                                 &mut self.sink,
                                 &mut self.stats,
-                            );
+                            )?;
                         }
                     }
                 }
@@ -436,7 +499,7 @@ where
                 let children = self.tree.children(b).to_vec();
                 for c in children {
                     if self.tree.min_dist(a, c, metric) <= eps {
-                        self.join_pair(a, c);
+                        self.join_pair(a, c)?;
                     } else {
                         self.stats.pairs_pruned += 1;
                     }
@@ -446,7 +509,7 @@ where
                 let children = self.tree.children(a).to_vec();
                 for c in children {
                     if self.tree.min_dist(c, b, metric) <= eps {
-                        self.join_pair(c, b);
+                        self.join_pair(c, b)?;
                     } else {
                         self.stats.pairs_pruned += 1;
                     }
@@ -454,15 +517,14 @@ where
             }
             (false, false) => {
                 if self.cfg.plane_sweep {
-                    self.internal_cross_sweep(a, b);
-                    return;
+                    return self.internal_cross_sweep(a, b);
                 }
                 let ca = self.tree.children(a).to_vec();
                 let cb = self.tree.children(b).to_vec();
                 for &x in &ca {
                     for &y in &cb {
                         if self.tree.min_dist(x, y, metric) <= eps {
-                            self.join_pair(x, y);
+                            self.join_pair(x, y)?;
                         } else {
                             self.stats.pairs_pruned += 1;
                         }
@@ -470,11 +532,12 @@ where
                 }
             }
         }
+        Ok(())
     }
 
     /// Plane-sweep leaf cross-join: both entry lists sorted on the sweep
     /// axis of the combined box, joined with a sliding window.
-    fn leaf_cross_sweep(&mut self, a: NodeId, b: NodeId) {
+    fn leaf_cross_sweep(&mut self, a: NodeId, b: NodeId) -> Result<(), CsjError> {
         let eps = self.cfg.epsilon;
         let metric = self.cfg.metric;
         let axis = {
@@ -511,16 +574,17 @@ where
                         &y.point,
                         &mut self.sink,
                         &mut self.stats,
-                    );
+                    )?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Plane-sweep internal cross-join: `b`'s children sorted by their
     /// lower bound; for each child of `a`, the scan stops once the axis
     /// gap exceeds ε.
-    fn internal_cross_sweep(&mut self, a: NodeId, b: NodeId) {
+    fn internal_cross_sweep(&mut self, a: NodeId, b: NodeId) -> Result<(), CsjError> {
         let eps = self.cfg.epsilon;
         let metric = self.cfg.metric;
         let axis = {
@@ -551,42 +615,64 @@ where
                     break; // sorted by lo: all later children are farther
                 }
                 if self.tree.min_dist(x, y, metric) <= eps {
-                    self.join_pair(x, y);
+                    self.join_pair(x, y)?;
                 } else {
                     self.stats.pairs_pruned += 1;
                 }
             }
         }
+        Ok(())
+    }
+}
+
+/// Unwraps a result that cannot be `Err` because every sink involved is
+/// in-memory (infallible). Kept as a function so the reasoning is in one
+/// place rather than scattered `unwrap`s.
+pub(crate) fn infallible<T>(res: Result<T, CsjError>) -> T {
+    match res {
+        Ok(v) => v,
+        Err(e) => unreachable!("in-memory join cannot fail, yet got: {e}"),
     }
 }
 
 /// Runs an engine that collects rows, packaging the result.
-pub fn run_collecting<T, H, const D: usize>(tree: &T, cfg: JoinConfig, early_stop: bool, handler: H) -> JoinOutput
+pub fn run_collecting<T, H, const D: usize>(
+    tree: &T,
+    cfg: JoinConfig,
+    early_stop: bool,
+    handler: H,
+) -> JoinOutput
 where
     T: JoinIndex<D>,
     H: LinkHandler<D>,
 {
     let mut engine = Engine::new(tree, cfg, early_stop, handler, CollectSink::default());
-    engine.run();
-    JoinOutput { items: std::mem::take(&mut engine.sink.items), stats: engine.stats }
+    infallible(engine.run());
+    JoinOutput {
+        items: std::mem::take(&mut engine.sink.items),
+        stats: engine.stats,
+        ..Default::default()
+    }
 }
 
 /// Runs an engine that streams rows into `writer`, returning the stats.
+/// Sink failures (full disk, injected faults) surface as `Err`; rows
+/// already written remain valid join output.
 pub fn run_streaming<T, H, S, const D: usize>(
     tree: &T,
     cfg: JoinConfig,
     early_stop: bool,
     handler: H,
     writer: &mut OutputWriter<S>,
-) -> JoinStats
+) -> Result<JoinStats, CsjError>
 where
     T: JoinIndex<D>,
     H: LinkHandler<D>,
     S: OutputSink,
 {
     let mut engine = Engine::new(tree, cfg, early_stop, handler, StreamSink::new(writer));
-    engine.run();
-    engine.stats
+    engine.run()?;
+    Ok(engine.stats)
 }
 
 #[cfg(test)]

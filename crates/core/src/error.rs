@@ -1,0 +1,79 @@
+//! The crate-level error type for join execution.
+//!
+//! Joins touch three fallible layers: output storage (`csj-storage`),
+//! index persistence (`csj-index::persist`) and their own configuration.
+//! [`CsjError`] unifies them so every public `Result` in this crate has
+//! one error type, while the per-crate enums stay intact underneath
+//! (pattern-match the variant to recover them).
+
+use std::fmt;
+
+use csj_index::persist::PersistError;
+use csj_storage::StorageError;
+
+/// Any error a join run can surface.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CsjError {
+    /// The storage layer failed (output sink, page I/O) beyond what
+    /// retries could absorb.
+    Storage(StorageError),
+    /// Index persistence failed (corrupt or unreadable tree file).
+    Persist(PersistError),
+    /// The requested configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CsjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsjError::Storage(e) => write!(f, "storage: {e}"),
+            CsjError::Persist(e) => write!(f, "index persistence: {e}"),
+            CsjError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsjError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsjError::Storage(e) => Some(e),
+            CsjError::Persist(e) => Some(e),
+            CsjError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for CsjError {
+    fn from(e: StorageError) -> Self {
+        CsjError::Storage(e)
+    }
+}
+
+impl From<PersistError> for CsjError {
+    fn from(e: PersistError) -> Self {
+        CsjError::Persist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csj_storage::IoOp;
+
+    #[test]
+    fn conversions_preserve_the_inner_error() {
+        let s = StorageError::FaultInjected { op: IoOp::Write, seq: 5 };
+        let e: CsjError = s.clone().into();
+        assert_eq!(e, CsjError::Storage(s));
+        let p = PersistError::ChecksumMismatch;
+        let e: CsjError = p.clone().into();
+        assert_eq!(e, CsjError::Persist(p));
+    }
+
+    #[test]
+    fn display_is_layered() {
+        let e = CsjError::Persist(PersistError::ChecksumMismatch);
+        assert!(e.to_string().contains("checksum"));
+        assert!(e.to_string().contains("persistence"));
+    }
+}

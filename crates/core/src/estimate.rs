@@ -9,7 +9,7 @@
 use csj_index::JoinIndex;
 use csj_storage::{CountingSink, OutputWriter};
 
-use crate::engine::{DirectEmit, Engine, StreamSink};
+use crate::engine::{infallible, DirectEmit, Engine, StreamSink};
 use crate::stats::JoinStats;
 use crate::JoinConfig;
 
@@ -102,9 +102,11 @@ impl BudgetedSsj {
         let mut done = 0usize;
         let mut completed = true;
         for task in tasks {
+            // A counting sink cannot fail, so the engine results are
+            // infallible here.
             match task {
-                Task::SelfJoin(n) => engine.join_node(n),
-                Task::PairJoin(a, b) => engine.join_pair(a, b),
+                Task::SelfJoin(n) => infallible(engine.join_node(n)),
+                Task::PairJoin(a, b) => infallible(engine.join_pair(a, b)),
             }
             done += 1;
             if engine.stats.links_emitted >= self.max_links && done < total {
@@ -112,7 +114,7 @@ impl BudgetedSsj {
                 break;
             }
         }
-        engine.finish_only();
+        infallible(engine.finish_only());
 
         let stats = std::mem::take(&mut engine.stats);
         drop(engine);
@@ -146,9 +148,7 @@ mod tests {
     use csj_index::{rstar::RStarTree, RTreeConfig};
 
     fn pts(n: usize) -> Vec<Point<2>> {
-        (0..n)
-            .map(|i| Point::new([(i % 17) as f64 / 17.0, (i % 23) as f64 / 23.0]))
-            .collect()
+        (0..n).map(|i| Point::new([(i % 17) as f64 / 17.0, (i % 23) as f64 / 23.0])).collect()
     }
 
     #[test]

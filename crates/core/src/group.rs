@@ -119,7 +119,13 @@ pub struct OpenGroup<S, const D: usize> {
 
 impl<S: GroupShape<D>, const D: usize> OpenGroup<S, D> {
     /// Opens a group from a single qualifying link.
-    pub fn from_link(a: RecordId, pa: &Point<D>, b: RecordId, pb: &Point<D>, metric: Metric) -> Self {
+    pub fn from_link(
+        a: RecordId,
+        pa: &Point<D>,
+        b: RecordId,
+        pb: &Point<D>,
+        metric: Metric,
+    ) -> Self {
         let mut shape = S::from_pair(pa, pb);
         // from_pair may produce a degenerate shape (e.g. a zero-radius
         // ball at the midpoint); extend covers both endpoints exactly.

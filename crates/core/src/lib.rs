@@ -50,11 +50,14 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod brute;
+pub mod budget;
 pub mod csj;
 pub mod egrid;
 pub mod engine;
+pub mod error;
 pub mod estimate;
 pub mod group;
 pub mod ncsj;
@@ -62,14 +65,18 @@ pub mod outlier;
 pub mod output;
 pub mod paged;
 pub mod parallel;
+pub mod resilient;
 pub mod spatial;
 pub mod ssj;
 pub mod stats;
 pub mod verify;
 
+pub use budget::{BudgetUsage, CancelToken, Completion, RunBudget, StopReason};
 pub use csj::CsjJoin;
+pub use error::CsjError;
 pub use ncsj::NcsjJoin;
 pub use output::{JoinOutput, OutputItem};
+pub use resilient::ResilientJoin;
 pub use ssj::SsjJoin;
 pub use stats::JoinStats;
 

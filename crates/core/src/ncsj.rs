@@ -10,6 +10,7 @@ use csj_index::JoinIndex;
 use csj_storage::{OutputSink, OutputWriter};
 
 use crate::engine::{run_collecting, run_streaming, DirectEmit};
+use crate::error::CsjError;
 use crate::output::JoinOutput;
 use crate::stats::JoinStats;
 use crate::JoinConfig;
@@ -78,11 +79,13 @@ impl NcsjJoin {
     }
 
     /// Runs the join, streaming rows into `writer` (constant memory).
+    /// A sink failure surfaces as `Err`; rows already written remain
+    /// valid join output.
     pub fn run_streaming<T: JoinIndex<D>, S: OutputSink, const D: usize>(
         &self,
         tree: &T,
         writer: &mut OutputWriter<S>,
-    ) -> JoinStats {
+    ) -> Result<JoinStats, CsjError> {
         run_streaming(tree, self.cfg, true, DirectEmit, writer)
     }
 }
@@ -93,7 +96,12 @@ mod tests {
     use crate::brute::brute_force_links;
     use crate::ssj::SsjJoin;
     use csj_geom::Point;
-    use csj_index::{mtree::{MTree, MTreeConfig}, rstar::RStarTree, rtree::RTree, RTreeConfig};
+    use csj_index::{
+        mtree::{MTree, MTreeConfig},
+        rstar::RStarTree,
+        rtree::RTree,
+        RTreeConfig,
+    };
 
     fn dense_grid(n_side: usize, spacing: f64) -> Vec<Point<2>> {
         let mut pts = Vec::new();
@@ -111,11 +119,7 @@ mod tests {
         let tree = RStarTree::from_points(&pts, RTreeConfig::with_max_fanout(6));
         for eps in [0.0, 0.015, 0.05, 0.1, 0.5, 1.0] {
             let out = NcsjJoin::new(eps).run(&tree);
-            assert_eq!(
-                out.expanded_link_set(),
-                brute_force_links(&pts, eps),
-                "eps={eps}"
-            );
+            assert_eq!(out.expanded_link_set(), brute_force_links(&pts, eps), "eps={eps}");
         }
     }
 

@@ -96,6 +96,7 @@ mod tests {
                 OutputItem::Link(5, 6),
             ],
             stats: Default::default(),
+            completion: crate::Completion::Complete,
         };
         let scores = CohesionScores::from_output(&out);
         assert_eq!(scores.score(0), 4);
@@ -109,6 +110,7 @@ mod tests {
         let out = JoinOutput {
             items: vec![OutputItem::Group(vec![0, 1, 2]), OutputItem::Link(3, 4)],
             stats: Default::default(),
+            completion: crate::Completion::Complete,
         };
         let scores = CohesionScores::from_output(&out);
         // 6 records total; record 5 appears nowhere.
@@ -125,6 +127,7 @@ mod tests {
                 OutputItem::Group(vec![5, 6, 7]),
             ],
             stats: Default::default(),
+            completion: crate::Completion::Complete,
         };
         let rows = small_rows(&out, 3);
         assert_eq!(rows.len(), 2);

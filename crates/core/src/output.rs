@@ -3,8 +3,9 @@
 use std::collections::BTreeSet;
 
 use csj_geom::RecordId;
-use csj_storage::{OutputSink, OutputWriter};
+use csj_storage::{OutputSink, OutputWriter, StorageError};
 
+use crate::budget::Completion;
 use crate::stats::JoinStats;
 
 /// One output row: an individual link or a group of mutually-qualifying
@@ -50,6 +51,10 @@ pub struct JoinOutput {
     pub items: Vec<OutputItem>,
     /// Operation counters of the producing run.
     pub stats: JoinStats,
+    /// Whether the run finished, or stopped early on a budget/cancel —
+    /// in which case the rows are still lossless over the processed
+    /// region and the variant carries extrapolated totals.
+    pub completion: Completion,
 }
 
 impl JoinOutput {
@@ -104,14 +109,19 @@ impl JoinOutput {
     }
 
     /// Streams the rows into an [`OutputWriter`] (for file output or
-    /// byte-exact re-measurement).
-    pub fn write_to<S: OutputSink>(&self, writer: &mut OutputWriter<S>) {
+    /// byte-exact re-measurement). Rows written before a sink failure
+    /// remain valid output.
+    pub fn write_to<S: OutputSink>(
+        &self,
+        writer: &mut OutputWriter<S>,
+    ) -> Result<(), StorageError> {
         for item in &self.items {
             match item {
-                OutputItem::Link(a, b) => writer.write_link(*a, *b),
-                OutputItem::Group(ids) => writer.write_group(ids),
+                OutputItem::Link(a, b) => writer.write_link(*a, *b)?,
+                OutputItem::Group(ids) => writer.write_group(ids)?,
             }
         }
+        Ok(())
     }
 
     /// Sizes of all group rows, descending — the view the outlier-mining
@@ -144,15 +154,16 @@ mod tests {
 
     #[test]
     fn format_bytes_matches_writer() {
-        let items = [
-            OutputItem::Link(1, 22),
-            OutputItem::Group(vec![1, 2, 3]),
-            OutputItem::Group(vec![7]),
-        ];
+        let items =
+            [OutputItem::Link(1, 22), OutputItem::Group(vec![1, 2, 3]), OutputItem::Group(vec![7])];
         for width in [2usize, 4, 7] {
-            let out = JoinOutput { items: items.to_vec(), stats: JoinStats::default() };
+            let out = JoinOutput {
+                items: items.to_vec(),
+                stats: JoinStats::default(),
+                ..Default::default()
+            };
             let mut w = OutputWriter::new(VecSink::new(), width);
-            out.write_to(&mut w);
+            out.write_to(&mut w).unwrap();
             assert_eq!(out.total_bytes(width), w.bytes_written(), "width {width}");
         }
     }
@@ -168,6 +179,7 @@ mod tests {
                 OutputItem::Group(vec![6, 7]),
             ],
             stats: JoinStats::default(),
+            ..Default::default()
         };
         assert_eq!(compact.num_groups(), 3);
         assert_eq!(compact.expanded_link_set().len(), 8);
@@ -184,6 +196,7 @@ mod tests {
                 OutputItem::Group(vec![3, 4, 5]),
             ],
             stats: JoinStats::default(),
+            ..Default::default()
         };
         let set = out.expanded_link_set();
         assert_eq!(set.len(), 9);
@@ -201,6 +214,7 @@ mod tests {
         let out = JoinOutput {
             items: vec![OutputItem::Link(5, 3), OutputItem::Link(3, 5), OutputItem::Link(4, 4)],
             stats: JoinStats::default(),
+            ..Default::default()
         };
         let set = out.expanded_link_set();
         assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![(3, 5)]);
@@ -216,6 +230,7 @@ mod tests {
                 OutputItem::Group(vec![7, 8, 9]),
             ],
             stats: JoinStats::default(),
+            ..Default::default()
         };
         assert_eq!(out.group_sizes(), vec![4, 3, 2]);
     }

@@ -13,12 +13,14 @@
 //! slightly larger than the sequential run's because merges cannot cross
 //! task boundaries.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use csj_index::{JoinIndex, NodeId};
 
-use crate::engine::{CollectSink, DirectEmit, Engine, LinkHandler, WindowedEmit};
+use crate::budget::{BudgetUsage, CancelToken, Completion, RunBudget, StopReason};
+use crate::engine::{infallible, CollectSink, DirectEmit, Engine, LinkHandler, WindowedEmit};
 use crate::group::MbrShape;
 use crate::output::{JoinOutput, OutputItem};
 use crate::stats::JoinStats;
@@ -51,11 +53,14 @@ pub enum ParallelAlgo {
 /// let seq = SsjJoin::new(0.05).run(&tree);
 /// assert_eq!(par.expanded_link_set(), seq.expanded_link_set());
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ParallelJoin {
     cfg: JoinConfig,
     algo: ParallelAlgo,
     threads: usize,
+    budget: RunBudget,
+    cancel: Option<CancelToken>,
+    id_width: usize,
 }
 
 enum Task {
@@ -66,12 +71,19 @@ enum Task {
 impl ParallelJoin {
     /// A parallel join with range `epsilon`.
     pub fn new(epsilon: f64, algo: ParallelAlgo) -> Self {
-        ParallelJoin { cfg: JoinConfig::new(epsilon), algo, threads: 4 }
+        Self::with_config(JoinConfig::new(epsilon), algo)
     }
 
     /// A parallel join from an explicit configuration.
     pub fn with_config(cfg: JoinConfig, algo: ParallelAlgo) -> Self {
-        ParallelJoin { cfg, algo, threads: 4 }
+        ParallelJoin {
+            cfg,
+            algo,
+            threads: 4,
+            budget: RunBudget::unlimited(),
+            cancel: None,
+            id_width: 6,
+        }
     }
 
     /// Sets the worker count (default 4; clamped to at least 1).
@@ -86,39 +98,117 @@ impl ParallelJoin {
         self
     }
 
+    /// Applies a resource budget, checked at task boundaries: when a limit
+    /// trips, in-flight tasks finish (lossless over the processed region)
+    /// and the result comes back [`Completion::Partial`].
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cancellation token. Cancel takes effect *inside* a
+    /// running task (the engine checks between recursion steps), so the
+    /// join stops within one task's worth of work.
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Sets the id width used for byte-budget accounting (default 6).
+    pub fn with_id_width(mut self, width: usize) -> Self {
+        self.id_width = width;
+        self
+    }
+
     /// Runs the join. Output rows appear in deterministic (task) order.
+    ///
+    /// With a budget or cancel token attached, the run may stop early; the
+    /// returned [`JoinOutput::completion`] says so, and the rows produced
+    /// remain lossless over the processed region.
     pub fn run<T: JoinIndex<D> + Sync, const D: usize>(&self, tree: &T) -> JoinOutput {
         let tasks = self.expand_tasks(tree);
         if tasks.is_empty() {
             return JoinOutput::default();
         }
-        type TaskResult = (Vec<OutputItem>, JoinStats);
+        // `completed` is true when the engine ran the task to the end
+        // (false only under a mid-task cancel).
+        type TaskResult = (Vec<OutputItem>, JoinStats, bool);
+        let start = Instant::now();
         let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let stop_reason: Mutex<Option<StopReason>> = Mutex::new(None);
+        let (links, groups, bytes) = (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
         let results: Mutex<Vec<Option<TaskResult>>> =
             Mutex::new((0..tasks.len()).map(|_| None).collect());
+        let record_stop = |reason: StopReason| {
+            stop.store(true, Ordering::Relaxed);
+            let mut guard = stop_reason.lock().expect("stop reason lock poisoned");
+            guard.get_or_insert(reason);
+        };
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.threads.min(tasks.len()) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Task-boundary checks: cancel and budget.
+                    if self.cancel.as_ref().is_some_and(CancelToken::is_canceled) {
+                        record_stop(StopReason::Canceled);
+                        break;
+                    }
+                    if !self.budget.is_unlimited() {
+                        let usage = BudgetUsage {
+                            links: links.load(Ordering::Relaxed),
+                            groups: groups.load(Ordering::Relaxed),
+                            bytes: bytes.load(Ordering::Relaxed),
+                        };
+                        if let Some(r) = self.budget.exceeded_by(&usage, start.elapsed()) {
+                            record_stop(r);
+                            break;
+                        }
+                    }
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     let Some(task) = tasks.get(idx) else { break };
-                    let (items, stats) = self.run_task(tree, task);
+                    let (items, stats, completed) = self.run_task(tree, task);
+                    if !completed {
+                        record_stop(StopReason::Canceled);
+                    }
+                    links.fetch_add(stats.links_emitted + stats.links_in_groups, Ordering::Relaxed);
+                    groups.fetch_add(stats.groups_emitted, Ordering::Relaxed);
+                    let task_bytes: u64 = items.iter().map(|i| i.format_bytes(self.id_width)).sum();
+                    bytes.fetch_add(task_bytes, Ordering::Relaxed);
                     results.lock().expect("worker panicked holding results")[idx] =
-                        Some((items, stats));
+                        Some((items, stats, completed));
                 });
             }
-        })
-        .expect("join worker panicked");
+        });
 
-        let mut output = JoinOutput {
-            stats: JoinStats::new(self.cfg.record_access_log),
-            ..Default::default()
-        };
+        let mut output =
+            JoinOutput { stats: JoinStats::new(self.cfg.record_access_log), ..Default::default() };
+        let total = tasks.len();
+        let mut done = 0usize;
         for slot in results.into_inner().expect("poisoned results") {
-            let (items, stats) = slot.expect("task never ran");
+            let Some((items, stats, completed)) = slot else { continue };
             output.items.extend(items);
             output.stats.absorb(&stats);
+            if completed {
+                done += 1;
+            }
         }
+        let reason = stop_reason.into_inner().expect("stop reason lock poisoned");
+        output.completion = match reason {
+            None if done == total => Completion::Complete,
+            // A worker stopping leaves unclaimed tasks; attribute the
+            // partial result to the recorded reason (cancel if a task was
+            // interrupted mid-flight).
+            maybe => Completion::partial(
+                maybe.unwrap_or(StopReason::Canceled),
+                done as f64 / total as f64,
+                links.load(Ordering::Relaxed),
+                bytes.load(Ordering::Relaxed),
+            ),
+        };
         output
     }
 
@@ -126,7 +216,7 @@ impl ParallelJoin {
         &self,
         tree: &T,
         task: &Task,
-    ) -> (Vec<OutputItem>, JoinStats) {
+    ) -> (Vec<OutputItem>, JoinStats, bool) {
         match self.algo {
             ParallelAlgo::Ssj => self.run_task_with(tree, task, false, DirectEmit),
             ParallelAlgo::Ncsj => self.run_task_with(tree, task, true, DirectEmit),
@@ -145,15 +235,18 @@ impl ParallelJoin {
         task: &Task,
         early_stop: bool,
         handler: H,
-    ) -> (Vec<OutputItem>, JoinStats) {
-        let mut engine =
-            Engine::new(tree, self.cfg, early_stop, handler, CollectSink::default());
-        match task {
-            Task::SelfJoin(n) => engine.join_node(*n),
-            Task::PairJoin(a, b) => engine.join_pair(*a, *b),
+    ) -> (Vec<OutputItem>, JoinStats, bool) {
+        let mut engine = Engine::new(tree, self.cfg, early_stop, handler, CollectSink::default());
+        if let Some(token) = &self.cancel {
+            engine.set_cancel(token.clone());
         }
-        engine.finish_only();
-        (std::mem::take(&mut engine.sink.items), engine.stats)
+        match task {
+            Task::SelfJoin(n) => infallible(engine.join_node(*n)),
+            Task::PairJoin(a, b) => infallible(engine.join_pair(*a, *b)),
+        }
+        infallible(engine.finish_only());
+        let completed = engine.stop_reason().is_none();
+        (std::mem::take(&mut engine.sink.items), engine.stats, completed)
     }
 
     /// Breadth-first task expansion until there are comfortably more
@@ -219,9 +312,8 @@ mod tests {
         for eps in [0.01, 0.1] {
             let seq = SsjJoin::new(eps).run(&tree);
             for threads in [1, 2, 8] {
-                let par = ParallelJoin::new(eps, ParallelAlgo::Ssj)
-                    .with_threads(threads)
-                    .run(&tree);
+                let par =
+                    ParallelJoin::new(eps, ParallelAlgo::Ssj).with_threads(threads).run(&tree);
                 assert_eq!(par.expanded_link_set(), seq.expanded_link_set(), "threads={threads}");
                 assert_eq!(
                     par.stats.distance_computations, seq.stats.distance_computations,
@@ -274,6 +366,48 @@ mod tests {
         let one = RStarTree::from_points(&[Point::new([0.5, 0.5])], RTreeConfig::default());
         let out = ParallelJoin::new(0.1, ParallelAlgo::Csj(10)).run(&one);
         assert!(out.items.is_empty());
+    }
+
+    #[test]
+    fn precanceled_token_stops_within_one_task() {
+        let pts = clustered(3_000);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        let token = CancelToken::new();
+        token.cancel();
+        let out = ParallelJoin::new(0.05, ParallelAlgo::Csj(10))
+            .with_threads(4)
+            .with_cancel(&token)
+            .run(&tree);
+        assert_eq!(out.completion.stop_reason(), Some(StopReason::Canceled));
+        assert!(out.items.is_empty(), "the boundary check fires before the first task completes");
+    }
+
+    #[test]
+    fn midrun_cancel_yields_a_lossless_prefix() {
+        let pts = clustered(4_000);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        let eps = 0.05;
+        let truth = brute_force_links(&pts, eps);
+        let token = CancelToken::new();
+        let canceller = std::thread::spawn({
+            let token = token.clone();
+            move || token.cancel()
+        });
+        let out = ParallelJoin::new(eps, ParallelAlgo::Ssj)
+            .with_threads(2)
+            .with_cancel(&token)
+            .run(&tree);
+        canceller.join().expect("canceller thread");
+        // Depending on timing the run may complete or stop early; either
+        // way, every emitted link must be a true link.
+        for link in out.expanded_link_set() {
+            assert!(truth.contains(&link), "canceled run emitted false link {link:?}");
+        }
+        if out.completion.is_complete() {
+            assert_eq!(out.expanded_link_set(), truth);
+        } else {
+            assert_eq!(out.completion.stop_reason(), Some(StopReason::Canceled));
+        }
     }
 }
 

@@ -7,8 +7,8 @@
 //! "an entire sub-region from each type of tree is within the query
 //! range". A group therefore encodes `|L| · |R|` cross links.
 
-use std::collections::{BTreeSet, HashSet};
 use std::collections::VecDeque;
+use std::collections::{BTreeSet, HashSet};
 
 use csj_geom::{Mbr, Metric, Point, RecordId};
 use csj_index::{JoinIndex, NodeId};
@@ -100,7 +100,13 @@ impl SpatialOutput {
 
     /// Streams the rows into `sink` in the text format
     /// `<left ids> | <right ids>\n` with `width`-digit zero-padded ids.
-    pub fn write_to<S: csj_storage::OutputSink>(&self, sink: &mut S, width: usize) {
+    /// A sink failure surfaces as `Err`; rows already written remain
+    /// valid output.
+    pub fn write_to<S: csj_storage::OutputSink>(
+        &self,
+        sink: &mut S,
+        width: usize,
+    ) -> Result<(), csj_storage::StorageError> {
         let mut line = Vec::with_capacity(256);
         let push_id = |line: &mut Vec<u8>, id: RecordId| {
             let s = format!("{id:0width$}");
@@ -131,8 +137,9 @@ impl SpatialOutput {
                 }
             }
             line.push(b'\n');
-            sink.write_bytes(&line);
+            sink.write_bytes(&line)?;
         }
+        Ok(())
     }
 }
 
@@ -396,7 +403,12 @@ where
 mod tests {
     use super::*;
     use crate::brute::brute_force_cross_links;
-    use csj_index::{mtree::{MTree, MTreeConfig}, rstar::RStarTree, rtree::RTree, RTreeConfig};
+    use csj_index::{
+        mtree::{MTree, MTreeConfig},
+        rstar::RStarTree,
+        rtree::RTree,
+        RTreeConfig,
+    };
 
     fn left_points(n: usize) -> Vec<Point<2>> {
         (0..n)
@@ -423,11 +435,9 @@ mod tests {
         let rt = RStarTree::from_points(&rp, RTreeConfig::with_max_fanout(6));
         for eps in [0.01, 0.05, 0.2] {
             let want = brute_force_cross_links(&lp, &rp, eps, Metric::Euclidean);
-            for mode in [
-                SpatialMode::Standard,
-                SpatialMode::Compact,
-                SpatialMode::CompactWindowed(10),
-            ] {
+            for mode in
+                [SpatialMode::Standard, SpatialMode::Compact, SpatialMode::CompactWindowed(10)]
+            {
                 let out = SpatialJoin::new(eps, mode).run(&lt, &rt);
                 assert_eq!(out.expanded_link_set(), want, "eps={eps} mode={mode:?}");
             }
@@ -516,7 +526,7 @@ mod tests {
         };
         let width = 4;
         let mut sink = VecSink::new();
-        out.write_to(&mut sink, width);
+        out.write_to(&mut sink, width).expect("vec sink cannot fail");
         assert_eq!(sink.as_str(), "0001 | 0022\n0003 0004 | 0005\n");
         assert_eq!(sink.bytes_written(), out.total_bytes(width));
     }

@@ -8,6 +8,7 @@ use csj_index::JoinIndex;
 use csj_storage::{OutputSink, OutputWriter};
 
 use crate::engine::{run_collecting, run_streaming, DirectEmit};
+use crate::error::CsjError;
 use crate::output::JoinOutput;
 use crate::stats::JoinStats;
 use crate::JoinConfig;
@@ -73,11 +74,13 @@ impl SsjJoin {
     }
 
     /// Runs the join, streaming links into `writer` (constant memory).
+    /// A sink failure surfaces as `Err`; rows already written remain
+    /// valid join output.
     pub fn run_streaming<T: JoinIndex<D>, S: OutputSink, const D: usize>(
         &self,
         tree: &T,
         writer: &mut OutputWriter<S>,
-    ) -> JoinStats {
+    ) -> Result<JoinStats, CsjError> {
         run_streaming(tree, self.cfg, false, DirectEmit, writer)
     }
 }
@@ -111,11 +114,7 @@ mod tests {
         let tree = RStarTree::from_points(&pts, RTreeConfig::with_max_fanout(4));
         for eps in [0.0, 0.01, 0.05, 0.2, 0.7, 2.0] {
             let out = SsjJoin::new(eps).run(&tree);
-            assert_eq!(
-                out.expanded_link_set(),
-                brute_force_links(&pts, eps),
-                "eps={eps}"
-            );
+            assert_eq!(out.expanded_link_set(), brute_force_links(&pts, eps), "eps={eps}");
             assert_eq!(out.num_groups(), 0, "SSJ never emits groups");
         }
     }
@@ -144,7 +143,7 @@ mod tests {
         let join = SsjJoin::new(0.25);
         let collected = join.run(&tree);
         let mut writer = OutputWriter::new(CountingSink::new(), 4);
-        let stats = join.run_streaming(&tree, &mut writer);
+        let stats = join.run_streaming(&tree, &mut writer).expect("counting sink cannot fail");
         assert_eq!(collected.total_bytes(4), writer.bytes_written());
         assert_eq!(collected.stats.links_emitted, stats.links_emitted);
         assert_eq!(collected.stats.distance_computations, stats.distance_computations);

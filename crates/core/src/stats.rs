@@ -32,6 +32,12 @@ pub struct JoinStats {
     pub merges_succeeded: u64,
     /// Node-pair recursions skipped because MINDIST exceeded ε.
     pub pairs_pruned: u64,
+    /// Links implied by emitted groups (`k·(k−1)/2` per group of size
+    /// `k`); together with [`JoinStats::links_emitted`] this is the
+    /// represented-link total that resource budgets meter.
+    pub links_in_groups: u64,
+    /// Transient storage faults absorbed by retry (pager / sink level).
+    pub io_retries: u64,
     /// Sequence of visited node ids (one entry per node access), present
     /// only when [`crate::JoinConfig::record_access_log`] is set.
     pub access_log: Option<Vec<u32>>,
@@ -40,10 +46,7 @@ pub struct JoinStats {
 impl JoinStats {
     /// A fresh stats block, with the access log pre-armed when requested.
     pub fn new(record_access_log: bool) -> Self {
-        JoinStats {
-            access_log: record_access_log.then(Vec::new),
-            ..Default::default()
-        }
+        JoinStats { access_log: record_access_log.then(Vec::new), ..Default::default() }
     }
 
     /// Records a node access (counted, and logged when armed).
@@ -72,6 +75,8 @@ impl JoinStats {
         self.merge_attempts += other.merge_attempts;
         self.merges_succeeded += other.merges_succeeded;
         self.pairs_pruned += other.pairs_pruned;
+        self.links_in_groups += other.links_in_groups;
+        self.io_retries += other.io_retries;
         if let (Some(mine), Some(theirs)) = (&mut self.access_log, &other.access_log) {
             mine.extend_from_slice(theirs);
         }

@@ -180,7 +180,7 @@ mod tests {
     #[test]
     fn detects_missing_link() {
         let pts = vec![Point::new([0.0, 0.0]), Point::new([0.05, 0.0])];
-        let empty = JoinOutput { items: vec![], stats: JoinStats::default() };
+        let empty = JoinOutput { items: vec![], stats: JoinStats::default(), ..Default::default() };
         match verify_lossless(&empty, &pts, 0.1, Metric::Euclidean) {
             Err(VerifyError::MissingLink { a: 0, b: 1, .. }) => {}
             other => panic!("expected MissingLink, got {other:?}"),
@@ -193,6 +193,7 @@ mod tests {
         let bad = JoinOutput {
             items: vec![OutputItem::Link(0, 1)],
             stats: JoinStats::default(),
+            ..Default::default()
         };
         match verify_lossless(&bad, &pts, 0.1, Metric::Euclidean) {
             Err(VerifyError::ExtraLink { a: 0, b: 1, distance }) => {
@@ -204,14 +205,11 @@ mod tests {
 
     #[test]
     fn detects_overwide_group() {
-        let pts = vec![
-            Point::new([0.0, 0.0]),
-            Point::new([0.05, 0.0]),
-            Point::new([0.2, 0.0]),
-        ];
+        let pts = vec![Point::new([0.0, 0.0]), Point::new([0.05, 0.0]), Point::new([0.2, 0.0])];
         let bad = JoinOutput {
             items: vec![OutputItem::Group(vec![0, 1, 2])],
             stats: JoinStats::default(),
+            ..Default::default()
         };
         // Pair (0, 2) is at 0.2 > eps: reported as an extra link.
         match verify_lossless(&bad, &pts, 0.1, Metric::Euclidean) {
@@ -226,6 +224,7 @@ mod tests {
         let bad = JoinOutput {
             items: vec![OutputItem::Link(0, 9)],
             stats: JoinStats::default(),
+            ..Default::default()
         };
         assert_eq!(
             verify_lossless(&bad, &pts, 0.1, Metric::Euclidean),

@@ -34,7 +34,11 @@ impl Default for ClusterConfig {
 
 /// `n` points from a `k`-cluster Gaussian mixture, clamped to the unit
 /// cube. Deterministic in `seed`.
-pub fn gaussian_mixture<const D: usize>(n: usize, config: ClusterConfig, seed: u64) -> Vec<Point<D>> {
+pub fn gaussian_mixture<const D: usize>(
+    n: usize,
+    config: ClusterConfig,
+    seed: u64,
+) -> Vec<Point<D>> {
     assert!(config.clusters >= 1, "need at least one cluster");
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<Point<D>> = (0..config.clusters)

@@ -62,10 +62,8 @@ pub fn occupied_cells<const D: usize>(points: &[Point<D>], level: u32) -> usize 
 /// keep multiple points per occupied cell (`2^(level·D0) << n`).
 pub fn box_counting_dimension<const D: usize>(points: &[Point<D>], levels: &[u32]) -> f64 {
     let xs: Vec<f64> = levels.iter().map(|&l| l as f64).collect();
-    let ys: Vec<f64> = levels
-        .iter()
-        .map(|&l| (occupied_cells(points, l).max(1) as f64).log2())
-        .collect();
+    let ys: Vec<f64> =
+        levels.iter().map(|&l| (occupied_cells(points, l).max(1) as f64).log2()).collect();
     lsq_slope(&xs, &ys)
 }
 
@@ -167,11 +165,7 @@ mod tests {
     #[test]
     fn correlation_integral_exact_on_small_set() {
         // 3 points: pairs at distance 1, 1, 2. C(1.5) = 2/3; C(3) = 1.
-        let pts = vec![
-            Point::new([0.0, 0.0]),
-            Point::new([1.0, 0.0]),
-            Point::new([2.0, 0.0]),
-        ];
+        let pts = vec![Point::new([0.0, 0.0]), Point::new([1.0, 0.0]), Point::new([2.0, 0.0])];
         assert!((correlation_integral(&pts, 1.5) - 2.0 / 3.0).abs() < 1e-12);
         assert!((correlation_integral(&pts, 3.0) - 1.0).abs() < 1e-12);
         assert_eq!(correlation_integral(&pts, 0.5), 0.0);

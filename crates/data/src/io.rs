@@ -150,9 +150,6 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        assert!(matches!(
-            read_points::<2>("/nonexistent/csj/file.txt"),
-            Err(ReadError::Io(_))
-        ));
+        assert!(matches!(read_points::<2>("/nonexistent/csj/file.txt"), Err(ReadError::Io(_))));
     }
 }

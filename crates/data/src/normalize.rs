@@ -29,11 +29,8 @@ mod tests {
 
     #[test]
     fn spans_become_unit() {
-        let mut pts = vec![
-            Point::new([10.0, -5.0]),
-            Point::new([20.0, 5.0]),
-            Point::new([15.0, 0.0]),
-        ];
+        let mut pts =
+            vec![Point::new([10.0, -5.0]), Point::new([20.0, 5.0]), Point::new([15.0, 0.0])];
         let bounds = normalize_unit_cube(&mut pts).unwrap();
         assert_eq!(bounds.lo.coords(), [10.0, -5.0]);
         assert_eq!(pts[0].coords(), [0.0, 0.0]);

@@ -50,10 +50,8 @@ pub fn road_network(config: &RoadConfig) -> Vec<Point<2>> {
     // Weighted urban cores.
     let cores: Vec<(Point<2>, f64)> = (0..config.cores)
         .map(|_| {
-            let c = Point::new([
-                0.15 + 0.7 * rng.random::<f64>(),
-                0.15 + 0.7 * rng.random::<f64>(),
-            ]);
+            let c =
+                Point::new([0.15 + 0.7 * rng.random::<f64>(), 0.15 + 0.7 * rng.random::<f64>()]);
             let weight = 0.2 + rng.random::<f64>();
             (c, weight)
         })

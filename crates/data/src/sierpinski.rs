@@ -32,11 +32,7 @@ fn chaos_game<const D: usize>(vertices: &[Point<D>], n: usize, seed: u64) -> Vec
 
 /// `n` points on the 2-D Sierpinski triangle inside the unit square.
 pub fn triangle_2d(n: usize, seed: u64) -> Vec<Point<2>> {
-    let vertices = [
-        Point::new([0.0, 0.0]),
-        Point::new([1.0, 0.0]),
-        Point::new([0.5, 1.0]),
-    ];
+    let vertices = [Point::new([0.0, 0.0]), Point::new([1.0, 0.0]), Point::new([0.5, 1.0])];
     chaos_game(&vertices, n, seed)
 }
 

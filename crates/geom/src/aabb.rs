@@ -64,10 +64,7 @@ impl<const D: usize> Mbr<D> {
     /// expansion replaces it. `contains`/`intersects` are always false.
     #[inline]
     pub fn empty() -> Self {
-        Mbr {
-            lo: Point::new([f64::INFINITY; D]),
-            hi: Point::new([f64::NEG_INFINITY; D]),
-        }
+        Mbr { lo: Point::new([f64::INFINITY; D]), hi: Point::new([f64::NEG_INFINITY; D]) }
     }
 
     /// `true` if this is the identity element produced by [`Mbr::empty`].
@@ -93,10 +90,7 @@ impl<const D: usize> Mbr<D> {
     /// The union (smallest common bounding rectangle) of two MBRs.
     #[inline]
     pub fn union(&self, other: &Mbr<D>) -> Self {
-        Mbr {
-            lo: self.lo.min(&other.lo),
-            hi: self.hi.max(&other.hi),
-        }
+        Mbr { lo: self.lo.min(&other.lo), hi: self.hi.max(&other.hi) }
     }
 
     /// The intersection of two MBRs, or `None` if they are disjoint.
@@ -217,11 +211,7 @@ mod tests {
 
     #[test]
     fn from_points_covers_all() {
-        let pts = [
-            Point::new([0.0, 5.0]),
-            Point::new([2.0, 1.0]),
-            Point::new([-1.0, 3.0]),
-        ];
+        let pts = [Point::new([0.0, 5.0]), Point::new([2.0, 1.0]), Point::new([-1.0, 3.0])];
         let m = Mbr::from_points(&pts).unwrap();
         assert_eq!(m.lo.coords(), [-1.0, 1.0]);
         assert_eq!(m.hi.coords(), [2.0, 5.0]);

@@ -102,10 +102,7 @@ mod tests {
     #[test]
     fn brute_trivial_sets() {
         assert_eq!(diameter_brute::<2>(&[], Metric::Euclidean), 0.0);
-        assert_eq!(
-            diameter_brute(&[Point::new([1.0, 1.0])], Metric::Euclidean),
-            0.0
-        );
+        assert_eq!(diameter_brute(&[Point::new([1.0, 1.0])], Metric::Euclidean), 0.0);
         let two = [Point::new([0.0, 0.0]), Point::new([3.0, 4.0])];
         assert_eq!(diameter_brute(&two, Metric::Euclidean), 5.0);
         assert_eq!(diameter_brute(&two, Metric::Manhattan), 7.0);
@@ -141,11 +138,7 @@ mod tests {
 
     #[test]
     fn hull_duplicates() {
-        let pts = [
-            Point::new([0.0, 0.0]),
-            Point::new([0.0, 0.0]),
-            Point::new([1.0, 0.0]),
-        ];
+        let pts = [Point::new([0.0, 0.0]), Point::new([0.0, 0.0]), Point::new([1.0, 0.0])];
         assert_eq!(convex_hull(&pts).len(), 2);
         assert_eq!(diameter_2d(&pts), 1.0);
     }

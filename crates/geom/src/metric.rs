@@ -19,8 +19,7 @@ use crate::{Mbr, Point};
 /// generic: the group constraint "maximal diameter of the bounding shape
 /// `< ε`" is evaluated under the active metric, so groups remain provably
 /// correct for any choice here.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum Metric {
     /// `L2`: straight-line distance. MBR diameter is the main diagonal.
     #[default]
@@ -34,7 +33,6 @@ pub enum Metric {
     /// General `Lp` for finite `p ≥ 1`.
     Minkowski(f64),
 }
-
 
 impl Metric {
     /// Distance between two points under this metric.
@@ -177,12 +175,7 @@ mod tests {
     fn point_distances_agree_on_axis() {
         let a = Point::new([0.0, 0.0]);
         let b = Point::new([3.0, 0.0]);
-        for m in [
-            Metric::Euclidean,
-            Metric::Manhattan,
-            Metric::Chebyshev,
-            Metric::Minkowski(3.0),
-        ] {
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Minkowski(3.0)] {
             assert!((m.distance(&a, &b) - 3.0).abs() < 1e-12, "{m:?}");
         }
     }
@@ -257,9 +250,7 @@ mod tests {
         let outside = Point::new([0.0, 1.0]);
         assert_eq!(Metric::Euclidean.min_dist_point_mbr(&outside, &r), 1.0);
         // Farthest corner from (0,1) is (2,2): distance sqrt(4+1).
-        assert!(
-            (Metric::Euclidean.max_dist_point_mbr(&outside, &r) - 5.0f64.sqrt()).abs() < 1e-12
-        );
+        assert!((Metric::Euclidean.max_dist_point_mbr(&outside, &r) - 5.0f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]

@@ -94,11 +94,7 @@ impl<const D: usize> Sphere<D> {
         // farthest from that: a diametral-ish pair.
         let a = points
             .iter()
-            .max_by(|x, y| {
-                metric
-                    .distance(first, x)
-                    .total_cmp(&metric.distance(first, y))
-            })
+            .max_by(|x, y| metric.distance(first, x).total_cmp(&metric.distance(first, y)))
             .unwrap();
         let b = points
             .iter()

@@ -110,7 +110,10 @@ fn height_for(n: usize, cap: usize) -> u32 {
     h
 }
 
-fn alloc_leaf<const D: usize>(core: &mut RectCore<D>, entries: Vec<LeafEntry<D>>) -> crate::arena::NodeId {
+fn alloc_leaf<const D: usize>(
+    core: &mut RectCore<D>,
+    entries: Vec<LeafEntry<D>>,
+) -> crate::arena::NodeId {
     debug_assert!(!entries.is_empty());
     let mut leaf = RNode::new_leaf();
     leaf.mbr = {
@@ -192,12 +195,14 @@ fn pack_upper_levels_str<const D: usize>(
     let cap = core.config.max_fanout;
     let mut level = 1u32;
     while level_nodes.len() > 1 {
-        let items: Vec<(crate::arena::NodeId, Point<D>)> = level_nodes
-            .iter()
-            .map(|&id| (id, core.node(id).mbr.center()))
-            .collect();
+        let items: Vec<(crate::arena::NodeId, Point<D>)> =
+            level_nodes.iter().map(|&id| (id, core.node(id).mbr.center())).collect();
         let groups = str_chunks::<_, D>(items, cap, |it, d| it.1[d]);
-        level_nodes = attach_groups(core, groups.into_iter().map(|g| g.into_iter().map(|(id, _)| id).collect()), level);
+        level_nodes = attach_groups(
+            core,
+            groups.into_iter().map(|g| g.into_iter().map(|(id, _)| id).collect()),
+            level,
+        );
         level += 1;
     }
     core.root = level_nodes.pop();
@@ -261,10 +266,8 @@ fn omt_build<const D: usize>(
     let subtree_cap = (cap as u128).pow(height - 1);
     let k = ((entries.len() as u128).div_ceil(subtree_cap) as usize).clamp(2, cap);
     let groups = slice_groups::<_, D>(entries, k, 0, |e, d| e.point[d]);
-    let children: Vec<crate::arena::NodeId> = groups
-        .into_iter()
-        .map(|g| omt_build(core, g, cap, height - 1))
-        .collect();
+    let children: Vec<crate::arena::NodeId> =
+        groups.into_iter().map(|g| omt_build(core, g, cap, height - 1)).collect();
     let parent = core.arena.alloc(RNode::new_internal(height - 1));
     let mut mbr = Mbr::empty();
     for &c in &children {

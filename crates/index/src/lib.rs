@@ -75,11 +75,7 @@ impl RTreeConfig {
     /// Config with the given maximum fanout and a 40% minimum.
     pub fn with_max_fanout(max_fanout: usize) -> Self {
         assert!(max_fanout >= 4, "max fanout must be at least 4");
-        RTreeConfig {
-            max_fanout,
-            min_fanout: (max_fanout * 2 / 5).max(2),
-            ..Default::default()
-        }
+        RTreeConfig { max_fanout, min_fanout: (max_fanout * 2 / 5).max(2), ..Default::default() }
     }
 
     /// Replaces the split strategy.

@@ -39,11 +39,7 @@ impl MTreeConfig {
     /// Config with the given maximum fanout and a 40% minimum.
     pub fn with_max_fanout(max_fanout: usize) -> Self {
         assert!(max_fanout >= 4, "max fanout must be at least 4");
-        MTreeConfig {
-            max_fanout,
-            min_fanout: (max_fanout * 2 / 5).max(2),
-            ..Default::default()
-        }
+        MTreeConfig { max_fanout, min_fanout: (max_fanout * 2 / 5).max(2), ..Default::default() }
     }
 
     /// Replaces the metric.
@@ -73,11 +69,25 @@ pub struct MNode<const D: usize> {
 
 impl<const D: usize> MNode<D> {
     fn new_leaf(center: Point<D>) -> Self {
-        MNode { parent: None, level: 0, center, radius: 0.0, children: Vec::new(), entries: Vec::new() }
+        MNode {
+            parent: None,
+            level: 0,
+            center,
+            radius: 0.0,
+            children: Vec::new(),
+            entries: Vec::new(),
+        }
     }
 
     fn new_internal(center: Point<D>, level: u32) -> Self {
-        MNode { parent: None, level, center, radius: 0.0, children: Vec::new(), entries: Vec::new() }
+        MNode {
+            parent: None,
+            level,
+            center,
+            radius: 0.0,
+            children: Vec::new(),
+            entries: Vec::new(),
+        }
     }
 
     /// `true` if the node stores records directly.
@@ -456,8 +466,7 @@ impl<const D: usize> JoinIndex<D> for MTree<D> {
         // the other's radius it can be smaller than an intra-ball
         // distance, so the individual diameters must be folded in.
         let (na, nb) = (self.arena.get(a), self.arena.get(b));
-        let cross =
-            self.config.metric.distance(&na.center, &nb.center) + na.radius + nb.radius;
+        let cross = self.config.metric.distance(&na.center, &nb.center) + na.radius + nb.radius;
         cross.max(2.0 * na.radius).max(2.0 * nb.radius)
     }
     fn min_dist(&self, a: NodeId, b: NodeId, _metric: Metric) -> f64 {
@@ -568,8 +577,7 @@ mod tests {
         let tree = MTree::from_points(&pts, cfg);
         let q = Point::new([0.7, 0.3]);
         let got = tree.knn(&q, 3);
-        let mut dists: Vec<f64> =
-            pts.iter().map(|p| Metric::Manhattan.distance(&q, p)).collect();
+        let mut dists: Vec<f64> = pts.iter().map(|p| Metric::Manhattan.distance(&q, p)).collect();
         dists.sort_by(f64::total_cmp);
         for (i, (_, d)) in got.iter().enumerate() {
             assert!((d - dists[i]).abs() < 1e-12);

@@ -148,9 +148,7 @@ fn split_generic<T: Clone, const D: usize>(
     }
 
     let radius_of = |idx: &[usize], pivot: usize| {
-        idx.iter()
-            .map(|&k| dist[pivot * n + k] + slacks[k])
-            .fold(0.0_f64, f64::max)
+        idx.iter().map(|&k| dist[pivot * n + k] + slacks[k]).fold(0.0_f64, f64::max)
     };
     let left_radius = radius_of(&left_idx, a);
     let right_radius = radius_of(&right_idx, b);
@@ -172,10 +170,7 @@ mod tests {
     use super::*;
 
     fn entries(pts: &[[f64; 2]]) -> Vec<LeafEntry<2>> {
-        pts.iter()
-            .enumerate()
-            .map(|(i, p)| LeafEntry::new(i as u32, Point::new(*p)))
-            .collect()
+        pts.iter().enumerate().map(|(i, p)| LeafEntry::new(i as u32, Point::new(*p))).collect()
     }
 
     fn check_coverage(s: &MSplit<LeafEntry<2>, 2>, metric: Metric) {
@@ -220,11 +215,7 @@ mod tests {
     #[test]
     fn internal_split_covers_child_balls() {
         let balls: Vec<Ball<2>> = (0..8)
-            .map(|i| Ball {
-                id: NodeId(i),
-                center: Point::new([i as f64, 0.0]),
-                radius: 0.4,
-            })
+            .map(|i| Ball { id: NodeId(i), center: Point::new([i as f64, 0.0]), radius: 0.4 })
             .collect();
         let s = split_internal(balls, Metric::Euclidean, 3);
         assert_eq!(s.left.len() + s.right.len(), 8);

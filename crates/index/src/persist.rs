@@ -63,6 +63,9 @@ pub enum PersistError {
     ChecksumMismatch,
     /// A structural reference (child/root id) is out of range.
     CorruptStructure(String),
+    /// An operating-system I/O failure while reading or writing the
+    /// index file (path and OS error text).
+    Io(String),
 }
 
 impl std::fmt::Display for PersistError {
@@ -76,11 +79,18 @@ impl std::fmt::Display for PersistError {
             PersistError::Truncated => write!(f, "file truncated"),
             PersistError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
             PersistError::CorruptStructure(msg) => write!(f, "corrupt structure: {msg}"),
+            PersistError::Io(msg) => write!(f, "index file I/O: {msg}"),
         }
     }
 }
 
 impl std::error::Error for PersistError {}
+
+impl From<csj_storage::StorageError> for PersistError {
+    fn from(e: csj_storage::StorageError) -> Self {
+        PersistError::Io(e.to_string())
+    }
+}
 
 struct Writer {
     buf: Vec<u8>,
@@ -328,6 +338,29 @@ pub fn deserialize_rect<const D: usize>(bytes: &[u8]) -> Result<RectCore<D>, Per
     Ok(core)
 }
 
+/// Writes already-serialized index bytes to `path` atomically (temp
+/// file + rename), so readers never observe a half-written index.
+pub fn save_bytes(path: impl AsRef<std::path::Path>, bytes: &[u8]) -> Result<(), PersistError> {
+    csj_storage::fault::write_file_atomic(path, bytes).map_err(PersistError::from)
+}
+
+/// Like [`save_bytes`], but routed through a fault injector — used to
+/// drill the recovery path (fail-once, torn writes) from tests.
+pub fn save_bytes_with_faults(
+    path: impl AsRef<std::path::Path>,
+    bytes: &[u8],
+    injector: &mut csj_storage::FaultInjector,
+) -> Result<(), PersistError> {
+    csj_storage::fault::write_file_with_faults(path, bytes, injector).map_err(PersistError::from)
+}
+
+/// Reads raw index bytes from `path` (checksum verification happens in
+/// the deserializer).
+pub fn load_bytes(path: impl AsRef<std::path::Path>) -> Result<Vec<u8>, PersistError> {
+    let path = path.as_ref();
+    std::fs::read(path).map_err(|e| PersistError::Io(format!("{}: {e}", path.display())))
+}
+
 impl<const D: usize> crate::rstar::RStarTree<D> {
     /// Serializes the tree with [`serialize_rect`].
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -338,6 +371,20 @@ impl<const D: usize> crate::rstar::RStarTree<D> {
     /// [`crate::rtree::RTree::to_bytes`] — the on-disk layout is shared).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
         Ok(crate::rstar::RStarTree { core: deserialize_rect(bytes)? })
+    }
+
+    /// Persists the tree to `path` atomically.
+    pub fn save_to_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
+        save_bytes(path, &self.to_bytes())
+    }
+
+    /// Loads a tree persisted by [`RStarTree::save_to_file`]. Corruption
+    /// (bit rot, torn writes) surfaces as a typed [`PersistError`] —
+    /// typically [`PersistError::ChecksumMismatch`] or
+    /// [`PersistError::Truncated`] — never a panic, so callers can
+    /// restore the file and retry.
+    pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
+        Self::from_bytes(&load_bytes(path)?)
     }
 }
 
@@ -453,10 +500,7 @@ mod tests {
         // are set by extreme points), so the checksum must catch it.
         let idx = bytes.len() - 20;
         bytes[idx] ^= 0xFF;
-        assert_eq!(
-            RStarTree::<2>::from_bytes(&bytes).unwrap_err(),
-            PersistError::ChecksumMismatch
-        );
+        assert_eq!(RStarTree::<2>::from_bytes(&bytes).unwrap_err(), PersistError::ChecksumMismatch);
     }
 
     #[test]

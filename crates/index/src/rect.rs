@@ -43,13 +43,7 @@ impl<const D: usize> RNode<D> {
     /// A fresh empty internal node at `level >= 1`.
     pub fn new_internal(level: u32) -> Self {
         debug_assert!(level >= 1);
-        RNode {
-            mbr: Mbr::empty(),
-            parent: None,
-            level,
-            children: Vec::new(),
-            entries: Vec::new(),
-        }
+        RNode { mbr: Mbr::empty(), parent: None, level, children: Vec::new(), entries: Vec::new() }
     }
 
     /// `true` if the node is a leaf.
@@ -86,12 +80,7 @@ impl<const D: usize> RectCore<D> {
     /// An empty tree core.
     pub fn new(config: RTreeConfig) -> Self {
         config.validate();
-        RectCore {
-            arena: Arena::new(),
-            root: None,
-            config,
-            num_records: 0,
-        }
+        RectCore { arena: Arena::new(), root: None, config, num_records: 0 }
     }
 
     /// Shared node access.
@@ -194,10 +183,7 @@ impl<const D: usize> RectCore<D> {
             }
             if node.is_leaf() {
                 out.extend(
-                    node.entries
-                        .iter()
-                        .filter(|e| query.contains_point(&e.point))
-                        .map(|e| e.id),
+                    node.entries.iter().filter(|e| query.contains_point(&e.point)).map(|e| e.id),
                 );
             } else {
                 stack.extend_from_slice(&node.children);
@@ -287,10 +273,7 @@ impl<const D: usize> RectCore<D> {
 
     /// Iterates over every stored record (id, point) in arbitrary order.
     pub fn iter_records(&self) -> impl Iterator<Item = &LeafEntry<D>> {
-        self.arena
-            .iter()
-            .filter(|(_, n)| n.is_leaf())
-            .flat_map(|(_, n)| n.entries.iter())
+        self.arena.iter().filter(|(_, n)| n.is_leaf()).flat_map(|(_, n)| n.entries.iter())
     }
 }
 
@@ -362,7 +345,10 @@ mod tests {
     fn recompute_leaf_mbr() {
         let mut core = RectCore::<2>::new(RTreeConfig::default());
         let l = leaf_with(&mut core, &[[0.0, 0.0], [2.0, 3.0]], 0);
-        assert_eq!(core.node(l).mbr, Mbr::from_corners(&Point::new([0.0, 0.0]), &Point::new([2.0, 3.0])));
+        assert_eq!(
+            core.node(l).mbr,
+            Mbr::from_corners(&Point::new([0.0, 0.0]), &Point::new([2.0, 3.0]))
+        );
     }
 
     #[test]
@@ -422,9 +408,7 @@ mod tests {
     fn empty_core_queries() {
         let core = RectCore::<2>::new(RTreeConfig::default());
         assert_eq!(core.height(), 0);
-        assert!(core
-            .range_query_ball(&Point::new([0.0, 0.0]), 1.0, Metric::Euclidean)
-            .is_empty());
+        assert!(core.range_query_ball(&Point::new([0.0, 0.0]), 1.0, Metric::Euclidean).is_empty());
         assert!(core.knn(&Point::new([0.0, 0.0]), 3, Metric::Euclidean).is_empty());
     }
 }

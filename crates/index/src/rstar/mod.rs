@@ -189,9 +189,7 @@ impl<const D: usize> RStarTree<D> {
             let entries = &mut self.core.arena.get_mut(node_id).entries;
             // Farthest entries at the tail.
             entries.sort_by(|a, b| {
-                a.point
-                    .sq_euclidean(&center)
-                    .total_cmp(&b.point.sq_euclidean(&center))
+                a.point.sq_euclidean(&center).total_cmp(&b.point.sq_euclidean(&center))
             });
             let keep = entries.len() - p;
             let evicted: Vec<LeafEntry<D>> = entries.split_off(keep);
@@ -230,8 +228,7 @@ impl<const D: usize> RStarTree<D> {
 
         let sibling = if is_leaf {
             let entries = std::mem::take(&mut self.core.node_mut(node_id).entries);
-            let SplitResult { left, left_mbr, right, right_mbr } =
-                split_rstar(entries, min_fanout);
+            let SplitResult { left, left_mbr, right, right_mbr } = split_rstar(entries, min_fanout);
             let node = self.core.node_mut(node_id);
             node.entries = left;
             node.mbr = left_mbr;
@@ -245,8 +242,7 @@ impl<const D: usize> RStarTree<D> {
                 .into_iter()
                 .map(|c| ChildItem { id: c, mbr: self.core.node(c).mbr })
                 .collect();
-            let SplitResult { left, left_mbr, right, right_mbr } =
-                split_rstar(items, min_fanout);
+            let SplitResult { left, left_mbr, right, right_mbr } = split_rstar(items, min_fanout);
             let node = self.core.node_mut(node_id);
             node.children = left.iter().map(|c| c.id).collect();
             node.mbr = left_mbr;
@@ -280,8 +276,8 @@ impl<const D: usize> RStarTree<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::JoinIndex;
     use crate::stats::TreeStats;
+    use crate::traits::JoinIndex;
     use crate::validate::validate_rect_tree;
     use csj_geom::Metric;
 
@@ -337,10 +333,8 @@ mod tests {
         }
         let config = RTreeConfig::with_max_fanout(10);
         let rstar = RStarTree::from_points(&pts, config);
-        let rlin = crate::rtree::RTree::from_points(
-            &pts,
-            config.with_split(crate::SplitStrategy::Linear),
-        );
+        let rlin =
+            crate::rtree::RTree::from_points(&pts, config.with_split(crate::SplitStrategy::Linear));
         let s_star = TreeStats::compute(&rstar, Metric::Euclidean);
         let s_lin = TreeStats::compute(&rlin, Metric::Euclidean);
         assert!(

@@ -49,9 +49,7 @@ pub fn split_rstar<T: SplitItem<D> + Clone, const D: usize>(
             let volume = prefix[k - 1].volume() + suffix[k].volume();
             let better = match &best {
                 None => true,
-                Some((_, _, bo, bv)) => {
-                    overlap < *bo || (overlap == *bo && volume < *bv)
-                }
+                Some((_, _, bo, bv)) => overlap < *bo || (overlap == *bo && volume < *bv),
             };
             if better {
                 best = Some((sorted.clone(), k, overlap, volume));
@@ -81,9 +79,7 @@ fn sort_by_axis<T: SplitItem<D> + Clone, const D: usize>(
 }
 
 /// `prefix[i]` bounds items `0..=i`; `suffix[i]` bounds items `i..`.
-fn prefix_suffix_mbrs<T: SplitItem<D>, const D: usize>(
-    items: &[T],
-) -> (Vec<Mbr<D>>, Vec<Mbr<D>>) {
+fn prefix_suffix_mbrs<T: SplitItem<D>, const D: usize>(items: &[T]) -> (Vec<Mbr<D>>, Vec<Mbr<D>>) {
     let n = items.len();
     let mut prefix = Vec::with_capacity(n);
     let mut acc = Mbr::empty();
@@ -115,10 +111,7 @@ mod tests {
     use csj_geom::Point;
 
     fn entries(pts: &[[f64; 2]]) -> Vec<LeafEntry<2>> {
-        pts.iter()
-            .enumerate()
-            .map(|(i, p)| LeafEntry::new(i as u32, Point::new(*p)))
-            .collect()
+        pts.iter().enumerate().map(|(i, p)| LeafEntry::new(i as u32, Point::new(*p))).collect()
     }
 
     #[test]
@@ -155,8 +148,7 @@ mod tests {
         let (lo, hi) = if max_left_y < min_right_y {
             (max_left_y, min_right_y)
         } else {
-            let max_right_y =
-                r.right.iter().map(|e| e.point[1]).fold(f64::NEG_INFINITY, f64::max);
+            let max_right_y = r.right.iter().map(|e| e.point[1]).fold(f64::NEG_INFINITY, f64::max);
             let min_left_y = r.left.iter().map(|e| e.point[1]).fold(f64::INFINITY, f64::min);
             (max_right_y, min_left_y)
         };

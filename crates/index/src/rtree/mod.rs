@@ -285,8 +285,8 @@ impl<const D: usize> RTree<D> {
 mod tests {
     use super::*;
     use crate::traits::JoinIndex;
-    use csj_geom::Metric;
     use crate::validate::validate_rect_tree;
+    use csj_geom::Metric;
 
     fn grid_points(n_side: usize) -> Vec<Point<2>> {
         let mut pts = Vec::new();
@@ -426,8 +426,8 @@ mod proptests {
     use super::*;
     #[allow(unused_imports)]
     use crate::traits::JoinIndex;
-    use csj_geom::Metric;
     use crate::validate::validate_rect_tree;
+    use csj_geom::Metric;
     use proptest::prelude::*;
 
     proptest! {

@@ -47,7 +47,6 @@ pub struct SplitResult<T, const D: usize> {
     pub right_mbr: Mbr<D>,
 }
 
-
 /// Guttman's linear-cost split.
 ///
 /// Seeds are the pair with greatest normalized separation along any axis;
@@ -220,10 +219,7 @@ mod tests {
     use csj_geom::Point;
 
     fn entries(pts: &[[f64; 2]]) -> Vec<LeafEntry<2>> {
-        pts.iter()
-            .enumerate()
-            .map(|(i, p)| LeafEntry::new(i as u32, Point::new(*p)))
-            .collect()
+        pts.iter().enumerate().map(|(i, p)| LeafEntry::new(i as u32, Point::new(*p))).collect()
     }
 
     fn check_result(r: &SplitResult<LeafEntry<2>, 2>, total: usize, min_fanout: usize) {
@@ -303,8 +299,7 @@ mod tests {
         assert_eq!(r.left.len() + r.right.len(), 6);
         assert!(r.left.len() >= 2 && r.right.len() >= 2);
         // Ids preserved.
-        let mut ids: Vec<u32> =
-            r.left.iter().chain(r.right.iter()).map(|c| c.id.0).collect();
+        let mut ids: Vec<u32> = r.left.iter().chain(r.right.iter()).map(|c| c.id.0).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
     }

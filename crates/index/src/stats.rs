@@ -65,11 +65,7 @@ impl TreeStats {
                 occupancy_sum as f64 / leaf_count as f64
             },
             min_leaf_diameter: if leaf_count == 0 { 0.0 } else { dia_min },
-            avg_leaf_diameter: if leaf_count == 0 {
-                0.0
-            } else {
-                dia_sum / leaf_count as f64
-            },
+            avg_leaf_diameter: if leaf_count == 0 { 0.0 } else { dia_sum / leaf_count as f64 },
             max_leaf_diameter: dia_max,
         }
     }

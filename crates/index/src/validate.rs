@@ -165,10 +165,7 @@ pub fn validate_mtree<const D: usize>(tree: &MTree<D>) -> Result<(), InvariantVi
             for &c in &node.children {
                 let child = tree.node_ref(c);
                 ensure!(child.parent == Some(id), "m-tree child {c} parent mismatch");
-                ensure!(
-                    child.level + 1 == node.level,
-                    "m-tree child {c} level mismatch"
-                );
+                ensure!(child.level + 1 == node.level, "m-tree child {c} level mismatch");
                 let d = metric.distance(&node.center, &child.center);
                 ensure!(
                     d + child.radius <= node.radius + 1e-9,
@@ -180,10 +177,6 @@ pub fn validate_mtree<const D: usize>(tree: &MTree<D>) -> Result<(), InvariantVi
             }
         }
     }
-    ensure!(
-        records == tree.len(),
-        "m-tree record count mismatch: {} vs {records}",
-        tree.len()
-    );
+    ensure!(records == tree.len(), "m-tree record count mismatch: {} vs {records}", tree.len());
     Ok(())
 }

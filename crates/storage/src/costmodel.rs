@@ -66,7 +66,9 @@ mod tests {
     #[test]
     fn hdd_slower_than_nvme() {
         let bytes = 10_000_000;
-        assert!(CostModel::hdd_2008().write_time_ms(bytes) > CostModel::nvme().write_time_ms(bytes));
+        assert!(
+            CostModel::hdd_2008().write_time_ms(bytes) > CostModel::nvme().write_time_ms(bytes)
+        );
         assert!(CostModel::hdd_2008().read_time_ms(50) > CostModel::nvme().read_time_ms(50));
     }
 }

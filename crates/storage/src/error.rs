@@ -1,0 +1,138 @@
+//! Typed storage errors.
+//!
+//! Every fallible storage entry point — page reads and writes, output
+//! sinks, file persistence — reports a [`StorageError`] instead of
+//! panicking, so callers (the join engine, the CLI) can degrade
+//! gracefully: retry transient faults, finish the current task, or map
+//! the failure to a distinct exit code.
+
+use std::fmt;
+
+/// Which physical operation an error occurred on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoOp {
+    /// A page (or blob) read.
+    Read,
+    /// A page (or blob) write.
+    Write,
+    /// A flush of buffered output.
+    Flush,
+}
+
+impl fmt::Display for IoOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoOp::Read => write!(f, "read"),
+            IoOp::Write => write!(f, "write"),
+            IoOp::Flush => write!(f, "flush"),
+        }
+    }
+}
+
+/// Errors raised by the storage layer.
+///
+/// The type is `Clone + PartialEq` (operating-system errors are captured
+/// as text) so faults can be recorded at the point of failure and
+/// re-raised at a task boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// An operating-system I/O failure, with the failing operation and
+    /// the OS error text.
+    Io {
+        /// The failing operation.
+        op: IoOp,
+        /// OS error description (and, where known, the path involved).
+        detail: String,
+    },
+    /// A fault injected by a [`crate::fault::FaultPolicy`] (testing and
+    /// resilience drills only; never produced in normal operation).
+    FaultInjected {
+        /// The operation the fault was injected into.
+        op: IoOp,
+        /// 1-based sequence number of the faulted operation.
+        seq: u64,
+    },
+    /// A transient failure persisted across every permitted retry.
+    RetriesExhausted {
+        /// The operation that kept failing.
+        op: IoOp,
+        /// Total attempts made (first try + retries).
+        attempts: u32,
+        /// The error observed on the final attempt.
+        cause: Box<StorageError>,
+    },
+    /// A page id beyond the allocated region of the disk.
+    PageOutOfBounds {
+        /// Requested page id.
+        page: u64,
+        /// Number of allocated pages.
+        pages: u64,
+    },
+    /// An empty group row was handed to the output writer (the join
+    /// algorithms never emit one; this indicates a caller bug upstream
+    /// of the writer, reported instead of panicking).
+    EmptyGroupRow,
+}
+
+impl StorageError {
+    /// Wraps an OS error with its operation.
+    pub fn io(op: IoOp, err: &std::io::Error) -> Self {
+        StorageError::Io { op, detail: err.to_string() }
+    }
+
+    /// Wraps an OS error with its operation and the path involved.
+    pub fn io_at(op: IoOp, path: &std::path::Path, err: &std::io::Error) -> Self {
+        StorageError::Io { op, detail: format!("{}: {err}", path.display()) }
+    }
+
+    /// `true` for failures worth retrying (transient faults), `false`
+    /// for deterministic ones (bad arguments, out-of-bounds pages).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Io { .. } | StorageError::FaultInjected { .. })
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { op, detail } => write!(f, "{op} failed: {detail}"),
+            StorageError::FaultInjected { op, seq } => {
+                write!(f, "injected fault on {op} #{seq}")
+            }
+            StorageError::RetriesExhausted { op, attempts, cause } => {
+                write!(f, "{op} still failing after {attempts} attempts: {cause}")
+            }
+            StorageError::PageOutOfBounds { page, pages } => {
+                write!(f, "page {page} out of bounds (disk has {pages} pages)")
+            }
+            StorageError::EmptyGroupRow => write!(f, "empty group row"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_operation() {
+        let e = StorageError::FaultInjected { op: IoOp::Read, seq: 3 };
+        assert!(e.to_string().contains("read"));
+        let e = StorageError::RetriesExhausted {
+            op: IoOp::Write,
+            attempts: 4,
+            cause: Box::new(StorageError::FaultInjected { op: IoOp::Write, seq: 8 }),
+        };
+        let text = e.to_string();
+        assert!(text.contains("4 attempts") && text.contains("write"), "{text}");
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(StorageError::FaultInjected { op: IoOp::Read, seq: 1 }.is_transient());
+        assert!(!StorageError::PageOutOfBounds { page: 9, pages: 2 }.is_transient());
+        assert!(!StorageError::EmptyGroupRow.is_transient());
+    }
+}

@@ -1,0 +1,250 @@
+//! Storage fault injection.
+//!
+//! Resilience has to be *tested*: a [`FaultPolicy`] describes a
+//! deterministic failure pattern (fail every Nth read or write,
+//! fail-once-then-succeed, tear a file write short), and a
+//! [`FaultInjector`] applies it to a stream of operations. The simulated
+//! disk, the retrying pager and the persistence helpers all accept an
+//! injector, so the whole read/retry/recover path can be driven from
+//! tests without touching a real device.
+
+use std::path::Path;
+
+use crate::error::{IoOp, StorageError};
+
+/// A deterministic storage failure pattern.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Fail every Nth read attempt (the Nth, 2Nth, … reads).
+    pub fail_every_read: Option<u64>,
+    /// Fail every Nth write attempt.
+    pub fail_every_write: Option<u64>,
+    /// Fail the first operation, then succeed forever.
+    pub fail_once: bool,
+    /// Torn write: file writes persist only the first `n` bytes and
+    /// report success, simulating a crash mid-write. Detected later by
+    /// the reader's checksum, not by the writer.
+    pub torn_write_prefix: Option<usize>,
+}
+
+impl FaultPolicy {
+    /// No faults: every operation succeeds.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fails every Nth operation, reads and writes alike.
+    pub fn fail_every(n: u64) -> Self {
+        assert!(n > 0, "fault period must be positive");
+        FaultPolicy { fail_every_read: Some(n), fail_every_write: Some(n), ..Self::default() }
+    }
+
+    /// Fails every Nth read attempt only.
+    pub fn fail_every_read(n: u64) -> Self {
+        assert!(n > 0, "fault period must be positive");
+        FaultPolicy { fail_every_read: Some(n), ..Self::default() }
+    }
+
+    /// Fails every Nth write attempt only.
+    pub fn fail_every_write(n: u64) -> Self {
+        assert!(n > 0, "fault period must be positive");
+        FaultPolicy { fail_every_write: Some(n), ..Self::default() }
+    }
+
+    /// Fails the first operation, then succeeds forever.
+    pub fn fail_once() -> Self {
+        FaultPolicy { fail_once: true, ..Self::default() }
+    }
+
+    /// Tears file writes to their first `prefix_bytes` bytes.
+    pub fn torn_write(prefix_bytes: usize) -> Self {
+        FaultPolicy { torn_write_prefix: Some(prefix_bytes), ..Self::default() }
+    }
+}
+
+/// Applies a [`FaultPolicy`] to a sequence of operations, counting what
+/// it injected.
+#[derive(Clone, Debug, Default)]
+pub struct FaultInjector {
+    policy: FaultPolicy,
+    reads: u64,
+    writes: u64,
+    once_spent: bool,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// An injector applying `policy`.
+    pub fn new(policy: FaultPolicy) -> Self {
+        FaultInjector { policy, ..Self::default() }
+    }
+
+    /// An injector that never faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The policy this injector applies.
+    pub fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// Total faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected
+    }
+
+    fn fail_once_fires(&mut self) -> bool {
+        if self.policy.fail_once && !self.once_spent {
+            self.once_spent = true;
+            return true;
+        }
+        false
+    }
+
+    /// Gate for a read attempt: `Err` when the policy says this one fails.
+    pub fn before_read(&mut self) -> Result<(), StorageError> {
+        self.reads += 1;
+        let nth = self.policy.fail_every_read.is_some_and(|n| self.reads.is_multiple_of(n));
+        if nth || self.fail_once_fires() {
+            self.injected += 1;
+            return Err(StorageError::FaultInjected { op: IoOp::Read, seq: self.reads });
+        }
+        Ok(())
+    }
+
+    /// Gate for a write attempt: `Err` when the policy says this one fails.
+    pub fn before_write(&mut self) -> Result<(), StorageError> {
+        self.writes += 1;
+        let nth = self.policy.fail_every_write.is_some_and(|n| self.writes.is_multiple_of(n));
+        if nth || self.fail_once_fires() {
+            self.injected += 1;
+            return Err(StorageError::FaultInjected { op: IoOp::Write, seq: self.writes });
+        }
+        Ok(())
+    }
+
+    /// For a file write of `full_len` bytes: how many bytes actually
+    /// reach the medium under the torn-write policy (`None` = all).
+    pub fn torn_len(&mut self, full_len: usize) -> Option<usize> {
+        let prefix = self.policy.torn_write_prefix?;
+        if prefix >= full_len {
+            return None;
+        }
+        self.injected += 1;
+        Some(prefix)
+    }
+}
+
+/// Writes `bytes` to `path` through the injector.
+///
+/// The healthy path is atomic (temp file + rename) so readers never see
+/// a half-written file. Injected outcomes:
+///
+/// * fail-every-write / fail-once → the write reports an error and the
+///   destination is untouched (caller may retry);
+/// * torn write → only a prefix lands **at the destination** and the
+///   call reports *success* — the realistic crash-mid-write scenario,
+///   detectable only by the reader's checksum.
+pub fn write_file_with_faults(
+    path: impl AsRef<Path>,
+    bytes: &[u8],
+    injector: &mut FaultInjector,
+) -> Result<(), StorageError> {
+    let path = path.as_ref();
+    injector.before_write()?;
+    if let Some(prefix) = injector.torn_len(bytes.len()) {
+        // Torn write: bypass the atomic dance on purpose — the file is
+        // silently truncated, as after a crash mid-write.
+        std::fs::write(path, &bytes[..prefix])
+            .map_err(|e| StorageError::io_at(IoOp::Write, path, &e))?;
+        return Ok(());
+    }
+    write_file_atomic(path, bytes)
+}
+
+/// Atomically writes `bytes` to `path` (temp file in the same directory,
+/// then rename), so a crash leaves either the old file or the new one,
+/// never a torn mixture.
+pub fn write_file_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), StorageError> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let tmp = match dir {
+        Some(d) => d.join(format!(
+            ".{}.tmp",
+            path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+        )),
+        None => std::path::PathBuf::from(format!(".{}.tmp", path.display())),
+    };
+    std::fs::write(&tmp, bytes).map_err(|e| StorageError::io_at(IoOp::Write, &tmp, &e))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        StorageError::io_at(IoOp::Write, path, &e)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_policy_never_faults() {
+        let mut inj = FaultInjector::none();
+        for _ in 0..100 {
+            assert!(inj.before_read().is_ok());
+            assert!(inj.before_write().is_ok());
+        }
+        assert_eq!(inj.faults_injected(), 0);
+    }
+
+    #[test]
+    fn fail_every_third_read() {
+        let mut inj = FaultInjector::new(FaultPolicy::fail_every_read(3));
+        let outcomes: Vec<bool> = (0..9).map(|_| inj.before_read().is_ok()).collect();
+        assert_eq!(outcomes, [true, true, false, true, true, false, true, true, false]);
+        assert!(inj.before_write().is_ok(), "write side unaffected");
+        assert_eq!(inj.faults_injected(), 3);
+    }
+
+    #[test]
+    fn fail_once_then_succeed() {
+        let mut inj = FaultInjector::new(FaultPolicy::fail_once());
+        assert!(inj.before_read().is_err());
+        for _ in 0..20 {
+            assert!(inj.before_read().is_ok());
+            assert!(inj.before_write().is_ok());
+        }
+        assert_eq!(inj.faults_injected(), 1);
+    }
+
+    #[test]
+    fn atomic_write_roundtrip() {
+        let path = std::env::temp_dir().join("csj_fault_atomic_test.bin");
+        write_file_atomic(&path, b"hello").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        write_file_atomic(&path, b"replaced").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"replaced");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_write_truncates_but_reports_success() {
+        let path = std::env::temp_dir().join("csj_fault_torn_test.bin");
+        let mut inj = FaultInjector::new(FaultPolicy::torn_write(4));
+        write_file_with_faults(&path, b"0123456789", &mut inj).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123", "only the prefix landed");
+        assert_eq!(inj.faults_injected(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_untouched() {
+        let path = std::env::temp_dir().join("csj_fault_failed_write_test.bin");
+        write_file_atomic(&path, b"original").unwrap();
+        let mut inj = FaultInjector::new(FaultPolicy::fail_once());
+        let err = write_file_with_faults(&path, b"poison", &mut inj).unwrap_err();
+        assert!(matches!(err, StorageError::FaultInjected { op: IoOp::Write, .. }));
+        assert_eq!(std::fs::read(&path).unwrap(), b"original");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -15,15 +15,27 @@
 //!   [`costmodel`] turns byte/page counts into deterministic,
 //!   machine-independent time estimates.
 
+//!
+//! Robustness (see README `## Robustness`): every fallible entry point
+//! returns a typed [`StorageError`]; [`fault`] provides deterministic
+//! fault injection ([`FaultPolicy`]) and [`pager::RetryPager`] bounded
+//! retry-with-backoff over the simulated disk.
+
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod buffer;
 pub mod costmodel;
+pub mod error;
+pub mod fault;
 pub mod page;
 pub mod pager;
 pub mod writer;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use costmodel::CostModel;
+pub use error::{IoOp, StorageError};
+pub use fault::{FaultInjector, FaultPolicy};
 pub use page::{Page, PageId, PAGE_SIZE};
-pub use writer::{CountingSink, FileSink, OutputSink, OutputWriter, VecSink};
+pub use pager::{RetryPager, RetryPolicy, SimulatedDisk};
+pub use writer::{CountingSink, FaultySink, FileSink, OutputSink, OutputWriter, VecSink};

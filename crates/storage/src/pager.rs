@@ -1,5 +1,17 @@
-//! A simulated disk: a flat page store with access counters.
+//! A simulated disk with fault injection, and a retrying pager on top.
+//!
+//! [`SimulatedDisk`] is a flat page store with access counters; its
+//! reads and writes are fallible, driven by an optional
+//! [`FaultPolicy`]. [`RetryPager`] wraps the disk with bounded
+//! retry-with-backoff, so transient faults (the kind a real device
+//! reports sporadically) are absorbed and *counted* rather than
+//! propagated, while persistent failures surface as
+//! [`StorageError::RetriesExhausted`].
 
+use std::time::Duration;
+
+use crate::error::{IoOp, StorageError};
+use crate::fault::{FaultInjector, FaultPolicy};
 use crate::page::{Page, PageId, PAGE_SIZE};
 
 /// An in-memory stand-in for a disk file, counting physical reads and
@@ -7,16 +19,22 @@ use crate::page::{Page, PageId, PAGE_SIZE};
 #[derive(Debug, Default)]
 pub struct SimulatedDisk {
     pages: Vec<Vec<u8>>,
-    /// Number of physical page reads performed.
+    faults: FaultInjector,
+    /// Number of physical page read attempts (including faulted ones).
     pub reads: u64,
-    /// Number of physical page writes performed.
+    /// Number of physical page write attempts (including faulted ones).
     pub writes: u64,
 }
 
 impl SimulatedDisk {
-    /// An empty disk.
+    /// An empty, fault-free disk.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty disk whose operations fail per `policy`.
+    pub fn with_faults(policy: FaultPolicy) -> Self {
+        SimulatedDisk { faults: FaultInjector::new(policy), ..Self::default() }
     }
 
     /// Allocates a fresh zeroed page, returning its id.
@@ -26,24 +44,143 @@ impl SimulatedDisk {
         id
     }
 
+    /// Allocates zeroed pages until `id` is addressable.
+    pub fn alloc_through(&mut self, id: PageId) {
+        while self.pages.len() <= id.0 as usize {
+            self.pages.push(vec![0; PAGE_SIZE]);
+        }
+    }
+
     /// Number of allocated pages.
     pub fn num_pages(&self) -> usize {
         self.pages.len()
     }
 
-    /// Physically reads a page (counted).
-    pub fn read(&mut self, id: PageId) -> Page {
-        self.reads += 1;
-        Page { id, data: self.pages[id.0 as usize].clone() }
+    /// Faults injected so far (0 on a fault-free disk).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.faults_injected()
     }
 
-    /// Physically writes a page (counted).
-    pub fn write(&mut self, page: &Page) {
+    /// Physically reads a page (counted, fault-checked).
+    pub fn read(&mut self, id: PageId) -> Result<Page, StorageError> {
+        self.reads += 1;
+        self.faults.before_read()?;
+        let data = self
+            .pages
+            .get(id.0 as usize)
+            .ok_or(StorageError::PageOutOfBounds { page: id.0, pages: self.pages.len() as u64 })?;
+        Ok(Page { id, data: data.clone() })
+    }
+
+    /// Physically writes a page (counted, fault-checked).
+    pub fn write(&mut self, page: &Page) -> Result<(), StorageError> {
         self.writes += 1;
-        let slot = &mut self.pages[page.id.0 as usize];
+        self.faults.before_write()?;
+        let slot = self
+            .pages
+            .get_mut(page.id.0 as usize)
+            .ok_or(StorageError::PageOutOfBounds { page: page.id.0, pages: 0 })?;
         slot.clear();
         slot.extend_from_slice(&page.data);
         slot.resize(PAGE_SIZE, 0);
+        Ok(())
+    }
+}
+
+/// How persistently to retry transient storage faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try + retries), at least 1.
+    pub max_attempts: u32,
+    /// Sleep before retry `k` is `base_backoff · 2^(k−1)` (exponential).
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base_backoff: Duration::from_micros(100) }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` total attempts and no sleeping
+    /// between them (deterministic tests).
+    pub fn no_backoff(max_attempts: u32) -> Self {
+        RetryPolicy { max_attempts: max_attempts.max(1), base_backoff: Duration::ZERO }
+    }
+
+    /// Fail-fast: a single attempt, no retries.
+    pub fn none() -> Self {
+        Self::no_backoff(1)
+    }
+}
+
+/// A pager that absorbs transient disk faults with bounded
+/// retry-with-backoff, keeping a retry counter for the join statistics.
+#[derive(Debug, Default)]
+pub struct RetryPager {
+    disk: SimulatedDisk,
+    policy: RetryPolicy,
+    retries: u64,
+}
+
+impl RetryPager {
+    /// Wraps `disk` with `policy`.
+    pub fn new(disk: SimulatedDisk, policy: RetryPolicy) -> Self {
+        RetryPager { disk, policy, retries: 0 }
+    }
+
+    /// Retries performed so far (attempts beyond the first, successful
+    /// or not).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The wrapped disk.
+    pub fn disk(&self) -> &SimulatedDisk {
+        &self.disk
+    }
+
+    /// The wrapped disk, mutably (e.g. to allocate pages).
+    pub fn disk_mut(&mut self) -> &mut SimulatedDisk {
+        &mut self.disk
+    }
+
+    fn with_retries<T>(
+        &mut self,
+        op: IoOp,
+        mut attempt: impl FnMut(&mut SimulatedDisk) -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let max = self.policy.max_attempts.max(1);
+        let mut last = None;
+        for k in 0..max {
+            if k > 0 {
+                self.retries += 1;
+                if !self.policy.base_backoff.is_zero() {
+                    std::thread::sleep(self.policy.base_backoff * (1 << (k - 1).min(16)));
+                }
+            }
+            match attempt(&mut self.disk) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e), // deterministic: retrying is useless
+            }
+        }
+        Err(StorageError::RetriesExhausted {
+            op,
+            attempts: max,
+            cause: Box::new(last.unwrap_or(StorageError::EmptyGroupRow)),
+        })
+    }
+
+    /// Reads a page, retrying transient faults per the policy.
+    pub fn read(&mut self, id: PageId) -> Result<Page, StorageError> {
+        self.with_retries(IoOp::Read, |disk| disk.read(id))
+    }
+
+    /// Writes a page, retrying transient faults per the policy.
+    pub fn write(&mut self, page: &Page) -> Result<(), StorageError> {
+        self.with_retries(IoOp::Write, |disk| disk.write(page))
     }
 }
 
@@ -66,8 +203,8 @@ mod tests {
         let mut page = Page::zeroed(id);
         page.data[0] = 0xAB;
         page.data[PAGE_SIZE - 1] = 0xCD;
-        d.write(&page);
-        let back = d.read(id);
+        d.write(&page).unwrap();
+        let back = d.read(id).unwrap();
         assert_eq!(back, page);
         assert_eq!(d.reads, 1);
         assert_eq!(d.writes, 1);
@@ -78,9 +215,73 @@ mod tests {
         let mut d = SimulatedDisk::new();
         let id = d.alloc();
         for _ in 0..5 {
-            let _ = d.read(id);
+            let _ = d.read(id).unwrap();
         }
         assert_eq!(d.reads, 5);
         assert_eq!(d.writes, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_an_error_not_a_panic() {
+        let mut d = SimulatedDisk::new();
+        let err = d.read(PageId(7)).unwrap_err();
+        assert_eq!(err, StorageError::PageOutOfBounds { page: 7, pages: 0 });
+    }
+
+    #[test]
+    fn faulty_disk_fails_every_third_read() {
+        let mut d = SimulatedDisk::with_faults(FaultPolicy::fail_every_read(3));
+        let id = d.alloc();
+        let results: Vec<bool> = (0..6).map(|_| d.read(id).is_ok()).collect();
+        assert_eq!(results, [true, true, false, true, true, false]);
+        assert_eq!(d.faults_injected(), 2);
+    }
+
+    #[test]
+    fn pager_absorbs_periodic_faults() {
+        let disk = SimulatedDisk::with_faults(FaultPolicy::fail_every(3));
+        let mut pager = RetryPager::new(disk, RetryPolicy::no_backoff(3));
+        pager.disk_mut().alloc();
+        for _ in 0..30 {
+            pager.read(PageId(0)).expect("retry should absorb every 3rd-attempt fault");
+        }
+        assert!(pager.retries() > 0, "faults were hit and retried");
+        assert!(pager.disk().faults_injected() >= 10);
+    }
+
+    #[test]
+    fn pager_exhausts_retries_on_persistent_fault() {
+        // fail_every(1): every attempt fails, so retries cannot save us.
+        let disk = SimulatedDisk::with_faults(FaultPolicy::fail_every(1));
+        let mut pager = RetryPager::new(disk, RetryPolicy::no_backoff(4));
+        pager.disk_mut().alloc();
+        let err = pager.read(PageId(0)).unwrap_err();
+        match err {
+            StorageError::RetriesExhausted { op: IoOp::Read, attempts: 4, cause } => {
+                assert!(matches!(*cause, StorageError::FaultInjected { .. }));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(pager.retries(), 3, "three retries after the first attempt");
+    }
+
+    #[test]
+    fn pager_does_not_retry_deterministic_errors() {
+        let mut pager = RetryPager::new(SimulatedDisk::new(), RetryPolicy::no_backoff(5));
+        let err = pager.read(PageId(42)).unwrap_err();
+        assert!(matches!(err, StorageError::PageOutOfBounds { .. }));
+        assert_eq!(pager.retries(), 0, "out-of-bounds is not transient");
+    }
+
+    #[test]
+    fn fail_once_recovers_with_a_single_retry() {
+        let disk = SimulatedDisk::with_faults(FaultPolicy::fail_once());
+        let mut pager = RetryPager::new(disk, RetryPolicy::no_backoff(2));
+        pager.disk_mut().alloc();
+        let mut page = Page::zeroed(PageId(0));
+        page.data[0] = 7;
+        pager.write(&page).expect("one retry suffices");
+        assert_eq!(pager.retries(), 1);
+        assert_eq!(pager.read(PageId(0)).unwrap().data[0], 7);
     }
 }

@@ -11,20 +11,25 @@
 //! record ids, space-separated, newline-terminated lines. The sink is
 //! pluggable so experiments can count bytes without materializing output
 //! ([`CountingSink`]), keep it for inspection ([`VecSink`]) or write a
-//! real file ([`FileSink`]).
+//! real file ([`FileSink`]). All writes are fallible: a full disk or an
+//! injected fault surfaces as a [`StorageError`] instead of a panic, so
+//! a join can stop cleanly at a row boundary.
 
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
+
+use crate::error::{IoOp, StorageError};
+use crate::fault::{FaultInjector, FaultPolicy};
 
 /// Where formatted output bytes go.
 pub trait OutputSink {
     /// Consumes a chunk of formatted output.
-    fn write_bytes(&mut self, bytes: &[u8]);
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), StorageError>;
     /// Total bytes consumed so far.
     fn bytes_written(&self) -> u64;
     /// Flushes buffered state (no-op for in-memory sinks).
-    fn flush(&mut self) -> io::Result<()> {
+    fn flush(&mut self) -> Result<(), StorageError> {
         Ok(())
     }
 }
@@ -44,8 +49,9 @@ impl CountingSink {
 }
 
 impl OutputSink for CountingSink {
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
         self.bytes += bytes.len() as u64;
+        Ok(())
     }
     fn bytes_written(&self) -> u64 {
         self.bytes
@@ -71,13 +77,14 @@ impl VecSink {
 
     /// The accumulated output as UTF-8 (the format is pure ASCII).
     pub fn as_str(&self) -> &str {
-        std::str::from_utf8(&self.buf).expect("output format is ASCII")
+        std::str::from_utf8(&self.buf).unwrap_or("<non-ascii output>")
     }
 }
 
 impl OutputSink for VecSink {
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
         self.buf.extend_from_slice(bytes);
+        Ok(())
     }
     fn bytes_written(&self) -> u64 {
         self.buf.len() as u64
@@ -93,21 +100,63 @@ pub struct FileSink {
 
 impl FileSink {
     /// Creates (truncates) `path` for writing.
-    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        Ok(FileSink { writer: BufWriter::new(File::create(path)?), bytes: 0 })
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let path = path.as_ref();
+        let file = File::create(path).map_err(|e| StorageError::io_at(IoOp::Write, path, &e))?;
+        Ok(FileSink { writer: BufWriter::new(file), bytes: 0 })
     }
 }
 
 impl OutputSink for FileSink {
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.writer.write_all(bytes).map_err(|e| StorageError::io(IoOp::Write, &e))?;
         self.bytes += bytes.len() as u64;
-        self.writer.write_all(bytes).expect("output file write failed");
+        Ok(())
     }
     fn bytes_written(&self) -> u64 {
         self.bytes
     }
-    fn flush(&mut self) -> io::Result<()> {
-        self.writer.flush()
+    fn flush(&mut self) -> Result<(), StorageError> {
+        self.writer.flush().map_err(|e| StorageError::io(IoOp::Flush, &e))
+    }
+}
+
+/// A sink decorator that injects faults per a [`FaultPolicy`] before
+/// delegating — lets tests drive the engine's error path on output
+/// writes without a real failing device.
+#[derive(Debug)]
+pub struct FaultySink<S> {
+    inner: S,
+    faults: FaultInjector,
+}
+
+impl<S: OutputSink> FaultySink<S> {
+    /// Wraps `inner`, failing writes per `policy`.
+    pub fn new(inner: S, policy: FaultPolicy) -> Self {
+        FaultySink { inner, faults: FaultInjector::new(policy) }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.faults_injected()
+    }
+}
+
+impl<S: OutputSink> OutputSink for FaultySink<S> {
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.faults.before_write()?;
+        self.inner.write_bytes(bytes)
+    }
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+    fn flush(&mut self) -> Result<(), StorageError> {
+        self.inner.flush()
     }
 }
 
@@ -143,21 +192,25 @@ impl<S: OutputSink> OutputWriter<S> {
     }
 
     /// Writes one link line: two padded ids separated by a space.
-    pub fn write_link(&mut self, a: u32, b: u32) {
+    pub fn write_link(&mut self, a: u32, b: u32) -> Result<(), StorageError> {
         self.scratch.clear();
         Self::push_padded(&mut self.scratch, a, self.width);
         self.scratch.push(b' ');
         Self::push_padded(&mut self.scratch, b, self.width);
         self.scratch.push(b'\n');
-        self.sink.write_bytes(&self.scratch);
+        self.sink.write_bytes(&self.scratch)?;
         self.links += 1;
+        Ok(())
     }
 
     /// Writes one group line: every member id, space separated.
     ///
-    /// Panics on an empty group — the algorithms never emit one.
-    pub fn write_group(&mut self, ids: &[u32]) {
-        assert!(!ids.is_empty(), "empty group written");
+    /// An empty group is reported as [`StorageError::EmptyGroupRow`] —
+    /// the join algorithms never emit one.
+    pub fn write_group(&mut self, ids: &[u32]) -> Result<(), StorageError> {
+        if ids.is_empty() {
+            return Err(StorageError::EmptyGroupRow);
+        }
         self.scratch.clear();
         for (i, &id) in ids.iter().enumerate() {
             if i > 0 {
@@ -166,8 +219,9 @@ impl<S: OutputSink> OutputWriter<S> {
             Self::push_padded(&mut self.scratch, id, self.width);
         }
         self.scratch.push(b'\n');
-        self.sink.write_bytes(&self.scratch);
+        self.sink.write_bytes(&self.scratch)?;
         self.groups += 1;
+        Ok(())
     }
 
     fn push_padded(buf: &mut Vec<u8>, value: u32, width: usize) {
@@ -208,9 +262,9 @@ impl<S: OutputSink> OutputWriter<S> {
     }
 
     /// Flushes and returns the sink.
-    pub fn finish(mut self) -> S {
-        self.sink.flush().expect("flush failed");
-        self.sink
+    pub fn finish(mut self) -> Result<S, StorageError> {
+        self.sink.flush()?;
+        Ok(self.sink)
     }
 
     /// Borrow the sink (e.g. to inspect a [`VecSink`]).
@@ -226,7 +280,7 @@ mod tests {
     #[test]
     fn link_format_matches_paper_example() {
         let mut w = OutputWriter::new(VecSink::new(), 4);
-        w.write_link(1, 2);
+        w.write_link(1, 2).unwrap();
         assert_eq!(w.sink().as_str(), "0001 0002\n");
         assert_eq!(w.links_written(), 1);
         assert_eq!(w.bytes_written(), 10);
@@ -235,7 +289,7 @@ mod tests {
     #[test]
     fn group_format_matches_paper_example() {
         let mut w = OutputWriter::new(VecSink::new(), 4);
-        w.write_group(&[1, 2, 3]);
+        w.write_group(&[1, 2, 3]).unwrap();
         assert_eq!(w.sink().as_str(), "0001 0002 0003\n");
         assert_eq!(w.groups_written(), 1);
         assert_eq!(w.bytes_written(), 15);
@@ -244,11 +298,11 @@ mod tests {
     #[test]
     fn fixed_width_padding() {
         let mut w = OutputWriter::new(VecSink::new(), 6);
-        w.write_link(0, 123456);
+        w.write_link(0, 123456).unwrap();
         assert_eq!(w.sink().as_str(), "000000 123456\n");
         // Wider-than-width ids are not truncated.
         let mut w = OutputWriter::new(VecSink::new(), 2);
-        w.write_link(12345, 7);
+        w.write_link(12345, 7).unwrap();
         assert_eq!(w.sink().as_str(), "12345 07\n");
     }
 
@@ -257,10 +311,10 @@ mod tests {
         // A link line is 2*width + 2 bytes; a k-group is k*width + k.
         let width = 5;
         let mut w = OutputWriter::new(CountingSink::new(), width);
-        w.write_link(1, 2);
+        w.write_link(1, 2).unwrap();
         assert_eq!(w.bytes_written(), (2 * width + 2) as u64);
         let before = w.bytes_written();
-        w.write_group(&[1, 2, 3, 4, 5, 6, 7]);
+        w.write_group(&[1, 2, 3, 4, 5, 6, 7]).unwrap();
         assert_eq!(w.bytes_written() - before, (7 * width + 7) as u64);
     }
 
@@ -275,10 +329,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty group")]
-    fn empty_group_panics() {
+    fn empty_group_is_a_typed_error() {
         let mut w = OutputWriter::new(CountingSink::new(), 4);
-        w.write_group(&[]);
+        assert_eq!(w.write_group(&[]).unwrap_err(), StorageError::EmptyGroupRow);
+        assert_eq!(w.groups_written(), 0, "nothing was written");
     }
 
     #[test]
@@ -287,9 +341,9 @@ mod tests {
         let path = dir.join("csj_writer_test.txt");
         {
             let mut w = OutputWriter::new(FileSink::create(&path).unwrap(), 3);
-            w.write_link(7, 42);
-            w.write_group(&[1, 2, 3]);
-            let sink = w.finish();
+            w.write_link(7, 42).unwrap();
+            w.write_group(&[1, 2, 3]).unwrap();
+            let sink = w.finish().unwrap();
             assert_eq!(sink.bytes_written(), 8 + 12);
         }
         let content = std::fs::read_to_string(&path).unwrap();
@@ -302,15 +356,26 @@ mod tests {
         let mut count = OutputWriter::new(CountingSink::new(), 4);
         let mut vec = OutputWriter::new(VecSink::new(), 4);
         for i in 0..50u32 {
-            count.write_link(i, i * 7 % 97);
-            vec.write_link(i, i * 7 % 97);
+            count.write_link(i, i * 7 % 97).unwrap();
+            vec.write_link(i, i * 7 % 97).unwrap();
             if i % 5 == 0 {
                 let g = [i, i + 1, i + 2];
-                count.write_group(&g);
-                vec.write_group(&g);
+                count.write_group(&g).unwrap();
+                vec.write_group(&g).unwrap();
             }
         }
         assert_eq!(count.bytes_written(), vec.bytes_written());
+    }
+
+    #[test]
+    fn faulty_sink_surfaces_write_errors() {
+        let mut w =
+            OutputWriter::new(FaultySink::new(VecSink::new(), FaultPolicy::fail_every(2)), 3);
+        w.write_link(1, 2).unwrap();
+        let err = w.write_link(3, 4).unwrap_err();
+        assert!(matches!(err, StorageError::FaultInjected { op: IoOp::Write, .. }));
+        assert_eq!(w.links_written(), 1, "failed row not counted");
+        assert_eq!(w.sink().inner().as_str(), "001 002\n", "failed row not written");
     }
 }
 
@@ -329,10 +394,10 @@ mod proptests {
         ) {
             let mut w = OutputWriter::new(VecSink::new(), width);
             for &(a, b) in &links {
-                w.write_link(a, b);
+                w.write_link(a, b).unwrap();
             }
             for g in &groups {
-                w.write_group(g);
+                w.write_group(g).unwrap();
             }
             let text = w.sink().as_str().to_string();
             let lines: Vec<&str> = text.lines().collect();

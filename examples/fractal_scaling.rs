@@ -16,19 +16,12 @@ use csj_data::fractal::{box_counting_dimension, correlation_dimension, lsq_slope
 fn main() {
     let n = 15_000;
     let datasets: Vec<(&str, f64, Vec<Point<2>>)> = vec![
-        (
-            "line",
-            1.0,
-            (0..n).map(|i| Point::new([i as f64 / n as f64, 0.5])).collect(),
-        ),
+        ("line", 1.0, (0..n).map(|i| Point::new([i as f64 / n as f64, 0.5])).collect()),
         ("sierpinski", 1.585, csj_data::sierpinski::triangle_2d(n, 7)),
         ("uniform", 2.0, csj_data::uniform::uniform::<2>(n, 7)),
     ];
 
-    println!(
-        "{:<12} {:>8} {:>8} {:>8} {:>10}",
-        "dataset", "theory", "D0", "D2", "slope(SSJ)"
-    );
+    println!("{:<12} {:>8} {:>8} {:>8} {:>10}", "dataset", "theory", "D0", "D2", "slope(SSJ)");
     for (name, theory, pts) in datasets {
         let d0 = box_counting_dimension(&pts, &[2, 3, 4, 5]);
         let d2 = correlation_dimension(&pts, &[0.01, 0.02, 0.04, 0.08]);

@@ -32,12 +32,12 @@ fn main() {
     // Stage the standard join result to disk.
     let mut w = OutputWriter::new(FileSink::create(&standard_path).unwrap(), width);
     let _ = SsjJoin::new(eps).run_streaming(&tree, &mut w);
-    let standard_bytes = w.finish().bytes_written();
+    let standard_bytes = w.finish().expect("flush failed").bytes_written();
 
     // Stage the compact result.
     let mut w = OutputWriter::new(FileSink::create(&compact_path).unwrap(), width);
     let _ = CsjJoin::new(eps).with_window(10).run_streaming(&tree, &mut w);
-    let compact_bytes = w.finish().bytes_written();
+    let compact_bytes = w.finish().expect("flush failed").bytes_written();
 
     println!("staged standard result : {standard_bytes:>12} bytes");
     println!(

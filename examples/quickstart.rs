@@ -25,11 +25,7 @@ fn main() {
     let csj = CsjJoin::new(eps).with_window(10).run(&tree);
 
     println!("epsilon = {eps}, n = {}", points.len());
-    println!(
-        "SSJ     : {:>9} rows  {:>12} bytes",
-        ssj.items.len(),
-        ssj.total_bytes(width)
-    );
+    println!("SSJ     : {:>9} rows  {:>12} bytes", ssj.items.len(), ssj.total_bytes(width));
     println!(
         "N-CSJ   : {:>9} rows  {:>12} bytes ({:.1}x smaller)",
         ncsj.items.len(),

@@ -39,7 +39,5 @@ pub mod prelude {
     };
     pub use csj_data;
     pub use csj_geom::{Mbr, Metric, Point};
-    pub use csj_index::{
-        rstar::RStarTree, rtree::RTree, JoinIndex, RTreeConfig,
-    };
+    pub use csj_index::{rstar::RStarTree, rtree::RTree, JoinIndex, RTreeConfig};
 }

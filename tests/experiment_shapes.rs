@@ -147,10 +147,7 @@ fn trend_page_accesses_similar_across_algorithms() {
         // subtree re-descents) but never dramatically more.
         let ssj = misses[0] as f64;
         for (i, &m) in misses.iter().enumerate() {
-            assert!(
-                (m as f64) <= ssj * 1.25,
-                "cap={cap}: algorithm {i} misses {m} vs SSJ {ssj}"
-            );
+            assert!((m as f64) <= ssj * 1.25, "cap={cap}: algorithm {i} misses {m} vs SSJ {ssj}");
         }
     }
 }
@@ -189,10 +186,7 @@ fn trend_index_independence() {
     let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = ratios.iter().cloned().fold(0.0, f64::max);
     assert!(min > 1.5, "compact join must win on every index: {ratios:?}");
-    assert!(
-        max / min < 3.0,
-        "gains should be comparable across indexes: {ratios:?}"
-    );
+    assert!(max / min < 3.0, "gains should be comparable across indexes: {ratios:?}");
 }
 
 /// The compact joins never do more distance computations than SSJ (the

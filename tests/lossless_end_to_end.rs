@@ -114,11 +114,7 @@ fn grid_join_and_tree_join_agree() {
     for eps in [0.01, 0.05] {
         let tree_out = CsjJoin::new(eps).with_window(10).run(&tree);
         let grid_out = GridJoin::new(eps).with_window(10).run(&pts);
-        assert_eq!(
-            tree_out.expanded_link_set(),
-            grid_out.expanded_link_set(),
-            "eps={eps}"
-        );
+        assert_eq!(tree_out.expanded_link_set(), grid_out.expanded_link_set(), "eps={eps}");
     }
 }
 
@@ -128,12 +124,8 @@ fn ball_groups_lossless_under_all_metrics() {
     let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(12));
     for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
         let eps = 0.05;
-        let out = CsjJoin::new(eps)
-            .with_metric(metric)
-            .with_shape(GroupShapeKind::Ball)
-            .run(&tree);
-        verify_lossless(&out, &pts, eps, metric)
-            .unwrap_or_else(|e| panic!("{metric:?}: {e}"));
+        let out = CsjJoin::new(eps).with_metric(metric).with_shape(GroupShapeKind::Ball).run(&tree);
+        verify_lossless(&out, &pts, eps, metric).unwrap_or_else(|e| panic!("{metric:?}: {e}"));
     }
 }
 

@@ -46,15 +46,15 @@ fn text_roundtrip_all_algorithms() {
     let width = 3;
 
     let mut w = OutputWriter::new(VecSink::new(), width);
-    SsjJoin::new(eps).run_streaming(&tree, &mut w);
+    SsjJoin::new(eps).run_streaming(&tree, &mut w).expect("vec sink cannot fail");
     assert_eq!(parse_link_set(w.sink().as_str()), truth, "ssj");
 
     let mut w = OutputWriter::new(VecSink::new(), width);
-    NcsjJoin::new(eps).run_streaming(&tree, &mut w);
+    NcsjJoin::new(eps).run_streaming(&tree, &mut w).expect("vec sink cannot fail");
     assert_eq!(parse_link_set(w.sink().as_str()), truth, "ncsj");
 
     let mut w = OutputWriter::new(VecSink::new(), width);
-    CsjJoin::new(eps).with_window(10).run_streaming(&tree, &mut w);
+    CsjJoin::new(eps).with_window(10).run_streaming(&tree, &mut w).expect("vec sink cannot fail");
     assert_eq!(parse_link_set(w.sink().as_str()), truth, "csj");
 }
 
@@ -73,8 +73,8 @@ fn file_bytes_equal_counted_bytes() {
     // Real file.
     let path = std::env::temp_dir().join(format!("csj_fmt_{}.txt", std::process::id()));
     let mut w = OutputWriter::new(FileSink::create(&path).unwrap(), width);
-    join.run_streaming(&tree, &mut w);
-    let sink = w.finish();
+    join.run_streaming(&tree, &mut w).expect("file sink write failed");
+    let sink = w.finish().expect("flush failed");
     assert_eq!(sink.bytes_written(), expected_bytes);
     let on_disk = std::fs::metadata(&path).unwrap().len();
     assert_eq!(on_disk, expected_bytes, "file size equals the byte accounting");
@@ -91,10 +91,10 @@ fn streamed_and_collected_rows_are_identical() {
 
     let collected = join.run(&tree);
     let mut from_collected = OutputWriter::new(VecSink::new(), width);
-    collected.write_to(&mut from_collected);
+    collected.write_to(&mut from_collected).expect("vec sink cannot fail");
 
     let mut streamed = OutputWriter::new(VecSink::new(), width);
-    join.run_streaming(&tree, &mut streamed);
+    join.run_streaming(&tree, &mut streamed).expect("vec sink cannot fail");
 
     assert_eq!(
         from_collected.sink().as_str(),

@@ -29,8 +29,14 @@ fn join_over_reloaded_index_is_byte_identical() {
     for eps in [0.005, 0.05] {
         let mut a = OutputWriter::new(VecSink::new(), 4);
         let mut b = OutputWriter::new(VecSink::new(), 4);
-        CsjJoin::new(eps).with_window(10).run_streaming(&tree, &mut a);
-        CsjJoin::new(eps).with_window(10).run_streaming(&loaded, &mut b);
+        CsjJoin::new(eps)
+            .with_window(10)
+            .run_streaming(&tree, &mut a)
+            .expect("vec sink cannot fail");
+        CsjJoin::new(eps)
+            .with_window(10)
+            .run_streaming(&loaded, &mut b)
+            .expect("vec sink cannot fail");
         assert_eq!(
             a.sink().as_str(),
             b.sink().as_str(),
@@ -38,8 +44,8 @@ fn join_over_reloaded_index_is_byte_identical() {
         );
         let mut a = OutputWriter::new(VecSink::new(), 4);
         let mut b = OutputWriter::new(VecSink::new(), 4);
-        SsjJoin::new(eps).run_streaming(&tree, &mut a);
-        SsjJoin::new(eps).run_streaming(&loaded, &mut b);
+        SsjJoin::new(eps).run_streaming(&tree, &mut a).expect("vec sink cannot fail");
+        SsjJoin::new(eps).run_streaming(&loaded, &mut b).expect("vec sink cannot fail");
         assert_eq!(a.sink().as_str(), b.sink().as_str(), "eps={eps} (ssj)");
     }
 }
@@ -54,5 +60,31 @@ fn file_roundtrip_through_disk() {
     let loaded = RStarTree::<2>::from_bytes(&bytes).unwrap();
     assert_eq!(loaded.num_records(), 3_000);
     csj_index::validate::validate_rect_tree(loaded.core()).unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Satellite of the robustness PR: file-level corruption is detected
+/// (typed error, no panic) and a restore-then-retry succeeds.
+#[test]
+fn corrupted_index_file_is_rejected_then_recovers_after_restore() {
+    let pts = dataset();
+    let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::default());
+    let path = std::env::temp_dir().join(format!("csj_corrupt_{}.idx", std::process::id()));
+    tree.save_to_file(&path).expect("save_to_file");
+    let good = std::fs::read(&path).expect("read back saved index");
+
+    // Bit rot: flip one payload byte in the middle of the file.
+    let mut bad = good.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xFF;
+    std::fs::write(&path, &bad).expect("write corrupted bytes");
+    let err =
+        RStarTree::<2>::load_from_file(&path).expect_err("a flipped payload byte must be detected");
+    assert_eq!(err, csj_index::persist::PersistError::ChecksumMismatch);
+
+    // Restoring the original bytes makes the retry succeed.
+    std::fs::write(&path, &good).expect("restore good bytes");
+    let loaded = RStarTree::<2>::load_from_file(&path).expect("restored file loads");
+    assert_eq!(loaded.num_records(), tree.num_records());
     std::fs::remove_file(&path).ok();
 }

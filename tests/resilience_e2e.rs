@@ -1,0 +1,66 @@
+//! Acceptance test for fault-tolerant join execution: a run whose pager
+//! fails every 3rd page read (absorbed by bounded retries) under a
+//! 10 000-link budget completes without panicking, reports the retries,
+//! stops as `Partial` with extrapolated totals, and its output is
+//! lossless over the processed region.
+
+use csj_core::brute::brute_force_links;
+use csj_core::paged::FaultPagedTree;
+use csj_core::parallel::ParallelAlgo;
+use csj_core::{Completion, ResilientJoin, RunBudget, StopReason};
+use csj_geom::Point;
+use csj_index::{rstar::RStarTree, RTreeConfig};
+use csj_storage::{FaultPolicy, RetryPolicy};
+
+/// Seven tight, well-separated clusters: ~285 points each, so the true
+/// link set (~285k links at eps = 0.05) dwarfs the 10k budget.
+fn clustered(n: usize) -> Vec<Point<2>> {
+    (0..n)
+        .map(|i| {
+            let c = (i % 7) as f64 * 0.13;
+            Point::new([c + ((i * 31) % 97) as f64 * 2e-4, c + ((i * 57) % 89) as f64 * 2e-4])
+        })
+        .collect()
+}
+
+#[test]
+fn faulty_budgeted_join_survives_and_degrades_gracefully() {
+    let pts = clustered(2_000);
+    let eps = 0.05;
+    let truth = brute_force_links(&pts, eps);
+    assert!(truth.len() > 10_000, "need more true links than budget, got {}", truth.len());
+
+    let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+    let faulty =
+        FaultPagedTree::new(&tree, FaultPolicy::fail_every_read(3), RetryPolicy::no_backoff(4));
+    let out = ResilientJoin::new(eps, ParallelAlgo::Csj(10))
+        .with_budget(RunBudget::unlimited().with_max_links(10_000))
+        .run_probed(&faulty, &faulty)
+        .expect("transient faults are retried away; a budget stop is not an error");
+
+    // Every 3rd page read failed once; the pager's retries absorbed them
+    // and the count surfaces in the run's stats.
+    assert!(out.stats.io_retries > 0, "io_retries must be reported in JoinStats");
+    assert!(faulty.faults_injected() > 0);
+
+    match out.completion {
+        Completion::Partial { reason, completed_fraction, estimated_links, estimated_bytes } => {
+            assert_eq!(reason, StopReason::LinkBudget);
+            assert!(
+                completed_fraction > 0.0 && completed_fraction < 1.0,
+                "fraction {completed_fraction}"
+            );
+            assert!(estimated_links > 0.0, "extrapolated link total must be populated");
+            assert!(estimated_bytes > 0.0, "extrapolated byte total must be populated");
+        }
+        Completion::Complete => panic!("a 10k-link budget must trip on ~285k true links"),
+    }
+
+    // Lossless over the processed region: expanding the emitted links and
+    // groups yields only true links (so every group is a valid ≤ eps set).
+    let emitted = out.expanded_link_set();
+    assert!(!emitted.is_empty());
+    for link in &emitted {
+        assert!(truth.contains(link), "emitted link {link:?} is not a true link");
+    }
+}
