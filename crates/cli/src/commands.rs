@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 
 use csj_core::csj::CsjJoin;
 use csj_core::parallel::ParallelAlgo;
+use csj_core::resilient::ResilientReport;
 use csj_core::verify::verify_lossless;
 use csj_core::{Completion, JoinConfig, ResilientJoin, RunBudget};
 use csj_data::fractal;
@@ -180,6 +181,7 @@ pub fn join(args: &[String]) -> Result<(), CliError> {
             "max-links",
             "max-bytes",
             "deadline",
+            "threads",
         ],
     )
     .usage()?;
@@ -217,12 +219,33 @@ fn parse_budget(opts: &Opts) -> Result<RunBudget, CliError> {
     Ok(budget)
 }
 
+/// Parses `--threads N|auto`: absent means the sequential resilient
+/// runner, `auto` means one worker per available core.
+fn parse_threads(opts: &Opts) -> Result<Option<usize>, CliError> {
+    match opts.get("threads") {
+        None => Ok(None),
+        Some("auto") => Ok(Some(csj_core::parallel::default_threads())),
+        Some(raw) => {
+            let n: usize = raw
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad value for --threads: {e}")))?;
+            if n == 0 {
+                return Err(CliError::usage(
+                    "--threads must be at least 1 (or `auto`)".to_string(),
+                ));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
 fn join_dim<const D: usize>(opts: &Opts) -> Result<(), CliError> {
     let eps = opts.require::<f64>("eps").usage()?;
     if !(eps >= 0.0 && eps.is_finite()) {
         return Err(CliError::usage("--eps must be finite and non-negative".to_string()));
     }
     let budget = parse_budget(opts)?;
+    let threads = parse_threads(opts)?;
     // Persisted-index mode: skip building entirely.
     if let Some(index_file) = opts.get("index") {
         let algo = opts.get("algo").unwrap_or("csj").to_string();
@@ -241,7 +264,7 @@ fn join_dim<const D: usize>(opts: &Opts) -> Result<(), CliError> {
             start.elapsed().as_secs_f64() * 1e3
         );
         let width = OutputWriter::<csj_storage::CountingSink>::id_width_for(tree.num_records());
-        return run_join(&tree, &algo, eps, window, metric, width, out.as_deref(), budget);
+        return run_join(&tree, &algo, eps, window, metric, width, out.as_deref(), budget, threads);
     }
     let file = opts.positional(0, "points-file").usage()?;
     let algo = opts.get("algo").unwrap_or("csj").to_string();
@@ -266,7 +289,7 @@ fn join_dim<const D: usize>(opts: &Opts) -> Result<(), CliError> {
                 tree.root().map_or(0, |r| tree.subtree_node_count(r)),
                 tree.height()
             );
-            run_join(&tree, &algo, eps, window, metric, width, out.as_deref(), budget)
+            run_join(&tree, &algo, eps, window, metric, width, out.as_deref(), budget, threads)
         }};
     }
     if points.is_empty() {
@@ -289,7 +312,7 @@ fn join_dim<const D: usize>(opts: &Opts) -> Result<(), CliError> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_join<T: JoinIndex<D>, const D: usize>(
+fn run_join<T: JoinIndex<D> + Sync, const D: usize>(
     tree: &T,
     algo: &str,
     eps: f64,
@@ -298,6 +321,7 @@ fn run_join<T: JoinIndex<D>, const D: usize>(
     width: usize,
     out: Option<&str>,
     budget: RunBudget,
+    threads: Option<usize>,
 ) -> Result<(), CliError> {
     let parallel_algo = match algo {
         "ssj" => ParallelAlgo::Ssj,
@@ -307,23 +331,59 @@ fn run_join<T: JoinIndex<D>, const D: usize>(
             return Err(CliError::usage(format!("unknown --algo {other:?} (ssj, ncsj or csj)")))
         }
     };
-    let join = ResilientJoin::with_config(JoinConfig::new(eps).with_metric(metric), parallel_algo)
-        .with_budget(budget)
-        .with_id_width(width);
+    let cfg = JoinConfig::new(eps).with_metric(metric);
 
+    // With --threads, the work-stealing runner collects rows (its tasks
+    // complete out of order, so the deterministic merge happens in
+    // memory) and the writer drains them afterwards. Without it, the
+    // sequential resilient runner streams rows in constant memory.
     let start = Instant::now();
-    let (report, bytes) = match out {
-        Some(path) => {
-            let mut writer = OutputWriter::new(FileSink::create(path)?, width);
-            let report = join.run_streaming(tree, &mut writer)?;
-            let sink = writer.finish()?;
-            (report, sink.bytes_written())
+    let (report, bytes) = match threads {
+        Some(n) => {
+            let join = csj_core::parallel::ParallelJoin::with_config(cfg, parallel_algo)
+                .with_threads(n)
+                .with_budget(budget)
+                .with_id_width(width);
+            let output = join.run(tree);
+            let bytes = match out {
+                Some(path) => {
+                    let mut writer = OutputWriter::new(FileSink::create(path)?, width);
+                    output.write_to(&mut writer)?;
+                    writer.finish()?.bytes_written()
+                }
+                None => {
+                    let mut writer = OutputWriter::new(StdoutSink::new(), width);
+                    output.write_to(&mut writer)?;
+                    writer.finish()?.bytes_written()
+                }
+            };
+            eprintln!(
+                "scheduler: {} threads, {} tasks ({} stolen, {} split)",
+                output.stats.threads_used,
+                output.stats.tasks_executed,
+                output.stats.tasks_stolen,
+                output.stats.tasks_split
+            );
+            (ResilientReport { stats: output.stats, completion: output.completion }, bytes)
         }
         None => {
-            let mut writer = OutputWriter::new(StdoutSink::new(), width);
-            let report = join.run_streaming(tree, &mut writer)?;
-            let sink = writer.finish()?;
-            (report, sink.bytes_written())
+            let join = ResilientJoin::with_config(cfg, parallel_algo)
+                .with_budget(budget)
+                .with_id_width(width);
+            match out {
+                Some(path) => {
+                    let mut writer = OutputWriter::new(FileSink::create(path)?, width);
+                    let report = join.run_streaming(tree, &mut writer)?;
+                    let sink = writer.finish()?;
+                    (report, sink.bytes_written())
+                }
+                None => {
+                    let mut writer = OutputWriter::new(StdoutSink::new(), width);
+                    let report = join.run_streaming(tree, &mut writer)?;
+                    let sink = writer.finish()?;
+                    (report, sink.bytes_written())
+                }
+            }
         }
     };
     let elapsed = start.elapsed().as_secs_f64() * 1e3;

@@ -7,6 +7,7 @@
 //!              [--metric l2|l1|linf] [--tree rstar|rtree|mtree]
 //!              [--bulk str|hilbert|omt|none] [--dim 2|3] [--out <file>]
 //!              [--max-links <N>] [--max-bytes <N>] [--deadline <secs>]
+//!              [--threads <N>|auto]
 //! csj verify   <points-file> --eps <E> [--dim 2|3]
 //! csj expand   <output-file>
 //! ```
@@ -75,7 +76,10 @@ commands:
        [--metric l2|l1|linf] [--tree rstar|rtree|mtree]
        [--bulk str|hilbert|omt|none] [--dim 2|3] [--out <file>]
        [--max-links <N>] [--max-bytes <N>] [--deadline <secs>]
+       [--threads <N>|auto]
       run a similarity self-join; stats go to stderr, rows to --out/stdout.
+      --threads runs the work-stealing parallel join (auto = one worker
+      per core); output rows are deterministic regardless of thread count.
       budget flags stop the run early at a task boundary: output stays a
       lossless join over the processed region and stderr reports the
       completed fraction plus extrapolated totals (partial results exit 0)

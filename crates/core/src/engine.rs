@@ -250,16 +250,10 @@ where
     /// Builds an engine; `early_stop` enables the compact-join group
     /// rules (italic lines of Figure 3).
     pub fn new(tree: &'t T, cfg: JoinConfig, early_stop: bool, handler: H, sink: R) -> Self {
-        Engine {
-            tree,
-            cfg,
-            early_stop,
-            handler,
-            cancel: None,
-            stopped: None,
-            sink,
-            stats: JoinStats::new(cfg.record_access_log),
-        }
+        // One engine is one thread of execution; the parallel runner
+        // overwrites this with the real worker count after merging.
+        let stats = JoinStats { threads_used: 1, ..JoinStats::new(cfg.record_access_log) };
+        Engine { tree, cfg, early_stop, handler, cancel: None, stopped: None, sink, stats }
     }
 
     /// Arms a cooperative cancellation token: the recursion checks it on
@@ -339,6 +333,9 @@ where
         if self.tree.is_leaf(n) {
             if self.cfg.plane_sweep {
                 return self.leaf_self_sweep(n);
+            }
+            if self.cfg.batch_kernel {
+                return self.leaf_self_kernel(n);
             }
             let entries = self.tree.leaf_entries(n);
             for i in 0..entries.len() {
@@ -420,6 +417,55 @@ where
         Ok(())
     }
 
+    /// Batched leaf self-join: probes the leaf's contiguous point slice
+    /// with [`csj_geom::DistKernel`]. Hit order and comparison counts are
+    /// identical to the scalar nested loop.
+    fn leaf_self_kernel(&mut self, n: NodeId) -> Result<(), CsjError> {
+        let kernel = csj_geom::DistKernel::new(self.cfg.metric, self.cfg.epsilon);
+        let tree = self.tree;
+        let entries = tree.leaf_entries(n);
+        let pts = tree.leaf_points(n);
+        debug_assert_eq!(entries.len(), pts.len(), "leaf_points must mirror leaf_entries");
+        let handler = &mut self.handler;
+        let sink = &mut self.sink;
+        let stats = &mut self.stats;
+        let mut comps = 0u64;
+        let res = kernel.self_join(pts, &mut comps, |i, j| {
+            handler.on_link(
+                entries[i].id,
+                &entries[i].point,
+                entries[j].id,
+                &entries[j].point,
+                &mut *sink,
+                &mut *stats,
+            )
+        });
+        stats.distance_computations += comps;
+        res
+    }
+
+    /// Batched leaf cross-join: the kernel analogue of the scalar nested
+    /// loop in [`Engine::join_pair`].
+    fn leaf_cross_kernel(&mut self, a: NodeId, b: NodeId) -> Result<(), CsjError> {
+        let kernel = csj_geom::DistKernel::new(self.cfg.metric, self.cfg.epsilon);
+        let tree = self.tree;
+        let ea = tree.leaf_entries(a);
+        let eb = tree.leaf_entries(b);
+        let pa = tree.leaf_points(a);
+        let pb = tree.leaf_points(b);
+        debug_assert_eq!(ea.len(), pa.len(), "leaf_points must mirror leaf_entries");
+        debug_assert_eq!(eb.len(), pb.len(), "leaf_points must mirror leaf_entries");
+        let handler = &mut self.handler;
+        let sink = &mut self.sink;
+        let stats = &mut self.stats;
+        let mut comps = 0u64;
+        let res = kernel.cross_join(pa, pb, &mut comps, |i, j| {
+            handler.on_link(ea[i].id, &ea[i].point, eb[j].id, &eb[j].point, &mut *sink, &mut *stats)
+        });
+        stats.distance_computations += comps;
+        res
+    }
+
     /// Plane-sweep child pairing: children sorted by their lower bound on
     /// the sweep axis; a pair is skipped as soon as the axis gap exceeds ε.
     fn internal_self_sweep(&mut self, n: NodeId) -> Result<(), CsjError> {
@@ -476,6 +522,9 @@ where
             (true, true) => {
                 if self.cfg.plane_sweep {
                     return self.leaf_cross_sweep(a, b);
+                }
+                if self.cfg.batch_kernel {
+                    return self.leaf_cross_kernel(a, b);
                 }
                 let ea = self.tree.leaf_entries(a);
                 let eb = self.tree.leaf_entries(b);

@@ -59,7 +59,9 @@ impl<const D: usize> GroupShape<D> for MbrShape<D> {
         let mut grown = self.0;
         grown.expand_to_point(a);
         grown.expand_to_point(b);
-        if metric.mbr_diameter(&grown) <= eps {
+        // Hot path of every CSJ merge attempt: the ε²-compare skips the
+        // sqrt of the full diameter norm.
+        if metric.mbr_diameter_within(&grown, eps) {
             self.0 = grown;
             true
         } else {

@@ -76,6 +76,10 @@ impl<T: JoinIndex<D>, const D: usize> JoinIndex<D> for PagedTree<'_, T> {
         self.touch(n);
         self.inner.leaf_entries(n)
     }
+    fn leaf_points(&self, n: NodeId) -> &[csj_geom::Point<D>] {
+        self.touch(n);
+        self.inner.leaf_points(n)
+    }
     fn node_mbr(&self, n: NodeId) -> Mbr<D> {
         self.inner.node_mbr(n)
     }
@@ -199,6 +203,10 @@ impl<T: JoinIndex<D>, const D: usize> JoinIndex<D> for FaultPagedTree<'_, T> {
     fn leaf_entries(&self, n: NodeId) -> &[csj_index::LeafEntry<D>] {
         self.touch(n);
         self.inner.leaf_entries(n)
+    }
+    fn leaf_points(&self, n: NodeId) -> &[csj_geom::Point<D>] {
+        self.touch(n);
+        self.inner.leaf_points(n)
     }
     fn node_mbr(&self, n: NodeId) -> Mbr<D> {
         self.inner.node_mbr(n)

@@ -1,17 +1,15 @@
-//! Parallel similarity joins (extension beyond the paper).
+//! The static-split parallel runner, kept as a benchmark baseline.
 //!
-//! The recursion of Figure 3 decomposes naturally: expand the tree a few
-//! levels into independent *tasks* (subtree self-joins and qualifying
-//! subtree pairs), then run the ordinary [`Engine`] on each task from a
-//! worker pool. Results are reassembled in task order, so output is
-//! deterministic regardless of scheduling.
+//! This is the original parallel join: a fixed breadth-first task
+//! expansion, a shared atomic task index, and a `Mutex`-guarded result
+//! vector. It has two scaling problems the work-stealing runner in the
+//! parent module fixes — the task-claim and result-write paths serialize
+//! on shared state, and a skewed task (one dense subtree) pins a single
+//! worker while the others idle.
 //!
-//! Correctness is unchanged: SSJ and N-CSJ share no state across tasks;
-//! for CSJ(g), each task gets its own fresh window — windows only affect
-//! *compaction* (which links land in which group), never the represented
-//! link set, so the parallel CSJ is still lossless. Its output is
-//! slightly larger than the sequential run's because merges cannot cross
-//! task boundaries.
+//! It is retained (not exported from the crate root) solely so
+//! `perf_baseline` can measure the work-stealing scheduler against it.
+//! New code should use [`super::ParallelJoin`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -19,6 +17,7 @@ use std::time::Instant;
 
 use csj_index::{JoinIndex, NodeId};
 
+use super::ParallelAlgo;
 use crate::budget::{BudgetUsage, CancelToken, Completion, RunBudget, StopReason};
 use crate::engine::{infallible, CollectSink, DirectEmit, Engine, LinkHandler, WindowedEmit};
 use crate::group::MbrShape;
@@ -26,21 +25,12 @@ use crate::output::{JoinOutput, OutputItem};
 use crate::stats::JoinStats;
 use crate::JoinConfig;
 
-/// Which algorithm the parallel runner executes per task.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ParallelAlgo {
-    /// Standard similarity join.
-    Ssj,
-    /// Naive compact join.
-    Ncsj,
-    /// Compact join; every task gets a fresh window of this size.
-    Csj(usize),
-}
-
-/// A parallel similarity self-join.
+/// The pre-work-stealing parallel join: static task split, shared task
+/// index, mutexed result collection.
 ///
 /// ```
-/// use csj_core::parallel::{ParallelAlgo, ParallelJoin};
+/// use csj_core::parallel::baseline::StaticParallelJoin;
+/// use csj_core::parallel::ParallelAlgo;
 /// use csj_core::ssj::SsjJoin;
 /// use csj_geom::Point;
 /// use csj_index::{rstar::RStarTree, RTreeConfig};
@@ -49,12 +39,12 @@ pub enum ParallelAlgo {
 ///     .map(|i| Point::new([(i % 50) as f64 / 50.0, (i / 50) as f64 / 40.0]))
 ///     .collect();
 /// let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
-/// let par = ParallelJoin::new(0.05, ParallelAlgo::Ssj).with_threads(4).run(&tree);
+/// let par = StaticParallelJoin::new(0.05, ParallelAlgo::Ssj).with_threads(4).run(&tree);
 /// let seq = SsjJoin::new(0.05).run(&tree);
 /// assert_eq!(par.expanded_link_set(), seq.expanded_link_set());
 /// ```
 #[derive(Clone, Debug)]
-pub struct ParallelJoin {
+pub struct StaticParallelJoin {
     cfg: JoinConfig,
     algo: ParallelAlgo,
     threads: usize,
@@ -68,7 +58,7 @@ enum Task {
     PairJoin(NodeId, NodeId),
 }
 
-impl ParallelJoin {
+impl StaticParallelJoin {
     /// A parallel join with range `epsilon`.
     pub fn new(epsilon: f64, algo: ParallelAlgo) -> Self {
         Self::with_config(JoinConfig::new(epsilon), algo)
@@ -76,7 +66,7 @@ impl ParallelJoin {
 
     /// A parallel join from an explicit configuration.
     pub fn with_config(cfg: JoinConfig, algo: ParallelAlgo) -> Self {
-        ParallelJoin {
+        StaticParallelJoin {
             cfg,
             algo,
             threads: 4,
@@ -291,7 +281,6 @@ impl ParallelJoin {
 mod tests {
     use super::*;
     use crate::brute::brute_force_links;
-    use crate::csj::CsjJoin;
     use crate::ssj::SsjJoin;
     use csj_geom::Point;
     use csj_index::{rstar::RStarTree, RTreeConfig};
@@ -306,136 +295,17 @@ mod tests {
     }
 
     #[test]
-    fn parallel_ssj_matches_sequential() {
-        let pts = clustered(3_000);
-        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
-        for eps in [0.01, 0.1] {
-            let seq = SsjJoin::new(eps).run(&tree);
-            for threads in [1, 2, 8] {
-                let par =
-                    ParallelJoin::new(eps, ParallelAlgo::Ssj).with_threads(threads).run(&tree);
-                assert_eq!(par.expanded_link_set(), seq.expanded_link_set(), "threads={threads}");
-                assert_eq!(
-                    par.stats.distance_computations, seq.stats.distance_computations,
-                    "identical work, just distributed"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn parallel_ncsj_and_csj_are_lossless() {
-        let pts = clustered(2_500);
+    fn baseline_is_lossless_for_all_algorithms() {
+        let pts = clustered(2_000);
         let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
         let eps = 0.05;
         let truth = brute_force_links(&pts, eps);
-        for algo in [ParallelAlgo::Ncsj, ParallelAlgo::Csj(10)] {
-            let out = ParallelJoin::new(eps, algo).with_threads(6).run(&tree);
+        let seq = SsjJoin::new(eps).run(&tree);
+        for algo in [ParallelAlgo::Ssj, ParallelAlgo::Ncsj, ParallelAlgo::Csj(10)] {
+            let out = StaticParallelJoin::new(eps, algo).with_threads(4).run(&tree);
             assert_eq!(out.expanded_link_set(), truth, "{algo:?}");
         }
-    }
-
-    #[test]
-    fn parallel_output_is_deterministic() {
-        let pts = clustered(2_000);
-        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(8));
-        let join = ParallelJoin::new(0.05, ParallelAlgo::Csj(10)).with_threads(7);
-        let a = join.run(&tree);
-        let b = join.run(&tree);
-        assert_eq!(a.items, b.items, "same rows in the same order every run");
-    }
-
-    #[test]
-    fn parallel_csj_compacts_close_to_sequential() {
-        let pts = clustered(3_000);
-        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
-        let eps = 0.05;
-        let seq = CsjJoin::new(eps).with_window(10).run(&tree);
-        let par = ParallelJoin::new(eps, ParallelAlgo::Csj(10)).with_threads(4).run(&tree);
-        assert_eq!(par.expanded_link_set(), seq.expanded_link_set());
-        // Per-task windows lose some merges but not catastrophically.
-        let (ps, ss) = (par.total_bytes(4) as f64, seq.total_bytes(4) as f64);
-        assert!(ps <= ss * 1.5, "parallel bytes {ps} vs sequential {ss}");
-    }
-
-    #[test]
-    fn empty_and_tiny_trees() {
-        let empty = RStarTree::<2>::new(RTreeConfig::default());
-        let out = ParallelJoin::new(0.1, ParallelAlgo::Ssj).run(&empty);
-        assert!(out.items.is_empty());
-        let one = RStarTree::from_points(&[Point::new([0.5, 0.5])], RTreeConfig::default());
-        let out = ParallelJoin::new(0.1, ParallelAlgo::Csj(10)).run(&one);
-        assert!(out.items.is_empty());
-    }
-
-    #[test]
-    fn precanceled_token_stops_within_one_task() {
-        let pts = clustered(3_000);
-        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
-        let token = CancelToken::new();
-        token.cancel();
-        let out = ParallelJoin::new(0.05, ParallelAlgo::Csj(10))
-            .with_threads(4)
-            .with_cancel(&token)
-            .run(&tree);
-        assert_eq!(out.completion.stop_reason(), Some(StopReason::Canceled));
-        assert!(out.items.is_empty(), "the boundary check fires before the first task completes");
-    }
-
-    #[test]
-    fn midrun_cancel_yields_a_lossless_prefix() {
-        let pts = clustered(4_000);
-        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
-        let eps = 0.05;
-        let truth = brute_force_links(&pts, eps);
-        let token = CancelToken::new();
-        let canceller = std::thread::spawn({
-            let token = token.clone();
-            move || token.cancel()
-        });
-        let out = ParallelJoin::new(eps, ParallelAlgo::Ssj)
-            .with_threads(2)
-            .with_cancel(&token)
-            .run(&tree);
-        canceller.join().expect("canceller thread");
-        // Depending on timing the run may complete or stop early; either
-        // way, every emitted link must be a true link.
-        for link in out.expanded_link_set() {
-            assert!(truth.contains(&link), "canceled run emitted false link {link:?}");
-        }
-        if out.completion.is_complete() {
-            assert_eq!(out.expanded_link_set(), truth);
-        } else {
-            assert_eq!(out.completion.stop_reason(), Some(StopReason::Canceled));
-        }
-    }
-}
-
-#[cfg(test)]
-mod proptests {
-    use super::*;
-    use crate::brute::brute_force_links;
-    use csj_geom::Point;
-    use csj_index::{rstar::RStarTree, RTreeConfig};
-    use proptest::prelude::*;
-
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        /// The parallel runner is lossless for every algorithm, thread
-        /// count and window over arbitrary data.
-        #[test]
-        fn parallel_lossless(
-            pts in prop::collection::vec(prop::array::uniform2(0.0f64..1.0), 0..150),
-            eps in 0.0f64..0.5,
-            threads in 1usize..6,
-            algo_idx in 0usize..3,
-        ) {
-            let points: Vec<Point<2>> = pts.into_iter().map(Point::new).collect();
-            let tree = RStarTree::from_points(&points, RTreeConfig::with_max_fanout(5));
-            let algo = [ParallelAlgo::Ssj, ParallelAlgo::Ncsj, ParallelAlgo::Csj(7)][algo_idx];
-            let out = ParallelJoin::new(eps, algo).with_threads(threads).run(&tree);
-            prop_assert_eq!(out.expanded_link_set(), brute_force_links(&points, eps));
-        }
+        let ssj = StaticParallelJoin::new(eps, ParallelAlgo::Ssj).with_threads(4).run(&tree);
+        assert_eq!(ssj.stats.distance_computations, seq.stats.distance_computations);
     }
 }

@@ -38,6 +38,14 @@ pub struct JoinStats {
     pub links_in_groups: u64,
     /// Transient storage faults absorbed by retry (pager / sink level).
     pub io_retries: u64,
+    /// Worker threads the run actually used (1 for sequential joins).
+    pub threads_used: u64,
+    /// Tasks executed by the parallel scheduler (0 for sequential joins).
+    pub tasks_executed: u64,
+    /// Tasks a worker stole from another worker's share.
+    pub tasks_stolen: u64,
+    /// Oversized tasks split into smaller ones on demand.
+    pub tasks_split: u64,
     /// Sequence of visited node ids (one entry per node access), present
     /// only when [`crate::JoinConfig::record_access_log`] is set.
     pub access_log: Option<Vec<u32>>,
@@ -77,6 +85,12 @@ impl JoinStats {
         self.pairs_pruned += other.pairs_pruned;
         self.links_in_groups += other.links_in_groups;
         self.io_retries += other.io_retries;
+        // Scheduler counters: threads_used is a property of the whole
+        // run (kept, not summed); the task counters accumulate.
+        self.threads_used = self.threads_used.max(other.threads_used);
+        self.tasks_executed += other.tasks_executed;
+        self.tasks_stolen += other.tasks_stolen;
+        self.tasks_split += other.tasks_split;
         if let (Some(mine), Some(theirs)) = (&mut self.access_log, &other.access_log) {
             mine.extend_from_slice(theirs);
         }

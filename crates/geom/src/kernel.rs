@@ -1,0 +1,306 @@
+//! Batched leaf-probe distance kernels.
+//!
+//! The join hot path compares every point of one leaf against every point
+//! of another (or the same) leaf. Done pair-at-a-time through
+//! [`Metric::distance`] this is a chain of dependent scalar ops; done over
+//! contiguous [`Point`] slices in fixed-width chunks it becomes a handful
+//! of independent per-lane accumulations the autovectorizer turns into
+//! SIMD, with the threshold compared against ε² so no `sqrt` survives in
+//! the loop (cf. GPU self-join kernels, which batch for the same reason).
+//!
+//! [`DistKernel`] preserves the scalar semantics *exactly*:
+//!
+//! * hits are reported in the same `(i ascending, j ascending)` order the
+//!   nested scalar loops use (CSJ's windowed grouping is order-sensitive);
+//! * the Euclidean accumulation runs over dimensions in the same order as
+//!   [`Point::sq_euclidean`], so every comparison is bit-identical to
+//!   [`Metric::within`];
+//! * non-Euclidean metrics fall back to the scalar predicate per pair, so
+//!   batching never changes which pairs qualify.
+
+use crate::{Metric, Point};
+
+/// Chunk width for the batched Euclidean path. Eight 64-bit lanes fill a
+/// 512-bit vector and give the autovectorizer two 256-bit ops per step on
+/// AVX2-class hardware; the value is a tuning knob, not a correctness one.
+pub const LANES: usize = 8;
+
+/// A reusable ε-threshold distance kernel over contiguous point slices.
+///
+/// Construct once per join (or per task) and call
+/// [`DistKernel::self_join`] / [`DistKernel::cross_join`] per leaf probe.
+#[derive(Clone, Copy, Debug)]
+pub struct DistKernel {
+    metric: Metric,
+    eps: f64,
+    eps_sq: f64,
+}
+
+impl DistKernel {
+    /// A kernel for the given metric and range ε.
+    pub fn new(metric: Metric, eps: f64) -> Self {
+        DistKernel { metric, eps, eps_sq: eps * eps }
+    }
+
+    /// The join range ε.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The metric distances are measured in.
+    #[inline]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// All pairs `(i, j)` with `i < j` and `pts[i]` within ε of `pts[j]`,
+    /// reported through `on_hit` in `(i asc, j asc)` order.
+    ///
+    /// `comparisons` is advanced by the number of distance predicate
+    /// evaluations (one per pair; whole probe rows are counted up front,
+    /// so after an `Err` the count may run ahead by less than one row).
+    pub fn self_join<const D: usize, E>(
+        &self,
+        pts: &[Point<D>],
+        comparisons: &mut u64,
+        mut on_hit: impl FnMut(usize, usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        for i in 0..pts.len() {
+            *comparisons += (pts.len() - i - 1) as u64;
+            self.probe_row(&pts[i], &pts[i + 1..], |off| on_hit(i, i + 1 + off))?;
+        }
+        Ok(())
+    }
+
+    /// All pairs `(i, j)` with `left[i]` within ε of `right[j]`, reported
+    /// through `on_hit` in `(i asc, j asc)` order. Counting as in
+    /// [`DistKernel::self_join`].
+    pub fn cross_join<const D: usize, E>(
+        &self,
+        left: &[Point<D>],
+        right: &[Point<D>],
+        comparisons: &mut u64,
+        mut on_hit: impl FnMut(usize, usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        for (i, p) in left.iter().enumerate() {
+            *comparisons += right.len() as u64;
+            self.probe_row(p, right, |j| on_hit(i, j))?;
+        }
+        Ok(())
+    }
+
+    /// One probe point against a contiguous row; hit offsets are relative
+    /// to `row` and ascending.
+    #[inline]
+    fn probe_row<const D: usize, E>(
+        &self,
+        p: &Point<D>,
+        row: &[Point<D>],
+        mut on_hit: impl FnMut(usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        if !matches!(self.metric, Metric::Euclidean) {
+            for (j, q) in row.iter().enumerate() {
+                if self.metric.within(p, q, self.eps) {
+                    on_hit(j)?;
+                }
+            }
+            return Ok(());
+        }
+        let mut chunks = row.chunks_exact(LANES);
+        let mut base = 0usize;
+        for chunk in chunks.by_ref() {
+            let block: &[Point<D>; LANES] = chunk.try_into().expect("chunk has LANES points");
+            // Branch-free distance block: dimensions outer, lanes inner,
+            // so each step is LANES independent fused accumulations. The
+            // per-pair dimension order matches `Point::sq_euclidean`,
+            // keeping every value bit-identical to the scalar path.
+            let mut acc = [0.0f64; LANES];
+            for (l, slot) in acc.iter_mut().enumerate() {
+                let mut sq = 0.0;
+                for d in 0..D {
+                    let delta = block[l][d] - p[d];
+                    sq += delta * delta;
+                }
+                *slot = sq;
+            }
+            // Branch-free any-hit reduction first: in sparse regions most
+            // chunks have no qualifying pair, and the whole block retires
+            // on one predictable branch.
+            let mut any = false;
+            for &sq in &acc {
+                any |= sq <= self.eps_sq;
+            }
+            if any {
+                for (l, &sq) in acc.iter().enumerate() {
+                    if sq <= self.eps_sq {
+                        on_hit(base + l)?;
+                    }
+                }
+            }
+            base += LANES;
+        }
+        for (l, q) in chunks.remainder().iter().enumerate() {
+            if p.sq_euclidean(q) <= self.eps_sq {
+                on_hit(base + l)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Infallible-callback error type for tests.
+    type Never = std::convert::Infallible;
+
+    fn scatter(n: usize, seed: u64) -> Vec<Point<3>> {
+        (0..n)
+            .map(|i| {
+                let h = |k: u64| {
+                    let mut x =
+                        (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed + k);
+                    x ^= x >> 29;
+                    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    x ^= x >> 32;
+                    (x % 100_000) as f64 / 100_000.0
+                };
+                Point::new([h(1), h(2), h(3)])
+            })
+            .collect()
+    }
+
+    fn scalar_self(m: Metric, pts: &[Point<3>], eps: f64) -> (Vec<(usize, usize)>, u64) {
+        let mut hits = Vec::new();
+        let mut comps = 0u64;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                comps += 1;
+                if m.within(&pts[i], &pts[j], eps) {
+                    hits.push((i, j));
+                }
+            }
+        }
+        (hits, comps)
+    }
+
+    fn scalar_cross(
+        m: Metric,
+        a: &[Point<3>],
+        b: &[Point<3>],
+        eps: f64,
+    ) -> (Vec<(usize, usize)>, u64) {
+        let mut hits = Vec::new();
+        let mut comps = 0u64;
+        for (i, x) in a.iter().enumerate() {
+            for (j, y) in b.iter().enumerate() {
+                comps += 1;
+                if m.within(x, y, eps) {
+                    hits.push((i, j));
+                }
+            }
+        }
+        (hits, comps)
+    }
+
+    #[test]
+    fn self_join_matches_scalar_all_metrics_and_sizes() {
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Minkowski(3.0)] {
+            // Sizes straddle the LANES boundary (remainder 0, 1, LANES-1).
+            for n in [0usize, 1, 7, 8, 9, 16, 61] {
+                let pts = scatter(n, 7);
+                let eps = 0.35;
+                let kernel = DistKernel::new(m, eps);
+                let mut hits = Vec::new();
+                let mut comps = 0u64;
+                kernel
+                    .self_join(&pts, &mut comps, |i, j| -> Result<(), Never> {
+                        hits.push((i, j));
+                        Ok(())
+                    })
+                    .unwrap();
+                let (want, want_comps) = scalar_self(m, &pts, eps);
+                assert_eq!(hits, want, "{m:?} n={n}: hit set and order must match scalar");
+                assert_eq!(comps, want_comps, "{m:?} n={n}: comparison count");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_join_matches_scalar() {
+        for m in [Metric::Euclidean, Metric::Manhattan] {
+            let a = scatter(23, 1);
+            let b = scatter(40, 2);
+            let eps = 0.4;
+            let kernel = DistKernel::new(m, eps);
+            let mut hits = Vec::new();
+            let mut comps = 0u64;
+            kernel
+                .cross_join(&a, &b, &mut comps, |i, j| -> Result<(), Never> {
+                    hits.push((i, j));
+                    Ok(())
+                })
+                .unwrap();
+            let (want, want_comps) = scalar_cross(m, &a, &b, eps);
+            assert_eq!(hits, want, "{m:?}");
+            assert_eq!(comps, want_comps, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_pairs_agree_with_within() {
+        // Points at distance exactly eps (axis-aligned) must be hits, in
+        // both the chunked body and the remainder tail.
+        let eps = 0.125; // exactly representable
+        let pts: Vec<Point<3>> = (0..19).map(|i| Point::new([i as f64 * eps, 0.0, 0.0])).collect();
+        let kernel = DistKernel::new(Metric::Euclidean, eps);
+        let mut hits = Vec::new();
+        let mut comps = 0u64;
+        kernel
+            .self_join(&pts, &mut comps, |i, j| -> Result<(), Never> {
+                hits.push((i, j));
+                Ok(())
+            })
+            .unwrap();
+        let want: Vec<(usize, usize)> = (0..18).map(|i| (i, i + 1)).collect();
+        assert_eq!(hits, want, "adjacent pairs sit exactly at eps");
+    }
+
+    #[test]
+    fn errors_propagate_and_stop_the_scan() {
+        let pts = scatter(40, 3);
+        let kernel = DistKernel::new(Metric::Euclidean, 0.9);
+        let mut seen = 0usize;
+        let res = kernel.self_join(&pts, &mut 0, |_, _| {
+            seen += 1;
+            if seen == 5 {
+                Err("stop")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(res, Err("stop"));
+        assert_eq!(seen, 5, "no hits delivered after the error");
+    }
+
+    #[test]
+    fn empty_slices() {
+        let kernel = DistKernel::new(Metric::Euclidean, 1.0);
+        let empty: Vec<Point<3>> = Vec::new();
+        let some = scatter(5, 4);
+        let mut comps = 0u64;
+        kernel
+            .cross_join(&empty, &some, &mut comps, |_, _| -> Result<(), Never> {
+                panic!("no pairs")
+            })
+            .unwrap();
+        kernel
+            .cross_join(&some, &empty, &mut comps, |_, _| -> Result<(), Never> {
+                panic!("no pairs")
+            })
+            .unwrap();
+        assert_eq!(comps, 0);
+    }
+}

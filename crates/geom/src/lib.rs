@@ -18,11 +18,13 @@
 
 pub mod aabb;
 pub mod diameter;
+pub mod kernel;
 pub mod metric;
 pub mod point;
 pub mod sphere;
 
 pub use aabb::Mbr;
+pub use kernel::DistKernel;
 pub use metric::Metric;
 pub use point::Point;
 pub use sphere::Sphere;

@@ -76,6 +76,81 @@ impl Metric {
         }
     }
 
+    /// `true` if `distance(a, b) <= eps`, taking the *squared* threshold
+    /// `eps_sq == eps * eps`.
+    ///
+    /// The hot-loop form of [`Metric::within`]: the caller squares ε once
+    /// and every comparison is sqrt-free with per-dimension early exit.
+    /// Exactness (incl. boundary equality `distance == eps`) relies on two
+    /// IEEE-754 facts: correctly-rounded `sqrt` is monotone, and
+    /// `sqrt(fl(x·x)) == x` for every finite non-negative `x`, so
+    /// `dist_sq <= fl(ε²)` ⇔ `fl(sqrt(dist_sq)) <= ε` and the original ε
+    /// is recoverable from `eps_sq` without error.
+    #[inline]
+    pub fn sq_dist_within<const D: usize>(&self, a: &Point<D>, b: &Point<D>, eps_sq: f64) -> bool {
+        match self {
+            Metric::Euclidean => {
+                let mut acc = 0.0;
+                for i in 0..D {
+                    let d = a[i] - b[i];
+                    acc += d * d;
+                    if acc > eps_sq {
+                        return false;
+                    }
+                }
+                true
+            }
+            Metric::Manhattan => {
+                let eps = eps_sq.sqrt();
+                let mut acc = 0.0;
+                for i in 0..D {
+                    acc += (a[i] - b[i]).abs();
+                    if acc > eps {
+                        return false;
+                    }
+                }
+                true
+            }
+            Metric::Chebyshev => {
+                let eps = eps_sq.sqrt();
+                for i in 0..D {
+                    if (a[i] - b[i]).abs() > eps {
+                        return false;
+                    }
+                }
+                true
+            }
+            // `powf` has no exactness guarantees to exploit; recover ε (the
+            // sqrt of a square is exact) and use the reference predicate.
+            Metric::Minkowski(_) => self.distance(a, b) <= eps_sq.sqrt(),
+        }
+    }
+
+    /// `true` if the `p`-norm of `deltas` is `<= eps`, without the square
+    /// root for the Euclidean metric (same exactness argument as
+    /// [`Metric::sq_dist_within`]).
+    #[inline]
+    pub fn norm_within<const D: usize>(&self, deltas: [f64; D], eps: f64) -> bool {
+        match self {
+            Metric::Euclidean => {
+                let mut acc = 0.0;
+                for d in deltas {
+                    acc += d * d;
+                }
+                acc <= eps * eps
+            }
+            _ => self.norm(deltas) <= eps,
+        }
+    }
+
+    /// `true` if the rectangle's diameter is `<= eps` — the group-shape
+    /// constraint of §V-A, evaluated sqrt-free where the metric allows.
+    /// Exactly equivalent to `self.mbr_diameter(mbr) <= eps`.
+    #[inline]
+    pub fn mbr_diameter_within<const D: usize>(&self, mbr: &Mbr<D>, eps: f64) -> bool {
+        self.norm_within(mbr.side_lengths(), eps)
+    }
+
     /// Combines per-axis non-negative deltas into a distance (the `p`-norm
     /// of the delta vector).
     #[inline]
@@ -335,6 +410,74 @@ mod proptests {
                 p[i] = r.lo[i] + t[i] * (r.hi[i] - r.lo[i]);
             }
             prop_assert!(m.min_dist_point_mbr(&Point::new(p), &r) < 1e-9);
+        }
+
+        /// The sqrt-free squared-threshold predicate agrees *exactly* with
+        /// the existing predicates — both the hot-path `within` and the
+        /// documented `distance(..) <= eps` contract. No epsilon slop.
+        #[test]
+        fn sq_dist_within_matches_distance(
+            m in metrics(),
+            a in arb_point(),
+            b in arb_point(),
+            eps in 0.0f64..400.0,
+        ) {
+            let got = m.sq_dist_within(&a, &b, eps * eps);
+            prop_assert_eq!(got, m.within(&a, &b, eps));
+            prop_assert_eq!(got, m.distance(&a, &b) <= eps);
+        }
+
+        /// Boundary equality: an axis-aligned pair sits at distance exactly
+        /// `d` under L2/L1/L∞ (single-axis norms are computed without
+        /// rounding), and the squared-threshold predicate must accept at
+        /// exactly `d` and reject just below. Minkowski is excluded here:
+        /// its `powf` norm is not exact even on one axis, so it routes
+        /// through the reference predicate (covered by the test above).
+        #[test]
+        fn sq_dist_within_boundary_equality(
+            which in 0usize..3,
+            a in arb_point(),
+            d in 1e-6f64..100.0,
+            axis in 0usize..3,
+        ) {
+            let m = [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev][which];
+            let mut bc = a.coords();
+            bc[axis] += d;
+            let b = Point::new(bc);
+            // The realized axis gap (the addition above may round).
+            let gap = b[axis] - a[axis];
+            prop_assert_eq!(m.distance(&a, &b), gap, "axis-aligned distance is the gap");
+            prop_assert!(m.sq_dist_within(&a, &b, gap * gap), "must accept at the boundary");
+            prop_assert!(m.within(&a, &b, gap), "reference accepts at the boundary too");
+            let below = gap * (1.0 - 1e-14);
+            prop_assert!(!m.sq_dist_within(&a, &b, below * below), "must reject below");
+        }
+
+        /// The sqrt-free diameter check agrees exactly with the reference
+        /// `mbr_diameter(..) <= eps` on random thresholds, and accepts a
+        /// single-axis rectangle at exactly its own diameter (the one case
+        /// where the Euclidean diameter is itself exact).
+        #[test]
+        fn mbr_diameter_within_matches(
+            m in metrics(),
+            r in arb_mbr(),
+            eps in 0.0f64..400.0,
+            side in 1e-6f64..100.0,
+        ) {
+            let want = m.mbr_diameter(&r) <= eps;
+            prop_assert_eq!(m.mbr_diameter_within(&r, eps), want);
+            // Minkowski's powf norm is inexact even on a single axis, so
+            // the exact-boundary claim only holds for the closed-form
+            // metrics.
+            if !matches!(m, Metric::Minkowski(_)) {
+                let flat = Mbr::from_corners(
+                    &Point::new([1.0, 2.0, 3.0]),
+                    &Point::new([1.0 + side, 2.0, 3.0]),
+                );
+                let exact = flat.side_lengths()[0];
+                prop_assert_eq!(m.mbr_diameter(&flat), exact);
+                prop_assert!(m.mbr_diameter_within(&flat, exact), "boundary equality");
+            }
         }
     }
 }

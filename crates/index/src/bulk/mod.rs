@@ -123,7 +123,7 @@ fn alloc_leaf<const D: usize>(
         }
         m
     };
-    leaf.entries = entries;
+    leaf.entries = entries.into();
     core.arena.alloc(leaf)
 }
 

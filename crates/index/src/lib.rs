@@ -35,12 +35,14 @@ pub mod rect;
 pub mod rstar;
 pub mod rtree;
 pub mod stats;
+pub mod store;
 pub mod traits;
 pub mod validate;
 
 pub use arena::NodeId;
 pub use rstar::RStarTree;
 pub use rtree::RTree;
+pub use store::LeafStore;
 pub use traits::{JoinIndex, LeafEntry};
 
 /// Configuration shared by the rectangle trees ([`RTree`], [`RStarTree`]).

@@ -15,6 +15,7 @@
 pub mod split;
 
 use crate::arena::{Arena, NodeId};
+use crate::store::LeafStore;
 use crate::traits::{JoinIndex, LeafEntry};
 use csj_geom::{Mbr, Metric, Point, RecordId};
 
@@ -63,8 +64,8 @@ pub struct MNode<const D: usize> {
     pub radius: f64,
     /// Child nodes (internal nodes only).
     pub children: Vec<NodeId>,
-    /// Data records (leaves only).
-    pub entries: Vec<LeafEntry<D>>,
+    /// Data records (leaves only), with their contiguous point mirror.
+    pub entries: LeafStore<D>,
 }
 
 impl<const D: usize> MNode<D> {
@@ -75,7 +76,7 @@ impl<const D: usize> MNode<D> {
             center,
             radius: 0.0,
             children: Vec::new(),
-            entries: Vec::new(),
+            entries: LeafStore::new(),
         }
     }
 
@@ -86,7 +87,7 @@ impl<const D: usize> MNode<D> {
             center,
             radius: 0.0,
             children: Vec::new(),
-            entries: Vec::new(),
+            entries: LeafStore::new(),
         }
     }
 
@@ -259,17 +260,17 @@ impl<const D: usize> MTree<D> {
         };
 
         let sibling = if is_leaf {
-            let entries = std::mem::take(&mut self.arena.get_mut(node_id).entries);
+            let entries = self.arena.get_mut(node_id).entries.take();
             let split = split::split_leaf(entries, metric, min_fanout);
             {
                 let n = self.arena.get_mut(node_id);
                 n.center = split.left_pivot;
                 n.radius = split.left_radius;
-                n.entries = split.left;
+                n.entries = split.left.into();
             }
             let mut sib = MNode::new_leaf(split.right_pivot);
             sib.radius = split.right_radius;
-            sib.entries = split.right;
+            sib.entries = split.right.into();
             self.arena.alloc(sib)
         } else {
             let children = std::mem::take(&mut self.arena.get_mut(node_id).children);
@@ -441,6 +442,9 @@ impl<const D: usize> JoinIndex<D> for MTree<D> {
     }
     fn leaf_entries(&self, n: NodeId) -> &[LeafEntry<D>] {
         &self.arena.get(n).entries
+    }
+    fn leaf_points(&self, n: NodeId) -> &[Point<D>] {
+        self.arena.get(n).entries.points()
     }
     fn node_mbr(&self, n: NodeId) -> Mbr<D> {
         // The L∞ box circumscribing the ball: |x_i - c_i| <= d(x, c) <= r

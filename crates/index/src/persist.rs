@@ -305,7 +305,7 @@ pub fn deserialize_rect<const D: usize>(bytes: &[u8]) -> Result<RectCore<D>, Per
             parent: None,
             level,
             children: Vec::new(),
-            entries,
+            entries: entries.into(),
         };
         core.arena.alloc(node);
         children_of.push(children);

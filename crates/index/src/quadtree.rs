@@ -14,6 +14,7 @@
 //! are rigid.
 
 use crate::arena::{Arena, NodeId};
+use crate::store::LeafStore;
 use crate::traits::{JoinIndex, LeafEntry};
 use csj_geom::{Mbr, Metric, Point, RecordId};
 
@@ -40,8 +41,8 @@ struct QNode<const D: usize> {
     mbr: Mbr<D>,
     /// Child nodes (empty quadrants are not materialized).
     children: Vec<NodeId>,
-    /// Records (leaves only).
-    entries: Vec<LeafEntry<D>>,
+    /// Records (leaves only), with their contiguous point mirror.
+    entries: LeafStore<D>,
 }
 
 /// A static bucket quadtree over `D`-dimensional points, built by
@@ -102,7 +103,7 @@ impl<const D: usize> QuadTree<D> {
             mbr.expand_to_point(&e.point);
         }
         if entries.len() <= config.capacity || depth >= config.max_depth {
-            let id = self.arena.alloc(QNode { mbr, children: Vec::new(), entries });
+            let id = self.arena.alloc(QNode { mbr, children: Vec::new(), entries: entries.into() });
             return (id, 1);
         }
         // Partition into 2^D quadrants around the cell center.
@@ -120,8 +121,8 @@ impl<const D: usize> QuadTree<D> {
         // Degenerate case (all points identical / on the split plane):
         // everything lands in one bucket — stop splitting.
         if buckets.iter().filter(|b| !b.is_empty()).count() <= 1 {
-            let entries = buckets.into_iter().flatten().collect();
-            let id = self.arena.alloc(QNode { mbr, children: Vec::new(), entries });
+            let entries: Vec<LeafEntry<D>> = buckets.into_iter().flatten().collect();
+            let id = self.arena.alloc(QNode { mbr, children: Vec::new(), entries: entries.into() });
             return (id, 1);
         }
         let mut children = Vec::new();
@@ -143,7 +144,7 @@ impl<const D: usize> QuadTree<D> {
             max_child_height = max_child_height.max(h);
             children.push(child);
         }
-        let id = self.arena.alloc(QNode { mbr, children, entries: Vec::new() });
+        let id = self.arena.alloc(QNode { mbr, children, entries: LeafStore::new() });
         (id, max_child_height + 1)
     }
 
@@ -189,6 +190,9 @@ impl<const D: usize> JoinIndex<D> for QuadTree<D> {
     }
     fn leaf_entries(&self, n: NodeId) -> &[LeafEntry<D>] {
         &self.arena.get(n).entries
+    }
+    fn leaf_points(&self, n: NodeId) -> &[Point<D>] {
+        self.arena.get(n).entries.points()
     }
     fn node_mbr(&self, n: NodeId) -> Mbr<D> {
         self.arena.get(n).mbr

@@ -6,6 +6,7 @@
 //! the bulk loaders.
 
 use crate::arena::{Arena, NodeId};
+use crate::store::LeafStore;
 use crate::traits::LeafEntry;
 use crate::RTreeConfig;
 use csj_geom::{Mbr, Metric, Point, RecordId};
@@ -24,8 +25,8 @@ pub struct RNode<const D: usize> {
     pub level: u32,
     /// Child nodes (internal nodes only).
     pub children: Vec<NodeId>,
-    /// Data records (leaves only).
-    pub entries: Vec<LeafEntry<D>>,
+    /// Data records (leaves only), with their contiguous point mirror.
+    pub entries: LeafStore<D>,
 }
 
 impl<const D: usize> RNode<D> {
@@ -36,14 +37,20 @@ impl<const D: usize> RNode<D> {
             parent: None,
             level: 0,
             children: Vec::new(),
-            entries: Vec::new(),
+            entries: LeafStore::new(),
         }
     }
 
     /// A fresh empty internal node at `level >= 1`.
     pub fn new_internal(level: u32) -> Self {
         debug_assert!(level >= 1);
-        RNode { mbr: Mbr::empty(), parent: None, level, children: Vec::new(), entries: Vec::new() }
+        RNode {
+            mbr: Mbr::empty(),
+            parent: None,
+            level,
+            children: Vec::new(),
+            entries: LeafStore::new(),
+        }
     }
 
     /// `true` if the node is a leaf.
@@ -292,6 +299,9 @@ macro_rules! impl_join_index_for_rect {
             }
             fn leaf_entries(&self, n: crate::arena::NodeId) -> &[crate::traits::LeafEntry<D>] {
                 &self.core.node(n).entries
+            }
+            fn leaf_points(&self, n: crate::arena::NodeId) -> &[csj_geom::Point<D>] {
+                self.core.node(n).entries.points()
             }
             fn node_mbr(&self, n: crate::arena::NodeId) -> csj_geom::Mbr<D> {
                 self.core.node(n).mbr

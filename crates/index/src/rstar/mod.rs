@@ -186,13 +186,15 @@ impl<const D: usize> RStarTree<D> {
         let is_leaf = self.core.node(node_id).is_leaf();
 
         if is_leaf {
-            let entries = &mut self.core.arena.get_mut(node_id).entries;
-            // Farthest entries at the tail.
-            entries.sort_by(|a, b| {
-                a.point.sq_euclidean(&center).total_cmp(&b.point.sq_euclidean(&center))
+            let store = &mut self.core.arena.get_mut(node_id).entries;
+            let keep = store.len() - p;
+            let evicted: Vec<LeafEntry<D>> = store.edit(|entries| {
+                // Farthest entries at the tail.
+                entries.sort_by(|a, b| {
+                    a.point.sq_euclidean(&center).total_cmp(&b.point.sq_euclidean(&center))
+                });
+                entries.split_off(keep)
             });
-            let keep = entries.len() - p;
-            let evicted: Vec<LeafEntry<D>> = entries.split_off(keep);
             self.core.adjust_upward(node_id);
             // Close reinsert: nearest evictee first.
             for e in evicted.into_iter() {
@@ -227,13 +229,13 @@ impl<const D: usize> RStarTree<D> {
         let min_fanout = self.core.config.min_fanout;
 
         let sibling = if is_leaf {
-            let entries = std::mem::take(&mut self.core.node_mut(node_id).entries);
+            let entries = self.core.node_mut(node_id).entries.take();
             let SplitResult { left, left_mbr, right, right_mbr } = split_rstar(entries, min_fanout);
             let node = self.core.node_mut(node_id);
-            node.entries = left;
+            node.entries = left.into();
             node.mbr = left_mbr;
             let mut sib = RNode::new_leaf();
-            sib.entries = right;
+            sib.entries = right.into();
             sib.mbr = right_mbr;
             self.core.arena.alloc(sib)
         } else {

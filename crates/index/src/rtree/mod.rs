@@ -119,16 +119,16 @@ impl<const D: usize> RTree<D> {
         let strategy = self.core.config.split;
 
         let sibling = if is_leaf {
-            let entries = std::mem::take(&mut self.core.node_mut(node_id).entries);
+            let entries = self.core.node_mut(node_id).entries.take();
             let SplitResult { left, left_mbr, right, right_mbr } = match strategy {
                 SplitStrategy::Linear => split::split_linear(entries, min_fanout),
                 SplitStrategy::Quadratic => split::split_quadratic(entries, min_fanout),
             };
             let node = self.core.node_mut(node_id);
-            node.entries = left;
+            node.entries = left.into();
             node.mbr = left_mbr;
             let mut sib = RNode::new_leaf();
-            sib.entries = right;
+            sib.entries = right.into();
             sib.mbr = right_mbr;
             self.core.arena.alloc(sib)
         } else {

@@ -1,0 +1,179 @@
+//! Leaf payload storage with a contiguous point mirror.
+//!
+//! The batched distance kernels in `csj-geom` want each leaf's coordinates
+//! as one contiguous `&[Point<D>]` slice, while the tree algorithms
+//! (insertion, splits, condensation, persistence) want `LeafEntry` records.
+//! [`LeafStore`] keeps both: a `Vec<LeafEntry<D>>` that remains the source
+//! of truth, plus a mirrored `Vec<Point<D>>` maintained through the narrow
+//! mutation API below. Reads go through `Deref<Target = [LeafEntry<D>]>`,
+//! so call sites that only look at entries are unchanged.
+
+use std::ops::Deref;
+
+use crate::traits::LeafEntry;
+use csj_geom::Point;
+
+/// Leaf entries stored as parallel arrays: entry records plus a contiguous
+/// coordinate mirror for batched distance kernels.
+///
+/// Invariant: `points[i] == entries[i].point` for every `i`.
+#[derive(Clone, Debug, Default)]
+pub struct LeafStore<const D: usize> {
+    entries: Vec<LeafEntry<D>>,
+    points: Vec<Point<D>>,
+}
+
+impl<const D: usize> LeafStore<D> {
+    /// An empty store.
+    pub fn new() -> Self {
+        LeafStore { entries: Vec::new(), points: Vec::new() }
+    }
+
+    /// The entry records (also available through `Deref`).
+    #[inline]
+    pub fn entries(&self) -> &[LeafEntry<D>] {
+        &self.entries
+    }
+
+    /// The coordinates of all entries as one contiguous slice, in entry
+    /// order — the batched-kernel view.
+    #[inline]
+    pub fn points(&self) -> &[Point<D>] {
+        &self.points
+    }
+
+    /// Appends an entry.
+    #[inline]
+    pub fn push(&mut self, e: LeafEntry<D>) {
+        self.points.push(e.point);
+        self.entries.push(e);
+    }
+
+    /// Removes and returns the entry at `i`, replacing it with the last
+    /// entry (like [`Vec::swap_remove`]).
+    pub fn swap_remove(&mut self, i: usize) -> LeafEntry<D> {
+        self.points.swap_remove(i);
+        self.entries.swap_remove(i)
+    }
+
+    /// Takes all entries out, leaving the store empty.
+    pub fn take(&mut self) -> Vec<LeafEntry<D>> {
+        self.points.clear();
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Runs an arbitrary mutation on the entry vector (sorting, draining,
+    /// …) and rebuilds the point mirror afterwards. The escape hatch for
+    /// call sites that need full `Vec` access.
+    pub fn edit<R>(&mut self, f: impl FnOnce(&mut Vec<LeafEntry<D>>) -> R) -> R {
+        let out = f(&mut self.entries);
+        self.points.clear();
+        self.points.extend(self.entries.iter().map(|e| e.point));
+        out
+    }
+}
+
+impl<const D: usize> From<Vec<LeafEntry<D>>> for LeafStore<D> {
+    fn from(entries: Vec<LeafEntry<D>>) -> Self {
+        let points = entries.iter().map(|e| e.point).collect();
+        LeafStore { entries, points }
+    }
+}
+
+impl<const D: usize> Deref for LeafStore<D> {
+    type Target = [LeafEntry<D>];
+    #[inline]
+    fn deref(&self) -> &[LeafEntry<D>] {
+        &self.entries
+    }
+}
+
+impl<'a, const D: usize> IntoIterator for &'a LeafStore<D> {
+    type Item = &'a LeafEntry<D>;
+    type IntoIter = std::slice::Iter<'a, LeafEntry<D>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+impl<const D: usize> IntoIterator for LeafStore<D> {
+    type Item = LeafEntry<D>;
+    type IntoIter = std::vec::IntoIter<LeafEntry<D>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csj_geom::RecordId;
+
+    fn entry(id: RecordId, x: f64) -> LeafEntry<2> {
+        LeafEntry::new(id, Point::new([x, -x]))
+    }
+
+    fn assert_mirror(s: &LeafStore<2>) {
+        assert_eq!(s.points().len(), s.entries().len());
+        for (e, p) in s.entries().iter().zip(s.points()) {
+            assert_eq!(&e.point, p, "mirror out of sync");
+        }
+    }
+
+    #[test]
+    fn push_and_read_views() {
+        let mut s = LeafStore::new();
+        s.push(entry(1, 0.5));
+        s.push(entry(2, 1.5));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].id, 1);
+        assert_eq!(s.points()[1], Point::new([1.5, -1.5]));
+        assert_mirror(&s);
+        // Deref gives slice iteration; &store gives IntoIterator.
+        assert_eq!(s.iter().count(), 2);
+        assert_eq!((&s).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn from_vec_and_take_roundtrip() {
+        let v = vec![entry(1, 0.0), entry(2, 1.0), entry(3, 2.0)];
+        let mut s = LeafStore::from(v.clone());
+        assert_mirror(&s);
+        let back = s.take();
+        assert_eq!(back, v);
+        assert!(s.is_empty());
+        assert!(s.points().is_empty());
+    }
+
+    #[test]
+    fn swap_remove_keeps_mirror() {
+        let mut s = LeafStore::from(vec![entry(1, 0.0), entry(2, 1.0), entry(3, 2.0)]);
+        let removed = s.swap_remove(0);
+        assert_eq!(removed.id, 1);
+        assert_eq!(s[0].id, 3, "last entry swapped into the hole");
+        assert_mirror(&s);
+        let removed = s.swap_remove(1);
+        assert_eq!(removed.id, 2);
+        assert_mirror(&s);
+    }
+
+    #[test]
+    fn edit_rebuilds_mirror() {
+        let mut s = LeafStore::from(vec![entry(3, 2.0), entry(1, 0.0), entry(2, 1.0)]);
+        let split = s.edit(|v| {
+            v.sort_by_key(|e| e.id);
+            v.split_off(2)
+        });
+        assert_eq!(split.len(), 1);
+        assert_eq!(split[0].id, 3);
+        assert_eq!(s.len(), 2);
+        assert_mirror(&s);
+    }
+
+    #[test]
+    fn owned_into_iter() {
+        let s = LeafStore::from(vec![entry(1, 0.0), entry(2, 1.0)]);
+        let ids: Vec<u32> = s.into_iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+}

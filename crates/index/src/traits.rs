@@ -49,6 +49,12 @@ pub trait JoinIndex<const D: usize> {
     /// Data records of a leaf (empty slice for internal nodes).
     fn leaf_entries(&self, n: NodeId) -> &[LeafEntry<D>];
 
+    /// Coordinates of a leaf's records as one contiguous slice, in the
+    /// same order as [`JoinIndex::leaf_entries`] (empty for internal
+    /// nodes). This is the batched-distance-kernel view of a leaf:
+    /// `leaf_points(n)[i] == leaf_entries(n)[i].point`.
+    fn leaf_points(&self, n: NodeId) -> &[Point<D>];
+
     /// A rectangle covering the node's bounding shape. For rectangle trees
     /// this is the node MBR itself; for the M-tree, the box circumscribing
     /// the covering ball. Used to seed group shapes.
