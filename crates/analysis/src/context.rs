@@ -1,0 +1,403 @@
+//! Per-file analysis context: everything the rules need beyond the raw
+//! token stream.
+//!
+//! * **Crate classification** — which workspace crate a file belongs to
+//!   and what kind of crate that is ([`CrateKind`]), plus whether the
+//!   file is shipped source or test/bench/example harness code
+//!   ([`FileRole`]). Rules scope themselves with these.
+//! * **Test regions** — a brace-tracking scan that marks every token
+//!   inside a `#[cfg(test)]`-gated item or `#[test]` function, so rules
+//!   can exempt test code without a parser.
+//! * **Annotations** — `// ORDERING: …` and `// FLOAT-EQ: …`
+//!   justification comments, resolved to the code line they cover.
+//! * **Suppressions** — `// csj-lint: allow(<rules>) — <reason>`
+//!   comments; the reason is mandatory and a missing one is itself a
+//!   diagnostic (see [`crate::rules`]).
+//!
+//! A comment that shares a line with code covers that line; a comment
+//! on a line of its own covers the next line that contains code.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{TokKind, Token};
+
+/// What kind of workspace member a file belongs to. Rules use this to
+/// scope themselves (e.g. panic-safety applies to `Library` and
+/// `Binary`, never to `Bench` or `Shim`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrateKind {
+    /// A library crate whose API discipline we enforce end to end
+    /// (`csj-geom`, `csj-index`, `csj-storage`, `csj-core`, `csj-data`,
+    /// `csj-analysis`, and the umbrella crate).
+    Library,
+    /// The CLI binary: panic-discipline applies, API doc rules do not.
+    Binary,
+    /// The bench harness: exempt from panic- and doc-discipline.
+    Bench,
+    /// Vendored offline stand-ins under `shims/`: scanned for atomics
+    /// and suppression hygiene only.
+    Shim,
+}
+
+/// Whether a file is shipped source or test/bench/example harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileRole {
+    /// Compiled into the crate proper (`src/**`, minus `src/bin`).
+    Src,
+    /// Integration tests, benches, examples, fixtures, binaries under
+    /// `src/bin/`, and `build.rs`.
+    Harness,
+}
+
+/// The justification-comment vocabulary rules can demand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Annotation {
+    /// `// ORDERING: <why this memory ordering is sufficient>`
+    Ordering,
+    /// `// FLOAT-EQ: <why bitwise float equality is deliberate>`
+    FloatEq,
+}
+
+/// A parsed `csj-lint: allow(...)` comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// Rule names inside `allow(...)`, verbatim.
+    pub rules: Vec<String>,
+    /// The code line this suppression covers.
+    pub covers_line: u32,
+    /// Line the comment itself sits on (for reporting).
+    pub at_line: u32,
+    /// Justification text after the rule list; empty means invalid.
+    pub reason: String,
+}
+
+/// Everything rules see for one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: &'a str,
+    pub kind: CrateKind,
+    pub role: FileRole,
+    /// Full token stream, comments included.
+    pub tokens: &'a [Token],
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Parallel to `tokens`: true when the token sits inside a
+    /// `#[cfg(test)]` / `#[test]` region.
+    pub in_test: Vec<bool>,
+    annotations: HashMap<u32, HashSet<Annotation>>,
+    /// Parsed suppressions (valid and invalid alike).
+    pub suppressions: Vec<Suppression>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the context for one file's token stream.
+    pub fn new(rel_path: &'a str, kind: CrateKind, role: FileRole, tokens: &'a [Token]) -> Self {
+        let code: Vec<usize> =
+            tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).map(|(i, _)| i).collect();
+        let in_test = mark_test_regions(tokens);
+        let code_lines: Vec<u32> = {
+            let mut lines: Vec<u32> = code.iter().map(|&i| tokens[i].line).collect();
+            lines.dedup();
+            lines
+        };
+        let mut annotations: HashMap<u32, HashSet<Annotation>> = HashMap::new();
+        let mut suppressions = Vec::new();
+        for t in tokens.iter().filter(|t| t.is_comment()) {
+            // Doc comments never carry annotations or suppressions —
+            // they *describe* the grammar (as this crate's own docs do)
+            // rather than use it.
+            if ["///", "//!", "/**", "/*!"].iter().any(|p| t.text.starts_with(p)) {
+                continue;
+            }
+            let covers = effective_line(&code_lines, t.line);
+            for (marker, ann) in
+                [("ORDERING:", Annotation::Ordering), ("FLOAT-EQ:", Annotation::FloatEq)]
+            {
+                if let Some(rest) = find_after(&t.text, marker) {
+                    // An empty justification does not count.
+                    if !rest.trim().is_empty() {
+                        annotations.entry(covers).or_default().insert(ann);
+                    }
+                }
+            }
+            if let Some(rest) = find_after(&t.text, "csj-lint:") {
+                if let Some(s) = parse_allow(rest, t.line, covers) {
+                    suppressions.push(s);
+                }
+            }
+        }
+        FileCtx { rel_path, kind, role, tokens, code, in_test, annotations, suppressions }
+    }
+
+    /// The code token at code-index `ci` (indices from [`FileCtx::code`]).
+    pub fn code_tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Text of the code token at code-index `ci`, or `""` out of range
+    /// (lets rules look ahead/behind without bounds ceremony).
+    pub fn code_text(&self, ci: isize) -> &str {
+        if ci < 0 {
+            return "";
+        }
+        match self.code.get(ci as usize) {
+            Some(&i) => &self.tokens[i].text,
+            None => "",
+        }
+    }
+
+    /// Kind of the code token at code-index `ci`; `Punct` out of range.
+    pub fn code_kind(&self, ci: isize) -> TokKind {
+        if ci < 0 {
+            return TokKind::Punct;
+        }
+        match self.code.get(ci as usize) {
+            Some(&i) => self.tokens[i].kind,
+            None => TokKind::Punct,
+        }
+    }
+
+    /// True when the code token at code-index `ci` is in a test region.
+    pub fn code_in_test(&self, ci: usize) -> bool {
+        self.in_test[self.code[ci]]
+    }
+
+    /// True when line `line` carries the given justification annotation.
+    pub fn annotated(&self, line: u32, ann: Annotation) -> bool {
+        self.annotations.get(&line).is_some_and(|set| set.contains(&ann))
+    }
+}
+
+/// Substring search that returns the text after the needle.
+fn find_after<'t>(haystack: &'t str, needle: &str) -> Option<&'t str> {
+    haystack.find(needle).map(|i| &haystack[i + needle.len()..])
+}
+
+/// Parses `allow(rule, rule) — reason` (the `csj-lint:` prefix already
+/// stripped). Returns `None` when this is not an allow form at all;
+/// a malformed allow comes back with an empty `rules` or `reason` so
+/// the suppression meta-rule can report it.
+fn parse_allow(rest: &str, at_line: u32, covers_line: u32) -> Option<Suppression> {
+    let rest = rest.trim_start();
+    let body = find_after(rest, "allow")?.trim_start();
+    let Some(inner) = body.strip_prefix('(') else {
+        return Some(Suppression {
+            rules: Vec::new(),
+            covers_line,
+            at_line,
+            reason: String::new(),
+        });
+    };
+    let Some(close) = inner.find(')') else {
+        return Some(Suppression {
+            rules: Vec::new(),
+            covers_line,
+            at_line,
+            reason: String::new(),
+        });
+    };
+    let rules: Vec<String> =
+        inner[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    // Reason: whatever follows the close paren, minus separator dashes.
+    let reason =
+        inner[close + 1..].trim_start().trim_start_matches(['—', '–', '-', ':']).trim().to_string();
+    Some(Suppression { rules, covers_line, at_line, reason })
+}
+
+/// The code line a comment on `line` covers: its own line when that
+/// line has code, else the next line that does.
+fn effective_line(code_lines: &[u32], line: u32) -> u32 {
+    match code_lines.binary_search(&line) {
+        Ok(_) => line,
+        Err(pos) => code_lines.get(pos).copied().unwrap_or(line),
+    }
+}
+
+/// Marks tokens inside `#[cfg(test)]` / `#[test]` regions.
+///
+/// Brace-tracking state machine: a test-gating attribute arms a pending
+/// marker; the next `{` opened at the same brace depth starts a region
+/// that ends when the depth returns. A `;` at the same depth (e.g.
+/// `#[cfg(test)] use …;`) disarms it. An inner `#![cfg(test)]` gates
+/// the whole file.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut depth = 0usize;
+    let mut pending: Option<usize> = None; // armed at this depth
+    let mut regions: Vec<usize> = Vec::new(); // open region start depths
+    let mut whole_file = false;
+
+    let code: Vec<usize> =
+        tokens.iter().enumerate().filter(|(_, t)| !t.is_comment()).map(|(i, _)| i).collect();
+    let mut k = 0usize;
+    while k < code.len() {
+        let i = code[k];
+        let text = tokens[i].text.as_str();
+        match text {
+            "{" => {
+                if pending == Some(depth) {
+                    regions.push(depth);
+                    pending = None;
+                }
+                depth += 1;
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if regions.last() == Some(&depth) {
+                    regions.pop();
+                }
+            }
+            ";" if pending == Some(depth) => {
+                pending = None;
+            }
+            "#" => {
+                let inner = tokens
+                    .get(code.get(k + 1).copied().unwrap_or(usize::MAX))
+                    .map(|t| t.text.as_str())
+                    == Some("!");
+                let open = k + 1 + usize::from(inner);
+                if matches!(code.get(open).map(|&j| tokens[j].text.as_str()), Some("[")) {
+                    // Scan the attribute group for its shape.
+                    let mut bdepth = 0usize;
+                    let mut attr: Vec<&str> = Vec::new();
+                    let mut j = open;
+                    while j < code.len() {
+                        let t = &tokens[code[j]];
+                        match t.text.as_str() {
+                            "[" => bdepth += 1,
+                            "]" => {
+                                bdepth = bdepth.saturating_sub(1);
+                                if bdepth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => attr.push(t.text.as_str()),
+                        }
+                        j += 1;
+                    }
+                    // `#[test]` gates; `#[cfg(… test …)]` gates unless the
+                    // only `test` is under a `not(…)` (as in
+                    // `#[cfg(not(test))]`). `cfg_attr` never gates — it
+                    // conditions an attribute, not the item's existence.
+                    let negated_test = attr.windows(3).any(|w| w == ["not", "(", "test"]);
+                    let plain_test = attr.contains(&"test") && !negated_test;
+                    let gates = match attr.first() {
+                        Some(&"test") => attr.len() == 1,
+                        Some(&"cfg") => plain_test,
+                        _ => false,
+                    };
+                    if gates {
+                        if inner {
+                            whole_file = true;
+                        } else {
+                            pending = Some(depth);
+                        }
+                    }
+                    // Mark attribute tokens with the current region state
+                    // and skip past the group.
+                    let in_region = whole_file || !regions.is_empty();
+                    for &idx in &code[k..=j.min(code.len().saturating_sub(1))] {
+                        flags[idx] = in_region;
+                    }
+                    k = j + 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        flags[i] = whole_file || !regions.is_empty();
+        k += 1;
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_flags(src: &str) -> (Vec<Token>, Vec<bool>) {
+        let toks = lex(src);
+        let flags = mark_test_regions(&toks);
+        (toks, flags)
+    }
+
+    fn ident_flag(toks: &[Token], flags: &[bool], name: &str) -> bool {
+        toks.iter()
+            .zip(flags)
+            .find(|(t, _)| t.text == name)
+            .map(|(_, f)| *f)
+            .unwrap_or_else(|| panic!("ident {name} not found"))
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n fn inner() { gated(); }\n}\nfn after() {}";
+        let (toks, flags) = ctx_flags(src);
+        assert!(!ident_flag(&toks, &flags, "live"));
+        assert!(ident_flag(&toks, &flags, "gated"));
+        assert!(!ident_flag(&toks, &flags, "after"));
+    }
+
+    #[test]
+    fn test_attribute_gates_one_fn() {
+        let src = "#[test]\nfn check() { probe(); }\nfn live() { open(); }";
+        let (toks, flags) = ctx_flags(src);
+        assert!(ident_flag(&toks, &flags, "probe"));
+        assert!(!ident_flag(&toks, &flags, "open"));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_does_not_gate_following_item() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn live() { open(); }";
+        let (toks, flags) = ctx_flags(src);
+        assert!(!ident_flag(&toks, &flags, "open"));
+    }
+
+    #[test]
+    fn non_test_cfg_does_not_gate() {
+        let src = "#[cfg(feature = \"x\")]\nfn live() { open(); }";
+        let (toks, flags) = ctx_flags(src);
+        assert!(!ident_flag(&toks, &flags, "open"));
+    }
+
+    #[test]
+    fn annotations_cover_same_and_next_code_line() {
+        let src = "// ORDERING: advisory counter\nlet a = x.load(o);\nlet b = y.load(o); // FLOAT-EQ: exact\n";
+        let toks = lex(src);
+        let ctx = FileCtx::new("f.rs", CrateKind::Library, FileRole::Src, &toks);
+        assert!(ctx.annotated(2, Annotation::Ordering));
+        assert!(ctx.annotated(3, Annotation::FloatEq));
+        assert!(!ctx.annotated(3, Annotation::Ordering));
+    }
+
+    #[test]
+    fn empty_justification_does_not_count() {
+        let src = "// ORDERING:\nlet a = x.load(o);\n";
+        let toks = lex(src);
+        let ctx = FileCtx::new("f.rs", CrateKind::Library, FileRole::Src, &toks);
+        assert!(!ctx.annotated(2, Annotation::Ordering));
+    }
+
+    #[test]
+    fn suppression_parsing_with_reason() {
+        let src = "// csj-lint: allow(panic-safety, atomics-discipline) — poisoning is fatal\nx.lock();\n";
+        let toks = lex(src);
+        let ctx = FileCtx::new("f.rs", CrateKind::Library, FileRole::Src, &toks);
+        assert_eq!(ctx.suppressions.len(), 1);
+        let s = &ctx.suppressions[0];
+        assert_eq!(s.rules, ["panic-safety", "atomics-discipline"]);
+        assert_eq!(s.covers_line, 2);
+        assert_eq!(s.reason, "poisoning is fatal");
+    }
+
+    #[test]
+    fn suppression_without_reason_is_flagged_as_empty() {
+        let src = "// csj-lint: allow(panic-safety)\nx.unwrap();\n";
+        let toks = lex(src);
+        let ctx = FileCtx::new("f.rs", CrateKind::Library, FileRole::Src, &toks);
+        assert_eq!(ctx.suppressions.len(), 1);
+        assert!(ctx.suppressions[0].reason.is_empty());
+    }
+}

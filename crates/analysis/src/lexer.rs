@@ -1,0 +1,428 @@
+//! A hand-rolled Rust lexer: just enough of the language to support
+//! line-accurate static analysis with zero external dependencies.
+//!
+//! The lexer understands the token classes that matter for discipline
+//! rules — identifiers, numeric literals (with int/float
+//! classification), string/char/lifetime literals in all their raw and
+//! byte-prefixed forms, nested block comments, and multi-character
+//! operators — and attaches a 1-based line/column span to every token.
+//! It does **not** build a syntax tree; rules pattern-match over the
+//! token stream (see [`crate::rules`]).
+//!
+//! Robustness stance: the lexer must never panic on arbitrary input
+//! (it runs over every file in the workspace, including work in
+//! progress). Unterminated strings/comments simply extend to the end
+//! of the file.
+
+/// Token classification. Comments are real tokens here — annotation
+/// and suppression parsing needs them — and rules filter them out when
+/// matching code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// `'a` in `&'a str` (disambiguated from char literals).
+    Lifetime,
+    /// Integer literal, including hex/octal/binary forms.
+    Int,
+    /// Float literal: has a fractional part, an exponent, or an
+    /// `f32`/`f64` suffix.
+    Float,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` (doc comments `///` and `//!` included).
+    LineComment,
+    /// `/* … */`, nesting-aware (doc form `/** … */` included).
+    BlockComment,
+    /// Operator or delimiter; multi-char operators like `::`, `==`,
+    /// `->` come out as a single token.
+    Punct,
+}
+
+/// One lexed token with its text and 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// True for the two comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the list in order.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "::", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Lexes `src` into a token vector. Never panics; malformed input
+/// degrades to best-effort tokens rather than errors.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    while let Some(tok) = lx.next_token() {
+        out.push(tok);
+    }
+    out
+}
+
+impl<'a> Lexer<'a> {
+    fn at(&self, offset: usize) -> u8 {
+        *self.src.get(self.pos + offset).unwrap_or(&0)
+    }
+
+    /// Advances one byte, maintaining the line/col counters. Column is
+    /// a byte column; multi-byte UTF-8 only occurs inside comments and
+    /// strings where rules never need sub-token precision.
+    fn bump(&mut self) {
+        if self.at(0) == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn text_from(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        while self.pos < self.src.len() && self.at(0).is_ascii_whitespace() {
+            self.bump();
+        }
+        if self.pos >= self.src.len() {
+            return None;
+        }
+        let (line, col, start) = (self.line, self.col, self.pos);
+        let c = self.at(0);
+
+        let kind = if c == b'/' && self.at(1) == b'/' {
+            self.lex_line_comment()
+        } else if c == b'/' && self.at(1) == b'*' {
+            self.lex_block_comment()
+        } else if self.lex_string_prefix() {
+            TokKind::Str
+        } else if (c == b'b' && self.at(1) == b'\'') || c == b'\'' {
+            self.lex_quote()
+        } else if c == b'_' || c.is_ascii_alphabetic() {
+            self.lex_ident()
+        } else if c.is_ascii_digit() {
+            self.lex_number()
+        } else {
+            self.lex_punct()
+        };
+        Some(Token { kind, text: self.text_from(start), line, col })
+    }
+
+    fn lex_line_comment(&mut self) -> TokKind {
+        while self.pos < self.src.len() && self.at(0) != b'\n' {
+            self.bump();
+        }
+        TokKind::LineComment
+    }
+
+    fn lex_block_comment(&mut self) -> TokKind {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.at(0) == b'/' && self.at(1) == b'*' {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.at(0) == b'*' && self.at(1) == b'/' {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// Tries the string-literal prefixes (`"`, `r"`, `r#"`, `b"`,
+    /// `br"`, `c"`, …). Returns false without consuming anything when
+    /// the cursor is not at a string, so `r`/`b`/`c` identifiers and
+    /// raw identifiers (`r#match`) fall through to ident lexing.
+    fn lex_string_prefix(&mut self) -> bool {
+        let c = self.at(0);
+        if c == b'"' {
+            self.bump();
+            self.lex_escaped_until(b'"');
+            return true;
+        }
+        if !(c == b'r' || c == b'b' || c == b'c') {
+            return false;
+        }
+        // One or two prefix letters (`br`, `cr`), then the quote shape.
+        let mut p = 1usize;
+        if (c == b'b' || c == b'c') && self.at(1) == b'r' {
+            p = 2;
+        }
+        let raw = self.at(p - 1) == b'r' && (c == b'r' || p == 2);
+        if raw {
+            let mut hashes = 0usize;
+            while self.at(p + hashes) == b'#' {
+                hashes += 1;
+            }
+            if self.at(p + hashes) != b'"' {
+                return false; // raw identifier like `r#fn`, or plain ident
+            }
+            self.bump_n(p + hashes + 1);
+            self.lex_raw_until(hashes);
+            return true;
+        }
+        if self.at(p) == b'"' {
+            self.bump_n(p + 1);
+            self.lex_escaped_until(b'"');
+            return true;
+        }
+        false
+    }
+
+    fn lex_escaped_until(&mut self, close: u8) {
+        while self.pos < self.src.len() {
+            let c = self.at(0);
+            if c == b'\\' {
+                self.bump_n(2);
+            } else if c == close {
+                self.bump();
+                return;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes until `"` followed by `hashes` `#` characters.
+    fn lex_raw_until(&mut self, hashes: usize) {
+        while self.pos < self.src.len() {
+            if self.at(0) == b'"' && (1..=hashes).all(|k| self.at(k) == b'#') {
+                self.bump_n(1 + hashes);
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// At a `'` (or `b'`): lifetime or char literal. A lifetime is `'`
+    /// followed by an identifier NOT closed by another `'` (so `'a'` is
+    /// a char but `'a,` is a lifetime).
+    fn lex_quote(&mut self) -> TokKind {
+        if self.at(0) == b'b' {
+            self.bump(); // byte literal prefix; always a char-like
+            self.bump(); // opening '
+            self.lex_escaped_until(b'\'');
+            return TokKind::Char;
+        }
+        let c1 = self.at(1);
+        if (c1 == b'_' || c1.is_ascii_alphabetic()) && self.at(2) != b'\'' {
+            self.bump(); // '
+            while self.at(0) == b'_' || self.at(0).is_ascii_alphanumeric() {
+                self.bump();
+            }
+            return TokKind::Lifetime;
+        }
+        self.bump();
+        self.lex_escaped_until(b'\'');
+        TokKind::Char
+    }
+
+    fn lex_ident(&mut self) -> TokKind {
+        while self.at(0) == b'_' || self.at(0).is_ascii_alphanumeric() {
+            self.bump();
+        }
+        TokKind::Ident
+    }
+
+    fn lex_number(&mut self) -> TokKind {
+        // Radix-prefixed forms are always integers.
+        if self.at(0) == b'0' && matches!(self.at(1), b'x' | b'o' | b'b') {
+            self.bump_n(2);
+            while self.at(0).is_ascii_alphanumeric() || self.at(0) == b'_' {
+                self.bump();
+            }
+            return TokKind::Int;
+        }
+        let mut float = false;
+        while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+            self.bump();
+        }
+        // A decimal point only if followed by a digit or by a non-ident,
+        // non-dot char: `1.0` and `1.` are floats, `1..2` is a range and
+        // `1.max(2)` is a method call on an integer.
+        if self.at(0) == b'.' {
+            let next = self.at(1);
+            if next.is_ascii_digit() {
+                float = true;
+                self.bump();
+                while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+                    self.bump();
+                }
+            } else if next != b'.' && next != b'_' && !next.is_ascii_alphabetic() {
+                float = true;
+                self.bump();
+            }
+        }
+        if matches!(self.at(0), b'e' | b'E')
+            && (self.at(1).is_ascii_digit()
+                || (matches!(self.at(1), b'+' | b'-') && self.at(2).is_ascii_digit()))
+        {
+            float = true;
+            self.bump_n(2);
+            while self.at(0).is_ascii_digit() || self.at(0) == b'_' {
+                self.bump();
+            }
+        }
+        // Type suffix (`u32`, `f64`, …) decides floatness when present.
+        let suffix_start = self.pos;
+        while self.at(0) == b'_' || self.at(0).is_ascii_alphanumeric() {
+            self.bump();
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix == b"f32" || suffix == b"f64" {
+            float = true;
+        }
+        if float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        }
+    }
+
+    fn lex_punct(&mut self) -> TokKind {
+        for op in MULTI_PUNCT {
+            if self.src[self.pos..].starts_with(op.as_bytes()) {
+                self.bump_n(op.len());
+                return TokKind::Punct;
+            }
+        }
+        self.bump();
+        TokKind::Punct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("a.unwrap()");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["a", ".", "unwrap", "(", ")"]);
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let texts: Vec<String> =
+            kinds("a == b != c -> d :: e ..= f").into_iter().map(|(_, t)| t).collect();
+        assert!(texts.contains(&"==".to_string()));
+        assert!(texts.contains(&"!=".to_string()));
+        assert!(texts.contains(&"->".to_string()));
+        assert!(texts.contains(&"::".to_string()));
+        assert!(texts.contains(&"..=".to_string()));
+    }
+
+    #[test]
+    fn float_vs_int_classification() {
+        for (src, kind) in [
+            ("1.0", TokKind::Float),
+            ("1.", TokKind::Float),
+            ("1e-9", TokKind::Float),
+            ("2.5e10", TokKind::Float),
+            ("1f64", TokKind::Float),
+            ("3f32", TokKind::Float),
+            ("42", TokKind::Int),
+            ("0xff", TokKind::Int),
+            ("1_000", TokKind::Int),
+            ("7u32", TokKind::Int),
+        ] {
+            assert_eq!(kinds(src)[0].0, kind, "{src}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_method_calls_are_not_floats() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0], (TokKind::Int, "0".into()));
+        assert_eq!(toks[1], (TokKind::Punct, "..".into()));
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Int, "1".into()));
+        assert_eq!(toks[1].1, ".");
+    }
+
+    #[test]
+    fn strings_with_escapes_and_raw_forms() {
+        assert_eq!(kinds(r#""a \" b""#)[0].0, TokKind::Str);
+        assert_eq!(kinds(r###"r#"raw " inner"#"###)[0].0, TokKind::Str);
+        assert_eq!(kinds(r#"b"bytes""#)[0].0, TokKind::Str);
+        // A string containing `unwrap()` must not produce an ident.
+        let toks = kinds(r#"let s = "x.unwrap()";"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(kinds("&'a str")[1].0, TokKind::Lifetime);
+        assert_eq!(kinds("'x'")[0].0, TokKind::Char);
+        assert_eq!(kinds(r"'\n'")[0].0, TokKind::Char);
+        assert_eq!(kinds("b'z'")[0].0, TokKind::Char);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        // `r#` without a quote is a raw identifier, not a raw string;
+        // it lexes as `r`, `#`, `match` — crude but string-free.
+        let toks = kinds("r#match");
+        assert_eq!(toks[0], (TokKind::Ident, "r".into()));
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn never_panics_on_unterminated_input() {
+        for src in ["\"unterminated", "/* open", "r#\"open", "'", "b'"] {
+            let _ = lex(src);
+        }
+    }
+}

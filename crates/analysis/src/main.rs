@@ -1,0 +1,137 @@
+//! `csj-lint` — the workspace static-analysis pass.
+//!
+//! ```text
+//! csj-lint [--root <dir>] [--format text|json]
+//! csj-lint --explain <rule>
+//! csj-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+
+// The report IS the product of this binary; printing it is the point.
+#![allow(clippy::print_stdout)]
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use csj_analysis::report::{render_json, render_text};
+use csj_analysis::{all_rules, analyze_workspace, find_workspace_root, rule_by_name};
+
+enum Format {
+    Text,
+    Json,
+}
+
+struct Opts {
+    root: Option<PathBuf>,
+    format: Format,
+    explain: Option<String>,
+    list_rules: bool,
+}
+
+const USAGE: &str = "\
+csj-lint — static analysis for the compact-similarity-joins workspace
+
+USAGE:
+    csj-lint [--root <dir>] [--format text|json]
+    csj-lint --explain <rule>
+    csj-lint --list-rules
+
+The workspace root is auto-detected from the current directory when
+--root is omitted. Exit codes: 0 clean, 1 unsuppressed findings,
+2 usage/I-O error.";
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts { root: None, format: Format::Text, explain: None, list_rules: false };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a value")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--explain" => {
+                let v = it.next().ok_or("--explain needs a rule name")?;
+                opts.explain = Some(v.clone());
+            }
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Writes to stdout, ignoring broken pipes (`csj-lint | head` must not
+/// panic); any other write failure is ignored too — there is nothing
+/// useful to do about a dead stdout, and the exit code still reports
+/// the findings.
+fn emit(s: &str) {
+    let _ = std::io::stdout().write_all(s.as_bytes());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                emit(&format!("{USAGE}\n"));
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("csj-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in all_rules() {
+            emit(&format!("{:<20} {}\n", rule.name, rule.summary));
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(name) = &opts.explain {
+        return match rule_by_name(name) {
+            Some(rule) => {
+                emit(&format!("{}\n", rule.explain));
+                ExitCode::SUCCESS
+            }
+            None => {
+                let known: Vec<&str> = all_rules().iter().map(|r| r.name).collect();
+                eprintln!("csj-lint: unknown rule `{name}` (known: {})", known.join(", "));
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let start = opts.root.clone().unwrap_or_else(|| PathBuf::from("."));
+    let root = match find_workspace_root(&start) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("csj-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("csj-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match opts.format {
+        Format::Text => emit(&render_text(&report)),
+        Format::Json => emit(&render_json(&report)),
+    }
+    if report.unsuppressed() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,130 @@
+//! Diagnostic aggregation and rendering: human-readable text and
+//! machine-readable JSON (hand-rolled — the build environment is
+//! offline, so no serde).
+
+use std::collections::BTreeMap;
+
+use crate::rules::{all_rules, META_RULE};
+use crate::workspace::WorkspaceReport;
+
+/// Per-rule counts over a workspace report, in registry order with the
+/// meta-rule last. Rules with zero findings are included so the JSON
+/// shape is stable.
+pub fn rule_counts(report: &WorkspaceReport) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for rule in all_rules() {
+        counts.insert(rule.name, 0);
+    }
+    counts.insert(META_RULE, 0);
+    for file in &report.files {
+        for d in &file.report.diagnostics {
+            *counts.entry(d.rule).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Text rendering: one `file:line:col: [rule] message` per finding,
+/// then a summary block.
+pub fn render_text(report: &WorkspaceReport) -> String {
+    let mut out = String::new();
+    for file in &report.files {
+        for d in &file.report.diagnostics {
+            out.push_str(&format!("{}:{}:{}: [{}] {}\n", d.file, d.line, d.col, d.rule, d.message));
+        }
+    }
+    let unsuppressed = report.unsuppressed();
+    out.push_str(&format!(
+        "csj-lint: {} unsuppressed finding(s) across {} file(s); {} suppressed inline\n",
+        unsuppressed,
+        report.files.len(),
+        report.suppressed(),
+    ));
+    if unsuppressed > 0 {
+        for (rule, n) in rule_counts(report) {
+            if n > 0 {
+                out.push_str(&format!("  {rule}: {n}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// JSON rendering. Schema:
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "files_scanned": 93,
+///   "unsuppressed": 0,
+///   "suppressed": 41,
+///   "counts": {"panic-safety": 0, …},
+///   "diagnostics": [
+///     {"rule": "…", "file": "…", "line": 7, "col": 9, "message": "…"}
+///   ]
+/// }
+/// ```
+pub fn render_json(report: &WorkspaceReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files.len()));
+    out.push_str(&format!("  \"unsuppressed\": {},\n", report.unsuppressed()));
+    out.push_str(&format!("  \"suppressed\": {},\n", report.suppressed()));
+    out.push_str("  \"counts\": {");
+    let counts = rule_counts(report);
+    let body: Vec<String> = counts.iter().map(|(rule, n)| format!("\"{rule}\": {n}")).collect();
+    out.push_str(&body.join(", "));
+    out.push_str("},\n");
+    out.push_str("  \"diagnostics\": [");
+    let mut first = true;
+    for file in &report.files {
+        for d in &file.report.diagnostics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+                 \"message\": \"{}\"}}",
+                escape_json(d.rule),
+                escape_json(&d.file),
+                d.line,
+                d.col,
+                escape_json(&d.message)
+            ));
+        }
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,129 @@
+//! Rule `error-hygiene`: fallible public API must document its failure
+//! modes.
+
+use crate::context::{CrateKind, FileCtx, FileRole};
+use crate::lexer::TokKind;
+use crate::rules::{diag_at, Diagnostic};
+
+pub const EXPLAIN: &str = "\
+error-hygiene — fallible public API documents its failure modes.
+
+Every `pub fn` in a library crate whose return type mentions `Result`
+(including aliases such as `io::Result` or `PersistResult`) must carry
+a doc comment containing an `# Errors` section describing when and why
+it fails. This is the contract the typed error hierarchy (DESIGN.md,
+'Robustness') is built around: callers route on error variants, so the
+variants each function can produce are API surface, not trivia.
+
+Scope: library crates' shipped sources, outside test regions.
+Restricted visibility (`pub(crate)`, `pub(super)`) is exempt — those
+are internal seams, not API.
+
+    /// Persists the index to `path`.
+    ///
+    /// # Errors
+    /// `PersistError::Io` on any write failure; `PersistError::Checksum`
+    /// if post-write verification reads back a different digest.
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> { … }";
+
+/// Modifier tokens allowed between `pub` and `fn`.
+const FN_MODIFIERS: &[&str] = &["const", "unsafe", "async", "extern"];
+
+pub fn check(ctx: &FileCtx) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if ctx.kind != CrateKind::Library || ctx.role != FileRole::Src {
+        return out;
+    }
+    for ci in 0..ctx.code.len() {
+        if ctx.code_text(ci as isize) != "fn" || ctx.code_in_test(ci) {
+            continue;
+        }
+        let Some(pub_ci) = plain_pub_before(ctx, ci) else { continue };
+        if !returns_result(ctx, ci) {
+            continue;
+        }
+        if !docs_have_errors_section(ctx, pub_ci) {
+            let name = ctx.code_text(ci as isize + 1).to_string();
+            out.push(diag_at(
+                ctx,
+                "error-hygiene",
+                ci,
+                format!(
+                    "`pub fn {name}` returns a Result but its doc comment has no \
+                     `# Errors` section — document when and why it fails"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Walks back from the `fn` keyword over modifier tokens; returns the
+/// code index of a bare `pub` (not `pub(crate)` — a `)` right before
+/// `fn`'s modifiers means restricted visibility).
+fn plain_pub_before(ctx: &FileCtx, fn_ci: usize) -> Option<usize> {
+    let mut j = fn_ci as isize - 1;
+    while FN_MODIFIERS.contains(&ctx.code_text(j)) || ctx.code_kind(j) == TokKind::Str {
+        j -= 1; // `extern "C"` carries a string
+    }
+    (ctx.code_text(j) == "pub").then_some(j as usize)
+}
+
+/// Scans the signature from `fn` to the body `{` (or `;` for trait
+/// methods) looking for an ident containing `Result` after a `->`.
+fn returns_result(ctx: &FileCtx, fn_ci: usize) -> bool {
+    let mut seen_arrow = false;
+    // Bounded walk: signatures are short; 128 tokens covers every
+    // signature in this workspace with margin.
+    for j in (fn_ci as isize + 1)..(fn_ci as isize + 129) {
+        let text = ctx.code_text(j);
+        if text.is_empty() {
+            return false;
+        }
+        match text {
+            "{" | ";" => return false,
+            "->" => seen_arrow = true,
+            "where" if seen_arrow => {
+                // Return type fully scanned without a Result.
+                return false;
+            }
+            _ => {
+                if seen_arrow && ctx.code_kind(j) == TokKind::Ident && text.ends_with("Result") {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Walks the full token stream backwards from the `pub` token over
+/// attributes and doc comments; true if an attached doc comment
+/// contains `# Errors`.
+fn docs_have_errors_section(ctx: &FileCtx, pub_ci: usize) -> bool {
+    let mut i = ctx.code[pub_ci] as isize;
+    let mut bracket_depth = 0usize;
+    while i > 0 {
+        i -= 1;
+        let t = &ctx.tokens[i as usize];
+        if t.is_comment() {
+            let doc = t.text.starts_with("///") || t.text.starts_with("/**");
+            if doc && t.text.contains("# Errors") {
+                return true;
+            }
+            // Plain comments and other doc lines: keep walking up
+            // through the contiguous doc block.
+            continue;
+        }
+        match t.text.as_str() {
+            "]" => bracket_depth += 1,
+            "[" => bracket_depth = bracket_depth.saturating_sub(1),
+            "#" | "!" => {}
+            _ if bracket_depth > 0 => {}
+            // First non-attribute, non-comment code token above the
+            // item: the doc block (if any) has ended.
+            _ => return false,
+        }
+    }
+    false
+}

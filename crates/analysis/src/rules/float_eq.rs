@@ -1,0 +1,119 @@
+//! Rule `float-discipline`: bitwise float equality in the geometry and
+//! join-core crates must be deliberate.
+
+use crate::context::{Annotation, FileCtx, FileRole};
+use crate::lexer::TokKind;
+use crate::rules::{diag_at, Diagnostic};
+
+pub const EXPLAIN: &str = "\
+float-discipline — bitwise float equality must be deliberate.
+
+The paper's losslessness theorems and the batched distance kernel's
+bit-identical-to-scalar contract both hinge on epsilon-boundary
+behaviour: a record at distance exactly ε must be classified the same
+way by every code path (scalar kernel, batched kernel, window merge).
+Accidental `==` on floats is how those paths drift apart.
+
+Scope: `crates/geom` and `crates/core` shipped sources, outside test
+regions. The rule flags a `==` or `!=` when its operand tokens look
+float-typed:
+
+  * a float literal (`0.0`, `1e-9`, `0.5f64`) on either side,
+  * an `f32`/`f64` token (casts, consts like `f64::NAN`), or
+  * a subscript-vs-subscript compare (`a[0] == b[0]`) — in these two
+    crates, indexing a point yields a coordinate.
+
+This is a heuristic, not type inference: a compare of two bare float
+*variables* is not caught (documented false-negative; clippy's
+`float_cmp` covers that class once enabled). A flagged compare that is
+genuinely intended — exact coordinate dedup, IEEE-754 boundary tests —
+is annotated in place:
+
+    // FLOAT-EQ: exact duplicate collapse; any epsilon here would merge
+    // distinct hull vertices
+    pts.dedup_by(|a, b| a[0] == b[0] && a[1] == b[1]);";
+
+/// How far the operand scan walks on each side of the operator.
+const SCAN: usize = 12;
+
+pub fn check(ctx: &FileCtx) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let scoped =
+        ctx.rel_path.starts_with("crates/geom/") || ctx.rel_path.starts_with("crates/core/");
+    if !scoped || ctx.role != FileRole::Src {
+        return out;
+    }
+    for ci in 0..ctx.code.len() {
+        let i = ci as isize;
+        let op = ctx.code_text(i);
+        if (op != "==" && op != "!=") || ctx.code_in_test(ci) {
+            continue;
+        }
+        let floaty = operand_is_floaty(ctx, i, -1)
+            || operand_is_floaty(ctx, i, 1)
+            || subscript_compare(ctx, i);
+        if !floaty {
+            continue;
+        }
+        let line = ctx.code_tok(ci).line;
+        if !ctx.annotated(line, Annotation::FloatEq) {
+            out.push(diag_at(
+                ctx,
+                "float-discipline",
+                ci,
+                format!(
+                    "float `{op}` without a `// FLOAT-EQ:` annotation — epsilon-boundary \
+                     comparisons must state why exact equality is intended"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Walks up to [`SCAN`] code tokens away from the operator at `i` in
+/// `dir` (±1), skipping over balanced bracket groups, and reports
+/// whether a float literal or an `f32`/`f64` token shows up before an
+/// expression boundary (`;`, `,`, `{`, `}`, `&&`, `||`, or an
+/// unbalanced close/open in the scan direction).
+fn operand_is_floaty(ctx: &FileCtx, op: isize, dir: isize) -> bool {
+    let mut depth: i32 = 0;
+    let mut j = op + dir;
+    for _ in 0..SCAN {
+        let text = ctx.code_text(j);
+        if text.is_empty() {
+            return false;
+        }
+        match text {
+            ";" | "," | "{" | "}" | "&&" | "||" | "==" | "!=" if depth == 0 => return false,
+            "(" | "[" => {
+                depth += dir as i32;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            ")" | "]" => {
+                depth -= dir as i32;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            "f32" | "f64" => return true,
+            _ => {
+                if ctx.code_kind(j) == TokKind::Float {
+                    return true;
+                }
+            }
+        }
+        j += dir;
+    }
+    false
+}
+
+/// `a[0] == b[0]`-shaped: a subscript immediately left of the operator
+/// and another beginning immediately right of it.
+fn subscript_compare(ctx: &FileCtx, op: isize) -> bool {
+    ctx.code_text(op - 1) == "]"
+        && ctx.code_kind(op + 1) == TokKind::Ident
+        && ctx.code_text(op + 2) == "["
+}

@@ -1,0 +1,166 @@
+//! The rule registry and the suppression-aware rule runner.
+//!
+//! Each rule is a plain function from [`FileCtx`] to diagnostics plus
+//! static metadata (name, one-line summary, long `--explain` text).
+//! Rules are deliberately token-level pattern matchers: with no `syn`
+//! available offline, the contract is *high-signal heuristics with
+//! documented false-negative classes*, never false positives a
+//! developer cannot either fix or justify inline.
+//!
+//! Suppression: `// csj-lint: allow(<rule>[, <rule>…]) — <reason>` on
+//! the offending line or the comment line(s) directly above. The reason
+//! is mandatory; an allow without one (or naming an unknown rule) is
+//! reported under the reserved meta-rule name `suppression`, which
+//! itself cannot be suppressed.
+
+pub mod atomics;
+pub mod determinism;
+pub mod error_hygiene;
+pub mod float_eq;
+pub mod panic_safety;
+
+use crate::context::FileCtx;
+
+/// Reserved name for suppression-hygiene findings.
+pub const META_RULE: &str = "suppression";
+
+/// One finding, pinned to a file:line:col span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (one of [`all_rules`] or [`META_RULE`]).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// A rule: metadata plus its checker.
+pub struct Rule {
+    pub name: &'static str,
+    /// One-line summary shown in `--list-rules`.
+    pub summary: &'static str,
+    /// Long-form text shown by `--explain <rule>`.
+    pub explain: &'static str,
+    pub check: fn(&FileCtx) -> Vec<Diagnostic>,
+}
+
+/// Every shipped rule, in reporting order.
+pub fn all_rules() -> &'static [Rule] {
+    &[
+        Rule {
+            name: "panic-safety",
+            summary: "no unwrap/expect/panic!/todo!/unimplemented! outside test code",
+            explain: panic_safety::EXPLAIN,
+            check: panic_safety::check,
+        },
+        Rule {
+            name: "atomics-discipline",
+            summary: "non-SeqCst atomic orderings require an `// ORDERING:` justification",
+            explain: atomics::EXPLAIN,
+            check: atomics::check,
+        },
+        Rule {
+            name: "float-discipline",
+            summary: "float ==/!= in csj-geom/csj-core requires a `// FLOAT-EQ:` annotation",
+            explain: float_eq::EXPLAIN,
+            check: float_eq::check,
+        },
+        Rule {
+            name: "determinism",
+            summary: "no wall-clock or RNG in the deterministic merge/output modules",
+            explain: determinism::EXPLAIN,
+            check: determinism::check,
+        },
+        Rule {
+            name: "error-hygiene",
+            summary: "pub fns returning Result need a doc comment with an `# Errors` section",
+            explain: error_hygiene::EXPLAIN,
+            check: error_hygiene::check,
+        },
+    ]
+}
+
+/// Looks a rule up by name.
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    all_rules().iter().find(|r| r.name == name)
+}
+
+/// The per-file result of running every rule: surviving diagnostics
+/// plus how many findings inline suppressions absorbed.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub suppressed: usize,
+}
+
+/// Runs all rules over one file and applies suppressions.
+///
+/// Suppression-hygiene problems (missing reason, unknown rule name)
+/// surface as [`META_RULE`] diagnostics and are never suppressible.
+pub fn run_rules(ctx: &FileCtx) -> FileReport {
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for rule in all_rules() {
+        raw.extend((rule.check)(ctx));
+    }
+
+    let mut report = FileReport::default();
+    for s in &ctx.suppressions {
+        if s.rules.is_empty() {
+            report.diagnostics.push(Diagnostic {
+                rule: META_RULE,
+                file: ctx.rel_path.to_string(),
+                line: s.at_line,
+                col: 1,
+                message: "malformed `csj-lint: allow(...)` — expected \
+                          `allow(<rule>[, <rule>]) — <reason>`"
+                    .into(),
+            });
+            continue;
+        }
+        if s.reason.is_empty() {
+            report.diagnostics.push(Diagnostic {
+                rule: META_RULE,
+                file: ctx.rel_path.to_string(),
+                line: s.at_line,
+                col: 1,
+                message: format!(
+                    "suppression of `{}` has no justification — a reason after the \
+                     rule list is mandatory",
+                    s.rules.join(", ")
+                ),
+            });
+        }
+        for r in &s.rules {
+            if rule_by_name(r).is_none() {
+                report.diagnostics.push(Diagnostic {
+                    rule: META_RULE,
+                    file: ctx.rel_path.to_string(),
+                    line: s.at_line,
+                    col: 1,
+                    message: format!("suppression names unknown rule `{r}`"),
+                });
+            }
+        }
+    }
+
+    for d in raw {
+        let suppressed = ctx.suppressions.iter().any(|s| {
+            !s.reason.is_empty() && s.covers_line == d.line && s.rules.iter().any(|r| r == d.rule)
+        });
+        if suppressed {
+            report.suppressed += 1;
+        } else {
+            report.diagnostics.push(d);
+        }
+    }
+    report.diagnostics.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    report
+}
+
+/// Shared helper: a diagnostic at a code token.
+pub(crate) fn diag_at(ctx: &FileCtx, rule: &'static str, ci: usize, message: String) -> Diagnostic {
+    let t = ctx.code_tok(ci);
+    Diagnostic { rule, file: ctx.rel_path.to_string(), line: t.line, col: t.col, message }
+}

@@ -1,0 +1,76 @@
+//! Rule `panic-safety`: panicking constructs are forbidden in shipped
+//! library/binary code.
+
+use crate::context::{CrateKind, FileCtx, FileRole};
+use crate::rules::{diag_at, Diagnostic};
+
+pub const EXPLAIN: &str = "\
+panic-safety — panicking constructs are forbidden in shipped code.
+
+Flags `.unwrap()`, `.expect(…)`, `panic!`, `todo!` and `unimplemented!`
+in library and binary crates, outside `#[cfg(test)]` / `#[test]`
+regions and outside harness paths (tests/, benches/, examples/,
+src/bin/, build.rs). Bench and shim crates are exempt.
+
+A similarity-join engine that dies mid-run loses the lossless-prefix
+guarantee the resilience layer (DESIGN.md, 'Robustness') was built to
+provide: every abort path must flow through the typed error hierarchy
+so partial output stays well-formed. Return a `Result` (see
+`csj_core::error`) or, where the panic encodes a real invariant (lock
+poisoning after a peer panic, arena slot liveness), justify it:
+
+    // csj-lint: allow(panic-safety) — poisoning implies a worker
+    // already panicked; propagating is the only sound option
+    let guard = pool.lock().expect(\"pool lock poisoned\");
+
+`unreachable!` and `assert!` are deliberately NOT flagged: they
+document impossibility rather than laziness, and removing them would
+hide logic errors instead of handling them.";
+
+const BANG_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+pub fn check(ctx: &FileCtx) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !matches!(ctx.kind, CrateKind::Library | CrateKind::Binary) || ctx.role != FileRole::Src {
+        return out;
+    }
+    for ci in 0..ctx.code.len() {
+        if ctx.code_in_test(ci) {
+            continue;
+        }
+        let i = ci as isize;
+        let text = ctx.code_text(i);
+        let method_call = ctx.code_text(i - 1) == "." && ctx.code_text(i + 1) == "(";
+        if (text == "unwrap" || text == "expect") && method_call {
+            out.push(diag_at(
+                ctx,
+                "panic-safety",
+                ci,
+                format!(
+                    "`.{text}(…)` in non-test {} code — return a typed error or justify \
+                     with `// csj-lint: allow(panic-safety) — <reason>`",
+                    kind_word(ctx.kind)
+                ),
+            ));
+        } else if BANG_MACROS.contains(&text) && ctx.code_text(i + 1) == "!" {
+            out.push(diag_at(
+                ctx,
+                "panic-safety",
+                ci,
+                format!(
+                    "`{text}!` in non-test {} code — return a typed error or justify \
+                     with `// csj-lint: allow(panic-safety) — <reason>`",
+                    kind_word(ctx.kind)
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn kind_word(kind: CrateKind) -> &'static str {
+    match kind {
+        CrateKind::Binary => "binary",
+        _ => "library",
+    }
+}

@@ -1,0 +1,145 @@
+//! Workspace discovery and file classification.
+//!
+//! Walks every `.rs` file under the workspace root (skipping `target/`,
+//! VCS metadata, and the linter's own fixture corpus), classifies each
+//! by crate kind and file role, and runs the rule set over it. The walk
+//! is sorted so output order — and therefore CI logs and golden tests —
+//! is deterministic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::context::{CrateKind, FileCtx, FileRole};
+use crate::lexer::lex;
+use crate::rules::{run_rules, FileReport};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "results", "fixtures"];
+
+/// One analyzed file.
+#[derive(Debug)]
+pub struct AnalyzedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    pub report: FileReport,
+}
+
+/// Whole-workspace result.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    pub files: Vec<AnalyzedFile>,
+}
+
+impl WorkspaceReport {
+    /// Total unsuppressed findings.
+    pub fn unsuppressed(&self) -> usize {
+        self.files.iter().map(|f| f.report.diagnostics.len()).sum()
+    }
+
+    /// Total findings absorbed by inline suppressions.
+    pub fn suppressed(&self) -> usize {
+        self.files.iter().map(|f| f.report.suppressed).sum()
+    }
+}
+
+/// Finds the workspace root at or above `start`: the nearest directory
+/// whose `Cargo.toml` declares `[workspace]`.
+///
+/// # Errors
+/// Returns a message when no ancestor of `start` is a workspace root.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    Err(format!("no workspace root found at or above {}", start.display()))
+}
+
+/// Classifies a workspace-relative path into crate kind, or `None` for
+/// files the linter does not analyze.
+pub fn classify(rel: &str) -> Option<CrateKind> {
+    let first = rel.split('/').next().unwrap_or("");
+    match first {
+        "crates" => {
+            let name = rel.split('/').nth(1).unwrap_or("");
+            Some(match name {
+                "cli" => CrateKind::Binary,
+                "bench" => CrateKind::Bench,
+                _ => CrateKind::Library,
+            })
+        }
+        "shims" => Some(CrateKind::Shim),
+        // Umbrella crate sources and its integration tests/examples.
+        "src" | "tests" | "examples" => Some(CrateKind::Library),
+        _ => None,
+    }
+}
+
+/// Harness files: not shipped as library/binary source.
+pub fn role_of(rel: &str) -> FileRole {
+    let harness = rel
+        .split('/')
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples" | "bin" | "build.rs"));
+    if harness {
+        FileRole::Harness
+    } else {
+        FileRole::Src
+    }
+}
+
+/// Analyzes one source text under an explicit classification. This is
+/// the seam the fixture tests drive directly.
+pub fn analyze_source(rel_path: &str, source: &str, kind: CrateKind, role: FileRole) -> FileReport {
+    let tokens = lex(source);
+    let ctx = FileCtx::new(rel_path, kind, role, &tokens);
+    run_rules(&ctx)
+}
+
+/// Walks and analyzes the whole workspace rooted at `root`.
+///
+/// # Errors
+/// Returns a message when the walk or a file read fails (other than
+/// individual files racing deletion, which are skipped).
+pub fn analyze_workspace(root: &Path) -> Result<WorkspaceReport, String> {
+    let mut rs_files = Vec::new();
+    collect_rs_files(root, root, &mut rs_files)?;
+    rs_files.sort();
+
+    let mut report = WorkspaceReport::default();
+    for rel in rs_files {
+        let Some(kind) = classify(&rel) else { continue };
+        let role = role_of(&rel);
+        let source =
+            fs::read_to_string(root.join(&rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        let file_report = analyze_source(&rel, &source, kind, role);
+        report.files.push(AnalyzedFile { rel_path: rel, report: file_report });
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}

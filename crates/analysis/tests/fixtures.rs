@@ -1,0 +1,118 @@
+//! Golden tests: each rule fires on its bad fixture at the expected
+//! lines and stays silent on its good fixture.
+
+use csj_analysis::{analyze_source, CrateKind, FileRole, META_RULE};
+
+/// Runs a fixture as library source under the given workspace-relative
+/// path and returns `(unsuppressed (rule, line), suppressed count)`.
+fn run(rel_path: &str, source: &str) -> (Vec<(String, u32)>, usize) {
+    let report = analyze_source(rel_path, source, CrateKind::Library, FileRole::Src);
+    let fired = report.diagnostics.iter().map(|d| (d.rule.to_string(), d.line)).collect::<Vec<_>>();
+    (fired, report.suppressed)
+}
+
+fn lines_of(fired: &[(String, u32)], rule: &str) -> Vec<u32> {
+    fired.iter().filter(|(r, _)| r == rule).map(|&(_, l)| l).collect()
+}
+
+#[test]
+fn panic_safety_bad_fires_on_every_forbidden_form() {
+    let (fired, _) =
+        run("crates/core/src/fixture.rs", include_str!("fixtures/panic_safety_bad.rs"));
+    assert_eq!(lines_of(&fired, "panic-safety"), vec![4, 8, 12, 16, 20], "fired: {fired:?}");
+    assert_eq!(fired.len(), 5, "no other rule may fire: {fired:?}");
+}
+
+#[test]
+fn panic_safety_good_is_silent() {
+    let (fired, suppressed) =
+        run("crates/core/src/fixture.rs", include_str!("fixtures/panic_safety_good.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+    assert_eq!(suppressed, 1, "the justified lock-poisoning unwrap is suppressed");
+}
+
+#[test]
+fn panic_safety_ignores_harness_and_bench_code() {
+    let src = include_str!("fixtures/panic_safety_bad.rs");
+    for (kind, role) in [
+        (CrateKind::Library, FileRole::Harness),
+        (CrateKind::Bench, FileRole::Src),
+        (CrateKind::Shim, FileRole::Src),
+    ] {
+        let report = analyze_source("crates/x/src/f.rs", src, kind, role);
+        let panics = report.diagnostics.iter().filter(|d| d.rule == "panic-safety").count();
+        assert_eq!(panics, 0, "{kind:?}/{role:?} must be exempt");
+    }
+}
+
+#[test]
+fn atomics_bad_fires_per_bare_ordering() {
+    let (fired, _) = run("crates/core/src/fixture.rs", include_str!("fixtures/atomics_bad.rs"));
+    assert_eq!(lines_of(&fired, "atomics-discipline"), vec![6, 7, 8], "fired: {fired:?}");
+}
+
+#[test]
+fn atomics_good_is_silent() {
+    let (fired, _) = run("crates/core/src/fixture.rs", include_str!("fixtures/atomics_good.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn float_eq_bad_fires_in_geom_scope_only() {
+    let src = include_str!("fixtures/float_eq_bad.rs");
+    let (fired, _) = run("crates/geom/src/fixture.rs", src);
+    assert_eq!(lines_of(&fired, "float-discipline"), vec![4, 8, 12], "fired: {fired:?}");
+    // The same text outside the numeric-kernel crates is not in scope.
+    let (elsewhere, _) = run("crates/data/src/fixture.rs", src);
+    assert!(lines_of(&elsewhere, "float-discipline").is_empty(), "fired: {elsewhere:?}");
+}
+
+#[test]
+fn float_eq_good_is_silent() {
+    let (fired, _) = run("crates/geom/src/fixture.rs", include_str!("fixtures/float_eq_good.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn determinism_bad_fires_in_parallel_scope_only() {
+    let src = include_str!("fixtures/determinism_bad.rs");
+    let (fired, _) = run("crates/core/src/parallel/fixture.rs", src);
+    assert_eq!(lines_of(&fired, "determinism"), vec![4, 5, 10, 11], "fired: {fired:?}");
+    // Outside the replay-sensitive modules the same code is fine.
+    let (elsewhere, _) = run("crates/core/src/output.rs", src);
+    assert!(lines_of(&elsewhere, "determinism").is_empty(), "fired: {elsewhere:?}");
+}
+
+#[test]
+fn determinism_good_is_silent() {
+    let (fired, suppressed) =
+        run("crates/core/src/parallel/fixture.rs", include_str!("fixtures/determinism_good.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+    assert_eq!(suppressed, 1, "the justified deadline read is suppressed");
+}
+
+#[test]
+fn error_hygiene_bad_fires_with_and_without_docs() {
+    let (fired, _) =
+        run("crates/core/src/fixture.rs", include_str!("fixtures/error_hygiene_bad.rs"));
+    assert_eq!(lines_of(&fired, "error-hygiene"), vec![4, 8], "fired: {fired:?}");
+}
+
+#[test]
+fn error_hygiene_good_is_silent() {
+    let (fired, _) =
+        run("crates/core/src/fixture.rs", include_str!("fixtures/error_hygiene_good.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn suppression_mechanics() {
+    let (fired, suppressed) =
+        run("crates/core/src/fixture.rs", include_str!("fixtures/suppression_mechanics.rs"));
+    // A reasonless allow and an unknown-rule allow are themselves findings,
+    // and the original diagnostics they failed to suppress survive.
+    assert_eq!(lines_of(&fired, META_RULE), vec![9, 14], "fired: {fired:?}");
+    assert_eq!(lines_of(&fired, "panic-safety"), vec![10, 15, 21], "fired: {fired:?}");
+    // The reasoned allow and the multi-rule allow suppress one unwrap each.
+    assert_eq!(suppressed, 2);
+}

@@ -1,0 +1,9 @@
+//! Fixture: non-SeqCst atomics without ORDERING justifications.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn unjustified(flag: &AtomicBool, n: &AtomicU64) -> u64 {
+    flag.store(true, Ordering::Relaxed); // line 6: bare Relaxed
+    n.fetch_add(1, Ordering::Release); // line 7: bare Release
+    n.load(Ordering::Acquire) // line 8: bare Acquire
+}

@@ -1,0 +1,25 @@
+//! Fixture: atomics the rule must NOT flag.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// SeqCst is the conservative default; the rule audits departures from it.
+pub fn seqcst(n: &AtomicU64) -> u64 {
+    n.load(Ordering::SeqCst)
+}
+
+/// A justified relaxed access, annotated on its own line.
+pub fn advisory(flag: &AtomicBool) -> bool {
+    // ORDERING: advisory early-exit flag; a stale read only delays the
+    // stop by one polling interval, and no data is published through it.
+    flag.load(Ordering::Relaxed)
+}
+
+/// A justification trailing on the same line also counts.
+pub fn counter(n: &AtomicU64) {
+    n.fetch_add(1, Ordering::Relaxed); // ORDERING: monotone stat counter
+}
+
+/// `cmp::Ordering` variants are not atomics.
+pub fn compare(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b)
+}

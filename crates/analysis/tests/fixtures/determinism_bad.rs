@@ -1,0 +1,12 @@
+//! Fixture: nondeterminism sources (linted under crates/core/src/parallel/).
+
+pub fn timed() -> u64 {
+    let t0 = std::time::Instant::now(); // line 4: wall clock
+    let _wall = std::time::SystemTime::now(); // line 5: system time
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn seeded() -> u64 {
+    let mut _rng = rand::thread_rng(); // line 10: ambient RNG
+    rand::random() // line 11: ambient RNG
+}

@@ -1,0 +1,24 @@
+//! Fixture: determinism-adjacent code the rule must NOT flag.
+
+/// A deterministic splitmix-style hash: mentions no forbidden source.
+pub fn mix(seed: u64, i: u64) -> u64 {
+    let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+    x ^= x >> 29;
+    x.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+/// A justified wall-clock read carries a reasoned suppression.
+pub fn deadline_check() -> std::time::Duration {
+    // csj-lint: allow(determinism) — wall clock feeds deadline accounting
+    // only; it never influences which pairs the join emits.
+    std::time::Instant::now().elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_things() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 1);
+    }
+}

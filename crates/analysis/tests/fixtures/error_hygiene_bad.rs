@@ -1,0 +1,10 @@
+//! Fixture: fallible public API without `# Errors` documentation.
+
+/// Parses a config string.
+pub fn parse(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "bad".to_string())
+}
+
+pub fn undocumented(path: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}

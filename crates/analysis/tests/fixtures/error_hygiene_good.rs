@@ -1,0 +1,34 @@
+//! Fixture: error-hygiene-clean public API.
+
+/// Parses a config string.
+///
+/// # Errors
+///
+/// Returns a message when `s` is not a decimal integer.
+pub fn parse(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "bad".to_string())
+}
+
+/// Infallible functions need no section.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+/// Crate-private fallible functions are not public API.
+pub(crate) fn internal(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "bad".to_string())
+}
+
+fn private(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "bad".to_string())
+}
+
+/// Result-free return types that merely *mention* Result in a generic
+/// parameter are still flagged conservatively, so this one documents.
+///
+/// # Errors
+///
+/// Returns the callback's error unchanged.
+pub fn run<E>(f: impl FnOnce() -> Result<(), E>) -> Result<(), E> {
+    f()
+}

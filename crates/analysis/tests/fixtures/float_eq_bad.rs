@@ -1,0 +1,13 @@
+//! Fixture: unannotated float comparisons (linted under a geom/core path).
+
+pub fn literal_eq(x: f64) -> bool {
+    x == 0.0 // line 4: float literal operand
+}
+
+pub fn typed_ne(a: f32, b: f32) -> bool {
+    (a as f64) != (b as f64) // line 8: f64 in operand window
+}
+
+pub fn subscript_pair(a: &[f64], b: &[f64]) -> bool {
+    a[0] == b[0] // line 12: subscript-vs-subscript compare
+}

@@ -1,0 +1,18 @@
+//! Fixture: float-comparison code the rule must NOT flag.
+
+/// Integer equality is fine.
+pub fn int_eq(x: u64) -> bool {
+    x == 0
+}
+
+/// Epsilon comparison — the recommended pattern — has no `==` on floats.
+pub fn near(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+/// An annotated exact comparison is allowed.
+pub fn dedup_key(a: &[f64; 2], b: &[f64; 2]) -> bool {
+    // FLOAT-EQ: exact duplicate collapse after a total_cmp sort; an
+    // epsilon here would merge distinct vertices.
+    a[0] == b[0] && a[1] == b[1]
+}

@@ -1,0 +1,21 @@
+//! Fixture: every forbidden panic path in non-test library code.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap() // line 4: unwrap
+}
+
+pub fn named(v: Option<u32>) -> u32 {
+    v.expect("present") // line 8: expect
+}
+
+pub fn giving_up() {
+    panic!("boom"); // line 12: panic!
+}
+
+pub fn later() {
+    todo!() // line 16: todo!
+}
+
+pub fn never() {
+    unimplemented!() // line 20: unimplemented!
+}

@@ -1,0 +1,37 @@
+//! Fixture: panic-adjacent code the rule must NOT flag.
+
+/// `?` instead of unwrap.
+pub fn first(v: &[u32]) -> Option<u32> {
+    Some(*v.first()?)
+}
+
+/// `unreachable!`/`assert!` are deliberate invariants, not error handling.
+pub fn checked(x: u32) -> u32 {
+    assert!(x < 10, "caller contract");
+    match x {
+        0..=9 => x * 2,
+        _ => unreachable!("guarded by the assert above"),
+    }
+}
+
+/// The word "unwrap" inside strings and comments is not a call.
+pub fn describe() -> &'static str {
+    // unwrap() in a comment
+    "call .unwrap() at your peril"
+}
+
+/// A justified call carries a reasoned suppression.
+pub fn poisoned(m: &std::sync::Mutex<u32>) -> u32 {
+    // csj-lint: allow(panic-safety) — lock poisoning means a worker already
+    // panicked; propagating is the correct response.
+    *m.lock().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

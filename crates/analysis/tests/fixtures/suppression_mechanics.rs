@@ -1,0 +1,28 @@
+//! Fixture: the suppression grammar itself.
+
+pub fn suppressed_with_reason(v: &[u32]) -> u32 {
+    // csj-lint: allow(panic-safety) — fixture demonstrates a valid reason.
+    *v.first().unwrap()
+}
+
+pub fn missing_reason(v: &[u32]) -> u32 {
+    // csj-lint: allow(panic-safety)
+    *v.first().unwrap() // line 10: allow without reason -> meta + original
+}
+
+pub fn unknown_rule(v: &[u32]) -> u32 {
+    // csj-lint: allow(made-up-rule) — no such rule exists.
+    *v.first().unwrap() // line 15: unknown rule -> meta + original
+}
+
+pub fn wrong_rule(x: f64) -> u64 {
+    // csj-lint: allow(float-discipline) — suppresses a rule that did not
+    // fire here, so the panic finding below survives.
+    x.to_bits().checked_add(1).unwrap() // line 21: survives
+}
+
+pub fn multi_rule(v: &[u32]) -> u32 {
+    // csj-lint: allow(panic-safety, determinism) — one comment may name
+    // several rules.
+    *v.first().unwrap()
+}

@@ -20,6 +20,8 @@
 //! Failures exit with a class-specific code (usage 2, input 3, storage 4,
 //! index 5, verification 6) — see `error.rs`.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod commands;
 mod error;
 mod opts;

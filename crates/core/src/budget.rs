@@ -139,11 +139,15 @@ impl CancelToken {
 
     /// Requests cancellation; idempotent, callable from any thread.
     pub fn cancel(&self) {
+        // ORDERING: a single advisory flag with no dependent data — the
+        // join polls it at checkpoints, and "promptly" is the only
+        // delivery guarantee, so relaxed visibility latency is fine.
         self.flag.store(true, Ordering::Relaxed);
     }
 
     /// `true` once [`CancelToken::cancel`] has been called.
     pub fn is_canceled(&self) -> bool {
+        // ORDERING: as `cancel` — nothing is published through the flag.
         self.flag.load(Ordering::Relaxed)
     }
 }

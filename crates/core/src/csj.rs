@@ -141,6 +141,10 @@ impl CsjJoin {
     /// Runs the join, streaming rows into `writer` (memory bounded by the
     /// window, not the output). A sink failure surfaces as `Err`; rows
     /// already written remain valid join output.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] when the sink rejects a write
+    /// (full disk, injected fault).
     pub fn run_streaming<T: JoinIndex<D>, S: OutputSink, const D: usize>(
         &self,
         tree: &T,

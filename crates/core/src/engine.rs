@@ -282,6 +282,10 @@ where
     }
 
     /// Runs the full self-join.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] when the handler's sink rejects a
+    /// write; traversal stops at the failing row.
     pub fn run(&mut self) -> Result<(), CsjError> {
         if let Some(root) = self.tree.root() {
             self.join_node(root)?;
@@ -292,6 +296,10 @@ where
     /// Runs only the finish step (used by the budgeted runner after an
     /// aborted traversal; drains the CSJ window so the output stays
     /// lossless over the processed region).
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] when draining the window into the
+    /// sink fails.
     pub fn finish_only(&mut self) -> Result<(), CsjError> {
         self.handler.finish(&mut self.sink, &mut self.stats)
     }
@@ -313,6 +321,10 @@ where
     }
 
     /// `simJoin(n)`: self-join of one subtree.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] when a leaf probe or emit hits a
+    /// storage failure the retry policy could not absorb.
     pub fn join_node(&mut self, n: NodeId) -> Result<(), CsjError> {
         if self.check_stopped() {
             return Ok(());
@@ -499,6 +511,9 @@ where
     }
 
     /// `simJoin(n1, n2)`: join across two subtrees.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] as in [`Self::join_node`].
     pub fn join_pair(&mut self, a: NodeId, b: NodeId) -> Result<(), CsjError> {
         if self.check_stopped() {
             return Ok(());
@@ -707,6 +722,11 @@ where
 /// Runs an engine that streams rows into `writer`, returning the stats.
 /// Sink failures (full disk, injected faults) surface as `Err`; rows
 /// already written remain valid join output.
+///
+/// # Errors
+/// Returns [`CsjError::Storage`] when the sink rejects a write; a
+/// budget or cancel stop ends the run early but still returns `Ok`
+/// with the stats accumulated so far.
 pub fn run_streaming<T, H, S, const D: usize>(
     tree: &T,
     cfg: JoinConfig,

@@ -111,6 +111,9 @@ impl JoinOutput {
     /// Streams the rows into an [`OutputWriter`] (for file output or
     /// byte-exact re-measurement). Rows written before a sink failure
     /// remain valid output.
+    ///
+    /// # Errors
+    /// Returns [`StorageError`] from the first failing sink write.
     pub fn write_to<S: OutputSink>(
         &self,
         writer: &mut OutputWriter<S>,

@@ -123,6 +123,8 @@ impl StaticParallelJoin {
         // `completed` is true when the engine ran the task to the end
         // (false only under a mid-task cancel).
         type TaskResult = (Vec<OutputItem>, JoinStats, bool);
+        // csj-lint: allow(determinism) — wall-clock feeds RunBudget
+        // deadline accounting only; completed runs never consult it.
         let start = Instant::now();
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
@@ -131,7 +133,12 @@ impl StaticParallelJoin {
         let results: Mutex<Vec<Option<TaskResult>>> =
             Mutex::new((0..tasks.len()).map(|_| None).collect());
         let record_stop = |reason: StopReason| {
+            // ORDERING: advisory early-exit flag; a worker that misses the
+            // store runs at most one extra task, and the scope join below
+            // is the real synchronization point for results.
             stop.store(true, Ordering::Relaxed);
+            // csj-lint: allow(panic-safety) — a poisoned lock means a
+            // worker already panicked; propagating is the only sound exit.
             let mut guard = stop_reason.lock().expect("stop reason lock poisoned");
             guard.get_or_insert(reason);
         };
@@ -139,6 +146,7 @@ impl StaticParallelJoin {
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(tasks.len()) {
                 scope.spawn(|| loop {
+                    // ORDERING: advisory; see the matching store above.
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
@@ -149,25 +157,36 @@ impl StaticParallelJoin {
                     }
                     if !self.budget.is_unlimited() {
                         let usage = BudgetUsage {
+                            // ORDERING: monotone stat counters — a budget
+                            // check reading slightly stale totals only
+                            // delays the stop by at most one task.
                             links: links.load(Ordering::Relaxed),
-                            groups: groups.load(Ordering::Relaxed),
-                            bytes: bytes.load(Ordering::Relaxed),
+                            groups: groups.load(Ordering::Relaxed), // ORDERING: as `links`
+                            bytes: bytes.load(Ordering::Relaxed),   // ORDERING: as `links`
                         };
                         if let Some(r) = self.budget.exceeded_by(&usage, start.elapsed()) {
                             record_stop(r);
                             break;
                         }
                     }
+                    // ORDERING: fetch_add is atomic regardless of ordering,
+                    // so indices are unique; nothing is published through
+                    // `next`, results flow through the mutexed vector.
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     let Some(task) = tasks.get(idx) else { break };
                     let (items, stats, completed) = self.run_task(tree, task);
                     if !completed {
                         record_stop(StopReason::Canceled);
                     }
+                    // ORDERING: monotone counters feeding the advisory
+                    // budget check; final totals are read after the scope
+                    // join, which orders them.
                     links.fetch_add(stats.links_emitted + stats.links_in_groups, Ordering::Relaxed);
-                    groups.fetch_add(stats.groups_emitted, Ordering::Relaxed);
+                    groups.fetch_add(stats.groups_emitted, Ordering::Relaxed); // ORDERING: as `links`
                     let task_bytes: u64 = items.iter().map(|i| i.format_bytes(self.id_width)).sum();
-                    bytes.fetch_add(task_bytes, Ordering::Relaxed);
+                    bytes.fetch_add(task_bytes, Ordering::Relaxed); // ORDERING: as `links`
+                                                                    // csj-lint: allow(panic-safety) — poisoning means a peer
+                                                                    // panicked with the results lock held; propagate it.
                     results.lock().expect("worker panicked holding results")[idx] =
                         Some((items, stats, completed));
                 });
@@ -178,6 +197,8 @@ impl StaticParallelJoin {
             JoinOutput { stats: JoinStats::new(self.cfg.record_access_log), ..Default::default() };
         let total = tasks.len();
         let mut done = 0usize;
+        // csj-lint: allow(panic-safety) — workers joined cleanly at scope
+        // exit, so the results lock cannot be poisoned here.
         for slot in results.into_inner().expect("poisoned results") {
             let Some((items, stats, completed)) = slot else { continue };
             output.items.extend(items);
@@ -186,6 +207,7 @@ impl StaticParallelJoin {
                 done += 1;
             }
         }
+        // csj-lint: allow(panic-safety) — same: no live workers, no poison.
         let reason = stop_reason.into_inner().expect("stop reason lock poisoned");
         output.completion = match reason {
             None if done == total => Completion::Complete,
@@ -195,8 +217,10 @@ impl StaticParallelJoin {
             maybe => Completion::partial(
                 maybe.unwrap_or(StopReason::Canceled),
                 done as f64 / total as f64,
+                // ORDERING: read after the scope join, which already
+                // synchronized every worker's writes.
                 links.load(Ordering::Relaxed),
-                bytes.load(Ordering::Relaxed),
+                bytes.load(Ordering::Relaxed), // ORDERING: as `links`
             ),
         };
         output

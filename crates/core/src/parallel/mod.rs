@@ -136,6 +136,8 @@ struct Shared {
 impl Shared {
     fn record_stop(&self, reason: StopReason) {
         self.stop.store(true, Ordering::SeqCst);
+        // csj-lint: allow(panic-safety) — a poisoned lock means a worker
+        // already panicked; propagating the panic is the only sound exit.
         let mut guard = self.stop_reason.lock().expect("stop reason lock poisoned");
         guard.get_or_insert(reason);
     }
@@ -210,6 +212,9 @@ impl ParallelJoin {
             return JoinOutput::default();
         }
         let workers = self.threads.min(tasks.len());
+        // csj-lint: allow(determinism) — wall-clock feeds RunBudget
+        // deadline accounting only; a deadline stop yields
+        // Completion::Partial, and completed runs never consult it.
         let start = Instant::now();
         let shared = Shared {
             pool: Mutex::new(VecDeque::new()),
@@ -245,6 +250,8 @@ impl ParallelJoin {
                     scope.spawn(move || self.worker_loop(wid, workers, deque, tree, shared, start))
                 })
                 .collect();
+            // csj-lint: allow(panic-safety) — re-raises a worker thread's
+            // panic on the caller; swallowing it would fake a clean join.
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
         });
 
@@ -266,6 +273,8 @@ impl ParallelJoin {
         output.stats.tasks_stolen = shared.stolen.load(Ordering::SeqCst);
         output.stats.tasks_split = shared.splits.load(Ordering::SeqCst);
         let total = shared.total_tasks.load(Ordering::SeqCst);
+        // csj-lint: allow(panic-safety) — all workers joined cleanly above,
+        // so the lock cannot be poisoned or held here.
         let reason = shared.stop_reason.into_inner().expect("stop reason lock poisoned");
         output.completion = match reason {
             None if done == total => Completion::Complete,
@@ -303,6 +312,8 @@ impl ParallelJoin {
             let acquired = match local.pop_front() {
                 Some(item) => Some(item),
                 None => {
+                    // csj-lint: allow(panic-safety) — poisoning implies a
+                    // peer panicked mid-donation; propagate, don't limp on.
                     let mut pool = shared.pool.lock().expect("pool lock poisoned");
                     let item = pool.pop_front();
                     shared.pool_len.store(pool.len(), Ordering::SeqCst);
@@ -351,8 +362,15 @@ impl ParallelJoin {
             // CSJ tasks are exempt (their window compaction is shaped by
             // the traversal), as are plane-sweep runs (the sweep visits
             // children in sorted, not canonical, order).
+            //
+            // ORDERING: both loads are advisory. `starving` and
+            // `pool_len` only steer the split-vs-run heuristic; a stale
+            // read at worst delays a split by one task or splits once
+            // unnecessarily, and the merged output is split-invariant by
+            // construction (see `split_task`). Termination is gated by
+            // `pending`/`stop`, which stay SeqCst.
             let starving_now = shared.starving.load(Ordering::Relaxed);
-            if starving_now > shared.pool_len.load(Ordering::Relaxed)
+            if starving_now > shared.pool_len.load(Ordering::Relaxed) // ORDERING: as `starving`
                 && !matches!(self.algo, ParallelAlgo::Csj(_))
                 && !self.cfg.plane_sweep
             {
@@ -363,6 +381,8 @@ impl ParallelJoin {
                         // Add the children before retiring the parent so
                         // `pending` never dips to zero in between.
                         shared.pending.fetch_add(children.len() - 1, Ordering::SeqCst);
+                        // csj-lint: allow(panic-safety) — see the acquire
+                        // path: a poisoned pool lock is a peer's panic.
                         let mut pool = shared.pool.lock().expect("pool lock poisoned");
                         pool.extend(children);
                         shared.pool_len.store(pool.len(), Ordering::SeqCst);
@@ -373,12 +393,19 @@ impl ParallelJoin {
 
             // Cold-path donation: someone is starving, the pool is low,
             // and we have spare tasks — move half of our deque over.
+            //
+            // ORDERING: advisory, exactly as above — a stale `starving`
+            // or `pool_len` read can only delay or duplicate a donation,
+            // and donated tasks carry their keys, so the merge result is
+            // unaffected by when (or whether) donation happens.
             let starving_now = shared.starving.load(Ordering::Relaxed);
             if starving_now > 0
-                && shared.pool_len.load(Ordering::Relaxed) < starving_now
+                && shared.pool_len.load(Ordering::Relaxed) < starving_now // ORDERING: as `starving`
                 && local.len() > 1
             {
                 let give = local.len() / 2;
+                // csj-lint: allow(panic-safety) — see the acquire path: a
+                // poisoned pool lock is a peer's panic.
                 let mut pool = shared.pool.lock().expect("pool lock poisoned");
                 for _ in 0..give {
                     if let Some(t) = local.pop_back() {

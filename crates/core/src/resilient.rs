@@ -122,6 +122,10 @@ impl ResilientJoin {
     /// Storage cannot fail here, so the only early exits are the budget
     /// and the cancel token — both reported through
     /// [`JoinOutput::completion`], never as `Err`.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::InvalidConfig`] for an invalid configuration;
+    /// storage errors cannot occur on the in-memory path.
     pub fn run<T: JoinIndex<D>, const D: usize>(&self, tree: &T) -> Result<JoinOutput, CsjError> {
         self.run_probed(tree, &NoProbe)
     }
@@ -133,6 +137,11 @@ impl ResilientJoin {
     /// Transient faults absorbed by the storage layer's retries are added
     /// to [`JoinStats::io_retries`]; an *unrecoverable* storage error is
     /// escalated as `Err` at the next task boundary.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] when the probe reports an
+    /// unrecoverable storage failure, or [`CsjError::InvalidConfig`] for
+    /// an invalid configuration.
     pub fn run_probed<T: JoinIndex<D>, P: StorageProbe, const D: usize>(
         &self,
         tree: &T,
@@ -154,6 +163,9 @@ impl ResilientJoin {
     ///
     /// Sink failures (full disk, injected faults) surface as `Err`; rows
     /// already written remain valid output over the processed region.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] when the sink rejects a write.
     pub fn run_streaming<T: JoinIndex<D>, S: OutputSink, const D: usize>(
         &self,
         tree: &T,
@@ -164,6 +176,10 @@ impl ResilientJoin {
 
     /// [`ResilientJoin::run_streaming`] with a storage probe on the tree
     /// side as well.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] when the sink rejects a write or the
+    /// probe reports an unrecoverable storage failure.
     pub fn run_streaming_probed<T, P, S, const D: usize>(
         &self,
         tree: &T,

@@ -102,6 +102,10 @@ impl SpatialOutput {
     /// `<left ids> | <right ids>\n` with `width`-digit zero-padded ids.
     /// A sink failure surfaces as `Err`; rows already written remain
     /// valid output.
+    ///
+    /// # Errors
+    /// Returns [`csj_storage::StorageError`] from the first failing sink
+    /// write.
     pub fn write_to<S: csj_storage::OutputSink>(
         &self,
         sink: &mut S,
@@ -381,6 +385,8 @@ where
     fn push_group(&mut self, group: OpenCrossGroup<D>, g: usize) {
         self.window.push_back(group);
         if self.window.len() > g {
+            // csj-lint: allow(panic-safety) — len > g ≥ 0 guarantees the
+            // window is non-empty when eviction triggers.
             let evicted = self.window.pop_front().expect("non-empty window");
             self.finalize_group(evicted.left, evicted.right);
         }

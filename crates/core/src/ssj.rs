@@ -76,6 +76,9 @@ impl SsjJoin {
     /// Runs the join, streaming links into `writer` (constant memory).
     /// A sink failure surfaces as `Err`; rows already written remain
     /// valid join output.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] when the sink rejects a write.
     pub fn run_streaming<T: JoinIndex<D>, S: OutputSink, const D: usize>(
         &self,
         tree: &T,

@@ -81,6 +81,11 @@ pub struct VerifyReport {
 
 /// Verifies that `output` is a lossless representation of the ε-join over
 /// `points` (record ids are slice indexes), under `metric`.
+///
+/// # Errors
+/// Returns a [`VerifyError`] describing the first violation found:
+/// a missing or spurious link, or a group whose true diameter
+/// exceeds ε.
 pub fn verify_lossless<const D: usize>(
     output: &JoinOutput,
     points: &[Point<D>],

@@ -42,6 +42,10 @@ impl From<io::Error> for ReadError {
 }
 
 /// Writes points one per line with full float precision.
+///
+/// # Errors
+/// Returns [`io::Error`] when the file cannot be created or a write
+/// fails.
 pub fn write_points<const D: usize>(path: impl AsRef<Path>, points: &[Point<D>]) -> io::Result<()> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
     for p in points {
@@ -60,6 +64,11 @@ pub fn write_points<const D: usize>(path: impl AsRef<Path>, points: &[Point<D>])
 /// Reads points written by [`write_points`] (or any whitespace-separated
 /// numeric file with `D` columns). Blank lines and `#` comments are
 /// skipped.
+///
+/// # Errors
+/// Returns [`ReadError::Io`] when the file cannot be read and
+/// [`ReadError::Parse`] on a malformed line (wrong column count or
+/// an unparsable number).
 pub fn read_points<const D: usize>(path: impl AsRef<Path>) -> Result<Vec<Point<D>>, ReadError> {
     let file = std::fs::File::open(path)?;
     let reader = io::BufReader::new(file);

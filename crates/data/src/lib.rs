@@ -17,6 +17,7 @@
 //! see DESIGN.md §3. Everything is seeded and deterministic.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod clusters;
 pub mod fractal;

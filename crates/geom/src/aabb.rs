@@ -6,10 +6,6 @@
 //! compact join no slower than the standard join even under output
 //! explosion.
 
-// Indexed loops over `[f64; D]` pairs in lockstep are the clearest
-// form for these numeric kernels.
-#![allow(clippy::needless_range_loop)]
-
 use crate::{Metric, Point};
 
 /// An axis-aligned minimum bounding hyper-rectangle in `D` dimensions.
@@ -132,6 +128,9 @@ impl<const D: usize> Mbr<D> {
     }
 
     /// All `D` side lengths.
+    // Indexed lockstep over `[f64; D]` pairs: clearer than zip chains
+    // for these numeric kernels.
+    #[allow(clippy::needless_range_loop)]
     #[inline]
     pub fn side_lengths(&self) -> [f64; D] {
         let mut s = [0.0; D];

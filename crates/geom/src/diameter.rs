@@ -43,6 +43,9 @@ pub fn diameter_2d(points: &[Point<2>]) -> f64 {
 pub fn convex_hull(points: &[Point<2>]) -> Vec<Point<2>> {
     let mut pts: Vec<Point<2>> = points.to_vec();
     pts.sort_by(|a, b| a[0].total_cmp(&b[0]).then(a[1].total_cmp(&b[1])));
+    // FLOAT-EQ: exact duplicate collapse after a total_cmp sort — any
+    // epsilon here would merge distinct hull vertices and shrink the
+    // reported diameter.
     pts.dedup_by(|a, b| a[0] == b[0] && a[1] == b[1]);
     let n = pts.len();
     if n < 3 {

@@ -60,6 +60,11 @@ impl DistKernel {
     /// `comparisons` is advanced by the number of distance predicate
     /// evaluations (one per pair; whole probe rows are counted up front,
     /// so after an `Err` the count may run ahead by less than one row).
+    ///
+    /// # Errors
+    ///
+    /// The kernel itself cannot fail; the only `Err` is one returned by
+    /// `on_hit`, which stops the scan and is propagated unchanged.
     pub fn self_join<const D: usize, E>(
         &self,
         pts: &[Point<D>],
@@ -76,6 +81,11 @@ impl DistKernel {
     /// All pairs `(i, j)` with `left[i]` within ε of `right[j]`, reported
     /// through `on_hit` in `(i asc, j asc)` order. Counting as in
     /// [`DistKernel::self_join`].
+    ///
+    /// # Errors
+    ///
+    /// The kernel itself cannot fail; the only `Err` is one returned by
+    /// `on_hit`, which stops the scan and is propagated unchanged.
     pub fn cross_join<const D: usize, E>(
         &self,
         left: &[Point<D>],
@@ -110,6 +120,8 @@ impl DistKernel {
         let mut chunks = row.chunks_exact(LANES);
         let mut base = 0usize;
         for chunk in chunks.by_ref() {
+            // csj-lint: allow(panic-safety) — chunks_exact(LANES)
+            // guarantees the slice length; the conversion is infallible.
             let block: &[Point<D>; LANES] = chunk.try_into().expect("chunk has LANES points");
             // Branch-free distance block: dimensions outer, lanes inner,
             // so each step is LANES independent fused accumulations. The

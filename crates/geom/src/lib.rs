@@ -15,6 +15,7 @@
 //! (`Copy` where possible), and performs no allocation in the hot paths.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod aabb;
 pub mod diameter;

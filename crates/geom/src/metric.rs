@@ -7,10 +7,6 @@
 //! group rule). All three are provided here for axis-aligned rectangles
 //! under every supported metric.
 
-// Indexed loops over `[f64; D]` pairs in lockstep are the clearest
-// form for these numeric kernels.
-#![allow(clippy::needless_range_loop)]
-
 use crate::{Mbr, Point};
 
 /// An `Lp` metric on `R^D`.
@@ -186,6 +182,9 @@ impl Metric {
     /// MINDIST: a tight lower bound on the distance between any point of
     /// `a` and any point of `b`. Zero when the rectangles intersect.
     #[inline]
+    // Indexed lockstep over `[f64; D]` pairs: clearer than zip chains
+    // for these numeric kernels.
+    #[allow(clippy::needless_range_loop)]
     pub fn min_dist_mbr<const D: usize>(&self, a: &Mbr<D>, b: &Mbr<D>) -> f64 {
         let mut gaps = [0.0; D];
         for i in 0..D {
@@ -199,6 +198,9 @@ impl Metric {
     /// `a` and any point of `b` — equivalently, the diameter of the pair of
     /// rectangles treated as one shape. Attained at corners.
     #[inline]
+    // Indexed lockstep over `[f64; D]` pairs: clearer than zip chains
+    // for these numeric kernels.
+    #[allow(clippy::needless_range_loop)]
     pub fn max_dist_mbr<const D: usize>(&self, a: &Mbr<D>, b: &Mbr<D>) -> f64 {
         let mut spans = [0.0; D];
         for i in 0..D {

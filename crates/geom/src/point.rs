@@ -1,9 +1,5 @@
 //! `D`-dimensional points.
 
-// Indexed loops over `[f64; D]` pairs in lockstep are the clearest
-// form for these numeric kernels.
-#![allow(clippy::needless_range_loop)]
-
 use std::ops::{Add, Div, Index, IndexMut, Mul, Sub};
 
 /// A point in `D`-dimensional Euclidean space.
@@ -65,6 +61,9 @@ impl<const D: usize> Point<D> {
 
     /// Componentwise minimum of two points.
     #[inline]
+    // Indexed lockstep over `[f64; D]` pairs: clearer than zip chains
+    // for these numeric kernels.
+    #[allow(clippy::needless_range_loop)]
     pub fn min(&self, other: &Self) -> Self {
         let mut out = self.0;
         for i in 0..D {
@@ -75,6 +74,9 @@ impl<const D: usize> Point<D> {
 
     /// Componentwise maximum of two points.
     #[inline]
+    // Indexed lockstep over `[f64; D]` pairs: clearer than zip chains
+    // for these numeric kernels.
+    #[allow(clippy::needless_range_loop)]
     pub fn max(&self, other: &Self) -> Self {
         let mut out = self.0;
         for i in 0..D {
@@ -85,6 +87,9 @@ impl<const D: usize> Point<D> {
 
     /// The midpoint of the segment from `self` to `other`.
     #[inline]
+    // Indexed lockstep over `[f64; D]` pairs: clearer than zip chains
+    // for these numeric kernels.
+    #[allow(clippy::needless_range_loop)]
     pub fn midpoint(&self, other: &Self) -> Self {
         let mut out = self.0;
         for i in 0..D {
@@ -95,6 +100,9 @@ impl<const D: usize> Point<D> {
 
     /// Linear interpolation: `self + t * (other - self)`.
     #[inline]
+    // Indexed lockstep over `[f64; D]` pairs: clearer than zip chains
+    // for these numeric kernels.
+    #[allow(clippy::needless_range_loop)]
     pub fn lerp(&self, other: &Self, t: f64) -> Self {
         let mut out = self.0;
         for i in 0..D {
@@ -134,6 +142,9 @@ impl<const D: usize> IndexMut<usize> for Point<D> {
 impl<const D: usize> Add for Point<D> {
     type Output = Self;
     #[inline]
+    // Indexed lockstep over `[f64; D]` pairs: clearer than zip chains
+    // for these numeric kernels.
+    #[allow(clippy::needless_range_loop)]
     fn add(self, rhs: Self) -> Self {
         let mut out = self.0;
         for i in 0..D {
@@ -146,6 +157,9 @@ impl<const D: usize> Add for Point<D> {
 impl<const D: usize> Sub for Point<D> {
     type Output = Self;
     #[inline]
+    // Indexed lockstep over `[f64; D]` pairs: clearer than zip chains
+    // for these numeric kernels.
+    #[allow(clippy::needless_range_loop)]
     fn sub(self, rhs: Self) -> Self {
         let mut out = self.0;
         for i in 0..D {

@@ -94,12 +94,9 @@ impl<const D: usize> Sphere<D> {
         // farthest from that: a diametral-ish pair.
         let a = points
             .iter()
-            .max_by(|x, y| metric.distance(first, x).total_cmp(&metric.distance(first, y)))
-            .unwrap();
-        let b = points
-            .iter()
-            .max_by(|x, y| metric.distance(a, x).total_cmp(&metric.distance(a, y)))
-            .unwrap();
+            .max_by(|x, y| metric.distance(first, x).total_cmp(&metric.distance(first, y)))?;
+        let b =
+            points.iter().max_by(|x, y| metric.distance(a, x).total_cmp(&metric.distance(a, y)))?;
         let mut ball = Sphere::new(a.midpoint(b), 0.5 * metric.distance(a, b));
         for p in points {
             ball.expand_to_point(p, metric);

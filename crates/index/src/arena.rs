@@ -70,6 +70,8 @@ impl<N> Arena<N> {
     ///
     /// Panics if the slot is already free.
     pub fn free(&mut self, id: NodeId) -> N {
+        // csj-lint: allow(panic-safety) — documented arena contract: a
+        // double free is caller corruption, not a recoverable state.
         let node = self.slots[id.index()].take().expect("double free of arena slot");
         self.free.push(id);
         node
@@ -78,12 +80,15 @@ impl<N> Arena<N> {
     /// Shared access. Panics on a freed or out-of-range id.
     #[inline]
     pub fn get(&self, id: NodeId) -> &N {
+        // csj-lint: allow(panic-safety) — documented contract (see the
+        // doc comment): a freed id here is an index-structure bug.
         self.slots[id.index()].as_ref().expect("freed arena slot")
     }
 
     /// Mutable access. Panics on a freed or out-of-range id.
     #[inline]
     pub fn get_mut(&mut self, id: NodeId) -> &mut N {
+        // csj-lint: allow(panic-safety) — documented contract, as `get`.
         self.slots[id.index()].as_mut().expect("freed arena slot")
     }
 
@@ -98,7 +103,9 @@ impl<N> Arena<N> {
             (b.index(), a.index(), true)
         };
         let (left, right) = self.slots.split_at_mut(hi);
+        // csj-lint: allow(panic-safety) — documented contract, as `get`.
         let lo_ref = left[lo].as_mut().expect("freed arena slot");
+        // csj-lint: allow(panic-safety) — documented contract, as `get`.
         let hi_ref = right[0].as_mut().expect("freed arena slot");
         if swapped {
             (hi_ref, lo_ref)

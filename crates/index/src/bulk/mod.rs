@@ -60,6 +60,8 @@ pub fn hilbert_pack<const D: usize>(points: &[Point<D>], config: RTreeConfig) ->
     if points.is_empty() {
         return core;
     }
+    // csj-lint: allow(panic-safety) — the empty case returned above, so
+    // `from_points` always has at least one point.
     let bounds = Mbr::from_points(points).expect("non-empty");
     let bits = hilbert::DEFAULT_BITS;
     let mut entries = make_entries(points);

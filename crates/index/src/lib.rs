@@ -25,6 +25,7 @@
 //! the paper's Experiment 4 (index independence) is reproduced.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod arena;
 pub mod bulk;

@@ -135,6 +135,8 @@ fn split_generic<T: Clone, const D: usize>(
             .iter()
             .enumerate()
             .min_by(|(_, &x), (_, &y)| move_cost(x, true).total_cmp(&move_cost(y, true)))
+            // csj-lint: allow(panic-safety) — left + right together hold
+            // ≥ 2·min_fanout entries, so the donor side is non-empty.
             .expect("right side cannot be empty while left is underfull");
         left_idx.push(right_idx.swap_remove(pos));
     }
@@ -143,6 +145,7 @@ fn split_generic<T: Clone, const D: usize>(
             .iter()
             .enumerate()
             .min_by(|(_, &x), (_, &y)| move_cost(x, false).total_cmp(&move_cost(y, false)))
+            // csj-lint: allow(panic-safety) — symmetric to the loop above.
             .expect("left side cannot be empty while right is underfull");
         right_idx.push(left_idx.swap_remove(pos));
     }

@@ -124,12 +124,16 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
     fn u32(&mut self) -> Result<u32, PersistError> {
+        // csj-lint: allow(panic-safety) — take(4) either returns exactly
+        // 4 bytes or errors Truncated; the conversion is infallible.
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
     fn u64(&mut self) -> Result<u64, PersistError> {
+        // csj-lint: allow(panic-safety) — as `u32`: take(8) is exact.
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
     fn f64(&mut self) -> Result<f64, PersistError> {
+        // csj-lint: allow(panic-safety) — as `u32`: take(8) is exact.
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 }
@@ -194,6 +198,11 @@ pub fn serialize_rect<const D: usize>(core: &RectCore<D>) -> Vec<u8> {
 
 /// Decodes a rectangle-tree core from bytes written by
 /// [`serialize_rect`]. Structural invariants are re-validated.
+///
+/// # Errors
+/// Returns a [`PersistError`] when the bytes are not a valid tree
+/// image: wrong magic or version, truncation, checksum mismatch, or
+/// a decoded structure that fails invariant validation.
 pub fn deserialize_rect<const D: usize>(bytes: &[u8]) -> Result<RectCore<D>, PersistError> {
     if bytes.len() < 16 {
         return Err(if bytes.starts_with(b"CSJRTREE") || b"CSJRTREE".starts_with(bytes) {
@@ -203,6 +212,8 @@ pub fn deserialize_rect<const D: usize>(bytes: &[u8]) -> Result<RectCore<D>, Per
         });
     }
     let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    // csj-lint: allow(panic-safety) — split_at(len - 8) makes the tail
+    // exactly 8 bytes (the length was bounds-checked above).
     let stored_sum = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
     if fnv1a(payload) != stored_sum {
         // Distinguish truncation (prefix of a valid file) heuristically:
@@ -340,12 +351,20 @@ pub fn deserialize_rect<const D: usize>(bytes: &[u8]) -> Result<RectCore<D>, Per
 
 /// Writes already-serialized index bytes to `path` atomically (temp
 /// file + rename), so readers never observe a half-written index.
+///
+/// # Errors
+/// Returns [`PersistError::Io`] when the temp-file write or rename
+/// fails; the destination is left untouched.
 pub fn save_bytes(path: impl AsRef<std::path::Path>, bytes: &[u8]) -> Result<(), PersistError> {
     csj_storage::fault::write_file_atomic(path, bytes).map_err(PersistError::from)
 }
 
 /// Like [`save_bytes`], but routed through a fault injector — used to
 /// drill the recovery path (fail-once, torn writes) from tests.
+///
+/// # Errors
+/// Returns [`PersistError::Io`] for injected write failures; torn
+/// writes report success and are caught by the reader's checksum.
 pub fn save_bytes_with_faults(
     path: impl AsRef<std::path::Path>,
     bytes: &[u8],
@@ -356,6 +375,9 @@ pub fn save_bytes_with_faults(
 
 /// Reads raw index bytes from `path` (checksum verification happens in
 /// the deserializer).
+///
+/// # Errors
+/// Returns [`PersistError::Io`] when the file cannot be read.
 pub fn load_bytes(path: impl AsRef<std::path::Path>) -> Result<Vec<u8>, PersistError> {
     let path = path.as_ref();
     std::fs::read(path).map_err(|e| PersistError::Io(format!("{}: {e}", path.display())))
@@ -369,11 +391,18 @@ impl<const D: usize> crate::rstar::RStarTree<D> {
 
     /// Loads a tree persisted by [`RStarTree::to_bytes`] (or
     /// [`crate::rtree::RTree::to_bytes`] — the on-disk layout is shared).
+    ///
+    /// # Errors
+    /// Returns a [`PersistError`] as documented on
+    /// [`deserialize_rect`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
         Ok(crate::rstar::RStarTree { core: deserialize_rect(bytes)? })
     }
 
     /// Persists the tree to `path` atomically.
+    ///
+    /// # Errors
+    /// Returns [`PersistError::Io`] when writing or renaming fails.
     pub fn save_to_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
         save_bytes(path, &self.to_bytes())
     }
@@ -383,6 +412,10 @@ impl<const D: usize> crate::rstar::RStarTree<D> {
     /// typically [`PersistError::ChecksumMismatch`] or
     /// [`PersistError::Truncated`] — never a panic, so callers can
     /// restore the file and retry.
+    ///
+    /// # Errors
+    /// Returns a [`PersistError`] when the file cannot be read or its
+    /// contents fail decoding/validation.
     pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<Self, PersistError> {
         Self::from_bytes(&load_bytes(path)?)
     }
@@ -395,6 +428,10 @@ impl<const D: usize> crate::rtree::RTree<D> {
     }
 
     /// Loads a tree persisted by [`RTree::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns a [`PersistError`] as documented on
+    /// [`deserialize_rect`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
         Ok(crate::rtree::RTree { core: deserialize_rect(bytes)? })
     }

@@ -84,6 +84,8 @@ impl<const D: usize> QuadTree<D> {
                 LeafEntry::new(i as RecordId, *p)
             })
             .collect();
+        // csj-lint: allow(panic-safety) — the empty case returned early
+        // above, so `from_points` always has at least one point.
         let cell = Mbr::from_points(points).expect("non-empty");
         let (root, height) = tree.build_node(entries, cell, 0, &config);
         tree.root = Some(root);

@@ -157,6 +157,8 @@ impl<const D: usize> RectCore<D> {
     /// Grows the tree by one level: makes a new root with the old root and
     /// `sibling` as children.
     pub fn grow_root(&mut self, sibling: NodeId) {
+        // csj-lint: allow(panic-safety) — documented contract: grow_root
+        // is only reachable from a root split, which implies a root.
         let old_root = self.root.expect("grow_root on empty tree");
         let level = self.arena.get(old_root).level + 1;
         let new_root = self.arena.alloc(RNode::new_internal(level));

@@ -126,6 +126,8 @@ impl<const D: usize> RStarTree<D> {
     /// ChooseSubtree: descend to the node at `target_level` best suited to
     /// receive `new_mbr`.
     fn choose_subtree(&self, new_mbr: &Mbr<D>, target_level: u32) -> NodeId {
+        // csj-lint: allow(panic-safety) — callers create the root before
+        // descending; an empty tree cannot reach choose_subtree.
         let mut node = self.core.root.expect("choose_subtree on empty tree");
         loop {
             let n = self.core.node(node);

@@ -11,6 +11,8 @@ use csj_geom::Mbr;
 ///
 /// `min_fanout` is the tree's `m`; every distribution keeps at least `m`
 /// items on each side.
+// csj-lint: allow(error-hygiene) — SplitResult is a plain struct (two
+// groups plus their MBRs), not a fallible Result; the split is total.
 pub fn split_rstar<T: SplitItem<D> + Clone, const D: usize>(
     items: Vec<T>,
     min_fanout: usize,
@@ -56,6 +58,8 @@ pub fn split_rstar<T: SplitItem<D> + Clone, const D: usize>(
             }
         }
     }
+    // csj-lint: allow(panic-safety) — the distribution loop above runs
+    // at least once for any overfull node, so `best` is always set.
     let (sorted, k, _, _) = best.expect("at least one distribution exists");
     let mut left = sorted;
     let right = left.split_off(k);

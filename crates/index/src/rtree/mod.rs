@@ -180,6 +180,8 @@ impl<const D: usize> RTree<D> {
             .entries
             .iter()
             .position(|e| e.id == id)
+            // csj-lint: allow(panic-safety) — find_leaf just located this
+            // id in this leaf; its absence would be index corruption.
             .expect("find_leaf returned a leaf without the entry");
         node.entries.swap_remove(pos);
         self.core.num_records -= 1;
@@ -229,6 +231,9 @@ impl<const D: usize> RTree<D> {
                             .children
                             .iter()
                             .position(|&c| c == current)
+                            // csj-lint: allow(panic-safety) — parent links
+                            // are maintained by insert/split; a missing
+                            // back-edge would be index corruption.
                             .expect("child missing from parent");
                         self.core.node_mut(p).children.swap_remove(pos);
                         self.dissolve_subtree(current, &mut orphans);

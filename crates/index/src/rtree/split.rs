@@ -52,6 +52,8 @@ pub struct SplitResult<T, const D: usize> {
 /// Seeds are the pair with greatest normalized separation along any axis;
 /// remaining items go to the group whose MBR grows least, with the minimum
 /// fanout enforced.
+// csj-lint: allow(error-hygiene) — SplitResult is a plain struct (two
+// groups plus their MBRs), not a fallible Result; the split is total.
 pub fn split_linear<T: SplitItem<D>, const D: usize>(
     items: Vec<T>,
     min_fanout: usize,
@@ -103,6 +105,8 @@ pub fn split_linear<T: SplitItem<D>, const D: usize>(
 ///
 /// Seeds are the pair wasting the most area if grouped together; remaining
 /// items are assigned in order of strongest preference.
+// csj-lint: allow(error-hygiene) — SplitResult is a plain struct (two
+// groups plus their MBRs), not a fallible Result; the split is total.
 pub fn split_quadratic<T: SplitItem<D>, const D: usize>(
     items: Vec<T>,
     min_fanout: usize,

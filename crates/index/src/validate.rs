@@ -44,6 +44,10 @@ macro_rules! ensure {
 /// * fanout bounds hold for every non-root node;
 /// * the record count matches;
 /// * every live arena node is reachable from the root.
+///
+/// # Errors
+/// Returns an [`InvariantViolation`] describing the first broken
+/// invariant.
 pub fn validate_rect_tree<const D: usize>(core: &RectCore<D>) -> Result<(), InvariantViolation> {
     let Some(root) = core.root else {
         ensure!(core.num_records == 0, "empty tree with {} records", core.num_records);
@@ -128,6 +132,10 @@ pub fn validate_rect_tree<const D: usize>(core: &RectCore<D>) -> Result<(), Inva
 /// * every child ball is contained in its parent ball
 ///   (`d(parent, child) + r_child <= r_parent`, up to fp slack);
 /// * fanout bounds and record count hold.
+///
+/// # Errors
+/// Returns an [`InvariantViolation`] describing the first broken
+/// invariant.
 pub fn validate_mtree<const D: usize>(tree: &MTree<D>) -> Result<(), InvariantViolation> {
     let metric = tree.metric();
     let Some(root) = tree.root_id() else {

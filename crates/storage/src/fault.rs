@@ -103,6 +103,10 @@ impl FaultInjector {
     }
 
     /// Gate for a read attempt: `Err` when the policy says this one fails.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::FaultInjected`] when the policy fails this
+    /// read.
     pub fn before_read(&mut self) -> Result<(), StorageError> {
         self.reads += 1;
         let nth = self.policy.fail_every_read.is_some_and(|n| self.reads.is_multiple_of(n));
@@ -114,6 +118,10 @@ impl FaultInjector {
     }
 
     /// Gate for a write attempt: `Err` when the policy says this one fails.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::FaultInjected`] when the policy fails this
+    /// write.
     pub fn before_write(&mut self) -> Result<(), StorageError> {
         self.writes += 1;
         let nth = self.policy.fail_every_write.is_some_and(|n| self.writes.is_multiple_of(n));
@@ -146,6 +154,11 @@ impl FaultInjector {
 /// * torn write → only a prefix lands **at the destination** and the
 ///   call reports *success* — the realistic crash-mid-write scenario,
 ///   detectable only by the reader's checksum.
+///
+/// # Errors
+/// Returns [`StorageError::FaultInjected`] for injected write
+/// failures and [`StorageError::Io`] for real I/O errors; torn writes
+/// report `Ok`.
 pub fn write_file_with_faults(
     path: impl AsRef<Path>,
     bytes: &[u8],
@@ -166,6 +179,10 @@ pub fn write_file_with_faults(
 /// Atomically writes `bytes` to `path` (temp file in the same directory,
 /// then rename), so a crash leaves either the old file or the new one,
 /// never a torn mixture.
+///
+/// # Errors
+/// Returns [`StorageError::Io`] when creating, writing, flushing or
+/// renaming the temp file fails.
 pub fn write_file_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), StorageError> {
     let path = path.as_ref();
     let dir = path.parent().filter(|d| !d.as_os_str().is_empty());

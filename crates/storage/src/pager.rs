@@ -62,6 +62,11 @@ impl SimulatedDisk {
     }
 
     /// Physically reads a page (counted, fault-checked).
+    ///
+    /// # Errors
+    /// Returns [`StorageError::FaultInjected`] when the injector fails
+    /// this read and [`StorageError::PageOutOfBounds`] for an invalid
+    /// page id.
     pub fn read(&mut self, id: PageId) -> Result<Page, StorageError> {
         self.reads += 1;
         self.faults.before_read()?;
@@ -73,6 +78,11 @@ impl SimulatedDisk {
     }
 
     /// Physically writes a page (counted, fault-checked).
+    ///
+    /// # Errors
+    /// Returns [`StorageError::FaultInjected`] when the injector fails
+    /// this write and [`StorageError::PageOutOfBounds`] for an invalid
+    /// page id.
     pub fn write(&mut self, page: &Page) -> Result<(), StorageError> {
         self.writes += 1;
         self.faults.before_write()?;
@@ -174,11 +184,21 @@ impl RetryPager {
     }
 
     /// Reads a page, retrying transient faults per the policy.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::RetriesExhausted`] once transient faults
+    /// outlast the retry policy, or the underlying error for
+    /// non-retryable failures.
     pub fn read(&mut self, id: PageId) -> Result<Page, StorageError> {
         self.with_retries(IoOp::Read, |disk| disk.read(id))
     }
 
     /// Writes a page, retrying transient faults per the policy.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::RetriesExhausted`] once transient faults
+    /// outlast the retry policy, or the underlying error for
+    /// non-retryable failures.
     pub fn write(&mut self, page: &Page) -> Result<(), StorageError> {
         self.with_retries(IoOp::Write, |disk| disk.write(page))
     }

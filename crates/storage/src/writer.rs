@@ -100,6 +100,9 @@ pub struct FileSink {
 
 impl FileSink {
     /// Creates (truncates) `path` for writing.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::Io`] when the file cannot be created.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, StorageError> {
         let path = path.as_ref();
         let file = File::create(path).map_err(|e| StorageError::io_at(IoOp::Write, path, &e))?;
@@ -192,6 +195,9 @@ impl<S: OutputSink> OutputWriter<S> {
     }
 
     /// Writes one link line: two padded ids separated by a space.
+    ///
+    /// # Errors
+    /// Returns [`StorageError`] when the sink rejects the write.
     pub fn write_link(&mut self, a: u32, b: u32) -> Result<(), StorageError> {
         self.scratch.clear();
         Self::push_padded(&mut self.scratch, a, self.width);
@@ -207,6 +213,10 @@ impl<S: OutputSink> OutputWriter<S> {
     ///
     /// An empty group is reported as [`StorageError::EmptyGroupRow`] —
     /// the join algorithms never emit one.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::EmptyGroupRow`] for an empty group and
+    /// any sink error otherwise.
     pub fn write_group(&mut self, ids: &[u32]) -> Result<(), StorageError> {
         if ids.is_empty() {
             return Err(StorageError::EmptyGroupRow);
@@ -262,6 +272,9 @@ impl<S: OutputSink> OutputWriter<S> {
     }
 
     /// Flushes and returns the sink.
+    ///
+    /// # Errors
+    /// Returns [`StorageError`] when the final flush fails.
     pub fn finish(mut self) -> Result<S, StorageError> {
         self.sink.flush()?;
         Ok(self.sink)
