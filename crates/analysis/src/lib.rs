@@ -15,6 +15,7 @@
 //! | `float-discipline` | float `==`/`!=` in `csj-geom`/`csj-core` carries `// FLOAT-EQ:` |
 //! | `determinism` | no clock/RNG in the merge/output modules |
 //! | `error-hygiene` | `pub fn … -> Result` documents an `# Errors` section |
+//! | `sync-facade` | csj-core imports sync primitives via `crate::sync`, keeping them model-checkable |
 //!
 //! Findings are suppressible inline with a mandatory reason:
 //! `// csj-lint: allow(<rule>) — <reason>`. See DESIGN.md §8 for the

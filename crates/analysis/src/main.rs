@@ -1,7 +1,7 @@
 //! `csj-lint` — the workspace static-analysis pass.
 //!
 //! ```text
-//! csj-lint [--root <dir>] [--format text|json]
+//! csj-lint [--root <dir>] [--format text|json|sarif]
 //! csj-lint --explain <rule>
 //! csj-lint --list-rules
 //! ```
@@ -15,12 +15,13 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use csj_analysis::report::{render_json, render_text};
+use csj_analysis::report::{render_json, render_sarif, render_text};
 use csj_analysis::{all_rules, analyze_workspace, find_workspace_root, rule_by_name};
 
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 struct Opts {
@@ -34,9 +35,11 @@ const USAGE: &str = "\
 csj-lint — static analysis for the compact-similarity-joins workspace
 
 USAGE:
-    csj-lint [--root <dir>] [--format text|json]
+    csj-lint [--root <dir>] [--format text|json|sarif]
     csj-lint --explain <rule>
     csj-lint --list-rules
+
+`--format sarif` emits SARIF 2.1.0 for GitHub code-scanning upload.
 
 The workspace root is auto-detected from the current directory when
 --root is omitted. Exit codes: 0 clean, 1 unsuppressed findings,
@@ -54,7 +57,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => opts.format = Format::Text,
                 Some("json") => opts.format = Format::Json,
-                other => return Err(format!("--format expects text|json, got {other:?}")),
+                Some("sarif") => opts.format = Format::Sarif,
+                other => return Err(format!("--format expects text|json|sarif, got {other:?}")),
             },
             "--explain" => {
                 let v = it.next().ok_or("--explain needs a rule name")?;
@@ -128,6 +132,7 @@ fn main() -> ExitCode {
     match opts.format {
         Format::Text => emit(&render_text(&report)),
         Format::Json => emit(&render_json(&report)),
+        Format::Sarif => emit(&render_sarif(&report)),
     }
     if report.unsuppressed() > 0 {
         ExitCode::from(1)

@@ -101,6 +101,69 @@ pub fn render_json(report: &WorkspaceReport) -> String {
     out
 }
 
+/// SARIF 2.1.0 rendering — the interchange format GitHub code scanning
+/// ingests, so lint findings surface as PR annotations. One run, one
+/// `tool.driver` listing every rule (`--explain` summaries become rule
+/// `shortDescription`s), one `result` per unsuppressed diagnostic with
+/// a physical location. Suppressed findings are by design absent: an
+/// inline `csj-lint: allow` with a reason is a reviewed decision, not
+/// something to re-litigate on every PR.
+pub fn render_sarif(report: &WorkspaceReport) -> String {
+    let mut out = String::from(
+        "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \
+         \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n      \
+         \"tool\": {\n        \"driver\": {\n          \"name\": \"csj-lint\",\n          \
+         \"informationUri\": \"https://example.invalid/csj-lint\",\n          \"rules\": [",
+    );
+    let mut rules: Vec<&'static str> = all_rules().iter().map(|r| r.name).collect();
+    rules.push(META_RULE);
+    for (k, rule) in all_rules().iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            escape_json(rule.name),
+            escape_json(rule.summary)
+        ));
+    }
+    out.push_str(&format!(
+        ",\n            {{\"id\": \"{META_RULE}\", \"shortDescription\": \
+         {{\"text\": \"suppression hygiene: allow(...) needs a known rule and a reason\"}}}}"
+    ));
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    let mut first = true;
+    for file in &report.files {
+        for d in &file.report.diagnostics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            // Stable index into the driver's rule array (meta-rule last).
+            let rule_index = rules.iter().position(|r| *r == d.rule).unwrap_or(rules.len() - 1);
+            out.push_str(&format!(
+                "\n        {{\n          \"ruleId\": \"{}\",\n          \"ruleIndex\": {},\n          \
+                 \"level\": \"error\",\n          \"message\": {{\"text\": \"{}\"}},\n          \
+                 \"locations\": [\n            {{\n              \"physicalLocation\": {{\n                \
+                 \"artifactLocation\": {{\"uri\": \"{}\"}},\n                \
+                 \"region\": {{\"startLine\": {}, \"startColumn\": {}}}\n              }}\n            \
+                 }}\n          ]\n        }}",
+                escape_json(d.rule),
+                rule_index,
+                escape_json(&d.message),
+                escape_json(&d.file),
+                d.line,
+                d.col
+            ));
+        }
+    }
+    if !first {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -126,5 +189,49 @@ mod tests {
     fn escaping() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn sarif_shape() {
+        use crate::rules::{Diagnostic, FileReport};
+        use crate::workspace::AnalyzedFile;
+
+        let mut report = WorkspaceReport::default();
+        report.files.push(AnalyzedFile {
+            rel_path: "crates/core/src/x.rs".into(),
+            report: FileReport {
+                diagnostics: vec![Diagnostic {
+                    rule: "sync-facade",
+                    file: "crates/core/src/x.rs".into(),
+                    line: 7,
+                    col: 5,
+                    message: "a \"quoted\" message".into(),
+                }],
+                suppressed: 3,
+            },
+        });
+        let sarif = render_sarif(&report);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"csj-lint\""));
+        assert!(sarif.contains("\"ruleId\": \"sync-facade\""));
+        assert!(sarif.contains("\"startLine\": 7, \"startColumn\": 5"));
+        assert!(sarif.contains("a \\\"quoted\\\" message"));
+        // Every shipped rule plus the meta-rule is declared in the driver.
+        for rule in all_rules() {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", rule.name)), "{}", rule.name);
+        }
+        assert!(sarif.contains(&format!("\"id\": \"{META_RULE}\"")));
+        // Balanced braces/brackets — cheap structural sanity without serde.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = sarif.matches(open).count();
+            let closes = sarif.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close}");
+        }
+    }
+
+    #[test]
+    fn sarif_empty_results_array_is_well_formed() {
+        let sarif = render_sarif(&WorkspaceReport::default());
+        assert!(sarif.contains("\"results\": []"));
     }
 }

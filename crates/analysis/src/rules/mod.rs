@@ -18,6 +18,7 @@ pub mod determinism;
 pub mod error_hygiene;
 pub mod float_eq;
 pub mod panic_safety;
+pub mod sync_facade;
 
 use crate::context::FileCtx;
 
@@ -78,6 +79,12 @@ pub fn all_rules() -> &'static [Rule] {
             summary: "pub fns returning Result need a doc comment with an `# Errors` section",
             explain: error_hygiene::EXPLAIN,
             check: error_hygiene::check,
+        },
+        Rule {
+            name: "sync-facade",
+            summary: "csj-core uses `crate::sync`, never `std::sync`, outside the facade",
+            explain: sync_facade::EXPLAIN,
+            check: sync_facade::check,
         },
     ]
 }

@@ -106,6 +106,27 @@ fn error_hygiene_good_is_silent() {
 }
 
 #[test]
+fn sync_facade_bad_fires_in_core_only() {
+    let src = include_str!("fixtures/sync_facade_bad.rs");
+    let (fired, _) = run("crates/core/src/fixture.rs", src);
+    assert_eq!(lines_of(&fired, "sync-facade"), vec![4, 7, 8], "fired: {fired:?}");
+    // Other crates are out of scope — only csj-core is model-checked.
+    let (elsewhere, _) = run("crates/geom/src/fixture.rs", src);
+    assert!(lines_of(&elsewhere, "sync-facade").is_empty(), "fired: {elsewhere:?}");
+    // The facade module itself is the one legitimate `std::sync` site.
+    let (facade, _) = run("crates/core/src/sync.rs", src);
+    assert!(lines_of(&facade, "sync-facade").is_empty(), "fired: {facade:?}");
+}
+
+#[test]
+fn sync_facade_good_is_silent() {
+    let (fired, suppressed) =
+        run("crates/core/src/fixture.rs", include_str!("fixtures/sync_facade_good.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+    assert_eq!(suppressed, 1, "the justified PoisonError import is suppressed");
+}
+
+#[test]
 fn suppression_mechanics() {
     let (fired, suppressed) =
         run("crates/core/src/fixture.rs", include_str!("fixtures/suppression_mechanics.rs"));

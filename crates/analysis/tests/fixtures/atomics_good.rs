@@ -1,6 +1,6 @@
 //! Fixture: atomics the rule must NOT flag.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// SeqCst is the conservative default; the rule audits departures from it.
 pub fn seqcst(n: &AtomicU64) -> u64 {

@@ -21,7 +21,7 @@ pub fn describe() -> &'static str {
 }
 
 /// A justified call carries a reasoned suppression.
-pub fn poisoned(m: &std::sync::Mutex<u32>) -> u32 {
+pub fn poisoned(m: &crate::sync::Mutex<u32>) -> u32 {
     // csj-lint: allow(panic-safety) — lock poisoning means a worker already
     // panicked; propagating is the correct response.
     *m.lock().unwrap()

@@ -1,0 +1,13 @@
+//! Fixture: direct `std::sync` references inside csj-core.
+
+// An import is the common leak.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// A fully qualified inline path leaks just the same.
+fn fresh() -> std::sync::Mutex<u32> {
+    std::sync::Mutex::new(0)
+}
+
+fn count(n: &AtomicUsize) -> usize {
+    n.load(Ordering::SeqCst)
+}

@@ -1,0 +1,32 @@
+//! Fixture: csj-core code that respects the `crate::sync` facade.
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex};
+
+/// Native scope spawning is not a facade concern: the model harness
+/// mirrors the protocol instead of intercepting thread creation.
+fn tally(n: &AtomicUsize) -> usize {
+    std::thread::scope(|_| n.load(Ordering::SeqCst))
+}
+
+// csj-lint: allow(sync-facade) — PoisonError itself, not a primitive;
+// carries no scheduling point to instrument.
+use std::sync::PoisonError;
+
+fn recover<T>(e: PoisonError<T>) -> T {
+    e.into_inner()
+}
+
+fn share(v: u32) -> Arc<Mutex<u32>> {
+    Arc::new(Mutex::new(v))
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code executes natively, never under the model.
+    use std::sync::Barrier;
+
+    fn meet(b: &Barrier) {
+        b.wait();
+    }
+}

@@ -31,9 +31,14 @@ fn workspace_has_zero_unsuppressed_findings() {
 #[test]
 fn workspace_scan_covers_every_crate() {
     let report = analyze_workspace(workspace_root()).expect("workspace walk");
-    for needle in
-        ["crates/core/", "crates/geom/", "crates/index/", "crates/storage/", "crates/analysis/"]
-    {
+    for needle in [
+        "crates/core/",
+        "crates/geom/",
+        "crates/index/",
+        "crates/storage/",
+        "crates/analysis/",
+        "crates/model/",
+    ] {
         assert!(
             report.files.iter().any(|f| f.rel_path.starts_with(needle)),
             "scan must include {needle}",
@@ -49,6 +54,13 @@ fn every_suppression_names_a_real_rule() {
     let names: Vec<&str> = all_rules().iter().map(|r| r.name).collect();
     assert_eq!(
         names,
-        ["panic-safety", "atomics-discipline", "float-discipline", "determinism", "error-hygiene"]
+        [
+            "panic-safety",
+            "atomics-discipline",
+            "float-discipline",
+            "determinism",
+            "error-hygiene",
+            "sync-facade"
+        ]
     );
 }

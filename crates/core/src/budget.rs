@@ -11,9 +11,10 @@
 //! measured-over-fraction extrapolation the paper used. A
 //! [`CancelToken`] gives callers the same graceful stop on demand.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
+
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 
 /// Resource limits for a join run, checked at root-level task
 /// boundaries. The default is unlimited.

@@ -69,6 +69,7 @@ pub mod resilient;
 pub mod spatial;
 pub mod ssj;
 pub mod stats;
+pub mod sync;
 pub mod verify;
 
 pub use budget::{BudgetUsage, CancelToken, Completion, RunBudget, StopReason};

@@ -11,8 +11,6 @@
 //! `perf_baseline` can measure the work-stealing scheduler against it.
 //! New code should use [`super::ParallelJoin`].
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use csj_index::{JoinIndex, NodeId};
@@ -23,6 +21,8 @@ use crate::engine::{infallible, CollectSink, DirectEmit, Engine, LinkHandler, Wi
 use crate::group::MbrShape;
 use crate::output::{JoinOutput, OutputItem};
 use crate::stats::JoinStats;
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::Mutex;
 use crate::JoinConfig;
 
 /// The pre-work-stealing parallel join: static task split, shared task
@@ -135,7 +135,11 @@ impl StaticParallelJoin {
         let record_stop = |reason: StopReason| {
             // ORDERING: advisory early-exit flag; a worker that misses the
             // store runs at most one extra task, and the scope join below
-            // is the real synchronization point for results.
+            // is the real synchronization point for results. Unlike the
+            // work-stealing scheduler's `stop` (SeqCst — it gates a
+            // `pending`-based termination protocol, DESIGN.md §9), no
+            // other state hangs off this flag: workers exit when the
+            // shared task index runs out regardless.
             stop.store(true, Ordering::Relaxed);
             // csj-lint: allow(panic-safety) — a poisoned lock means a
             // worker already panicked; propagating is the only sound exit.
@@ -147,6 +151,9 @@ impl StaticParallelJoin {
             for _ in 0..self.threads.min(tasks.len()) {
                 scope.spawn(|| loop {
                     // ORDERING: advisory; see the matching store above.
+                    // Stale-read worst case (one extra task) is bounded
+                    // because the task index below, not this flag, is
+                    // what terminates the loop.
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }

@@ -38,8 +38,6 @@
 pub mod baseline;
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use csj_index::{JoinIndex, NodeId};
@@ -49,6 +47,8 @@ use crate::engine::{infallible, CollectSink, DirectEmit, Engine, LinkHandler, Wi
 use crate::group::MbrShape;
 use crate::output::{JoinOutput, OutputItem};
 use crate::stats::JoinStats;
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::Mutex;
 use crate::JoinConfig;
 
 /// Which algorithm the parallel runner executes per task.
@@ -114,6 +114,30 @@ type TaskResult = (TaskKey, Vec<OutputItem>, JoinStats, bool);
 /// Scheduler state shared by all workers. The `pool` mutex is the only
 /// lock, and it is only taken when donating, stealing, or parking — the
 /// per-task hot path sees atomics exclusively.
+///
+/// Memory-ordering contract (DESIGN.md §9; model-checked by
+/// `csj_model::protocols`, which mirrors this struct field for field):
+///
+/// * **Load-bearing, `SeqCst`:** `stop` and `pending` gate worker
+///   termination. `pending` in particular must never be observed as
+///   zero while tasks exist: split adds children *before* retiring the
+///   parent, and per-location coherence means a load cannot travel
+///   back past the `fetch_add` in its modification order — so even a
+///   relaxed load could not see the dip, but the termination flags
+///   stay `SeqCst` as the documented safety margin and are excluded
+///   from the downgrade below.
+/// * **Advisory, `Relaxed`:** `pool_len` and `starving` only steer the
+///   split/donate heuristics; stale reads delay or duplicate a
+///   donation, never affect the merged output (split-invariance).
+/// * **Stats, `Relaxed`:** `links`/`groups`/`bytes` feed the advisory
+///   budget check mid-run and the completion report afterwards;
+///   `executed`/`stolen`/`splits`/`total_tasks` are only reported.
+///   Final values are read after `thread::scope` joins every worker,
+///   and the join edge already orders all their writes. The model
+///   suite (`cargo test -p csj-model`) exhausts the steal/donate,
+///   cancel-quiesce and re-split protocols at preemption bound 2 with
+///   exactly these orderings and proves the counters still sum
+///   correctly under every schedule.
 struct Shared {
     pool: Mutex<VecDeque<TaskItem>>,
     /// Mirror of `pool.len()`, readable without the lock.
@@ -135,6 +159,8 @@ struct Shared {
 
 impl Shared {
     fn record_stop(&self, reason: StopReason) {
+        // Load-bearing: `stop` gates worker termination (see the struct
+        // docs); it stays SeqCst deliberately.
         self.stop.store(true, Ordering::SeqCst);
         // csj-lint: allow(panic-safety) — a poisoned lock means a worker
         // already panicked; propagating the panic is the only sound exit.
@@ -269,12 +295,14 @@ impl ParallelJoin {
             }
         }
         output.stats.threads_used = workers as u64;
-        output.stats.tasks_executed = shared.executed.load(Ordering::SeqCst);
-        output.stats.tasks_stolen = shared.stolen.load(Ordering::SeqCst);
-        output.stats.tasks_split = shared.splits.load(Ordering::SeqCst);
-        let total = shared.total_tasks.load(Ordering::SeqCst);
-        // csj-lint: allow(panic-safety) — all workers joined cleanly above,
-        // so the lock cannot be poisoned or held here.
+        // ORDERING: read after the scope join above, which already
+        // synchronized every worker's writes (see the Shared docs).
+        output.stats.tasks_executed = shared.executed.load(Ordering::Relaxed);
+        output.stats.tasks_stolen = shared.stolen.load(Ordering::Relaxed); // ORDERING: as above
+        output.stats.tasks_split = shared.splits.load(Ordering::Relaxed); // ORDERING: as above
+        let total = shared.total_tasks.load(Ordering::Relaxed); // ORDERING: as above
+                                                                // csj-lint: allow(panic-safety) — all workers joined cleanly above,
+                                                                // so the lock cannot be poisoned or held here.
         let reason = shared.stop_reason.into_inner().expect("stop reason lock poisoned");
         output.completion = match reason {
             None if done == total => Completion::Complete,
@@ -284,8 +312,9 @@ impl ParallelJoin {
             maybe => Completion::partial(
                 maybe.unwrap_or(StopReason::Canceled),
                 done as f64 / total.max(1) as f64,
-                shared.links.load(Ordering::SeqCst),
-                shared.bytes.load(Ordering::SeqCst),
+                // ORDERING: read after the scope join, as above.
+                shared.links.load(Ordering::Relaxed),
+                shared.bytes.load(Ordering::Relaxed), // ORDERING: as above
             ),
         };
         output
@@ -316,7 +345,9 @@ impl ParallelJoin {
                     // peer panicked mid-donation; propagate, don't limp on.
                     let mut pool = shared.pool.lock().expect("pool lock poisoned");
                     let item = pool.pop_front();
-                    shared.pool_len.store(pool.len(), Ordering::SeqCst);
+                    // ORDERING: advisory mirror of the pool length (see
+                    // the Shared docs); model-checked Relaxed.
+                    shared.pool_len.store(pool.len(), Ordering::Relaxed);
                     item
                 }
             };
@@ -325,18 +356,22 @@ impl ParallelJoin {
                     break;
                 }
                 if !registered_starving {
-                    shared.starving.fetch_add(1, Ordering::SeqCst);
+                    // ORDERING: advisory — steers donation/splitting
+                    // only (see the Shared docs); model-checked Relaxed.
+                    shared.starving.fetch_add(1, Ordering::Relaxed);
                     registered_starving = true;
                 }
-                std::thread::yield_now();
+                crate::sync::yield_now();
                 continue;
             };
             if registered_starving {
-                shared.starving.fetch_sub(1, Ordering::SeqCst);
+                // ORDERING: advisory, as the registration above.
+                shared.starving.fetch_sub(1, Ordering::Relaxed);
                 registered_starving = false;
             }
             if item.owner != wid {
-                shared.stolen.fetch_add(1, Ordering::SeqCst);
+                // ORDERING: stat counter, read after the scope join.
+                shared.stolen.fetch_add(1, Ordering::Relaxed);
                 item.owner = wid;
             }
 
@@ -347,9 +382,12 @@ impl ParallelJoin {
             }
             if !self.budget.is_unlimited() {
                 let usage = BudgetUsage {
-                    links: shared.links.load(Ordering::SeqCst),
-                    groups: shared.groups.load(Ordering::SeqCst),
-                    bytes: shared.bytes.load(Ordering::SeqCst),
+                    // ORDERING: monotone stat counters — a budget check
+                    // reading slightly stale totals only delays the
+                    // stop by at most one task (see the Shared docs).
+                    links: shared.links.load(Ordering::Relaxed),
+                    groups: shared.groups.load(Ordering::Relaxed), // ORDERING: as `links`
+                    bytes: shared.bytes.load(Ordering::Relaxed),   // ORDERING: as `links`
                 };
                 if let Some(r) = self.budget.exceeded_by(&usage, start.elapsed()) {
                     shared.record_stop(r);
@@ -376,16 +414,20 @@ impl ParallelJoin {
             {
                 if let Some(children) = self.split_task(tree, &item) {
                     if !children.is_empty() {
-                        shared.splits.fetch_add(1, Ordering::SeqCst);
-                        shared.total_tasks.fetch_add(children.len() as u64 - 1, Ordering::SeqCst);
-                        // Add the children before retiring the parent so
-                        // `pending` never dips to zero in between.
+                        // ORDERING: stat counters, read after the scope
+                        // join (see the Shared docs).
+                        shared.splits.fetch_add(1, Ordering::Relaxed);
+                        shared.total_tasks.fetch_add(children.len() as u64 - 1, Ordering::Relaxed); // ORDERING: as `splits`
+                                                                                                    // Add the children before retiring the parent so
+                                                                                                    // `pending` never dips to zero in between; SeqCst
+                                                                                                    // because `pending` gates termination.
                         shared.pending.fetch_add(children.len() - 1, Ordering::SeqCst);
                         // csj-lint: allow(panic-safety) — see the acquire
                         // path: a poisoned pool lock is a peer's panic.
                         let mut pool = shared.pool.lock().expect("pool lock poisoned");
                         pool.extend(children);
-                        shared.pool_len.store(pool.len(), Ordering::SeqCst);
+                        // ORDERING: advisory mirror, as the acquire path.
+                        shared.pool_len.store(pool.len(), Ordering::Relaxed);
                         continue;
                     }
                 }
@@ -412,19 +454,26 @@ impl ParallelJoin {
                         pool.push_back(t);
                     }
                 }
-                shared.pool_len.store(pool.len(), Ordering::SeqCst);
+                // ORDERING: advisory mirror, as the acquire path.
+                shared.pool_len.store(pool.len(), Ordering::Relaxed);
             }
 
             let (items, stats, completed) = self.run_task(tree, &item.task);
+            // Load-bearing: `pending` gates the starving workers' exit
+            // check and must stay SeqCst (see the Shared docs).
             shared.pending.fetch_sub(1, Ordering::SeqCst);
-            shared.executed.fetch_add(1, Ordering::SeqCst);
+            // ORDERING: stat counter, read after the scope join.
+            shared.executed.fetch_add(1, Ordering::Relaxed);
             if !completed {
                 shared.record_stop(StopReason::Canceled);
             }
-            shared.links.fetch_add(stats.links_emitted + stats.links_in_groups, Ordering::SeqCst);
-            shared.groups.fetch_add(stats.groups_emitted, Ordering::SeqCst);
+            // ORDERING: monotone counters feeding the advisory budget
+            // check; final totals are read after the scope join, which
+            // orders them (see the Shared docs).
+            shared.links.fetch_add(stats.links_emitted + stats.links_in_groups, Ordering::Relaxed);
+            shared.groups.fetch_add(stats.groups_emitted, Ordering::Relaxed); // ORDERING: as `links`
             let task_bytes: u64 = items.iter().map(|i| i.format_bytes(self.id_width)).sum();
-            shared.bytes.fetch_add(task_bytes, Ordering::SeqCst);
+            shared.bytes.fetch_add(task_bytes, Ordering::Relaxed); // ORDERING: as `links`
             out.push((item.key, items, stats, completed));
         }
         out
@@ -726,6 +775,122 @@ mod tests {
             .run(&tree);
         assert_eq!(out.completion.stop_reason(), Some(StopReason::Canceled));
         assert!(out.items.is_empty(), "the boundary check fires before the first task completes");
+    }
+
+    /// Regression: cancellation arriving *mid-steal* — the token set
+    /// between a worker's pool pop and its execution of that task —
+    /// drops the in-flight task without executing it, and the
+    /// `Completion::Partial` accounting must stay consistent anyway.
+    /// Timing is swept here (spin-delayed cancellers, plus one
+    /// pre-canceled run so a partial outcome is guaranteed); the model
+    /// checker covers the same window *exhaustively* in
+    /// `csj_model::protocols::quiesce_scenario`, which pins cancel
+    /// between acquisition and execution on every schedule.
+    #[test]
+    fn cancel_mid_steal_keeps_partial_stats_consistent() {
+        let pts = skewed(2_500);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(8));
+        let eps = 0.01;
+        let truth = brute_force_links(&pts, eps);
+        let mut saw_partial = false;
+        // delay == 0 cancels before the run starts (deterministic
+        // partial); larger delays land inside the steal/execute window.
+        for delay in 0..16u32 {
+            let token = CancelToken::new();
+            if delay == 0 {
+                token.cancel();
+            }
+            let canceller = std::thread::spawn({
+                let token = token.clone();
+                move || {
+                    for _ in 0..delay * 400 {
+                        std::hint::spin_loop();
+                    }
+                    token.cancel();
+                }
+            });
+            let out = ParallelJoin::new(eps, ParallelAlgo::Ssj)
+                .with_threads(4)
+                .with_cancel(&token)
+                .run(&tree);
+            canceller.join().expect("canceller thread");
+            // Lossless prefix regardless of where the cancel landed.
+            for link in out.expanded_link_set() {
+                assert!(truth.contains(&link), "canceled run emitted false link {link:?}");
+            }
+            match out.completion {
+                Completion::Complete => {
+                    assert_eq!(out.expanded_link_set(), truth);
+                }
+                Completion::Partial {
+                    reason,
+                    completed_fraction,
+                    estimated_links,
+                    estimated_bytes,
+                } => {
+                    saw_partial = true;
+                    assert_eq!(reason, StopReason::Canceled, "delay={delay}");
+                    assert!(
+                        (0.0..=1.0).contains(&completed_fraction),
+                        "fraction {completed_fraction} out of range, delay={delay}"
+                    );
+                    // The estimates must be the measured totals scaled by
+                    // the completed fraction — a dropped in-flight task
+                    // (the mid-steal case) must not skew the bookkeeping.
+                    let measured = (out.stats.links_emitted + out.stats.links_in_groups) as f64;
+                    if completed_fraction > 0.0 {
+                        let expected = measured / completed_fraction;
+                        assert!(
+                            (estimated_links - expected).abs() <= expected * 1e-12 + 1e-12,
+                            "estimated_links {estimated_links} != {measured}/{completed_fraction}, delay={delay}"
+                        );
+                        assert!(estimated_bytes >= 0.0);
+                    } else {
+                        assert_eq!(estimated_links, 0.0, "nothing measured, delay={delay}");
+                        assert_eq!(estimated_bytes, 0.0, "nothing measured, delay={delay}");
+                    }
+                    // An interrupted task counts as executed but never as
+                    // done, so executed can only exceed the done count.
+                    let total = out.stats.tasks_split + out.stats.tasks_executed;
+                    assert!(
+                        out.stats.tasks_executed <= total,
+                        "executed {} > total {total}, delay={delay}",
+                        out.stats.tasks_executed
+                    );
+                }
+            }
+        }
+        assert!(saw_partial, "the pre-canceled run must come back Partial");
+    }
+
+    /// Miri-sized smoke test (the Miri CI job filters on `miri_`): the
+    /// full steal/donate/split machinery on a workload small enough for
+    /// the interpreter, still checked against brute force.
+    #[test]
+    fn miri_parallel_smoke() {
+        let pts = clustered(80);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(4));
+        let eps = 0.05;
+        let truth = brute_force_links(&pts, eps);
+        for algo in [ParallelAlgo::Ssj, ParallelAlgo::Csj(4)] {
+            let out = ParallelJoin::new(eps, algo).with_threads(3).run(&tree);
+            assert_eq!(out.expanded_link_set(), truth, "{algo:?}");
+        }
+    }
+
+    /// Miri-sized cancellation smoke test: a pre-canceled token still
+    /// quiesces cleanly under the interpreter.
+    #[test]
+    fn miri_parallel_cancel_smoke() {
+        let pts = clustered(60);
+        let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(4));
+        let token = CancelToken::new();
+        token.cancel();
+        let out = ParallelJoin::new(0.05, ParallelAlgo::Ssj)
+            .with_threads(2)
+            .with_cancel(&token)
+            .run(&tree);
+        assert_eq!(out.completion.stop_reason(), Some(StopReason::Canceled));
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! [`RaceCell`]: shared data with *logical* race detection.
+//!
+//! The model's whole job is to catch unsynchronized access to shared
+//! data, but genuinely unsynchronized access would be UB in the model
+//! itself. `RaceCell` squares that: the storage is a plain mutex (safe,
+//! always coherent), while every access is reported to the scheduler
+//! as an *unsynchronized* read or write. The vector-clock detector
+//! then flags any pair of accesses from different threads with no
+//! happens-before edge between them — precisely the accesses that
+//! would be a data race if the cell were a bare field, as it is in the
+//! code being modeled.
+//!
+//! Use it in model fixtures wherever production code has plain shared
+//! state whose safety rests on the protocol (e.g. data published via a
+//! flag): if the protocol's orderings are wrong, the check fails with
+//! a replayable [`crate::Failure::DataRace`].
+
+use std::sync::{Mutex, PoisonError};
+
+use crate::sched::{self, Op};
+
+/// Shared storage whose accesses are race-checked instead of
+/// synchronized. See the module docs.
+#[derive(Debug, Default)]
+pub struct RaceCell<T> {
+    id: u64,
+    v: Mutex<T>,
+}
+
+impl<T> RaceCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: T) -> Self {
+        Self { id: sched::next_loc_id(), v: Mutex::new(value) }
+    }
+
+    /// Race-checked read.
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.with(Clone::clone)
+    }
+
+    /// Race-checked write.
+    pub fn set(&self, value: T) {
+        self.with_mut(|slot| *slot = value);
+    }
+
+    /// Race-checked read through a closure (for non-`Clone` payloads).
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        sched::yield_point(Op::CellRead { loc: self.id });
+        f(&self.v.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Race-checked in-place update.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        sched::yield_point(Op::CellWrite { loc: self.id });
+        f(&mut self.v.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}

@@ -1,0 +1,414 @@
+//! Model-sized mirrors of the work-stealing scheduler's protocols.
+//!
+//! These functions re-implement the *protocol skeleton* of
+//! `csj_core::parallel`'s `worker_loop` — the same shared state, the
+//! same operations in the same order, with the same memory orderings —
+//! on top of this crate's instrumented [`crate::sync`] primitives,
+//! with the join work abstracted to leaf-range tasks. `csj-model`
+//! cannot depend on `csj-core` (the facade points the other way), so
+//! the mirror is kept line-for-line reviewable against
+//! `crates/core/src/parallel/mod.rs`; any protocol change there must
+//! be reflected here (DESIGN.md §9 pairs the two).
+//!
+//! Each scenario asserts the scheduler's contract *inside* the model
+//! closure, so [`crate::check`] refutes it over every interleaving up
+//! to the preemption bound:
+//!
+//! * [`steal_donate_scenario`] — donation/stealing neither duplicates
+//!   nor drops a task; stats counters sum correctly.
+//! * [`quiesce_scenario`] — stop-flag and cancellation quiesce all
+//!   workers with `Partial`-consistent accounting, including cancel
+//!   arriving between a pool pop and task execution (mid-steal).
+//! * [`resplit_scenario`] — starvation-driven re-splitting covers
+//!   exactly the parent's leaves, exactly once.
+//!
+//! The deliberately broken [`relaxed_publication_race`] (data behind a
+//! `Relaxed` flag) is the seeded-race fixture: the checker must find
+//! and replay it. [`release_acquire_publication`] is the corrected
+//! protocol, which must verify clean — together they pin the race
+//! detector's precision in both directions.
+
+use std::collections::VecDeque;
+use std::sync::PoisonError;
+
+use crate::cell::RaceCell;
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex};
+use crate::thread;
+
+/// A task covering the leaf range `lo..=hi`; splittable when it covers
+/// more than one leaf (the stand-in for a subtree join task, whose
+/// children cover exactly the parent's work).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ModelTask {
+    /// First leaf covered.
+    pub lo: u32,
+    /// Last leaf covered (inclusive).
+    pub hi: u32,
+}
+
+impl ModelTask {
+    /// A single-leaf task.
+    pub fn leaf(i: u32) -> Self {
+        ModelTask { lo: i, hi: i }
+    }
+
+    fn splittable(self) -> bool {
+        self.hi > self.lo
+    }
+
+    fn split(self) -> (ModelTask, ModelTask) {
+        let mid = self.lo + (self.hi - self.lo) / 2;
+        (ModelTask { lo: self.lo, hi: mid }, ModelTask { lo: mid + 1, hi: self.hi })
+    }
+}
+
+/// `(owner, task)` — a pool take by a different worker is a steal,
+/// exactly as `TaskItem::owner` in the production scheduler.
+pub type PoolItem = (usize, ModelTask);
+
+/// Mirror of `csj_core::parallel`'s `Shared`: same fields, same
+/// orderings. Stats counters and the advisory `pool_len`/`starving`
+/// mirrors are `Relaxed`; `stop` and `pending` gate termination and
+/// stay `SeqCst`. The scenarios in this module are the evidence that
+/// this split is sound — see DESIGN.md §9.
+pub struct ModelShared {
+    /// Donation pool (the only lock).
+    pub pool: Mutex<VecDeque<PoolItem>>,
+    /// Lock-free mirror of `pool.len()`.
+    pub pool_len: AtomicUsize,
+    /// Workers currently out of work.
+    pub starving: AtomicUsize,
+    /// Tasks not yet executed.
+    pub pending: AtomicUsize,
+    /// Quiesce flag (mirror of `Shared::stop`).
+    pub stop: AtomicBool,
+    /// Mirror of `CancelToken`'s flag.
+    pub cancel: AtomicBool,
+    /// Tasks executed (stat).
+    pub executed: AtomicUsize,
+    /// Pool takes by a non-owner (stat).
+    pub stolen: AtomicUsize,
+    /// Split events (stat).
+    pub splits: AtomicUsize,
+    /// Total tasks ever created, splits included (stat).
+    pub total: AtomicUsize,
+}
+
+impl ModelShared {
+    /// Shared state for `initial` pending tasks and `workers` workers,
+    /// of which all but worker 0 start pre-registered as starving
+    /// (mirroring `ParallelJoin::run`).
+    pub fn new(initial: usize, workers: usize) -> Self {
+        ModelShared {
+            pool: Mutex::new(VecDeque::new()),
+            pool_len: AtomicUsize::new(0),
+            starving: AtomicUsize::new(workers.saturating_sub(1)),
+            pending: AtomicUsize::new(initial),
+            stop: AtomicBool::new(false),
+            cancel: AtomicBool::new(false),
+            executed: AtomicUsize::new(0),
+            stolen: AtomicUsize::new(0),
+            splits: AtomicUsize::new(0),
+            total: AtomicUsize::new(initial),
+        }
+    }
+}
+
+/// What one worker did: the tasks it executed and what was left in its
+/// private deque when it exited (nonempty only after a stop).
+pub struct WorkerOutcome {
+    /// Tasks executed, in execution order.
+    pub ran: Vec<ModelTask>,
+    /// Private-deque leftovers at exit.
+    pub leftover: Vec<ModelTask>,
+}
+
+/// One worker's run: the protocol skeleton of `worker_loop`, operation
+/// for operation. `may_split` mirrors the non-CSJ/non-plane-sweep
+/// condition; `pre_starving` mirrors workers 1..n starting registered.
+pub fn worker(
+    wid: usize,
+    shared: &ModelShared,
+    mut local: VecDeque<ModelTask>,
+    may_split: bool,
+    pre_starving: bool,
+) -> WorkerOutcome {
+    let mut ran = Vec::new();
+    let mut registered_starving = pre_starving;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Acquire: private deque first, then the pool.
+        let acquired = match local.pop_front() {
+            Some(task) => Some((wid, task)),
+            None => {
+                let mut pool = shared.pool.lock().unwrap_or_else(PoisonError::into_inner);
+                let item = pool.pop_front();
+                // ORDERING: advisory mirror of the pool length, exactly
+                // as in worker_loop (see DESIGN.md §9).
+                shared.pool_len.store(pool.len(), Ordering::Relaxed);
+                item
+            }
+        };
+        let Some((owner, task)) = acquired else {
+            if shared.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            if !registered_starving {
+                // ORDERING: advisory — steers donation/splitting only.
+                shared.starving.fetch_add(1, Ordering::Relaxed);
+                registered_starving = true;
+            }
+            thread::yield_now();
+            continue;
+        };
+        if registered_starving {
+            // ORDERING: advisory — steers donation/splitting only.
+            shared.starving.fetch_sub(1, Ordering::Relaxed);
+            registered_starving = false;
+        }
+        if owner != wid {
+            // ORDERING: stat counter, read only after all workers join.
+            shared.stolen.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Task-boundary cancel check — between acquisition (possibly a
+        // pool pop) and execution: the mid-steal window.
+        // ORDERING: mirror of CancelToken::is_canceled (Relaxed).
+        if shared.cancel.load(Ordering::Relaxed) {
+            shared.stop.store(true, Ordering::SeqCst);
+            break;
+        }
+
+        // Adaptive splitting under starvation.
+        // ORDERING: advisory loads, as in worker_loop.
+        let starving_now = shared.starving.load(Ordering::Relaxed);
+        // ORDERING: as `starving`.
+        let pool_len_now = shared.pool_len.load(Ordering::Relaxed);
+        if may_split && task.splittable() && starving_now > pool_len_now {
+            let (a, b) = task.split();
+            // ORDERING: stat counters, read only after workers join.
+            shared.splits.fetch_add(1, Ordering::Relaxed);
+            shared.total.fetch_add(1, Ordering::Relaxed); // ORDERING: as `splits`
+                                                          // Children added before the parent retires so `pending`
+                                                          // never dips to zero in between (two children, one parent).
+            shared.pending.fetch_add(1, Ordering::SeqCst);
+            let mut pool = shared.pool.lock().unwrap_or_else(PoisonError::into_inner);
+            pool.push_back((wid, a));
+            pool.push_back((wid, b));
+            // ORDERING: advisory mirror, as in the acquire path.
+            shared.pool_len.store(pool.len(), Ordering::Relaxed);
+            continue;
+        }
+
+        // Cold-path donation: starving peers, low pool, spare tasks.
+        // ORDERING: advisory loads, as in worker_loop.
+        let starving_now = shared.starving.load(Ordering::Relaxed);
+        if starving_now > 0
+            && shared.pool_len.load(Ordering::Relaxed) < starving_now // ORDERING: as `starving`
+            && local.len() > 1
+        {
+            let give = local.len() / 2;
+            let mut pool = shared.pool.lock().unwrap_or_else(PoisonError::into_inner);
+            for _ in 0..give {
+                if let Some(t) = local.pop_back() {
+                    pool.push_back((wid, t));
+                }
+            }
+            // ORDERING: advisory mirror, as in the acquire path.
+            shared.pool_len.store(pool.len(), Ordering::Relaxed);
+        }
+
+        // "Execute" the task.
+        shared.pending.fetch_sub(1, Ordering::SeqCst);
+        // ORDERING: stat counter, read only after all workers join.
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+        ran.push(task);
+    }
+    WorkerOutcome { ran, leftover: local.into_iter().collect() }
+}
+
+/// The leaves a set of executed tasks covers, sorted.
+fn coverage(tasks: &[ModelTask]) -> Vec<u32> {
+    let mut leaves: Vec<u32> = tasks.iter().flat_map(|t| t.lo..=t.hi).collect();
+    leaves.sort_unstable();
+    leaves
+}
+
+/// Asserts the stats identity that holds at quiescence under every
+/// schedule: `executed` matches the work actually performed and
+/// `pending` is exactly the unexecuted remainder.
+fn assert_counters(shared: &ModelShared, outcomes: &[&WorkerOutcome]) {
+    let ran: usize = outcomes.iter().map(|o| o.ran.len()).sum();
+    assert_eq!(shared.executed.load(Ordering::SeqCst), ran, "executed != tasks actually run");
+    let total = shared.total.load(Ordering::SeqCst);
+    assert_eq!(
+        shared.pending.load(Ordering::SeqCst),
+        total - ran,
+        "pending != total - executed at quiescence"
+    );
+}
+
+/// Steal/donate protocol, two workers: worker 0 seeded with `n` leaf
+/// tasks, worker 1 starting starving (as in `ParallelJoin::run`).
+/// Every leaf must execute exactly once, wherever it ends up, and
+/// `stolen` must count exactly worker 1's pool takes. Use `n >= 3` so
+/// the donation path (requires `local.len() > 1` after an
+/// acquisition) is reachable.
+pub fn steal_donate_scenario(n: u32) {
+    let shared = Arc::new(ModelShared::new(n as usize, 2));
+    let seed: VecDeque<ModelTask> = (1..=n).map(ModelTask::leaf).collect();
+    let thief = thread::spawn({
+        let shared = Arc::clone(&shared);
+        move || worker(1, &shared, VecDeque::new(), false, true)
+    });
+    let w0 = worker(0, &shared, seed, false, false);
+    let w1 = thief.join();
+
+    let mut all = w0.ran.clone();
+    all.extend(w1.ran.iter().copied());
+    assert_eq!(coverage(&all), (1..=n).collect::<Vec<_>>(), "each task exactly once");
+    assert!(w0.leftover.is_empty() && w1.leftover.is_empty(), "no task left behind");
+    assert_counters(&shared, &[&w0, &w1]);
+    assert_eq!(
+        shared.stolen.load(Ordering::SeqCst),
+        w1.ran.len(),
+        "every worker-1 task came via the pool and counted as a steal"
+    );
+    assert_eq!(shared.pending.load(Ordering::SeqCst), 0, "complete run leaves nothing pending");
+}
+
+/// Stop/cancel quiesce protocol: two workers over `n` leaf tasks plus
+/// a canceller thread that fires mid-run. Under every schedule —
+/// including cancel landing between a worker's pool pop and its
+/// execution of that task (the mid-steal window) — both workers must
+/// quiesce with consistent partial accounting: `executed` counts
+/// exactly the tasks run, `pending` is exactly the remainder, and a
+/// task acquired-but-dropped at the cancel boundary is part of that
+/// remainder, never double-counted.
+pub fn quiesce_scenario(n: u32) {
+    let shared = Arc::new(ModelShared::new(n as usize, 2));
+    let seed: VecDeque<ModelTask> = (1..=n).map(ModelTask::leaf).collect();
+    let thief = thread::spawn({
+        let shared = Arc::clone(&shared);
+        move || worker(1, &shared, VecDeque::new(), false, true)
+    });
+    let canceller = thread::spawn({
+        let shared = Arc::clone(&shared);
+        // ORDERING: mirror of CancelToken::cancel (Relaxed).
+        move || shared.cancel.store(true, Ordering::Relaxed)
+    });
+    let w0 = worker(0, &shared, seed, false, false);
+    let w1 = thief.join();
+    canceller.join();
+
+    let mut all = w0.ran.clone();
+    all.extend(w1.ran.iter().copied());
+    let cov = coverage(&all);
+    let full: Vec<u32> = (1..=n).collect();
+    // Lossless prefix: no duplicates, no invented work.
+    let mut dedup = cov.clone();
+    dedup.dedup();
+    assert_eq!(dedup, cov, "a task executed twice under cancellation");
+    assert!(cov.iter().all(|l| full.contains(l)), "executed a task that was never created");
+    assert_counters(&shared, &[&w0, &w1]);
+    if shared.stop.load(Ordering::SeqCst) {
+        // A worker observed the cancel. The unexecuted remainder is
+        // split between the pool, private leftovers, and at most one
+        // in-flight task per worker dropped at the cancel boundary.
+        let pool_left = shared.pool.lock().unwrap_or_else(PoisonError::into_inner).len();
+        let local_left = w0.leftover.len() + w1.leftover.len();
+        let pending = shared.pending.load(Ordering::SeqCst);
+        assert!(
+            pending >= pool_left + local_left,
+            "pending {pending} lost track of {} queued tasks",
+            pool_left + local_left
+        );
+        assert!(
+            pending - (pool_left + local_left) <= 2,
+            "more dropped in-flight tasks than workers"
+        );
+    } else {
+        // Both workers drained everything before the flag was seen.
+        assert_eq!(cov, full, "clean finish must have executed everything");
+        assert_eq!(shared.pending.load(Ordering::SeqCst), 0);
+    }
+}
+
+/// Starvation-driven re-split protocol: worker 0 holds one splittable
+/// task covering `n` leaves while worker 1 starves, so the first claim
+/// must split (starving=1 > pool_len=0 is stable until the pool is
+/// fed). Exactly-once coverage of the leaves must survive recursive
+/// splitting and the ensuing pool scramble.
+pub fn resplit_scenario(n: u32) {
+    let shared = Arc::new(ModelShared::new(1, 2));
+    let seed: VecDeque<ModelTask> = VecDeque::from([ModelTask { lo: 1, hi: n }]);
+    let thief = thread::spawn({
+        let shared = Arc::clone(&shared);
+        move || worker(1, &shared, VecDeque::new(), false, true)
+    });
+    let w0 = worker(0, &shared, seed, true, false);
+    let w1 = thief.join();
+
+    let mut all = w0.ran.clone();
+    all.extend(w1.ran.iter().copied());
+    assert_eq!(
+        coverage(&all),
+        (1..=n).collect::<Vec<_>>(),
+        "split children must cover the parent exactly once"
+    );
+    assert_counters(&shared, &[&w0, &w1]);
+    assert!(
+        shared.splits.load(Ordering::SeqCst) >= 1,
+        "a starving peer over an empty pool must force a split"
+    );
+    let total = shared.total.load(Ordering::SeqCst);
+    assert_eq!(
+        total,
+        1 + shared.splits.load(Ordering::SeqCst),
+        "every split adds exactly one net task"
+    );
+    assert_eq!(shared.pending.load(Ordering::SeqCst), 0);
+}
+
+/// The seeded race: data in a [`RaceCell`] published through a
+/// `Relaxed` flag. No release/acquire edge connects the write to the
+/// read, so some interleaving reads the cell concurrently with the
+/// write — the checker must report a [`crate::Failure::DataRace`]
+/// with a schedule that [`crate::replay`] reproduces.
+pub fn relaxed_publication_race() {
+    // ORDERING: deliberately broken — the Relaxed/Relaxed pair IS the
+    // seeded bug this scenario exists to get caught.
+    publication(Ordering::Relaxed, Ordering::Relaxed);
+}
+
+/// The corrected protocol: `Release` store / `Acquire` load. The same
+/// accesses, now ordered — the checker must exhaust the schedule
+/// space without a failure.
+pub fn release_acquire_publication() {
+    // ORDERING: the Release store publishes the cell write; the Acquire
+    // load synchronizes with it — the minimal correct publication pair.
+    publication(Ordering::Release, Ordering::Acquire);
+}
+
+fn publication(store: Ordering, load: Ordering) {
+    let data = Arc::new(RaceCell::new(0u32));
+    let flag = Arc::new(AtomicBool::new(false));
+    let writer = thread::spawn({
+        let data = Arc::clone(&data);
+        let flag = Arc::clone(&flag);
+        move || {
+            data.set(42);
+            // ORDERING: parameterized — Relaxed here is the seeded bug,
+            // Release the fix; see the two public wrappers above.
+            flag.store(true, store);
+        }
+    });
+    // ORDERING: parameterized, as the store above.
+    if flag.load(load) {
+        assert_eq!(data.get(), 42, "flag observed but payload missing");
+    }
+    writer.join();
+}

@@ -1,0 +1,80 @@
+//! Model-aware `thread::spawn` / `JoinHandle` / `yield_now`.
+//!
+//! Inside a model execution, spawned closures become model threads:
+//! the spawn edge copies the parent's vector clock to the child, and
+//! `join` is a scheduling point that stays disabled until the child
+//! finishes (joining its final clock back — the join edge). Outside a
+//! model execution everything falls through to `std::thread`.
+
+use std::panic::resume_unwind;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::sched::{self, Op};
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`
+/// except that [`JoinHandle::join`] returns `T` directly (a panicking
+/// child already failed the model execution, or is propagated in
+/// passthrough mode).
+pub struct JoinHandle<T> {
+    inner: Handle<T>,
+}
+
+enum Handle<T> {
+    Model { tid: usize, slot: Arc<Mutex<Option<T>>>, os: std::thread::JoinHandle<()> },
+    Native(std::thread::JoinHandle<T>),
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> T {
+        match self.inner {
+            Handle::Model { tid, slot, os } => {
+                sched::yield_point(Op::Join { tid });
+                // Reap the OS thread: the model thread has already
+                // marked itself finished, so this cannot block on a
+                // scheduling decision.
+                let _ = os.join();
+                let value = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+                match value {
+                    Some(v) => v,
+                    // The child unwound during teardown without
+                    // producing a value; propagate the abort.
+                    None => std::panic::panic_any(sched::ModelAbort),
+                }
+            }
+            Handle::Native(h) => h.join().unwrap_or_else(|payload| resume_unwind(payload)),
+        }
+    }
+}
+
+/// Model-aware `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        Some((inner, parent)) => {
+            let tid = sched::register_thread(&inner, Some(parent));
+            let slot = Arc::new(Mutex::new(None));
+            let slot2 = Arc::clone(&slot);
+            let os = std::thread::spawn(move || {
+                sched::run_thread_body(inner, tid, move || {
+                    let value = f();
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+                });
+            });
+            JoinHandle { inner: Handle::Model { tid, slot, os } }
+        }
+        None => JoinHandle { inner: Handle::Native(std::thread::spawn(f)) },
+    }
+}
+
+/// Model-aware `std::thread::yield_now`: a scheduling point the
+/// explorer deprioritizes (spin-loop fairness) in model executions, a
+/// real OS yield otherwise.
+pub fn yield_now() {
+    if !sched::yield_point(Op::Yield) {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,120 @@
+//! Vector clocks: the happens-before arithmetic behind the race
+//! detector.
+//!
+//! Every model thread carries a [`VClock`]; every synchronization
+//! object (atomic location, mutex) carries one too. Release-style
+//! operations publish the acting thread's clock into the object;
+//! acquire-style operations join the object's clock back into the
+//! thread. Two accesses to the same unsynchronized location race iff
+//! neither's epoch (thread id + that thread's clock component at access
+//! time) is covered by the other thread's clock — the standard
+//! FastTrack-style formulation, kept in full-vector form because model
+//! runs involve a handful of threads at most.
+
+/// A grow-on-demand vector clock. Component `t` counts operations
+/// thread `t` has performed that the owner has (transitively) observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    c: Vec<u32>,
+}
+
+impl VClock {
+    /// The zero clock (observed nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component `t`, zero when never set.
+    pub fn get(&self, t: usize) -> u32 {
+        self.c.get(t).copied().unwrap_or(0)
+    }
+
+    /// Increments component `t` (the owner performing one operation).
+    pub fn bump(&mut self, t: usize) {
+        if self.c.len() <= t {
+            self.c.resize(t + 1, 0);
+        }
+        self.c[t] += 1;
+    }
+
+    /// Pointwise maximum: the owner observes everything `other` has.
+    pub fn join(&mut self, other: &VClock) {
+        if self.c.len() < other.c.len() {
+            self.c.resize(other.c.len(), 0);
+        }
+        for (i, &v) in other.c.iter().enumerate() {
+            if self.c[i] < v {
+                self.c[i] = v;
+            }
+        }
+    }
+
+    /// `true` when an event at epoch `(t, at)` happens-before the state
+    /// this clock describes — i.e. the owner has observed thread `t` up
+    /// to at least `at`.
+    pub fn covers(&self, t: usize, at: u32) -> bool {
+        self.get(t) >= at
+    }
+}
+
+/// One access epoch: thread `tid` at its clock value `at`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Epoch {
+    pub tid: usize,
+    pub at: u32,
+}
+
+impl Epoch {
+    /// The epoch of `clock`'s own component for thread `tid`.
+    pub fn of(tid: usize, clock: &VClock) -> Self {
+        Epoch { tid, at: clock.get(tid) }
+    }
+
+    /// `true` when this epoch happens-before `clock`.
+    pub fn before(&self, clock: &VClock) -> bool {
+        clock.covers(self.tid, self.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        let mut v = VClock::new();
+        assert_eq!(v.get(3), 0);
+        v.bump(3);
+        v.bump(3);
+        assert_eq!(v.get(3), 2);
+        assert_eq!(v.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VClock::new();
+        b.bump(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+    }
+
+    #[test]
+    fn epoch_ordering() {
+        let mut writer = VClock::new();
+        writer.bump(0); // thread 0 performs a write at epoch (0, 1)
+        let w = Epoch::of(0, &writer);
+
+        // A reader that never synchronized does not cover the write.
+        let reader = VClock::new();
+        assert!(!w.before(&reader));
+
+        // After an acquire-join of the writer's clock, it does.
+        let mut synced = VClock::new();
+        synced.join(&writer);
+        assert!(w.before(&synced));
+    }
+}

@@ -1,0 +1,156 @@
+//! The checker checking itself: seeded failures it must find (with a
+//! replayable trace) and correct protocols it must pass.
+
+use csj_model::protocols::{relaxed_publication_race, release_acquire_publication};
+use csj_model::sync::atomic::{AtomicUsize, Ordering};
+use csj_model::sync::{Arc, Mutex};
+use csj_model::{check, check_with, replay, Config, Failure, Trace};
+
+/// The seeded race — data published through a `Relaxed` flag — must be
+/// detected, and the reported schedule must reproduce it exactly.
+#[test]
+fn seeded_relaxed_publication_race_is_found_and_replayable() {
+    let report = check(relaxed_publication_race);
+    let failing = report.failure.expect("the seeded race must be found");
+    assert!(
+        matches!(failing.failure, Failure::DataRace { .. }),
+        "expected a data race, got: {}",
+        failing.failure
+    );
+    assert!(!failing.trace.steps.is_empty(), "a race needs at least one decision to reach");
+
+    // The trace survives a print/parse round trip (the CI-log workflow)
+    // and replays to the same failure, deterministically, both times.
+    let parsed: Trace = failing.trace.to_string().parse().expect("trace must parse");
+    assert_eq!(parsed, failing.trace);
+    for _ in 0..2 {
+        let replayed = replay(&parsed, relaxed_publication_race);
+        let rf = replayed.failure.expect("replay must reproduce the failure");
+        assert!(
+            matches!(rf.failure, Failure::DataRace { .. }),
+            "replay found a different failure: {}",
+            rf.failure
+        );
+    }
+}
+
+/// The corrected release/acquire publication explores clean: same
+/// accesses, same schedules, zero findings — the detector keys on the
+/// happens-before edge, not on the access pattern.
+#[test]
+fn release_acquire_publication_verifies_clean() {
+    let report = check_with(Config::new().preemptions(3), release_acquire_publication);
+    report.assert_ok();
+    assert!(report.executions > 1, "publication has more than one schedule");
+}
+
+/// A lost update: two threads doing load-then-store on the same atomic.
+/// The final-value assertion must fail under some interleaving, and the
+/// failure must carry a replayable schedule.
+#[test]
+fn lost_update_is_found_as_invariant_panic() {
+    fn scenario() {
+        let n = Arc::new(AtomicUsize::new(0));
+        let h = csj_model::thread::spawn({
+            let n = Arc::clone(&n);
+            move || {
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+            }
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        h.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2, "an increment was lost");
+    }
+    let report = check(scenario);
+    let failing = report.failure.expect("the lost update must be found");
+    assert!(
+        matches!(&failing.failure, Failure::Panic { message, .. } if message.contains("lost")),
+        "expected the lost-update assertion, got: {}",
+        failing.failure
+    );
+    let replayed = replay(&failing.trace, scenario);
+    assert!(
+        matches!(replayed.failure.expect("must reproduce").failure, Failure::Panic { .. }),
+        "replay must reproduce the panic"
+    );
+}
+
+/// Classic ABBA deadlock: found, not hung.
+#[test]
+fn abba_deadlock_is_reported() {
+    let report = check(|| {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let h = csj_model::thread::spawn({
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            move || {
+                let bg = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let ag = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                drop((ag, bg));
+            }
+        });
+        let ag = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let bg = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        drop((bg, ag));
+        h.join();
+    });
+    let failing = report.failure.expect("the ABBA deadlock must be found");
+    assert!(
+        matches!(&failing.failure, Failure::Deadlock { waiting } if waiting.len() == 2),
+        "expected a two-thread deadlock, got: {}",
+        failing.failure
+    );
+}
+
+/// An unfeedable spin loop trips the operation budget as a livelock
+/// instead of hanging the test process.
+#[test]
+fn starved_spin_loop_is_reported_as_livelock() {
+    let report = check_with(Config::new().max_ops(64), || {
+        let flag = Arc::new(csj_model::sync::atomic::AtomicBool::new(false));
+        // No thread ever sets the flag.
+        while !flag.load(Ordering::SeqCst) {
+            csj_model::thread::yield_now();
+        }
+    });
+    let failing = report.failure.expect("the spin loop must trip the op budget");
+    assert!(
+        matches!(failing.failure, Failure::Livelock { .. }),
+        "expected a livelock, got: {}",
+        failing.failure
+    );
+}
+
+/// A schedule naming a thread that cannot run is rejected as divergence
+/// rather than silently rerouted — replay results must be trustworthy.
+#[test]
+fn bogus_replay_schedule_diverges() {
+    let trace: Trace = "7".parse().expect("trace parses");
+    let report = replay(&trace, || {
+        let n = Arc::new(AtomicUsize::new(0));
+        n.fetch_add(1, Ordering::SeqCst);
+    });
+    let failing = report.failure.expect("divergence must be reported");
+    assert!(
+        matches!(failing.failure, Failure::ReplayDiverged { step: 0 }),
+        "expected divergence at step 0, got: {}",
+        failing.failure
+    );
+}
+
+/// Exploration must honor the preemption bound as a *completeness*
+/// knob: a race that needs one preemption is invisible at bound 0
+/// (every thread runs to completion once started) and found at bound 1.
+#[test]
+fn preemption_bound_gates_what_is_reachable() {
+    let at_zero = check_with(Config::new().preemptions(0), relaxed_publication_race);
+    assert!(
+        at_zero.failure.is_none() && at_zero.exhausted,
+        "bound 0 runs threads to completion; the publication race needs a preemption"
+    );
+    let at_one = check_with(Config::new().preemptions(1), relaxed_publication_race);
+    assert!(at_one.failure.is_some(), "bound 1 must expose the publication race");
+}

@@ -1,0 +1,59 @@
+//! Exhaustive exploration of the work-stealing scheduler's three core
+//! protocols (mirrored from `csj_core::parallel` — see
+//! `csj_model::protocols`) at preemption bound 2. Every test asserts
+//! its invariants *inside* the model closure, so a pass here means no
+//! schedule within the bound can violate them: tasks execute exactly
+//! once, steal/donate neither duplicates nor drops work, stop and
+//! cancellation quiesce every worker with consistent partial stats,
+//! and splitting covers the parent's work exactly.
+//!
+//! Failures print a schedule trace; reproduce with
+//! `csj_model::replay(&"<trace>".parse().unwrap(), <scenario>)`
+//! (DESIGN.md §9 walks through the workflow).
+
+use csj_model::protocols::{quiesce_scenario, resplit_scenario, steal_donate_scenario};
+use csj_model::Config;
+
+/// Steal/donate: three leaf tasks seeded on worker 0, worker 1 starts
+/// starving. Donation feeds the pool, worker 1 steals; every task runs
+/// exactly once and `stolen` counts exactly the cross-worker takes.
+#[test]
+fn steal_donate_protocol_exhausted_at_bound_2() {
+    let report = Config::new().preemptions(2).check(|| steal_donate_scenario(3));
+    report.assert_ok();
+    assert!(
+        report.executions > 100,
+        "expected a real schedule space, explored only {}",
+        report.executions
+    );
+}
+
+/// Stop/cancel quiesce: two workers racing a canceller. Includes the
+/// mid-steal window — cancel landing between a pool pop and the task's
+/// execution — where the acquired task is dropped; accounting must
+/// stay consistent (`pending == total - executed`, nothing lost,
+/// nothing run twice).
+#[test]
+fn cancel_quiesce_protocol_exhausted_at_bound_2() {
+    let report = Config::new().preemptions(2).check(|| quiesce_scenario(3));
+    report.assert_ok();
+    assert!(
+        report.executions > 1000,
+        "expected a real schedule space, explored only {}",
+        report.executions
+    );
+}
+
+/// Starvation-driven re-split: one splittable task, one starving peer.
+/// The split must fire, and the children must cover the parent's
+/// leaves exactly once no matter who wins the ensuing pool scramble.
+#[test]
+fn resplit_protocol_exhausted_at_bound_2() {
+    let report = Config::new().preemptions(2).check(|| resplit_scenario(3));
+    report.assert_ok();
+    assert!(
+        report.executions > 100,
+        "expected a real schedule space, explored only {}",
+        report.executions
+    );
+}
