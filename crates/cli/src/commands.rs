@@ -408,6 +408,193 @@ fn run_join<T: JoinIndex<D> + Sync, const D: usize>(
     Ok(())
 }
 
+/// `csj shard-join <points-file> --eps E [fault-tolerance options]`
+pub fn shard_join(args: &[String]) -> Result<(), CliError> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "eps",
+            "algo",
+            "window",
+            "metric",
+            "dim",
+            "out",
+            "shards",
+            "max-attempts",
+            "task-deadline",
+            "speculate-after",
+            "heartbeat-ms",
+            "fault-plan",
+            "workers",
+            "format",
+        ],
+    )
+    .usage()?;
+    match opts.get_or("dim", 2usize).usage()? {
+        2 => shard_join_dim::<2>(&opts),
+        3 => shard_join_dim::<3>(&opts),
+        d => Err(CliError::usage(format!("unsupported dimension {d} (2 or 3)"))),
+    }
+}
+
+/// Parses an optional `--<key> <seconds>` duration flag.
+fn parse_secs_flag(opts: &Opts, key: &str) -> Result<Option<Duration>, CliError> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(raw) => {
+            let secs: f64 =
+                raw.parse().map_err(|e| CliError::usage(format!("bad value for --{key}: {e}")))?;
+            if !(secs > 0.0 && secs.is_finite()) {
+                return Err(CliError::usage(format!(
+                    "--{key} must be a finite, positive number of seconds"
+                )));
+            }
+            Ok(Some(Duration::from_secs_f64(secs)))
+        }
+    }
+}
+
+fn shard_join_dim<const D: usize>(opts: &Opts) -> Result<(), CliError> {
+    let file = opts.positional(0, "points-file").usage()?;
+    let eps = opts.require::<f64>("eps").usage()?;
+    if !(eps >= 0.0 && eps.is_finite()) {
+        return Err(CliError::usage("--eps must be finite and non-negative".to_string()));
+    }
+    let window = opts.get_or("window", 10usize).usage()?;
+    let algo = match opts.get("algo").unwrap_or("csj") {
+        "ssj" => ParallelAlgo::Ssj,
+        "ncsj" => ParallelAlgo::Ncsj,
+        "csj" => ParallelAlgo::Csj(window),
+        other => {
+            return Err(CliError::usage(format!("unknown --algo {other:?} (ssj, ncsj or csj)")))
+        }
+    };
+    let metric = parse_metric(opts.get("metric").unwrap_or("l2")).usage()?;
+    let fault_plan: csj_shard::ShardFaultPlan = match opts.get("fault-plan") {
+        None => csj_shard::ShardFaultPlan::none(),
+        Some(raw) => raw.parse().map_err(CliError::from)?,
+    };
+    let heartbeat_ms = opts.get_or("heartbeat-ms", 25u64).usage()?;
+
+    let mut join = csj_shard::ShardJoin::new(eps, algo)
+        .with_metric(metric)
+        .with_shards(opts.get_or("shards", 4usize).usage()?)
+        .with_max_attempts(opts.get_or("max-attempts", 3u32).usage()?)
+        .with_heartbeat(Duration::from_millis(heartbeat_ms.max(1)), 40)
+        .with_fault_plan(fault_plan);
+    if let Some(deadline) = parse_secs_flag(opts, "task-deadline")? {
+        join = join.with_task_deadline(deadline);
+    }
+    if let Some(after) = parse_secs_flag(opts, "speculate-after")? {
+        join = join.with_speculation(after);
+    }
+
+    let points: Vec<Point<D>> = read_points_input(file)?;
+    eprintln!("loaded {} points from {file}", points.len());
+    let start = Instant::now();
+    let run = match opts.get("workers").unwrap_or("process") {
+        "process" => {
+            let exe = std::env::current_exe().map_err(|e| {
+                CliError::Shard(csj_core::ShardError::Spawn(format!(
+                    "cannot locate own binary for worker launch: {e}"
+                )))
+            })?;
+            let transport = csj_shard::ProcessTransport::new(exe, vec!["shard-worker".to_string()]);
+            join.run(&points, &transport)?
+        }
+        "thread" => join.run(&points, &csj_shard::InProcessTransport::new())?,
+        other => {
+            return Err(CliError::usage(format!("unknown --workers {other:?} (process or thread)")))
+        }
+    };
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+
+    let width = OutputWriter::<csj_storage::CountingSink>::id_width_for(points.len());
+    let out = opts.get("out");
+    let bytes = match opts.get("format").unwrap_or("rows") {
+        "rows" => match out {
+            Some(path) => {
+                let mut writer = OutputWriter::new(FileSink::create(path)?, width);
+                run.output.write_to(&mut writer)?;
+                writer.finish()?.bytes_written()
+            }
+            None => {
+                let mut writer = OutputWriter::new(StdoutSink::new(), width);
+                run.output.write_to(&mut writer)?;
+                writer.finish()?.bytes_written()
+            }
+        },
+        "canonical" => {
+            let text = csj_shard::canonical_link_lines(&run.output);
+            match out {
+                Some(path) => {
+                    let mut sink = FileSink::create(path)?;
+                    sink.write_bytes(text.as_bytes())?;
+                    sink.flush()?;
+                }
+                None => {
+                    let mut sink = StdoutSink::new();
+                    sink.write_bytes(text.as_bytes())?;
+                    sink.flush()?;
+                }
+            }
+            text.len() as u64
+        }
+        other => {
+            return Err(CliError::usage(format!("unknown --format {other:?} (rows or canonical)")))
+        }
+    };
+
+    let stats = &run.output.stats;
+    for r in &run.reports {
+        eprintln!(
+            "shard {}: {} owned points, {} attempt(s), {} retr{}, {} timeout(s){}{}{}",
+            r.key,
+            r.owned_points,
+            r.attempts,
+            r.retries,
+            if r.retries == 1 { "y" } else { "ies" },
+            r.timeouts,
+            if r.resplit { ", re-split" } else { "" },
+            if r.speculative_win { ", speculative win" } else { "" },
+            if r.completed { "" } else { ", LOST" },
+        );
+    }
+    eprintln!(
+        "supervisor: {} retries, {} timeouts, {} re-splits, {} speculative wins",
+        stats.shard_retries,
+        stats.shard_timeouts,
+        stats.shard_resplits,
+        stats.shard_speculative_wins
+    );
+    eprintln!(
+        "sharded {algo:?} eps={eps}: {elapsed:.1} ms, {bytes} bytes, {} links + {} groups, \
+         {} distance computations",
+        stats.links_emitted, stats.groups_emitted, stats.distance_computations
+    );
+    if let Completion::Partial { reason, completed_fraction, estimated_links, estimated_bytes } =
+        run.output.completion
+    {
+        eprintln!(
+            "partial result: {reason}; {:.1}% of owned points covered; output above is \
+             lossless over the surviving shards; extrapolated totals ≈ {estimated_links:.0} \
+             links, {estimated_bytes:.0} bytes",
+            completed_fraction * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `csj shard-worker` — internal: run one shard task over stdin/stdout.
+pub fn shard_worker(args: &[String]) -> Result<(), CliError> {
+    if !args.is_empty() {
+        return Err(CliError::usage(
+            "shard-worker takes no arguments; it is launched by shard-join".to_string(),
+        ));
+    }
+    csj_shard::run_worker(std::io::stdin().lock(), std::io::stdout()).map_err(CliError::from)
+}
+
 /// `csj join2 <left> <right> --eps E [--mode ...] [--window g] [--out FILE]`
 pub fn join2(args: &[String]) -> Result<(), CliError> {
     let opts = Opts::parse(args, &["eps", "mode", "window", "metric", "dim", "out"]).usage()?;

@@ -8,8 +8,9 @@
 //! | 4 | storage | output file creation/write/flush failed |
 //! | 5 | index | persisted index corrupt, truncated or mismatched |
 //! | 6 | verify | the lossless-ness machine check found a violation |
+//! | 7 | shard | sharded execution failed to launch or speak the worker protocol |
 
-use csj_core::CsjError;
+use csj_core::{CsjError, ShardError};
 use csj_index::persist::PersistError;
 use csj_storage::StorageError;
 
@@ -28,6 +29,11 @@ pub enum CliError {
     Index(String),
     /// The verification machine check failed (exit 6).
     Verify(String),
+    /// Sharded execution could not launch workers or the supervisor
+    /// channel broke (exit 7). Worker crashes, stragglers and corrupt
+    /// frames are *not* this class — they are retried and at worst
+    /// degrade the run to a partial result, which exits 0.
+    Shard(ShardError),
 }
 
 impl CliError {
@@ -39,6 +45,7 @@ impl CliError {
             CliError::Storage(_) => 4,
             CliError::Index(_) => 5,
             CliError::Verify(_) => 6,
+            CliError::Shard(_) => 7,
         }
     }
 
@@ -61,6 +68,7 @@ impl std::fmt::Display for CliError {
             CliError::Storage(e) => write!(f, "storage: {e}"),
             CliError::Index(e) => write!(f, "index: {e}"),
             CliError::Verify(msg) => write!(f, "verification failed: {msg}"),
+            CliError::Shard(e) => write!(f, "sharded execution: {e}"),
         }
     }
 }
@@ -85,6 +93,7 @@ impl From<CsjError> for CliError {
             CsjError::Storage(s) => CliError::Storage(s),
             CsjError::Persist(p) => CliError::Index(p.to_string()),
             CsjError::InvalidConfig(msg) => CliError::Usage(msg),
+            CsjError::Shard(s) => CliError::Shard(s),
         }
     }
 }
@@ -101,6 +110,7 @@ mod tests {
             CliError::Storage(StorageError::EmptyGroupRow),
             CliError::from(PersistError::ChecksumMismatch),
             CliError::Verify("x".into()),
+            CliError::Shard(ShardError::Spawn("x".into())),
         ];
         let mut codes: Vec<u8> = errs.iter().map(CliError::exit_code).collect();
         codes.sort_unstable();
@@ -117,5 +127,7 @@ mod tests {
         assert_eq!(e.exit_code(), 5);
         let e: CliError = CsjError::InvalidConfig("bad".into()).into();
         assert_eq!(e.exit_code(), 2);
+        let e: CliError = CsjError::Shard(ShardError::Protocol("bad frame".into())).into();
+        assert_eq!(e.exit_code(), 7);
     }
 }

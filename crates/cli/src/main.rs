@@ -10,6 +10,11 @@
 //!              [--threads <N>|auto]
 //! csj verify   <points-file> --eps <E> [--dim 2|3]
 //! csj expand   <output-file>
+//! csj shard-join <points-file> --eps <E> [--shards <N>] [--algo ...]
+//!              [--max-attempts <N>] [--task-deadline <secs>]
+//!              [--speculate-after <secs>] [--fault-plan <plan>]
+//!              [--workers process|thread] [--format rows|canonical]
+//! csj shard-worker            (internal: spoken to over stdin/stdout)
 //! ```
 //!
 //! Point files are whitespace-separated coordinates, one point per line
@@ -18,7 +23,7 @@
 //! footprint at zero beyond the workspace crates.
 //!
 //! Failures exit with a class-specific code (usage 2, input 3, storage 4,
-//! index 5, verification 6) — see `error.rs`.
+//! index 5, verification 6, shard 7) — see `error.rs`.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
@@ -54,6 +59,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "join2" => commands::join2(rest),
         "verify" => commands::verify(rest),
         "expand" => commands::expand(rest),
+        "shard-join" => commands::shard_join(rest),
+        "shard-worker" => commands::shard_worker(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -94,8 +101,25 @@ commands:
       run CSJ(10) and machine-check Theorems 1 & 2 against brute force
   expand <output-file>
       expand a compact join output back into individual links
+  shard-join <points-file> --eps <E> [--algo ssj|ncsj|csj] [--window <g>]
+             [--metric l2|l1|linf] [--dim 2|3] [--out <file>]
+             [--shards <N>] [--max-attempts <N>] [--task-deadline <secs>]
+             [--speculate-after <secs>] [--heartbeat-ms <N>]
+             [--fault-plan <plan>] [--workers process|thread]
+             [--format rows|canonical]
+      fault-tolerant multi-process join: ε-strip shards run in worker
+      processes under a supervisor with heartbeats, bounded retries,
+      straggler speculation and adaptive re-split. Shards lost beyond
+      the retry budget degrade the run to a partial result (exit 0)
+      instead of failing it. --fault-plan injects deterministic worker
+      faults, e.g. 'kill:0@1;delay:1@1=300;garble:2@2;stall:1.0@1'.
+      --format canonical emits the expanded link set as sorted 'a b'
+      lines (identical to the sequential join's when the run completes)
+  shard-worker
+      internal: run one shard task, speaking the checksummed frame
+      protocol on stdin/stdout (launched by shard-join, not by hand)
 
-exit codes: 0 ok (including budget-partial results), 2 usage, 3 input,
-4 storage, 5 index, 6 verification"
+exit codes: 0 ok (including budget-partial and shard-partial results),
+2 usage, 3 input, 4 storage, 5 index, 6 verification, 7 shard"
     );
 }

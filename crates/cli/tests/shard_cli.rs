@@ -1,0 +1,151 @@
+//! End-to-end tests of `csj shard-join` with *real worker processes*:
+//! the supervisor spawns `csj shard-worker` children over the frame
+//! protocol, injects faults, and must still match the sequential join.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn csj() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_csj"))
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("csj_shard_cli_{}_{name}", std::process::id()))
+}
+
+fn generate(pts: &PathBuf, n: &str, seed: &str) {
+    let status = csj()
+        .args(["generate", "clusters2d", "--n", n, "--seed", seed, "--out"])
+        .arg(pts)
+        .status()
+        .expect("spawn csj generate");
+    assert!(status.success());
+}
+
+/// The sequential join's canonical link lines, via `join` + `expand`
+/// (expand prints the distinct expanded links in sorted order — the
+/// same canonical form `shard-join --format canonical` emits).
+fn sequential_canonical(pts: &PathBuf, eps: &str) -> String {
+    let out = temp("seq_rows.txt");
+    let status = csj()
+        .args(["join"])
+        .arg(pts)
+        .args(["--eps", eps, "--algo", "csj", "--window", "10", "--out"])
+        .arg(&out)
+        .status()
+        .expect("spawn csj join");
+    assert!(status.success());
+    let expanded = csj().arg("expand").arg(&out).output().expect("spawn csj expand");
+    assert!(expanded.status.success());
+    let _ = std::fs::remove_file(&out);
+    // `expand` streams links in encounter order; canonical form is the
+    // same lines sorted numerically.
+    let mut pairs: Vec<(u32, u32)> = String::from_utf8(expanded.stdout)
+        .expect("utf8 links")
+        .lines()
+        .map(|l| {
+            let (a, b) = l.split_once(' ').expect("'a b' line");
+            (a.parse().expect("id"), b.parse().expect("id"))
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs.iter().map(|(a, b)| format!("{a} {b}\n")).collect()
+}
+
+#[test]
+fn process_workers_with_faults_match_the_sequential_join() {
+    let pts = temp("pts.txt");
+    generate(&pts, "600", "9");
+    let want = sequential_canonical(&pts, "0.02");
+    assert!(!want.is_empty(), "baseline must have links");
+
+    // Three shards; shard 0's first worker is killed, shard 1's first
+    // worker straggles and loses to a speculative twin. Recovery must be
+    // bit-identical.
+    let got = csj()
+        .args(["shard-join"])
+        .arg(&pts)
+        .args([
+            "--eps",
+            "0.02",
+            "--algo",
+            "csj",
+            "--window",
+            "10",
+            "--shards",
+            "3",
+            "--max-attempts",
+            "3",
+            "--fault-plan",
+            "kill:0@1;delay:1@1=400",
+            "--speculate-after",
+            "0.08",
+            "--workers",
+            "process",
+            "--format",
+            "canonical",
+        ])
+        .output()
+        .expect("spawn csj shard-join");
+    let stderr = String::from_utf8_lossy(&got.stderr).to_string();
+    assert!(got.status.success(), "shard-join failed: {stderr}");
+    assert_eq!(
+        String::from_utf8(got.stdout).expect("utf8"),
+        want,
+        "sharded canonical output must equal sequential; stderr: {stderr}"
+    );
+    assert!(stderr.contains("supervisor:"), "per-shard report expected: {stderr}");
+    let _ = std::fs::remove_file(&pts);
+}
+
+#[test]
+fn kill_beyond_budget_exits_zero_with_a_partial_report() {
+    let pts = temp("partial_pts.txt");
+    generate(&pts, "500", "12");
+    let got = csj()
+        .args(["shard-join"])
+        .arg(&pts)
+        .args([
+            "--eps",
+            "0.02",
+            "--shards",
+            "3",
+            "--max-attempts",
+            "2",
+            "--fault-plan",
+            "kill:0@1;kill:0@2",
+            "--workers",
+            "process",
+            "--format",
+            "canonical",
+        ])
+        .output()
+        .expect("spawn csj shard-join");
+    let stderr = String::from_utf8_lossy(&got.stderr);
+    assert!(got.status.success(), "a lost shard degrades, it does not fail: {stderr}");
+    assert!(stderr.contains("partial result"), "stderr must report the degradation: {stderr}");
+    assert!(stderr.contains("shards lost beyond retry budget"), "{stderr}");
+    assert!(stderr.contains("LOST"), "the lost shard must be named: {stderr}");
+    let _ = std::fs::remove_file(&pts);
+}
+
+#[test]
+fn shard_worker_rejects_garbage_with_the_shard_exit_code() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = csj()
+        .arg("shard-worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn csj shard-worker");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(b"this is not a task frame")
+        .expect("write garbage");
+    let out = child.wait_with_output().expect("wait worker");
+    assert_eq!(out.status.code(), Some(7), "protocol violations use the shard exit code");
+}

@@ -109,6 +109,9 @@ pub enum StopReason {
     Deadline,
     /// A [`CancelToken`] was triggered.
     Canceled,
+    /// One or more shards of a sharded run failed beyond their retry
+    /// budget; the surviving shards' output was merged.
+    ShardsLost,
 }
 
 impl std::fmt::Display for StopReason {
@@ -119,6 +122,7 @@ impl std::fmt::Display for StopReason {
             StopReason::ByteBudget => write!(f, "output byte budget exhausted"),
             StopReason::Deadline => write!(f, "deadline passed"),
             StopReason::Canceled => write!(f, "canceled"),
+            StopReason::ShardsLost => write!(f, "shards lost beyond retry budget"),
         }
     }
 }

@@ -21,7 +21,49 @@ pub enum CsjError {
     Persist(PersistError),
     /// The requested configuration is invalid.
     InvalidConfig(String),
+    /// Sharded execution failed (frame protocol, worker processes).
+    Shard(ShardError),
 }
+
+/// An error in the multi-process shard execution layer.
+///
+/// Defined here (rather than in `csj-shard`) so [`CsjError`] can carry
+/// it: the shard crate depends on this one, not the other way around.
+/// Note that a worker dying *within* the retry budget is not an error —
+/// the supervisor retries it; these variants are for failures the
+/// supervisor cannot recover from or absorb into a
+/// [`Completion::Partial`](crate::Completion).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// A frame on the worker wire was malformed: bad magic, truncated
+    /// payload, checksum mismatch, or an unknown frame type.
+    Protocol(String),
+    /// A worker vanished (EOF / process exit without a result) and the
+    /// retry budget could not be applied — e.g. the transport failed to
+    /// relaunch it.
+    WorkerLost {
+        /// Dotted task key of the shard the worker was running.
+        shard: String,
+        /// Attempts consumed when the worker was declared lost.
+        attempts: u32,
+    },
+    /// Spawning or wiring up a worker process failed.
+    Spawn(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Protocol(msg) => write!(f, "frame protocol violation: {msg}"),
+            ShardError::WorkerLost { shard, attempts } => {
+                write!(f, "worker for shard {shard} lost after {attempts} attempt(s)")
+            }
+            ShardError::Spawn(msg) => write!(f, "failed to spawn worker: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
 
 impl fmt::Display for CsjError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -29,6 +71,7 @@ impl fmt::Display for CsjError {
             CsjError::Storage(e) => write!(f, "storage: {e}"),
             CsjError::Persist(e) => write!(f, "index persistence: {e}"),
             CsjError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CsjError::Shard(e) => write!(f, "sharded execution: {e}"),
         }
     }
 }
@@ -39,6 +82,7 @@ impl std::error::Error for CsjError {
             CsjError::Storage(e) => Some(e),
             CsjError::Persist(e) => Some(e),
             CsjError::InvalidConfig(_) => None,
+            CsjError::Shard(e) => Some(e),
         }
     }
 }
@@ -55,6 +99,12 @@ impl From<PersistError> for CsjError {
     }
 }
 
+impl From<ShardError> for CsjError {
+    fn from(e: ShardError) -> Self {
+        CsjError::Shard(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +118,20 @@ mod tests {
         let p = PersistError::ChecksumMismatch;
         let e: CsjError = p.clone().into();
         assert_eq!(e, CsjError::Persist(p));
+        let s = ShardError::WorkerLost { shard: "2.0".into(), attempts: 3 };
+        let e: CsjError = s.clone().into();
+        assert_eq!(e, CsjError::Shard(s));
+    }
+
+    #[test]
+    fn shard_error_display_names_the_shard() {
+        let e = CsjError::Shard(ShardError::WorkerLost { shard: "1".into(), attempts: 2 });
+        let text = e.to_string();
+        assert!(text.contains("sharded execution"), "{text}");
+        assert!(text.contains("shard 1"), "{text}");
+        assert!(text.contains("2 attempt"), "{text}");
+        let p = ShardError::Protocol("checksum mismatch in Result frame".into());
+        assert!(p.to_string().contains("checksum mismatch"));
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub mod verify;
 
 pub use budget::{BudgetUsage, CancelToken, Completion, RunBudget, StopReason};
 pub use csj::CsjJoin;
-pub use error::CsjError;
+pub use error::{CsjError, ShardError};
 pub use ncsj::NcsjJoin;
 pub use output::{JoinOutput, OutputItem};
 pub use resilient::ResilientJoin;

@@ -732,15 +732,27 @@ mod tests {
     fn steals_and_splits_happen_on_skewed_input() {
         let pts = skewed(3_000);
         let tree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(8));
-        let out = ParallelJoin::new(0.003, ParallelAlgo::Ssj).with_threads(8).run(&tree);
-        assert_eq!(out.expanded_link_set(), brute_force_links(&pts, 0.003));
-        assert_eq!(out.stats.threads_used, 8);
-        assert!(out.stats.tasks_executed > 0);
         // Worker 0 is seeded with every task while 7 peers start
         // starving: its first splittable claim must split, and the
-        // donated pool feeds the peers.
-        assert!(out.stats.tasks_split > 0, "no adaptive splits on skewed input");
-        assert!(out.stats.tasks_stolen > 0, "no steals with 8 workers");
+        // donated pool feeds the peers. On a loaded host worker 0 can
+        // occasionally drain the pool before any peer thread is even
+        // scheduled, so the counters are checked over a few runs —
+        // correctness is asserted on every run regardless.
+        let mut split = 0u64;
+        let mut stolen = 0u64;
+        for _ in 0..5 {
+            let out = ParallelJoin::new(0.003, ParallelAlgo::Ssj).with_threads(8).run(&tree);
+            assert_eq!(out.expanded_link_set(), brute_force_links(&pts, 0.003));
+            assert_eq!(out.stats.threads_used, 8);
+            assert!(out.stats.tasks_executed > 0);
+            split += out.stats.tasks_split;
+            stolen += out.stats.tasks_stolen;
+            if split > 0 && stolen > 0 {
+                break;
+            }
+        }
+        assert!(split > 0, "no adaptive splits on skewed input in 5 runs");
+        assert!(stolen > 0, "no steals with 8 workers in 5 runs");
     }
 
     #[test]

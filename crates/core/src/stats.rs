@@ -46,6 +46,18 @@ pub struct JoinStats {
     pub tasks_stolen: u64,
     /// Oversized tasks split into smaller ones on demand.
     pub tasks_split: u64,
+    /// Sharded runs: shard attempts relaunched after a failure
+    /// (worker lost, corrupt frame, timeout, typed worker error).
+    pub shard_retries: u64,
+    /// Sharded runs: shard attempts abandoned because they outlived the
+    /// per-shard deadline.
+    pub shard_timeouts: u64,
+    /// Sharded runs: shards re-split into two sub-shards after timing
+    /// out twice (skew mitigation).
+    pub shard_resplits: u64,
+    /// Sharded runs: results delivered by a speculative twin launched
+    /// against a straggler, beating the original attempt.
+    pub shard_speculative_wins: u64,
     /// Sequence of visited node ids (one entry per node access), present
     /// only when [`crate::JoinConfig::record_access_log`] is set.
     pub access_log: Option<Vec<u32>>,
@@ -91,6 +103,10 @@ impl JoinStats {
         self.tasks_executed += other.tasks_executed;
         self.tasks_stolen += other.tasks_stolen;
         self.tasks_split += other.tasks_split;
+        self.shard_retries += other.shard_retries;
+        self.shard_timeouts += other.shard_timeouts;
+        self.shard_resplits += other.shard_resplits;
+        self.shard_speculative_wins += other.shard_speculative_wins;
         if let (Some(mine), Some(theirs)) = (&mut self.access_log, &other.access_log) {
             mine.extend_from_slice(theirs);
         }

@@ -373,6 +373,149 @@ pub fn resplit_scenario(n: u32) {
     assert_eq!(shared.pending.load(Ordering::SeqCst), 0);
 }
 
+/// One event on the shard supervisor's channel: a worker for attempt
+/// `attempt` either delivered its result or was lost (EOF after a
+/// crash/kill).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardEvent {
+    /// The worker's result frame arrived intact.
+    Result(usize),
+    /// The worker's stream ended without a result.
+    Lost(usize),
+}
+
+/// Mirror of `csj_shard::supervisor`'s retry/quiesce protocol
+/// skeleton: one shard, `max_attempts = 2`, a first attempt that is
+/// always lost (the injected kill), a second attempt gated on the
+/// supervisor's relaunch decision, and a canceller racing the whole
+/// run — the worker-lost vs. cancel race.
+///
+/// The real supervisor is a single-threaded event loop fed by worker
+/// pump threads over an mpsc channel, with cancellation observed
+/// through `CancelToken`'s `Relaxed` flag at the loop top. The mirror
+/// keeps exactly that shape: a mutex-protected event queue (the
+/// channel), a `Relaxed` cancel flag, and supervisor-owned terminal
+/// bookkeeping. Asserted under every schedule within the bound:
+///
+/// * terminal exclusivity — a shard never counts both completed and
+///   failed, whatever order events and cancel land in;
+/// * bounded retries — `attempts_used <= max_attempts` and
+///   `retries == attempts_used - 1`, even when cancel interleaves
+///   with the lost-worker relaunch window;
+/// * no post-cancel launches — once the supervisor observes cancel it
+///   stops relaunching, and a result a late worker still queues is
+///   ignored, not merged into the accounting.
+///
+/// `second_attempt_dies` selects the beyond-budget path (both
+/// attempts lost → the shard must degrade to failed, never relaunch a
+/// third time) versus the recovery path (attempt 2 delivers → the
+/// shard completes with exactly one counted retry).
+pub fn shard_retry_quiesce_scenario(second_attempt_dies: bool) {
+    const MAX_ATTEMPTS: usize = 2;
+    let events = Arc::new(Mutex::new(VecDeque::<ShardEvent>::new()));
+    let cancel = Arc::new(AtomicBool::new(false));
+    let relaunch = Arc::new(AtomicBool::new(false));
+    // The launch gate stands in for `transport.launch` on the retry
+    // path: the supervisor holds it until it decides, and attempt 2's
+    // worker blocks on it (blocked, not spinning, so the checker's
+    // deadlock detection stays meaningful).
+    let gate = Arc::new(Mutex::new(()));
+    let gate_guard = gate.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut gate_guard = Some(gate_guard);
+
+    // Attempt 1's worker: the injected kill — EOF without a result.
+    let first = thread::spawn({
+        let events = Arc::clone(&events);
+        move || {
+            events.lock().unwrap_or_else(PoisonError::into_inner).push_back(ShardEvent::Lost(1));
+        }
+    });
+    // Attempt 2's worker: runs only if the supervisor decided to
+    // relaunch before releasing the gate.
+    let second = thread::spawn({
+        let events = Arc::clone(&events);
+        let relaunch = Arc::clone(&relaunch);
+        let gate = Arc::clone(&gate);
+        move || {
+            let _launched = gate.lock().unwrap_or_else(PoisonError::into_inner);
+            if relaunch.load(Ordering::SeqCst) {
+                let ev =
+                    if second_attempt_dies { ShardEvent::Lost(2) } else { ShardEvent::Result(2) };
+                events.lock().unwrap_or_else(PoisonError::into_inner).push_back(ev);
+            }
+        }
+    });
+    let canceller = thread::spawn({
+        let cancel = Arc::clone(&cancel);
+        // ORDERING: mirror of CancelToken::cancel (Relaxed).
+        move || cancel.store(true, Ordering::Relaxed)
+    });
+
+    // The supervisor event loop: cancel check at the loop top, then
+    // drain the channel — exactly the shape of `Run::event_loop`.
+    let mut attempts_used = 1usize; // attempt 1 launched before the loop
+    let mut retries = 0usize;
+    let mut completed = false;
+    let mut failed = false;
+    let mut canceled = false;
+    loop {
+        // ORDERING: mirror of CancelToken::is_canceled (Relaxed).
+        if cancel.load(Ordering::Relaxed) {
+            canceled = true;
+            break;
+        }
+        let event = events.lock().unwrap_or_else(PoisonError::into_inner).pop_front();
+        match event {
+            Some(ShardEvent::Result(_)) => {
+                completed = true;
+            }
+            Some(ShardEvent::Lost(_)) => {
+                if attempts_used < MAX_ATTEMPTS {
+                    attempts_used += 1;
+                    retries += 1;
+                    relaunch.store(true, Ordering::SeqCst);
+                    gate_guard.take(); // release the gate: launch attempt 2
+                } else {
+                    failed = true;
+                }
+            }
+            None => {
+                thread::yield_now();
+                continue;
+            }
+        }
+        if completed || failed {
+            break;
+        }
+    }
+    // On every exit path the gate is released, so a never-launched
+    // attempt 2 wakes, sees `relaunch` unset, and exits quietly.
+    gate_guard.take();
+    first.join();
+    second.join();
+    canceller.join();
+
+    // Terminal exclusivity and bounded retries, under every schedule.
+    assert!(!(completed && failed), "a shard cannot both complete and fail");
+    assert!(attempts_used <= MAX_ATTEMPTS, "relaunched beyond the retry budget");
+    assert_eq!(retries, attempts_used - 1, "every relaunch after the first is a retry");
+    if completed {
+        assert_eq!(retries, 1, "attempt 1 always dies; success means exactly one retry");
+        assert!(!second_attempt_dies, "a doomed second attempt cannot complete");
+    }
+    if failed {
+        assert_eq!(attempts_used, MAX_ATTEMPTS, "failure only after the budget is spent");
+        assert!(second_attempt_dies, "the recovery path must not fail");
+    }
+    if !completed && !failed {
+        assert!(canceled, "the only non-terminal exit is cancellation");
+    }
+    // A late worker may still have queued an event after the supervisor
+    // exited; it must sit ignored in the channel, never merged.
+    let leftover = events.lock().unwrap_or_else(PoisonError::into_inner).len();
+    assert!(leftover <= 2, "at most one queued event per attempt");
+}
+
 /// The seeded race: data in a [`RaceCell`] published through a
 /// `Relaxed` flag. No release/acquire edge connects the write to the
 /// read, so some interleaving reads the cell concurrently with the

@@ -11,7 +11,9 @@
 //! `csj_model::replay(&"<trace>".parse().unwrap(), <scenario>)`
 //! (DESIGN.md §9 walks through the workflow).
 
-use csj_model::protocols::{quiesce_scenario, resplit_scenario, steal_donate_scenario};
+use csj_model::protocols::{
+    quiesce_scenario, resplit_scenario, shard_retry_quiesce_scenario, steal_donate_scenario,
+};
 use csj_model::Config;
 
 /// Steal/donate: three leaf tasks seeded on worker 0, worker 1 starts
@@ -39,6 +41,37 @@ fn cancel_quiesce_protocol_exhausted_at_bound_2() {
     report.assert_ok();
     assert!(
         report.executions > 1000,
+        "expected a real schedule space, explored only {}",
+        report.executions
+    );
+}
+
+/// Shard supervisor retry/quiesce, recovery path: attempt 1 is lost
+/// (injected kill), attempt 2 delivers, a canceller races both. Under
+/// every interleaving of the worker-lost event, the relaunch and the
+/// cancel flag, the shard must end in exactly one terminal state with
+/// `retries == attempts_used - 1` and no post-cancel launches.
+#[test]
+fn shard_retry_recovery_protocol_exhausted_at_bound_2() {
+    let report = Config::new().preemptions(2).check(|| shard_retry_quiesce_scenario(false));
+    report.assert_ok();
+    assert!(
+        report.executions > 100,
+        "expected a real schedule space, explored only {}",
+        report.executions
+    );
+}
+
+/// Shard supervisor retry/quiesce, beyond-budget path: both attempts
+/// are lost. The supervisor must mark the shard failed after exactly
+/// `max_attempts` launches — never a third relaunch — or exit canceled,
+/// under every schedule of the second loss vs. the cancel.
+#[test]
+fn shard_exhausted_budget_protocol_exhausted_at_bound_2() {
+    let report = Config::new().preemptions(2).check(|| shard_retry_quiesce_scenario(true));
+    report.assert_ok();
+    assert!(
+        report.executions > 100,
         "expected a real schedule space, explored only {}",
         report.executions
     );

@@ -1,0 +1,217 @@
+//! Spatial shard planning: ε-boundary-strip slab partitioning.
+//!
+//! The dataset is cut into contiguous slabs along axis 0 at point-count
+//! quantiles (the MapReduce-style decomposition of McCauley &
+//! Silvestri). Each shard *owns* the half-open interval `[lo, hi)` and
+//! additionally receives every point within ε of it — the boundary
+//! strip — as a non-owned *halo* replica. For any link `(a, b)` with
+//! `dist(a, b) ≤ ε` the per-axis projection satisfies
+//! `|a₀ − b₀| ≤ ε` under every supported metric, so the shard owning
+//! either endpoint is guaranteed to hold both and the shard-local join
+//! (lossless by Theorem 1) is guaranteed to discover the link.
+//!
+//! Exactly-once emission then needs no coordination: a worker keeps a
+//! represented link iff its **minimum-id endpoint is owned** (see
+//! [`crate::worker`]). Ownership intervals partition the axis, so the
+//! minimum endpoint has exactly one owner, and that owner sees the
+//! other endpoint in its halo — every cross-shard link is emitted by
+//! exactly one shard, every interior link by its only shard.
+
+use csj_geom::Point;
+
+/// One shard of the plan: a task key plus the owned interval on axis 0.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSpec {
+    /// Hierarchical task key: `[i]` for the i-th top-level slab,
+    /// extended by `0`/`1` per adaptive re-split.
+    pub key: Vec<u32>,
+    /// Inclusive lower bound of the owned interval (`None` = −∞).
+    pub lo: Option<f64>,
+    /// Exclusive upper bound of the owned interval (`None` = +∞).
+    pub hi: Option<f64>,
+}
+
+impl ShardSpec {
+    /// The one shard of a non-sharded plan: owns the whole axis.
+    pub fn whole() -> Self {
+        ShardSpec { key: vec![0], lo: None, hi: None }
+    }
+
+    /// `true` when this shard owns a point with axis-0 coordinate `x`.
+    pub fn owns(&self, x: f64) -> bool {
+        self.lo.is_none_or(|lo| x >= lo) && self.hi.is_none_or(|hi| x < hi)
+    }
+
+    /// `true` when `x` falls in the shard's member region: the owned
+    /// interval expanded by ε on both sides (the boundary strip).
+    pub fn in_strip(&self, x: f64, eps: f64) -> bool {
+        self.lo.is_none_or(|lo| x >= lo - eps) && self.hi.is_none_or(|hi| x <= hi + eps)
+    }
+
+    /// Splits the owned interval at `mid`, yielding children keyed
+    /// `key·0` (`[lo, mid)`) and `key·1` (`[mid, hi)`).
+    pub fn split_at(&self, mid: f64) -> (ShardSpec, ShardSpec) {
+        let mut left_key = self.key.clone();
+        left_key.push(0);
+        let mut right_key = self.key.clone();
+        right_key.push(1);
+        (
+            ShardSpec { key: left_key, lo: self.lo, hi: Some(mid) },
+            ShardSpec { key: right_key, lo: Some(mid), hi: self.hi },
+        )
+    }
+
+    /// The dotted form of the task key (`"2.0"`), used in reports,
+    /// fault plans and error messages.
+    pub fn key_string(&self) -> String {
+        key_string(&self.key)
+    }
+}
+
+/// Formats a task key dotted (`[2, 0]` → `"2.0"`).
+pub fn key_string(key: &[u32]) -> String {
+    key.iter().map(u32::to_string).collect::<Vec<_>>().join(".")
+}
+
+/// Plans `shards` slabs over `points` by axis-0 point-count quantiles.
+///
+/// Duplicate cut candidates (heavily tied coordinates) are collapsed,
+/// so the plan may come back with fewer shards than requested — never
+/// with an empty owned interval. With `shards <= 1` or too few points
+/// the plan is a single all-owning shard.
+pub fn plan_shards<const D: usize>(points: &[Point<D>], shards: usize) -> Vec<ShardSpec> {
+    if shards <= 1 || points.len() < 2 {
+        return vec![ShardSpec::whole()];
+    }
+    let mut coords: Vec<f64> = points.iter().map(|p| p.coords()[0]).collect();
+    coords.sort_unstable_by(f64::total_cmp);
+    let mut cuts: Vec<f64> = Vec::new();
+    for i in 1..shards {
+        let cut = coords[i * coords.len() / shards];
+        // A cut equal to the global minimum would create an empty first
+        // slab; collapsing duplicates keeps every owned interval
+        // non-empty in point-count terms.
+        if cut > coords[0] && cuts.last().is_none_or(|&last| cut > last) {
+            cuts.push(cut);
+        }
+    }
+    let mut specs = Vec::with_capacity(cuts.len() + 1);
+    for i in 0..=cuts.len() {
+        specs.push(ShardSpec {
+            key: vec![i as u32],
+            lo: (i > 0).then(|| cuts[i - 1]),
+            hi: (i < cuts.len()).then(|| cuts[i]),
+        });
+    }
+    specs
+}
+
+/// The shard's member list: `(global id, owned)` for every point in the
+/// ε-expanded interval, in ascending id order (deterministic).
+pub fn shard_membership<const D: usize>(
+    points: &[Point<D>],
+    spec: &ShardSpec,
+    eps: f64,
+) -> Vec<(u32, bool)> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| spec.in_strip(p.coords()[0], eps))
+        .map(|(i, p)| (i as u32, spec.owns(p.coords()[0])))
+        .collect()
+}
+
+/// A coordinate that splits `spec`'s owned points into two non-empty
+/// halves (`[lo, mid)` and `[mid, hi)`), or `None` when the shard is
+/// unsplittable (fewer than two owned points, or all coordinates tied).
+pub fn split_point<const D: usize>(points: &[Point<D>], spec: &ShardSpec) -> Option<f64> {
+    let mut owned: Vec<f64> =
+        points.iter().map(|p| p.coords()[0]).filter(|&x| spec.owns(x)).collect();
+    if owned.len() < 2 {
+        return None;
+    }
+    owned.sort_unstable_by(f64::total_cmp);
+    let median = owned[owned.len() / 2];
+    if median > owned[0] {
+        return Some(median);
+    }
+    // Median tied with the minimum: take the first strictly larger
+    // coordinate so the left half keeps at least the minimum.
+    owned.iter().copied().find(|&x| x > owned[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Vec<Point<2>> {
+        (0..n).map(|i| Point::new([i as f64 / n as f64, 0.0])).collect()
+    }
+
+    #[test]
+    fn ownership_partitions_every_point_exactly_once() {
+        let pts = line(100);
+        for shards in [1, 2, 3, 7, 100, 200] {
+            let plan = plan_shards(&pts, shards);
+            for p in &pts {
+                let owners = plan.iter().filter(|s| s.owns(p.coords()[0])).count();
+                assert_eq!(owners, 1, "point {:?} with {shards} shards", p.coords());
+            }
+        }
+    }
+
+    #[test]
+    fn strip_membership_includes_the_halo() {
+        let pts = line(100);
+        let eps = 0.031;
+        let plan = plan_shards(&pts, 4);
+        assert!(plan.len() > 1);
+        for spec in &plan {
+            let members = shard_membership(&pts, spec, eps);
+            let owned: Vec<u32> = members.iter().filter(|(_, o)| *o).map(|(i, _)| *i).collect();
+            assert!(!owned.is_empty(), "no empty shard");
+            // Every point within eps (on axis 0) of an owned point is a member.
+            for &oid in &owned {
+                for (i, p) in pts.iter().enumerate() {
+                    if (p.coords()[0] - pts[oid as usize].coords()[0]).abs() <= eps {
+                        assert!(
+                            members.iter().any(|(m, _)| *m == i as u32),
+                            "shard {} misses neighbor {i} of owned {oid}",
+                            spec.key_string()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_duplicates_collapse_to_one_shard() {
+        let pts: Vec<Point<2>> = (0..40).map(|_| Point::new([0.5, 0.5])).collect();
+        let plan = plan_shards(&pts, 8);
+        assert_eq!(plan.len(), 1, "all-tied coordinates cannot be cut");
+        assert!(plan[0].owns(0.5));
+        assert_eq!(split_point(&pts, &plan[0]), None, "unsplittable");
+    }
+
+    #[test]
+    fn split_produces_two_nonempty_children() {
+        let pts = line(50);
+        let spec = ShardSpec::whole();
+        let mid = split_point(&pts, &spec).expect("50 distinct coords split fine");
+        let (left, right) = spec.split_at(mid);
+        assert_eq!(left.key, vec![0, 0]);
+        assert_eq!(right.key, vec![0, 1]);
+        let left_owned = pts.iter().filter(|p| left.owns(p.coords()[0])).count();
+        let right_owned = pts.iter().filter(|p| right.owns(p.coords()[0])).count();
+        assert!(left_owned > 0 && right_owned > 0);
+        assert_eq!(left_owned + right_owned, pts.len());
+    }
+
+    #[test]
+    fn key_strings_are_dotted() {
+        assert_eq!(key_string(&[2]), "2");
+        assert_eq!(key_string(&[2, 0, 1]), "2.0.1");
+        assert_eq!(key_string(&[]), "");
+    }
+}

@@ -1,0 +1,284 @@
+//! How the supervisor launches and talks to workers.
+//!
+//! The supervisor is written against [`WorkerTransport`], so the same
+//! state machine drives two very different substrates:
+//!
+//! * [`ProcessTransport`] — the production path: spawn a worker
+//!   *process* (`csj shard-worker`), write the task frame to its stdin,
+//!   and decode its stdout on a reader thread. A crash, `kill -9` or
+//!   clean exit all surface uniformly as [`WorkerEvent::Eof`].
+//! * [`InProcessTransport`] — the hermetic test path: run the same
+//!   worker loop on a thread over in-memory pipes. Tests exercise every
+//!   supervisor transition without fork/exec cost, and `kill` is a
+//!   cooperative flag the worker polls during sleeps.
+//!
+//! Whatever the substrate, decoded frames arrive at the supervisor as
+//! [`Envelope`]s on a single mpsc channel, tagged with the worker id —
+//! one receiver, no per-worker polling.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+
+use csj_core::ShardError;
+
+use crate::frame::{read_frame, ReadFrame};
+use crate::worker::run_worker_with_kill;
+
+/// One decoded occurrence on a worker's output stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerEvent {
+    /// A verified frame.
+    Frame {
+        /// One of the `FRAME_*` constants of [`crate::frame`].
+        frame_type: u8,
+        /// The frame payload.
+        payload: Vec<u8>,
+    },
+    /// The stream is poisoned: bad magic, checksum mismatch, torn
+    /// frame. No further frames will be read from this worker.
+    Corrupt(String),
+    /// The stream ended: the worker exited (or was killed).
+    Eof,
+}
+
+/// A [`WorkerEvent`] tagged with the worker id that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Supervisor-assigned worker id (unique per launch).
+    pub worker: u64,
+    /// What happened.
+    pub event: WorkerEvent,
+}
+
+/// A handle to a launched worker, used to reap or force-stop it.
+pub trait WorkerHandle: Send {
+    /// Stops the worker and releases its resources. Idempotent; called
+    /// on every retirement (success, failure, speculation loss).
+    fn kill(&mut self);
+}
+
+/// A substrate that can launch workers for the supervisor.
+pub trait WorkerTransport {
+    /// The handle type for workers of this transport.
+    type Handle: WorkerHandle;
+
+    /// Launches one worker: delivers `task` (an encoded task frame) to
+    /// it and streams its decoded output as [`Envelope`]s into
+    /// `events`. Returns immediately; all I/O happens on background
+    /// threads.
+    ///
+    /// # Errors
+    /// Returns [`ShardError::Spawn`] when the worker cannot be started
+    /// at all (missing binary, resource exhaustion). Failures *after*
+    /// a successful launch are reported through the event stream.
+    fn launch(
+        &self,
+        worker: u64,
+        task: Vec<u8>,
+        events: &Sender<Envelope>,
+    ) -> Result<Self::Handle, ShardError>;
+}
+
+fn pump_frames(worker: u64, mut stream: impl Read, events: &Sender<Envelope>) {
+    loop {
+        let event = match read_frame(&mut stream) {
+            Ok(ReadFrame::Frame { frame_type, payload }) => {
+                WorkerEvent::Frame { frame_type, payload }
+            }
+            Ok(ReadFrame::Eof) => WorkerEvent::Eof,
+            Err(e) => WorkerEvent::Corrupt(e.to_string()),
+        };
+        let terminal = !matches!(event, WorkerEvent::Frame { .. });
+        // The supervisor hanging up mid-run (early return) is fine —
+        // nothing left to notify.
+        let _ = events.send(Envelope { worker, event });
+        if terminal {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process transport.
+// ---------------------------------------------------------------------
+
+/// Launches real worker processes and decodes their stdout.
+#[derive(Clone, Debug)]
+pub struct ProcessTransport {
+    program: PathBuf,
+    args: Vec<String>,
+}
+
+impl ProcessTransport {
+    /// A transport spawning `program args…` per worker. The program
+    /// must speak the worker side of the frame protocol on
+    /// stdin/stdout — in production that is `csj shard-worker`.
+    pub fn new(program: impl Into<PathBuf>, args: Vec<String>) -> Self {
+        ProcessTransport { program: program.into(), args }
+    }
+}
+
+/// Handle to a worker process: kill + reap.
+#[derive(Debug)]
+pub struct ProcessHandle {
+    child: Option<Child>,
+}
+
+impl WorkerHandle for ProcessHandle {
+    fn kill(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            // Best effort: the process may already have exited (kill on
+            // an exited child is a no-op error) — wait() reaps either way.
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for ProcessHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+impl WorkerTransport for ProcessTransport {
+    type Handle = ProcessHandle;
+
+    fn launch(
+        &self,
+        worker: u64,
+        task: Vec<u8>,
+        events: &Sender<Envelope>,
+    ) -> Result<ProcessHandle, ShardError> {
+        let mut child = Command::new(&self.program)
+            .args(&self.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| ShardError::Spawn(format!("{}: {e}", self.program.display())))?;
+        let mut stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| ShardError::Spawn("worker stdin was not piped".into()))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| ShardError::Spawn("worker stdout was not piped".into()))?;
+        let tx = events.clone();
+        std::thread::spawn(move || {
+            // If the child died before reading its task the write fails
+            // with EPIPE; the reader thread then delivers Eof and the
+            // supervisor's lost-worker path takes over.
+            let _ = stdin.write_all(&task);
+            drop(stdin);
+            pump_frames(worker, stdout, &tx);
+        });
+        Ok(ProcessHandle { child: Some(child) })
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-process transport (worker thread over in-memory pipes).
+// ---------------------------------------------------------------------
+
+/// A `Write` half of an in-memory pipe: each write is one chunk on a
+/// bounded channel (the bound applies crude backpressure, like a pipe
+/// buffer).
+struct ChannelWriter {
+    tx: SyncSender<Vec<u8>>,
+}
+
+impl Write for ChannelWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "reader gone"))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The matching `Read` half: buffers chunks, EOF when the writer hangs
+/// up.
+struct ChannelReader {
+    rx: Receiver<Vec<u8>>,
+    buf: VecDeque<u8>,
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        while self.buf.is_empty() {
+            match self.rx.recv() {
+                Ok(chunk) => self.buf.extend(chunk),
+                Err(_) => return Ok(0), // writer dropped: EOF
+            }
+        }
+        let n = out.len().min(self.buf.len());
+        for slot in out.iter_mut().take(n) {
+            // VecDeque is non-empty for all n pops by construction.
+            *slot = self.buf.pop_front().unwrap_or_default();
+        }
+        Ok(n)
+    }
+}
+
+/// Runs workers as threads over in-memory pipes — the hermetic test
+/// substrate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InProcessTransport;
+
+impl InProcessTransport {
+    /// A fresh in-process transport.
+    pub fn new() -> Self {
+        InProcessTransport
+    }
+}
+
+/// Handle to an in-process worker: a cooperative kill flag.
+#[derive(Debug)]
+pub struct ThreadHandle {
+    kill: Arc<AtomicBool>,
+}
+
+impl WorkerHandle for ThreadHandle {
+    fn kill(&mut self) {
+        // ORDERING: advisory stop flag polled by the worker during
+        // sleeps; no data is published through it, only promptness is
+        // affected, so relaxed visibility latency is acceptable.
+        self.kill.store(true, Ordering::Relaxed);
+    }
+}
+
+impl WorkerTransport for InProcessTransport {
+    type Handle = ThreadHandle;
+
+    fn launch(
+        &self,
+        worker: u64,
+        task: Vec<u8>,
+        events: &Sender<Envelope>,
+    ) -> Result<ThreadHandle, ShardError> {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(256);
+        let kill = Arc::new(AtomicBool::new(false));
+        let worker_kill = Arc::clone(&kill);
+        std::thread::spawn(move || {
+            // A worker error (e.g. its output pipe closed) ends the
+            // thread; dropping the writer is the EOF the supervisor sees.
+            let _ =
+                run_worker_with_kill(std::io::Cursor::new(task), ChannelWriter { tx }, worker_kill);
+        });
+        let reader = ChannelReader { rx, buf: VecDeque::new() };
+        let etx = events.clone();
+        std::thread::spawn(move || pump_frames(worker, reader, &etx));
+        Ok(ThreadHandle { kill })
+    }
+}

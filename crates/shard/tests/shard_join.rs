@@ -1,0 +1,220 @@
+//! End-to-end supervisor tests on the hermetic in-process transport:
+//! the sharded join must match the sequential join bit-for-bit (in
+//! canonical link form) at any shard count and under any fault schedule
+//! the retry budget absorbs, and must degrade to `Completion::Partial`
+//! — not an error — beyond it.
+
+use std::time::Duration;
+
+use csj_core::parallel::ParallelAlgo;
+use csj_core::{Completion, JoinOutput, OutputItem, ResilientJoin, StopReason};
+use csj_geom::Point;
+use csj_index::{rstar::RStarTree, RTreeConfig};
+use csj_shard::{canonical_link_lines, InProcessTransport, ShardFaultPlan, ShardJoin};
+
+/// Deterministic scatter in the unit square (no RNG dependency).
+fn scatter(n: usize, seed: u64) -> Vec<Point<2>> {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n).map(|_| Point::new([next(), next()])).collect()
+}
+
+fn sequential(pts: &[Point<2>], eps: f64, algo: ParallelAlgo) -> JoinOutput {
+    if pts.is_empty() {
+        return JoinOutput::default();
+    }
+    let tree = RStarTree::bulk_load_str(pts, RTreeConfig::with_max_fanout(8));
+    ResilientJoin::new(eps, algo).run(&tree).expect("sequential join")
+}
+
+#[test]
+fn sharded_matches_sequential_across_shard_counts_and_algos() {
+    let transport = InProcessTransport::new();
+    for (n, seed) in [(0usize, 1u64), (1, 2), (40, 3), (300, 4)] {
+        let pts = scatter(n, seed);
+        for algo in [ParallelAlgo::Ssj, ParallelAlgo::Ncsj, ParallelAlgo::Csj(8)] {
+            let want = canonical_link_lines(&sequential(&pts, 0.07, algo));
+            for shards in [1usize, 2, 3, 5, 9] {
+                let run = ShardJoin::new(0.07, algo)
+                    .with_shards(shards)
+                    .run(&pts, &transport)
+                    .expect("clean sharded run");
+                assert_eq!(run.output.completion, Completion::Complete);
+                assert_eq!(
+                    canonical_link_lines(&run.output),
+                    want,
+                    "n={n} algo={algo:?} shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn boundary_links_are_emitted_exactly_once() {
+    // Every cross-shard link (endpoints owned by different shards) must
+    // appear exactly once across all merged rows — not once per replica
+    // holding the boundary strip. (Interior pairs may legitimately be
+    // implied by overlapping groups, exactly as in the sequential CSJ
+    // output; the exactly-once guarantee is about the ε-strip dedup.)
+    let pts = scatter(250, 7);
+    let shards = 4;
+    let run = ShardJoin::new(0.09, ParallelAlgo::Csj(6))
+        .with_shards(shards)
+        .run(&pts, &InProcessTransport::new())
+        .expect("clean run");
+    let plan = csj_shard::plan_shards(&pts, shards);
+    let owner = |id: u32| {
+        plan.iter().position(|s| s.owns(pts[id as usize].coords()[0])).expect("partition")
+    };
+    let mut cross: Vec<(u32, u32)> = Vec::new();
+    let mut push = |a: u32, b: u32| {
+        if owner(a) != owner(b) {
+            cross.push((a.min(b), a.max(b)));
+        }
+    };
+    for item in &run.output.items {
+        match item {
+            OutputItem::Link(a, b) => push(*a, *b),
+            OutputItem::Group(ids) => {
+                for i in 0..ids.len() {
+                    for j in i + 1..ids.len() {
+                        push(ids[i], ids[j]);
+                    }
+                }
+            }
+        }
+    }
+    assert!(!cross.is_empty(), "the scatter must produce boundary links");
+    let total = cross.len();
+    cross.sort_unstable();
+    cross.dedup();
+    assert_eq!(total, cross.len(), "a cross-shard link was emitted by more than one shard");
+    // And none are missing: the canonical sets agree.
+    let want = sequential(&pts, 0.09, ParallelAlgo::Csj(6));
+    assert_eq!(canonical_link_lines(&run.output), canonical_link_lines(&want));
+}
+
+#[test]
+fn fault_schedule_within_budget_recovers_bit_identical() {
+    let pts = scatter(400, 11);
+    let algo = ParallelAlgo::Csj(8);
+    let want = canonical_link_lines(&sequential(&pts, 0.06, algo));
+    // Shard 0 crashes on its first attempt, shard 1 straggles (and loses
+    // to a speculative twin), shard 2 garbles its first result frame.
+    let plan = ShardFaultPlan::none()
+        .kill(&[0], 1)
+        .delay(&[1], 1, Duration::from_millis(400))
+        .garble(&[2], 1);
+    let run = ShardJoin::new(0.06, algo)
+        .with_shards(3)
+        .with_max_attempts(3)
+        .with_speculation(Duration::from_millis(60))
+        .with_fault_plan(plan)
+        .run(&pts, &InProcessTransport::new())
+        .expect("faults within the retry budget are absorbed");
+    assert_eq!(run.output.completion, Completion::Complete);
+    assert_eq!(canonical_link_lines(&run.output), want, "recovery must be bit-identical");
+    assert!(run.output.stats.shard_retries >= 2, "kill + garble retries must be counted");
+    assert!(
+        run.output.stats.shard_speculative_wins >= 1,
+        "the straggler's twin must win: {:?}",
+        run.reports
+    );
+    assert!(run.reports.iter().any(|r| r.attempts > 1 && r.completed));
+}
+
+#[test]
+fn stalled_worker_is_reaped_by_heartbeat_grace_and_retried() {
+    let pts = scatter(120, 13);
+    let algo = ParallelAlgo::Ssj;
+    let want = canonical_link_lines(&sequential(&pts, 0.08, algo));
+    let run = ShardJoin::new(0.08, algo)
+        .with_shards(2)
+        .with_heartbeat(Duration::from_millis(10), 6)
+        .with_fault_plan(ShardFaultPlan::none().stall(&[1], 1))
+        .run(&pts, &InProcessTransport::new())
+        .expect("a stalled worker is reaped and retried");
+    assert_eq!(run.output.completion, Completion::Complete);
+    assert_eq!(canonical_link_lines(&run.output), want);
+    assert!(run.output.stats.shard_retries >= 1);
+}
+
+#[test]
+fn second_timeout_triggers_adaptive_resplit() {
+    let pts = scatter(200, 17);
+    let algo = ParallelAlgo::Csj(8);
+    let want = canonical_link_lines(&sequential(&pts, 0.06, algo));
+    // Shard 0 exceeds its deadline twice (the delay heartbeats, so only
+    // the deadline can reap it); the supervisor then replaces it with
+    // its two halves, whose keys the fault plan does not match.
+    let plan = ShardFaultPlan::none().delay(&[0], 1, Duration::from_millis(900)).delay(
+        &[0],
+        2,
+        Duration::from_millis(900),
+    );
+    let run = ShardJoin::new(0.06, algo)
+        .with_shards(2)
+        .with_max_attempts(4)
+        .with_task_deadline(Duration::from_millis(150))
+        .with_fault_plan(plan)
+        .run(&pts, &InProcessTransport::new())
+        .expect("re-split absorbs the repeated timeout");
+    assert_eq!(run.output.completion, Completion::Complete);
+    assert_eq!(canonical_link_lines(&run.output), want, "re-split must not change output");
+    assert!(run.output.stats.shard_resplits >= 1, "reports: {:?}", run.reports);
+    assert!(run.output.stats.shard_timeouts >= 2);
+    assert!(run.reports.iter().any(|r| r.resplit));
+    assert!(run.reports.iter().any(|r| r.key.contains('.') && r.completed));
+}
+
+#[test]
+fn kill_beyond_retry_budget_degrades_to_partial() {
+    let pts = scatter(300, 19);
+    let algo = ParallelAlgo::Csj(8);
+    let plan = ShardFaultPlan::none().kill(&[0], 1).kill(&[0], 2);
+    let run = ShardJoin::new(0.06, algo)
+        .with_shards(3)
+        .with_max_attempts(2)
+        .with_fault_plan(plan)
+        .run(&pts, &InProcessTransport::new())
+        .expect("losing one shard degrades, it does not error");
+    match run.output.completion {
+        Completion::Partial { reason, completed_fraction, .. } => {
+            assert_eq!(reason, StopReason::ShardsLost);
+            assert!(
+                completed_fraction > 0.0 && completed_fraction < 1.0,
+                "fraction {completed_fraction} must reflect the surviving shards"
+            );
+        }
+        Completion::Complete => panic!("shard 0 failed beyond its budget"),
+    }
+    let lost = run.reports.iter().find(|r| !r.completed).expect("one shard lost");
+    assert_eq!(lost.key, "0");
+    assert_eq!(lost.attempts, 2);
+    // Survivors are still lossless over their region: every emitted link
+    // is a true sequential link.
+    let truth = sequential(&pts, 0.06, algo).expanded_link_set();
+    let got = run.output.expanded_link_set();
+    assert!(!got.is_empty());
+    assert!(got.is_subset(&truth), "partial output must only contain true links");
+}
+
+#[test]
+fn cancellation_kills_the_fleet_and_reports_partial() {
+    let pts = scatter(150, 23);
+    let token = csj_core::CancelToken::new();
+    token.cancel();
+    let run = ShardJoin::new(0.06, ParallelAlgo::Ssj)
+        .with_shards(2)
+        .with_cancel(&token)
+        .run(&pts, &InProcessTransport::new())
+        .expect("cancel is a degradation, not an error");
+    match run.output.completion {
+        Completion::Partial { reason, .. } => assert_eq!(reason, StopReason::Canceled),
+        Completion::Complete => panic!("pre-canceled run cannot be complete"),
+    }
+}

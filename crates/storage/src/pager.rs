@@ -98,30 +98,85 @@ impl SimulatedDisk {
 }
 
 /// How persistently to retry transient storage faults.
+///
+/// The sleep before retry `k` is `base_backoff · 2^(k−1)` capped at
+/// `max_backoff`, plus a *deterministic* jitter in `[0, base_backoff]`
+/// derived by hashing `jitter_seed`, the retry index and a caller salt.
+/// Jitter de-synchronizes retry storms (many workers hammering the same
+/// device back in lockstep) without sacrificing reproducibility: the
+/// same seed and salt always yield the same schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts per operation (first try + retries), at least 1.
     pub max_attempts: u32,
-    /// Sleep before retry `k` is `base_backoff · 2^(k−1)` (exponential).
+    /// Base of the exponential backoff; `ZERO` disables sleeping (and
+    /// jitter) entirely.
     pub base_backoff: Duration,
+    /// Upper bound on the exponential part of any single sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter hash.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 4, base_backoff: Duration::from_micros(100) }
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(10),
+            jitter_seed: 0,
+        }
     }
+}
+
+/// One round of the splitmix64 mixer: a full-period bijection on `u64`
+/// whose output passes statistical tests — plenty for spreading retry
+/// wake-ups, with no state to carry around.
+fn splitmix64(index: u64) -> u64 {
+    let mut z = index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
     /// A policy with `max_attempts` total attempts and no sleeping
     /// between them (deterministic tests).
     pub fn no_backoff(max_attempts: u32) -> Self {
-        RetryPolicy { max_attempts: max_attempts.max(1), base_backoff: Duration::ZERO }
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0,
+        }
     }
 
     /// Fail-fast: a single attempt, no retries.
     pub fn none() -> Self {
         Self::no_backoff(1)
+    }
+
+    /// Replaces the jitter seed (builder style).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The sleep before retry `retry` (1-based): exponential in the
+    /// retry index, capped at [`RetryPolicy::max_backoff`], plus
+    /// deterministic jitter in `[0, base_backoff]` keyed by
+    /// `jitter_seed`, `salt` and the retry index. Pure — callers (and
+    /// tests) can inspect the whole schedule without sleeping.
+    pub fn backoff_for(&self, retry: u32, salt: u64) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exponent = retry.saturating_sub(1).min(16);
+        let exponential = self.base_backoff.saturating_mul(1u32 << exponent);
+        let capped = exponential.min(self.max_backoff.max(self.base_backoff));
+        let span_nanos = u64::try_from(self.base_backoff.as_nanos()).unwrap_or(u64::MAX);
+        let hash = splitmix64(self.jitter_seed ^ salt ^ (u64::from(retry) << 48));
+        capped + Duration::from_nanos(hash % span_nanos.saturating_add(1))
     }
 }
 
@@ -166,8 +221,11 @@ impl RetryPager {
         for k in 0..max {
             if k > 0 {
                 self.retries += 1;
-                if !self.policy.base_backoff.is_zero() {
-                    std::thread::sleep(self.policy.base_backoff * (1 << (k - 1).min(16)));
+                // Salted by the cumulative retry count so consecutive
+                // faulted operations spread apart instead of pulsing.
+                let sleep = self.policy.backoff_for(k, self.retries);
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
                 }
             }
             match attempt(&mut self.disk) {
@@ -291,6 +349,46 @@ mod tests {
         let err = pager.read(PageId(42)).unwrap_err();
         assert!(matches!(err, StorageError::PageOutOfBounds { .. }));
         assert_eq!(pager.retries(), 0, "out-of-bounds is not transient");
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_capped_and_jittered() {
+        let base = Duration::from_micros(100);
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: base,
+            max_backoff: Duration::from_micros(400),
+            jitter_seed: 7,
+        };
+        for retry in 1..8 {
+            let exponential = base * (1 << (retry - 1)).min(4);
+            let capped = exponential.min(Duration::from_micros(400));
+            let sleep = policy.backoff_for(retry, 0);
+            assert!(
+                sleep >= capped && sleep <= capped + base,
+                "retry {retry}: {sleep:?} outside [{capped:?}, {:?}]",
+                capped + base
+            );
+        }
+        // The exponential part saturates at max_backoff.
+        assert!(policy.backoff_for(30, 0) <= Duration::from_micros(400) + base);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_salt_sensitive() {
+        let policy = RetryPolicy::default().with_jitter_seed(42);
+        assert_eq!(policy.backoff_for(2, 9), policy.backoff_for(2, 9), "pure function");
+        let distinct: std::collections::BTreeSet<Duration> =
+            (0..32).map(|salt| policy.backoff_for(2, salt)).collect();
+        assert!(distinct.len() > 16, "salts must spread wake-ups, got {}", distinct.len());
+    }
+
+    #[test]
+    fn zero_base_means_zero_sleep() {
+        let policy = RetryPolicy::no_backoff(5);
+        for retry in 1..5 {
+            assert_eq!(policy.backoff_for(retry, retry as u64), Duration::ZERO);
+        }
     }
 
     #[test]

@@ -64,3 +64,54 @@ fn faulty_budgeted_join_survives_and_degrades_gracefully() {
         assert!(truth.contains(link), "emitted link {link:?} is not a true link");
     }
 }
+
+/// Sharded-supervisor acceptance: a worker killed on every attempt
+/// exhausts its shard's retry budget; the run must degrade to
+/// `Completion::Partial` with `StopReason::ShardsLost` and a completed
+/// fraction matching the surviving shards — and stay lossless (only
+/// true links) over the region they own. Workers whose pager also
+/// fails every 3rd read still succeed via the storage retry loop,
+/// composing the two fault-tolerance layers.
+#[test]
+fn sharded_kill_beyond_retries_degrades_to_partial() {
+    use csj_shard::{InProcessTransport, ShardFaultPlan, ShardJoin};
+
+    let pts = clustered(1_400);
+    let eps = 0.05;
+    let truth = brute_force_links(&pts, eps);
+
+    let plan = ShardFaultPlan::none().kill(&[1], 1).kill(&[1], 2).kill(&[1], 3);
+    let run = ShardJoin::new(eps, ParallelAlgo::Csj(10))
+        .with_shards(4)
+        .with_max_attempts(3)
+        .with_fault_plan(plan)
+        .with_pager_faults(3, 4) // every worker's pager fails every 3rd read
+        .run(&pts, &InProcessTransport::new())
+        .expect("a lost shard degrades the run, it does not error");
+
+    match run.output.completion {
+        Completion::Partial { reason, completed_fraction, estimated_links, estimated_bytes } => {
+            assert_eq!(reason, StopReason::ShardsLost);
+            assert!(
+                completed_fraction > 0.5 && completed_fraction < 1.0,
+                "3 of 4 roughly equal shards survived, got fraction {completed_fraction}"
+            );
+            assert!(estimated_links > 0.0 && estimated_bytes > 0.0);
+        }
+        Completion::Complete => {
+            panic!("shard 1 died on all 3 attempts; the run cannot be complete")
+        }
+    }
+    assert_eq!(run.output.stats.shard_retries, 2, "attempts 2 and 3 are retries");
+    assert!(run.output.stats.io_retries > 0, "worker pager retries must surface in merged stats");
+    let lost: Vec<_> = run.reports.iter().filter(|r| !r.completed).collect();
+    assert_eq!(lost.len(), 1, "exactly one shard lost: {:?}", run.reports);
+    assert_eq!(lost[0].key, "1");
+
+    // Lossless over the surviving shards: nothing emitted is false.
+    let emitted = run.output.expanded_link_set();
+    assert!(!emitted.is_empty());
+    for link in &emitted {
+        assert!(truth.contains(link), "emitted link {link:?} is not a true link");
+    }
+}
