@@ -8,8 +8,9 @@
 //! * **Test regions** — a brace-tracking scan that marks every token
 //!   inside a `#[cfg(test)]`-gated item or `#[test]` function, so rules
 //!   can exempt test code without a parser.
-//! * **Annotations** — `// ORDERING: …` and `// FLOAT-EQ: …`
-//!   justification comments, resolved to the code line they cover.
+//! * **Annotations** — `// ORDERING: …`, `// FLOAT-EQ: …` and
+//!   `// SAFETY: …` justification comments, resolved to the code line
+//!   they cover.
 //! * **Suppressions** — `// csj-lint: allow(<rules>) — <reason>`
 //!   comments; the reason is mandatory and a missing one is itself a
 //!   diagnostic (see [`crate::rules`]).
@@ -56,6 +57,8 @@ pub enum Annotation {
     Ordering,
     /// `// FLOAT-EQ: <why bitwise float equality is deliberate>`
     FloatEq,
+    /// `// SAFETY: <why this unsafe block's preconditions hold>`
+    Safety,
 }
 
 /// A parsed `csj-lint: allow(...)` comment.
@@ -110,9 +113,11 @@ impl<'a> FileCtx<'a> {
                 continue;
             }
             let covers = effective_line(&code_lines, t.line);
-            for (marker, ann) in
-                [("ORDERING:", Annotation::Ordering), ("FLOAT-EQ:", Annotation::FloatEq)]
-            {
+            for (marker, ann) in [
+                ("ORDERING:", Annotation::Ordering),
+                ("FLOAT-EQ:", Annotation::FloatEq),
+                ("SAFETY:", Annotation::Safety),
+            ] {
                 if let Some(rest) = find_after(&t.text, marker) {
                     // An empty justification does not count.
                     if !rest.trim().is_empty() {

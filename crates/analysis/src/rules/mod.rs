@@ -19,6 +19,7 @@ pub mod error_hygiene;
 pub mod float_eq;
 pub mod panic_safety;
 pub mod sync_facade;
+pub mod unsafe_discipline;
 
 use crate::context::FileCtx;
 
@@ -85,6 +86,12 @@ pub fn all_rules() -> &'static [Rule] {
             summary: "csj-core uses `crate::sync`, never `std::sync`, outside the facade",
             explain: sync_facade::EXPLAIN,
             check: sync_facade::check,
+        },
+        Rule {
+            name: "unsafe-discipline",
+            summary: "every `unsafe` block requires a `// SAFETY:` justification",
+            explain: unsafe_discipline::EXPLAIN,
+            check: unsafe_discipline::check,
         },
     ]
 }

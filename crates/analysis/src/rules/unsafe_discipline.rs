@@ -1,0 +1,55 @@
+//! Rule `unsafe-discipline`: every `unsafe` block must carry a written
+//! safety argument.
+
+use crate::context::{Annotation, FileCtx, FileRole};
+use crate::rules::{diag_at, Diagnostic};
+
+pub const EXPLAIN: &str = "\
+unsafe-discipline — every unsafe block must carry its proof.
+
+Flags an `unsafe {` block in non-test source unless the block's line
+carries a `// SAFETY: <why>` comment (trailing on the same line, or on
+the comment line(s) directly above). The annotation states which
+obligations the surrounding code discharges — for the SIMD kernels
+that is always two things: how the required CPU feature was
+established (runtime detection behind `KernelPath::clamp`) and why
+every raw load stays in bounds:
+
+    // SAFETY: `clamp` returned `Avx2` only after
+    // `is_x86_feature_detected!(\"avx2\")`; all slabs have length `n`.
+    let mask = unsafe { x86::fit_mask_avx2(lo, hi, .., n) };
+
+Only *blocks* are matched (`unsafe` directly followed by `{`).
+`unsafe fn` / `unsafe impl` / `unsafe trait` declarations are the
+*contract* side — their obligations belong in a `# Safety` doc
+section, and with `unsafe_op_in_unsafe_fn` warnings on (as in
+csj-geom) every discharge site inside them is an `unsafe {}` block
+this rule does see. An empty justification (`// SAFETY:` with nothing
+after it) does not count.";
+
+pub fn check(ctx: &FileCtx) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if ctx.role != FileRole::Src {
+        return out;
+    }
+    for ci in 0..ctx.code.len() {
+        if ctx.code_in_test(ci) {
+            continue;
+        }
+        let i = ci as isize;
+        if ctx.code_text(i) == "unsafe" && ctx.code_text(i + 1) == "{" {
+            let line = ctx.code_tok(ci).line;
+            if !ctx.annotated(line, Annotation::Safety) {
+                out.push(diag_at(
+                    ctx,
+                    "unsafe-discipline",
+                    ci,
+                    "`unsafe` block without a `// SAFETY:` justification — state which \
+                     preconditions hold and what establishes them"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -127,6 +127,27 @@ fn sync_facade_good_is_silent() {
 }
 
 #[test]
+fn unsafe_bad_fires_per_bare_block() {
+    let (fired, _) = run("crates/geom/src/fixture.rs", include_str!("fixtures/unsafe_bad.rs"));
+    assert_eq!(lines_of(&fired, "unsafe-discipline"), vec![4, 6, 8], "fired: {fired:?}");
+    assert_eq!(fired.len(), 3, "no other rule may fire: {fired:?}");
+}
+
+#[test]
+fn unsafe_good_is_silent() {
+    let (fired, _) = run("crates/geom/src/fixture.rs", include_str!("fixtures/unsafe_good.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn unsafe_discipline_ignores_harness_code() {
+    let src = include_str!("fixtures/unsafe_bad.rs");
+    let report = analyze_source("crates/geom/src/f.rs", src, CrateKind::Library, FileRole::Harness);
+    let hits = report.diagnostics.iter().filter(|d| d.rule == "unsafe-discipline").count();
+    assert_eq!(hits, 0, "harness files are exempt");
+}
+
+#[test]
 fn suppression_mechanics() {
     let (fired, suppressed) =
         run("crates/core/src/fixture.rs", include_str!("fixtures/suppression_mechanics.rs"));

@@ -1,0 +1,10 @@
+//! Fixture: unsafe blocks without SAFETY justifications.
+
+pub fn unjustified(p: *const u64) -> u64 {
+    let a = unsafe { *p }; // line 4: bare unsafe block
+    // An unrelated comment does not count as a justification.
+    let b = unsafe { *p.add(0) }; // line 6: bare unsafe block
+    // SAFETY:
+    let c = unsafe { *p }; // line 8: empty justification does not count
+    a + b + c
+}

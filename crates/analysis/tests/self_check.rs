@@ -60,7 +60,8 @@ fn every_suppression_names_a_real_rule() {
             "float-discipline",
             "determinism",
             "error-hygiene",
-            "sync-facade"
+            "sync-facade",
+            "unsafe-discipline"
         ]
     );
 }

@@ -13,7 +13,7 @@
 use csj_bench::args::CommonArgs;
 use csj_bench::datasets::{DatasetPoints, PaperDataset};
 use csj_core::csj::CsjJoin;
-use csj_core::group::{GroupWindow, MbrShape, OpenGroup};
+use csj_core::group::{GroupWindow, LinkProbe, MbrShape, OpenGroup};
 use csj_geom::{Metric, Point};
 use csj_index::{rstar::RStarTree, RTreeConfig};
 use csj_storage::{CountingSink, OutputWriter};
@@ -38,8 +38,8 @@ fn line_example() {
         for j in (i + 1)..points.len() {
             if metric.distance(&points[i], &points[j]) <= eps {
                 let (a, b) = (i as u32 + 1, j as u32 + 1);
-                if !window.try_merge_link(a, &points[i], b, &points[j], eps, metric, &mut attempts)
-                {
+                let link = LinkProbe::new(a, &points[i], b, &points[j]);
+                if !window.try_merge_link(&link, eps, metric, &mut attempts) {
                     let g = OpenGroup::from_link(a, &points[i], b, &points[j], metric);
                     let _ = window.push(g);
                 }

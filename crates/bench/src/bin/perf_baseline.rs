@@ -17,12 +17,39 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use csj_bench::harness::median_time_ms;
+use csj_bench::harness::{median_time_ms, time_stats_ms, TimeStats};
 use csj_core::parallel::baseline::StaticParallelJoin;
 use csj_core::parallel::{ParallelAlgo, ParallelJoin};
 use csj_core::JoinConfig;
-use csj_geom::{DistKernel, Metric, Point, RecordId};
+use csj_geom::{DistKernel, KernelPath, Metric, Point, RecordId, SoaBuffer};
 use csj_index::{rstar::RStarTree, LeafEntry, RTreeConfig};
+
+/// `rustc --version` of the toolchain on PATH — the one that (normally)
+/// built this binary. Perf numbers without the compiler version are not
+/// reproducible claims.
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Compile-time target features relevant to the distance kernels.
+fn compiled_features() -> &'static str {
+    if cfg!(target_feature = "avx2") {
+        "avx2"
+    } else if cfg!(target_feature = "neon") {
+        "neon"
+    } else if cfg!(target_feature = "sse2") {
+        "sse2"
+    } else {
+        "baseline"
+    }
+}
 
 struct Args {
     smoke: bool,
@@ -129,7 +156,7 @@ fn workloads(n: usize) -> Vec<Workload> {
 struct RunRow {
     algo: String,
     threads: usize,
-    wall_ms: f64,
+    wall: TimeStats,
     links: u64,
     links_per_sec: f64,
     speedup_vs_sequential: f64,
@@ -155,30 +182,33 @@ fn measure_grid(w: &Workload, iters: usize, max_threads: usize) -> Vec<RunRow> {
         for threads in [1, max_threads] {
             let join = ParallelJoin::new(w.eps, algo).with_threads(threads);
             let out = join.run(&tree);
-            let wall_ms = median_time_ms(iters, || {
+            let wall = time_stats_ms(iters, || {
                 std::hint::black_box(join.run(&tree));
             });
             if threads == 1 {
-                sequential_ms = wall_ms;
+                sequential_ms = wall.median_ms;
             }
             let links = out.stats.links_emitted + out.stats.links_in_groups;
             rows.push(RunRow {
                 algo: algo_name(algo),
                 threads,
-                wall_ms,
+                wall,
                 links,
-                links_per_sec: links as f64 / (wall_ms / 1e3),
-                speedup_vs_sequential: sequential_ms / wall_ms,
+                links_per_sec: links as f64 / (wall.median_ms / 1e3),
+                speedup_vs_sequential: sequential_ms / wall.median_ms,
                 threads_used: out.stats.threads_used,
                 tasks_executed: out.stats.tasks_executed,
                 tasks_stolen: out.stats.tasks_stolen,
                 tasks_split: out.stats.tasks_split,
             });
             eprintln!(
-                "# {:<15} {:<8} threads={threads}: {wall_ms:.1} ms, {links} links, \
+                "# {:<15} {:<8} threads={threads}: {:.1} ms median ({:.1}..{:.1}), {links} links, \
                  {} tasks ({} stolen, {} split)",
                 w.name,
                 rows.last().expect("just pushed").algo,
+                wall.median_ms,
+                wall.min_ms,
+                wall.max_ms,
                 out.stats.tasks_executed,
                 out.stats.tasks_stolen,
                 out.stats.tasks_split,
@@ -222,6 +252,7 @@ fn kernel_microbench(iters: usize, n: usize) -> (usize, u64, f64, f64) {
         })
         .collect();
     let pts: Vec<Point<2>> = entries.iter().map(|e| e.point).collect();
+    let soa = SoaBuffer::from_points(&pts);
     // Sparse hit rate (~1%): the common leaf-probe regime, where the
     // distance evaluations rather than the hit emission dominate.
     let eps = 0.002;
@@ -245,7 +276,7 @@ fn kernel_microbench(iters: usize, n: usize) -> (usize, u64, f64, f64) {
         let mut comparisons = 0u64;
         let mut hits: Vec<(RecordId, RecordId)> = Vec::new();
         kernel
-            .self_join::<2, std::convert::Infallible>(&pts, &mut comparisons, |i, j| {
+            .self_join::<2, std::convert::Infallible>(soa.view(), &mut comparisons, |i, j| {
                 hits.push((entries[i].id, entries[j].id));
                 Ok(())
             })
@@ -259,12 +290,15 @@ fn kernel_microbench(iters: usize, n: usize) -> (usize, u64, f64, f64) {
 fn push_row(json: &mut String, row: &RunRow, last: bool) {
     let _ = writeln!(
         json,
-        "      {{\"algo\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"links\": {}, \
+        "      {{\"algo\": \"{}\", \"threads\": {}, \"wall_ms_min\": {:.3}, \
+         \"wall_ms_median\": {:.3}, \"wall_ms_max\": {:.3}, \"links\": {}, \
          \"links_per_sec\": {:.1}, \"speedup_vs_sequential\": {:.3}, \"threads_used\": {}, \
          \"tasks_executed\": {}, \"tasks_stolen\": {}, \"tasks_split\": {}}}{}",
         row.algo,
         row.threads,
-        row.wall_ms,
+        row.wall.min_ms,
+        row.wall.median_ms,
+        row.wall.max_ms,
         row.links,
         row.links_per_sec,
         row.speedup_vs_sequential,
@@ -283,16 +317,32 @@ fn main() {
         args.n, args.iters, args.threads, args.smoke
     );
 
+    let host_parallelism = csj_core::parallel::default_threads();
     let mut json = String::from("{\n");
     let _ = writeln!(
         json,
         "  \"bench\": \"perf_baseline\",\n  \"smoke\": {},\n  \"n\": {},\n  \"iters\": {},\n  \
-         \"host_parallelism\": {},",
+         \"host_parallelism\": {},\n  \"rustc_version\": \"{}\",\n  \"target_arch\": \"{}\",\n  \
+         \"target_features_compiled\": \"{}\",\n  \"kernel_path\": \"{}\",",
         args.smoke,
         args.n,
         args.iters,
-        csj_core::parallel::default_threads(),
+        host_parallelism,
+        rustc_version(),
+        std::env::consts::ARCH,
+        compiled_features(),
+        KernelPath::detect().name(),
     );
+    if host_parallelism == 1 {
+        json.push_str(
+            "  \"single_core_warning\": \"HOST HAS 1 CPU: all multi-thread rows are \
+             oversubscribed on one core; speedup_vs_sequential is meaningless here\",\n",
+        );
+        eprintln!(
+            "# WARNING: host_parallelism == 1 — multi-thread numbers below measure \
+             oversubscription, not parallel speedup"
+        );
+    }
 
     json.push_str("  \"workloads\": [\n");
     let all = workloads(args.n);

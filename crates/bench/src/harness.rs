@@ -68,18 +68,49 @@ impl Measurement {
     }
 }
 
-/// Median of `iters` wall-clock timings of `f`, in milliseconds.
-pub fn median_time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+/// Spread of repeated wall-clock timings: a single mean hides warm-up
+/// effects and scheduler noise, so perf reports carry all three.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeStats {
+    /// Fastest iteration, ms.
+    pub min_ms: f64,
+    /// Median iteration, ms.
+    pub median_ms: f64,
+    /// Slowest iteration, ms.
+    pub max_ms: f64,
+}
+
+impl TimeStats {
+    /// Min/median/max of pre-collected wall-clock samples (ms). Callers
+    /// that interleave legs round-robin (so frequency drift hits every
+    /// leg equally) gather their own samples and summarise them here.
+    pub fn from_samples_ms(mut samples: Vec<f64>) -> TimeStats {
+        assert!(!samples.is_empty());
+        samples.sort_by(f64::total_cmp);
+        TimeStats {
+            min_ms: samples[0],
+            median_ms: samples[samples.len() / 2],
+            max_ms: samples[samples.len() - 1],
+        }
+    }
+}
+
+/// Min/median/max of `iters` wall-clock timings of `f`, in milliseconds.
+pub fn time_stats_ms(iters: usize, mut f: impl FnMut()) -> TimeStats {
     assert!(iters >= 1);
-    let mut times: Vec<f64> = (0..iters)
+    let times: Vec<f64> = (0..iters)
         .map(|_| {
             let start = Instant::now();
             f();
             start.elapsed().as_secs_f64() * 1e3
         })
         .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+    TimeStats::from_samples_ms(times)
+}
+
+/// Median of `iters` wall-clock timings of `f`, in milliseconds.
+pub fn median_time_ms(iters: usize, f: impl FnMut()) -> f64 {
+    time_stats_ms(iters, f).median_ms
 }
 
 /// Runs `algo` on `tree` and measures it. SSJ runs under `ssj_budget`
@@ -239,6 +270,24 @@ mod tests {
             std::hint::black_box((0..1000).sum::<u64>());
         });
         assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn time_stats_ordered() {
+        let s = time_stats_ms(5, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(s.min_ms >= 0.0);
+        assert!(s.min_ms <= s.median_ms);
+        assert!(s.median_ms <= s.max_ms);
+    }
+
+    #[test]
+    fn stats_from_samples() {
+        let s = TimeStats::from_samples_ms(vec![3.0, 1.0, 2.0]);
+        assert_eq!(s.min_ms, 1.0);
+        assert_eq!(s.median_ms, 2.0);
+        assert_eq!(s.max_ms, 3.0);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use csj_storage::{OutputSink, OutputWriter};
 
 use crate::budget::{CancelToken, StopReason};
 use crate::error::CsjError;
-use crate::group::{GroupShape, GroupWindow, OpenGroup};
+use crate::group::{GroupShape, GroupWindow, LinkProbe, OpenGroup};
 use crate::output::{JoinOutput, OutputItem};
 use crate::stats::JoinStats;
 use crate::JoinConfig;
@@ -33,6 +33,14 @@ pub trait RowSink {
     fn link_row(&mut self, a: RecordId, b: RecordId) -> Result<(), CsjError>;
     /// A group row (at least two members).
     fn group_row(&mut self, ids: &[RecordId]) -> Result<(), CsjError>;
+    /// A group row, by value. Sinks that retain rows take ownership and
+    /// return `None`; serializing sinks return the vector so the caller
+    /// can recycle its allocation. The default delegates to
+    /// [`RowSink::group_row`].
+    fn group_row_vec(&mut self, ids: Vec<RecordId>) -> Result<Option<Vec<RecordId>>, CsjError> {
+        self.group_row(&ids)?;
+        Ok(Some(ids))
+    }
 }
 
 /// Collects rows into a [`JoinOutput`].
@@ -50,6 +58,10 @@ impl RowSink for CollectSink {
     fn group_row(&mut self, ids: &[RecordId]) -> Result<(), CsjError> {
         self.items.push(OutputItem::Group(ids.to_vec()));
         Ok(())
+    }
+    fn group_row_vec(&mut self, ids: Vec<RecordId>) -> Result<Option<Vec<RecordId>>, CsjError> {
+        self.items.push(OutputItem::Group(ids));
+        Ok(None)
     }
 }
 
@@ -101,19 +113,42 @@ pub trait LinkHandler<const D: usize> {
     fn finish<R: RowSink>(&mut self, sink: &mut R, stats: &mut JoinStats) -> Result<(), CsjError>;
 }
 
-fn emit_group_row<R: RowSink>(
+/// Emits a finalized group row, taking the member vector by value:
+/// retaining sinks keep it without a copy, and any returned (unretained)
+/// vector comes back to the caller for recycling.
+fn emit_group_row_vec<R: RowSink>(
     sink: &mut R,
     stats: &mut JoinStats,
-    members: &[RecordId],
-) -> Result<(), CsjError> {
+    members: Vec<RecordId>,
+) -> Result<Option<Vec<RecordId>>, CsjError> {
     // Single-member groups encode no links; suppress them.
     if members.len() < 2 {
+        return Ok(Some(members));
+    }
+    let k = members.len() as u64;
+    let returned = sink.group_row_vec(members)?;
+    stats.groups_emitted += 1;
+    stats.group_members_emitted += k;
+    stats.links_in_groups += k * (k - 1) / 2;
+    Ok(returned)
+}
+
+/// [`emit_group_row_vec`] for a member slice that stays owned by the
+/// group window's ring (the steady-state CSJ open path): same
+/// suppression of single-member rows, same tallies, no vector handoff.
+#[inline]
+fn emit_group_row_slice<R: RowSink>(
+    sink: &mut R,
+    stats: &mut JoinStats,
+    ids: &[RecordId],
+) -> Result<(), CsjError> {
+    if ids.len() < 2 {
         return Ok(());
     }
-    sink.group_row(members)?;
+    let k = ids.len() as u64;
+    sink.group_row(ids)?;
     stats.groups_emitted += 1;
-    stats.group_members_emitted += members.len() as u64;
-    let k = members.len() as u64;
+    stats.group_members_emitted += k;
     stats.links_in_groups += k * (k - 1) / 2;
     Ok(())
 }
@@ -145,7 +180,7 @@ impl<const D: usize> LinkHandler<D> for DirectEmit {
         sink: &mut R,
         stats: &mut JoinStats,
     ) -> Result<(), CsjError> {
-        emit_group_row(sink, stats, &ids)
+        emit_group_row_vec(sink, stats, ids).map(drop)
     }
 
     fn finish<R: RowSink>(
@@ -165,12 +200,37 @@ pub struct WindowedEmit<S, const D: usize> {
     window: GroupWindow<S, D>,
     eps: f64,
     metric: Metric,
+    /// Member vectors recovered from emitted groups, recycled into
+    /// freshly opened groups so the steady state allocates nothing.
+    spare: Vec<Vec<RecordId>>,
 }
+
+/// Cap on the [`WindowedEmit`] recycling pool; beyond this, emitted
+/// member vectors are simply dropped.
+const SPARE_POOL_CAP: usize = 32;
 
 impl<S: GroupShape<D>, const D: usize> WindowedEmit<S, D> {
     /// A window of `g` recent groups under the join parameters.
     pub fn new(g: usize, eps: f64, metric: Metric) -> Self {
-        WindowedEmit { window: GroupWindow::new(g), eps, metric }
+        WindowedEmit { window: GroupWindow::new(g), eps, metric, spare: Vec::new() }
+    }
+
+    /// Emits an evicted group and reclaims its member vector when the
+    /// sink hands it back.
+    fn emit_recycling<R: RowSink>(
+        &mut self,
+        evicted: OpenGroup<S, D>,
+        sink: &mut R,
+        stats: &mut JoinStats,
+    ) -> Result<(), CsjError> {
+        let members = evicted.into_sorted_members();
+        if let Some(mut v) = emit_group_row_vec(sink, stats, members)? {
+            if self.spare.len() < SPARE_POOL_CAP {
+                v.clear();
+                self.spare.push(v);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -184,23 +244,14 @@ impl<S: GroupShape<D>, const D: usize> LinkHandler<D> for WindowedEmit<S, D> {
         sink: &mut R,
         stats: &mut JoinStats,
     ) -> Result<(), CsjError> {
-        if self.window.try_merge_link(
-            a,
-            pa,
-            b,
-            pb,
-            self.eps,
-            self.metric,
-            &mut stats.merge_attempts,
-        ) {
+        let link = LinkProbe::new(a, pa, b, pb);
+        if self.window.try_merge_link(&link, self.eps, self.metric, &mut stats.merge_attempts) {
             stats.merges_succeeded += 1;
             return Ok(());
         }
-        let group = OpenGroup::from_link(a, pa, b, pb, self.metric);
-        if let Some(evicted) = self.window.push(group) {
-            emit_group_row(sink, stats, &evicted.into_sorted_members())?;
-        }
-        Ok(())
+        // Probe missed: open a group for the link in place; the displaced
+        // oldest group (if any) is emitted straight from its ring slot.
+        self.window.open_link(&link, self.metric, |ids| emit_group_row_slice(sink, stats, ids))
     }
 
     fn on_subtree<R: RowSink>(
@@ -212,16 +263,14 @@ impl<S: GroupShape<D>, const D: usize> LinkHandler<D> for WindowedEmit<S, D> {
     ) -> Result<(), CsjError> {
         let group = OpenGroup::from_subtree(ids, mbr, self.metric);
         if let Some(evicted) = self.window.push(group) {
-            emit_group_row(sink, stats, &evicted.into_sorted_members())?;
+            self.emit_recycling(evicted, sink, stats)?;
         }
         Ok(())
     }
 
     fn finish<R: RowSink>(&mut self, sink: &mut R, stats: &mut JoinStats) -> Result<(), CsjError> {
-        let finals: Vec<Vec<RecordId>> =
-            self.window.drain().map(|g| g.into_sorted_members()).collect();
-        for members in finals {
-            emit_group_row(sink, stats, &members)?;
+        for group in self.window.drain() {
+            emit_group_row_vec(sink, stats, group.into_sorted_members())?;
         }
         Ok(())
     }
@@ -429,20 +478,21 @@ where
         Ok(())
     }
 
-    /// Batched leaf self-join: probes the leaf's contiguous point slice
-    /// with [`csj_geom::DistKernel`]. Hit order and comparison counts are
-    /// identical to the scalar nested loop.
+    /// Batched leaf self-join: probes the leaf's struct-of-arrays
+    /// coordinate slabs with [`csj_geom::DistKernel`] (SIMD when the host
+    /// has it, chunked scalar otherwise). Hit order and comparison counts
+    /// are identical to the scalar nested loop on every path.
     fn leaf_self_kernel(&mut self, n: NodeId) -> Result<(), CsjError> {
         let kernel = csj_geom::DistKernel::new(self.cfg.metric, self.cfg.epsilon);
         let tree = self.tree;
         let entries = tree.leaf_entries(n);
-        let pts = tree.leaf_points(n);
-        debug_assert_eq!(entries.len(), pts.len(), "leaf_points must mirror leaf_entries");
+        let soa = tree.leaf_soa(n);
+        debug_assert_eq!(entries.len(), soa.len(), "leaf_soa must mirror leaf_entries");
         let handler = &mut self.handler;
         let sink = &mut self.sink;
         let stats = &mut self.stats;
         let mut comps = 0u64;
-        let res = kernel.self_join(pts, &mut comps, |i, j| {
+        let res = kernel.self_join(soa, &mut comps, |i, j| {
             handler.on_link(
                 entries[i].id,
                 &entries[i].point,
@@ -463,15 +513,15 @@ where
         let tree = self.tree;
         let ea = tree.leaf_entries(a);
         let eb = tree.leaf_entries(b);
-        let pa = tree.leaf_points(a);
-        let pb = tree.leaf_points(b);
-        debug_assert_eq!(ea.len(), pa.len(), "leaf_points must mirror leaf_entries");
-        debug_assert_eq!(eb.len(), pb.len(), "leaf_points must mirror leaf_entries");
+        let sa = tree.leaf_soa(a);
+        let sb = tree.leaf_soa(b);
+        debug_assert_eq!(ea.len(), sa.len(), "leaf_soa must mirror leaf_entries");
+        debug_assert_eq!(eb.len(), sb.len(), "leaf_soa must mirror leaf_entries");
         let handler = &mut self.handler;
         let sink = &mut self.sink;
         let stats = &mut self.stats;
         let mut comps = 0u64;
-        let res = kernel.cross_join(pa, pb, &mut comps, |i, j| {
+        let res = kernel.cross_join(sa, sb, &mut comps, |i, j| {
             handler.on_link(ea[i].id, &ea[i].point, eb[j].id, &eb[j].point, &mut *sink, &mut *stats)
         });
         stats.distance_computations += comps;

@@ -76,9 +76,9 @@ impl<T: JoinIndex<D>, const D: usize> JoinIndex<D> for PagedTree<'_, T> {
         self.touch(n);
         self.inner.leaf_entries(n)
     }
-    fn leaf_points(&self, n: NodeId) -> &[csj_geom::Point<D>] {
+    fn leaf_soa(&self, n: NodeId) -> csj_geom::SoaView<'_, D> {
         self.touch(n);
-        self.inner.leaf_points(n)
+        self.inner.leaf_soa(n)
     }
     fn node_mbr(&self, n: NodeId) -> Mbr<D> {
         self.inner.node_mbr(n)
@@ -204,9 +204,9 @@ impl<T: JoinIndex<D>, const D: usize> JoinIndex<D> for FaultPagedTree<'_, T> {
         self.touch(n);
         self.inner.leaf_entries(n)
     }
-    fn leaf_points(&self, n: NodeId) -> &[csj_geom::Point<D>] {
+    fn leaf_soa(&self, n: NodeId) -> csj_geom::SoaView<'_, D> {
         self.touch(n);
-        self.inner.leaf_points(n)
+        self.inner.leaf_soa(n)
     }
     fn node_mbr(&self, n: NodeId) -> Mbr<D> {
         self.inner.node_mbr(n)

@@ -1,45 +1,174 @@
-//! Batched leaf-probe distance kernels.
+//! Batched leaf-probe distance kernels with runtime SIMD dispatch.
 //!
 //! The join hot path compares every point of one leaf against every point
 //! of another (or the same) leaf. Done pair-at-a-time through
 //! [`Metric::distance`] this is a chain of dependent scalar ops; done over
-//! contiguous [`Point`] slices in fixed-width chunks it becomes a handful
-//! of independent per-lane accumulations the autovectorizer turns into
-//! SIMD, with the threshold compared against ε² so no `sqrt` survives in
-//! the loop (cf. GPU self-join kernels, which batch for the same reason).
+//! a struct-of-arrays leaf layout ([`SoaView`]) it becomes `D` contiguous
+//! streaming loads per probe row, fed either to an explicit `std::arch`
+//! SIMD sweep (AVX2 on x86-64, NEON on aarch64) or to the chunked-scalar
+//! fallback the autovectorizer already handles well.
 //!
-//! [`DistKernel`] preserves the scalar semantics *exactly*:
+//! Which sweep runs is decided once per process by [`KernelPath::detect`]:
+//! runtime CPU-feature detection (`is_x86_feature_detected!`), overridable
+//! with the `CSJ_KERNEL` environment variable (`auto` | `scalar` | `simd`)
+//! or per-kernel with [`DistKernel::with_path`]. Hosts without AVX2/NEON
+//! fall back to scalar silently — the fallback is the specification.
+//!
+//! Every path preserves the scalar semantics *exactly*:
 //!
 //! * hits are reported in the same `(i ascending, j ascending)` order the
 //!   nested scalar loops use (CSJ's windowed grouping is order-sensitive);
 //! * the Euclidean accumulation runs over dimensions in the same order as
-//!   [`Point::sq_euclidean`], so every comparison is bit-identical to
-//!   [`Metric::within`];
+//!   [`Point::sq_euclidean`], with separate multiply and add (never FMA —
+//!   fusing changes rounding), so every per-pair value is bit-identical to
+//!   the scalar computation;
+//! * the ε² threshold compare is ordered and non-signaling
+//!   (`_CMP_LE_OQ` / `vcleq_f64`), matching scalar `<=` on NaN;
 //! * non-Euclidean metrics fall back to the scalar predicate per pair, so
 //!   batching never changes which pairs qualify.
+//!
+//! The SIMD sweeps process rows in blocks of [`SWEEP_BLOCK`], collecting
+//! qualifying row indices into a stack ring that is drained to the caller
+//! after each wide sweep — candidate generation is batched, emission order
+//! is untouched, and the hot loop contains no callback.
 
-use crate::{Metric, Point};
+use crate::{Metric, Point, SoaView};
+use std::sync::OnceLock;
 
-/// Chunk width for the batched Euclidean path. Eight 64-bit lanes fill a
+/// Chunk width for the chunked-scalar path. Eight 64-bit lanes fill a
 /// 512-bit vector and give the autovectorizer two 256-bit ops per step on
 /// AVX2-class hardware; the value is a tuning knob, not a correctness one.
 pub const LANES: usize = 8;
 
-/// A reusable ε-threshold distance kernel over contiguous point slices.
+/// Rows per wide sweep in the explicit SIMD paths. Each sweep collects its
+/// qualifying row indices into a `[u32; SWEEP_BLOCK]` stack ring before
+/// they are drained to the hit callback, so the vector loop never calls
+/// out. Leaves are smaller than this in practice (fanout ≈ 170), so a
+/// probe row is normally a single sweep.
+pub const SWEEP_BLOCK: usize = 256;
+
+/// Which distance-sweep implementation a [`DistKernel`] drives.
+///
+/// `Scalar` is always available and is the semantic reference; the SIMD
+/// variants are selected only after runtime CPU-feature detection and
+/// produce bit-identical hits (proptest-locked in this module).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Chunked-scalar sweep ([`LANES`]-wide accumulator blocks).
+    Scalar,
+    /// 4×f64 `std::arch::x86_64` AVX2 sweep.
+    Avx2,
+    /// 2×f64 `std::arch::aarch64` NEON sweep.
+    Neon,
+}
+
+impl KernelPath {
+    /// Whether this path can run on the current CPU.
+    pub fn available(self) -> bool {
+        match self {
+            KernelPath::Scalar => true,
+            KernelPath::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    is_x86_feature_detected!("avx2")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            KernelPath::Neon => {
+                #[cfg(target_arch = "aarch64")]
+                {
+                    std::arch::is_aarch64_feature_detected!("neon")
+                }
+                #[cfg(not(target_arch = "aarch64"))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    /// This path if the CPU supports it, otherwise [`KernelPath::Scalar`].
+    pub fn clamp(self) -> KernelPath {
+        if self.available() {
+            self
+        } else {
+            KernelPath::Scalar
+        }
+    }
+
+    /// The widest SIMD path the current CPU supports (ignoring the
+    /// `CSJ_KERNEL` override), or `Scalar` when there is none.
+    pub fn native() -> KernelPath {
+        if KernelPath::Avx2.available() {
+            KernelPath::Avx2
+        } else if KernelPath::Neon.available() {
+            KernelPath::Neon
+        } else {
+            KernelPath::Scalar
+        }
+    }
+
+    /// The process-wide default path: [`KernelPath::native`] unless the
+    /// `CSJ_KERNEL` environment variable pins it.
+    ///
+    /// `CSJ_KERNEL=scalar` forces the chunked-scalar sweep everywhere;
+    /// `CSJ_KERNEL=simd` or `auto` (and any unrecognized value) selects
+    /// the native path, which is scalar on hosts without AVX2/NEON. The
+    /// decision is made once and cached for the life of the process.
+    pub fn detect() -> KernelPath {
+        static DETECTED: OnceLock<KernelPath> = OnceLock::new();
+        *DETECTED.get_or_init(|| match std::env::var("CSJ_KERNEL") {
+            Ok(v) if v.eq_ignore_ascii_case("scalar") => KernelPath::Scalar,
+            _ => KernelPath::native(),
+        })
+    }
+
+    /// Stable lowercase name for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Avx2 => "avx2",
+            KernelPath::Neon => "neon",
+        }
+    }
+
+    /// Whether this is an explicit-SIMD path.
+    pub fn is_simd(self) -> bool {
+        !matches!(self, KernelPath::Scalar)
+    }
+}
+
+/// A reusable ε-threshold distance kernel over leaf point storage.
 ///
 /// Construct once per join (or per task) and call
-/// [`DistKernel::self_join`] / [`DistKernel::cross_join`] per leaf probe.
+/// [`DistKernel::self_join`] / [`DistKernel::cross_join`] per leaf probe
+/// with the leaf's [`SoaView`]. The AoS entry points
+/// ([`DistKernel::self_join_points`] / [`DistKernel::cross_join_points`])
+/// remain for callers holding plain `[Point<D>]` slices; they always run
+/// the chunked-scalar sweep and are the guaranteed-bit-identical baseline.
 #[derive(Clone, Copy, Debug)]
 pub struct DistKernel {
     metric: Metric,
     eps: f64,
     eps_sq: f64,
+    path: KernelPath,
 }
 
 impl DistKernel {
-    /// A kernel for the given metric and range ε.
+    /// A kernel for the given metric and range ε, on the process default
+    /// sweep path ([`KernelPath::detect`]).
     pub fn new(metric: Metric, eps: f64) -> Self {
-        DistKernel { metric, eps, eps_sq: eps * eps }
+        DistKernel::with_path(metric, eps, KernelPath::detect())
+    }
+
+    /// A kernel pinned to a specific sweep path. Paths the CPU cannot run
+    /// are clamped to [`KernelPath::Scalar`], so forcing `Avx2` on a
+    /// non-AVX2 host degrades cleanly instead of faulting.
+    pub fn with_path(metric: Metric, eps: f64, path: KernelPath) -> Self {
+        DistKernel { metric, eps, eps_sq: eps * eps, path: path.clamp() }
     }
 
     /// The join range ε.
@@ -54,7 +183,13 @@ impl DistKernel {
         self.metric
     }
 
-    /// All pairs `(i, j)` with `i < j` and `pts[i]` within ε of `pts[j]`,
+    /// The sweep path this kernel drives (post-clamp).
+    #[inline]
+    pub fn path(&self) -> KernelPath {
+        self.path
+    }
+
+    /// All pairs `(i, j)` with `i < j` and row `i` within ε of row `j`,
     /// reported through `on_hit` in `(i asc, j asc)` order.
     ///
     /// `comparisons` is advanced by the number of distance predicate
@@ -67,6 +202,76 @@ impl DistKernel {
     /// `on_hit`, which stops the scan and is propagated unchanged.
     pub fn self_join<const D: usize, E>(
         &self,
+        pts: SoaView<'_, D>,
+        comparisons: &mut u64,
+        mut on_hit: impl FnMut(usize, usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let n = pts.len();
+        if !matches!(self.metric, Metric::Euclidean) {
+            for i in 0..n {
+                *comparisons += (n - i - 1) as u64;
+                let p = pts.point(i);
+                for j in (i + 1)..n {
+                    if self.metric.within(&p, &pts.point(j), self.eps) {
+                        on_hit(i, j)?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        for i in 0..n {
+            *comparisons += (n - i - 1) as u64;
+            let probe = pts.coords(i);
+            self.probe_soa(&probe, pts.dims(), i + 1, |j| on_hit(i, j))?;
+        }
+        Ok(())
+    }
+
+    /// All pairs `(i, j)` with `left` row `i` within ε of `right` row `j`,
+    /// reported through `on_hit` in `(i asc, j asc)` order. Counting as in
+    /// [`DistKernel::self_join`].
+    ///
+    /// # Errors
+    ///
+    /// The kernel itself cannot fail; the only `Err` is one returned by
+    /// `on_hit`, which stops the scan and is propagated unchanged.
+    pub fn cross_join<const D: usize, E>(
+        &self,
+        left: SoaView<'_, D>,
+        right: SoaView<'_, D>,
+        comparisons: &mut u64,
+        mut on_hit: impl FnMut(usize, usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let (nl, nr) = (left.len(), right.len());
+        if !matches!(self.metric, Metric::Euclidean) {
+            for i in 0..nl {
+                *comparisons += nr as u64;
+                let p = left.point(i);
+                for j in 0..nr {
+                    if self.metric.within(&p, &right.point(j), self.eps) {
+                        on_hit(i, j)?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        for i in 0..nl {
+            *comparisons += nr as u64;
+            let probe = left.coords(i);
+            self.probe_soa(&probe, right.dims(), 0, |j| on_hit(i, j))?;
+        }
+        Ok(())
+    }
+
+    /// AoS variant of [`DistKernel::self_join`] over a contiguous
+    /// `[Point<D>]` slice. Always runs the chunked-scalar sweep.
+    ///
+    /// # Errors
+    ///
+    /// The kernel itself cannot fail; the only `Err` is one returned by
+    /// `on_hit`, which stops the scan and is propagated unchanged.
+    pub fn self_join_points<const D: usize, E>(
+        &self,
         pts: &[Point<D>],
         comparisons: &mut u64,
         mut on_hit: impl FnMut(usize, usize) -> Result<(), E>,
@@ -78,15 +283,14 @@ impl DistKernel {
         Ok(())
     }
 
-    /// All pairs `(i, j)` with `left[i]` within ε of `right[j]`, reported
-    /// through `on_hit` in `(i asc, j asc)` order. Counting as in
-    /// [`DistKernel::self_join`].
+    /// AoS variant of [`DistKernel::cross_join`] over contiguous
+    /// `[Point<D>]` slices. Always runs the chunked-scalar sweep.
     ///
     /// # Errors
     ///
     /// The kernel itself cannot fail; the only `Err` is one returned by
     /// `on_hit`, which stops the scan and is propagated unchanged.
-    pub fn cross_join<const D: usize, E>(
+    pub fn cross_join_points<const D: usize, E>(
         &self,
         left: &[Point<D>],
         right: &[Point<D>],
@@ -100,8 +304,144 @@ impl DistKernel {
         Ok(())
     }
 
-    /// One probe point against a contiguous row; hit offsets are relative
-    /// to `row` and ascending.
+    /// One probe against slab rows `[start, len)`, dispatching on the
+    /// kernel path. Hit indices are absolute row numbers, ascending.
+    #[inline]
+    fn probe_soa<const D: usize, E>(
+        &self,
+        probe: &[f64; D],
+        dims: &[&[f64]; D],
+        start: usize,
+        mut on_hit: impl FnMut(usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        match self.path {
+            KernelPath::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                return self.probe_soa_avx2(probe, dims, start, on_hit);
+            }
+            KernelPath::Neon => {
+                #[cfg(target_arch = "aarch64")]
+                return self.probe_soa_neon(probe, dims, start, on_hit);
+            }
+            KernelPath::Scalar => {}
+        }
+        self.probe_soa_scalar(probe, dims, start, &mut on_hit)
+    }
+
+    /// Chunked-scalar sweep over slab rows `[start, len)` — the reference
+    /// semantics every SIMD sweep must reproduce bit-for-bit.
+    fn probe_soa_scalar<const D: usize, E>(
+        &self,
+        probe: &[f64; D],
+        dims: &[&[f64]; D],
+        start: usize,
+        on_hit: &mut impl FnMut(usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let n = dims.first().map_or(start, |s| s.len());
+        let mut j = start;
+        while j + LANES <= n {
+            // Branch-free distance block: dimensions outer, lanes inner,
+            // so each step is LANES independent accumulations. The
+            // per-pair dimension order matches `Point::sq_euclidean`,
+            // keeping every value bit-identical to the scalar path.
+            let mut acc = [0.0f64; LANES];
+            for (l, slot) in acc.iter_mut().enumerate() {
+                let mut sq = 0.0;
+                for d in 0..D {
+                    let delta = dims[d][j + l] - probe[d];
+                    sq += delta * delta;
+                }
+                *slot = sq;
+            }
+            // Branch-free any-hit reduction first: in sparse regions most
+            // chunks have no qualifying pair, and the whole block retires
+            // on one predictable branch.
+            let mut any = false;
+            for &sq in &acc {
+                any |= sq <= self.eps_sq;
+            }
+            if any {
+                for (l, &sq) in acc.iter().enumerate() {
+                    if sq <= self.eps_sq {
+                        on_hit(j + l)?;
+                    }
+                }
+            }
+            j += LANES;
+        }
+        while j < n {
+            let mut sq = 0.0;
+            for d in 0..D {
+                let delta = dims[d][j] - probe[d];
+                sq += delta * delta;
+            }
+            if sq <= self.eps_sq {
+                on_hit(j)?;
+            }
+            j += 1;
+        }
+        Ok(())
+    }
+
+    /// AVX2 sweep: blocks of [`SWEEP_BLOCK`] rows, hits collected into a
+    /// stack ring by the vector loop and drained here in ascending order.
+    #[cfg(target_arch = "x86_64")]
+    fn probe_soa_avx2<const D: usize, E>(
+        &self,
+        probe: &[f64; D],
+        dims: &[&[f64]; D],
+        start: usize,
+        mut on_hit: impl FnMut(usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let n = dims.first().map_or(start, |s| s.len());
+        debug_assert!(n <= u32::MAX as usize, "slab rows must fit the u32 hit ring");
+        let mut hits = [0u32; SWEEP_BLOCK];
+        let mut lo = start;
+        while lo < n {
+            let hi = (lo + SWEEP_BLOCK).min(n);
+            // SAFETY: `KernelPath::Avx2` is only reachable post-clamp, i.e.
+            // after `is_x86_feature_detected!("avx2")` confirmed the CPU
+            // executes AVX2; `lo..hi` is in bounds for every slab (all
+            // slabs have length `n`, checked by `SoaView`).
+            let count = unsafe { x86::sweep_avx2(probe, dims, lo, hi, self.eps_sq, &mut hits) };
+            for &j in &hits[..count] {
+                on_hit(j as usize)?;
+            }
+            lo = hi;
+        }
+        Ok(())
+    }
+
+    /// NEON sweep: same block/ring structure as the AVX2 path.
+    #[cfg(target_arch = "aarch64")]
+    fn probe_soa_neon<const D: usize, E>(
+        &self,
+        probe: &[f64; D],
+        dims: &[&[f64]; D],
+        start: usize,
+        mut on_hit: impl FnMut(usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        let n = dims.first().map_or(start, |s| s.len());
+        debug_assert!(n <= u32::MAX as usize, "slab rows must fit the u32 hit ring");
+        let mut hits = [0u32; SWEEP_BLOCK];
+        let mut lo = start;
+        while lo < n {
+            let hi = (lo + SWEEP_BLOCK).min(n);
+            // SAFETY: `KernelPath::Neon` is only reachable post-clamp, i.e.
+            // after `is_aarch64_feature_detected!("neon")` confirmed NEON;
+            // `lo..hi` is in bounds for every slab (all slabs have length
+            // `n`, checked by `SoaView`).
+            let count = unsafe { neon::sweep_neon(probe, dims, lo, hi, self.eps_sq, &mut hits) };
+            for &j in &hits[..count] {
+                on_hit(j as usize)?;
+            }
+            lo = hi;
+        }
+        Ok(())
+    }
+
+    /// One probe point against a contiguous AoS row; hit offsets are
+    /// relative to `row` and ascending. Chunked-scalar only.
     #[inline]
     fn probe_row<const D: usize, E>(
         &self,
@@ -123,10 +463,6 @@ impl DistKernel {
             // csj-lint: allow(panic-safety) — chunks_exact(LANES)
             // guarantees the slice length; the conversion is infallible.
             let block: &[Point<D>; LANES] = chunk.try_into().expect("chunk has LANES points");
-            // Branch-free distance block: dimensions outer, lanes inner,
-            // so each step is LANES independent fused accumulations. The
-            // per-pair dimension order matches `Point::sq_euclidean`,
-            // keeping every value bit-identical to the scalar path.
             let mut acc = [0.0f64; LANES];
             for (l, slot) in acc.iter_mut().enumerate() {
                 let mut sq = 0.0;
@@ -136,9 +472,6 @@ impl DistKernel {
                 }
                 *slot = sq;
             }
-            // Branch-free any-hit reduction first: in sparse regions most
-            // chunks have no qualifying pair, and the whole block retires
-            // on one predictable branch.
             let mut any = false;
             for &sq in &acc {
                 any |= sq <= self.eps_sq;
@@ -161,12 +494,172 @@ impl DistKernel {
     }
 }
 
+/// Explicit AVX2 sweep. Kept in its own module so every `unsafe` surface
+/// is in one place and compiled only on x86-64.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::SWEEP_BLOCK;
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_cmp_pd, _mm256_loadu_pd, _mm256_movemask_pd, _mm256_mul_pd,
+        _mm256_set1_pd, _mm256_setzero_pd, _mm256_sub_pd, _CMP_LE_OQ,
+    };
+
+    /// Sweeps `probe` against slab rows `[lo, hi)`, writing qualifying row
+    /// indices into `out` in ascending order; returns how many were
+    /// written (at most `hi - lo`, which the caller bounds by
+    /// [`SWEEP_BLOCK`]).
+    ///
+    /// Bit-identity with the scalar sweep: `vsub`/`vmul`/`vadd` are the
+    /// IEEE-754 operations the scalar loop performs, in the same dimension
+    /// order, with no FMA contraction; `_CMP_LE_OQ` is ordered `<=`
+    /// (false on NaN) exactly like the scalar compare; `movemask` +
+    /// `trailing_zeros` walks qualifying lanes in ascending order.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (callers establish this via runtime
+    /// feature detection), `hi - lo` must not exceed `SWEEP_BLOCK`, and
+    /// every slab in `dims` must have length ≥ `hi`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sweep_avx2<const D: usize>(
+        probe: &[f64; D],
+        dims: &[&[f64]; D],
+        lo: usize,
+        hi: usize,
+        eps_sq: f64,
+        out: &mut [u32; SWEEP_BLOCK],
+    ) -> usize {
+        debug_assert!(hi - lo <= SWEEP_BLOCK);
+        let mut count = 0usize;
+        let thr = _mm256_set1_pd(eps_sq);
+        let mut j = lo;
+        while j + 4 <= hi {
+            let mut acc = _mm256_setzero_pd();
+            for d in 0..D {
+                debug_assert!(j + 4 <= dims[d].len());
+                // SAFETY: `j + 4 <= hi <= dims[d].len()` (caller contract),
+                // so the 4-wide unaligned load stays inside the slab.
+                let v = unsafe { _mm256_loadu_pd(dims[d].as_ptr().add(j)) };
+                let delta = _mm256_sub_pd(v, _mm256_set1_pd(probe[d]));
+                // Separate mul + add: an FMA here would change rounding
+                // and break bit-identity with the scalar sweep.
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(delta, delta));
+            }
+            let mut m = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(acc, thr)) as u32;
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                out[count] = (j + lane) as u32;
+                count += 1;
+                m &= m - 1;
+            }
+            j += 4;
+        }
+        while j < hi {
+            let mut sq = 0.0;
+            for d in 0..D {
+                let delta = dims[d][j] - probe[d];
+                sq += delta * delta;
+            }
+            if sq <= eps_sq {
+                out[count] = j as u32;
+                count += 1;
+            }
+            j += 1;
+        }
+        count
+    }
+}
+
+/// Explicit NEON sweep (aarch64). Structured identically to the AVX2
+/// module: 2×f64 lanes instead of 4.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::SWEEP_BLOCK;
+    use std::arch::aarch64::{
+        vaddq_f64, vcleq_f64, vdupq_n_f64, vgetq_lane_u64, vld1q_f64, vmulq_f64, vsubq_f64,
+    };
+
+    /// Sweeps `probe` against slab rows `[lo, hi)`, writing qualifying row
+    /// indices into `out` in ascending order; returns how many were
+    /// written. Bit-identity argument as in `sweep_avx2`: IEEE-754
+    /// sub/mul/add in dimension order, no FMA, `vcleq_f64` is ordered
+    /// `<=` (false on NaN), lanes checked low-to-high.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support NEON (callers establish this via runtime
+    /// feature detection), `hi - lo` must not exceed `SWEEP_BLOCK`, and
+    /// every slab in `dims` must have length ≥ `hi`.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn sweep_neon<const D: usize>(
+        probe: &[f64; D],
+        dims: &[&[f64]; D],
+        lo: usize,
+        hi: usize,
+        eps_sq: f64,
+        out: &mut [u32; SWEEP_BLOCK],
+    ) -> usize {
+        debug_assert!(hi - lo <= SWEEP_BLOCK);
+        let mut count = 0usize;
+        let thr = vdupq_n_f64(eps_sq);
+        let mut j = lo;
+        while j + 2 <= hi {
+            let mut acc = vdupq_n_f64(0.0);
+            for d in 0..D {
+                debug_assert!(j + 2 <= dims[d].len());
+                // SAFETY: `j + 2 <= hi <= dims[d].len()` (caller contract),
+                // so the 2-wide load stays inside the slab.
+                let v = unsafe { vld1q_f64(dims[d].as_ptr().add(j)) };
+                let delta = vsubq_f64(v, vdupq_n_f64(probe[d]));
+                // Separate mul + add: an FMA here would change rounding
+                // and break bit-identity with the scalar sweep.
+                acc = vaddq_f64(acc, vmulq_f64(delta, delta));
+            }
+            let le = vcleq_f64(acc, thr);
+            if vgetq_lane_u64::<0>(le) != 0 {
+                out[count] = j as u32;
+                count += 1;
+            }
+            if vgetq_lane_u64::<1>(le) != 0 {
+                out[count] = (j + 1) as u32;
+                count += 1;
+            }
+            j += 2;
+        }
+        while j < hi {
+            let mut sq = 0.0;
+            for d in 0..D {
+                let delta = dims[d][j] - probe[d];
+                sq += delta * delta;
+            }
+            if sq <= eps_sq {
+                out[count] = j as u32;
+                count += 1;
+            }
+            j += 1;
+        }
+        count
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SoaBuffer;
 
     /// Infallible-callback error type for tests.
     type Never = std::convert::Infallible;
+
+    /// Every path worth exercising on this host: scalar always, plus the
+    /// native SIMD path when the CPU has one (clamping makes this safe to
+    /// list unconditionally).
+    fn paths_under_test() -> Vec<KernelPath> {
+        let mut paths = vec![KernelPath::Scalar];
+        if KernelPath::native().is_simd() {
+            paths.push(KernelPath::native());
+        }
+        paths
+    }
 
     fn scatter(n: usize, seed: u64) -> Vec<Point<3>> {
         (0..n)
@@ -217,25 +710,51 @@ mod tests {
         (hits, comps)
     }
 
+    fn run_self(kernel: &DistKernel, pts: &[Point<3>]) -> (Vec<(usize, usize)>, u64) {
+        let buf = SoaBuffer::from_points(pts);
+        let mut hits = Vec::new();
+        let mut comps = 0u64;
+        kernel
+            .self_join(buf.view(), &mut comps, |i, j| -> Result<(), Never> {
+                hits.push((i, j));
+                Ok(())
+            })
+            .unwrap();
+        (hits, comps)
+    }
+
+    fn run_cross(
+        kernel: &DistKernel,
+        a: &[Point<3>],
+        b: &[Point<3>],
+    ) -> (Vec<(usize, usize)>, u64) {
+        let (ba, bb) = (SoaBuffer::from_points(a), SoaBuffer::from_points(b));
+        let mut hits = Vec::new();
+        let mut comps = 0u64;
+        kernel
+            .cross_join(ba.view(), bb.view(), &mut comps, |i, j| -> Result<(), Never> {
+                hits.push((i, j));
+                Ok(())
+            })
+            .unwrap();
+        (hits, comps)
+    }
+
     #[test]
-    fn self_join_matches_scalar_all_metrics_and_sizes() {
+    fn self_join_matches_scalar_all_metrics_sizes_and_paths() {
         for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Minkowski(3.0)] {
-            // Sizes straddle the LANES boundary (remainder 0, 1, LANES-1).
-            for n in [0usize, 1, 7, 8, 9, 16, 61] {
+            // Sizes straddle both the scalar chunk (LANES = 8) and the
+            // widest SIMD lane count (4 on AVX2, 2 on NEON).
+            for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 16, 61] {
                 let pts = scatter(n, 7);
                 let eps = 0.35;
-                let kernel = DistKernel::new(m, eps);
-                let mut hits = Vec::new();
-                let mut comps = 0u64;
-                kernel
-                    .self_join(&pts, &mut comps, |i, j| -> Result<(), Never> {
-                        hits.push((i, j));
-                        Ok(())
-                    })
-                    .unwrap();
                 let (want, want_comps) = scalar_self(m, &pts, eps);
-                assert_eq!(hits, want, "{m:?} n={n}: hit set and order must match scalar");
-                assert_eq!(comps, want_comps, "{m:?} n={n}: comparison count");
+                for path in paths_under_test() {
+                    let kernel = DistKernel::with_path(m, eps, path);
+                    let (hits, comps) = run_self(&kernel, &pts);
+                    assert_eq!(hits, want, "{m:?} n={n} {}: hit set/order", path.name());
+                    assert_eq!(comps, want_comps, "{m:?} n={n} {}: comparisons", path.name());
+                }
             }
         }
     }
@@ -246,73 +765,256 @@ mod tests {
             let a = scatter(23, 1);
             let b = scatter(40, 2);
             let eps = 0.4;
-            let kernel = DistKernel::new(m, eps);
-            let mut hits = Vec::new();
-            let mut comps = 0u64;
-            kernel
-                .cross_join(&a, &b, &mut comps, |i, j| -> Result<(), Never> {
-                    hits.push((i, j));
-                    Ok(())
-                })
-                .unwrap();
             let (want, want_comps) = scalar_cross(m, &a, &b, eps);
-            assert_eq!(hits, want, "{m:?}");
-            assert_eq!(comps, want_comps, "{m:?}");
+            for path in paths_under_test() {
+                let kernel = DistKernel::with_path(m, eps, path);
+                let (hits, comps) = run_cross(&kernel, &a, &b);
+                assert_eq!(hits, want, "{m:?} {}", path.name());
+                assert_eq!(comps, want_comps, "{m:?} {}", path.name());
+            }
         }
+    }
+
+    #[test]
+    fn points_entry_points_match_soa() {
+        let pts = scatter(45, 9);
+        let kernel = DistKernel::new(Metric::Euclidean, 0.3);
+        let (soa_hits, soa_comps) = run_self(&kernel, &pts);
+        let mut aos_hits = Vec::new();
+        let mut aos_comps = 0u64;
+        kernel
+            .self_join_points(&pts, &mut aos_comps, |i, j| -> Result<(), Never> {
+                aos_hits.push((i, j));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(aos_hits, soa_hits);
+        assert_eq!(aos_comps, soa_comps);
+
+        let b = scatter(17, 11);
+        let (want, want_comps) = run_cross(&kernel, &pts, &b);
+        let mut hits = Vec::new();
+        let mut comps = 0u64;
+        kernel
+            .cross_join_points(&pts, &b, &mut comps, |i, j| -> Result<(), Never> {
+                hits.push((i, j));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(hits, want);
+        assert_eq!(comps, want_comps);
     }
 
     #[test]
     fn boundary_pairs_agree_with_within() {
         // Points at distance exactly eps (axis-aligned) must be hits, in
-        // both the chunked body and the remainder tail.
+        // both the vector body and the remainder tail, on every path.
         let eps = 0.125; // exactly representable
         let pts: Vec<Point<3>> = (0..19).map(|i| Point::new([i as f64 * eps, 0.0, 0.0])).collect();
-        let kernel = DistKernel::new(Metric::Euclidean, eps);
-        let mut hits = Vec::new();
-        let mut comps = 0u64;
-        kernel
-            .self_join(&pts, &mut comps, |i, j| -> Result<(), Never> {
-                hits.push((i, j));
-                Ok(())
-            })
-            .unwrap();
         let want: Vec<(usize, usize)> = (0..18).map(|i| (i, i + 1)).collect();
-        assert_eq!(hits, want, "adjacent pairs sit exactly at eps");
+        for path in paths_under_test() {
+            let kernel = DistKernel::with_path(Metric::Euclidean, eps, path);
+            let (hits, _) = run_self(&kernel, &pts);
+            assert_eq!(hits, want, "{}: adjacent pairs sit exactly at eps", path.name());
+        }
+    }
+
+    #[test]
+    fn subnormal_coordinates_agree_across_paths() {
+        // Deltas down in the subnormal range: squaring flushes to zero on
+        // both paths identically (IEEE-754 semantics, no FTZ/DAZ in Rust).
+        let tiny = f64::MIN_POSITIVE; // smallest normal
+        let sub = f64::MIN_POSITIVE / 8.0; // subnormal
+        let pts: Vec<Point<3>> =
+            (0..13).map(|i| Point::new([i as f64 * sub, (i % 3) as f64 * tiny, 0.0])).collect();
+        for eps in [0.0, sub, tiny, 2.0 * tiny] {
+            let (want, _) = scalar_self(Metric::Euclidean, &pts, eps);
+            for path in paths_under_test() {
+                let kernel = DistKernel::with_path(Metric::Euclidean, eps, path);
+                let (hits, _) = run_self(&kernel, &pts);
+                assert_eq!(hits, want, "eps={eps:e} {}", path.name());
+            }
+        }
     }
 
     #[test]
     fn errors_propagate_and_stop_the_scan() {
         let pts = scatter(40, 3);
-        let kernel = DistKernel::new(Metric::Euclidean, 0.9);
-        let mut seen = 0usize;
-        let res = kernel.self_join(&pts, &mut 0, |_, _| {
-            seen += 1;
-            if seen == 5 {
-                Err("stop")
-            } else {
-                Ok(())
-            }
-        });
-        assert_eq!(res, Err("stop"));
-        assert_eq!(seen, 5, "no hits delivered after the error");
+        for path in paths_under_test() {
+            let kernel = DistKernel::with_path(Metric::Euclidean, 0.9, path);
+            let buf = SoaBuffer::from_points(&pts);
+            let mut seen = 0usize;
+            let res = kernel.self_join(buf.view(), &mut 0, |_, _| {
+                seen += 1;
+                if seen == 5 {
+                    Err("stop")
+                } else {
+                    Ok(())
+                }
+            });
+            assert_eq!(res, Err("stop"), "{}", path.name());
+            assert_eq!(seen, 5, "{}: no hits delivered after the error", path.name());
+        }
     }
 
     #[test]
-    fn empty_slices() {
+    fn empty_views() {
         let kernel = DistKernel::new(Metric::Euclidean, 1.0);
-        let empty: Vec<Point<3>> = Vec::new();
-        let some = scatter(5, 4);
+        let empty = SoaBuffer::<3>::new();
+        let some = SoaBuffer::from_points(&scatter(5, 4));
         let mut comps = 0u64;
         kernel
-            .cross_join(&empty, &some, &mut comps, |_, _| -> Result<(), Never> {
+            .cross_join(empty.view(), some.view(), &mut comps, |_, _| -> Result<(), Never> {
                 panic!("no pairs")
             })
             .unwrap();
         kernel
-            .cross_join(&some, &empty, &mut comps, |_, _| -> Result<(), Never> {
+            .cross_join(some.view(), empty.view(), &mut comps, |_, _| -> Result<(), Never> {
                 panic!("no pairs")
             })
             .unwrap();
         assert_eq!(comps, 0);
+    }
+
+    #[test]
+    fn dispatch_clamps_to_available_paths() {
+        assert!(KernelPath::Scalar.available(), "scalar is always available");
+        assert_eq!(KernelPath::Scalar.clamp(), KernelPath::Scalar);
+        // Forcing a SIMD path never yields an unsupported kernel.
+        for want in [KernelPath::Avx2, KernelPath::Neon] {
+            let k = DistKernel::with_path(Metric::Euclidean, 0.5, want);
+            assert!(k.path() == want || k.path() == KernelPath::Scalar);
+            assert!(k.path().available());
+        }
+        // detect() is stable across calls (cached).
+        assert_eq!(KernelPath::detect(), KernelPath::detect());
+        assert!(!KernelPath::Scalar.is_simd());
+        assert_eq!(KernelPath::Avx2.name(), "avx2");
+        assert_eq!(KernelPath::Neon.name(), "neon");
+        assert_eq!(KernelPath::Scalar.name(), "scalar");
+    }
+
+    /// A sweep block larger than SWEEP_BLOCK rows forces the hit ring to
+    /// drain more than once per probe row; order must survive.
+    #[test]
+    fn multi_block_rows_preserve_order() {
+        let n = SWEEP_BLOCK * 2 + 13;
+        // All points coincident: every pair hits, so the ring fills.
+        let pts: Vec<Point<3>> = (0..n).map(|_| Point::new([0.5, 0.5, 0.5])).collect();
+        let (want, want_comps) = scalar_self(Metric::Euclidean, &pts, 0.1);
+        for path in paths_under_test() {
+            let kernel = DistKernel::with_path(Metric::Euclidean, 0.1, path);
+            let (hits, comps) = run_self(&kernel, &pts);
+            assert_eq!(hits, want, "{}", path.name());
+            assert_eq!(comps, want_comps, "{}", path.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::SoaBuffer;
+    use proptest::prelude::*;
+
+    type Never = std::convert::Infallible;
+
+    fn arb_point() -> impl Strategy<Value = Point<3>> {
+        prop::array::uniform3(-1.0f64..1.0).prop_map(Point::new)
+    }
+
+    fn hits_on(path: KernelPath, pts: &[Point<3>], eps: f64) -> (Vec<(usize, usize)>, u64) {
+        let kernel = DistKernel::with_path(Metric::Euclidean, eps, path);
+        let buf = SoaBuffer::from_points(pts);
+        let mut hits = Vec::new();
+        let mut comps = 0u64;
+        kernel
+            .self_join(buf.view(), &mut comps, |i, j| -> Result<(), Never> {
+                hits.push((i, j));
+                Ok(())
+            })
+            .unwrap();
+        (hits, comps)
+    }
+
+    proptest! {
+        /// The SIMD path (clamped to scalar on hosts without one) is
+        /// bit-identical to the scalar path on arbitrary inputs: same
+        /// hits, same order, same comparison count.
+        #[test]
+        fn simd_bit_identical_to_scalar(
+            pts in prop::collection::vec(arb_point(), 0..70),
+            eps in 0.0f64..0.8,
+        ) {
+            let scalar = hits_on(KernelPath::Scalar, &pts, eps);
+            let simd = hits_on(KernelPath::native(), &pts, eps);
+            prop_assert_eq!(&scalar, &simd);
+        }
+
+        /// Lane-boundary sizes (0, 1, LANES-1, LANES, LANES+1, and the
+        /// AVX2/NEON widths around 4 and 2) agree across paths.
+        #[test]
+        fn lane_boundary_sizes_agree(
+            pick in 0usize..10,
+            seed in 0u64..1000,
+            eps in 0.05f64..0.9,
+        ) {
+            let sizes = [0, 1, 2, 3, 4, 5, LANES - 1, LANES, LANES + 1, 3 * LANES + 1];
+            let n = sizes[pick];
+            let pts: Vec<Point<3>> = (0..n)
+                .map(|i| {
+                    let h = |k: u64| {
+                        let mut x = (i as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(seed + k);
+                        x ^= x >> 29;
+                        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                        x ^= x >> 32;
+                        (x % 1000) as f64 / 1000.0
+                    };
+                    Point::new([h(1), h(2), h(3)])
+                })
+                .collect();
+            let scalar = hits_on(KernelPath::Scalar, &pts, eps);
+            let simd = hits_on(KernelPath::native(), &pts, eps);
+            prop_assert_eq!(&scalar, &simd);
+        }
+
+        /// Points placed exactly at distance ε (boundary inclusion) and a
+        /// hair inside/outside agree across paths — the ordered `<=`
+        /// compare must not differ between scalar and SIMD.
+        #[test]
+        fn boundary_epsilon_agrees(
+            k in 1usize..30,
+            flip in 0usize..3,
+        ) {
+            let eps = 0.125 * k as f64; // exactly representable spacing
+            let nudged = match flip {
+                0 => eps,
+                1 => eps * (1.0 - f64::EPSILON),
+                _ => eps * (1.0 + f64::EPSILON),
+            };
+            let pts: Vec<Point<3>> =
+                (0..12).map(|i| Point::new([i as f64 * nudged, 0.0, 0.0])).collect();
+            let scalar = hits_on(KernelPath::Scalar, &pts, eps);
+            let simd = hits_on(KernelPath::native(), &pts, eps);
+            prop_assert_eq!(&scalar, &simd);
+        }
+
+        /// Subnormal coordinates (squares flush to zero) agree across
+        /// paths: SIMD must not apply FTZ/DAZ semantics.
+        #[test]
+        fn subnormals_agree(
+            scale in 1u64..64,
+            eps_pick in 0usize..3,
+        ) {
+            let sub = f64::MIN_POSITIVE / scale as f64;
+            let eps = [0.0, sub, f64::MIN_POSITIVE][eps_pick];
+            let pts: Vec<Point<3>> =
+                (0..11).map(|i| Point::new([i as f64 * sub, 0.0, 0.0])).collect();
+            let scalar = hits_on(KernelPath::Scalar, &pts, eps);
+            let simd = hits_on(KernelPath::native(), &pts, eps);
+            prop_assert_eq!(&scalar, &simd);
+        }
     }
 }

@@ -15,6 +15,10 @@
 //! (`Copy` where possible), and performs no allocation in the hot paths.
 
 #![warn(missing_docs)]
+// The SIMD kernels are the workspace's only `unsafe`; keep every unsafe
+// operation inside an explicit `unsafe {}` block (each carries a
+// `// SAFETY:` justification enforced by csj-lint's unsafe-discipline).
+#![warn(unsafe_op_in_unsafe_fn)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod aabb;
@@ -22,12 +26,15 @@ pub mod diameter;
 pub mod kernel;
 pub mod metric;
 pub mod point;
+pub mod probe;
+pub mod soa;
 pub mod sphere;
 
 pub use aabb::Mbr;
-pub use kernel::DistKernel;
+pub use kernel::{DistKernel, KernelPath};
 pub use metric::Metric;
 pub use point::Point;
+pub use soa::{SoaBuffer, SoaView};
 pub use sphere::Sphere;
 
 /// Identifier of a data record (point) in a dataset.

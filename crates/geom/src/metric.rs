@@ -481,5 +481,67 @@ mod proptests {
                 prop_assert!(m.mbr_diameter_within(&flat, exact), "boundary equality");
             }
         }
+
+        /// Multi-axis exact boundary: a 3-4-5 right triangle scaled by a
+        /// power of two keeps every intermediate (sides, squares, their
+        /// sum, the root) exactly representable, so the Euclidean
+        /// diameter is exactly `5·s` and the sqrt-free predicate must
+        /// flip precisely between `5·s` and the next float down.
+        #[test]
+        fn euclidean_boundary_equality_multi_axis(
+            exp in -20i32..20,
+            k in prop::array::uniform3(-8i32..8),
+        ) {
+            let s = (2.0f64).powi(exp);
+            // Origin on the `s`-grid keeps every bound, side, square and
+            // sum exactly representable (small integers times 4^exp).
+            let origin = Point::new([k[0] as f64 * s, k[1] as f64 * s, k[2] as f64 * s]);
+            let r = Mbr::from_corners(
+                &origin,
+                &Point::new([origin[0] + 3.0 * s, origin[1] + 4.0 * s, origin[2]]),
+            );
+            let diag = 5.0 * s;
+            let m = Metric::Euclidean;
+            prop_assert_eq!(m.mbr_diameter(&r), diag);
+            prop_assert!(m.mbr_diameter_within(&r, diag), "accept at the exact diameter");
+            let below = f64::from_bits(diag.to_bits() - 1);
+            prop_assert!(!m.mbr_diameter_within(&r, below), "reject one ulp below");
+        }
+
+        /// The whole-window merge probe is the §V-A group constraint in
+        /// disguise: for any box and link span, the probe's accept bit
+        /// equals `mbr_diameter_within` of the merged rectangle — bit for
+        /// bit, since both run the same min/max fold, separate square and
+        /// accumulate, and closed compare against `ε²`.
+        #[test]
+        fn window_probe_agrees_with_diameter_predicate(
+            box_lo in prop::array::uniform3(-1.0f64..1.0),
+            box_ext in prop::array::uniform3(0.0f64..0.5),
+            span_lo in prop::array::uniform3(-1.0f64..1.0),
+            span_ext in prop::array::uniform3(0.0f64..0.5),
+            eps in 0.0f64..2.0,
+        ) {
+            let box_hi: [f64; 3] = std::array::from_fn(|d| box_lo[d] + box_ext[d]);
+            let span_hi: [f64; 3] = std::array::from_fn(|d| span_lo[d] + span_ext[d]);
+            let lo_slabs: [Vec<f64>; 3] = std::array::from_fn(|d| vec![box_lo[d]]);
+            let hi_slabs: [Vec<f64>; 3] = std::array::from_fn(|d| vec![box_hi[d]]);
+            let lo_refs: [&[f64]; 3] = std::array::from_fn(|d| lo_slabs[d].as_slice());
+            let hi_refs: [&[f64]; 3] = std::array::from_fn(|d| hi_slabs[d].as_slice());
+            let mask = crate::probe::mbr_fit_mask(
+                crate::KernelPath::Scalar,
+                &lo_refs,
+                &hi_refs,
+                &span_lo,
+                &span_hi,
+                eps * eps,
+            );
+            let merged_lo: [f64; 3] = std::array::from_fn(|d| box_lo[d].min(span_lo[d]));
+            let merged_hi: [f64; 3] = std::array::from_fn(|d| box_hi[d].max(span_hi[d]));
+            let merged = Mbr::from_corners(&Point::new(merged_lo), &Point::new(merged_hi));
+            prop_assert_eq!(
+                mask == 1,
+                Metric::Euclidean.mbr_diameter_within(&merged, eps)
+            );
+        }
     }
 }

@@ -1,0 +1,582 @@
+//! Whole-window MBR merge probe: one wide pass instead of a per-group
+//! loop.
+//!
+//! CSJ(g) tests every residual link against up to `g` open groups; with
+//! the group boxes stored as per-dimension bound slabs the entire window
+//! can be tested at once. [`mbr_fit_mask`] answers, for every box `i`,
+//! whether growing it to also cover a link's span keeps its squared
+//! Euclidean diagonal within `ε²` — a bitmask the caller turns into the
+//! newest-first accept decision with plain integer arithmetic.
+//!
+//! Bit-identity contract (mirrors the sweep kernel in
+//! [`crate::kernel`]): every path performs the exact IEEE-754 operations
+//! of the sequential merge test, in the same dimension order —
+//! `min`/`max` fold of the span into the box, side length, separate
+//! square and accumulate (no FMA), ordered `<=` against `ε²` (false on
+//! NaN). The SIMD `min`/`max` lane ops match `f64::min`/`f64::max` for
+//! every input with a non-NaN span (the one asymmetric case callers must
+//! exclude), so a given window and span produce the same mask on every
+//! path.
+
+use crate::kernel::KernelPath;
+
+/// Largest window the mask probe handles (one bit per group in a `u64`).
+/// Callers with wider windows fall back to sequential probing.
+pub const MAX_WINDOW: usize = 64;
+
+/// For every box `i`, bit `i` is set iff extending the box to cover the
+/// span `[span_lo, span_hi]` keeps its squared Euclidean diagonal within
+/// `eps_sq`.
+///
+/// `lo`/`hi` hold one slab per dimension, all of one common length
+/// `n <= MAX_WINDOW` (box `i`'s bounds on axis `d` are `lo[d][i]` /
+/// `hi[d][i]`). The span must be NaN-free; `±∞` bounds are fine (a
+/// non-finite side fails the ordered compare, as in the sequential
+/// test). `path` is clamped to the host's capabilities, so passing
+/// [`KernelPath::detect`] is always sound.
+#[inline]
+pub fn mbr_fit_mask<const D: usize>(
+    path: KernelPath,
+    lo: &[&[f64]; D],
+    hi: &[&[f64]; D],
+    span_lo: &[f64; D],
+    span_hi: &[f64; D],
+    eps_sq: f64,
+) -> u64 {
+    let n = lo.first().map_or(0, |s| s.len());
+    debug_assert!(n <= MAX_WINDOW, "window exceeds the mask width");
+    debug_assert!(
+        lo.iter().chain(hi.iter()).all(|s| s.len() == n),
+        "bound slabs must share one length"
+    );
+    debug_assert!(
+        span_lo.iter().chain(span_hi.iter()).all(|v| !v.is_nan()),
+        "the span must be NaN-free"
+    );
+    match path.clamp() {
+        KernelPath::Scalar => fit_mask_scalar(lo, hi, span_lo, span_hi, eps_sq, 0, n),
+        KernelPath::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                // SAFETY: `clamp` returned `Avx2` only after
+                // `is_x86_feature_detected!("avx2")` confirmed the CPU
+                // executes AVX2; all slabs have length `n` (checked
+                // above in debug, guaranteed by the caller contract).
+                unsafe { x86::fit_mask_avx2(lo, hi, span_lo, span_hi, eps_sq, n) }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                unreachable!("clamp never selects AVX2 off x86-64")
+            }
+        }
+        KernelPath::Neon => {
+            #[cfg(target_arch = "aarch64")]
+            {
+                // SAFETY: `clamp` returned `Neon` only after
+                // `is_aarch64_feature_detected!("neon")` confirmed NEON;
+                // all slabs have length `n`.
+                unsafe { neon::fit_mask_neon(lo, hi, span_lo, span_hi, eps_sq, n) }
+            }
+            #[cfg(not(target_arch = "aarch64"))]
+            {
+                unreachable!("clamp never selects NEON off aarch64")
+            }
+        }
+    }
+}
+
+/// Newest-first accept decision from a fit mask: the slot a sequential
+/// walk in ring order (slots `head-1 .. 0`, then `n-1 .. head`) would
+/// accept first, plus the number of merge attempts that walk would have
+/// counted before stopping (`n` on a miss). Bits at or above `n` must be
+/// clear.
+#[inline]
+pub fn select_newest_first(mask: u64, head: usize, n: usize) -> (Option<usize>, u64) {
+    debug_assert!(n == 64 || mask >> n == 0, "mask bits beyond the live window");
+    let front = mask & ((1u64 << head) - 1);
+    if front != 0 {
+        let i = 63 - front.leading_zeros() as usize;
+        (Some(i), (head - i) as u64)
+    } else {
+        let back = mask >> head;
+        if back != 0 {
+            let i = head + (63 - back.leading_zeros() as usize);
+            (Some(i), (head + n - i) as u64)
+        } else {
+            (None, n as u64)
+        }
+    }
+}
+
+/// [`mbr_fit_mask`] and [`select_newest_first`] fused into one dispatch:
+/// the per-link fast path of the CSJ(g) merge loop, where a second call
+/// boundary per link is measurable. Semantics are exactly
+/// `select_newest_first(mbr_fit_mask(..), head, n_live)`.
+///
+/// The slabs may be padded beyond `n_live` (to a whole number of SIMD
+/// lanes): the SIMD paths evaluate every padded lane, so the caller must
+/// guarantee padded lanes can never pass the fit test (`+∞` sentinel
+/// bounds with a finite `eps_sq`). The scalar path evaluates exactly
+/// `n_live` lanes and never reads the padding.
+#[inline]
+// One argument per scalar the kernel consumes: bundling them into a
+// struct would cost the marshaling this fused entry point exists to
+// avoid.
+#[allow(clippy::too_many_arguments)]
+pub fn mbr_fit_pick<const D: usize>(
+    path: KernelPath,
+    lo: &[&[f64]; D],
+    hi: &[&[f64]; D],
+    span_lo: &[f64; D],
+    span_hi: &[f64; D],
+    eps_sq: f64,
+    head: usize,
+    n_live: usize,
+) -> (Option<usize>, u64) {
+    debug_assert!(n_live <= MAX_WINDOW && head < n_live.max(1));
+    match path.clamp() {
+        KernelPath::Scalar => {
+            let mask = fit_mask_scalar(lo, hi, span_lo, span_hi, eps_sq, 0, n_live);
+            select_newest_first(mask, head, n_live)
+        }
+        KernelPath::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                // SAFETY: `clamp` returned `Avx2` only after
+                // `is_x86_feature_detected!("avx2")` confirmed the CPU
+                // executes AVX2; the slab slices carry their own length.
+                unsafe { x86::fit_pick_avx2(lo, hi, span_lo, span_hi, eps_sq, head, n_live) }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                unreachable!("clamp never selects AVX2 off x86-64")
+            }
+        }
+        KernelPath::Neon => {
+            #[cfg(target_arch = "aarch64")]
+            {
+                // SAFETY: `clamp` returned `Neon` only after
+                // `is_aarch64_feature_detected!("neon")` confirmed NEON;
+                // the slab slices carry their own length.
+                unsafe { neon::fit_pick_neon(lo, hi, span_lo, span_hi, eps_sq, head, n_live) }
+            }
+            #[cfg(not(target_arch = "aarch64"))]
+            {
+                unreachable!("clamp never selects NEON off aarch64")
+            }
+        }
+    }
+}
+
+/// The semantic reference: the sequential merge test, box by box. Also
+/// serves as the tail loop of the SIMD paths, which must keep the exact
+/// operation order.
+fn fit_mask_scalar<const D: usize>(
+    lo: &[&[f64]; D],
+    hi: &[&[f64]; D],
+    span_lo: &[f64; D],
+    span_hi: &[f64; D],
+    eps_sq: f64,
+    start: usize,
+    n: usize,
+) -> u64 {
+    let mut mask = 0u64;
+    for i in start..n {
+        let mut acc = 0.0;
+        for d in 0..D {
+            // Box bound first, span second: `f64::min` resolves a NaN
+            // box bound to the span, exactly as the SIMD lane ops do.
+            let l = lo[d][i].min(span_lo[d]);
+            let h = hi[d][i].max(span_hi[d]);
+            let s = h - l;
+            acc += s * s;
+        }
+        if acc <= eps_sq {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Explicit AVX2 mask probe. Same module discipline as the sweep kernel:
+/// every `unsafe` surface in one place, compiled only on x86-64.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::fit_mask_scalar;
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_cmp_pd, _mm256_loadu_pd, _mm256_max_pd, _mm256_min_pd,
+        _mm256_movemask_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd, _mm256_sub_pd,
+        _CMP_LE_OQ,
+    };
+
+    /// Four boxes per iteration; scalar tail in the reference order.
+    ///
+    /// Bit-identity with [`fit_mask_scalar`]: `vminpd(box, span)` /
+    /// `vmaxpd(box, span)` return the span lane when the box lane is NaN
+    /// and the second operand on ties — matching `f64::min`/`f64::max`
+    /// for a NaN-free span (signed-zero ties cannot change the squared
+    /// side); `vsub`/`vmul`/`vadd` accumulate in the same dimension
+    /// order with no FMA contraction; `_CMP_LE_OQ` is ordered `<=`,
+    /// false on NaN, like the scalar compare.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (callers establish this via runtime
+    /// feature detection) and every slab in `lo`/`hi` must have length
+    /// ≥ `n`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fit_mask_avx2<const D: usize>(
+        lo: &[&[f64]; D],
+        hi: &[&[f64]; D],
+        span_lo: &[f64; D],
+        span_hi: &[f64; D],
+        eps_sq: f64,
+        n: usize,
+    ) -> u64 {
+        let thr = _mm256_set1_pd(eps_sq);
+        let mut mask = 0u64;
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let mut acc = _mm256_setzero_pd();
+            for d in 0..D {
+                debug_assert!(i + 4 <= lo[d].len() && i + 4 <= hi[d].len());
+                // SAFETY: `i + 4 <= n` and every slab has length ≥ `n`
+                // (caller contract), so both 4-wide unaligned loads stay
+                // inside their slab.
+                let (bl, bh) = unsafe {
+                    (_mm256_loadu_pd(lo[d].as_ptr().add(i)), _mm256_loadu_pd(hi[d].as_ptr().add(i)))
+                };
+                let l = _mm256_min_pd(bl, _mm256_set1_pd(span_lo[d]));
+                let h = _mm256_max_pd(bh, _mm256_set1_pd(span_hi[d]));
+                let s = _mm256_sub_pd(h, l);
+                // Separate mul + add: an FMA here would change rounding
+                // and break bit-identity with the scalar test.
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(s, s));
+            }
+            let m = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_LE_OQ>(acc, thr)) as u32 as u64;
+            mask |= m << i;
+            i += 4;
+        }
+        mask | fit_mask_scalar(lo, hi, span_lo, span_hi, eps_sq, i, n)
+    }
+
+    /// Fused mask + newest-first selection (see
+    /// [`super::mbr_fit_pick`]): one `target_feature` call per link, so
+    /// the mask kernel inlines into the selection instead of paying a
+    /// second call boundary. Evaluates every padded lane of the slabs —
+    /// the caller guarantees lanes at or above `n_live` cannot pass.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (callers establish this via runtime
+    /// feature detection); all slabs must share one length.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fit_pick_avx2<const D: usize>(
+        lo: &[&[f64]; D],
+        hi: &[&[f64]; D],
+        span_lo: &[f64; D],
+        span_hi: &[f64; D],
+        eps_sq: f64,
+        head: usize,
+        n_live: usize,
+    ) -> (Option<usize>, u64) {
+        let n = lo.first().map_or(0, |s| s.len());
+        // SAFETY: AVX2 is available (caller contract) and `n` is the
+        // shared slab length, so every load stays in bounds.
+        let mask = unsafe { fit_mask_avx2(lo, hi, span_lo, span_hi, eps_sq, n) };
+        super::select_newest_first(mask, head, n_live)
+    }
+}
+
+/// Explicit NEON mask probe (aarch64), 2×f64 lanes. `vminnmq`/`vmaxnmq`
+/// are the IEEE `minNum`/`maxNum` forms — NaN box bounds resolve to the
+/// span lane like `f64::min`/`f64::max` (plain `vminq`/`vmaxq` would
+/// propagate the NaN instead and diverge from the scalar reference).
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::fit_mask_scalar;
+    use std::arch::aarch64::{
+        vaddq_f64, vcleq_f64, vdupq_n_f64, vgetq_lane_u64, vld1q_f64, vmaxnmq_f64, vminnmq_f64,
+        vmulq_f64, vsubq_f64,
+    };
+
+    /// Two boxes per iteration; scalar tail in the reference order.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support NEON (callers establish this via runtime
+    /// feature detection) and every slab in `lo`/`hi` must have length
+    /// ≥ `n`.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn fit_mask_neon<const D: usize>(
+        lo: &[&[f64]; D],
+        hi: &[&[f64]; D],
+        span_lo: &[f64; D],
+        span_hi: &[f64; D],
+        eps_sq: f64,
+        n: usize,
+    ) -> u64 {
+        let thr = vdupq_n_f64(eps_sq);
+        let mut mask = 0u64;
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let mut acc = vdupq_n_f64(0.0);
+            for d in 0..D {
+                debug_assert!(i + 2 <= lo[d].len() && i + 2 <= hi[d].len());
+                // SAFETY: `i + 2 <= n` and every slab has length ≥ `n`
+                // (caller contract), so both 2-wide loads stay inside
+                // their slab.
+                let bl = unsafe { vld1q_f64(lo[d].as_ptr().add(i)) };
+                // SAFETY: same bound as the `lo` load above.
+                let bh = unsafe { vld1q_f64(hi[d].as_ptr().add(i)) };
+                let l = vminnmq_f64(bl, vdupq_n_f64(span_lo[d]));
+                let h = vmaxnmq_f64(bh, vdupq_n_f64(span_hi[d]));
+                let s = vsubq_f64(h, l);
+                // Separate mul + add — no FMA contraction, as in the
+                // scalar reference.
+                acc = vaddq_f64(acc, vmulq_f64(s, s));
+            }
+            let le = vcleq_f64(acc, thr);
+            let m = (vgetq_lane_u64::<0>(le) & 1) | ((vgetq_lane_u64::<1>(le) & 1) << 1);
+            mask |= m << i;
+            i += 2;
+        }
+        mask | fit_mask_scalar(lo, hi, span_lo, span_hi, eps_sq, i, n)
+    }
+
+    /// Fused mask + newest-first selection (see
+    /// [`super::mbr_fit_pick`]); the NEON twin of the AVX2 fused path.
+    /// Evaluates every padded lane of the slabs — the caller guarantees
+    /// lanes at or above `n_live` cannot pass.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support NEON (callers establish this via runtime
+    /// feature detection); all slabs must share one length.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn fit_pick_neon<const D: usize>(
+        lo: &[&[f64]; D],
+        hi: &[&[f64]; D],
+        span_lo: &[f64; D],
+        span_hi: &[f64; D],
+        eps_sq: f64,
+        head: usize,
+        n_live: usize,
+    ) -> (Option<usize>, u64) {
+        let n = lo.first().map_or(0, |s| s.len());
+        // SAFETY: NEON is available (caller contract) and `n` is the
+        // shared slab length, so every load stays in bounds.
+        let mask = unsafe { fit_mask_neon(lo, hi, span_lo, span_hi, eps_sq, n) };
+        super::select_newest_first(mask, head, n_live)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds slab arrays from per-box bounds for the tests (shared with
+    /// the proptest module below).
+    pub(super) fn slabs<const D: usize>(
+        boxes: &[([f64; D], [f64; D])],
+    ) -> ([Vec<f64>; D], [Vec<f64>; D]) {
+        let lo = std::array::from_fn(|d| boxes.iter().map(|b| b.0[d]).collect());
+        let hi = std::array::from_fn(|d| boxes.iter().map(|b| b.1[d]).collect());
+        (lo, hi)
+    }
+
+    fn mask_on<const D: usize>(
+        path: KernelPath,
+        boxes: &[([f64; D], [f64; D])],
+        span_lo: [f64; D],
+        span_hi: [f64; D],
+        eps_sq: f64,
+    ) -> u64 {
+        let (lo, hi) = slabs(boxes);
+        let lo_refs: [&[f64]; D] = std::array::from_fn(|d| lo[d].as_slice());
+        let hi_refs: [&[f64]; D] = std::array::from_fn(|d| hi[d].as_slice());
+        mbr_fit_mask(path, &lo_refs, &hi_refs, &span_lo, &span_hi, eps_sq)
+    }
+
+    #[test]
+    fn accepts_and_rejects_like_the_sequential_test() {
+        // Boxes of side 0.1 at increasing offsets; span near the origin.
+        let boxes: Vec<([f64; 2], [f64; 2])> =
+            (0..6).map(|i| ([i as f64 * 0.5, 0.0], [i as f64 * 0.5 + 0.1, 0.1])).collect();
+        let mask = mask_on(KernelPath::Scalar, &boxes, [0.05, 0.02], [0.12, 0.08], 0.3f64.powi(2));
+        // Only the box at offset 0 can absorb the span within diagonal 0.3.
+        assert_eq!(mask, 0b000001);
+    }
+
+    #[test]
+    fn empty_window_yields_empty_mask() {
+        let mask = mask_on::<2>(KernelPath::Scalar, &[], [0.0; 2], [0.1; 2], 1.0);
+        assert_eq!(mask, 0);
+    }
+
+    #[test]
+    fn boundary_fit_is_inclusive() {
+        // Growing the box to the span gives sides exactly (0.3, 0.4):
+        // diagonal² = 0.25, accepted at eps² = 0.25 (closed bound).
+        let boxes = [([0.0, 0.0], [0.1, 0.1])];
+        let eps_sq = 0.3f64 * 0.3 + 0.4f64 * 0.4;
+        assert_eq!(mask_on(KernelPath::Scalar, &boxes, [0.3, 0.4], [0.3, 0.4], eps_sq), 1);
+        assert_eq!(
+            mask_on(
+                KernelPath::Scalar,
+                &boxes,
+                [0.3, 0.4],
+                [0.3, 0.4],
+                f64::from_bits(eps_sq.to_bits() - 1)
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn native_path_matches_scalar_on_random_windows() {
+        // LCG-driven randomized agreement check across sizes that cover
+        // whole vectors, tails, and the empty window.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 11, 16, 33, 64] {
+            let boxes: Vec<([f64; 3], [f64; 3])> = (0..n)
+                .map(|_| {
+                    let lo = [next(), next(), next()];
+                    (lo, [lo[0] + next() * 0.2, lo[1] + next() * 0.2, lo[2] + next() * 0.2])
+                })
+                .collect();
+            let sl = [next(), next(), next()];
+            let sh = [sl[0] + next() * 0.1, sl[1] + next() * 0.1, sl[2] + next() * 0.1];
+            for eps_sq in [0.0, 0.05, 0.25, 1.0, f64::INFINITY] {
+                let want = mask_on(KernelPath::Scalar, &boxes, sl, sh, eps_sq);
+                let got = mask_on(KernelPath::native(), &boxes, sl, sh, eps_sq);
+                assert_eq!(got, want, "path divergence at n={n}, eps_sq={eps_sq}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_box_bounds_resolve_to_the_span() {
+        // A NaN box bound must behave like f64::min/max: the span wins,
+        // so the box degenerates to the span itself — which fits.
+        let boxes = [([f64::NAN, 0.0], [f64::NAN, 0.1])];
+        let want = mask_on(KernelPath::Scalar, &boxes, [0.2, 0.0], [0.25, 0.1], 0.25);
+        assert_eq!(want, 1);
+        assert_eq!(mask_on(KernelPath::native(), &boxes, [0.2, 0.0], [0.25, 0.1], 0.25), want);
+    }
+
+    #[test]
+    fn infinite_bounds_reject_on_every_path() {
+        let boxes = [([f64::NEG_INFINITY, 0.0], [0.1, 0.1]), ([0.0, 0.0], [0.1, 0.1])];
+        let want = mask_on(KernelPath::Scalar, &boxes, [0.0, 0.0], [0.1, 0.1], 1.0);
+        assert_eq!(want, 0b10);
+        assert_eq!(mask_on(KernelPath::native(), &boxes, [0.0, 0.0], [0.1, 0.1], 1.0), want);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The sequential ring walk `select_newest_first` compresses into
+    /// integer arithmetic: newest slot first (`head-1 .. 0`), then the
+    /// wrapped tail (`n-1 .. head`), counting attempts until the first
+    /// hit.
+    fn walk_reference(mask: u64, head: usize, n: usize) -> (Option<usize>, u64) {
+        let mut tried = 0u64;
+        for i in (0..head).rev().chain((head..n).rev()) {
+            tried += 1;
+            if mask & (1 << i) != 0 {
+                return (Some(i), tried);
+            }
+        }
+        (None, n as u64)
+    }
+
+    fn arb_boxes() -> impl Strategy<Value = Vec<([f64; 2], [f64; 2])>> {
+        prop::collection::vec(
+            (prop::array::uniform2(-1.0f64..1.0), prop::array::uniform2(0.0f64..0.5))
+                .prop_map(|(lo, ext)| (lo, [lo[0] + ext[0], lo[1] + ext[1]])),
+            0..=(MAX_WINDOW),
+        )
+    }
+
+    proptest! {
+        /// `mbr_fit_mask` is bit-identical across dispatch paths on
+        /// arbitrary windows (native clamps to scalar off-SIMD hosts,
+        /// where this degenerates to a self-check).
+        #[test]
+        fn mask_native_matches_scalar(
+            boxes in arb_boxes(),
+            sl in prop::array::uniform2(-1.0f64..1.0),
+            ext in prop::array::uniform2(0.0f64..0.3),
+            eps in 0.0f64..1.5,
+        ) {
+            let sh = [sl[0] + ext[0], sl[1] + ext[1]];
+            let (lo, hi) = super::tests::slabs(&boxes);
+            let lo_refs: [&[f64]; 2] = [lo[0].as_slice(), lo[1].as_slice()];
+            let hi_refs: [&[f64]; 2] = [hi[0].as_slice(), hi[1].as_slice()];
+            let want = mbr_fit_mask(KernelPath::Scalar, &lo_refs, &hi_refs, &sl, &sh, eps * eps);
+            let got = mbr_fit_mask(KernelPath::native(), &lo_refs, &hi_refs, &sl, &sh, eps * eps);
+            prop_assert_eq!(got, want);
+        }
+
+        /// `select_newest_first` agrees with the sequential ring walk on
+        /// every (mask, head, n): same accepted slot, same attempt count.
+        #[test]
+        fn selection_matches_the_ring_walk(
+            bits in any::<u64>(),
+            n in 0usize..=MAX_WINDOW,
+            head_seed in any::<usize>(),
+        ) {
+            let mask = if n == 64 { bits } else { bits & ((1u64 << n) - 1) };
+            let head = head_seed % n.max(1);
+            prop_assert_eq!(select_newest_first(mask, head, n), walk_reference(mask, head, n));
+        }
+
+        /// The fused pick equals mask-then-select on every path, with
+        /// slabs padded to a whole number of 4-lane vectors by `+∞`
+        /// sentinels — the production layout. The padded lanes must
+        /// never influence the result while `eps²` is finite.
+        #[test]
+        fn fused_pick_matches_mask_then_select(
+            boxes in arb_boxes(),
+            sl in prop::array::uniform2(-1.0f64..1.0),
+            ext in prop::array::uniform2(0.0f64..0.3),
+            eps in 0.0f64..1.5,
+            head_seed in any::<usize>(),
+        ) {
+            let sh = [sl[0] + ext[0], sl[1] + ext[1]];
+            let n_live = boxes.len();
+            let head = head_seed % n_live.max(1);
+            let eps_sq = eps * eps;
+
+            // Unpadded reference: mask over the live lanes, then select.
+            let (lo, hi) = super::tests::slabs(&boxes);
+            let lo_refs: [&[f64]; 2] = [lo[0].as_slice(), lo[1].as_slice()];
+            let hi_refs: [&[f64]; 2] = [hi[0].as_slice(), hi[1].as_slice()];
+            let mask = mbr_fit_mask(KernelPath::Scalar, &lo_refs, &hi_refs, &sl, &sh, eps_sq);
+            let want = select_newest_first(mask, head, n_live);
+
+            // Padded production layout.
+            let padded = (n_live + 3) & !3;
+            let (mut plo, mut phi) = (lo, hi);
+            for d in 0..2 {
+                plo[d].resize(padded, f64::INFINITY);
+                phi[d].resize(padded, f64::INFINITY);
+            }
+            let plo_refs: [&[f64]; 2] = [plo[0].as_slice(), plo[1].as_slice()];
+            let phi_refs: [&[f64]; 2] = [phi[0].as_slice(), phi[1].as_slice()];
+            for path in [KernelPath::Scalar, KernelPath::native()] {
+                let got =
+                    mbr_fit_pick(path, &plo_refs, &phi_refs, &sl, &sh, eps_sq, head, n_live);
+                prop_assert_eq!(got, want, "path {}", path.name());
+            }
+        }
+    }
+}

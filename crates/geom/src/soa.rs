@@ -1,0 +1,203 @@
+//! Struct-of-arrays views over leaf point storage.
+//!
+//! The tree leaves keep one contiguous `f64` slab per dimension (see
+//! `csj-index`'s `LeafStore`); [`SoaView`] is the borrowed, `Copy` window
+//! the distance kernels consume. Laying coordinates out per-dimension
+//! turns a leaf probe into `D` contiguous streaming loads — exactly the
+//! shape wide SIMD lanes want — instead of a strided gather over
+//! `[Point<D>]` records.
+
+use crate::Point;
+
+/// A borrowed struct-of-arrays view of `len` points: one `&[f64]` slab per
+/// dimension, all of equal length.
+///
+/// Row `i` of the view is the point `(dims[0][i], …, dims[D-1][i])`.
+#[derive(Clone, Copy, Debug)]
+pub struct SoaView<'a, const D: usize> {
+    dims: [&'a [f64]; D],
+}
+
+impl<'a, const D: usize> SoaView<'a, D> {
+    /// A view over the given per-dimension slabs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) when the slabs disagree on length.
+    #[inline]
+    pub fn new(dims: [&'a [f64]; D]) -> Self {
+        if D > 0 {
+            debug_assert!(
+                dims.iter().all(|s| s.len() == dims[0].len()),
+                "SoA slabs must have equal length"
+            );
+        }
+        SoaView { dims }
+    }
+
+    /// The empty view (zero points).
+    #[inline]
+    pub fn empty() -> Self {
+        SoaView { dims: [&[]; D] }
+    }
+
+    /// Number of points in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        if D == 0 {
+            0
+        } else {
+            self.dims[0].len()
+        }
+    }
+
+    /// Whether the view holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The per-dimension slabs.
+    #[inline]
+    pub fn dims(&self) -> &[&'a [f64]; D] {
+        &self.dims
+    }
+
+    /// The coordinates of row `i` as a plain array (a `D`-element gather).
+    #[inline]
+    pub fn coords(&self, i: usize) -> [f64; D] {
+        std::array::from_fn(|d| self.dims[d][i])
+    }
+
+    /// Row `i` materialized as a [`Point`].
+    #[inline]
+    pub fn point(&self, i: usize) -> Point<D> {
+        Point::new(self.coords(i))
+    }
+}
+
+/// Owned per-dimension coordinate slabs.
+///
+/// This is the storage half of the SoA pair: tree leaf stores embed one of
+/// these and hand [`SoaBuffer::view`] to the kernels. Mutations mirror the
+/// `Vec` operations leaf stores need (`push` / `swap_remove` / `clear`),
+/// keeping every slab in lock-step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SoaBuffer<const D: usize> {
+    dims: [Vec<f64>; D],
+    len: usize,
+}
+
+impl<const D: usize> Default for SoaBuffer<D> {
+    fn default() -> Self {
+        SoaBuffer::new()
+    }
+}
+
+impl<const D: usize> SoaBuffer<D> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        SoaBuffer { dims: std::array::from_fn(|_| Vec::new()), len: 0 }
+    }
+
+    /// An empty buffer with room for `n` points per dimension.
+    pub fn with_capacity(n: usize) -> Self {
+        SoaBuffer { dims: std::array::from_fn(|_| Vec::with_capacity(n)), len: 0 }
+    }
+
+    /// Slabs populated from an existing point slice.
+    pub fn from_points(pts: &[Point<D>]) -> Self {
+        let mut buf = SoaBuffer::with_capacity(pts.len());
+        for p in pts {
+            buf.push(p);
+        }
+        buf
+    }
+
+    /// Number of points stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one point (one scalar per slab).
+    #[inline]
+    pub fn push(&mut self, p: &Point<D>) {
+        for (d, slab) in self.dims.iter_mut().enumerate() {
+            slab.push(p[d]);
+        }
+        self.len += 1;
+    }
+
+    /// Removes row `i` by swapping in the last row, mirroring
+    /// `Vec::swap_remove` on every slab. Returns the removed point.
+    pub fn swap_remove(&mut self, i: usize) -> Point<D> {
+        let p = Point::new(std::array::from_fn(|d| self.dims[d].swap_remove(i)));
+        self.len -= 1;
+        p
+    }
+
+    /// Drops all rows, keeping the slab allocations.
+    pub fn clear(&mut self) {
+        for slab in self.dims.iter_mut() {
+            slab.clear();
+        }
+        self.len = 0;
+    }
+
+    /// The borrowed view the kernels consume.
+    #[inline]
+    pub fn view(&self) -> SoaView<'_, D> {
+        SoaView { dims: std::array::from_fn(|d| self.dims[d].as_slice()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_rows() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [5.0, 6.0, 7.0];
+        let v: SoaView<'_, 2> = SoaView::new([&xs, &ys]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.point(1), Point::new([1.0, 6.0]));
+        assert_eq!(v.coords(2), [2.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_view() {
+        let v: SoaView<'_, 3> = SoaView::empty();
+        assert_eq!(v.len(), 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn buffer_mirrors_vec_ops() {
+        let pts = [Point::new([1.0, 2.0]), Point::new([3.0, 4.0]), Point::new([5.0, 6.0])];
+        let mut buf = SoaBuffer::<2>::from_points(&pts);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.view().point(2), pts[2]);
+
+        // swap_remove(0) moves the last row into slot 0 on every slab.
+        assert_eq!(buf.swap_remove(0), pts[0]);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.view().point(0), pts[2]);
+        assert_eq!(buf.view().point(1), pts[1]);
+
+        buf.push(&Point::new([7.0, 8.0]));
+        assert_eq!(buf.view().point(2), Point::new([7.0, 8.0]));
+
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(buf.view().is_empty());
+    }
+}

@@ -16,7 +16,7 @@
 use crate::arena::{Arena, NodeId};
 use crate::store::LeafStore;
 use crate::traits::{JoinIndex, LeafEntry};
-use csj_geom::{Mbr, Metric, Point, RecordId};
+use csj_geom::{Mbr, Metric, Point, RecordId, SoaView};
 
 /// Configuration for [`QuadTree`].
 #[derive(Clone, Copy, Debug)]
@@ -193,8 +193,8 @@ impl<const D: usize> JoinIndex<D> for QuadTree<D> {
     fn leaf_entries(&self, n: NodeId) -> &[LeafEntry<D>] {
         &self.arena.get(n).entries
     }
-    fn leaf_points(&self, n: NodeId) -> &[Point<D>] {
-        self.arena.get(n).entries.points()
+    fn leaf_soa(&self, n: NodeId) -> SoaView<'_, D> {
+        self.arena.get(n).entries.soa()
     }
     fn node_mbr(&self, n: NodeId) -> Mbr<D> {
         self.arena.get(n).mbr

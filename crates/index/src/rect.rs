@@ -302,8 +302,8 @@ macro_rules! impl_join_index_for_rect {
             fn leaf_entries(&self, n: crate::arena::NodeId) -> &[crate::traits::LeafEntry<D>] {
                 &self.core.node(n).entries
             }
-            fn leaf_points(&self, n: crate::arena::NodeId) -> &[csj_geom::Point<D>] {
-                self.core.node(n).entries.points()
+            fn leaf_soa(&self, n: crate::arena::NodeId) -> csj_geom::SoaView<'_, D> {
+                self.core.node(n).entries.soa()
             }
             fn node_mbr(&self, n: crate::arena::NodeId) -> csj_geom::Mbr<D> {
                 self.core.node(n).mbr

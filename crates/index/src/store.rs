@@ -1,32 +1,33 @@
-//! Leaf payload storage with a contiguous point mirror.
+//! Leaf payload storage with a struct-of-arrays coordinate mirror.
 //!
-//! The batched distance kernels in `csj-geom` want each leaf's coordinates
-//! as one contiguous `&[Point<D>]` slice, while the tree algorithms
-//! (insertion, splits, condensation, persistence) want `LeafEntry` records.
-//! [`LeafStore`] keeps both: a `Vec<LeafEntry<D>>` that remains the source
-//! of truth, plus a mirrored `Vec<Point<D>>` maintained through the narrow
-//! mutation API below. Reads go through `Deref<Target = [LeafEntry<D>]>`,
-//! so call sites that only look at entries are unchanged.
+//! The distance kernels in `csj-geom` want each leaf's coordinates as one
+//! contiguous `f64` slab per dimension ([`csj_geom::SoaView`]) so probes
+//! are streaming loads, while the tree algorithms (insertion, splits,
+//! condensation, persistence) want `LeafEntry` records. [`LeafStore`]
+//! keeps both: a `Vec<LeafEntry<D>>` that remains the source of truth,
+//! plus a [`SoaBuffer`] mirror maintained through the narrow mutation API
+//! below. Reads go through `Deref<Target = [LeafEntry<D>]>`, so call
+//! sites that only look at entries are unchanged.
 
 use std::ops::Deref;
 
 use crate::traits::LeafEntry;
-use csj_geom::Point;
+use csj_geom::{SoaBuffer, SoaView};
 
-/// Leaf entries stored as parallel arrays: entry records plus a contiguous
-/// coordinate mirror for batched distance kernels.
+/// Leaf entries stored as parallel arrays: entry records plus a
+/// struct-of-arrays coordinate mirror for the batched distance kernels.
 ///
-/// Invariant: `points[i] == entries[i].point` for every `i`.
+/// Invariant: `soa().point(i) == entries[i].point` for every `i`.
 #[derive(Clone, Debug, Default)]
 pub struct LeafStore<const D: usize> {
     entries: Vec<LeafEntry<D>>,
-    points: Vec<Point<D>>,
+    soa: SoaBuffer<D>,
 }
 
 impl<const D: usize> LeafStore<D> {
     /// An empty store.
     pub fn new() -> Self {
-        LeafStore { entries: Vec::new(), points: Vec::new() }
+        LeafStore { entries: Vec::new(), soa: SoaBuffer::new() }
     }
 
     /// The entry records (also available through `Deref`).
@@ -35,48 +36,53 @@ impl<const D: usize> LeafStore<D> {
         &self.entries
     }
 
-    /// The coordinates of all entries as one contiguous slice, in entry
+    /// The coordinates of all entries as per-dimension slabs, in entry
     /// order — the batched-kernel view.
     #[inline]
-    pub fn points(&self) -> &[Point<D>] {
-        &self.points
+    pub fn soa(&self) -> SoaView<'_, D> {
+        self.soa.view()
     }
 
     /// Appends an entry.
     #[inline]
     pub fn push(&mut self, e: LeafEntry<D>) {
-        self.points.push(e.point);
+        self.soa.push(&e.point);
         self.entries.push(e);
     }
 
     /// Removes and returns the entry at `i`, replacing it with the last
     /// entry (like [`Vec::swap_remove`]).
     pub fn swap_remove(&mut self, i: usize) -> LeafEntry<D> {
-        self.points.swap_remove(i);
+        self.soa.swap_remove(i);
         self.entries.swap_remove(i)
     }
 
     /// Takes all entries out, leaving the store empty.
     pub fn take(&mut self) -> Vec<LeafEntry<D>> {
-        self.points.clear();
+        self.soa.clear();
         std::mem::take(&mut self.entries)
     }
 
     /// Runs an arbitrary mutation on the entry vector (sorting, draining,
-    /// …) and rebuilds the point mirror afterwards. The escape hatch for
-    /// call sites that need full `Vec` access.
+    /// …) and rebuilds the coordinate mirror afterwards. The escape hatch
+    /// for call sites that need full `Vec` access.
     pub fn edit<R>(&mut self, f: impl FnOnce(&mut Vec<LeafEntry<D>>) -> R) -> R {
         let out = f(&mut self.entries);
-        self.points.clear();
-        self.points.extend(self.entries.iter().map(|e| e.point));
+        self.soa.clear();
+        for e in &self.entries {
+            self.soa.push(&e.point);
+        }
         out
     }
 }
 
 impl<const D: usize> From<Vec<LeafEntry<D>>> for LeafStore<D> {
     fn from(entries: Vec<LeafEntry<D>>) -> Self {
-        let points = entries.iter().map(|e| e.point).collect();
-        LeafStore { entries, points }
+        let mut soa = SoaBuffer::with_capacity(entries.len());
+        for e in &entries {
+            soa.push(&e.point);
+        }
+        LeafStore { entries, soa }
     }
 }
 
@@ -107,16 +113,16 @@ impl<const D: usize> IntoIterator for LeafStore<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csj_geom::RecordId;
+    use csj_geom::{Point, RecordId};
 
     fn entry(id: RecordId, x: f64) -> LeafEntry<2> {
         LeafEntry::new(id, Point::new([x, -x]))
     }
 
     fn assert_mirror(s: &LeafStore<2>) {
-        assert_eq!(s.points().len(), s.entries().len());
-        for (e, p) in s.entries().iter().zip(s.points()) {
-            assert_eq!(&e.point, p, "mirror out of sync");
+        assert_eq!(s.soa().len(), s.entries().len());
+        for (i, e) in s.entries().iter().enumerate() {
+            assert_eq!(e.point, s.soa().point(i), "mirror out of sync");
         }
     }
 
@@ -127,7 +133,9 @@ mod tests {
         s.push(entry(2, 1.5));
         assert_eq!(s.len(), 2);
         assert_eq!(s[0].id, 1);
-        assert_eq!(s.points()[1], Point::new([1.5, -1.5]));
+        assert_eq!(s.soa().point(1), Point::new([1.5, -1.5]));
+        assert_eq!(s.soa().dims()[0], &[0.5, 1.5], "x slab is contiguous");
+        assert_eq!(s.soa().dims()[1], &[-0.5, -1.5], "y slab is contiguous");
         assert_mirror(&s);
         // Deref gives slice iteration; &store gives IntoIterator.
         assert_eq!(s.iter().count(), 2);
@@ -142,7 +150,7 @@ mod tests {
         let back = s.take();
         assert_eq!(back, v);
         assert!(s.is_empty());
-        assert!(s.points().is_empty());
+        assert!(s.soa().is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! three instantiations.
 
 use crate::arena::NodeId;
-use csj_geom::{Mbr, Metric, Point, RecordId};
+use csj_geom::{Mbr, Metric, Point, RecordId, SoaView};
 
 /// A data record stored in a leaf: its id plus coordinates.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -49,11 +49,13 @@ pub trait JoinIndex<const D: usize> {
     /// Data records of a leaf (empty slice for internal nodes).
     fn leaf_entries(&self, n: NodeId) -> &[LeafEntry<D>];
 
-    /// Coordinates of a leaf's records as one contiguous slice, in the
-    /// same order as [`JoinIndex::leaf_entries`] (empty for internal
-    /// nodes). This is the batched-distance-kernel view of a leaf:
-    /// `leaf_points(n)[i] == leaf_entries(n)[i].point`.
-    fn leaf_points(&self, n: NodeId) -> &[Point<D>];
+    /// Coordinates of a leaf's records as one contiguous `f64` slab per
+    /// dimension, in the same order as [`JoinIndex::leaf_entries`] (empty
+    /// for internal nodes). This is the batched-distance-kernel view of a
+    /// leaf: `leaf_soa(n).point(i) == leaf_entries(n)[i].point`. The
+    /// struct-of-arrays layout makes kernel probes contiguous streaming
+    /// loads instead of strided gathers over `Point` records.
+    fn leaf_soa(&self, n: NodeId) -> SoaView<'_, D>;
 
     /// A rectangle covering the node's bounding shape. For rectangle trees
     /// this is the node MBR itself; for the M-tree, the box circumscribing

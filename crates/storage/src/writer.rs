@@ -222,10 +222,9 @@ impl<S: OutputSink> OutputWriter<S> {
             return Err(StorageError::EmptyGroupRow);
         }
         self.scratch.clear();
-        for (i, &id) in ids.iter().enumerate() {
-            if i > 0 {
-                self.scratch.push(b' ');
-            }
+        Self::push_padded(&mut self.scratch, ids[0], self.width);
+        for &id in &ids[1..] {
+            self.scratch.push(b' ');
             Self::push_padded(&mut self.scratch, id, self.width);
         }
         self.scratch.push(b'\n');

@@ -63,7 +63,7 @@ fn figure1_dense_clique_collapses() {
 /// more than the optimal 20. We pin the exact greedy outcome.
 #[test]
 fn section5b_ordering_example() {
-    use csj_core::group::{GroupWindow, MbrShape, OpenGroup};
+    use csj_core::group::{GroupWindow, LinkProbe, MbrShape, OpenGroup};
     use csj_geom::Metric;
 
     let metric = Metric::Euclidean;
@@ -75,8 +75,8 @@ fn section5b_ordering_example() {
         for j in (i + 1)..points.len() {
             if metric.distance(&points[i], &points[j]) <= eps {
                 let (a, b) = (i as u32 + 1, j as u32 + 1);
-                if !window.try_merge_link(a, &points[i], b, &points[j], eps, metric, &mut attempts)
-                {
+                let link = LinkProbe::new(a, &points[i], b, &points[j]);
+                if !window.try_merge_link(&link, eps, metric, &mut attempts) {
                     let g = OpenGroup::from_link(a, &points[i], b, &points[j], metric);
                     assert!(window.push(g).is_none(), "unbounded window never evicts");
                 }
