@@ -1,0 +1,317 @@
+//! Out-of-core join benchmark (`BENCH_outofcore.json`).
+//!
+//! The tentpole measurement for the external-memory engine: the paper's
+//! Pacific-NW-scale road network (1.5M points) is bulk-loaded straight
+//! onto real disk pages (`PagedTree::build_str` over a `FileDisk`),
+//! then N-CSJ and CSJ(10) run with the buffer pool capped at a shrinking
+//! fraction of the index footprint — 1/64 down to 1/8 — with async
+//! prefetch on. For each pool size the run reports throughput
+//! (encoded links/sec) and the page-fault curve (pool misses,
+//! evictions, physical reads), plus the in-memory engine's run as the
+//! identity/throughput reference.
+//!
+//! Every out-of-core leg must report byte-for-byte the same join stats
+//! as the in-memory engine (links, groups, distance computations) —
+//! asserted here, so a CI smoke run is also a correctness check; the
+//! `--smoke` mode additionally diffs the two output files.
+//!
+//! ```text
+//! perf_outofcore [--smoke] [--out <file>] [--n <points>] [--eps <E>]
+//!                [--data-dir <dir>]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use csj_core::outofcore::{JoinVariant, OutOfCoreJoin};
+use csj_core::{JoinConfig, JoinStats};
+use csj_index::{PagedStats, PagedTree, RTreeConfig};
+use csj_storage::{FileDisk, FileSink, OutputSink, OutputWriter, RetryPolicy, PAGE_SIZE};
+
+struct Args {
+    smoke: bool,
+    out: String,
+    n: usize,
+    eps: f64,
+    data_dir: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        smoke: false,
+        out: "BENCH_outofcore.json".to_string(),
+        n: csj_data::roads::PACIFIC_NW_SIZE,
+        eps: 0.0005,
+        data_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--smoke" => {
+                out.smoke = true;
+                out.n = 50_000;
+            }
+            "--out" => out.out = value("--out"),
+            "--n" => out.n = value("--n").parse().expect("--n takes a point count"),
+            "--eps" => out.eps = value("--eps").parse().expect("--eps takes a number"),
+            "--data-dir" => out.data_dir = Some(value("--data-dir")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --smoke  --out <file>  --n <points>  --eps <E>  --data-dir <dir>"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Total links the output encodes: individual rows plus the pairs
+/// implied by group rows.
+fn encoded_links(stats: &JoinStats) -> u64 {
+    stats.links_emitted + stats.links_in_groups
+}
+
+struct Leg {
+    variant_name: &'static str,
+    pool_pages: usize,
+    pool_fraction: f64,
+    wall_ms: f64,
+    links_per_sec: f64,
+    output_bytes: u64,
+    stats: JoinStats,
+    paged: PagedStats,
+    prefetch_budget_pages: usize,
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = parse_args();
+    let dir = args.data_dir.clone().map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("csj_perf_outofcore_{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).expect("create data dir");
+    let pages_path = dir.join("tree.pages");
+
+    eprintln!("generating pacific-nw profile at n={}...", args.n);
+    let pts = csj_data::roads::pacific_nw(args.n);
+    let eps = args.eps;
+    let cfg_tree = RTreeConfig::default();
+
+    // Build the page file once; every leg reopens it read-only with its
+    // own pool size. The build pool is generous — building is not what
+    // this benchmark measures.
+    let t0 = Instant::now();
+    let built = PagedTree::build_str(
+        &pts,
+        cfg_tree,
+        FileDisk::create(&pages_path).expect("create page file"),
+        RetryPolicy::default(),
+        4096,
+    )
+    .expect("bulk load to pages");
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let node_pages = built.meta().node_pages;
+    let footprint_bytes = (node_pages + 1) * PAGE_SIZE as u64;
+    eprintln!(
+        "page file: {} node pages ({:.1} MiB) built in {:.0} ms",
+        node_pages,
+        footprint_bytes as f64 / (1024.0 * 1024.0),
+        build_ms
+    );
+    drop(built);
+
+    // In-memory reference: same traversal, arena-resident nodes. Its
+    // stats are the identity baseline every out-of-core leg must match.
+    let rtree = csj_index::rstar::RStarTree::bulk_load_str(&pts, cfg_tree);
+    let mut reference: Vec<(&'static str, JoinStats, f64, u64)> = Vec::new();
+    for (name, variant) in [("ncsj", JoinVariant::Ncsj), ("csj10", JoinVariant::Csj { window: 10 })]
+    {
+        let out_path = dir.join(format!("mem_{name}.txt"));
+        let width = OutputWriter::<FileSink>::id_width_for(pts.len());
+        let mut writer =
+            OutputWriter::new(FileSink::create(&out_path).expect("output file"), width);
+        let t = Instant::now();
+        let stats = match variant {
+            JoinVariant::Ncsj => csj_core::NcsjJoin::new(eps)
+                .run_streaming(&rtree, &mut writer)
+                .expect("in-memory ncsj"),
+            JoinVariant::Csj { window } => csj_core::CsjJoin::new(eps)
+                .with_window(window)
+                .run_streaming(&rtree, &mut writer)
+                .expect("in-memory csj"),
+            JoinVariant::Ssj => unreachable!("ssj is not benchmarked"),
+        };
+        let wall = t.elapsed().as_secs_f64() * 1e3;
+        let bytes = writer.finish().expect("flush").bytes_written();
+        eprintln!(
+            "in-memory {name}: {wall:.0} ms, {} encoded links, {} bytes",
+            encoded_links(&stats),
+            bytes
+        );
+        reference.push((name, stats, wall, bytes));
+    }
+
+    // Pool curve: 1/64 .. 1/8 of the index footprint (the acceptance
+    // ceiling), smallest first so the hardest configuration runs first.
+    let fractions: &[u64] = if args.smoke { &[64, 8] } else { &[64, 32, 16, 8] };
+    let mut legs: Vec<Leg> = Vec::new();
+    for &frac in fractions {
+        let pool = ((node_pages / frac).max(4)) as usize;
+        for (name, variant) in
+            [("ncsj", JoinVariant::Ncsj), ("csj10", JoinVariant::Csj { window: 10 })]
+        {
+            let tree = PagedTree::<2, _>::open(
+                FileDisk::open(&pages_path).expect("open page file"),
+                RetryPolicy::default(),
+                pool,
+            )
+            .expect("open paged tree");
+            let prefetch_pages = (pool / 4).max(8);
+            let join = OutOfCoreJoin::new(variant, eps)
+                .with_config(JoinConfig::new(eps))
+                .with_prefetch_budget(prefetch_pages * PAGE_SIZE);
+            let out_path = dir.join(format!("ooc_{name}_{frac}.txt"));
+            let width = OutputWriter::<FileSink>::id_width_for(pts.len());
+            let mut writer =
+                OutputWriter::new(FileSink::create(&out_path).expect("output file"), width);
+            let t = Instant::now();
+            let stats = join
+                .run_streaming(&tree, &mut writer, Some(&pages_path))
+                .expect("out-of-core join");
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            let output_bytes = writer.finish().expect("flush").bytes_written();
+            let paged = tree.stats();
+
+            // Identity gate: the out-of-core engine must reproduce the
+            // in-memory run exactly.
+            let (_, ref_stats, _, ref_bytes) =
+                reference.iter().find(|(n, ..)| *n == name).expect("reference leg");
+            assert_eq!(stats.links_emitted, ref_stats.links_emitted, "{name} links diverged");
+            assert_eq!(stats.groups_emitted, ref_stats.groups_emitted, "{name} groups diverged");
+            assert_eq!(
+                stats.distance_computations, ref_stats.distance_computations,
+                "{name} comparisons diverged"
+            );
+            assert_eq!(output_bytes, *ref_bytes, "{name} output bytes diverged");
+            if args.smoke {
+                let mem = std::fs::read(dir.join(format!("mem_{name}.txt"))).expect("read");
+                let ooc = std::fs::read(&out_path).expect("read");
+                assert!(mem == ooc, "{name} output files diverged at pool=1/{frac}");
+            }
+            let _ = std::fs::remove_file(&out_path);
+
+            let secs = wall_ms / 1e3;
+            eprintln!(
+                "pool 1/{frac} ({pool} pages) {name}: {wall_ms:.0} ms, {:.0} links/s, \
+                 {} misses / {} hits ({:.1}% hit rate), {} evictions, {} prefetched",
+                encoded_links(&stats) as f64 / secs,
+                paged.pool.misses,
+                paged.pool.hits,
+                paged.pool.hit_rate() * 100.0,
+                paged.pool.evictions,
+                paged.prefetch_supplied
+            );
+            legs.push(Leg {
+                variant_name: name,
+                pool_pages: pool,
+                pool_fraction: 1.0 / frac as f64,
+                wall_ms,
+                links_per_sec: encoded_links(&stats) as f64 / secs,
+                output_bytes,
+                stats,
+                paged,
+                prefetch_budget_pages: prefetch_pages,
+            });
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"outofcore\",");
+    let _ = writeln!(json, "  \"rustc\": \"{}\",", rustc_version());
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"dataset\": \"pacific-nw\",");
+    let _ = writeln!(json, "  \"n\": {},", args.n);
+    let _ = writeln!(json, "  \"eps\": {},", eps);
+    let _ = writeln!(json, "  \"page_size\": {},", PAGE_SIZE);
+    let _ = writeln!(json, "  \"node_pages\": {},", node_pages);
+    let _ = writeln!(json, "  \"footprint_bytes\": {},", footprint_bytes);
+    let _ = writeln!(json, "  \"build_ms\": {:.1},", build_ms);
+    let _ = writeln!(json, "  \"in_memory\": [");
+    for (i, (name, stats, wall, bytes)) in reference.iter().enumerate() {
+        let comma = if i + 1 == reference.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"algo\": \"{name}\", \"wall_ms\": {wall:.1}, \"links\": {}, \
+             \"groups\": {}, \"output_bytes\": {bytes}, \"links_per_sec\": {:.0}}}{comma}",
+            encoded_links(stats),
+            stats.groups_emitted,
+            encoded_links(stats) as f64 / (wall / 1e3)
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"pool_curve\": [");
+    for (i, leg) in legs.iter().enumerate() {
+        let comma = if i + 1 == legs.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"algo\": \"{}\", \"pool_pages\": {}, \"pool_fraction\": {:.5}, \
+             \"prefetch_budget_pages\": {}, \"wall_ms\": {:.1}, \"links_per_sec\": {:.0}, \
+             \"output_bytes\": {}, \"links\": {}, \"groups\": {}, \"pool_hits\": {}, \
+             \"pool_misses\": {}, \"hit_rate\": {:.4}, \"evictions\": {}, \"disk_reads\": {}, \
+             \"io_retries\": {}, \"prefetch_supplied\": {}}}{comma}",
+            leg.variant_name,
+            leg.pool_pages,
+            leg.pool_fraction,
+            leg.prefetch_budget_pages,
+            leg.wall_ms,
+            leg.links_per_sec,
+            leg.output_bytes,
+            encoded_links(&leg.stats),
+            leg.stats.groups_emitted,
+            leg.paged.pool.hits,
+            leg.paged.pool.misses,
+            leg.paged.pool.hit_rate(),
+            leg.paged.pool.evictions,
+            leg.paged.disk_reads,
+            leg.paged.io_retries,
+            leg.paged.prefetch_supplied
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&args.out, &json).expect("write json");
+    eprintln!("wrote {}", args.out);
+
+    // Temp-dir hygiene: remove everything this run created unless the
+    // caller chose the directory.
+    for (name, ..) in &reference {
+        let _ = std::fs::remove_file(dir.join(format!("mem_{name}.txt")));
+    }
+    if args.data_dir.is_none() {
+        let _ = std::fs::remove_file(&pages_path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

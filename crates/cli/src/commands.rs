@@ -182,6 +182,8 @@ pub fn join(args: &[String]) -> Result<(), CliError> {
             "max-bytes",
             "deadline",
             "threads",
+            "data-dir",
+            "buffer-pages",
         ],
     )
     .usage()?;
@@ -243,6 +245,14 @@ fn join_dim<const D: usize>(opts: &Opts) -> Result<(), CliError> {
     let eps = opts.require::<f64>("eps").usage()?;
     if !(eps >= 0.0 && eps.is_finite()) {
         return Err(CliError::usage("--eps must be finite and non-negative".to_string()));
+    }
+    if opts.get("data-dir").is_some() {
+        return join_outofcore_dim::<D>(opts, eps);
+    }
+    if opts.get("buffer-pages").is_some() {
+        return Err(CliError::usage(
+            "--buffer-pages only applies to out-of-core runs; pass --data-dir too".to_string(),
+        ));
     }
     let budget = parse_budget(opts)?;
     let threads = parse_threads(opts)?;
@@ -309,6 +319,137 @@ fn join_dim<const D: usize>(opts: &Opts) -> Result<(), CliError> {
             Err(CliError::usage(format!("unsupported --tree {t:?} / --bulk {b:?} combination")))
         }
     }
+}
+
+/// `csj join <points-file> --eps E --data-dir DIR [--buffer-pages N]`:
+/// the external-memory path. The tree is written to real disk pages in
+/// `DIR/tree.pages` and the join runs with at most `--buffer-pages`
+/// nodes resident (plus a small async-prefetch staging budget). Output
+/// rows are bit-identical to the in-memory sequential join.
+fn join_outofcore_dim<const D: usize>(opts: &Opts, eps: f64) -> Result<(), CliError> {
+    use csj_core::outofcore::{JoinVariant, OutOfCoreJoin};
+    use csj_index::PagedTree;
+    use csj_storage::{FileDisk, RetryPolicy, PAGE_SIZE};
+
+    for flag in ["threads", "index", "max-links", "max-bytes", "deadline"] {
+        if opts.get(flag).is_some() {
+            return Err(CliError::usage(format!(
+                "--{flag} is not supported with --data-dir (out-of-core runs are sequential \
+                 and unbudgeted)"
+            )));
+        }
+    }
+    // `get` returned Some for the caller to dispatch here.
+    let data_dir = opts.get("data-dir").unwrap_or(".");
+    let buffer_pages = opts.get_or("buffer-pages", 256usize).usage()?;
+    if buffer_pages < 2 {
+        return Err(CliError::usage(
+            "--buffer-pages must be at least 2 (a leaf-pair probe pins two pages)".to_string(),
+        ));
+    }
+    let variant = match opts.get("algo").unwrap_or("csj") {
+        "ssj" => JoinVariant::Ssj,
+        "ncsj" => JoinVariant::Ncsj,
+        "csj" => JoinVariant::Csj { window: opts.get_or("window", 10usize).usage()? },
+        other => {
+            return Err(CliError::usage(format!("unknown --algo {other:?} (ssj, ncsj or csj)")))
+        }
+    };
+    let metric = parse_metric(opts.get("metric").unwrap_or("l2")).usage()?;
+    let tree_kind = opts.get("tree").unwrap_or("rstar");
+    if tree_kind != "rstar" {
+        return Err(CliError::usage(format!(
+            "--tree {tree_kind:?} has no out-of-core page format; use --tree rstar"
+        )));
+    }
+    let bulk = opts.get("bulk").unwrap_or("str").to_string();
+    let out = opts.get("out").map(str::to_string);
+    let file = opts.positional(0, "points-file").usage()?;
+
+    let points: Vec<Point<D>> = read_points_input(file)?;
+    eprintln!("loaded {} points from {file}", points.len());
+    if points.is_empty() {
+        eprintln!("empty input; nothing to join");
+        return Ok(());
+    }
+    std::fs::create_dir_all(data_dir)
+        .map_err(|e| StorageError::io_at(IoOp::Write, std::path::Path::new(data_dir), &e))?;
+    let pages_path = std::path::Path::new(data_dir).join("tree.pages");
+    let disk = FileDisk::create(&pages_path)?;
+
+    let cfg_tree = RTreeConfig::default();
+    let build_start = Instant::now();
+    let tree = match bulk.as_str() {
+        // STR streams chunks straight to pages; the other loaders build
+        // in memory first and serialize.
+        "str" => {
+            PagedTree::build_str(&points, cfg_tree, disk, RetryPolicy::default(), buffer_pages)
+        }
+        "hilbert" => {
+            let mem = RStarTree::bulk_load_hilbert(&points, cfg_tree);
+            PagedTree::from_core(mem.core(), disk, RetryPolicy::default(), buffer_pages)
+        }
+        "omt" => {
+            let mem = RStarTree::bulk_load_omt(&points, cfg_tree);
+            PagedTree::from_core(mem.core(), disk, RetryPolicy::default(), buffer_pages)
+        }
+        other => {
+            return Err(CliError::usage(format!(
+                "unsupported --bulk {other:?} for out-of-core runs (str, hilbert or omt)"
+            )))
+        }
+    }?;
+    eprintln!(
+        "paged index built in {:.1} ms ({} node pages on {}, pool {} pages = {} KiB)",
+        build_start.elapsed().as_secs_f64() * 1e3,
+        tree.meta().node_pages,
+        pages_path.display(),
+        buffer_pages,
+        buffer_pages * PAGE_SIZE / 1024,
+    );
+
+    let width = OutputWriter::<csj_storage::CountingSink>::id_width_for(points.len());
+    let join = OutOfCoreJoin::new(variant, eps)
+        .with_config(JoinConfig::new(eps).with_metric(metric))
+        .with_prefetch_budget(32 * PAGE_SIZE);
+    let start = Instant::now();
+    let (stats, bytes) = match out.as_deref() {
+        Some(path) => {
+            let mut writer = OutputWriter::new(FileSink::create(path)?, width);
+            let stats = join.run_streaming(&tree, &mut writer, Some(&pages_path))?;
+            (stats, writer.finish()?.bytes_written())
+        }
+        None => {
+            let mut writer = OutputWriter::new(StdoutSink::new(), width);
+            let stats = join.run_streaming(&tree, &mut writer, Some(&pages_path))?;
+            (stats, writer.finish()?.bytes_written())
+        }
+    };
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    let pg = tree.stats();
+    eprintln!(
+        "out-of-core {} eps={eps}: {:.1} ms, {} bytes, {} links + {} groups, {} distance \
+         computations",
+        opts.get("algo").unwrap_or("csj"),
+        elapsed,
+        bytes,
+        stats.links_emitted,
+        stats.groups_emitted,
+        stats.distance_computations
+    );
+    eprintln!(
+        "buffer pool: {} hits / {} misses ({:.1}% hit rate), {} evictions; disk: {} page reads, \
+         {} page writes, {} retries; prefetch supplied {} pages",
+        pg.pool.hits,
+        pg.pool.misses,
+        pg.pool.hit_rate() * 100.0,
+        pg.pool.evictions,
+        pg.disk_reads,
+        pg.disk_writes,
+        pg.io_retries,
+        pg.prefetch_supplied,
+    );
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]

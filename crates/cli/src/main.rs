@@ -85,8 +85,12 @@ commands:
        [--metric l2|l1|linf] [--tree rstar|rtree|mtree]
        [--bulk str|hilbert|omt|none] [--dim 2|3] [--out <file>]
        [--max-links <N>] [--max-bytes <N>] [--deadline <secs>]
-       [--threads <N>|auto]
+       [--threads <N>|auto] [--data-dir <dir>] [--buffer-pages <N>]
       run a similarity self-join; stats go to stderr, rows to --out/stdout.
+      --data-dir runs out-of-core: the R*-tree is written to real disk
+      pages in <dir>/tree.pages and the join touches at most
+      --buffer-pages (default 256) resident nodes plus an async-prefetch
+      staging budget; rows are bit-identical to the in-memory join.
       --threads runs the work-stealing parallel join (auto = one worker
       per core); output rows are deterministic regardless of thread count.
       budget flags stop the run early at a task boundary: output stays a

@@ -62,6 +62,7 @@ pub mod estimate;
 pub mod group;
 pub mod ncsj;
 pub mod outlier;
+pub mod outofcore;
 pub mod output;
 pub mod paged;
 pub mod parallel;

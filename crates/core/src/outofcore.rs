@@ -1,0 +1,924 @@
+//! External-memory joins over page-resident trees.
+//!
+//! [`OutOfCoreEngine`] is the Figure-3 recursion of [`crate::engine`]
+//! re-targeted at a [`PagedTree`]: nodes live in disk pages behind a
+//! pinned LRU buffer pool instead of an in-memory arena. Because every
+//! pruning and early-stopping decision (`min_dist`, `pair_diameter`,
+//! `max_diameter`) is a pure function of node MBRs — and parents store
+//! their children's MBRs on the same page — the engine makes the exact
+//! decisions the in-memory [`Engine`](crate::engine::Engine) makes, in
+//! the exact order, and only faults a child page in when the traversal
+//! actually descends into it. The output (links, groups, member order)
+//! is **bit-identical** to the in-memory sequential join; only the I/O
+//! counters differ.
+//!
+//! Memory is bounded by two knobs:
+//!
+//! * the buffer pool (`pool_pages × PAGE_SIZE` bytes of resident
+//!   nodes; in-use pages are pinned, at most two at once — a
+//!   leaf-pair probe);
+//! * the optional [`Prefetcher`] staging budget (bytes of read-ahead
+//!   admitted to the frontier).
+//!
+//! The prefetcher is a dedicated I/O thread with its own
+//! [`FileDisk`] handle. The engine enqueues the child pages it is
+//! about to visit; the thread reads them while the compute thread
+//! probes leaves, and finished pages are handed to the store as staged
+//! bytes ([`PagedStore::stage_raw`]) so the next miss skips its
+//! synchronous disk read. Staging only changes *who reads the bytes*,
+//! never what the traversal does — prefetch failures are silently
+//! dropped and the page is simply read synchronously when needed.
+
+use std::collections::VecDeque;
+
+use csj_geom::Mbr;
+use csj_index::paged::{PagedStats, PagedTree};
+use csj_storage::disk::Disk;
+use csj_storage::{FileDisk, OutputSink, OutputWriter, PageId, PAGE_SIZE};
+
+use crate::budget::{CancelToken, StopReason};
+use crate::engine::{CollectSink, DirectEmit, LinkHandler, RowSink, StreamSink, WindowedEmit};
+use crate::error::CsjError;
+use crate::group::{BallShape, MbrShape};
+use crate::output::JoinOutput;
+use crate::stats::JoinStats;
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{yield_now, Arc, Mutex};
+use crate::JoinConfig;
+
+/// Re-export of the CSJ group-shape selector for out-of-core runs.
+pub use crate::csj::GroupShapeKind;
+
+/// Locks a facade mutex, recovering from poisoning (the holder can only
+/// be the prefetch thread, whose state is a plain byte queue — always
+/// consistent).
+fn lock<T>(m: &Mutex<T>) -> crate::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Shared state between the engine thread and the prefetch I/O thread.
+struct PrefetchShared {
+    /// Pages the engine wants read, oldest first.
+    queue: Mutex<VecDeque<u64>>,
+    /// Pages read and awaiting hand-off to the store.
+    ready: Mutex<Vec<(u64, Vec<u8>)>>,
+    /// Bytes held in `ready` — the admission gate.
+    ready_bytes: AtomicUsize,
+    /// Max bytes of read-ahead admitted to `ready`.
+    budget: usize,
+}
+
+/// Asynchronous page read-ahead on a dedicated I/O thread.
+///
+/// The thread owns a private [`FileDisk`] handle onto the same page
+/// file, so its reads never contend with the engine's pager state. New
+/// frontier pages are admitted only while the staged bytes are under
+/// the construction-time budget; beyond it the thread idles until the
+/// engine drains.
+pub struct Prefetcher {
+    shared: Arc<PrefetchShared>,
+    cancel: CancelToken,
+    handle: Option<std::thread::JoinHandle<()>>,
+    /// Pages handed to the store over the run (telemetry).
+    staged_total: u64,
+}
+
+impl std::fmt::Debug for Prefetcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prefetcher")
+            .field("budget_bytes", &self.shared.budget)
+            .field("staged_total", &self.staged_total)
+            .finish()
+    }
+}
+
+impl Prefetcher {
+    /// Spawns the I/O thread over its own handle to the page file at
+    /// `path`, staging at most `budget_bytes` of read-ahead.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] when the page file cannot be
+    /// opened.
+    pub fn spawn(path: &std::path::Path, budget_bytes: usize) -> Result<Self, CsjError> {
+        let mut disk = FileDisk::open(path)?;
+        let shared = Arc::new(PrefetchShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Mutex::new(Vec::new()),
+            ready_bytes: AtomicUsize::new(0),
+            budget: budget_bytes.max(PAGE_SIZE),
+        });
+        let cancel = CancelToken::new();
+        let thread_shared = Arc::clone(&shared);
+        let thread_cancel = cancel.clone();
+        let handle = std::thread::spawn(move || {
+            while !thread_cancel.is_canceled() {
+                // ORDERING: Acquire pairs with the engine's AcqRel
+                // fetch_sub in drain_into — the gate must observe a
+                // drain before treating budget as free again.
+                if thread_shared.ready_bytes.load(Ordering::Acquire) + PAGE_SIZE
+                    > thread_shared.budget
+                {
+                    yield_now(); // frontier full: wait for the engine to drain
+                    continue;
+                }
+                let next = lock(&thread_shared.queue).pop_front();
+                let Some(page) = next else {
+                    yield_now();
+                    continue;
+                };
+                // A failed read-ahead is not an error: the engine will
+                // read the page synchronously and surface the failure
+                // (with retries) itself.
+                if let Ok(p) = disk.read(PageId(page)) {
+                    // ORDERING: AcqRel makes the byte-count increment a
+                    // synchronization point with the gate's Acquire load
+                    // and the engine's fetch_sub on drain.
+                    thread_shared.ready_bytes.fetch_add(p.data.len(), Ordering::AcqRel);
+                    lock(&thread_shared.ready).push((page, p.data));
+                }
+            }
+        });
+        Ok(Prefetcher { shared, cancel, handle: Some(handle), staged_total: 0 })
+    }
+
+    /// Requests read-ahead of `pages` (frontier children about to be
+    /// visited).
+    fn enqueue(&self, pages: impl IntoIterator<Item = PageId>) {
+        lock(&self.shared.queue).extend(pages.into_iter().map(|p| p.0));
+    }
+
+    /// Moves every completed read into the store's staging area.
+    fn drain_into<const D: usize, Dk: Disk>(
+        &mut self,
+        store: &csj_index::paged::PagedStore<D, Dk>,
+    ) {
+        let done: Vec<(u64, Vec<u8>)> = std::mem::take(&mut *lock(&self.shared.ready));
+        for (page, bytes) in done {
+            // ORDERING: AcqRel pairs with the prefetch thread's Acquire
+            // gate load, publishing the freed budget before the next
+            // read-ahead is admitted.
+            self.shared.ready_bytes.fetch_sub(bytes.len(), Ordering::AcqRel);
+            if store.stage_raw(PageId(page), bytes) {
+                self.staged_total += 1;
+            }
+        }
+    }
+
+    /// Pages handed to the store over the run.
+    pub fn staged_total(&self) -> u64 {
+        self.staged_total
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.cancel.cancel();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A node as the traversal sees it *before* reading its page: identity
+/// plus the MBR and level its parent recorded. Everything the pruning
+/// rules need, no I/O.
+#[derive(Clone, Copy, Debug)]
+struct NodeRef<const D: usize> {
+    page: PageId,
+    mbr: Mbr<D>,
+    level: u32,
+}
+
+impl<const D: usize> NodeRef<D> {
+    fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+}
+
+/// The out-of-core Figure-3 recursion (see the module docs).
+pub struct OutOfCoreEngine<'t, H, R, const D: usize, Dk: Disk> {
+    tree: &'t PagedTree<D, Dk>,
+    cfg: JoinConfig,
+    early_stop: bool,
+    handler: H,
+    cancel: Option<CancelToken>,
+    stopped: Option<StopReason>,
+    prefetch: Option<Prefetcher>,
+    /// The row sink (public so callers can recover collected rows).
+    pub sink: R,
+    /// Accumulated counters.
+    pub stats: JoinStats,
+}
+
+impl<'t, H, R, const D: usize, Dk> OutOfCoreEngine<'t, H, R, D, Dk>
+where
+    H: LinkHandler<D>,
+    R: RowSink,
+    Dk: Disk,
+{
+    /// Builds an engine over a paged tree; `early_stop` enables the
+    /// compact-join group rules exactly as in the in-memory engine.
+    pub fn new(
+        tree: &'t PagedTree<D, Dk>,
+        cfg: JoinConfig,
+        early_stop: bool,
+        handler: H,
+        sink: R,
+    ) -> Self {
+        let stats = JoinStats { threads_used: 1, ..JoinStats::new(cfg.record_access_log) };
+        OutOfCoreEngine {
+            tree,
+            cfg,
+            early_stop,
+            handler,
+            cancel: None,
+            stopped: None,
+            prefetch: None,
+            sink,
+            stats,
+        }
+    }
+
+    /// Arms cooperative cancellation (checked on every node/pair visit).
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Attaches an async prefetcher; frontier child pages are enqueued
+    /// as the traversal expands internal nodes.
+    pub fn set_prefetcher(&mut self, prefetcher: Prefetcher) {
+        self.prefetch = Some(prefetcher);
+    }
+
+    /// Why the traversal stopped early, if it did.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stopped
+    }
+
+    /// Pages the prefetcher staged for the store over the run.
+    pub fn prefetch_staged(&self) -> u64 {
+        self.prefetch.as_ref().map_or(0, Prefetcher::staged_total)
+    }
+
+    /// Buffer-pool / disk / prefetch counters for the run so far.
+    pub fn paged_stats(&self) -> PagedStats {
+        self.tree.stats()
+    }
+
+    fn check_stopped(&mut self) -> bool {
+        if self.stopped.is_some() {
+            return true;
+        }
+        if self.cancel.as_ref().is_some_and(CancelToken::is_canceled) {
+            self.stopped = Some(StopReason::Canceled);
+            return true;
+        }
+        false
+    }
+
+    /// Runs the full self-join.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::InvalidConfig`] for options the out-of-core
+    /// path does not support (plane-sweep ordering) and
+    /// [`CsjError::Storage`] when a page read fails beyond retry or the
+    /// sink rejects a row.
+    pub fn run(&mut self) -> Result<(), CsjError> {
+        if self.cfg.plane_sweep {
+            return Err(CsjError::InvalidConfig(
+                "plane-sweep ordering is not supported out-of-core (its child reordering \
+                 changes the visit order; run it in-memory instead)"
+                    .into(),
+            ));
+        }
+        if let Some(root_page) = self.tree.root() {
+            // One page read up front for the root's own MBR and level —
+            // its parent-side summary does not exist.
+            let root = {
+                let guard = self.tree.node(root_page)?;
+                NodeRef { page: root_page, mbr: guard.mbr, level: guard.level }
+            };
+            self.join_node(root)?;
+        }
+        self.finish_only()
+    }
+
+    /// Runs only the handler's finish step (drains the CSJ window).
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] when draining into the sink fails.
+    pub fn finish_only(&mut self) -> Result<(), CsjError> {
+        self.handler.finish(&mut self.sink, &mut self.stats)
+    }
+
+    /// The subtree group MBR, mirroring the in-memory engine: the
+    /// node's stored shape by default, recomputed from member points
+    /// when configured.
+    fn subtree_mbr(&self, n: &NodeRef<D>) -> Result<Mbr<D>, CsjError> {
+        if self.cfg.tighten_group_mbr {
+            let mut entries = Vec::new();
+            self.tree.collect_entries(n.page, &mut entries)?;
+            let mut mbr = Mbr::empty();
+            for e in &entries {
+                mbr.expand_to_point(&e.point);
+            }
+            Ok(mbr)
+        } else {
+            Ok(n.mbr)
+        }
+    }
+
+    /// Clones an internal node's child summaries out of its (pinned)
+    /// page, releasing the pin before any recursion, and lets the
+    /// prefetcher start on them.
+    fn expand(&mut self, n: &NodeRef<D>) -> Result<Vec<NodeRef<D>>, CsjError> {
+        let children: Vec<NodeRef<D>> = {
+            let guard = self.tree.node(n.page)?;
+            guard
+                .children
+                .iter()
+                .map(|&(page, mbr)| NodeRef { page, mbr, level: n.level - 1 })
+                .collect()
+        };
+        if let Some(pf) = self.prefetch.as_mut() {
+            pf.enqueue(children.iter().map(|c| c.page));
+            pf.drain_into(self.tree.store());
+        }
+        Ok(children)
+    }
+
+    /// `simJoin(n)`: self-join of one subtree. Mirrors
+    /// [`Engine::join_node`](crate::engine::Engine::join_node) line for
+    /// line.
+    fn join_node(&mut self, n: NodeRef<D>) -> Result<(), CsjError> {
+        if self.check_stopped() {
+            return Ok(());
+        }
+        self.stats.node_visits += 1;
+        self.stats.touch_node(n.page.0 as u32);
+        let eps = self.cfg.epsilon;
+        let metric = self.cfg.metric;
+
+        if self.early_stop && metric.mbr_diameter(&n.mbr) <= eps {
+            self.stats.early_stops_node += 1;
+            let mut ids = Vec::new();
+            self.tree.collect_record_ids(n.page, &mut ids)?;
+            let mbr = self.subtree_mbr(&n)?;
+            return self.handler.on_subtree(ids, &mbr, &mut self.sink, &mut self.stats);
+        }
+
+        if n.is_leaf() {
+            if self.cfg.batch_kernel {
+                return self.leaf_self_kernel(&n);
+            }
+            let tree = self.tree;
+            let guard = tree.node(n.page)?;
+            let entries = guard.entries.entries();
+            for i in 0..entries.len() {
+                for j in (i + 1)..entries.len() {
+                    self.stats.distance_computations += 1;
+                    if metric.within(&entries[i].point, &entries[j].point, eps) {
+                        self.handler.on_link(
+                            entries[i].id,
+                            &entries[i].point,
+                            entries[j].id,
+                            &entries[j].point,
+                            &mut self.sink,
+                            &mut self.stats,
+                        )?;
+                    }
+                }
+            }
+        } else {
+            let children = self.expand(&n)?;
+            for (i, a) in children.iter().enumerate() {
+                self.join_node(*a)?;
+                for b in &children[(i + 1)..] {
+                    if metric.min_dist_mbr(&a.mbr, &b.mbr) <= eps {
+                        self.join_pair(*a, *b)?;
+                    } else {
+                        self.stats.pairs_pruned += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `simJoin(n1, n2)`: join across two subtrees, mirroring
+    /// [`Engine::join_pair`](crate::engine::Engine::join_pair).
+    fn join_pair(&mut self, a: NodeRef<D>, b: NodeRef<D>) -> Result<(), CsjError> {
+        if self.check_stopped() {
+            return Ok(());
+        }
+        self.stats.pair_visits += 1;
+        self.stats.touch_node(a.page.0 as u32);
+        self.stats.touch_node(b.page.0 as u32);
+        let eps = self.cfg.epsilon;
+        let metric = self.cfg.metric;
+
+        if self.early_stop && metric.max_dist_mbr(&a.mbr, &b.mbr) <= eps {
+            self.stats.early_stops_pair += 1;
+            let mut ids = Vec::new();
+            self.tree.collect_record_ids(a.page, &mut ids)?;
+            self.tree.collect_record_ids(b.page, &mut ids)?;
+            let mbr = self.subtree_mbr(&a)?.union(&self.subtree_mbr(&b)?);
+            return self.handler.on_subtree(ids, &mbr, &mut self.sink, &mut self.stats);
+        }
+
+        match (a.is_leaf(), b.is_leaf()) {
+            (true, true) => {
+                if self.cfg.batch_kernel {
+                    return self.leaf_cross_kernel(&a, &b);
+                }
+                let tree = self.tree;
+                let ga = tree.node(a.page)?;
+                let gb = tree.node(b.page)?;
+                for x in ga.entries.iter() {
+                    for y in gb.entries.iter() {
+                        self.stats.distance_computations += 1;
+                        if metric.within(&x.point, &y.point, eps) {
+                            self.handler.on_link(
+                                x.id,
+                                &x.point,
+                                y.id,
+                                &y.point,
+                                &mut self.sink,
+                                &mut self.stats,
+                            )?;
+                        }
+                    }
+                }
+            }
+            (true, false) => {
+                let children = self.expand(&b)?;
+                for c in children {
+                    if metric.min_dist_mbr(&a.mbr, &c.mbr) <= eps {
+                        self.join_pair(a, c)?;
+                    } else {
+                        self.stats.pairs_pruned += 1;
+                    }
+                }
+            }
+            (false, true) => {
+                let children = self.expand(&a)?;
+                for c in children {
+                    if metric.min_dist_mbr(&c.mbr, &b.mbr) <= eps {
+                        self.join_pair(c, b)?;
+                    } else {
+                        self.stats.pairs_pruned += 1;
+                    }
+                }
+            }
+            (false, false) => {
+                let ca = self.expand(&a)?;
+                let cb = self.expand(&b)?;
+                for x in &ca {
+                    for y in &cb {
+                        if metric.min_dist_mbr(&x.mbr, &y.mbr) <= eps {
+                            self.join_pair(*x, *y)?;
+                        } else {
+                            self.stats.pairs_pruned += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched leaf self-join over the page-resident leaf's
+    /// struct-of-arrays slabs. Hit order and comparison counts match
+    /// the in-memory kernel path exactly.
+    fn leaf_self_kernel(&mut self, n: &NodeRef<D>) -> Result<(), CsjError> {
+        let kernel = csj_geom::DistKernel::new(self.cfg.metric, self.cfg.epsilon);
+        let tree = self.tree;
+        let guard = tree.node(n.page)?;
+        let entries = guard.entries.entries();
+        let soa = guard.entries.soa();
+        let handler = &mut self.handler;
+        let sink = &mut self.sink;
+        let stats = &mut self.stats;
+        let mut comps = 0u64;
+        let res = kernel.self_join(soa, &mut comps, |i, j| {
+            handler.on_link(
+                entries[i].id,
+                &entries[i].point,
+                entries[j].id,
+                &entries[j].point,
+                &mut *sink,
+                &mut *stats,
+            )
+        });
+        stats.distance_computations += comps;
+        res
+    }
+
+    /// Batched leaf cross-join; both leaf pages stay pinned for the
+    /// probe (the pool's two-pin high-water mark).
+    fn leaf_cross_kernel(&mut self, a: &NodeRef<D>, b: &NodeRef<D>) -> Result<(), CsjError> {
+        let kernel = csj_geom::DistKernel::new(self.cfg.metric, self.cfg.epsilon);
+        let tree = self.tree;
+        let ga = tree.node(a.page)?;
+        let gb = tree.node(b.page)?;
+        let ea = ga.entries.entries();
+        let eb = gb.entries.entries();
+        let sa = ga.entries.soa();
+        let sb = gb.entries.soa();
+        let handler = &mut self.handler;
+        let sink = &mut self.sink;
+        let stats = &mut self.stats;
+        let mut comps = 0u64;
+        let res = kernel.cross_join(sa, sb, &mut comps, |i, j| {
+            handler.on_link(ea[i].id, &ea[i].point, eb[j].id, &eb[j].point, &mut *sink, &mut *stats)
+        });
+        stats.distance_computations += comps;
+        res
+    }
+}
+
+/// Which join variant an [`OutOfCoreJoin`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinVariant {
+    /// Plain similarity self-join: every link individually.
+    Ssj,
+    /// Non-windowed compact join: early stopping, no merge window.
+    Ncsj,
+    /// Compact join with a window of `g` recent groups.
+    Csj {
+        /// The window size `g`.
+        window: usize,
+    },
+}
+
+/// Configuration for a complete out-of-core join run: variant, join
+/// parameters, and an optional prefetch budget.
+#[derive(Debug)]
+pub struct OutOfCoreJoin {
+    cfg: JoinConfig,
+    variant: JoinVariant,
+    shape: GroupShapeKind,
+    prefetch_budget: Option<usize>,
+}
+
+impl OutOfCoreJoin {
+    /// An out-of-core run of `variant` with range `epsilon`.
+    pub fn new(variant: JoinVariant, epsilon: f64) -> Self {
+        OutOfCoreJoin {
+            cfg: JoinConfig::new(epsilon),
+            variant,
+            shape: GroupShapeKind::Mbr,
+            prefetch_budget: None,
+        }
+    }
+
+    /// Replaces the full join configuration.
+    pub fn with_config(mut self, cfg: JoinConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Selects the CSJ group bounding shape.
+    pub fn with_shape(mut self, shape: GroupShapeKind) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Enables async prefetch with the given staging budget in bytes
+    /// (effective only on [`FileDisk`]-backed trees).
+    pub fn with_prefetch_budget(mut self, bytes: usize) -> Self {
+        self.prefetch_budget = Some(bytes);
+        self
+    }
+
+    /// The configuration this join runs with.
+    pub fn config(&self) -> &JoinConfig {
+        &self.cfg
+    }
+
+    fn early_stop(&self) -> bool {
+        !matches!(self.variant, JoinVariant::Ssj)
+    }
+
+    fn spawn_prefetcher(
+        &self,
+        path: Option<&std::path::Path>,
+    ) -> Result<Option<Prefetcher>, CsjError> {
+        match (self.prefetch_budget, path) {
+            (Some(budget), Some(path)) => Ok(Some(Prefetcher::spawn(path, budget)?)),
+            _ => Ok(None),
+        }
+    }
+
+    fn run_engine<H, R, const D: usize, Dk>(
+        &self,
+        tree: &PagedTree<D, Dk>,
+        handler: H,
+        sink: R,
+        path: Option<&std::path::Path>,
+    ) -> Result<(R, JoinStats, u64), CsjError>
+    where
+        H: LinkHandler<D>,
+        R: RowSink,
+        Dk: Disk,
+    {
+        let mut engine = OutOfCoreEngine::new(tree, self.cfg, self.early_stop(), handler, sink);
+        if let Some(pf) = self.spawn_prefetcher(path)? {
+            engine.set_prefetcher(pf);
+        }
+        engine.run()?;
+        let staged = engine.prefetch_staged();
+        Ok((engine.sink, engine.stats, staged))
+    }
+
+    fn dispatch<R, const D: usize, Dk>(
+        &self,
+        tree: &PagedTree<D, Dk>,
+        sink: R,
+        path: Option<&std::path::Path>,
+    ) -> Result<(R, JoinStats, u64), CsjError>
+    where
+        R: RowSink,
+        Dk: Disk,
+    {
+        let eps = self.cfg.epsilon;
+        let metric = self.cfg.metric;
+        match (self.variant, self.shape) {
+            (JoinVariant::Ssj | JoinVariant::Ncsj, _) => {
+                self.run_engine(tree, DirectEmit, sink, path)
+            }
+            (JoinVariant::Csj { window }, GroupShapeKind::Mbr) => self.run_engine(
+                tree,
+                WindowedEmit::<MbrShape<D>, D>::new(window, eps, metric),
+                sink,
+                path,
+            ),
+            (JoinVariant::Csj { window }, GroupShapeKind::Ball) => self.run_engine(
+                tree,
+                WindowedEmit::<BallShape<D>, D>::new(window, eps, metric),
+                sink,
+                path,
+            ),
+        }
+    }
+
+    /// Runs the join, collecting rows in memory. Pass the page-file
+    /// path as `prefetch_path` (for [`FileDisk`] trees) to activate the
+    /// configured prefetch budget.
+    ///
+    /// # Errors
+    /// Returns [`CsjError::Storage`] for unrecoverable page I/O
+    /// failures and [`CsjError::InvalidConfig`] for unsupported
+    /// options.
+    pub fn run<const D: usize, Dk: Disk>(
+        &self,
+        tree: &PagedTree<D, Dk>,
+        prefetch_path: Option<&std::path::Path>,
+    ) -> Result<JoinOutput, CsjError> {
+        let (sink, stats, _) = self.dispatch(tree, CollectSink::default(), prefetch_path)?;
+        Ok(JoinOutput { items: sink.items, stats, ..Default::default() })
+    }
+
+    /// Runs the join, streaming rows into `writer`.
+    ///
+    /// # Errors
+    /// As [`OutOfCoreJoin::run`], plus sink write failures.
+    pub fn run_streaming<S: OutputSink, const D: usize, Dk: Disk>(
+        &self,
+        tree: &PagedTree<D, Dk>,
+        writer: &mut OutputWriter<S>,
+        prefetch_path: Option<&std::path::Path>,
+    ) -> Result<JoinStats, CsjError> {
+        let (_, stats, _) = self.dispatch(tree, StreamSink::new(writer), prefetch_path)?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csj::CsjJoin;
+    use crate::engine::{run_collecting, Engine};
+    use crate::ncsj::NcsjJoin;
+    use crate::ssj::SsjJoin;
+    use csj_geom::Point;
+    use csj_index::{rstar::RStarTree, RTreeConfig};
+    use csj_storage::{RetryPolicy, SimulatedDisk, VecSink};
+    use proptest::prelude::*;
+
+    fn scatter(n: usize, salt: u64) -> Vec<Point<2>> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(salt)
+                    .rotate_left(17);
+                let x = (h % 100_000) as f64 / 100_000.0;
+                let y = ((h >> 20) % 100_000) as f64 / 100_000.0;
+                Point::new([x, y])
+            })
+            .collect()
+    }
+
+    fn temp_pages(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("csj_ooc_{tag}_{}.pages", std::process::id()))
+    }
+
+    fn assert_same_run(mem: &JoinOutput, ooc: &JoinOutput, label: &str) {
+        assert_eq!(mem.items, ooc.items, "{label}: rows must be bit-identical");
+        let (m, o) = (&mem.stats, &ooc.stats);
+        assert_eq!(m.node_visits, o.node_visits, "{label}: node_visits");
+        assert_eq!(m.pair_visits, o.pair_visits, "{label}: pair_visits");
+        assert_eq!(m.distance_computations, o.distance_computations, "{label}: comps");
+        assert_eq!(m.early_stops_node, o.early_stops_node, "{label}: early_stops_node");
+        assert_eq!(m.early_stops_pair, o.early_stops_pair, "{label}: early_stops_pair");
+        assert_eq!(m.pairs_pruned, o.pairs_pruned, "{label}: pairs_pruned");
+        assert_eq!(m.links_emitted, o.links_emitted, "{label}: links_emitted");
+        assert_eq!(m.groups_emitted, o.groups_emitted, "{label}: groups_emitted");
+    }
+
+    fn variants() -> [(JoinVariant, &'static str); 3] {
+        [
+            (JoinVariant::Ssj, "ssj"),
+            (JoinVariant::Ncsj, "ncsj"),
+            (JoinVariant::Csj { window: 10 }, "csj10"),
+        ]
+    }
+
+    fn in_memory(variant: JoinVariant, eps: f64, tree: &RStarTree<2>) -> JoinOutput {
+        match variant {
+            JoinVariant::Ssj => SsjJoin::new(eps).run(tree),
+            JoinVariant::Ncsj => NcsjJoin::new(eps).run(tree),
+            JoinVariant::Csj { window } => CsjJoin::new(eps).with_window(window).run(tree),
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_in_memory_on_simulated_disk() {
+        let pts = scatter(1500, 7);
+        let eps = 0.02;
+        let rtree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        for (variant, name) in variants() {
+            let mem = in_memory(variant, eps, &rtree);
+            for pool in [2usize, 3, 4, 64] {
+                let tree = PagedTree::from_core(
+                    rtree.core(),
+                    SimulatedDisk::new(),
+                    RetryPolicy::none(),
+                    pool,
+                )
+                .unwrap();
+                let ooc = OutOfCoreJoin::new(variant, eps).run(&tree, None).unwrap();
+                assert_same_run(&mem, &ooc, &format!("{name} pool={pool}"));
+            }
+        }
+    }
+
+    #[test]
+    fn bit_identical_with_scalar_leaf_probes() {
+        // The no-batch-kernel path takes the nested scalar loops.
+        let pts = scatter(800, 3);
+        let eps = 0.03;
+        let cfg = JoinConfig::new(eps).with_scalar_leaf_probe();
+        let rtree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(8));
+        let mem = run_collecting(&rtree, cfg, true, DirectEmit);
+        let tree = PagedTree::from_core(rtree.core(), SimulatedDisk::new(), RetryPolicy::none(), 3)
+            .unwrap();
+        let ooc =
+            OutOfCoreJoin::new(JoinVariant::Ncsj, eps).with_config(cfg).run(&tree, None).unwrap();
+        assert_same_run(&mem, &ooc, "scalar ncsj");
+    }
+
+    #[test]
+    fn bit_identical_on_a_real_page_file() {
+        let pts = scatter(1200, 11);
+        let eps = 0.025;
+        let rtree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        let path = temp_pages("identity");
+        for (variant, name) in variants() {
+            let mem = in_memory(variant, eps, &rtree);
+            let disk = csj_storage::FileDisk::create(&path).unwrap();
+            let tree =
+                PagedTree::from_core(rtree.core(), disk, RetryPolicy::no_backoff(2), 8).unwrap();
+            let ooc = OutOfCoreJoin::new(variant, eps).run(&tree, None).unwrap();
+            assert_same_run(&mem, &ooc, &format!("filedisk {name}"));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streamed_output_bytes_identical() {
+        let pts = scatter(900, 5);
+        let eps = 0.03;
+        let rtree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        let width = OutputWriter::<VecSink>::id_width_for(pts.len());
+        let mut mem_writer = OutputWriter::new(VecSink::new(), width);
+        let mut engine = Engine::new(
+            &rtree,
+            JoinConfig::new(eps),
+            true,
+            DirectEmit,
+            StreamSink::new(&mut mem_writer),
+        );
+        engine.run().unwrap();
+        let tree = PagedTree::from_core(rtree.core(), SimulatedDisk::new(), RetryPolicy::none(), 4)
+            .unwrap();
+        let mut ooc_writer = OutputWriter::new(VecSink::new(), width);
+        OutOfCoreJoin::new(JoinVariant::Ncsj, eps)
+            .run_streaming(&tree, &mut ooc_writer, None)
+            .unwrap();
+        assert_eq!(
+            mem_writer.sink().as_str(),
+            ooc_writer.sink().as_str(),
+            "the on-disk output file must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn prefetch_preserves_output_on_file_disk() {
+        let pts = scatter(2000, 23);
+        let eps = 0.02;
+        let rtree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        let mem = in_memory(JoinVariant::Csj { window: 10 }, eps, &rtree);
+        let path = temp_pages("prefetch");
+        let disk = csj_storage::FileDisk::create(&path).unwrap();
+        let tree = PagedTree::from_core(rtree.core(), disk, RetryPolicy::no_backoff(2), 6).unwrap();
+        let ooc = OutOfCoreJoin::new(JoinVariant::Csj { window: 10 }, eps)
+            .with_prefetch_budget(64 * PAGE_SIZE)
+            .run(&tree, Some(&path))
+            .unwrap();
+        assert_same_run(&mem, &ooc, "prefetched csj10");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pool_of_one_cannot_pin_a_leaf_pair() {
+        let pts = scatter(600, 2);
+        let eps = 0.05; // wide enough to force cross-leaf probes
+        let rtree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        let tree = PagedTree::from_core(rtree.core(), SimulatedDisk::new(), RetryPolicy::none(), 1)
+            .unwrap();
+        let err = OutOfCoreJoin::new(JoinVariant::Ssj, eps).run(&tree, None).unwrap_err();
+        match err {
+            CsjError::Storage(csj_storage::StorageError::AllPagesPinned { capacity }) => {
+                assert_eq!(capacity, 1);
+            }
+            other => panic!("expected AllPagesPinned, got {other}"),
+        }
+    }
+
+    #[test]
+    fn plane_sweep_is_rejected() {
+        let pts = scatter(100, 9);
+        let rtree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(10));
+        let tree = PagedTree::from_core(rtree.core(), SimulatedDisk::new(), RetryPolicy::none(), 4)
+            .unwrap();
+        let cfg = JoinConfig::new(0.05).with_plane_sweep();
+        let err = OutOfCoreJoin::new(JoinVariant::Ncsj, 0.05)
+            .with_config(cfg)
+            .run(&tree, None)
+            .unwrap_err();
+        assert!(matches!(err, CsjError::InvalidConfig(_)), "got {err}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The tentpole invariant: out-of-core joins are bit-identical
+        /// to the in-memory engine for every variant, across pool sizes
+        /// down to the pathological minimum of two frames, on both disk
+        /// backends.
+        #[test]
+        fn outofcore_matches_in_memory(
+            n in 64usize..400,
+            salt in 0u64..1000,
+            eps in 0.005f64..0.08,
+            pool in 2usize..6,
+            fanout in 4usize..16,
+            use_file in any::<bool>(),
+        ) {
+            let pts = scatter(n, salt);
+            let rtree = RStarTree::bulk_load_str(&pts, RTreeConfig::with_max_fanout(fanout));
+            for (variant, name) in variants() {
+                let mem = in_memory(variant, eps, &rtree);
+                let ooc = if use_file {
+                    let path = temp_pages(&format!("prop_{salt}_{n}_{name}"));
+                    let disk = csj_storage::FileDisk::create(&path).unwrap();
+                    let tree = PagedTree::from_core(
+                        rtree.core(), disk, RetryPolicy::no_backoff(2), pool).unwrap();
+                    let out = OutOfCoreJoin::new(variant, eps).run(&tree, None).unwrap();
+                    let _ = std::fs::remove_file(&path);
+                    out
+                } else {
+                    let tree = PagedTree::from_core(
+                        rtree.core(), SimulatedDisk::new(), RetryPolicy::none(), pool).unwrap();
+                    OutOfCoreJoin::new(variant, eps).run(&tree, None).unwrap()
+                };
+                assert_same_run(&mem, &ooc, &format!("prop {name} pool={pool}"));
+            }
+        }
+    }
+}

@@ -22,7 +22,7 @@ use crate::traits::LeafEntry;
 use crate::RTreeConfig;
 use csj_geom::{Mbr, Point, RecordId};
 
-fn make_entries<const D: usize>(points: &[Point<D>]) -> Vec<LeafEntry<D>> {
+pub(crate) fn make_entries<const D: usize>(points: &[Point<D>]) -> Vec<LeafEntry<D>> {
     points
         .iter()
         .enumerate()
@@ -131,7 +131,7 @@ fn alloc_leaf<const D: usize>(
 
 /// Splits `items` into chunks of at most `cap` with all sizes as equal as
 /// possible (never below `cap / 2`, so min-fanout holds for `m <= M/2`).
-fn balanced_chunks<T>(items: Vec<T>, cap: usize) -> Vec<Vec<T>> {
+pub(crate) fn balanced_chunks<T>(items: Vec<T>, cap: usize) -> Vec<Vec<T>> {
     let n = items.len();
     if n == 0 {
         return Vec::new();
@@ -150,7 +150,7 @@ fn balanced_chunks<T>(items: Vec<T>, cap: usize) -> Vec<Vec<T>> {
 
 /// Recursive STR tiling: sort by the current dimension, cut into slabs,
 /// recurse on the next dimension; the last dimension chunks directly.
-fn str_chunks<T, const D: usize>(
+pub(crate) fn str_chunks<T, const D: usize>(
     items: Vec<T>,
     cap: usize,
     key: fn(&T, usize) -> f64,

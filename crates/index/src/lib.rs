@@ -30,6 +30,7 @@
 pub mod arena;
 pub mod bulk;
 pub mod mtree;
+pub mod paged;
 pub mod persist;
 pub mod quadtree;
 pub mod rect;
@@ -41,6 +42,7 @@ pub mod traits;
 pub mod validate;
 
 pub use arena::NodeId;
+pub use paged::{NodeGuard, PagedMeta, PagedNode, PagedStats, PagedStore, PagedTree};
 pub use rstar::RStarTree;
 pub use rtree::RTree;
 pub use store::LeafStore;

@@ -1,13 +1,24 @@
-//! An LRU buffer pool over page ids, with hit/miss accounting.
+//! An LRU buffer pool over page ids, with pinning and hit/miss
+//! accounting.
 //!
 //! Experiment 3 of the paper reports that "there is no significant
 //! difference in the number of disk page and cache accesses between the
 //! algorithms, regardless of the page and cache sizes". To reproduce that
 //! claim we replay each join's node-access log (one tree node ≈ one page)
 //! through this pool at several capacities and compare miss counts.
+//!
+//! The out-of-core engine uses the same pool *live*: every node read is
+//! admitted through [`BufferPool::try_access`], pages the traversal
+//! currently holds are **pinned** (eviction skips them), and the page id
+//! reported as evicted tells the paged store which frame to write back
+//! if dirty. When every frame is pinned the pool reports
+//! [`StorageError::AllPagesPinned`] instead of silently growing — the
+//! invariant that resident data never exceeds `capacity` pages is what
+//! makes "memory bounded by the buffer pool" true rather than aspirational.
 
 use std::collections::HashMap;
 
+use crate::error::StorageError;
 use crate::page::PageId;
 
 /// Hit/miss counters of a [`BufferPool`].
@@ -38,19 +49,41 @@ impl BufferStats {
     }
 }
 
-/// A fixed-capacity LRU cache of page ids.
+/// Outcome of admitting a page via [`BufferPool::try_access`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Admission {
+    /// `true` when the page was already resident.
+    pub hit: bool,
+    /// The page evicted to make room, if any — the caller's cue to
+    /// write that frame back if it is dirty.
+    pub evicted: Option<PageId>,
+}
+
+/// One frame of the slab LRU list.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    page: PageId,
+    prev: usize,
+    next: usize,
+    pins: u32,
+}
+
+/// A fixed-capacity LRU cache of page ids, with pin counts.
 ///
 /// Constant-time access via an intrusive doubly-linked list over a slab,
-/// so multi-million-access replay logs are cheap to process.
+/// so multi-million-access replay logs are cheap to process. Pinned
+/// pages are skipped by eviction (the traversal is holding a reference
+/// into them); a fully pinned pool refuses admission instead of
+/// evicting.
 #[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
     stats: BufferStats,
-    // Slab-based LRU list. `slots[i]` holds (page, prev, next).
-    slots: Vec<(PageId, usize, usize)>,
+    slots: Vec<Slot>,
     index: HashMap<PageId, usize>,
     head: usize, // most recently used
     tail: usize, // least recently used
+    pinned: usize,
 }
 
 const NIL: usize = usize::MAX;
@@ -66,6 +99,7 @@ impl BufferPool {
             index: HashMap::with_capacity(capacity),
             head: NIL,
             tail: NIL,
+            pinned: 0,
         }
     }
 
@@ -84,6 +118,16 @@ impl BufferPool {
         self.index.is_empty()
     }
 
+    /// Number of currently pinned pages (pages with pin count > 0).
+    pub fn pinned(&self) -> usize {
+        self.pinned
+    }
+
+    /// `true` if `page` is resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.index.contains_key(&page)
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> BufferStats {
         self.stats
@@ -92,77 +136,148 @@ impl BufferPool {
     /// Records an access to `page`, returning `true` on a hit. On a miss
     /// the page is brought in, evicting the least-recently-used page if
     /// the pool is full.
+    ///
+    /// # Panics
+    /// Panics when the pool is full and every page is pinned. Pin-aware
+    /// callers use [`BufferPool::try_access`]; this convenience wrapper
+    /// exists for replay workloads that never pin.
     pub fn access(&mut self, page: PageId) -> bool {
+        match self.try_access(page) {
+            Ok(adm) => adm.hit,
+            Err(_) => unreachable!("access() on a fully pinned pool; use try_access()"),
+        }
+    }
+
+    /// Records an access to `page`. On a miss the page is admitted,
+    /// evicting the least-recently-used *unpinned* page if the pool is
+    /// full; the evicted id is reported so the caller can write the
+    /// frame back.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::AllPagesPinned`] when the pool is full
+    /// and no frame is evictable; the access is not recorded and the
+    /// pool is unchanged.
+    pub fn try_access(&mut self, page: PageId) -> Result<Admission, StorageError> {
         if let Some(&slot) = self.index.get(&page) {
             self.stats.hits += 1;
             self.move_to_front(slot);
-            true
-        } else {
-            self.stats.misses += 1;
-            if self.index.len() == self.capacity {
-                self.evict_lru();
-            }
-            let slot = self.slots.len();
-            self.slots.push((page, NIL, self.head));
-            if self.head != NIL {
-                self.slots[self.head].1 = slot;
-            }
-            self.head = slot;
-            if self.tail == NIL {
-                self.tail = slot;
-            }
-            self.index.insert(page, slot);
-            false
+            return Ok(Admission { hit: true, evicted: None });
         }
+        let mut evicted = None;
+        if self.index.len() == self.capacity {
+            let victim = self
+                .evictable_victim()
+                .ok_or(StorageError::AllPagesPinned { capacity: self.capacity })?;
+            evicted = Some(self.evict_slot(victim));
+        }
+        self.stats.misses += 1;
+        let slot = self.slots.len();
+        self.slots.push(Slot { page, prev: NIL, next: self.head, pins: 0 });
+        if self.head != NIL {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+        self.index.insert(page, slot);
+        Ok(Admission { hit: false, evicted })
+    }
+
+    /// Pins a resident page (incrementing its pin count), returning
+    /// `false` if the page is not resident. Pinned pages are never
+    /// evicted; every `pin` must be paired with an
+    /// [`BufferPool::unpin`].
+    pub fn pin(&mut self, page: PageId) -> bool {
+        let Some(&slot) = self.index.get(&page) else { return false };
+        if self.slots[slot].pins == 0 {
+            self.pinned += 1;
+        }
+        self.slots[slot].pins += 1;
+        true
+    }
+
+    /// Releases one pin on `page`, returning `false` if the page is not
+    /// resident or not pinned.
+    pub fn unpin(&mut self, page: PageId) -> bool {
+        let Some(&slot) = self.index.get(&page) else { return false };
+        if self.slots[slot].pins == 0 {
+            return false;
+        }
+        self.slots[slot].pins -= 1;
+        if self.slots[slot].pins == 0 {
+            self.pinned -= 1;
+        }
+        true
+    }
+
+    /// The least-recently-used unpinned slot, or `None` if every
+    /// resident page is pinned.
+    fn evictable_victim(&self) -> Option<usize> {
+        if self.pinned == self.index.len() {
+            return None;
+        }
+        let mut cur = self.tail;
+        while cur != NIL {
+            if self.slots[cur].pins == 0 {
+                return Some(cur);
+            }
+            cur = self.slots[cur].prev;
+        }
+        None
     }
 
     fn move_to_front(&mut self, slot: usize) {
         if self.head == slot {
             return;
         }
-        let (_, prev, next) = self.slots[slot];
+        let Slot { prev, next, .. } = self.slots[slot];
         // Unlink.
         if prev != NIL {
-            self.slots[prev].2 = next;
+            self.slots[prev].next = next;
         }
         if next != NIL {
-            self.slots[next].1 = prev;
+            self.slots[next].prev = prev;
         }
         if self.tail == slot {
             self.tail = prev;
         }
         // Relink at head.
-        self.slots[slot].1 = NIL;
-        self.slots[slot].2 = self.head;
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
         if self.head != NIL {
-            self.slots[self.head].1 = slot;
+            self.slots[self.head].prev = slot;
         }
         self.head = slot;
     }
 
-    fn evict_lru(&mut self) {
-        let victim = self.tail;
-        debug_assert_ne!(victim, NIL, "evict on empty pool");
-        let (page, prev, _) = self.slots[victim];
+    /// Removes `victim` (any position in the list), returning its page.
+    fn evict_slot(&mut self, victim: usize) -> PageId {
+        let Slot { page, prev, next, pins } = self.slots[victim];
+        debug_assert_eq!(pins, 0, "evicting a pinned page");
         self.index.remove(&page);
-        self.tail = prev;
         if prev != NIL {
-            self.slots[prev].2 = NIL;
+            self.slots[prev].next = next;
         } else {
-            self.head = NIL;
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
         }
         self.stats.evictions += 1;
         // Recycle the slot by swapping with the last slab entry.
         let last = self.slots.len() - 1;
         if victim != last {
             self.slots.swap(victim, last);
-            let (moved_page, mprev, mnext) = self.slots[victim];
+            let Slot { page: moved_page, prev: mprev, next: mnext, .. } = self.slots[victim];
             self.index.insert(moved_page, victim);
             if mprev != NIL {
-                self.slots[mprev].2 = victim;
+                self.slots[mprev].next = victim;
             }
             if mnext != NIL {
-                self.slots[mnext].1 = victim;
+                self.slots[mnext].prev = victim;
             }
             if self.head == last {
                 self.head = victim;
@@ -172,6 +287,7 @@ impl BufferPool {
             }
         }
         self.slots.pop();
+        page
     }
 
     /// Replays a sequence of page accesses, returning the final stats.
@@ -260,6 +376,80 @@ mod tests {
     fn zero_capacity_panics() {
         let _ = BufferPool::new(0);
     }
+
+    #[test]
+    fn pinned_page_survives_eviction_pressure() {
+        let mut pool = BufferPool::new(2);
+        pool.access(p(1));
+        assert!(pool.pin(p(1)));
+        pool.access(p(2)); // 1 pinned, 2 unpinned; 1 is the LRU
+                           // A third page must evict 2 (the unpinned one), not 1.
+        let adm = pool.try_access(p(3)).unwrap();
+        assert_eq!(adm, Admission { hit: false, evicted: Some(p(2)) });
+        assert!(pool.contains(p(1)), "pinned page never evicted");
+        // Even repeated pressure: 1 stays while 3 and 4 churn.
+        let adm = pool.try_access(p(4)).unwrap();
+        assert_eq!(adm.evicted, Some(p(3)));
+        assert!(pool.contains(p(1)));
+        assert_eq!(pool.pinned(), 1);
+    }
+
+    #[test]
+    fn all_pages_pinned_is_an_error_not_an_eviction() {
+        let mut pool = BufferPool::new(2);
+        pool.access(p(1));
+        pool.access(p(2));
+        assert!(pool.pin(p(1)));
+        assert!(pool.pin(p(2)));
+        let err = pool.try_access(p(3)).unwrap_err();
+        assert_eq!(err, StorageError::AllPagesPinned { capacity: 2 });
+        assert!(!err.is_transient(), "retrying cannot release a pin");
+        // The failed admission left the pool untouched.
+        assert_eq!(pool.len(), 2);
+        assert!(pool.contains(p(1)) && pool.contains(p(2)));
+        // Releasing one pin makes the same admission succeed.
+        assert!(pool.unpin(p(2)));
+        let adm = pool.try_access(p(3)).unwrap();
+        assert_eq!(adm, Admission { hit: false, evicted: Some(p(2)) });
+    }
+
+    #[test]
+    fn pin_counts_nest() {
+        let mut pool = BufferPool::new(1);
+        pool.access(p(7));
+        assert!(pool.pin(p(7)));
+        assert!(pool.pin(p(7)), "second pin on the same page");
+        assert_eq!(pool.pinned(), 1, "pinned() counts pages, not pins");
+        assert!(pool.unpin(p(7)));
+        // Still pinned once: eviction still refused.
+        assert!(pool.try_access(p(8)).is_err());
+        assert!(pool.unpin(p(7)));
+        assert!(!pool.unpin(p(7)), "pin count exhausted");
+        assert!(pool.try_access(p(8)).is_ok(), "fully unpinned page is evictable");
+    }
+
+    #[test]
+    fn pinning_absent_pages_is_refused() {
+        let mut pool = BufferPool::new(2);
+        assert!(!pool.pin(p(9)), "cannot pin what is not resident");
+        assert!(!pool.unpin(p(9)));
+        pool.access(p(1));
+        assert_eq!(pool.pinned(), 0);
+    }
+
+    #[test]
+    fn eviction_skips_pinned_lru_for_next_unpinned() {
+        let mut pool = BufferPool::new(3);
+        pool.access(p(1));
+        pool.access(p(2));
+        pool.access(p(3));
+        // LRU order (old→new): 1, 2, 3. Pin the two oldest.
+        assert!(pool.pin(p(1)));
+        assert!(pool.pin(p(2)));
+        let adm = pool.try_access(p(4)).unwrap();
+        assert_eq!(adm.evicted, Some(p(3)), "skipped pinned 1 and 2");
+        assert!(pool.contains(p(1)) && pool.contains(p(2)));
+    }
 }
 
 #[cfg(test)]
@@ -268,24 +458,46 @@ mod proptests {
     use proptest::prelude::*;
     use std::collections::VecDeque;
 
-    /// Reference LRU: a VecDeque scanned linearly.
+    /// Reference LRU with pins: a VecDeque scanned linearly.
     struct NaiveLru {
         cap: usize,
-        deque: VecDeque<PageId>, // front = MRU
+        deque: VecDeque<(PageId, u32)>, // front = MRU
     }
 
     impl NaiveLru {
-        fn access(&mut self, page: PageId) -> bool {
-            if let Some(pos) = self.deque.iter().position(|&x| x == page) {
-                self.deque.remove(pos);
-                self.deque.push_front(page);
-                true
+        fn access(&mut self, page: PageId) -> Result<bool, ()> {
+            if let Some(pos) = self.deque.iter().position(|&(x, _)| x == page) {
+                let entry = self.deque.remove(pos).ok_or(())?;
+                self.deque.push_front(entry);
+                Ok(true)
             } else {
                 if self.deque.len() == self.cap {
-                    self.deque.pop_back();
+                    // Evict the rearmost unpinned entry.
+                    let victim = self.deque.iter().rposition(|&(_, pins)| pins == 0).ok_or(())?;
+                    self.deque.remove(victim);
                 }
-                self.deque.push_front(page);
-                false
+                self.deque.push_front((page, 0));
+                Ok(false)
+            }
+        }
+
+        fn pin(&mut self, page: PageId) -> bool {
+            match self.deque.iter_mut().find(|(x, _)| *x == page) {
+                Some((_, pins)) => {
+                    *pins += 1;
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn unpin(&mut self, page: PageId) -> bool {
+            match self.deque.iter_mut().find(|(x, _)| *x == page) {
+                Some((_, pins)) if *pins > 0 => {
+                    *pins -= 1;
+                    true
+                }
+                _ => false,
             }
         }
     }
@@ -302,9 +514,46 @@ mod proptests {
             let mut naive = NaiveLru { cap, deque: VecDeque::new() };
             for a in accesses {
                 let got = pool.access(PageId(a));
-                let want = naive.access(PageId(a));
+                let want = naive.access(PageId(a)).unwrap();
                 prop_assert_eq!(got, want, "divergence on page {}", a);
                 prop_assert_eq!(pool.len(), naive.deque.len());
+            }
+        }
+
+        /// With interleaved pin/unpin/access operations, the slab LRU
+        /// and the naive reference agree on hits, residency, eviction
+        /// victims and pin-exhaustion errors.
+        #[test]
+        fn matches_naive_lru_with_pins(
+            ops in prop::collection::vec((0u8..4, 0u64..12), 1..400),
+            cap in 1usize..8,
+        ) {
+            let mut pool = BufferPool::new(cap);
+            let mut naive = NaiveLru { cap, deque: VecDeque::new() };
+            for (op, page) in ops {
+                let page = PageId(page);
+                match op {
+                    0 | 1 => {
+                        let got = pool.try_access(page);
+                        let want = naive.access(page);
+                        match (got, want) {
+                            (Ok(adm), Ok(hit)) => prop_assert_eq!(adm.hit, hit),
+                            (Err(e), Err(())) => prop_assert_eq!(
+                                e, StorageError::AllPagesPinned { capacity: cap }
+                            ),
+                            (got, want) => prop_assert!(
+                                false, "divergence on {:?}: {:?} vs {:?}", page, got, want
+                            ),
+                        }
+                    }
+                    2 => prop_assert_eq!(pool.pin(page), naive.pin(page)),
+                    _ => prop_assert_eq!(pool.unpin(page), naive.unpin(page)),
+                }
+                prop_assert_eq!(pool.len(), naive.deque.len());
+                prop_assert_eq!(
+                    pool.pinned(),
+                    naive.deque.iter().filter(|&&(_, pins)| pins > 0).count()
+                );
             }
         }
     }

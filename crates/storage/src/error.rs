@@ -72,6 +72,24 @@ pub enum StorageError {
     /// algorithms never emit one; this indicates a caller bug upstream
     /// of the writer, reported instead of panicking).
     EmptyGroupRow,
+    /// Every frame of the buffer pool is pinned, so no page can be
+    /// evicted to admit a new one. Deterministic: retrying cannot help;
+    /// the caller must release a pin or use a larger pool.
+    AllPagesPinned {
+        /// Pool capacity in pages (all of them pinned).
+        capacity: usize,
+    },
+    /// A page-sized read returned fewer bytes than a full page even
+    /// after absorbing partial reads — the backing file is shorter than
+    /// the page table says it should be (truncation or corruption).
+    ShortRead {
+        /// The page being read.
+        page: u64,
+        /// Bytes actually obtained.
+        got: usize,
+        /// Bytes required (one page).
+        want: usize,
+    },
 }
 
 impl StorageError {
@@ -106,6 +124,12 @@ impl fmt::Display for StorageError {
                 write!(f, "page {page} out of bounds (disk has {pages} pages)")
             }
             StorageError::EmptyGroupRow => write!(f, "empty group row"),
+            StorageError::AllPagesPinned { capacity } => {
+                write!(f, "all {capacity} buffer-pool pages are pinned; nothing can be evicted")
+            }
+            StorageError::ShortRead { page, got, want } => {
+                write!(f, "short read of page {page}: got {got} of {want} bytes")
+            }
         }
     }
 }
@@ -134,5 +158,10 @@ mod tests {
         assert!(StorageError::FaultInjected { op: IoOp::Read, seq: 1 }.is_transient());
         assert!(!StorageError::PageOutOfBounds { page: 9, pages: 2 }.is_transient());
         assert!(!StorageError::EmptyGroupRow.is_transient());
+        assert!(
+            !StorageError::AllPagesPinned { capacity: 2 }.is_transient(),
+            "pin exhaustion is a capacity-planning error, not a fault"
+        );
+        assert!(!StorageError::ShortRead { page: 1, got: 100, want: 8192 }.is_transient());
     }
 }

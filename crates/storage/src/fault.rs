@@ -25,6 +25,11 @@ pub struct FaultPolicy {
     /// report success, simulating a crash mid-write. Detected later by
     /// the reader's checksum, not by the writer.
     pub torn_write_prefix: Option<usize>,
+    /// Short read: the first syscall of every page read returns only
+    /// `n` bytes, simulating a kernel partial read. A correct reader
+    /// resumes where it stopped, so this knob exercises the resume
+    /// loop rather than an error path.
+    pub short_read_prefix: Option<usize>,
 }
 
 impl FaultPolicy {
@@ -59,6 +64,11 @@ impl FaultPolicy {
     /// Tears file writes to their first `prefix_bytes` bytes.
     pub fn torn_write(prefix_bytes: usize) -> Self {
         FaultPolicy { torn_write_prefix: Some(prefix_bytes), ..Self::default() }
+    }
+
+    /// Truncates the first syscall of every page read to `prefix_bytes`.
+    pub fn short_read(prefix_bytes: usize) -> Self {
+        FaultPolicy { short_read_prefix: Some(prefix_bytes), ..Self::default() }
     }
 }
 
@@ -136,6 +146,17 @@ impl FaultInjector {
     /// reach the medium under the torn-write policy (`None` = all).
     pub fn torn_len(&mut self, full_len: usize) -> Option<usize> {
         let prefix = self.policy.torn_write_prefix?;
+        if prefix >= full_len {
+            return None;
+        }
+        self.injected += 1;
+        Some(prefix)
+    }
+
+    /// For a page read of `full_len` bytes: how many bytes the first
+    /// syscall delivers under the short-read policy (`None` = all).
+    pub fn short_read_len(&mut self, full_len: usize) -> Option<usize> {
+        let prefix = self.policy.short_read_prefix?;
         if prefix >= full_len {
             return None;
         }

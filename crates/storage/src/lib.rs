@@ -16,24 +16,36 @@
 //!   machine-independent time estimates.
 
 //!
+//! Out-of-core joins graduate this simulation to a real device: the
+//! [`disk::Disk`] trait abstracts a page store, implemented by the
+//! counting [`SimulatedDisk`] and by [`disk::FileDisk`], a real page
+//! file using direct I/O where the platform permits it. The same
+//! [`BufferPool`] then runs *live* — pin counts keep in-use pages
+//! resident, eviction reports which frame to write back, and a fully
+//! pinned pool refuses admission ([`StorageError::AllPagesPinned`])
+//! rather than exceed its memory budget.
+//!
 //! Robustness (see README `## Robustness`): every fallible entry point
 //! returns a typed [`StorageError`]; [`fault`] provides deterministic
-//! fault injection ([`FaultPolicy`]) and [`pager::RetryPager`] bounded
-//! retry-with-backoff over the simulated disk.
+//! fault injection ([`FaultPolicy`]) — including short reads and torn
+//! writes against real files — and [`pager::RetryPager`] bounded
+//! retry-with-backoff over any [`disk::Disk`].
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod buffer;
 pub mod costmodel;
+pub mod disk;
 pub mod error;
 pub mod fault;
 pub mod page;
 pub mod pager;
 pub mod writer;
 
-pub use buffer::{BufferPool, BufferStats};
+pub use buffer::{Admission, BufferPool, BufferStats};
 pub use costmodel::CostModel;
+pub use disk::{Disk, FileDisk};
 pub use error::{IoOp, StorageError};
 pub use fault::{FaultInjector, FaultPolicy};
 pub use page::{Page, PageId, PAGE_SIZE};
