@@ -1,0 +1,1469 @@
+//! A dependency-free recursive-descent Rust parser over the
+//! [`crate::lexer`] token stream.
+//!
+//! Coverage target is *this workspace*, not the language: items, fns,
+//! blocks, the full expression grammar the engine uses (method chains,
+//! `?`, `return`/`break`/`continue`, `if`/`match`/loops, closures,
+//! struct literals, ranges, casts), with types, generics, patterns and
+//! macro interiors consumed as balanced token runs rather than parsed
+//! structurally. The parser is *lenient* — it never panics and always
+//! returns a [`ParsedFile`] — but it is honest about gaps: every
+//! recovery records a [`ParseError`], and the workspace self-check
+//! (`tests/parser_check.rs`) pins the error count at zero for every
+//! `.rs` file in the tree, so grammar the engine starts using must be
+//! taught to the parser in the same PR.
+//!
+//! Spans are ranges of *code-token indices* (indices into
+//! [`FileCtx::code`]), so every AST node resolves to the exact
+//! line/col the lexer assigned — nothing is re-tokenized.
+
+use crate::context::FileCtx;
+
+/// A `[lo, hi)` range of code-token indices (see [`FileCtx::code`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub lo: u32,
+    pub hi: u32,
+}
+
+/// A point the parser had to recover at. The workspace self-check
+/// keeps this list empty for every file in the tree.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    /// Code-token index where recovery started.
+    pub at: u32,
+    pub what: String,
+}
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub items: Vec<Item>,
+    pub errors: Vec<ParseError>,
+}
+
+impl ParsedFile {
+    /// Every fn in the file, recursing through mods, impls and traits.
+    /// The accompanying string is the name of the enclosing impl/trait
+    /// type ("" at top level or inside plain mods).
+    pub fn fns(&self) -> Vec<(&str, &FnItem)> {
+        let mut out = Vec::new();
+        fn walk<'x>(items: &'x [Item], owner: &'x str, out: &mut Vec<(&'x str, &'x FnItem)>) {
+            for item in items {
+                match &item.kind {
+                    ItemKind::Fn(f) => out.push((owner, f)),
+                    ItemKind::Mod(children) => walk(children, owner, out),
+                    ItemKind::Impl(children) | ItemKind::Trait(children) => {
+                        walk(children, &item.name, out);
+                    }
+                    ItemKind::Other(_) => {}
+                }
+            }
+        }
+        walk(&self.items, "", &mut out);
+        out
+    }
+}
+
+#[derive(Debug)]
+pub enum ItemKind {
+    Fn(FnItem),
+    Mod(Vec<Item>),
+    /// Impl block; `Item::name` is the (last segment of the) self type.
+    Impl(Vec<Item>),
+    Trait(Vec<Item>),
+    /// Structurally skipped item; the tag says what it was.
+    Other(&'static str),
+}
+
+#[derive(Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    pub name: String,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// `None` for bodiless trait-method declarations.
+    pub body: Option<Block>,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub enum Stmt {
+    Let {
+        /// Simple `let name` / `let mut name` binding, if the pattern
+        /// is that simple; `None` for tuple/struct/enum patterns.
+        name: Option<String>,
+        init: Option<Expr>,
+        /// `let … else { … }` diverging block.
+        els: Option<Block>,
+        span: Span,
+    },
+    Expr {
+        expr: Expr,
+        #[allow(dead_code)]
+        semi: bool,
+    },
+    Item(Item),
+    Empty,
+}
+
+#[derive(Debug)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub struct Arm {
+    /// Lowercase identifiers bound by the arm's pattern.
+    pub binds: Vec<String>,
+    pub body: Expr,
+}
+
+#[derive(Debug)]
+pub enum ExprKind {
+    /// `a::b::c` (turbofish generics elided). Qualified `<T as X>::m`
+    /// paths keep a literal `<…>` head segment.
+    Path(String),
+    Lit,
+    Call {
+        callee: Box<Expr>,
+        args: Vec<Expr>,
+    },
+    MethodCall {
+        recv: Box<Expr>,
+        name: String,
+        name_ci: u32,
+        args: Vec<Expr>,
+    },
+    Field {
+        recv: Box<Expr>,
+        name: String,
+    },
+    Index {
+        recv: Box<Expr>,
+        index: Box<Expr>,
+    },
+    Unary {
+        op: String,
+        expr: Box<Expr>,
+    },
+    Cast {
+        expr: Box<Expr>,
+    },
+    Try {
+        expr: Box<Expr>,
+    },
+    Binary {
+        lhs: Box<Expr>,
+        op: String,
+        rhs: Box<Expr>,
+    },
+    Assign {
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    Range {
+        lhs: Option<Box<Expr>>,
+        rhs: Option<Box<Expr>>,
+    },
+    Return(Option<Box<Expr>>),
+    Break(Option<Box<Expr>>),
+    Continue,
+    If {
+        cond: Box<Expr>,
+        binds: Vec<String>,
+        then: Block,
+        els: Option<Box<Expr>>,
+    },
+    Match {
+        scrut: Box<Expr>,
+        arms: Vec<Arm>,
+    },
+    While {
+        cond: Box<Expr>,
+        body: Block,
+    },
+    Loop {
+        body: Block,
+    },
+    For {
+        binds: Vec<String>,
+        iter: Box<Expr>,
+        body: Block,
+    },
+    BlockExpr(Block),
+    Closure {
+        body: Box<Expr>,
+    },
+    /// `name!(…)`; args are the comma-split interior when it parses as
+    /// expressions, empty when the interior is pattern/format grammar.
+    Macro {
+        path: String,
+        args: Vec<Expr>,
+    },
+    StructLit {
+        path: String,
+        path_ci: u32,
+        fields: Vec<Expr>,
+    },
+    Tuple(Vec<Expr>),
+    Array(Vec<Expr>),
+}
+
+/// Parses one file's code-token stream.
+pub fn parse(ctx: &FileCtx) -> ParsedFile {
+    let mut p = Parser { ctx, pos: 0, n: ctx.code.len(), errors: Vec::new() };
+    let mut items = Vec::new();
+    // Leading inner attributes (`#![…]`) belong to no item.
+    while p.at("#") && p.txt(1) == "!" {
+        p.skip_attr();
+    }
+    while p.pos < p.n {
+        items.push(p.item());
+    }
+    ParsedFile { items, errors: p.errors }
+}
+
+struct Parser<'c, 'a> {
+    ctx: &'c FileCtx<'a>,
+    pos: usize,
+    n: usize,
+    errors: Vec<ParseError>,
+}
+
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "union",
+    "trait",
+    "impl",
+    "mod",
+    "use",
+    "const",
+    "static",
+    "type",
+    "extern",
+    "macro_rules",
+    "pub",
+];
+
+impl Parser<'_, '_> {
+    fn txt(&self, ahead: usize) -> &str {
+        self.ctx.code_text((self.pos + ahead) as isize)
+    }
+    fn peek(&self) -> &str {
+        self.txt(0)
+    }
+    fn at(&self, s: &str) -> bool {
+        self.peek() == s
+    }
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+    fn eat(&mut self, s: &str) -> bool {
+        if self.at(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+    fn err(&mut self, what: &str) {
+        self.errors.push(ParseError { at: self.pos as u32, what: what.to_string() });
+    }
+    fn span_from(&self, lo: usize) -> Span {
+        Span { lo: lo as u32, hi: self.pos as u32 }
+    }
+    fn is_ident(&self, ahead: usize) -> bool {
+        let t = self.txt(ahead);
+        !t.is_empty()
+            && t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+            && self.ctx.code_kind((self.pos + ahead) as isize) == crate::lexer::TokKind::Ident
+    }
+
+    // ---- balanced skipping ------------------------------------------------
+
+    /// Skips a `#[…]` / `#![…]` attribute.
+    fn skip_attr(&mut self) {
+        self.eat("#");
+        self.eat("!");
+        if self.eat("[") {
+            let mut depth = 1usize;
+            while self.pos < self.n && depth > 0 {
+                match self.peek() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {}
+                }
+                self.bump();
+            }
+        }
+    }
+
+    fn skip_attrs(&mut self) {
+        while self.at("#") {
+            self.skip_attr();
+        }
+    }
+
+    /// Skips a balanced `<…>` generic-argument / parameter group,
+    /// honouring nested `()`/`[]`/`{}` and `>>` closing two levels.
+    fn skip_angles(&mut self) {
+        if !self.eat("<") && !self.eat("<<") {
+            return;
+        }
+        let mut angle: isize =
+            if self.ctx.code_text(self.pos as isize - 1) == "<<" { 2 } else { 1 };
+        let mut other = 0usize;
+        while self.pos < self.n && angle > 0 {
+            match self.peek() {
+                "(" | "[" | "{" => other += 1,
+                ")" | "]" | "}" => other = other.saturating_sub(1),
+                "<" if other == 0 => angle += 1,
+                "<<" if other == 0 => angle += 2,
+                ">" if other == 0 => angle -= 1,
+                ">>" if other == 0 => angle -= 2,
+                "->" | "=>" => {}
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a type (or pattern) until one of `stops` appears outside
+    /// every bracket/angle nesting level.
+    fn skip_until(&mut self, stops: &[&str]) {
+        let mut angle: isize = 0;
+        let mut other = 0usize;
+        while self.pos < self.n {
+            let t = self.peek();
+            if other == 0 && angle == 0 && stops.contains(&t) {
+                return;
+            }
+            match t {
+                "(" | "[" | "{" => other += 1,
+                ")" | "]" | "}" => {
+                    if other == 0 {
+                        return; // closing a group we did not open
+                    }
+                    other -= 1;
+                }
+                "<" if other == 0 => angle += 1,
+                "<<" if other == 0 => angle += 2,
+                ">" if other == 0 => angle -= 1,
+                ">>" if other == 0 => angle -= 2,
+                _ => {}
+            }
+            if angle < 0 {
+                return; // closing an angle group we did not open
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a pattern (or a pattern plus match guard) until one of
+    /// `stops` outside `()`/`[]`/`{}` nesting. Unlike [`Self::skip_until`]
+    /// this does NOT track `<`/`>` — match guards contain comparison
+    /// operators, and patterns in this workspace carry no generics.
+    fn skip_pattern(&mut self, stops: &[&str]) {
+        let mut other = 0usize;
+        while self.pos < self.n {
+            let t = self.peek();
+            if other == 0 && stops.contains(&t) {
+                return;
+            }
+            match t {
+                "(" | "[" | "{" => other += 1,
+                ")" | "]" | "}" => {
+                    if other == 0 {
+                        return;
+                    }
+                    other -= 1;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips one balanced `(…)` / `[…]` / `{…}` group.
+    fn skip_group(&mut self) {
+        let (open, close) = match self.peek() {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return,
+        };
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.n && depth > 0 {
+            let t = self.peek();
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+            }
+            self.bump();
+        }
+    }
+
+    // ---- items ------------------------------------------------------------
+
+    fn item(&mut self) -> Item {
+        let lo = self.pos;
+        self.skip_attrs();
+        // Visibility.
+        if self.eat("pub") && self.at("(") {
+            self.skip_group();
+        }
+        // `unsafe impl` / `unsafe trait`.
+        if self.at("unsafe") && matches!(self.txt(1), "impl" | "trait") {
+            self.bump();
+        }
+        // Fn qualifiers.
+        let mut probe = 0usize;
+        while matches!(self.txt(probe), "const" | "unsafe" | "async" | "extern") {
+            if self.txt(probe) == "extern" && self.txt(probe + 1).starts_with('"') {
+                probe += 2;
+            } else if self.txt(probe) == "const" && self.txt(probe + 1) != "fn" {
+                break; // a `const NAME: …` item, not a qualifier
+            } else {
+                probe += 1;
+            }
+        }
+        if self.txt(probe) == "fn" {
+            for _ in 0..probe {
+                self.bump();
+            }
+            return self.fn_item(lo);
+        }
+        match self.peek() {
+            "use" => {
+                self.skip_until(&[";"]);
+                self.eat(";");
+                Item { kind: ItemKind::Other("use"), name: String::new(), span: self.span_from(lo) }
+            }
+            "mod" => {
+                self.bump();
+                let name = self.peek().to_string();
+                self.bump();
+                if self.eat(";") {
+                    return Item { kind: ItemKind::Other("mod"), name, span: self.span_from(lo) };
+                }
+                let mut children = Vec::new();
+                self.eat("{");
+                while self.pos < self.n && !self.at("}") {
+                    children.push(self.item());
+                }
+                self.eat("}");
+                Item { kind: ItemKind::Mod(children), name, span: self.span_from(lo) }
+            }
+            "struct" | "enum" | "union" => {
+                self.bump();
+                let name = self.peek().to_string();
+                self.bump();
+                self.skip_angles();
+                self.skip_until(&[";", "{", "("]);
+                if self.at("(") {
+                    self.skip_group(); // tuple struct fields
+                    self.skip_until(&[";"]);
+                }
+                if self.at("{") {
+                    self.skip_group();
+                } else {
+                    self.eat(";");
+                }
+                Item { kind: ItemKind::Other("type-def"), name, span: self.span_from(lo) }
+            }
+            "trait" => {
+                self.bump();
+                let name = self.peek().to_string();
+                self.bump();
+                self.skip_angles();
+                self.skip_until(&["{"]);
+                let children = self.assoc_items();
+                Item { kind: ItemKind::Trait(children), name, span: self.span_from(lo) }
+            }
+            "impl" => {
+                self.bump();
+                self.skip_angles();
+                // Name the impl after the self type: the last path
+                // segment before `{` / `for`, generics elided.
+                let mut name = String::new();
+                let mut seen_for = false;
+                let scan_lo = self.pos;
+                self.skip_until(&["{"]);
+                let hi = self.pos;
+                let mut k = scan_lo;
+                let mut depth: isize = 0;
+                while k < hi {
+                    let t = self.ctx.code_text(k as isize);
+                    match t {
+                        "<" | "(" | "[" => depth += 1,
+                        ">" | ")" | "]" => depth -= 1,
+                        "<<" => depth += 2,
+                        ">>" => depth -= 2,
+                        "for" if depth == 0 => {
+                            seen_for = true;
+                            name.clear();
+                        }
+                        "where" if depth == 0 => break,
+                        _ if depth == 0 && (!seen_for || name.is_empty()) => {
+                            let ident_like =
+                                t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_');
+                            if ident_like && !matches!(t, "dyn" | "mut" | "const") {
+                                name = t.to_string();
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let children = self.assoc_items();
+                Item { kind: ItemKind::Impl(children), name, span: self.span_from(lo) }
+            }
+            "type" | "static" | "const" => {
+                let tag = if self.peek() == "type" { "type-alias" } else { "const" };
+                self.bump();
+                self.skip_until(&[";"]);
+                self.eat(";");
+                Item { kind: ItemKind::Other(tag), name: String::new(), span: self.span_from(lo) }
+            }
+            "macro_rules" => {
+                self.bump();
+                self.eat("!");
+                let name = self.peek().to_string();
+                self.bump();
+                self.skip_group();
+                Item { kind: ItemKind::Other("macro-def"), name, span: self.span_from(lo) }
+            }
+            "extern" => {
+                // `extern crate …;` or an `extern "C" { … }` block.
+                self.skip_until(&[";", "{"]);
+                if self.at("{") {
+                    self.skip_group();
+                } else {
+                    self.eat(";");
+                }
+                Item {
+                    kind: ItemKind::Other("extern"),
+                    name: String::new(),
+                    span: self.span_from(lo),
+                }
+            }
+            _ if self.is_ident(0) && self.txt(1) == "!" => {
+                // Item-position macro invocation (`thread_local! { … }`).
+                let name = self.peek().to_string();
+                self.bump();
+                self.eat("!");
+                let paren = self.at("(") || self.at("[");
+                self.skip_group();
+                if paren {
+                    self.eat(";");
+                }
+                Item { kind: ItemKind::Other("macro-call"), name, span: self.span_from(lo) }
+            }
+            _ => {
+                self.err("unrecognized item");
+                self.skip_until(&[";", "{"]);
+                if self.at("{") {
+                    self.skip_group();
+                } else {
+                    self.eat(";");
+                }
+                if self.pos == lo {
+                    self.bump(); // guarantee progress
+                }
+                Item {
+                    kind: ItemKind::Other("error"),
+                    name: String::new(),
+                    span: self.span_from(lo),
+                }
+            }
+        }
+    }
+
+    /// Items inside a trait or impl `{ … }`.
+    fn assoc_items(&mut self) -> Vec<Item> {
+        let mut children = Vec::new();
+        self.eat("{");
+        while self.pos < self.n && !self.at("}") {
+            children.push(self.item());
+        }
+        self.eat("}");
+        children
+    }
+
+    fn fn_item(&mut self, lo: usize) -> Item {
+        self.eat("fn");
+        let name = self.peek().to_string();
+        self.bump();
+        self.skip_angles();
+        if self.at("(") {
+            self.skip_group();
+        } else {
+            self.err("fn without parameter list");
+        }
+        if self.eat("->") {
+            self.skip_until(&["{", ";", "where"]);
+        }
+        if self.eat("where") {
+            self.skip_until(&["{", ";"]);
+        }
+        let body = if self.at("{") { Some(self.block()) } else { None };
+        if body.is_none() {
+            self.eat(";");
+        }
+        let span = self.span_from(lo);
+        Item { kind: ItemKind::Fn(FnItem { name: name.clone(), body, span }), name, span }
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn block(&mut self) -> Block {
+        let lo = self.pos;
+        self.eat("{");
+        let mut stmts = Vec::new();
+        while self.pos < self.n && !self.at("}") {
+            let before = self.pos;
+            stmts.push(self.stmt());
+            if self.pos == before {
+                self.bump(); // guarantee progress on pathological input
+            }
+        }
+        self.eat("}");
+        Block { stmts, span: self.span_from(lo) }
+    }
+
+    fn stmt(&mut self) -> Stmt {
+        self.skip_attrs();
+        if self.eat(";") {
+            return Stmt::Empty;
+        }
+        if self.at("let") {
+            return self.let_stmt();
+        }
+        // Nested items. `const` only counts when it is not a
+        // qualifier on `fn` handled by `item`, which it handles too.
+        let t = self.peek();
+        let nested_item = ITEM_KEYWORDS.contains(&t)
+            && !(t == "unsafe" && self.txt(1) == "{")
+            && !(self.is_ident(0) && self.txt(1) == "!" && t != "macro_rules");
+        if nested_item {
+            return Stmt::Item(self.item());
+        }
+        let expr = self.expr();
+        let semi = self.eat(";");
+        Stmt::Expr { expr, semi }
+    }
+
+    fn let_stmt(&mut self) -> Stmt {
+        let lo = self.pos;
+        self.eat("let");
+        // Pattern: capture a simple binding name when the pattern is
+        // `[mut|ref] ident`, otherwise skip it structurally.
+        let pat_lo = self.pos;
+        self.skip_pattern(&[":", "=", ";", "else"]);
+        let name = self.simple_binding(pat_lo, self.pos);
+        if self.eat(":") {
+            self.skip_until(&["=", ";", "else"]);
+        }
+        let init = if self.eat("=") { Some(self.expr()) } else { None };
+        let els = if self.eat("else") { Some(self.block()) } else { None };
+        if !self.eat(";") {
+            self.err("let statement missing `;`");
+            self.skip_until(&[";"]);
+            self.eat(";");
+        }
+        Stmt::Let { name, init, els, span: self.span_from(lo) }
+    }
+
+    /// `[mut|ref] ident` over the code range `[lo, hi)` → the ident.
+    fn simple_binding(&self, lo: usize, hi: usize) -> Option<String> {
+        let mut idents: Vec<&str> = Vec::new();
+        for k in lo..hi {
+            let t = self.ctx.code_text(k as isize);
+            if matches!(t, "mut" | "ref") {
+                continue;
+            }
+            idents.push(t);
+        }
+        match idents.as_slice() {
+            [one]
+                if one.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+                    && *one != "_" =>
+            {
+                Some((*one).to_string())
+            }
+            _ => None,
+        }
+    }
+
+    /// Lowercase identifiers bound by a pattern in `[lo, hi)` —
+    /// heuristic: idents starting lowercase that are not path segments
+    /// (`a::b`), keywords, or field names before `:`.
+    fn pattern_binds(&self, lo: usize, hi: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for k in lo..hi {
+            let t = self.ctx.code_text(k as isize);
+            if !t.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') || t == "_" {
+                continue;
+            }
+            if matches!(t, "mut" | "ref" | "box" | "if" | "true" | "false") {
+                continue;
+            }
+            if self.ctx.code_kind(k as isize) != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            let prev = self.ctx.code_text(k as isize - 1);
+            let next = self.ctx.code_text(k as isize + 1);
+            if prev == "::" || next == "::" || next == ":" || next == "(" || next == "!" {
+                continue;
+            }
+            out.push(t.to_string());
+        }
+        out
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Expr {
+        self.expr_bp(0, true)
+    }
+
+    fn expr_no_struct(&mut self) -> Expr {
+        self.expr_bp(0, false)
+    }
+
+    /// Pratt parser. `min_bp` is the minimum binding power; `structs`
+    /// gates struct-literal parsing (off in `if`/`while`/`match`/`for`
+    /// heads).
+    fn expr_bp(&mut self, min_bp: u8, structs: bool) -> Expr {
+        let lo = self.pos;
+        let mut lhs = self.unary(structs);
+        loop {
+            let op = self.peek().to_string();
+            // Assignment (right-assoc, lowest).
+            if matches!(
+                op.as_str(),
+                "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>="
+            ) {
+                if min_bp > 1 {
+                    break;
+                }
+                self.bump();
+                let rhs = self.expr_bp(1, structs);
+                lhs = Expr {
+                    kind: ExprKind::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    span: self.span_from(lo),
+                };
+                continue;
+            }
+            // Ranges.
+            if op == ".." || op == "..=" {
+                if min_bp > 2 {
+                    break;
+                }
+                self.bump();
+                let rhs = if self.starts_expr(structs) {
+                    Some(Box::new(self.expr_bp(3, structs)))
+                } else {
+                    None
+                };
+                lhs = Expr {
+                    kind: ExprKind::Range { lhs: Some(Box::new(lhs)), rhs },
+                    span: self.span_from(lo),
+                };
+                continue;
+            }
+            let bp = match op.as_str() {
+                "||" => 3,
+                "&&" => 4,
+                "==" | "!=" | "<" | ">" | "<=" | ">=" => 5,
+                "|" => 6,
+                "^" => 7,
+                "&" => 8,
+                "<<" | ">>" => 9,
+                "+" | "-" => 10,
+                "*" | "/" | "%" => 11,
+                _ => break,
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr_bp(bp + 1, structs);
+            lhs = Expr {
+                kind: ExprKind::Binary { lhs: Box::new(lhs), op, rhs: Box::new(rhs) },
+                span: self.span_from(lo),
+            };
+        }
+        lhs
+    }
+
+    /// Can the current token start an expression? Used for open ranges
+    /// and bare `return` / `break`.
+    fn starts_expr(&self, _structs: bool) -> bool {
+        let t = self.peek();
+        if t.is_empty() {
+            return false;
+        }
+        !matches!(t, "]" | ")" | "}" | "," | ";" | "=>" | "{")
+    }
+
+    fn unary(&mut self, structs: bool) -> Expr {
+        let lo = self.pos;
+        match self.peek() {
+            "&" | "&&" | "*" | "!" | "-" => {
+                let mut op = self.peek().to_string();
+                self.bump();
+                if op == "&" || op == "&&" {
+                    self.eat("mut");
+                } else if op == "*" && (self.at("const") || self.at("mut")) {
+                    // raw-pointer sigil in expr position does not occur;
+                    // treat as deref of a path starting with const/mut
+                }
+                if op == "&&" {
+                    op = "&".to_string(); // double-reference
+                }
+                let inner = self.unary(structs);
+                Expr {
+                    kind: ExprKind::Unary { op, expr: Box::new(inner) },
+                    span: self.span_from(lo),
+                }
+            }
+            ".." | "..=" => {
+                self.bump();
+                let rhs = if self.starts_expr(structs) {
+                    Some(Box::new(self.expr_bp(3, structs)))
+                } else {
+                    None
+                };
+                Expr { kind: ExprKind::Range { lhs: None, rhs }, span: self.span_from(lo) }
+            }
+            _ => {
+                let atom = self.atom(structs);
+                self.postfix(atom, lo, structs)
+            }
+        }
+    }
+
+    fn postfix(&mut self, mut e: Expr, lo: usize, structs: bool) -> Expr {
+        loop {
+            if self.at("?") {
+                self.bump();
+                e = Expr { kind: ExprKind::Try { expr: Box::new(e) }, span: self.span_from(lo) };
+            } else if self.at(".") {
+                self.bump();
+                let name_ci = self.pos as u32;
+                let name = self.peek().to_string();
+                self.bump();
+                if self.at("::") {
+                    // method turbofish `.collect::<…>()`
+                    self.bump();
+                    self.skip_angles();
+                }
+                if self.at("(") {
+                    let args = self.paren_args();
+                    e = Expr {
+                        kind: ExprKind::MethodCall { recv: Box::new(e), name, name_ci, args },
+                        span: self.span_from(lo),
+                    };
+                } else {
+                    e = Expr {
+                        kind: ExprKind::Field { recv: Box::new(e), name },
+                        span: self.span_from(lo),
+                    };
+                }
+            } else if self.at("(") {
+                let args = self.paren_args();
+                e = Expr {
+                    kind: ExprKind::Call { callee: Box::new(e), args },
+                    span: self.span_from(lo),
+                };
+            } else if self.at("[") {
+                self.bump();
+                let index = self.expr();
+                self.eat("]");
+                e = Expr {
+                    kind: ExprKind::Index { recv: Box::new(e), index: Box::new(index) },
+                    span: self.span_from(lo),
+                };
+            } else if self.at("as") {
+                self.bump();
+                self.skip_cast_type();
+                e = Expr { kind: ExprKind::Cast { expr: Box::new(e) }, span: self.span_from(lo) };
+            } else if self.at("{") {
+                // Struct literal `Path { … }` (only for path heads,
+                // and only where the grammar allows it).
+                let (is_path, path, path_ci) = match &e.kind {
+                    ExprKind::Path(p) => (true, p.clone(), e.span.lo),
+                    _ => (false, String::new(), 0),
+                };
+                if !structs || !is_path {
+                    break;
+                }
+                let fields = self.struct_lit_fields();
+                e = Expr {
+                    kind: ExprKind::StructLit { path, path_ci, fields },
+                    span: self.span_from(lo),
+                };
+            } else {
+                break;
+            }
+        }
+        e
+    }
+
+    /// Cast target: `[&|*const|*mut] path[<…>]` — the shapes `as` is
+    /// used with in this workspace (primitives, pointers, paths).
+    fn skip_cast_type(&mut self) {
+        if self.eat("*") {
+            self.eat("const");
+            self.eat("mut");
+        }
+        while self.eat("&") {
+            self.eat("mut");
+        }
+        if self.at("fn") {
+            // Function-pointer type: `fn(…) -> Ret`.
+            self.bump();
+            self.skip_group();
+            if self.eat("->") {
+                self.skip_cast_type();
+            }
+            return;
+        }
+        while self.is_ident(0) {
+            self.bump();
+            if self.at("<") || self.at("<<") {
+                self.skip_angles();
+            }
+            if !self.eat("::") {
+                break;
+            }
+        }
+    }
+
+    fn paren_args(&mut self) -> Vec<Expr> {
+        self.eat("(");
+        let mut args = Vec::new();
+        while self.pos < self.n && !self.at(")") {
+            args.push(self.expr());
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.eat(")");
+        args
+    }
+
+    fn struct_lit_fields(&mut self) -> Vec<Expr> {
+        self.eat("{");
+        let mut fields = Vec::new();
+        while self.pos < self.n && !self.at("}") {
+            if self.eat("..") {
+                fields.push(self.expr()); // struct-update base
+                break;
+            }
+            // `name: expr` or shorthand `name`.
+            if self.is_ident(0) && self.txt(1) == ":" {
+                self.bump();
+                self.bump();
+                fields.push(self.expr());
+            } else {
+                fields.push(self.expr());
+            }
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.eat("}");
+        fields
+    }
+
+    fn atom(&mut self, structs: bool) -> Expr {
+        let lo = self.pos;
+        use crate::lexer::TokKind;
+        match self.ctx.code_kind(self.pos as isize) {
+            TokKind::Int | TokKind::Float | TokKind::Str | TokKind::Char => {
+                self.bump();
+                return Expr { kind: ExprKind::Lit, span: self.span_from(lo) };
+            }
+            TokKind::Lifetime => return self.labelled(),
+            _ => {}
+        }
+        match self.peek() {
+            "(" => {
+                self.bump();
+                let mut parts = Vec::new();
+                let mut tuple = false;
+                while self.pos < self.n && !self.at(")") {
+                    parts.push(self.expr());
+                    if self.eat(",") {
+                        tuple = true;
+                    } else {
+                        break;
+                    }
+                }
+                self.eat(")");
+                let kind = if parts.is_empty() {
+                    ExprKind::Lit // unit
+                } else if tuple {
+                    ExprKind::Tuple(parts)
+                } else {
+                    // Parenthesized expr: transparent.
+                    return Expr {
+                        kind: parts.pop().map(|e| e.kind).unwrap_or(ExprKind::Lit),
+                        span: self.span_from(lo),
+                    };
+                };
+                Expr { kind, span: self.span_from(lo) }
+            }
+            "[" => {
+                self.bump();
+                let mut parts = Vec::new();
+                while self.pos < self.n && !self.at("]") {
+                    parts.push(self.expr());
+                    if !self.eat(",") && !self.eat(";") {
+                        break;
+                    }
+                }
+                self.eat("]");
+                Expr { kind: ExprKind::Array(parts), span: self.span_from(lo) }
+            }
+            "{" => {
+                let b = self.block();
+                Expr { kind: ExprKind::BlockExpr(b), span: self.span_from(lo) }
+            }
+            "unsafe" if self.txt(1) == "{" => {
+                self.bump();
+                let b = self.block();
+                Expr { kind: ExprKind::BlockExpr(b), span: self.span_from(lo) }
+            }
+            "if" => self.if_expr(),
+            "match" => self.match_expr(),
+            "while" => self.while_expr(),
+            "loop" => {
+                self.bump();
+                let body = self.block();
+                Expr { kind: ExprKind::Loop { body }, span: self.span_from(lo) }
+            }
+            "for" => self.for_expr(),
+            "return" => {
+                self.bump();
+                let inner = if self.starts_expr(structs) {
+                    Some(Box::new(self.expr_bp(0, structs)))
+                } else {
+                    None
+                };
+                Expr { kind: ExprKind::Return(inner), span: self.span_from(lo) }
+            }
+            "break" => {
+                self.bump();
+                if self.ctx.code_kind(self.pos as isize) == crate::lexer::TokKind::Lifetime {
+                    self.bump(); // label
+                }
+                let inner = if self.starts_expr(structs) {
+                    Some(Box::new(self.expr_bp(0, structs)))
+                } else {
+                    None
+                };
+                Expr { kind: ExprKind::Break(inner), span: self.span_from(lo) }
+            }
+            "continue" => {
+                self.bump();
+                if self.ctx.code_kind(self.pos as isize) == crate::lexer::TokKind::Lifetime {
+                    self.bump();
+                }
+                Expr { kind: ExprKind::Continue, span: self.span_from(lo) }
+            }
+            "move" | "|" | "||" => self.closure(),
+            "<" | "<<" => {
+                // Qualified path `<T as Trait>::seg…` in expr position.
+                self.skip_angles();
+                let mut path = String::from("<qualified>");
+                while self.eat("::") {
+                    path.push_str("::");
+                    path.push_str(self.peek());
+                    if self.at("<") || self.at("<<") {
+                        self.skip_angles();
+                    } else {
+                        self.bump();
+                    }
+                }
+                Expr { kind: ExprKind::Path(path), span: self.span_from(lo) }
+            }
+            t if !t.is_empty()
+                && (self.is_ident(0)
+                    || t == "crate"
+                    || t == "self"
+                    || t == "Self"
+                    || t == "super") =>
+            {
+                self.path_atom()
+            }
+            _ => {
+                self.err("unrecognized expression");
+                if self.pos < self.n {
+                    self.bump();
+                }
+                Expr { kind: ExprKind::Lit, span: self.span_from(lo) }
+            }
+        }
+    }
+
+    /// `'label: loop|while|for|{…}` — or a stray lifetime (error).
+    fn labelled(&mut self) -> Expr {
+        let lo = self.pos;
+        self.bump(); // the lifetime
+        if self.eat(":") {
+            return match self.peek() {
+                "loop" => {
+                    self.bump();
+                    let body = self.block();
+                    Expr { kind: ExprKind::Loop { body }, span: self.span_from(lo) }
+                }
+                "while" => self.while_expr(),
+                "for" => self.for_expr(),
+                "{" => {
+                    let b = self.block();
+                    Expr { kind: ExprKind::BlockExpr(b), span: self.span_from(lo) }
+                }
+                _ => {
+                    self.err("label without loop");
+                    Expr { kind: ExprKind::Lit, span: self.span_from(lo) }
+                }
+            };
+        }
+        self.err("stray lifetime in expression");
+        Expr { kind: ExprKind::Lit, span: self.span_from(lo) }
+    }
+
+    fn closure(&mut self) -> Expr {
+        let lo = self.pos;
+        self.eat("move");
+        if self.eat("||") {
+            // no params
+        } else if self.eat("|") {
+            self.skip_until(&["|"]);
+            self.eat("|");
+        }
+        if self.eat("->") {
+            self.skip_until(&["{"]);
+        }
+        let body = self.expr();
+        Expr { kind: ExprKind::Closure { body: Box::new(body) }, span: self.span_from(lo) }
+    }
+
+    /// `if [let pat =] cond { … } [else …]`.
+    fn if_expr(&mut self) -> Expr {
+        let lo = self.pos;
+        self.eat("if");
+        let binds = self.opt_let_head();
+        let cond = self.expr_no_struct();
+        let then = self.block();
+        let els = if self.eat("else") {
+            let e = if self.at("if") {
+                self.if_expr()
+            } else {
+                let b = self.block();
+                Expr { kind: ExprKind::BlockExpr(b), span: self.span_from(lo) }
+            };
+            Some(Box::new(e))
+        } else {
+            None
+        };
+        Expr {
+            kind: ExprKind::If { cond: Box::new(cond), binds, then, els },
+            span: self.span_from(lo),
+        }
+    }
+
+    /// Consumes `let pat =` if present; returns the pattern's binds.
+    fn opt_let_head(&mut self) -> Vec<String> {
+        if !self.eat("let") {
+            return Vec::new();
+        }
+        let pat_lo = self.pos;
+        self.skip_pattern(&["="]);
+        let binds = self.pattern_binds(pat_lo, self.pos);
+        self.eat("=");
+        binds
+    }
+
+    fn while_expr(&mut self) -> Expr {
+        let lo = self.pos;
+        self.eat("while");
+        let _binds = self.opt_let_head();
+        let cond = self.expr_no_struct();
+        let body = self.block();
+        Expr { kind: ExprKind::While { cond: Box::new(cond), body }, span: self.span_from(lo) }
+    }
+
+    fn for_expr(&mut self) -> Expr {
+        let lo = self.pos;
+        self.eat("for");
+        let pat_lo = self.pos;
+        self.skip_pattern(&["in"]);
+        let binds = self.pattern_binds(pat_lo, self.pos);
+        self.eat("in");
+        let iter = self.expr_no_struct();
+        let body = self.block();
+        Expr { kind: ExprKind::For { binds, iter: Box::new(iter), body }, span: self.span_from(lo) }
+    }
+
+    fn match_expr(&mut self) -> Expr {
+        let lo = self.pos;
+        self.eat("match");
+        let scrut = self.expr_no_struct();
+        self.eat("{");
+        let mut arms = Vec::new();
+        while self.pos < self.n && !self.at("}") {
+            self.skip_attrs();
+            let pat_lo = self.pos;
+            self.skip_pattern(&["=>"]);
+            let binds = self.pattern_binds(pat_lo, self.pos);
+            self.eat("=>");
+            let body = self.expr();
+            arms.push(Arm { binds, body });
+            self.eat(",");
+        }
+        self.eat("}");
+        Expr { kind: ExprKind::Match { scrut: Box::new(scrut), arms }, span: self.span_from(lo) }
+    }
+
+    /// Path atom: `seg(::seg|::<…>)*`, possibly a macro call.
+    fn path_atom(&mut self) -> Expr {
+        let lo = self.pos;
+        let mut path = String::new();
+        loop {
+            path.push_str(self.peek());
+            self.bump();
+            if self.at("!") && (self.txt(1) == "(" || self.txt(1) == "[" || self.txt(1) == "{") {
+                self.bump();
+                let args = self.macro_args();
+                return Expr { kind: ExprKind::Macro { path, args }, span: self.span_from(lo) };
+            }
+            if self.at("::") {
+                self.bump();
+                if self.at("<") || self.at("<<") {
+                    self.skip_angles();
+                    if self.at("::") {
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                path.push_str("::");
+                continue;
+            }
+            break;
+        }
+        Expr { kind: ExprKind::Path(path), span: self.span_from(lo) }
+    }
+
+    /// Best-effort parse of a macro interior as comma-separated exprs.
+    /// Interiors that are pattern or format grammar (`matches!`,
+    /// `write!` braces, `macro_rules!`) come back empty — the group is
+    /// consumed either way, and failures inside the attempt are not
+    /// file-level parse errors.
+    fn macro_args(&mut self) -> Vec<Expr> {
+        let (open, close) = match self.peek() {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return Vec::new(),
+        };
+        // Find the end of the balanced group first.
+        let start = self.pos;
+        self.skip_group();
+        let end = self.pos; // one past the closing delimiter
+        let _ = (open, close);
+
+        // Speculative sub-parse of the interior.
+        let save_errors = self.errors.len();
+        self.pos = start + 1;
+        let mut args = Vec::new();
+        let mut ok = true;
+        while self.pos < end - 1 {
+            args.push(self.expr());
+            if self.pos >= end - 1 {
+                break;
+            }
+            if !self.eat(",") {
+                ok = false;
+                break;
+            }
+        }
+        if self.pos != end - 1 || self.errors.len() > save_errors {
+            ok = false;
+        }
+        self.errors.truncate(save_errors);
+        self.pos = end;
+        if ok {
+            args
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Flattens an expression to a compact receiver/argument string:
+/// `self.inner.borrow_mut().pool` style. References and try-ops are
+/// transparent; anything non-path-like renders as `?`.
+pub fn flatten(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Path(p) => p.clone(),
+        ExprKind::Field { recv, name } => format!("{}.{}", flatten(recv), name),
+        ExprKind::MethodCall { recv, name, .. } => format!("{}.{}()", flatten(recv), name),
+        ExprKind::Call { callee, .. } => format!("{}()", flatten(callee)),
+        ExprKind::Unary { expr, .. } | ExprKind::Try { expr } | ExprKind::Cast { expr } => {
+            flatten(expr)
+        }
+        ExprKind::Index { recv, .. } => flatten(recv),
+        _ => "?".to_string(),
+    }
+}
+
+/// Last `.`/`::`-separated segment of a flattened receiver, with any
+/// trailing `()` stripped: `self.shared.queue` → `queue`.
+pub fn last_segment(flat: &str) -> &str {
+    let seg = flat.rsplit(['.']).next().unwrap_or(flat);
+    let seg = seg.rsplit("::").next().unwrap_or(seg);
+    seg.trim_end_matches("()")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{CrateKind, FileRole};
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        let toks = lex(src);
+        let ctx = FileCtx::new("t.rs", CrateKind::Library, FileRole::Src, &toks);
+        parse(&ctx)
+    }
+
+    #[test]
+    fn simple_fn_parses_clean() {
+        let f = parse_src("pub fn add(a: u32, b: u32) -> u32 { a + b }");
+        assert!(f.errors.is_empty(), "{:?}", f.errors);
+        let fns = f.fns();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].1.name, "add");
+        assert!(fns[0].1.body.is_some());
+    }
+
+    #[test]
+    fn impl_methods_and_generics() {
+        let src = r#"
+            impl<D: Disk, const N: usize> Store<D, N> {
+                fn node(&self, page: PageId) -> Result<NodeGuard<'_, D>, StorageError> {
+                    let mut inner = self.inner.borrow_mut();
+                    let bytes = inner.pager.read(page)?;
+                    drop(inner);
+                    Ok(NodeGuard { store: self, page })
+                }
+            }
+        "#;
+        let f = parse_src(src);
+        assert!(f.errors.is_empty(), "{:?}", f.errors);
+        let fns = f.fns();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].0, "Store");
+        assert_eq!(fns[0].1.name, "node");
+    }
+
+    #[test]
+    fn control_flow_and_closures() {
+        let src = r#"
+            fn run(xs: &[u32]) -> Option<u32> {
+                let mut total = 0;
+                'outer: for (i, x) in xs.iter().enumerate() {
+                    if let Some(v) = check(*x) {
+                        total += v;
+                    } else if *x > 3 {
+                        break 'outer;
+                    }
+                    match i {
+                        0 => continue,
+                        n if n > 10 => return None,
+                        _ => {}
+                    }
+                }
+                while total < 100 {
+                    total += xs.iter().map(|v| v + 1).sum::<u32>();
+                }
+                Some(total)
+            }
+        "#;
+        let f = parse_src(src);
+        assert!(f.errors.is_empty(), "{:?}", f.errors);
+    }
+
+    #[test]
+    fn macros_ranges_casts_struct_lits() {
+        let src = r#"
+            fn mix(n: usize) -> Vec<u8> {
+                let v = vec![0u8; n * 2];
+                let s = format!("{}:{}", n, v.len());
+                let cfg = Config { threads: n as u32, ..Config::default() };
+                assert!(matches!(cfg.threads, 0..=64));
+                let _ = &v[1..n];
+                let q = <usize as TryFrom<u64>>::try_from(9u64);
+                s.into_bytes()
+            }
+        "#;
+        let f = parse_src(src);
+        assert!(f.errors.is_empty(), "{:?}", f.errors);
+    }
+
+    #[test]
+    fn flatten_and_segments() {
+        let src = "fn f(&self) { self.inner.borrow_mut().pool.unpin(self.page); }";
+        let f = parse_src(src);
+        assert!(f.errors.is_empty(), "{:?}", f.errors);
+        let fns = f.fns();
+        let body = fns[0].1.body.as_ref().expect("body");
+        let Stmt::Expr { expr, .. } = &body.stmts[0] else { panic!("expr stmt") };
+        let ExprKind::MethodCall { recv, name, .. } = &expr.kind else { panic!("method") };
+        assert_eq!(name, "unpin");
+        assert_eq!(flatten(recv), "self.inner.borrow_mut().pool");
+        assert_eq!(last_segment(&flatten(recv)), "pool");
+    }
+
+    #[test]
+    fn bodiless_trait_fns_and_let_else() {
+        let src = r#"
+            trait Disk {
+                fn read(&mut self, page: u64) -> Result<Vec<u8>, Error>;
+                fn write(&mut self, page: u64, data: &[u8]) -> Result<(), Error> {
+                    let Some(slot) = self.slot(page) else {
+                        return Err(Error::Bounds);
+                    };
+                    Ok(())
+                }
+            }
+        "#;
+        let f = parse_src(src);
+        assert!(f.errors.is_empty(), "{:?}", f.errors);
+        let fns = f.fns();
+        assert_eq!(fns.len(), 2);
+        assert!(fns[0].1.body.is_none());
+        assert!(fns[1].1.body.is_some());
+    }
+}

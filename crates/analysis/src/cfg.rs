@@ -1,0 +1,542 @@
+//! Per-function control-flow graphs lowered from the [`crate::ast`]
+//! parse tree.
+//!
+//! Each function body becomes a graph of basic blocks whose steps are
+//! the events the dataflow rules care about: calls (with flattened
+//! receiver/argument paths), struct-literal constructions, `let`
+//! bindings, scope-end drops, statement boundaries (where unbound
+//! temporaries die), and exits (`return`, the error path of `?`, and
+//! falling off the end). `if`/`match`/loops produce real branch and
+//! back edges, so a fact that only leaks on the error path of a `?` is
+//! distinguishable from one that is balanced on every path.
+//!
+//! Closure bodies are lowered as *separate* pseudo-functions
+//! (`outer::closure#k`): a closure handed to `thread::spawn` runs on
+//! another thread, so its acquisitions must not appear on the
+//! spawning function's timeline — but they still join the workspace
+//! acquisition graph under their own name.
+
+use crate::ast::{self, Block, Expr, ExprKind, FnItem, ParsedFile, Stmt};
+
+/// One call site, flattened for pattern matching.
+#[derive(Clone, Debug)]
+pub struct CallInfo {
+    /// Method name, or the last segment of the callee path.
+    pub name: String,
+    /// Flattened receiver (`self.inner.borrow_mut().pool`), methods only.
+    pub recv: Option<String>,
+    /// Flattened arguments (references/try transparent).
+    pub args: Vec<String>,
+    pub is_method: bool,
+    /// Code-token index for diagnostics.
+    pub ci: u32,
+}
+
+/// Why control leaves the function at an [`Step::Exit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExitKind {
+    Return,
+    /// The error path of a `?`.
+    Question,
+    /// Falling off the end of the body.
+    End,
+}
+
+#[derive(Clone, Debug)]
+pub enum Step {
+    Call(CallInfo),
+    /// `Name { … }` construction (RAII ownership transfer points).
+    StructLit {
+        name: String,
+        ci: u32,
+    },
+    /// `let name = …` — binds the immediately preceding value.
+    Bind {
+        name: String,
+    },
+    /// A `let`-bound name going out of scope.
+    DropName(String),
+    /// Statement boundary: unbound temporaries die here.
+    StmtEnd,
+    /// Control leaves the function after this step.
+    Exit {
+        kind: ExitKind,
+        ci: u32,
+    },
+}
+
+#[derive(Debug, Default)]
+pub struct BasicBlock {
+    pub steps: Vec<Step>,
+    pub succs: Vec<usize>,
+}
+
+/// One function (or closure) lowered to a CFG.
+#[derive(Debug)]
+pub struct FnCfg {
+    /// `Owner::name` (owner empty at top level), closures suffixed
+    /// `::closure#k`.
+    pub qual_name: String,
+    /// Bare fn name (last component before any closure suffix).
+    pub fn_name: String,
+    /// Code index of the body's opening token (test-region checks).
+    pub body_lo: u32,
+    pub blocks: Vec<BasicBlock>,
+    pub entry: usize,
+    pub exit: usize,
+}
+
+/// Lowers every fn (and closure) in a parsed file.
+pub fn lower_file(file: &ParsedFile) -> Vec<FnCfg> {
+    let mut out = Vec::new();
+    for (owner, f) in file.fns() {
+        lower_fn(owner, f, &mut out);
+    }
+    out
+}
+
+fn lower_fn(owner: &str, f: &FnItem, out: &mut Vec<FnCfg>) {
+    let Some(body) = &f.body else { return };
+    let qual = if owner.is_empty() { f.name.clone() } else { format!("{owner}::{}", f.name) };
+    let mut b = Builder::new(qual.clone(), f.name.clone(), body.span.lo);
+    b.lower_block(body);
+    let end_ci = body.span.hi.saturating_sub(1);
+    b.push(Step::Exit { kind: ExitKind::End, ci: end_ci });
+    b.edge_to_exit();
+    let closures = std::mem::take(&mut b.closures);
+    out.push(b.finish());
+    for (k, c) in closures.iter().enumerate() {
+        let mut cb = Builder::new(format!("{qual}::closure#{k}"), f.name.clone(), c.span.lo);
+        cb.lower_expr(c);
+        cb.push(Step::Exit { kind: ExitKind::End, ci: c.span.hi.saturating_sub(1) });
+        cb.edge_to_exit();
+        // Closures nested inside closures surface recursively.
+        let nested = std::mem::take(&mut cb.closures);
+        out.push(cb.finish());
+        for (j, n) in nested.iter().enumerate() {
+            let mut nb =
+                Builder::new(format!("{qual}::closure#{k}.{j}"), f.name.clone(), n.span.lo);
+            nb.lower_expr(n);
+            nb.push(Step::Exit { kind: ExitKind::End, ci: n.span.hi.saturating_sub(1) });
+            nb.edge_to_exit();
+            // Third-level nesting does not occur in this workspace;
+            // deeper closures are conservatively dropped.
+            out.push(nb.finish());
+        }
+    }
+}
+
+struct Builder<'e> {
+    qual_name: String,
+    fn_name: String,
+    body_lo: u32,
+    blocks: Vec<BasicBlock>,
+    cur: usize,
+    exit: usize,
+    /// (continue_target, break_target, scope_depth_at_entry) stack.
+    loops: Vec<(usize, usize, usize)>,
+    /// Per-lexical-scope `let` bindings, for scope-end drops.
+    scopes: Vec<Vec<String>>,
+    /// Closure bodies to lower as separate pseudo-fns.
+    closures: Vec<&'e Expr>,
+}
+
+impl<'e> Builder<'e> {
+    fn new(qual_name: String, fn_name: String, body_lo: u32) -> Self {
+        // Block 0: entry; block 1: exit.
+        let blocks = vec![BasicBlock::default(), BasicBlock::default()];
+        Builder {
+            qual_name,
+            fn_name,
+            body_lo,
+            blocks,
+            cur: 0,
+            exit: 1,
+            loops: Vec::new(),
+            scopes: Vec::new(),
+            closures: Vec::new(),
+        }
+    }
+
+    fn finish(self) -> FnCfg {
+        FnCfg {
+            qual_name: self.qual_name,
+            fn_name: self.fn_name,
+            body_lo: self.body_lo,
+            blocks: self.blocks,
+            entry: 0,
+            exit: self.exit,
+        }
+    }
+
+    fn push(&mut self, step: Step) {
+        let cur = self.cur;
+        self.blocks[cur].steps.push(step);
+    }
+
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn edge_to_exit(&mut self) {
+        let (cur, exit) = (self.cur, self.exit);
+        self.add_edge(cur, exit);
+    }
+
+    /// Emits `DropName`s for every binding in scopes deeper than
+    /// `depth` — what a `break`/`continue` pops on its way out of the
+    /// loop. The scopes themselves stay: the fall-through path still
+    /// drops at each scope's lexical end.
+    fn drop_scopes_from(&mut self, depth: usize) {
+        let names: Vec<String> =
+            self.scopes[depth..].iter().rev().flat_map(|s| s.iter().rev().cloned()).collect();
+        for n in names {
+            self.push(Step::DropName(n));
+        }
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn lower_block(&mut self, block: &'e Block) {
+        self.scopes.push(Vec::new());
+        for stmt in &block.stmts {
+            self.lower_stmt(stmt);
+        }
+        let names = self.scopes.pop().unwrap_or_default();
+        for name in names.into_iter().rev() {
+            self.push(Step::DropName(name));
+        }
+    }
+
+    fn lower_stmt(&mut self, stmt: &'e Stmt) {
+        match stmt {
+            Stmt::Empty | Stmt::Item(_) => {}
+            Stmt::Expr { expr, .. } => {
+                self.lower_expr(expr);
+                self.push(Step::StmtEnd);
+            }
+            Stmt::Let { name, init, els, .. } => {
+                if let Some(init) = init {
+                    self.lower_expr(init);
+                }
+                if let Some(els) = els {
+                    // `let … else { diverging }`: refutable branch.
+                    let else_entry = self.new_block();
+                    let cont = self.new_block();
+                    let cur = self.cur;
+                    self.add_edge(cur, else_entry);
+                    self.add_edge(cur, cont);
+                    self.cur = else_entry;
+                    self.lower_block(els);
+                    // The else block must diverge; any return/break it
+                    // contains has already routed its edges.
+                    self.cur = cont;
+                }
+                if let Some(name) = name {
+                    self.push(Step::Bind { name: name.clone() });
+                    if let Some(scope) = self.scopes.last_mut() {
+                        scope.push(name.clone());
+                    }
+                }
+                self.push(Step::StmtEnd);
+            }
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn lower_expr(&mut self, e: &'e Expr) {
+        match &e.kind {
+            ExprKind::Path(_) | ExprKind::Lit => {}
+            ExprKind::Continue => {
+                if let Some(&(cont, _, depth)) = self.loops.last() {
+                    self.drop_scopes_from(depth);
+                    let cur = self.cur;
+                    self.add_edge(cur, cont);
+                }
+                self.cur = self.new_block();
+            }
+            ExprKind::Call { callee, args } => {
+                self.lower_expr(callee);
+                for a in args {
+                    self.lower_expr(a);
+                }
+                let flat = ast::flatten(callee);
+                let name = ast::last_segment(&flat).to_string();
+                let info = CallInfo {
+                    name,
+                    recv: None,
+                    args: args.iter().map(ast::flatten).collect(),
+                    is_method: false,
+                    ci: e.span.lo,
+                };
+                self.push(Step::Call(info));
+            }
+            ExprKind::MethodCall { recv, name, name_ci, args } => {
+                self.lower_expr(recv);
+                for a in args {
+                    self.lower_expr(a);
+                }
+                let info = CallInfo {
+                    name: name.clone(),
+                    recv: Some(ast::flatten(recv)),
+                    args: args.iter().map(ast::flatten).collect(),
+                    is_method: true,
+                    ci: *name_ci,
+                };
+                self.push(Step::Call(info));
+            }
+            ExprKind::Field { recv, .. } => self.lower_expr(recv),
+            ExprKind::Index { recv, index } => {
+                self.lower_expr(recv);
+                self.lower_expr(index);
+            }
+            ExprKind::Unary { expr, .. } | ExprKind::Cast { expr } => self.lower_expr(expr),
+            ExprKind::Try { expr } => {
+                self.lower_expr(expr);
+                let err = self.new_block();
+                let cont = self.new_block();
+                let cur = self.cur;
+                self.add_edge(cur, err);
+                self.add_edge(cur, cont);
+                self.cur = err;
+                self.push(Step::Exit { kind: ExitKind::Question, ci: e.span.hi.saturating_sub(1) });
+                self.edge_to_exit();
+                self.cur = cont;
+            }
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.lower_expr(lhs);
+                self.lower_expr(rhs);
+            }
+            ExprKind::Assign { lhs, rhs } => {
+                self.lower_expr(rhs);
+                self.lower_expr(lhs);
+            }
+            ExprKind::Range { lhs, rhs } => {
+                if let Some(l) = lhs {
+                    self.lower_expr(l);
+                }
+                if let Some(r) = rhs {
+                    self.lower_expr(r);
+                }
+            }
+            ExprKind::Return(inner) => {
+                if let Some(inner) = inner {
+                    self.lower_expr(inner);
+                }
+                self.push(Step::Exit { kind: ExitKind::Return, ci: e.span.lo });
+                self.edge_to_exit();
+                self.cur = self.new_block();
+            }
+            ExprKind::Break(inner) => {
+                if let Some(inner) = inner {
+                    self.lower_expr(inner);
+                }
+                if let Some(&(_, brk, depth)) = self.loops.last() {
+                    self.drop_scopes_from(depth);
+                    let cur = self.cur;
+                    self.add_edge(cur, brk);
+                }
+                self.cur = self.new_block();
+            }
+            ExprKind::If { cond, binds, then, els } => {
+                self.lower_expr(cond);
+                let cond_block = self.cur;
+                let then_entry = self.new_block();
+                let join = self.new_block();
+                self.add_edge(cond_block, then_entry);
+                self.cur = then_entry;
+                for b in binds {
+                    self.push(Step::Bind { name: b.clone() });
+                }
+                self.lower_block(then);
+                let cur = self.cur;
+                self.add_edge(cur, join);
+                if let Some(els) = els {
+                    let else_entry = self.new_block();
+                    self.add_edge(cond_block, else_entry);
+                    self.cur = else_entry;
+                    self.lower_expr(els);
+                    let cur = self.cur;
+                    self.add_edge(cur, join);
+                } else {
+                    self.add_edge(cond_block, join);
+                }
+                self.cur = join;
+            }
+            ExprKind::Match { scrut, arms } => {
+                self.lower_expr(scrut);
+                let scrut_block = self.cur;
+                let join = self.new_block();
+                if arms.is_empty() {
+                    self.add_edge(scrut_block, join);
+                }
+                for arm in arms {
+                    let entry = self.new_block();
+                    self.add_edge(scrut_block, entry);
+                    self.cur = entry;
+                    for b in &arm.binds {
+                        self.push(Step::Bind { name: b.clone() });
+                    }
+                    self.lower_expr(&arm.body);
+                    self.push(Step::StmtEnd);
+                    let cur = self.cur;
+                    self.add_edge(cur, join);
+                }
+                self.cur = join;
+            }
+            ExprKind::While { cond, body } => {
+                let header = self.new_block();
+                let cur = self.cur;
+                self.add_edge(cur, header);
+                self.cur = header;
+                self.lower_expr(cond);
+                let cond_block = self.cur;
+                let body_entry = self.new_block();
+                let after = self.new_block();
+                self.add_edge(cond_block, body_entry);
+                self.add_edge(cond_block, after);
+                self.loops.push((header, after, self.scopes.len()));
+                self.cur = body_entry;
+                self.lower_block(body);
+                let cur = self.cur;
+                self.add_edge(cur, header);
+                self.loops.pop();
+                self.cur = after;
+            }
+            ExprKind::Loop { body } => {
+                let header = self.new_block();
+                let cur = self.cur;
+                self.add_edge(cur, header);
+                let after = self.new_block();
+                self.loops.push((header, after, self.scopes.len()));
+                self.cur = header;
+                self.lower_block(body);
+                let cur = self.cur;
+                self.add_edge(cur, header);
+                self.loops.pop();
+                self.cur = after;
+            }
+            ExprKind::For { binds, iter, body } => {
+                self.lower_expr(iter);
+                let iter_block = self.cur;
+                let header = self.new_block();
+                let after = self.new_block();
+                self.add_edge(iter_block, header);
+                self.add_edge(iter_block, after);
+                self.loops.push((header, after, self.scopes.len()));
+                self.cur = header;
+                for b in binds {
+                    self.push(Step::Bind { name: b.clone() });
+                }
+                self.lower_block(body);
+                let cur = self.cur;
+                self.add_edge(cur, header);
+                self.add_edge(cur, after);
+                self.loops.pop();
+                self.cur = after;
+            }
+            ExprKind::BlockExpr(b) => self.lower_block(b),
+            ExprKind::Closure { body } => {
+                self.closures.push(body);
+            }
+            ExprKind::Macro { args, .. } => {
+                for a in args {
+                    self.lower_expr(a);
+                }
+            }
+            ExprKind::StructLit { path, path_ci, fields } => {
+                for f in fields {
+                    self.lower_expr(f);
+                }
+                self.push(Step::StructLit { name: path.clone(), ci: *path_ci });
+            }
+            ExprKind::Tuple(parts) | ExprKind::Array(parts) => {
+                for p in parts {
+                    self.lower_expr(p);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{CrateKind, FileCtx, FileRole};
+    use crate::lexer::lex;
+
+    fn cfgs(src: &str) -> Vec<FnCfg> {
+        let toks = lex(src);
+        let ctx = FileCtx::new("t.rs", CrateKind::Library, FileRole::Src, &toks);
+        let parsed = ast::parse(&ctx);
+        assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
+        lower_file(&parsed)
+    }
+
+    fn all_steps(cfg: &FnCfg) -> Vec<&Step> {
+        cfg.blocks.iter().flat_map(|b| b.steps.iter()).collect()
+    }
+
+    #[test]
+    fn question_mark_creates_error_exit_edge() {
+        let v = cfgs("fn f(s: &S) -> Result<(), E> { s.pool.pin(p); s.io.read(p)?; s.pool.unpin(p); Ok(()) }");
+        assert_eq!(v.len(), 1);
+        let steps = all_steps(&v[0]);
+        let exits: Vec<_> = steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Exit { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        assert!(exits.contains(&ExitKind::Question));
+        assert!(exits.contains(&ExitKind::End));
+    }
+
+    #[test]
+    fn closure_becomes_pseudo_fn() {
+        let v = cfgs("fn f() { spawn(move || { work(); }); }");
+        assert_eq!(v.len(), 2);
+        assert!(v[1].qual_name.ends_with("::closure#0"));
+        let names: Vec<_> = all_steps(&v[1])
+            .iter()
+            .filter_map(|s| match s {
+                Step::Call(c) => Some(c.name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, ["work"]);
+    }
+
+    #[test]
+    fn let_bind_and_scope_drop() {
+        let v = cfgs("fn f(s: &S) { let g = s.node(p); use_it(&g); }");
+        let steps = all_steps(&v[0]);
+        let has_bind = steps.iter().any(|s| matches!(s, Step::Bind { name } if name == "g"));
+        let has_drop = steps.iter().any(|s| matches!(s, Step::DropName(n) if n == "g"));
+        assert!(has_bind && has_drop);
+    }
+
+    #[test]
+    fn branches_join() {
+        let v = cfgs("fn f(x: bool) -> u32 { if x { one() } else { two() } }");
+        let cfg = &v[0];
+        // Both call sites must be in different blocks reaching the exit.
+        let call_blocks: Vec<usize> = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.steps.iter().any(|s| matches!(s, Step::Call(_))))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(call_blocks.len(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! A small forward dataflow framework over [`crate::cfg`] graphs.
+//!
+//! May-analysis with set-union join: an analysis contributes a
+//! gen/kill-style transfer function over an ordered fact set, the
+//! framework runs a worklist to a fixpoint over block in-states, then
+//! makes one emission pass per reachable block where the transfer
+//! function may report findings against the converged states.
+//! Transfer functions must be monotone in the usual gen/kill sense
+//! (facts generated or killed per step, independent of unrelated
+//! facts); a fuel bound guards termination against accidental
+//! oscillation.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{FnCfg, Step};
+
+/// One finding, anchored at a code-token index.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub ci: u32,
+    pub message: String,
+}
+
+/// A forward may-analysis.
+pub trait Analysis {
+    type Fact: Clone + Ord;
+
+    /// Applies one step to `state`. When `sink` is `Some`, the pass is
+    /// the emission pass and findings may be reported; the state
+    /// mutation must be identical either way.
+    fn transfer(
+        &self,
+        step: &Step,
+        state: &mut BTreeSet<Self::Fact>,
+        sink: Option<&mut Vec<Finding>>,
+    );
+}
+
+/// Runs `analysis` over `cfg` to fixpoint, then emits findings from
+/// the converged in-states. Unreachable blocks are never visited.
+pub fn analyze<A: Analysis>(cfg: &FnCfg, analysis: &A) -> Vec<Finding> {
+    let n = cfg.blocks.len();
+    let mut in_states: Vec<Option<BTreeSet<A::Fact>>> = vec![None; n];
+    in_states[cfg.entry] = Some(BTreeSet::new());
+    let mut work = vec![cfg.entry];
+    // Fuel: generous multiple of block count × observed fact churn;
+    // gen/kill transfers converge far earlier.
+    let mut fuel = 64 * (n + 1) * (n + 1);
+    while let Some(b) = work.pop() {
+        if fuel == 0 {
+            break;
+        }
+        fuel -= 1;
+        let mut state = match &in_states[b] {
+            Some(s) => s.clone(),
+            None => continue,
+        };
+        for step in &cfg.blocks[b].steps {
+            analysis.transfer(step, &mut state, None);
+        }
+        for &succ in &cfg.blocks[b].succs {
+            let changed = match &mut in_states[succ] {
+                Some(existing) => {
+                    let before = existing.len();
+                    existing.extend(state.iter().cloned());
+                    existing.len() != before
+                }
+                slot @ None => {
+                    *slot = Some(state.clone());
+                    true
+                }
+            };
+            if changed && !work.contains(&succ) {
+                work.push(succ);
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (b, in_state) in in_states.iter().enumerate() {
+        let Some(in_state) = in_state else { continue };
+        let mut state = in_state.clone();
+        for step in &cfg.blocks[b].steps {
+            analysis.transfer(step, &mut state, Some(&mut findings));
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+    use crate::cfg::{lower_file, ExitKind};
+    use crate::context::{CrateKind, FileCtx, FileRole};
+    use crate::lexer::lex;
+
+    /// Toy analysis: track `open()` results; report a leak when a fact
+    /// is live at any exit.
+    struct OpenClose;
+    impl Analysis for OpenClose {
+        type Fact = String;
+        fn transfer(
+            &self,
+            step: &Step,
+            state: &mut BTreeSet<String>,
+            sink: Option<&mut Vec<Finding>>,
+        ) {
+            match step {
+                Step::Call(c) if c.name == "open" => {
+                    state.insert(c.args.first().cloned().unwrap_or_default());
+                }
+                Step::Call(c) if c.name == "close" => {
+                    if let Some(a) = c.args.first() {
+                        state.remove(a);
+                    }
+                }
+                Step::Exit { kind, ci } => {
+                    if let Some(sink) = sink {
+                        for f in state.iter() {
+                            sink.push(Finding {
+                                ci: *ci,
+                                message: format!("{f} leaks on {kind:?} path"),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        let toks = lex(src);
+        let ctx = FileCtx::new("t.rs", CrateKind::Library, FileRole::Src, &toks);
+        let parsed = ast::parse(&ctx);
+        assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
+        let cfgs = lower_file(&parsed);
+        assert_eq!(cfgs.len(), 1);
+        analyze(&cfgs[0], &OpenClose)
+    }
+
+    #[test]
+    fn balanced_paths_are_clean() {
+        let f = run("fn f() { open(a); work(); close(a); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn leak_on_question_path_only() {
+        let f = run("fn f() -> Result<(), E> { open(a); fallible()?; close(a); Ok(()) }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("Question"), "{f:?}");
+    }
+
+    #[test]
+    fn leak_on_one_branch_is_reported_at_exit() {
+        let f = run("fn f(x: bool) { open(a); if x { close(a); } }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("End"), "{f:?}");
+    }
+
+    #[test]
+    fn loop_back_edges_converge() {
+        let f = run("fn f(xs: &[u32]) { for x in xs { open(x); close(x); } }");
+        assert!(f.is_empty(), "{f:?}");
+        let _ = ExitKind::End;
+    }
+}

@@ -27,7 +27,10 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod ast;
+pub mod cfg;
 pub mod context;
+pub mod dataflow;
 pub mod lexer;
 pub mod report;
 pub mod rules;

@@ -1,0 +1,186 @@
+//! Rule `guard-discipline`: pin/unpin pairs and RAII pool guards must
+//! be balanced on *every* control-flow path.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{ExitKind, FnCfg, Step};
+use crate::context::FileCtx;
+use crate::dataflow::{self, Analysis, Finding};
+use crate::rules::flow::{self, FlowFile, Summaries};
+use crate::rules::{diag_at, Diagnostic};
+
+pub const EXPLAIN: &str = "\
+guard-discipline — buffer-pool pins and RAII guards balance on every path.
+
+Runs a path-sensitive forward dataflow over each function's control-flow
+graph in crates/storage, crates/index and crates/core and flags:
+
+  * a `.pin(page)` with no matching `.unpin(page)` on some path out of
+    the function — including the error path of a `?` and early
+    `return`s, the paths eyeballs miss. Constructing a `*Guard` struct
+    (`NodeGuard`, `FrameGuard`, …) absorbs outstanding pins: that is
+    the RAII ownership transfer, and the guard's `Drop` is trusted to
+    unpin.
+  * `.unpin(x)` on a path where no pin of `x` can be live — a double
+    unpin, which corrupts the pool's pin counts.
+  * a guard (`let g = store.node(…)?` or a `*Guard` literal) held
+    across a call that can block: mutex acquisition, thread join,
+    channel recv, sleep, or anything whose (transitive, name-resolved)
+    summary does one of those. A pinned page plus a blocked thread is
+    how a bounded pool deadlocks. Holding a guard across another
+    `.node(…)` is deliberately allowed — the pool guarantees capacity
+    for the two concurrent pins the join recursion needs (see
+    DESIGN.md §11); it is *blocking* while pinned that is fatal.
+
+Functions named `pin`, `unpin` and `drop` are exempt (they implement
+the protocol), as is test code. Suppress intentional cases with
+`// csj-lint: allow(guard-discipline) — <reason>`.";
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Fact {
+    /// An outstanding `.pin(key)`.
+    Pin(String),
+    /// A just-produced guard value, not yet bound; dies at `;`.
+    PendingGuard,
+    /// A live named guard binding.
+    Guard(String),
+}
+
+struct GuardAnalysis<'s> {
+    /// Enclosing fn name: self-named calls never consult summaries.
+    current_fn: &'s str,
+    summaries: &'s Summaries,
+}
+
+impl Analysis for GuardAnalysis<'_> {
+    type Fact = Fact;
+
+    fn transfer(
+        &self,
+        step: &Step,
+        state: &mut BTreeSet<Fact>,
+        mut sink: Option<&mut Vec<Finding>>,
+    ) {
+        match step {
+            Step::Call(c) => {
+                // Blocking-while-guarded check first: the call being
+                // inspected must not count its own acquisition as held.
+                let blocking = flow::direct_blocking(c)
+                    || (c.name == "lock")
+                    || (c.name != self.current_fn
+                        && self.summaries.get(&c.name).is_some_and(|s| s.blocking));
+                if blocking {
+                    if let Some(sink) = sink.as_deref_mut() {
+                        for f in state.iter() {
+                            if let Fact::Guard(g) = f {
+                                sink.push(Finding {
+                                    ci: c.ci,
+                                    message: format!(
+                                        "pool guard `{g}` is held across `{}`, which can \
+                                         block — drop the guard first; a pinned page plus \
+                                         a blocked thread can deadlock a bounded pool",
+                                        c.name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                match c.name.as_str() {
+                    "pin" if c.is_method => {
+                        let key = c.args.first().cloned().unwrap_or_else(|| "?".into());
+                        state.insert(Fact::Pin(key));
+                    }
+                    "unpin" if c.is_method => {
+                        let key = c.args.first().cloned().unwrap_or_else(|| "?".into());
+                        if !state.remove(&Fact::Pin(key.clone())) {
+                            if let Some(sink) = sink.as_deref_mut() {
+                                sink.push(Finding {
+                                    ci: c.ci,
+                                    message: format!(
+                                        "`.unpin({key})` with no matching `.pin({key})` \
+                                         live on this path — a double unpin corrupts the \
+                                         pool's pin counts"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    // A guard-yielding pool access.
+                    "node" if c.is_method => {
+                        state.insert(Fact::PendingGuard);
+                    }
+                    // Explicit `drop(g)` releases a guard early.
+                    "drop" if !c.is_method && c.args.len() == 1 => {
+                        if let Some(a) = c.args.first() {
+                            state.remove(&Fact::Guard(a.clone()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Step::StructLit { name, .. } => {
+                if name.ends_with("Guard") {
+                    // RAII ownership transfer: the guard now owns the
+                    // outstanding pins and will unpin in Drop.
+                    state.retain(|f| !matches!(f, Fact::Pin(_)));
+                    state.insert(Fact::PendingGuard);
+                }
+            }
+            Step::Bind { name } => {
+                if state.remove(&Fact::PendingGuard) {
+                    state.insert(Fact::Guard(name.clone()));
+                }
+            }
+            Step::StmtEnd => {
+                state.remove(&Fact::PendingGuard);
+            }
+            Step::DropName(name) => {
+                state.remove(&Fact::Guard(name.clone()));
+            }
+            Step::Exit { kind, ci } => {
+                if let Some(sink) = sink {
+                    for f in state.iter() {
+                        if let Fact::Pin(key) = f {
+                            let path = match kind {
+                                ExitKind::Question => "the `?` error path",
+                                ExitKind::Return => "this early-return path",
+                                ExitKind::End => "a path through this function",
+                            };
+                            sink.push(Finding {
+                                ci: *ci,
+                                message: format!(
+                                    "`.pin({key})` is never unpinned on {path} — \
+                                     unpin before leaving or hand the pin to a guard"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub fn check(ctxs: &[FileCtx]) -> Vec<Diagnostic> {
+    let files = flow::lower_scoped(ctxs);
+    let summaries = flow::summarize(&files);
+    let mut out = Vec::new();
+    for f in &files {
+        for cfg in &f.cfgs {
+            if skip_fn(f, cfg) {
+                continue;
+            }
+            let analysis = GuardAnalysis { current_fn: &cfg.fn_name, summaries: &summaries };
+            for finding in dataflow::analyze(cfg, &analysis) {
+                out.push(diag_at(f.ctx, "guard-discipline", finding.ci as usize, finding.message));
+            }
+        }
+    }
+    out
+}
+
+fn skip_fn(f: &FlowFile, cfg: &FnCfg) -> bool {
+    // pin/unpin implement the protocol; Drop impls are the RAII sink.
+    matches!(cfg.fn_name.as_str(), "pin" | "unpin" | "drop") || flow::in_test(f.ctx, cfg)
+}

@@ -1,0 +1,115 @@
+//! Rule `io-under-lock`: no disk I/O while a pool borrow or facade
+//! lock is held.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Step;
+use crate::context::FileCtx;
+use crate::dataflow::{self, Analysis, Finding};
+use crate::rules::flow::{self, Held, Summaries};
+use crate::rules::{diag_at, Diagnostic};
+
+pub const EXPLAIN: &str = "\
+io-under-lock — disk I/O must not be reachable inside a critical section.
+
+Tracks, along every control-flow path in crates/storage, crates/index
+and crates/core, which sync-facade mutexes and `RefCell` borrows are
+live, and flags any point where disk I/O happens before they are
+released — either a direct `read`/`write`/`sync`/`flush` on a
+disk/pager-shaped receiver, or a call into a function whose transitive
+summary reaches one.
+
+Why it matters: a millisecond-scale disk access inside a borrow of the
+pool's interior cell serializes every concurrent page access behind
+the platter, and inside a mutex it extends the critical section from
+nanoseconds to milliseconds — the classic out-of-core scalability
+bug. For `RefCell`s it is also a correctness trap: re-entering the
+pool from an I/O completion path while the borrow is live panics.
+
+Borrows of the cell that *owns* the I/O handle (pager/disk-shaped
+names) are exempt — serializing the device behind its own cell is the
+point. Intentional exceptions take a reasoned escape hatch:
+`// csj-lint: allow(io-under-lock) — <reason>` on the offending line,
+e.g. for a cold superblock write during shutdown where simplicity
+beats overlap. Test code is not checked.";
+
+struct IoAnalysis<'s> {
+    rel_path: &'s str,
+    /// Enclosing fn name: self-named calls never consult summaries.
+    current_fn: &'s str,
+    summaries: &'s Summaries,
+}
+
+/// Lock identities whose critical sections may perform I/O: the cell
+/// or mutex guards the I/O object itself.
+fn io_exempt(id: &str) -> bool {
+    flow::io_shaped(id.rsplit(':').next().unwrap_or(""))
+}
+
+impl Analysis for IoAnalysis<'_> {
+    type Fact = Held;
+
+    fn transfer(&self, step: &Step, state: &mut BTreeSet<Held>, sink: Option<&mut Vec<Finding>>) {
+        match step {
+            Step::Call(c) => {
+                if flow::consumes_guard_temp(c) {
+                    flow::mark_chained(state);
+                }
+                let io_here = if flow::direct_io(c) {
+                    Some(format!("disk I/O `.{}()`", c.name))
+                } else if c.name != self.current_fn
+                    && self.summaries.get(&c.name).is_some_and(|s| s.io)
+                {
+                    Some(format!("`{}` (which performs disk I/O)", c.name))
+                } else {
+                    None
+                };
+                if let (Some(what), Some(sink)) = (io_here, sink) {
+                    for h in state.iter() {
+                        sink.push(Finding {
+                            ci: c.ci,
+                            message: format!(
+                                "{what} is reached while {} is held — release the \
+                                 lock/borrow before touching the disk",
+                                flow::display_lock(&h.id)
+                            ),
+                        });
+                    }
+                }
+                if let Some(ev) = flow::lock_event(self.rel_path, c) {
+                    if !io_exempt(&ev.id) {
+                        state.insert(Held { id: ev.id, ci: c.ci, name: String::new() });
+                    }
+                } else if c.name == "drop" && !c.is_method && c.args.len() == 1 {
+                    flow::drop_named(state, &c.args[0]);
+                }
+            }
+            Step::Bind { name } => flow::bind_pending(state, name),
+            Step::StmtEnd => flow::end_statement(state),
+            Step::DropName(name) => flow::drop_named(state, name),
+            _ => {}
+        }
+    }
+}
+
+pub fn check(ctxs: &[FileCtx]) -> Vec<Diagnostic> {
+    let files = flow::lower_scoped(ctxs);
+    let summaries = flow::summarize(&files);
+    let mut out = Vec::new();
+    for f in &files {
+        for cfg in &f.cfgs {
+            if flow::in_test(f.ctx, cfg) {
+                continue;
+            }
+            let analysis = IoAnalysis {
+                rel_path: f.ctx.rel_path,
+                current_fn: &cfg.fn_name,
+                summaries: &summaries,
+            };
+            for finding in dataflow::analyze(cfg, &analysis) {
+                out.push(diag_at(f.ctx, "io-under-lock", finding.ci as usize, finding.message));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,232 @@
+//! Rule `lock-order`: all threads must acquire sync-facade mutexes and
+//! `RefCell` borrows in one consistent global order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::Step;
+use crate::context::FileCtx;
+use crate::dataflow::{self, Analysis, Finding};
+use crate::rules::flow::{self, Held, Summaries};
+use crate::rules::{diag_at, Diagnostic};
+
+pub const EXPLAIN: &str = "\
+lock-order — one global acquisition order across the workspace.
+
+Builds a workspace-wide acquisition graph: an edge A → B is recorded
+whenever some function acquires lock B (a sync-facade mutex via
+`.lock()`/`lock(&m)` or a `RefCell` borrow) while lock A is held on
+that path — directly, or by calling a function whose transitive
+summary acquires B. Lock identities are crate-qualified
+(`core:mutex:queue`, `index:cell:inner`) so same-named fields in
+different crates do not alias.
+
+A cycle in that graph is a potential deadlock (for mutexes) or a
+guaranteed runtime borrow panic (for RefCells) the moment two threads
+interleave: thread 1 holds A and wants B, thread 2 holds B and wants
+A. The prefetcher's queue/ready mutexes, the buffer pool's interior
+cell and the scheduler all participate, so the graph spans crates.
+
+Each cycle is reported once, anchored at one acquisition with the
+conflicting acquisition's location in the message. Fix by hoisting one
+acquisition (always take A before B everywhere) or by shrinking a
+critical section so the second lock is taken after the first is
+dropped. Suppress intentional cases with
+`// csj-lint: allow(lock-order) — <reason>`.";
+
+/// Edge findings are encoded in the message as
+/// `from_id \t from_ci \t to_id \t via` and decoded by [`check`].
+struct OrderAnalysis<'s> {
+    rel_path: &'s str,
+    /// Enclosing fn name: self-named calls never consult summaries
+    /// (mirrors the summarizer's own recursion guard).
+    current_fn: &'s str,
+    summaries: &'s Summaries,
+}
+
+impl Analysis for OrderAnalysis<'_> {
+    type Fact = Held;
+
+    fn transfer(&self, step: &Step, state: &mut BTreeSet<Held>, sink: Option<&mut Vec<Finding>>) {
+        match step {
+            Step::Call(c) => {
+                if flow::consumes_guard_temp(c) {
+                    flow::mark_chained(state);
+                }
+                if let Some(ev) = flow::lock_event(self.rel_path, c) {
+                    if let Some(sink) = sink {
+                        for h in state.iter() {
+                            if h.id != ev.id {
+                                sink.push(Finding {
+                                    ci: c.ci,
+                                    message: format!("{}\t{}\t{}\t", h.id, h.ci, ev.id),
+                                });
+                            }
+                        }
+                    }
+                    state.insert(Held { id: ev.id, ci: c.ci, name: String::new() });
+                } else if c.name == "drop" && !c.is_method && c.args.len() == 1 {
+                    flow::drop_named(state, &c.args[0]);
+                } else if c.name != self.current_fn {
+                    let Some(s) = self.summaries.get(&c.name) else { return };
+                    if let Some(sink) = sink {
+                        for h in state.iter() {
+                            for to in &s.locks {
+                                if *to != h.id {
+                                    sink.push(Finding {
+                                        ci: c.ci,
+                                        message: format!("{}\t{}\t{}\t{}", h.id, h.ci, to, c.name),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Step::Bind { name } => flow::bind_pending(state, name),
+            Step::StmtEnd => flow::end_statement(state),
+            Step::DropName(name) => flow::drop_named(state, name),
+            _ => {}
+        }
+    }
+}
+
+/// One acquisition-graph edge, located in a file.
+struct Edge {
+    from: String,
+    to: String,
+    /// Callee carrying the edge interprocedurally, or empty for a
+    /// direct acquisition.
+    via: String,
+    file: usize,
+    /// Token of the `to` acquisition (direct) or the carrying call.
+    ci: u32,
+    /// Token of the `from` acquisition, same file.
+    from_ci: u32,
+}
+
+pub fn check(ctxs: &[FileCtx]) -> Vec<Diagnostic> {
+    let files = flow::lower_scoped(ctxs);
+    let summaries = flow::summarize(&files);
+
+    let mut edges: Vec<Edge> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for cfg in &f.cfgs {
+            if flow::in_test(f.ctx, cfg) {
+                continue;
+            }
+            let analysis = OrderAnalysis {
+                rel_path: f.ctx.rel_path,
+                current_fn: &cfg.fn_name,
+                summaries: &summaries,
+            };
+            for finding in dataflow::analyze(cfg, &analysis) {
+                let mut parts = finding.message.split('\t');
+                let (Some(from), Some(from_ci), Some(to), Some(via)) =
+                    (parts.next(), parts.next(), parts.next(), parts.next())
+                else {
+                    continue;
+                };
+                edges.push(Edge {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                    via: via.to_string(),
+                    file: fi,
+                    ci: finding.ci,
+                    from_ci: from_ci.parse().unwrap_or(finding.ci),
+                });
+            }
+        }
+    }
+
+    // Reachability over the acquisition graph.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut work = vec![from];
+        while let Some(n) = work.pop() {
+            let Some(succs) = adj.get(n) else { continue };
+            for &s in succs {
+                if s == to {
+                    return true;
+                }
+                if seen.insert(s) {
+                    work.push(s);
+                }
+            }
+        }
+        false
+    };
+
+    // Sort for deterministic representative selection, then report each
+    // cycle (keyed by its node set) exactly once.
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ea, eb) = (&edges[a], &edges[b]);
+        (&ea.from, &ea.to, ea.file, ea.ci).cmp(&(&eb.from, &eb.to, eb.file, eb.ci))
+    });
+
+    let mut reported: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    let mut out = Vec::new();
+    for &i in &order {
+        let e = &edges[i];
+        if e.from == e.to || !reaches(&e.to, &e.from) {
+            continue;
+        }
+        // Node set of the cycle through this edge: nodes on some
+        // to → … → from path, plus the edge's endpoints.
+        let mut nodes: BTreeSet<String> = BTreeSet::new();
+        nodes.insert(e.from.clone());
+        nodes.insert(e.to.clone());
+        for n in adj.keys() {
+            if reaches(&e.to, n) && reaches(n, &e.from) {
+                nodes.insert((*n).to_string());
+            }
+        }
+        if !reported.insert(nodes.clone()) {
+            continue;
+        }
+        // A conflicting edge on the return path, for the message.
+        let counter = order
+            .iter()
+            .map(|&j| &edges[j])
+            .find(|c| c.from == e.to && nodes.contains(&c.to) && (c.file, c.ci) != (e.file, e.ci));
+        let f = &files[e.file];
+        let here = if e.via.is_empty() {
+            format!("{} is acquired here", flow::display_lock(&e.to))
+        } else {
+            format!("`{}` acquires {} from here", e.via, flow::display_lock(&e.to))
+        };
+        let held = format!(
+            "while {} is held (acquired at {}:{})",
+            flow::display_lock(&e.from),
+            f.ctx.rel_path,
+            f.ctx.code_tok(e.from_ci as usize).line,
+        );
+        let opposite = match counter {
+            Some(c) => {
+                let cf = &files[c.file];
+                format!(
+                    "; the opposite order is taken at {}:{}",
+                    cf.ctx.rel_path,
+                    cf.ctx.code_tok(c.ci as usize).line
+                )
+            }
+            None => String::new(),
+        };
+        let cycle: Vec<String> = nodes.iter().map(|n| flow::display_lock(n)).collect();
+        out.push(diag_at(
+            f.ctx,
+            "lock-order",
+            e.ci as usize,
+            format!(
+                "acquisition-order cycle between {} — {here} {held}{opposite}; pick one \
+                 global order or drop the first lock before taking the second",
+                cycle.join(" and "),
+            ),
+        ));
+    }
+    out
+}

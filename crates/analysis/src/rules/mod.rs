@@ -17,9 +17,15 @@ pub mod atomics;
 pub mod determinism;
 pub mod error_hygiene;
 pub mod float_eq;
+pub mod flow;
+pub mod guard_discipline;
+pub mod io_under_lock;
+pub mod lock_order;
 pub mod panic_safety;
 pub mod sync_facade;
 pub mod unsafe_discipline;
+
+use std::collections::HashMap;
 
 use crate::context::FileCtx;
 
@@ -38,6 +44,17 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+/// How a rule consumes the workspace.
+pub enum Check {
+    /// Runs independently per file — the token-pattern rules.
+    File(fn(&FileCtx) -> Vec<Diagnostic>),
+    /// Runs once over every file together — the CFG/dataflow rules,
+    /// whose interprocedural summaries and acquisition graph span
+    /// crates. Diagnostics carry their own `file` and are bucketed
+    /// back by the runner.
+    Workspace(fn(&[FileCtx]) -> Vec<Diagnostic>),
+}
+
 /// A rule: metadata plus its checker.
 pub struct Rule {
     pub name: &'static str,
@@ -45,7 +62,7 @@ pub struct Rule {
     pub summary: &'static str,
     /// Long-form text shown by `--explain <rule>`.
     pub explain: &'static str,
-    pub check: fn(&FileCtx) -> Vec<Diagnostic>,
+    pub check: Check,
 }
 
 /// Every shipped rule, in reporting order.
@@ -55,43 +72,61 @@ pub fn all_rules() -> &'static [Rule] {
             name: "panic-safety",
             summary: "no unwrap/expect/panic!/todo!/unimplemented! outside test code",
             explain: panic_safety::EXPLAIN,
-            check: panic_safety::check,
+            check: Check::File(panic_safety::check),
         },
         Rule {
             name: "atomics-discipline",
             summary: "non-SeqCst atomic orderings require an `// ORDERING:` justification",
             explain: atomics::EXPLAIN,
-            check: atomics::check,
+            check: Check::File(atomics::check),
         },
         Rule {
             name: "float-discipline",
             summary: "float ==/!= in csj-geom/csj-core requires a `// FLOAT-EQ:` annotation",
             explain: float_eq::EXPLAIN,
-            check: float_eq::check,
+            check: Check::File(float_eq::check),
         },
         Rule {
             name: "determinism",
             summary: "no wall-clock or RNG in the deterministic merge/output modules",
             explain: determinism::EXPLAIN,
-            check: determinism::check,
+            check: Check::File(determinism::check),
         },
         Rule {
             name: "error-hygiene",
             summary: "pub fns returning Result need a doc comment with an `# Errors` section",
             explain: error_hygiene::EXPLAIN,
-            check: error_hygiene::check,
+            check: Check::File(error_hygiene::check),
         },
         Rule {
             name: "sync-facade",
             summary: "csj-core uses `crate::sync`, never `std::sync`, outside the facade",
             explain: sync_facade::EXPLAIN,
-            check: sync_facade::check,
+            check: Check::File(sync_facade::check),
         },
         Rule {
             name: "unsafe-discipline",
             summary: "every `unsafe` block requires a `// SAFETY:` justification",
             explain: unsafe_discipline::EXPLAIN,
-            check: unsafe_discipline::check,
+            check: Check::File(unsafe_discipline::check),
+        },
+        Rule {
+            name: "guard-discipline",
+            summary: "buffer-pool pins and RAII guards balance on every CFG path",
+            explain: guard_discipline::EXPLAIN,
+            check: Check::Workspace(guard_discipline::check),
+        },
+        Rule {
+            name: "lock-order",
+            summary: "mutex/RefCell acquisition order is acyclic across the workspace",
+            explain: lock_order::EXPLAIN,
+            check: Check::Workspace(lock_order::check),
+        },
+        Rule {
+            name: "io-under-lock",
+            summary: "no disk I/O reachable while a pool borrow or facade lock is held",
+            explain: io_under_lock::EXPLAIN,
+            check: Check::Workspace(io_under_lock::check),
         },
     ]
 }
@@ -109,16 +144,45 @@ pub struct FileReport {
     pub suppressed: usize,
 }
 
-/// Runs all rules over one file and applies suppressions.
+/// Runs all rules over one file and applies suppressions. Workspace
+/// rules see a singleton workspace — this is the seam fixture golden
+/// tests drive; real runs go through [`run_all`] so interprocedural
+/// rules see every file at once.
+pub fn run_rules(ctx: &FileCtx) -> FileReport {
+    run_all(std::slice::from_ref(ctx)).pop().unwrap_or_default()
+}
+
+/// Runs all rules over the whole workspace: per-file rules on each
+/// file, workspace rules once over everything, then suppressions per
+/// file. Returns one report per input context, in order.
+pub fn run_all(ctxs: &[FileCtx]) -> Vec<FileReport> {
+    let mut raw: Vec<Vec<Diagnostic>> = ctxs.iter().map(|_| Vec::new()).collect();
+    let by_path: HashMap<&str, usize> =
+        ctxs.iter().enumerate().map(|(i, c)| (c.rel_path, i)).collect();
+    for rule in all_rules() {
+        match rule.check {
+            Check::File(f) => {
+                for (i, ctx) in ctxs.iter().enumerate() {
+                    raw[i].extend(f(ctx));
+                }
+            }
+            Check::Workspace(f) => {
+                for d in f(ctxs) {
+                    if let Some(&i) = by_path.get(d.file.as_str()) {
+                        raw[i].push(d);
+                    }
+                }
+            }
+        }
+    }
+    ctxs.iter().zip(raw).map(|(ctx, diags)| apply_suppressions(ctx, diags)).collect()
+}
+
+/// Applies one file's suppressions to its raw diagnostics.
 ///
 /// Suppression-hygiene problems (missing reason, unknown rule name)
 /// surface as [`META_RULE`] diagnostics and are never suppressible.
-pub fn run_rules(ctx: &FileCtx) -> FileReport {
-    let mut raw: Vec<Diagnostic> = Vec::new();
-    for rule in all_rules() {
-        raw.extend((rule.check)(ctx));
-    }
-
+fn apply_suppressions(ctx: &FileCtx, raw: Vec<Diagnostic>) -> FileReport {
     let mut report = FileReport::default();
     for s in &ctx.suppressions {
         if s.rules.is_empty() {

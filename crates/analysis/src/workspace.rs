@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 
 use crate::context::{CrateKind, FileCtx, FileRole};
 use crate::lexer::lex;
-use crate::rules::{run_rules, FileReport};
+use crate::rules::{run_all, run_rules, FileReport};
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "results", "fixtures"];
@@ -111,13 +111,28 @@ pub fn analyze_workspace(root: &Path) -> Result<WorkspaceReport, String> {
     collect_rs_files(root, root, &mut rs_files)?;
     rs_files.sort();
 
-    let mut report = WorkspaceReport::default();
+    // Materialize every file first: workspace-level rules (call
+    // summaries, the lock acquisition graph) need all contexts at once.
+    let mut meta: Vec<(String, CrateKind, FileRole)> = Vec::new();
+    let mut token_sets = Vec::new();
     for rel in rs_files {
         let Some(kind) = classify(&rel) else { continue };
         let role = role_of(&rel);
         let source =
             fs::read_to_string(root.join(&rel)).map_err(|e| format!("reading {rel}: {e}"))?;
-        let file_report = analyze_source(&rel, &source, kind, role);
+        token_sets.push(lex(&source));
+        meta.push((rel, kind, role));
+    }
+    let ctxs: Vec<FileCtx> = meta
+        .iter()
+        .zip(&token_sets)
+        .map(|((rel, kind, role), toks)| FileCtx::new(rel, *kind, *role, toks))
+        .collect();
+    let reports = run_all(&ctxs);
+    drop(ctxs);
+
+    let mut report = WorkspaceReport::default();
+    for ((rel, _, _), file_report) in meta.into_iter().zip(reports) {
         report.files.push(AnalyzedFile { rel_path: rel, report: file_report });
     }
     Ok(report)

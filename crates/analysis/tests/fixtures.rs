@@ -148,6 +148,61 @@ fn unsafe_discipline_ignores_harness_code() {
 }
 
 #[test]
+fn guard_discipline_bad_fires_on_leak_double_unpin_and_blocking() {
+    let (fired, _) =
+        run("crates/index/src/fixture.rs", include_str!("fixtures/guard_discipline_bad.rs"));
+    // `?`-path leak, early-return leak, double unpin, guard across lock.
+    assert_eq!(lines_of(&fired, "guard-discipline"), vec![8, 17, 25, 30], "fired: {fired:?}");
+    assert_eq!(fired.len(), 4, "no other rule may fire: {fired:?}");
+}
+
+#[test]
+fn guard_discipline_good_is_silent() {
+    let (fired, _) =
+        run("crates/index/src/fixture.rs", include_str!("fixtures/guard_discipline_good.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn guard_discipline_is_scoped_to_the_out_of_core_layer() {
+    let src = include_str!("fixtures/guard_discipline_bad.rs");
+    let (elsewhere, _) = run("crates/geom/src/fixture.rs", src);
+    assert!(lines_of(&elsewhere, "guard-discipline").is_empty(), "fired: {elsewhere:?}");
+}
+
+#[test]
+fn lock_order_bad_reports_the_cycle_once() {
+    let (fired, _) =
+        run("crates/storage/src/fixture.rs", include_str!("fixtures/lock_order_bad.rs"));
+    // One cycle, anchored at the deterministic representative edge.
+    assert_eq!(lines_of(&fired, "lock-order"), vec![8], "fired: {fired:?}");
+    assert_eq!(fired.len(), 1, "no other rule may fire: {fired:?}");
+}
+
+#[test]
+fn lock_order_good_is_silent() {
+    let (fired, _) =
+        run("crates/storage/src/fixture.rs", include_str!("fixtures/lock_order_good.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn io_under_lock_bad_fires_direct_and_interprocedural() {
+    let (fired, _) =
+        run("crates/storage/src/fixture.rs", include_str!("fixtures/io_under_lock_bad.rs"));
+    // Under a RefCell borrow, under a mutex, and via a callee summary.
+    assert_eq!(lines_of(&fired, "io-under-lock"), vec![8, 15, 25], "fired: {fired:?}");
+    assert_eq!(fired.len(), 3, "no other rule may fire: {fired:?}");
+}
+
+#[test]
+fn io_under_lock_good_is_silent() {
+    let (fired, _) =
+        run("crates/storage/src/fixture.rs", include_str!("fixtures/io_under_lock_good.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
 fn suppression_mechanics() {
     let (fired, suppressed) =
         run("crates/core/src/fixture.rs", include_str!("fixtures/suppression_mechanics.rs"));

@@ -1,0 +1,34 @@
+//! Seeded guard-discipline bugs: a pin leaked on the `?` error path,
+//! a pin leaked on an early return, a double unpin, and a pool guard
+//! held across a blocking mutex acquisition.
+
+impl Store {
+    fn leak_on_question(&self, page: u32) -> Result<(), Error> {
+        self.pool.pin(page);
+        let node = self.decode(page)?;
+        self.index.insert(page, node);
+        self.pool.unpin(page);
+        Ok(())
+    }
+
+    fn leak_on_return(&self, page: u32, skip: bool) {
+        self.pool.pin(page);
+        if skip {
+            return;
+        }
+        self.pool.unpin(page);
+    }
+
+    fn double_unpin(&self, page: u32) {
+        self.pool.pin(page);
+        self.pool.unpin(page);
+        self.pool.unpin(page);
+    }
+
+    fn block_while_guarded(&self, page: u32) -> Result<usize, Error> {
+        let guard = self.store.node(page)?;
+        let queue = lock(&self.queue);
+        queue.push_back(guard.len());
+        Ok(guard.len())
+    }
+}

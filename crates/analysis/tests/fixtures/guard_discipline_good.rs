@@ -1,0 +1,44 @@
+//! Clean pin/guard usage: every pin is unpinned on every path, RAII
+//! transfer into a `*Guard` struct absorbs the pin, and guards are
+//! dropped before anything that can block.
+
+impl Store {
+    fn balanced_paths(&self, page: u32) -> Result<(), Error> {
+        self.pool.pin(page);
+        match self.decode(page) {
+            Ok(node) => {
+                self.index.insert(page, node);
+                self.pool.unpin(page);
+                Ok(())
+            }
+            Err(e) => {
+                self.pool.unpin(page);
+                Err(e)
+            }
+        }
+    }
+
+    fn raii_transfer(&self, page: u32) -> NodeGuard<'_> {
+        self.pool.pin(page);
+        NodeGuard { store: self, page }
+    }
+
+    fn drop_before_blocking(&self, page: u32) -> Result<usize, Error> {
+        let guard = self.store.node(page)?;
+        let width = guard.len();
+        drop(guard);
+        let queue = lock(&self.queue);
+        queue.push_back(width);
+        Ok(width)
+    }
+
+    fn scoped_guard(&self, page: u32) -> Result<usize, Error> {
+        let width = {
+            let guard = self.store.node(page)?;
+            guard.len()
+        };
+        let queue = lock(&self.queue);
+        queue.push_back(width);
+        Ok(width)
+    }
+}

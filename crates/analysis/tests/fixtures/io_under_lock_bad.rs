@@ -1,0 +1,28 @@
+//! Seeded io-under-lock bugs: direct disk I/O inside a `RefCell`
+//! borrow of the pool state, inside a mutex critical section, and
+//! reached through a callee whose summary performs I/O.
+
+impl Pool {
+    fn read_under_borrow(&self, page: u32) -> Vec<u8> {
+        let state = self.inner.borrow_mut();
+        let bytes = self.disk.read(page);
+        state.admit(page);
+        bytes
+    }
+
+    fn write_under_mutex(&self, page: u32, bytes: &[u8]) {
+        let queue = lock(&self.queue);
+        self.disk.write(page, bytes);
+        queue.push_back(page);
+    }
+
+    fn spill_pages(&self, page: u32) {
+        self.disk.write(page, 0);
+    }
+
+    fn spill_under_borrow(&self, page: u32) {
+        let state = self.inner.borrow_mut();
+        self.spill_pages(page);
+        state.admit(page);
+    }
+}

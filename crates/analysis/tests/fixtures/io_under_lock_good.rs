@@ -1,0 +1,28 @@
+//! Clean I/O discipline: borrows end (or are dropped) before the disk
+//! is touched, and borrows of the cell that owns the I/O object are
+//! exempt — serializing the device behind its own cell is the point.
+
+impl Pool {
+    fn read_after_borrow(&self, page: u32) -> Vec<u8> {
+        let staged = {
+            let state = self.inner.borrow_mut();
+            state.take_staged(page)
+        };
+        match staged {
+            Some(bytes) => bytes,
+            None => self.disk.read(page),
+        }
+    }
+
+    fn write_after_drop(&self, page: u32, bytes: &[u8]) {
+        let queue = lock(&self.queue);
+        queue.push_back(page);
+        drop(queue);
+        self.disk.write(page, bytes);
+    }
+
+    fn io_cell_is_exempt(&self, page: u32) -> Vec<u8> {
+        let pager = self.io.borrow_mut();
+        pager.read(page)
+    }
+}

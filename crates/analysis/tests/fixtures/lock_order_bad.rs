@@ -1,0 +1,17 @@
+//! Seeded lock-order cycle: one function takes `alpha` before `beta`,
+//! another takes `beta` before `alpha`. Two threads running one each
+//! can deadlock.
+
+impl Scheduler {
+    fn forward(&self) -> usize {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta);
+        a.len() + b.len()
+    }
+
+    fn backward(&self) -> usize {
+        let b = lock(&self.beta);
+        let a = lock(&self.alpha);
+        a.len() + b.len()
+    }
+}

@@ -1,0 +1,26 @@
+//! Consistent acquisition order: every function that needs both locks
+//! takes `alpha` strictly before `beta`, and the short path drops the
+//! first lock before taking the second.
+
+impl Scheduler {
+    fn forward(&self) -> usize {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta);
+        a.len() + b.len()
+    }
+
+    fn also_forward(&self) -> usize {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta);
+        b.len() - a.len()
+    }
+
+    fn sequential(&self) -> usize {
+        let hint = {
+            let b = lock(&self.beta);
+            b.len()
+        };
+        let a = lock(&self.alpha);
+        a.len() + hint
+    }
+}

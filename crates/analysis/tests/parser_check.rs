@@ -1,0 +1,149 @@
+//! Parser self-check: every `.rs` file in the workspace must parse
+//! with zero recoveries, and the spans the parser hands out must agree
+//! with the lexer's token stream. This is the contract that lets the
+//! CFG/dataflow rules (guard-discipline, lock-order, io-under-lock)
+//! trust the AST: grammar the engine starts using must be taught to
+//! the parser in the same PR that introduces it.
+
+use std::fs;
+use std::path::Path;
+
+use csj_analysis::ast::{self, Block, Item, ItemKind, ParsedFile, Stmt};
+use csj_analysis::workspace::{classify, find_workspace_root, role_of};
+use csj_analysis::{lexer, FileCtx};
+
+fn workspace_files() -> Vec<(String, String)> {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let mut files = Vec::new();
+    collect(&root, &root, &mut files);
+    files.sort();
+    files
+        .into_iter()
+        .map(|rel| {
+            let src = fs::read_to_string(root.join(&rel)).expect("readable source");
+            (rel, src)
+        })
+        .collect()
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    for entry in fs::read_dir(dir).expect("readable dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy().to_string();
+        if path.is_dir() {
+            // Unlike the lint walk we descend into `fixtures` too: the
+            // seeded-bug corpus must stay parseable so golden tests
+            // exercise the dataflow engine, not parser recovery.
+            if matches!(name.as_str(), "target" | ".git" | ".github" | "results")
+                || name.starts_with('.')
+            {
+                continue;
+            }
+            collect(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_workspace_file_parses_with_zero_recoveries() {
+    let files = workspace_files();
+    assert!(files.len() > 50, "workspace walk found only {} files", files.len());
+    let mut bad = Vec::new();
+    for (rel, src) in &files {
+        let tokens = lexer::lex(src);
+        let kind = classify(rel).unwrap_or(csj_analysis::CrateKind::Library);
+        let ctx = FileCtx::new(rel, kind, role_of(rel), &tokens);
+        let parsed = ast::parse(&ctx);
+        for e in &parsed.errors {
+            let (line, col) = ctx
+                .code
+                .get(e.at as usize)
+                .map(|&i| (tokens[i].line, tokens[i].col))
+                .unwrap_or((0, 0));
+            bad.push(format!("{rel}:{line}:{col}: {}", e.what));
+        }
+    }
+    assert!(bad.is_empty(), "parser recoveries in {} place(s):\n{}", bad.len(), bad.join("\n"));
+}
+
+#[test]
+fn parser_spans_agree_with_lexer_tokens() {
+    for (rel, src) in workspace_files() {
+        let tokens = lexer::lex(&src);
+        let kind = classify(&rel).unwrap_or(csj_analysis::CrateKind::Library);
+        let ctx = FileCtx::new(&rel, kind, role_of(&rel), &tokens);
+        let parsed = ast::parse(&ctx);
+        check_items(&rel, &ctx, &parsed);
+    }
+}
+
+fn check_items(rel: &str, ctx: &FileCtx, parsed: &ParsedFile) {
+    let n = ctx.code.len() as u32;
+    // Sibling items tile the file in order; together with the parser
+    // consuming every token this pins spans to real lexer positions.
+    let mut prev_hi = 0u32;
+    for item in &parsed.items {
+        assert!(item.span.lo >= prev_hi, "{rel}: overlapping top-level item spans");
+        prev_hi = item.span.hi;
+        walk_item(rel, ctx, item, n);
+    }
+    if let Some(last) = parsed.items.last() {
+        assert_eq!(last.span.hi, n, "{rel}: parser did not consume the whole file");
+    }
+}
+
+fn walk_item(rel: &str, ctx: &FileCtx, item: &Item, n: u32) {
+    assert!(item.span.lo <= item.span.hi && item.span.hi <= n, "{rel}: span out of range");
+    // Every span endpoint resolves to a real token with a real
+    // line/col — the property the diagnostics pipeline depends on.
+    if item.span.lo < item.span.hi {
+        let t = ctx.code_tok(item.span.lo as usize);
+        assert!(t.line >= 1 && t.col >= 1, "{rel}: span lo resolves to no position");
+    }
+    match &item.kind {
+        ItemKind::Fn(f) => {
+            assert!(
+                f.span.lo >= item.span.lo && f.span.hi <= item.span.hi,
+                "{rel}: fn span escapes item span"
+            );
+            if let Some(body) = &f.body {
+                assert_eq!(
+                    ctx.code_text(body.span.lo as isize),
+                    "{",
+                    "{rel}: fn body span does not start at its opening brace"
+                );
+                assert_eq!(
+                    ctx.code_text(body.span.hi as isize - 1),
+                    "}",
+                    "{rel}: fn body span does not end at its closing brace"
+                );
+                walk_block(rel, ctx, body, n);
+            }
+        }
+        ItemKind::Mod(children) | ItemKind::Impl(children) | ItemKind::Trait(children) => {
+            for child in children {
+                assert!(
+                    child.span.lo >= item.span.lo && child.span.hi <= item.span.hi,
+                    "{rel}: child item span escapes parent"
+                );
+                walk_item(rel, ctx, child, n);
+            }
+        }
+        ItemKind::Other(_) => {}
+    }
+}
+
+fn walk_block(rel: &str, ctx: &FileCtx, block: &Block, n: u32) {
+    assert!(block.span.hi <= n, "{rel}: block span out of range");
+    for stmt in &block.stmts {
+        if let Stmt::Item(item) = stmt {
+            walk_item(rel, ctx, item, n);
+        }
+    }
+}

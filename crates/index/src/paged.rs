@@ -328,8 +328,11 @@ pub struct PagedStats {
     pub nodes_decoded: u64,
 }
 
-struct StoreInner<const D: usize, Dk: Disk> {
-    pager: RetryPager<Dk>,
+/// In-memory page state: the pool, the decoded-node cache, dirty
+/// tracking, and the prefetch staging area. Never touches the disk —
+/// write-back work leaves as [`PoolState::detach`] results the caller
+/// performs *after* releasing the borrow.
+struct PoolState<const D: usize> {
     pool: BufferPool,
     cache: HashMap<PageId, Rc<PagedNode<D>>>,
     dirty: HashSet<PageId>,
@@ -338,18 +341,21 @@ struct StoreInner<const D: usize, Dk: Disk> {
     nodes_decoded: u64,
 }
 
-impl<const D: usize, Dk: Disk> StoreInner<D, Dk> {
-    /// Removes `victim` from the cache, writing it back first if dirty.
-    fn evict(&mut self, victim: PageId) -> Result<(), StorageError> {
+impl<const D: usize> PoolState<D> {
+    /// Detaches an evicted `victim` from the cache, returning its
+    /// encoded bytes when it was dirty and must reach the disk. The
+    /// write itself is the caller's job, outside this borrow.
+    fn detach(&mut self, victim: PageId) -> Option<(PageId, Vec<u8>)> {
         let node = self.cache.remove(&victim);
         if self.dirty.remove(&victim) {
             // csj-lint: allow(panic-safety) — a dirty page is by
             // construction cached; the pool never evicts what the cache
             // does not hold.
             let node = node.expect("dirty page must be cached");
-            self.pager.write(&Page::with_data(victim, encode_node(node.as_ref())))?;
+            Some((victim, encode_node(node.as_ref())))
+        } else {
+            None
         }
-        Ok(())
     }
 }
 
@@ -360,18 +366,27 @@ impl<const D: usize, Dk: Disk> StoreInner<D, Dk> {
 /// Single-threaded by design (interior mutability via `RefCell`); the
 /// async prefetcher runs in `csj-core` and hands raw page bytes in
 /// through [`PagedStore::stage_raw`].
+///
+/// Pool state and the pager live in *separate* cells so that no disk
+/// access ever happens while the state borrow is held: each operation
+/// runs as short state-only critical sections with the I/O between
+/// them. Beyond keeping the borrow windows tiny, this fixes a failure
+/// -atomicity bug the single-cell layout had: a page used to be
+/// admitted to the pool *before* its disk read, so a failed read left
+/// the pool claiming a residency the cache never got.
 pub struct PagedStore<const D: usize, Dk: Disk> {
-    inner: RefCell<StoreInner<D, Dk>>,
+    state: RefCell<PoolState<D>>,
+    io: RefCell<RetryPager<Dk>>,
 }
 
 impl<const D: usize, Dk: Disk> std::fmt::Debug for PagedStore<D, Dk> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.borrow();
+        let state = self.state.borrow();
         f.debug_struct("PagedStore")
-            .field("pool_capacity", &inner.pool.capacity())
-            .field("cached", &inner.cache.len())
-            .field("dirty", &inner.dirty.len())
-            .field("staged", &inner.staged.len())
+            .field("pool_capacity", &state.pool.capacity())
+            .field("cached", &state.cache.len())
+            .field("dirty", &state.dirty.len())
+            .field("staged", &state.staged.len())
             .finish()
     }
 }
@@ -401,7 +416,7 @@ impl<const D: usize, Dk: Disk> NodeGuard<'_, D, Dk> {
 
 impl<const D: usize, Dk: Disk> Drop for NodeGuard<'_, D, Dk> {
     fn drop(&mut self) {
-        self.store.inner.borrow_mut().pool.unpin(self.page);
+        self.store.state.borrow_mut().pool.unpin(self.page);
     }
 }
 
@@ -409,8 +424,7 @@ impl<const D: usize, Dk: Disk> PagedStore<D, Dk> {
     /// A store over `disk` with an LRU pool of `pool_pages` frames.
     pub fn new(disk: Dk, policy: RetryPolicy, pool_pages: usize) -> Self {
         PagedStore {
-            inner: RefCell::new(StoreInner {
-                pager: RetryPager::new(disk, policy),
+            state: RefCell::new(PoolState {
                 pool: BufferPool::new(pool_pages),
                 cache: HashMap::new(),
                 dirty: HashSet::new(),
@@ -418,42 +432,83 @@ impl<const D: usize, Dk: Disk> PagedStore<D, Dk> {
                 prefetch_supplied: 0,
                 nodes_decoded: 0,
             }),
+            io: RefCell::new(RetryPager::new(disk, policy)),
         }
     }
 
     /// Reads (or finds cached) the node on `page`, pinning it for the
     /// lifetime of the returned guard.
     ///
+    /// The page is admitted to the pool only *after* its bytes have
+    /// been read and decoded: a failed read leaves the pool, cache and
+    /// staging exactly as they were, so the call can simply be retried.
+    ///
     /// # Errors
     /// Returns [`StorageError::AllPagesPinned`] when the pool cannot
     /// admit the page, [`StorageError::Io`] for disk failures or a
     /// corrupt page, and whatever the retry pager could not absorb.
     pub fn node(&self, page: PageId) -> Result<NodeGuard<'_, D, Dk>, StorageError> {
-        let mut inner = self.inner.borrow_mut();
-        let adm = inner.pool.try_access(page)?;
-        if let Some(victim) = adm.evicted {
-            inner.evict(victim)?;
-        }
-        let node = if adm.hit {
-            match inner.cache.get(&page) {
-                Some(n) => n.clone(),
-                None => return Err(corrupt(page, "pool/cache desync (resident but not cached)")),
+        // Fast path: resident. One short state borrow, no I/O.
+        let staged = {
+            let mut state = self.state.borrow_mut();
+            if state.pool.contains(page) {
+                let adm = state.pool.try_access(page)?;
+                debug_assert!(adm.hit && adm.evicted.is_none());
+                let node = match state.cache.get(&page) {
+                    Some(n) => n.clone(),
+                    None => {
+                        return Err(corrupt(page, "pool/cache desync (resident but not cached)"))
+                    }
+                };
+                state.pool.pin(page);
+                return Ok(NodeGuard { store: self, page, node });
             }
-        } else {
-            let bytes = match inner.staged.remove(&page) {
-                Some(b) => {
-                    inner.prefetch_supplied += 1;
-                    b
-                }
-                None => inner.pager.read(page)?.data,
-            };
-            let node = Rc::new(decode_node::<D>(&bytes, page)?);
-            inner.nodes_decoded += 1;
-            inner.cache.insert(page, node.clone());
-            node
+            state.staged.remove(&page)
         };
-        inner.pool.pin(page);
-        drop(inner);
+
+        // Miss: fetch and decode with no borrow across the I/O.
+        let from_prefetch = staged.is_some();
+        let bytes = match staged {
+            Some(b) => b,
+            None => self.io.borrow_mut().read(page)?.data,
+        };
+        let node = Rc::new(decode_node::<D>(&bytes, page)?);
+
+        // Admit, pin, and collect any eviction write-back to perform
+        // after the borrow ends.
+        let writeback = {
+            let mut state = self.state.borrow_mut();
+            let adm = match state.pool.try_access(page) {
+                Ok(adm) => adm,
+                Err(e) => {
+                    if from_prefetch {
+                        // Keep the prefetched copy for a later retry.
+                        state.staged.insert(page, bytes);
+                    }
+                    return Err(e);
+                }
+            };
+            let writeback = adm.evicted.and_then(|victim| state.detach(victim));
+            if from_prefetch {
+                state.prefetch_supplied += 1;
+            }
+            state.nodes_decoded += 1;
+            state.cache.insert(page, node.clone());
+            state.pool.pin(page);
+            writeback
+        };
+        if let Some((victim, data)) = writeback {
+            // Bound `let` so the io borrow ends before the error path
+            // re-borrows state (an `if let` scrutinee temporary would
+            // outlive the whole branch) — state before io, always.
+            let written = self.io.borrow_mut().write(&Page::with_data(victim, data));
+            if let Err(e) = written {
+                // Keep the pin count balanced on the error path; the
+                // page itself stays resident and cached.
+                self.state.borrow_mut().pool.unpin(page);
+                return Err(e);
+            }
+        }
         Ok(NodeGuard { store: self, page, node })
     }
 
@@ -479,17 +534,24 @@ impl<const D: usize, Dk: Disk> PagedStore<D, Dk> {
                 ),
             });
         }
-        let mut inner = self.inner.borrow_mut();
-        if inner.pager.disk().num_pages() == 0 {
-            inner.pager.disk_mut().alloc_through(PageId(0))?; // superblock
+        let page = {
+            let mut io = self.io.borrow_mut();
+            if io.disk().num_pages() == 0 {
+                io.disk_mut().alloc_through(PageId(0))?; // superblock
+            }
+            io.disk_mut().alloc()?
+        };
+        let writeback = {
+            let mut state = self.state.borrow_mut();
+            let adm = state.pool.try_access(page)?;
+            let writeback = adm.evicted.and_then(|victim| state.detach(victim));
+            state.cache.insert(page, Rc::new(node));
+            state.dirty.insert(page);
+            writeback
+        };
+        if let Some((victim, data)) = writeback {
+            self.io.borrow_mut().write(&Page::with_data(victim, data))?;
         }
-        let page = inner.pager.disk_mut().alloc()?;
-        let adm = inner.pool.try_access(page)?;
-        if let Some(victim) = adm.evicted {
-            inner.evict(victim)?;
-        }
-        inner.cache.insert(page, Rc::new(node));
-        inner.dirty.insert(page);
         Ok(page)
     }
 
@@ -498,9 +560,9 @@ impl<const D: usize, Dk: Disk> PagedStore<D, Dk> {
     /// # Errors
     /// Returns [`StorageError::Io`] when allocation or the write fails.
     pub fn write_superblock(&self, meta: &PagedMeta) -> Result<(), StorageError> {
-        let mut inner = self.inner.borrow_mut();
-        inner.pager.disk_mut().alloc_through(PageId(0))?;
-        inner.pager.write(&Page::with_data(PageId(0), encode_superblock(meta)))
+        let mut io = self.io.borrow_mut();
+        io.disk_mut().alloc_through(PageId(0))?;
+        io.write(&Page::with_data(PageId(0), encode_superblock(meta)))
     }
 
     /// Reads and decodes the superblock.
@@ -509,8 +571,7 @@ impl<const D: usize, Dk: Disk> PagedStore<D, Dk> {
     /// Returns [`StorageError::Io`] when the read fails, the file is not
     /// a CSJ page file, or its dimensionality differs from `D`.
     pub fn read_superblock(&self) -> Result<PagedMeta, StorageError> {
-        let mut inner = self.inner.borrow_mut();
-        let page = inner.pager.read(PageId(0))?;
+        let page = self.io.borrow_mut().read(PageId(0))?;
         let meta = decode_superblock(&page.data)?;
         if meta.dims as usize != D {
             return Err(corrupt(
@@ -528,63 +589,80 @@ impl<const D: usize, Dk: Disk> PagedStore<D, Dk> {
     /// Returns [`StorageError::Io`] (or an exhausted-retries error) when
     /// a write-back or the final sync fails.
     pub fn checkpoint(&self) -> Result<(), StorageError> {
-        let mut inner = self.inner.borrow_mut();
-        let mut dirty: Vec<PageId> = inner.dirty.iter().copied().collect();
-        dirty.sort_unstable(); // deterministic write order
-        for page in dirty {
-            // csj-lint: allow(panic-safety) — dirty pages are cached by
-            // construction (see evict); absence is a logic bug.
-            let node = inner.cache.get(&page).expect("dirty page must be cached").clone();
-            inner.pager.write(&Page::with_data(page, encode_node(node.as_ref())))?;
+        // Snapshot the dirty set (sorted: deterministic write order)
+        // and encode under the state borrow; write with only the pager
+        // borrowed. The dirty set is cleared only after a successful
+        // sync, so a failed checkpoint can be retried.
+        let batch: Vec<(PageId, Vec<u8>)> = {
+            let state = self.state.borrow();
+            let mut dirty: Vec<PageId> = state.dirty.iter().copied().collect();
+            dirty.sort_unstable();
+            dirty
+                .into_iter()
+                .map(|page| {
+                    // csj-lint: allow(panic-safety) — dirty pages are cached
+                    // by construction (see detach); absence is a logic bug.
+                    let node = state.cache.get(&page).expect("dirty page must be cached");
+                    (page, encode_node(node.as_ref()))
+                })
+                .collect()
+        };
+        {
+            let mut io = self.io.borrow_mut();
+            for (page, data) in batch {
+                io.write(&Page::with_data(page, data))?;
+            }
+            io.sync()?;
         }
-        inner.dirty.clear();
-        inner.pager.sync()
+        self.state.borrow_mut().dirty.clear();
+        Ok(())
     }
 
     /// Offers raw prefetched page bytes. Accepted (and later consumed by
     /// the next miss on that page) unless the page is already resident
     /// or already staged; returns whether the bytes were kept.
     pub fn stage_raw(&self, page: PageId, bytes: Vec<u8>) -> bool {
-        let mut inner = self.inner.borrow_mut();
-        if inner.pool.contains(page) || inner.staged.contains_key(&page) {
+        let mut state = self.state.borrow_mut();
+        if state.pool.contains(page) || state.staged.contains_key(&page) {
             return false;
         }
-        inner.staged.insert(page, bytes);
+        state.staged.insert(page, bytes);
         true
     }
 
     /// `true` when `page` is resident in the pool (its node is cached).
     pub fn is_resident(&self, page: PageId) -> bool {
-        self.inner.borrow().pool.contains(page)
+        self.state.borrow().pool.contains(page)
     }
 
     /// Bytes currently held in the prefetch staging area.
     pub fn staged_bytes(&self) -> usize {
-        self.inner.borrow().staged.values().map(Vec::len).sum()
+        self.state.borrow().staged.values().map(Vec::len).sum()
     }
 
     /// Pool capacity in pages.
     pub fn pool_capacity(&self) -> usize {
-        self.inner.borrow().pool.capacity()
+        self.state.borrow().pool.capacity()
     }
 
     /// Cumulative counters (pool, disk, retries, prefetch).
     pub fn stats(&self) -> PagedStats {
-        let inner = self.inner.borrow();
+        let state = self.state.borrow();
+        let io = self.io.borrow();
         PagedStats {
-            pool: inner.pool.stats(),
-            disk_reads: inner.pager.disk().reads(),
-            disk_writes: inner.pager.disk().writes(),
-            io_retries: inner.pager.retries(),
-            faults_injected: inner.pager.disk().faults_injected(),
-            prefetch_supplied: inner.prefetch_supplied,
-            nodes_decoded: inner.nodes_decoded,
+            pool: state.pool.stats(),
+            disk_reads: io.disk().reads(),
+            disk_writes: io.disk().writes(),
+            io_retries: io.retries(),
+            faults_injected: io.disk().faults_injected(),
+            prefetch_supplied: state.prefetch_supplied,
+            nodes_decoded: state.nodes_decoded,
         }
     }
 
     /// Consumes the store, returning the backing disk.
     pub fn into_disk(self) -> Dk {
-        self.inner.into_inner().pager.into_disk()
+        self.io.into_inner().into_disk()
     }
 }
 
@@ -822,7 +900,7 @@ fn write_subtree<const D: usize, Dk: Disk>(
 mod tests {
     use super::*;
     use crate::bulk::{hilbert_pack, omt_pack, str_pack};
-    use csj_storage::SimulatedDisk;
+    use csj_storage::{FaultPolicy, SimulatedDisk};
 
     fn scatter(n: usize) -> Vec<Point<2>> {
         (0..n)
@@ -1033,5 +1111,86 @@ mod tests {
         let after = tree.stats();
         assert_eq!(after.disk_reads, reads_before, "miss served from staged bytes");
         assert_eq!(after.prefetch_supplied, before.prefetch_supplied + 1);
+    }
+
+    /// Delegates to a populated [`SimulatedDisk`] but fails the next
+    /// `fail_reads` read attempts — fault injection for a disk that
+    /// already holds pages (the built-in policy only wraps new disks).
+    struct FlakyDisk {
+        inner: SimulatedDisk,
+        fail_reads: u64,
+        injected: u64,
+    }
+
+    impl Disk for FlakyDisk {
+        fn num_pages(&self) -> u64 {
+            self.inner.num_pages() as u64
+        }
+        fn alloc(&mut self) -> Result<PageId, StorageError> {
+            Ok(self.inner.alloc())
+        }
+        fn alloc_through(&mut self, id: PageId) -> Result<(), StorageError> {
+            self.inner.alloc_through(id);
+            Ok(())
+        }
+        fn read(&mut self, id: PageId) -> Result<Page, StorageError> {
+            if self.fail_reads > 0 {
+                self.fail_reads -= 1;
+                self.injected += 1;
+                return Err(StorageError::FaultInjected { op: IoOp::Read, seq: self.injected });
+            }
+            self.inner.read(id)
+        }
+        fn write(&mut self, page: &Page) -> Result<(), StorageError> {
+            self.inner.write(page)
+        }
+        fn sync(&mut self) -> Result<(), StorageError> {
+            Ok(())
+        }
+        fn reads(&self) -> u64 {
+            Disk::reads(&self.inner)
+        }
+        fn writes(&self) -> u64 {
+            Disk::writes(&self.inner)
+        }
+        fn faults_injected(&self) -> u64 {
+            self.injected + self.inner.faults_injected()
+        }
+    }
+
+    /// Regression: a page used to be admitted to the pool *before* its
+    /// disk read, so a failed read left the pool claiming a residency
+    /// the cache never got — every later access to that page then died
+    /// with a pool/cache-desync error. The read must leave no trace.
+    #[test]
+    fn failed_read_leaves_pool_and_cache_consistent() {
+        let store = PagedStore::<2, _>::new(SimulatedDisk::new(), RetryPolicy::none(), 4);
+        let page = store.put_node(PagedNode::leaf(vec![entry(1, 0.1, 0.2)])).unwrap();
+        store.checkpoint().unwrap();
+        let disk = store.into_disk();
+
+        let flaky = FlakyDisk { inner: disk, fail_reads: 1, injected: 0 };
+        let store = PagedStore::<2, _>::new(flaky, RetryPolicy::none(), 4);
+        assert!(store.node(page).is_err(), "the injected read fault must surface");
+        assert!(!store.is_resident(page), "a failed read must not admit the page");
+
+        let guard = store.node(page).expect("the retry reads the intact page");
+        assert_eq!(guard.entries.entries().len(), 1);
+        assert_eq!(store.stats().nodes_decoded, 1, "only the successful read decodes");
+    }
+
+    /// A checkpoint that faults keeps its dirty set, so the caller can
+    /// simply checkpoint again; nothing is marked clean prematurely.
+    #[test]
+    fn failed_checkpoint_keeps_dirty_pages_for_retry() {
+        let disk = SimulatedDisk::with_faults(FaultPolicy::fail_once());
+        let store = PagedStore::<2, _>::new(disk, RetryPolicy::none(), 4);
+        let page = store.put_node(PagedNode::leaf(vec![entry(3, 0.5, 0.5)])).unwrap();
+        assert!(store.checkpoint().is_err(), "the first write attempt faults");
+        store.checkpoint().expect("the retry rewrites the still-dirty page");
+
+        let store = PagedStore::<2, _>::new(store.into_disk(), RetryPolicy::none(), 4);
+        let guard = store.node(page).expect("the page reached the disk");
+        assert_eq!(guard.entries.entries().len(), 1);
     }
 }

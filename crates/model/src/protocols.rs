@@ -21,6 +21,10 @@
 //!   arriving between a pool pop and task execution (mid-steal).
 //! * [`resplit_scenario`] — starvation-driven re-splitting covers
 //!   exactly the parent's leaves, exactly once.
+//! * [`prefetch_scenario`] — the out-of-core prefetcher's budget gate,
+//!   `stage_raw` handoff, failed-read-ahead fallback and drop-time
+//!   cancel/join deliver every page's bytes exactly once (mirrored
+//!   from `csj_core::outofcore`).
 //!
 //! The deliberately broken [`relaxed_publication_race`] (data behind a
 //! `Relaxed` flag) is the seeded-race fixture: the checker must find
@@ -514,6 +518,172 @@ pub fn shard_retry_quiesce_scenario(second_attempt_dies: bool) {
     // exited; it must sit ignored in the channel, never merged.
     let leftover = events.lock().unwrap_or_else(PoisonError::into_inner).len();
     assert!(leftover <= 2, "at most one queued event per attempt");
+}
+
+/// Mirror of `csj_core::outofcore`'s prefetcher handshake: a dedicated
+/// I/O thread races the engine over a byte-budget gate, a page queue
+/// and a ready list, ending in the drop-time cancel/join.
+///
+/// The real protocol (`Prefetcher::spawn` / `drain_into` /
+/// `Drop for Prefetcher`) has three legs, all kept operation for
+/// operation with the same memory orderings:
+///
+/// * the I/O thread admits a read-ahead only while `ready_bytes`
+///   (`Acquire`, pairing with the engine's `AcqRel` `fetch_sub`) plus
+///   one page fits the budget, pops the oldest queued page, and
+///   publishes the bytes with an `AcqRel` `fetch_add` before pushing
+///   them onto `ready`;
+/// * a failed read-ahead is dropped *silently* — the engine reads the
+///   page synchronously when it gets there, so staging only ever
+///   changes who reads the bytes, never what the traversal does;
+/// * the engine drains `ready` into the store via the `stage_raw`
+///   handoff, which rejects pages already resident or already staged;
+///   on drop it cancels (`Relaxed`, the `CancelToken` mirror) and
+///   joins the thread.
+///
+/// Asserted under every schedule within the bound: the budget gate
+/// never over-admits, every page is decoded exactly once from exactly
+/// one source (staged bytes or the synchronous fallback), a failed
+/// read-ahead never stages, `ready_bytes` balances exactly the
+/// undrained `ready` entries at quiescence, and no staged page is lost
+/// or duplicated across the handoff
+/// (`supplied + unconsumed + rejected + leftover == read_ahead`).
+///
+/// `read_ahead_fails` injects the lost-read leg: the prefetch read of
+/// one page fails, and that page must arrive via the fallback.
+pub fn prefetch_scenario(read_ahead_fails: bool) {
+    const PAGES: u64 = 4;
+    const FAIL_PAGE: u64 = 2;
+    /// Model page size: one budget unit per page.
+    const PAGE_BYTES: usize = 1;
+    /// One page of budget, so the gate genuinely blocks and every
+    /// admit/drain alternation is explored.
+    const BUDGET: usize = 1;
+
+    struct PrefetchModel {
+        /// Pages the engine wants read, oldest first.
+        queue: Mutex<VecDeque<u64>>,
+        /// Pages read and awaiting hand-off to the store.
+        ready: Mutex<Vec<(u64, usize)>>,
+        /// Bytes held in `ready` — the admission gate.
+        ready_bytes: AtomicUsize,
+        /// Max bytes of read-ahead admitted to `ready`.
+        budget: usize,
+        /// Mirror of `CancelToken`'s flag.
+        cancel: AtomicBool,
+    }
+
+    let shared = Arc::new(PrefetchModel {
+        queue: Mutex::new((1..=PAGES).collect()),
+        ready: Mutex::new(Vec::new()),
+        ready_bytes: AtomicUsize::new(0),
+        budget: BUDGET,
+        cancel: AtomicBool::new(false),
+    });
+
+    // The I/O thread: the exact loop of `Prefetcher::spawn` — cancel
+    // check, budget gate, queue pop, fallible read, publish.
+    let io = thread::spawn({
+        let shared = Arc::clone(&shared);
+        move || {
+            let mut read_ahead = 0usize;
+            // ORDERING: mirror of CancelToken::is_canceled (Relaxed).
+            while !shared.cancel.load(Ordering::Relaxed) {
+                // ORDERING: Acquire pairs with the engine's AcqRel
+                // fetch_sub in the drain, exactly as in the gate of
+                // `Prefetcher::spawn`.
+                if shared.ready_bytes.load(Ordering::Acquire) + PAGE_BYTES > shared.budget {
+                    thread::yield_now(); // frontier full: wait for a drain
+                    continue;
+                }
+                let next = shared.queue.lock().unwrap_or_else(PoisonError::into_inner).pop_front();
+                let Some(page) = next else {
+                    thread::yield_now();
+                    continue;
+                };
+                // A failed read-ahead is not an error: dropped silently,
+                // the engine reads the page synchronously itself.
+                if read_ahead_fails && page == FAIL_PAGE {
+                    continue;
+                }
+                // ORDERING: AcqRel publishes the budget claim to the
+                // gate's Acquire load and the engine's drain, as in
+                // `Prefetcher::spawn`.
+                let seen = shared.ready_bytes.fetch_add(PAGE_BYTES, Ordering::AcqRel);
+                assert!(
+                    seen + PAGE_BYTES <= shared.budget,
+                    "the gate admitted read-ahead past the budget"
+                );
+                shared
+                    .ready
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((page, PAGE_BYTES));
+                read_ahead += 1;
+            }
+            read_ahead
+        }
+    });
+
+    // The engine side: `drain_into` + the staged-or-sync decode of
+    // `PagedStore::node`, page by page along the traversal.
+    let mut resident: Vec<u64> = Vec::new();
+    let mut staged: Vec<(u64, usize)> = Vec::new();
+    let mut supplied = 0usize; // pages decoded from staged bytes
+    let mut sync_reads = 0usize; // pages decoded via the fallback read
+    let mut rejected = 0usize; // stage_raw refusals (already resident/staged)
+    for page in 1..=PAGES {
+        // drain_into: move every completed read into the staging area.
+        let done: Vec<(u64, usize)> =
+            std::mem::take(&mut *shared.ready.lock().unwrap_or_else(PoisonError::into_inner));
+        for (p, bytes) in done {
+            // ORDERING: AcqRel pairs with the gate's Acquire load,
+            // publishing the freed budget, exactly as in `drain_into`.
+            shared.ready_bytes.fetch_sub(bytes, Ordering::AcqRel);
+            // stage_raw: pages already resident or staged are refused.
+            if resident.contains(&p) || staged.iter().any(|&(q, _)| q == p) {
+                rejected += 1;
+            } else {
+                staged.push((p, bytes));
+            }
+        }
+        // node(page): staged bytes win; otherwise the synchronous read.
+        if let Some(i) = staged.iter().position(|&(q, _)| q == page) {
+            staged.remove(i);
+            supplied += 1;
+        } else {
+            sync_reads += 1;
+        }
+        assert!(!resident.contains(&page), "a page was decoded twice");
+        resident.push(page);
+    }
+
+    // Drop handshake, exactly `Drop for Prefetcher`: cancel, then join.
+    // ORDERING: mirror of CancelToken::cancel (Relaxed).
+    shared.cancel.store(true, Ordering::Relaxed);
+    let read_ahead = io.join();
+
+    // Every page decoded exactly once, from exactly one source.
+    assert_eq!(supplied + sync_reads, PAGES as usize, "one byte source per page");
+    if read_ahead_fails {
+        assert!(supplied < PAGES as usize, "a failed read-ahead cannot stage its page");
+    }
+    // Budget accounting balances at quiescence: the unclaimed bytes are
+    // exactly the undrained ready entries.
+    let leftover = shared.ready.lock().unwrap_or_else(PoisonError::into_inner).len();
+    assert_eq!(
+        shared.ready_bytes.load(Ordering::SeqCst),
+        leftover * PAGE_BYTES,
+        "ready_bytes out of sync with the undrained staging area"
+    );
+    // Conservation across the handoff: everything the thread published
+    // was consumed, is still staged, was refused, or sits undrained.
+    assert!(read_ahead <= PAGES as usize, "read-ahead invented a page");
+    assert_eq!(
+        supplied + staged.len() + rejected + leftover,
+        read_ahead,
+        "a staged page was lost or duplicated in the handoff"
+    );
 }
 
 /// The seeded race: data in a [`RaceCell`] published through a

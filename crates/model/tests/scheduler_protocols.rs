@@ -12,7 +12,8 @@
 //! (DESIGN.md §9 walks through the workflow).
 
 use csj_model::protocols::{
-    quiesce_scenario, resplit_scenario, shard_retry_quiesce_scenario, steal_donate_scenario,
+    prefetch_scenario, quiesce_scenario, resplit_scenario, shard_retry_quiesce_scenario,
+    steal_donate_scenario,
 };
 use csj_model::Config;
 
@@ -69,6 +70,35 @@ fn shard_retry_recovery_protocol_exhausted_at_bound_2() {
 #[test]
 fn shard_exhausted_budget_protocol_exhausted_at_bound_2() {
     let report = Config::new().preemptions(2).check(|| shard_retry_quiesce_scenario(true));
+    report.assert_ok();
+    assert!(
+        report.executions > 100,
+        "expected a real schedule space, explored only {}",
+        report.executions
+    );
+}
+
+/// Prefetcher stage/cancel/join handshake, clean path: every read-ahead
+/// succeeds. Under every interleaving of the budget gate, the queue
+/// pops, the `stage_raw` drains and the drop-time cancel, each page's
+/// bytes arrive exactly once and the byte accounting balances.
+#[test]
+fn prefetch_handshake_protocol_exhausted_at_bound_3() {
+    let report = Config::new().preemptions(3).check(|| prefetch_scenario(false));
+    report.assert_ok();
+    assert!(
+        report.executions > 100,
+        "expected a real schedule space, explored only {}",
+        report.executions
+    );
+}
+
+/// Prefetcher handshake, lost-read leg: one read-ahead fails and is
+/// dropped silently. The engine must fall back to a synchronous read
+/// for that page — same exactly-once delivery, same accounting.
+#[test]
+fn prefetch_failed_readahead_protocol_exhausted_at_bound_3() {
+    let report = Config::new().preemptions(3).check(|| prefetch_scenario(true));
     report.assert_ok();
     assert!(
         report.executions > 100,
