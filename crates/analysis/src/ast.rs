@@ -135,7 +135,9 @@ pub enum ExprKind {
     /// `a::b::c` (turbofish generics elided). Qualified `<T as X>::m`
     /// paths keep a literal `<…>` head segment.
     Path(String),
-    Lit,
+    /// Literal; integer literals carry their value so the value-range
+    /// analysis can fold constants (`None` for strings/floats/chars).
+    Lit(Option<i128>),
     Call {
         callee: Box<Expr>,
         args: Vec<Expr>,
@@ -172,10 +174,15 @@ pub enum ExprKind {
     Assign {
         lhs: Box<Expr>,
         rhs: Box<Expr>,
+        /// The arithmetic part of a compound assignment: `"+"` for
+        /// `+=`, `"<<"` for `<<=`, … and `""` for plain `=`.
+        op: String,
     },
     Range {
         lhs: Option<Box<Expr>>,
         rhs: Option<Box<Expr>>,
+        /// `..=` (upper bound included).
+        inclusive: bool,
     },
     Return(Option<Box<Expr>>),
     Break(Option<Box<Expr>>),
@@ -765,8 +772,9 @@ impl Parser<'_, '_> {
                 }
                 self.bump();
                 let rhs = self.expr_bp(1, structs);
+                let aop = op.trim_end_matches('=').to_string();
                 lhs = Expr {
-                    kind: ExprKind::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    kind: ExprKind::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs), op: aop },
                     span: self.span_from(lo),
                 };
                 continue;
@@ -776,6 +784,7 @@ impl Parser<'_, '_> {
                 if min_bp > 2 {
                     break;
                 }
+                let inclusive = op == "..=";
                 self.bump();
                 let rhs = if self.starts_expr(structs) {
                     Some(Box::new(self.expr_bp(3, structs)))
@@ -783,7 +792,7 @@ impl Parser<'_, '_> {
                     None
                 };
                 lhs = Expr {
-                    kind: ExprKind::Range { lhs: Some(Box::new(lhs)), rhs },
+                    kind: ExprKind::Range { lhs: Some(Box::new(lhs)), rhs, inclusive },
                     span: self.span_from(lo),
                 };
                 continue;
@@ -845,13 +854,17 @@ impl Parser<'_, '_> {
                 }
             }
             ".." | "..=" => {
+                let inclusive = self.peek() == "..=";
                 self.bump();
                 let rhs = if self.starts_expr(structs) {
                     Some(Box::new(self.expr_bp(3, structs)))
                 } else {
                     None
                 };
-                Expr { kind: ExprKind::Range { lhs: None, rhs }, span: self.span_from(lo) }
+                Expr {
+                    kind: ExprKind::Range { lhs: None, rhs, inclusive },
+                    span: self.span_from(lo),
+                }
             }
             _ => {
                 let atom = self.atom(structs);
@@ -998,9 +1011,14 @@ impl Parser<'_, '_> {
         let lo = self.pos;
         use crate::lexer::TokKind;
         match self.ctx.code_kind(self.pos as isize) {
-            TokKind::Int | TokKind::Float | TokKind::Str | TokKind::Char => {
+            TokKind::Int => {
+                let value = int_value(self.peek());
                 self.bump();
-                return Expr { kind: ExprKind::Lit, span: self.span_from(lo) };
+                return Expr { kind: ExprKind::Lit(value), span: self.span_from(lo) };
+            }
+            TokKind::Float | TokKind::Str | TokKind::Char => {
+                self.bump();
+                return Expr { kind: ExprKind::Lit(None), span: self.span_from(lo) };
             }
             TokKind::Lifetime => return self.labelled(),
             _ => {}
@@ -1020,13 +1038,13 @@ impl Parser<'_, '_> {
                 }
                 self.eat(")");
                 let kind = if parts.is_empty() {
-                    ExprKind::Lit // unit
+                    ExprKind::Lit(None) // unit
                 } else if tuple {
                     ExprKind::Tuple(parts)
                 } else {
                     // Parenthesized expr: transparent.
                     return Expr {
-                        kind: parts.pop().map(|e| e.kind).unwrap_or(ExprKind::Lit),
+                        kind: parts.pop().map(|e| e.kind).unwrap_or(ExprKind::Lit(None)),
                         span: self.span_from(lo),
                     };
                 };
@@ -1120,7 +1138,7 @@ impl Parser<'_, '_> {
                 if self.pos < self.n {
                     self.bump();
                 }
-                Expr { kind: ExprKind::Lit, span: self.span_from(lo) }
+                Expr { kind: ExprKind::Lit(None), span: self.span_from(lo) }
             }
         }
     }
@@ -1144,12 +1162,12 @@ impl Parser<'_, '_> {
                 }
                 _ => {
                     self.err("label without loop");
-                    Expr { kind: ExprKind::Lit, span: self.span_from(lo) }
+                    Expr { kind: ExprKind::Lit(None), span: self.span_from(lo) }
                 }
             };
         }
         self.err("stray lifetime in expression");
-        Expr { kind: ExprKind::Lit, span: self.span_from(lo) }
+        Expr { kind: ExprKind::Lit(None), span: self.span_from(lo) }
     }
 
     fn closure(&mut self) -> Expr {
@@ -1319,6 +1337,28 @@ impl Parser<'_, '_> {
             Vec::new()
         }
     }
+}
+
+/// Value of an integer-literal token: underscores elided, `0x`/`0o`/
+/// `0b` radix prefixes honoured, any type suffix (`usize`, `u64`, …)
+/// ignored. `None` when the digits do not fit in `i128`.
+fn int_value(text: &str) -> Option<i128> {
+    let t: String = text.chars().filter(|c| *c != '_').collect();
+    let lower = t.to_ascii_lowercase();
+    let (radix, digits) = if let Some(d) = lower.strip_prefix("0x") {
+        (16, d)
+    } else if let Some(d) = lower.strip_prefix("0o") {
+        (8, d)
+    } else if let Some(d) = lower.strip_prefix("0b") {
+        (2, d)
+    } else {
+        (10, lower.as_str())
+    };
+    let end = digits.find(|c: char| !c.is_digit(radix)).unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    i128::from_str_radix(&digits[..end], radix).ok()
 }
 
 /// Flattens an expression to a compact receiver/argument string:

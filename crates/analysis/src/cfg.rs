@@ -17,6 +17,7 @@
 //! acquisition graph under their own name.
 
 use crate::ast::{self, Block, Expr, ExprKind, FnItem, ParsedFile, Stmt};
+use crate::domain::{AExpr, Cmp, CmpOp};
 
 /// One call site, flattened for pattern matching.
 #[derive(Clone, Debug)]
@@ -61,6 +62,33 @@ pub enum Step {
     /// Control leaves the function after this step.
     Exit {
         kind: ExitKind,
+        ci: u32,
+    },
+    /// `name = rhs` (from a `let` or an assignment) with the
+    /// right-hand side lowered for abstract evaluation.
+    Assign {
+        name: String,
+        rhs: AExpr,
+        ci: u32,
+    },
+    /// A comparison known true on this edge: branch conditions,
+    /// `assert!`/`debug_assert!` bodies, loop-iteration facts.
+    Assume(Cmp),
+    /// `base.as_ptr().add(offset)`-shaped pointer arithmetic — a
+    /// provenance claim site for the unsafe-bounds rule. `deref` is
+    /// set when the result is immediately dereferenced (`*p.add(i)`),
+    /// which strengthens the claim from `offset ≤ len` to
+    /// `offset < len`.
+    PtrAdd {
+        base: String,
+        offset: AExpr,
+        ci: u32,
+        deref: bool,
+    },
+    /// `base.get_unchecked(index)` — an in-bounds claim site.
+    UncheckedIndex {
+        base: String,
+        index: AExpr,
         ci: u32,
     },
 }
@@ -123,6 +151,150 @@ fn lower_fn(owner: &str, f: &FnItem, out: &mut Vec<FnCfg>) {
             // deeper closures are conservatively dropped.
             out.push(nb.finish());
         }
+    }
+}
+
+/// Lowers an AST expression to the abstract-arithmetic language the
+/// value-range domain evaluates. References, casts, and `?` are
+/// transparent; uninterpreted shapes collapse to [`AExpr::Other`]
+/// (which evaluates to ⊤ but still renders in messages).
+pub fn lower_aexpr(e: &Expr) -> AExpr {
+    match &e.kind {
+        ExprKind::Lit(Some(v)) => AExpr::Const(*v),
+        ExprKind::Path(p) if !p.contains("::") => AExpr::Var(p.clone()),
+        ExprKind::Field { .. } => AExpr::Var(ast::flatten(e)),
+        ExprKind::Unary { op, expr } => match op.as_str() {
+            "!" | "-" => AExpr::Un(op.clone(), Box::new(lower_aexpr(expr))),
+            _ => lower_aexpr(expr),
+        },
+        ExprKind::Cast { expr } | ExprKind::Try { expr } => lower_aexpr(expr),
+        ExprKind::Binary { lhs, op, rhs } => {
+            AExpr::Bin(op.clone(), Box::new(lower_aexpr(lhs)), Box::new(lower_aexpr(rhs)))
+        }
+        ExprKind::MethodCall { recv, name, args, .. } => match name.as_str() {
+            // Index-transparent: `dims[d].len()` is `Len("dims")` —
+            // sound for this workspace's column arrays, which share
+            // one padded length per family (DESIGN.md §13).
+            "len" if args.is_empty() => AExpr::Len(ast::flatten(recv)),
+            "min" | "max" | "saturating_sub" | "saturating_add" if args.len() == 1 => {
+                AExpr::Call(name.clone(), vec![lower_aexpr(recv), lower_aexpr(&args[0])])
+            }
+            _ => AExpr::Other(ast::flatten(e)),
+        },
+        _ => AExpr::Other(ast::flatten(e)),
+    }
+}
+
+/// The conjunction of comparisons implied by `e` being true
+/// (`&&`-split; anything non-comparison contributes nothing).
+pub fn cmps_of(e: &Expr) -> Vec<Cmp> {
+    match &e.kind {
+        ExprKind::Binary { lhs, op, rhs } if op == "&&" => {
+            let mut v = cmps_of(lhs);
+            v.extend(cmps_of(rhs));
+            v
+        }
+        ExprKind::Binary { lhs, op, rhs } => match CmpOp::parse(op) {
+            Some(cop) => {
+                vec![Cmp { lhs: lower_aexpr(lhs), op: cop, rhs: lower_aexpr(rhs), ci: e.span.lo }]
+            }
+            None => Vec::new(),
+        },
+        ExprKind::Unary { op, expr } if op == "!" => negate_cmps(expr),
+        _ => Vec::new(),
+    }
+}
+
+/// The conjunction implied by `e` being false (De Morgan over `||`).
+pub fn negate_cmps(e: &Expr) -> Vec<Cmp> {
+    match &e.kind {
+        ExprKind::Binary { lhs, op, rhs } if op == "||" => {
+            let mut v = negate_cmps(lhs);
+            v.extend(negate_cmps(rhs));
+            v
+        }
+        ExprKind::Binary { lhs, op, rhs } => match CmpOp::parse(op) {
+            Some(cop) => vec![Cmp {
+                lhs: lower_aexpr(lhs),
+                op: cop.negate(),
+                rhs: lower_aexpr(rhs),
+                ci: e.span.lo,
+            }],
+            None => Vec::new(),
+        },
+        ExprKind::Unary { op, expr } if op == "!" => cmps_of(expr),
+        _ => Vec::new(),
+    }
+}
+
+/// Facts each iteration of `for binds in iter` establishes about the
+/// loop bindings: range bounds, `enumerate` index bounds,
+/// `chunks_exact` chunk lengths. Adapters that only reorder or drop
+/// elements (`step_by`, `rev`, `take`, `skip`, `iter`, `iter_mut`,
+/// `copied`, `cloned`) are transparent.
+fn iter_assumes(binds: &[String], iter: &Expr) -> Vec<Cmp> {
+    match &iter.kind {
+        ExprKind::Range { lhs, rhs, inclusive } if binds.len() == 1 => {
+            let b = AExpr::Var(binds[0].clone());
+            let mut v = Vec::new();
+            if let Some(l) = lhs {
+                v.push(Cmp {
+                    lhs: lower_aexpr(l),
+                    op: CmpOp::Le,
+                    rhs: b.clone(),
+                    ci: iter.span.lo,
+                });
+            }
+            if let Some(r) = rhs {
+                let op = if *inclusive { CmpOp::Le } else { CmpOp::Lt };
+                v.push(Cmp { lhs: b, op, rhs: lower_aexpr(r), ci: iter.span.lo });
+            }
+            v
+        }
+        ExprKind::MethodCall { recv, name, args, .. } => match name.as_str() {
+            "enumerate" if binds.len() == 2 => vec![Cmp {
+                lhs: AExpr::Var(binds[0].clone()),
+                op: CmpOp::Lt,
+                rhs: AExpr::Len(ast::flatten(recv)),
+                ci: iter.span.lo,
+            }],
+            "chunks_exact" if binds.len() == 1 && args.len() == 1 => vec![Cmp {
+                lhs: AExpr::Len(binds[0].clone()),
+                op: CmpOp::Eq,
+                rhs: lower_aexpr(&args[0]),
+                ci: iter.span.lo,
+            }],
+            "step_by" | "rev" | "take" | "skip" | "iter" | "iter_mut" | "copied" | "cloned" => {
+                iter_assumes(binds, recv)
+            }
+            _ => Vec::new(),
+        },
+        _ => Vec::new(),
+    }
+}
+
+/// The collection a pointer method chain is rooted in:
+/// `xs.as_ptr().add(i)` → `Some("xs")`. Plain pointer locals return
+/// `None` — without provenance there is nothing to bound against.
+fn ptr_base(recv: &Expr) -> Option<String> {
+    match &recv.kind {
+        ExprKind::Unary { expr, .. } | ExprKind::Cast { expr } | ExprKind::Try { expr } => {
+            ptr_base(expr)
+        }
+        ExprKind::MethodCall { recv, name, .. } if name == "as_ptr" || name == "as_mut_ptr" => {
+            Some(ast::flatten(recv))
+        }
+        _ => None,
+    }
+}
+
+/// The tracked name an assignment writes through, when determinable.
+fn assign_target(lhs: &Expr) -> Option<String> {
+    match &lhs.kind {
+        ExprKind::Path(p) if !p.contains("::") => Some(p.clone()),
+        ExprKind::Field { .. } | ExprKind::Index { .. } => Some(ast::flatten(lhs)),
+        ExprKind::Unary { op, expr } if op == "*" => assign_target(expr),
+        _ => None,
     }
 }
 
@@ -241,6 +413,13 @@ impl<'e> Builder<'e> {
                 }
                 if let Some(name) = name {
                     self.push(Step::Bind { name: name.clone() });
+                    if let Some(init) = init {
+                        self.push(Step::Assign {
+                            name: name.clone(),
+                            rhs: lower_aexpr(init),
+                            ci: init.span.lo,
+                        });
+                    }
                     if let Some(scope) = self.scopes.last_mut() {
                         scope.push(name.clone());
                     }
@@ -254,7 +433,7 @@ impl<'e> Builder<'e> {
 
     fn lower_expr(&mut self, e: &'e Expr) {
         match &e.kind {
-            ExprKind::Path(_) | ExprKind::Lit => {}
+            ExprKind::Path(_) | ExprKind::Lit(_) => {}
             ExprKind::Continue => {
                 if let Some(&(cont, _, depth)) = self.loops.last() {
                     self.drop_scopes_from(depth);
@@ -292,13 +471,44 @@ impl<'e> Builder<'e> {
                     ci: *name_ci,
                 };
                 self.push(Step::Call(info));
+                match name.as_str() {
+                    "add" | "offset" | "wrapping_add" if args.len() == 1 => {
+                        if let Some(base) = ptr_base(recv) {
+                            self.push(Step::PtrAdd {
+                                base,
+                                offset: lower_aexpr(&args[0]),
+                                ci: *name_ci,
+                                deref: false,
+                            });
+                        }
+                    }
+                    "get_unchecked" | "get_unchecked_mut" if args.len() == 1 => {
+                        self.push(Step::UncheckedIndex {
+                            base: ast::flatten(recv),
+                            index: lower_aexpr(&args[0]),
+                            ci: *name_ci,
+                        });
+                    }
+                    _ => {}
+                }
             }
             ExprKind::Field { recv, .. } => self.lower_expr(recv),
             ExprKind::Index { recv, index } => {
                 self.lower_expr(recv);
                 self.lower_expr(index);
             }
-            ExprKind::Unary { expr, .. } | ExprKind::Cast { expr } => self.lower_expr(expr),
+            ExprKind::Unary { op, expr } => {
+                self.lower_expr(expr);
+                if op == "*" {
+                    // `*p.add(i)` actually reads the lane: the pending
+                    // pointer-arithmetic claim must be strict.
+                    let cur = self.cur;
+                    if let Some(Step::PtrAdd { deref, .. }) = self.blocks[cur].steps.last_mut() {
+                        *deref = true;
+                    }
+                }
+            }
+            ExprKind::Cast { expr } => self.lower_expr(expr),
             ExprKind::Try { expr } => {
                 self.lower_expr(expr);
                 let err = self.new_block();
@@ -315,11 +525,21 @@ impl<'e> Builder<'e> {
                 self.lower_expr(lhs);
                 self.lower_expr(rhs);
             }
-            ExprKind::Assign { lhs, rhs } => {
+            ExprKind::Assign { lhs, rhs, op } => {
                 self.lower_expr(rhs);
                 self.lower_expr(lhs);
+                if let Some(name) = assign_target(lhs) {
+                    let value = lower_aexpr(rhs);
+                    let value = if op.is_empty() {
+                        value
+                    } else {
+                        // `x += e` reads the old value: `x = x op e`.
+                        AExpr::Bin(op.clone(), Box::new(AExpr::Var(name.clone())), Box::new(value))
+                    };
+                    self.push(Step::Assign { name, rhs: value, ci: e.span.lo });
+                }
             }
-            ExprKind::Range { lhs, rhs } => {
+            ExprKind::Range { lhs, rhs, .. } => {
                 if let Some(l) = lhs {
                     self.lower_expr(l);
                 }
@@ -353,6 +573,15 @@ impl<'e> Builder<'e> {
                 let join = self.new_block();
                 self.add_edge(cond_block, then_entry);
                 self.cur = then_entry;
+                // `if let` conditions carry no comparison semantics.
+                let (pos, negs) = if binds.is_empty() {
+                    (cmps_of(cond), negate_cmps(cond))
+                } else {
+                    (Vec::new(), Vec::new())
+                };
+                for c in pos {
+                    self.push(Step::Assume(c));
+                }
                 for b in binds {
                     self.push(Step::Bind { name: b.clone() });
                 }
@@ -363,11 +592,24 @@ impl<'e> Builder<'e> {
                     let else_entry = self.new_block();
                     self.add_edge(cond_block, else_entry);
                     self.cur = else_entry;
+                    for c in negs {
+                        self.push(Step::Assume(c));
+                    }
                     self.lower_expr(els);
                     let cur = self.cur;
                     self.add_edge(cur, join);
-                } else {
+                } else if negs.is_empty() {
                     self.add_edge(cond_block, join);
+                } else {
+                    // Dedicated fall-through block so the negated
+                    // condition holds on the no-else path.
+                    let neg_block = self.new_block();
+                    self.add_edge(cond_block, neg_block);
+                    self.cur = neg_block;
+                    for c in negs {
+                        self.push(Step::Assume(c));
+                    }
+                    self.add_edge(neg_block, join);
                 }
                 self.cur = join;
             }
@@ -402,9 +644,25 @@ impl<'e> Builder<'e> {
                 let body_entry = self.new_block();
                 let after = self.new_block();
                 self.add_edge(cond_block, body_entry);
-                self.add_edge(cond_block, after);
+                let negs = negate_cmps(cond);
+                if negs.is_empty() {
+                    self.add_edge(cond_block, after);
+                } else {
+                    // A dedicated block keeps the negated condition off
+                    // the `break` edges, which also land on `after`.
+                    let neg_block = self.new_block();
+                    self.add_edge(cond_block, neg_block);
+                    self.cur = neg_block;
+                    for c in negs {
+                        self.push(Step::Assume(c));
+                    }
+                    self.add_edge(neg_block, after);
+                }
                 self.loops.push((header, after, self.scopes.len()));
                 self.cur = body_entry;
+                for c in cmps_of(cond) {
+                    self.push(Step::Assume(c));
+                }
                 self.lower_block(body);
                 let cur = self.cur;
                 self.add_edge(cur, header);
@@ -436,6 +694,9 @@ impl<'e> Builder<'e> {
                 for b in binds {
                     self.push(Step::Bind { name: b.clone() });
                 }
+                for c in iter_assumes(binds, iter) {
+                    self.push(Step::Assume(c));
+                }
                 self.lower_block(body);
                 let cur = self.cur;
                 self.add_edge(cur, header);
@@ -447,9 +708,33 @@ impl<'e> Builder<'e> {
             ExprKind::Closure { body } => {
                 self.closures.push(body);
             }
-            ExprKind::Macro { args, .. } => {
+            ExprKind::Macro { path, args } => {
                 for a in args {
                     self.lower_expr(a);
+                }
+                // Assertions are assumptions downstream of the macro:
+                // control only continues when the condition held.
+                // `debug_assert!` is trusted by design — it states the
+                // invariant, and debug builds check it (DESIGN.md §13).
+                match ast::last_segment(path) {
+                    "assert" | "debug_assert" => {
+                        if let Some(c0) = args.first() {
+                            for c in cmps_of(c0) {
+                                self.push(Step::Assume(c));
+                            }
+                        }
+                    }
+                    "assert_eq" | "debug_assert_eq" => {
+                        if let [a, b, ..] = args.as_slice() {
+                            self.push(Step::Assume(Cmp {
+                                lhs: lower_aexpr(a),
+                                op: CmpOp::Eq,
+                                rhs: lower_aexpr(b),
+                                ci: e.span.lo,
+                            }));
+                        }
+                    }
+                    _ => {}
                 }
             }
             ExprKind::StructLit { path, path_ci, fields } => {

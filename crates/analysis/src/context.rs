@@ -88,6 +88,10 @@ pub struct FileCtx<'a> {
     /// `#[cfg(test)]` / `#[test]` region.
     pub in_test: Vec<bool>,
     annotations: HashMap<u32, HashSet<Annotation>>,
+    /// Machine-parsed `// SAFETY: BOUNDS(<expr>)` obligations, keyed by
+    /// the code line they cover. Each entry is the text inside one
+    /// `BOUNDS(…)` group; a SAFETY comment may carry several.
+    pub bounds: HashMap<u32, Vec<String>>,
     /// Parsed suppressions (valid and invalid alike).
     pub suppressions: Vec<Suppression>,
 }
@@ -104,6 +108,7 @@ impl<'a> FileCtx<'a> {
             lines
         };
         let mut annotations: HashMap<u32, HashSet<Annotation>> = HashMap::new();
+        let mut bounds: HashMap<u32, Vec<String>> = HashMap::new();
         let mut suppressions = Vec::new();
         for t in tokens.iter().filter(|t| t.is_comment()) {
             // Doc comments never carry annotations or suppressions —
@@ -123,6 +128,9 @@ impl<'a> FileCtx<'a> {
                     if !rest.trim().is_empty() {
                         annotations.entry(covers).or_default().insert(ann);
                     }
+                    if ann == Annotation::Safety {
+                        bounds.entry(covers).or_default().extend(parse_bounds(rest));
+                    }
                 }
             }
             if let Some(rest) = find_after(&t.text, "csj-lint:") {
@@ -131,7 +139,7 @@ impl<'a> FileCtx<'a> {
                 }
             }
         }
-        FileCtx { rel_path, kind, role, tokens, code, in_test, annotations, suppressions }
+        FileCtx { rel_path, kind, role, tokens, code, in_test, annotations, bounds, suppressions }
     }
 
     /// The code token at code-index `ci` (indices from [`FileCtx::code`]).
@@ -176,6 +184,39 @@ impl<'a> FileCtx<'a> {
 /// Substring search that returns the text after the needle.
 fn find_after<'t>(haystack: &'t str, needle: &str) -> Option<&'t str> {
     haystack.find(needle).map(|i| &haystack[i + needle.len()..])
+}
+
+/// Extracts every balanced `BOUNDS(<expr>)` group from a SAFETY
+/// comment's tail. The grammar is deliberately tiny: the expression is
+/// whatever sits between the balanced parentheses; the unsafe-bounds
+/// rule parses it as a Rust comparison and checks it against the
+/// dominating guards.
+fn parse_bounds(mut rest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    while let Some(after) = find_after(rest, "BOUNDS(") {
+        let mut depth = 1usize;
+        let mut end = None;
+        for (i, c) in after.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { break };
+        let expr = after[..end].trim();
+        if !expr.is_empty() {
+            out.push(expr.to_string());
+        }
+        rest = &after[end + 1..];
+    }
+    out
 }
 
 /// Parses `allow(rule, rule) — reason` (the `csj-lint:` prefix already
@@ -383,6 +424,19 @@ mod tests {
         let toks = lex(src);
         let ctx = FileCtx::new("f.rs", CrateKind::Library, FileRole::Src, &toks);
         assert!(!ctx.annotated(2, Annotation::Ordering));
+    }
+
+    #[test]
+    fn bounds_obligations_parse_balanced_groups() {
+        let src = "// SAFETY: BOUNDS(j + 4 <= xs.len()) and BOUNDS(j % 4 == 0) hold per the loop\nload(xs, j);\n";
+        let toks = lex(src);
+        let ctx = FileCtx::new("f.rs", CrateKind::Library, FileRole::Src, &toks);
+        assert_eq!(
+            ctx.bounds.get(&2).map(Vec::as_slice),
+            Some(&["j + 4 <= xs.len()".to_string(), "j % 4 == 0".to_string()][..])
+        );
+        // The SAFETY annotation itself still registers.
+        assert!(ctx.annotated(2, Annotation::Safety));
     }
 
     #[test]

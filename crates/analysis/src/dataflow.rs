@@ -13,6 +13,7 @@
 use std::collections::BTreeSet;
 
 use crate::cfg::{FnCfg, Step};
+use crate::domain::{Atom, Env};
 
 /// One finding, anchored at a code-token index.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -87,6 +88,211 @@ pub fn analyze<A: Analysis>(cfg: &FnCfg, analysis: &A) -> Vec<Finding> {
     findings.sort();
     findings.dedup();
     findings
+}
+
+// ---- value-range engine ---------------------------------------------------
+//
+// A second, richer interpretation of the same CFGs: instead of an
+// ordered fact set, each program point carries a [`Env`] mapping
+// variables and symbolic lengths to interval + congruence values plus
+// relational facts from dominating guards. This is a *must*-analysis
+// (join intersects facts), with widening at frequently re-joined
+// blocks so loop fixpoints terminate.
+
+/// Methods that read but never structurally mutate their receiver —
+/// calls to anything else invalidate everything rooted at the
+/// receiver's head segment (`xs.push(v)` kills `xs.len()` facts).
+const PURE_METHODS: &[&str] = &[
+    "len",
+    "is_empty",
+    "capacity",
+    "as_ptr",
+    "as_mut_ptr",
+    "as_slice",
+    "as_mut_slice",
+    "as_bytes",
+    "get",
+    "first",
+    "last",
+    "contains",
+    "iter",
+    "iter_mut",
+    "enumerate",
+    "chunks",
+    "chunks_exact",
+    "windows",
+    "step_by",
+    "rev",
+    "take",
+    "skip",
+    "zip",
+    "copied",
+    "cloned",
+    "map",
+    "filter",
+    "all",
+    "any",
+    "fold",
+    "sum",
+    "count",
+    "min",
+    "max",
+    "saturating_sub",
+    "saturating_add",
+    "wrapping_add",
+    "checked_sub",
+    "checked_add",
+    "add",
+    "offset",
+    "get_unchecked",
+    "get_unchecked_mut",
+    "clone",
+    "to_vec",
+    "unwrap",
+    "expect",
+    "unwrap_or",
+    "sqrt",
+    "abs",
+    "powi",
+    "mul_add",
+    "to_bits",
+    "is_finite",
+    "is_nan",
+];
+
+/// Head segment of a flattened path (`self.buf.as_ptr()` → `self`).
+fn root_of(path: &str) -> &str {
+    path.split('.').next().unwrap_or(path).trim_end_matches("()")
+}
+
+/// Invalidates every atom rooted at `root` (the variable itself, its
+/// symbolic length, and any flattened field under it).
+fn havoc_root(env: &mut Env, root: &str) {
+    if root.is_empty() || root == "?" {
+        return;
+    }
+    let prefix = format!("{root}.");
+    let hit = |n: &str| n == root || n.starts_with(&prefix);
+    env.vars.retain(|a, _| match a {
+        Atom::Var(v) | Atom::Len(v) => !hit(v),
+    });
+    env.facts.retain(|l, _| {
+        !l.terms.keys().any(|a| match a {
+            Atom::Var(v) | Atom::Len(v) => hit(v),
+        })
+    });
+    env.guards.retain(|g| !g.contains(root));
+}
+
+/// Applies one CFG step to a value-range environment. Public so rules
+/// can replay blocks step-by-step and inspect the state at claim
+/// sites.
+pub fn env_transfer(step: &Step, env: &mut Env) {
+    match step {
+        Step::Assign { name, rhs, ci } => env.assign(name, rhs, *ci),
+        Step::Assume(c) => env.assume(c),
+        // A bare bind (pattern, `if let`, loop header) introduces an
+        // unknown value under a possibly-reused name.
+        Step::Bind { name } => env.kill(name),
+        Step::Call(c) => {
+            if c.is_method {
+                if !PURE_METHODS.contains(&c.name.as_str()) {
+                    if let Some(recv) = &c.recv {
+                        havoc_root(env, root_of(recv));
+                    }
+                }
+            } else {
+                // Free functions may mutate through `&mut` arguments.
+                for a in &c.args {
+                    havoc_root(env, root_of(a));
+                }
+            }
+        }
+        Step::StructLit { .. }
+        | Step::DropName(_)
+        | Step::StmtEnd
+        | Step::Exit { .. }
+        | Step::PtrAdd { .. }
+        | Step::UncheckedIndex { .. } => {}
+    }
+}
+
+/// Runs the value-range analysis to fixpoint and returns the per-block
+/// in-state (`None` = unreachable). Joins are exact for the first two
+/// re-joins of a block, then widen, so loops converge.
+pub fn env_in_states(cfg: &FnCfg) -> Vec<Option<Env>> {
+    let n = cfg.blocks.len();
+    let mut in_states: Vec<Option<Env>> = vec![None; n];
+    let mut joins = vec![0u32; n];
+    in_states[cfg.entry] = Some(Env::default());
+    let mut work = vec![cfg.entry];
+    let mut fuel = 64 * (n + 1) * (n + 1);
+    while let Some(b) = work.pop() {
+        if fuel == 0 {
+            // Convergence failure: a partial fixpoint under-approximates
+            // the reachable values and would let rules discharge claims
+            // unsoundly, so degrade every block to ⊤ (reachable, nothing
+            // known) instead of returning the half-propagated states.
+            return vec![Some(Env::default()); n];
+        }
+        fuel -= 1;
+        let Some(mut state) = in_states[b].clone() else { continue };
+        for step in &cfg.blocks[b].steps {
+            env_transfer(step, &mut state);
+        }
+        for &succ in &cfg.blocks[b].succs {
+            let updated = match &in_states[succ] {
+                None => Some(state.clone()),
+                Some(existing) => {
+                    let joined = existing.join(&state);
+                    if joined == *existing {
+                        None
+                    } else if joins[succ] >= 2 {
+                        Some(existing.widen(&joined))
+                    } else {
+                        Some(joined)
+                    }
+                }
+            };
+            if let Some(u) = updated {
+                joins[succ] = joins[succ].saturating_add(1);
+                in_states[succ] = Some(u);
+                if !work.contains(&succ) {
+                    work.push(succ);
+                }
+            }
+        }
+    }
+    in_states
+}
+
+/// Test/soundness harness hook: analyzes `src` and reports, for every
+/// `probe(x)` call, the abstract value of `x` at that point. Not part
+/// of the stable API.
+#[doc(hidden)]
+pub fn probe_intervals(src: &str) -> Vec<(String, crate::domain::AbsVal)> {
+    use crate::context::{CrateKind, FileCtx, FileRole};
+    let toks = crate::lexer::lex(src);
+    let ctx = FileCtx::new("probe.rs", CrateKind::Library, FileRole::Src, &toks);
+    let parsed = crate::ast::parse(&ctx);
+    let mut out = Vec::new();
+    for cfg in crate::cfg::lower_file(&parsed) {
+        for (b, st) in env_in_states(&cfg).iter().enumerate() {
+            let Some(st) = st else { continue };
+            let mut env = st.clone();
+            for step in &cfg.blocks[b].steps {
+                if let Step::Call(c) = step {
+                    if !c.is_method && c.name == "probe" {
+                        if let Some(a) = c.args.first() {
+                            out.push((a.clone(), env.value(&Atom::Var(a.clone()))));
+                        }
+                    }
+                }
+                env_transfer(step, &mut env);
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -167,5 +373,71 @@ mod tests {
         let f = run("fn f(xs: &[u32]) { for x in xs { open(x); close(x); } }");
         assert!(f.is_empty(), "{f:?}");
         let _ = ExitKind::End;
+    }
+
+    // ---- value-range engine ------------------------------------------------
+
+    fn probe1(src: &str) -> crate::domain::AbsVal {
+        let v = probe_intervals(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        v[0].1
+    }
+
+    #[test]
+    fn range_loop_bounds_the_index() {
+        let v = probe1("fn f() { for i in 0..16 { let p = i; probe(p); } }");
+        assert_eq!(v.lo, 0);
+        assert_eq!(v.hi, Some(15));
+    }
+
+    #[test]
+    fn widening_terminates_unbounded_counter() {
+        let v = probe1(
+            "fn f(n: u64) { let mut j = 0; while j < n { j = j + 4; } let p = j; probe(p); }",
+        );
+        // The interval widens; the multiple-of-4 congruence survives.
+        assert_eq!(v.lo, 0);
+        assert!(v.multiple_of(4), "{v:?}");
+    }
+
+    #[test]
+    fn branch_condition_refines_then_joins_away() {
+        let src = "fn f(x: u64) { if x < 8 { let p = x; probe(p); } let q = x; probe(q); }";
+        let v = probe_intervals(src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].1.hi, Some(7));
+        assert_eq!(v[1].1.hi, None);
+    }
+
+    #[test]
+    fn mutation_havocs_length_facts() {
+        // Before push, i < xs.len() is known; after, everything rooted
+        // at xs is gone (probed indirectly via the env fact count).
+        let src = "fn f(xs: &mut Vec<u64>, i: usize) { if i < xs.len() { xs.push(1); let p = i; probe(p); } }";
+        let v = probe1(src);
+        assert_eq!(v.hi, None, "i's bound came only from xs.len(), which push invalidated");
+    }
+
+    #[test]
+    fn padding_round_up_is_multiple_of_four() {
+        let v = probe1("fn f(c: usize) { let p = (c + 3) & !3; probe(p); }");
+        assert!(v.multiple_of(4), "{v:?}");
+    }
+
+    #[test]
+    fn dead_branch_inside_loop_does_not_starve_the_fixpoint() {
+        // Regression (found by the soundness proptest): the `else`
+        // branch is contradictory, and before dead environments were
+        // collapsed to a canonical bottom, distinct dead states churned
+        // around the inner loop's back edge until the fuel ran out —
+        // leaving the exit block with the unsound verdict `x2 == 0`
+        // (concretely the loop exits with `x2 == 4`).
+        let v = probe1(
+            "fn f(v0: u64) { let mut x2 = 0; for i0 in 7..15 { let x0 = i0; \
+             if x0 != 18 { let q = 1; } else { } x2 = 2; \
+             while x2 < 4 { x2 = x2 + 1; } } let p = x2; probe(p); }",
+        );
+        assert_eq!(v.lo, 0, "{v:?}");
+        assert!(v.hi.is_none_or(|h| h >= 4), "must admit the concrete exit value 4: {v:?}");
     }
 }

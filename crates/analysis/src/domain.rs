@@ -1,0 +1,976 @@
+//! The value-range abstract domain behind the `unsafe-bounds` and
+//! `padding-invariant` rules (DESIGN.md §13).
+//!
+//! Values are modelled over ℕ (the workspace indexes with `usize`; the
+//! analyzer's verdicts are claims about `usize` arithmetic). Each
+//! tracked quantity — a local variable or the symbolic length
+//! `x.len()` of a collection — carries an [`AbsVal`]: an interval
+//! `[lo, hi]` (`hi = None` ⇒ unbounded) plus a congruence witness
+//! `mult` ("the value is a multiple of `mult`"; `mult = 0` encodes the
+//! constant 0, `mult = 1` is ⊤). Arithmetic is wrap-sound: any
+//! operation that may overflow or underflow `u64` widens the interval
+//! to `[0, ∞)` and keeps the congruence only when `mult` is a power of
+//! two (wrapping shifts the value by a multiple of 2⁶⁴, which only
+//! power-of-two moduli divide).
+//!
+//! On top of the per-atom intervals, an [`Env`] keeps *relational*
+//! facts as linear forms: each [`Lin`] `k + Σ cᵢ·atomᵢ` in
+//! `Env::facts` is known `≤ 0` on every path reaching the program
+//! point, tagged with the code-token index of the guard that
+//! established it (comparisons in `if`/`while` heads, `assert!` /
+//! `debug_assert!` conditions, `let`-equalities). Joins intersect the
+//! fact sets (must-analysis); widening at loop heads additionally
+//! relaxes intervals to `[0, ∞)` on the unstable side.
+//!
+//! A bounds *claim* `c ≤ 0` is discharged when for some facts
+//! `f₁, f₂ ∈ {0} ∪ facts` the interval evaluation of `c − f₁ − f₂`
+//! has a non-positive upper bound — this subsumes a direct fact match,
+//! a fact with slack, and one step of substitution through a
+//! `let n = xs.len()`-style equality.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `u64::MAX`, the ceiling of the concrete value model.
+const U64_MAX: i128 = u64::MAX as i128;
+
+// ---- expressions ----------------------------------------------------------
+
+/// An arithmetic expression lowered from the AST for abstract
+/// evaluation (see `cfg::lower_aexpr`).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AExpr {
+    Const(i128),
+    /// A simple local (or flattened field path like `self.head`).
+    Var(String),
+    /// `base.len()` with `base` flattened (index-transparent:
+    /// `dims[d].len()` is `Len("dims")` — sound for the workspace's
+    /// padded column arrays, which share one length per family).
+    Len(String),
+    /// Binary arithmetic: `+ - * / % & | ^ << >>`.
+    Bin(String, Box<AExpr>, Box<AExpr>),
+    /// Unary `!` (bitwise not) or `-`.
+    Un(String, Box<AExpr>),
+    /// Interpreted method calls (`min`, `max`, `saturating_sub`,
+    /// `saturating_add`); the receiver is the first argument.
+    Call(String, Vec<AExpr>),
+    /// Anything the analyzer does not interpret (kept for rendering).
+    Other(String),
+}
+
+impl AExpr {
+    /// Human-readable rendering for diagnostics.
+    pub fn render(&self) -> String {
+        match self {
+            AExpr::Const(c) => c.to_string(),
+            AExpr::Var(v) => v.clone(),
+            AExpr::Len(b) => format!("{b}.len()"),
+            AExpr::Bin(op, a, b) => format!("{} {op} {}", a.render(), b.render()),
+            AExpr::Un(op, a) => format!("{op}{}", a.render()),
+            AExpr::Call(name, args) => match args.split_first() {
+                Some((recv, rest)) => format!(
+                    "{}.{name}({})",
+                    recv.render(),
+                    rest.iter().map(AExpr::render).collect::<Vec<_>>().join(", ")
+                ),
+                None => format!("{name}()"),
+            },
+            AExpr::Other(s) => s.clone(),
+        }
+    }
+}
+
+/// Comparison operators the analyzer turns into assumptions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    pub fn parse(op: &str) -> Option<CmpOp> {
+        Some(match op {
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            "==" => CmpOp::Eq,
+            "!=" => CmpOp::Ne,
+            _ => return None,
+        })
+    }
+
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    fn render(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// One comparison used as an assumption, tagged with the code-token
+/// index of the guard it came from.
+#[derive(Clone, Debug)]
+pub struct Cmp {
+    pub lhs: AExpr,
+    pub op: CmpOp,
+    pub rhs: AExpr,
+    pub ci: u32,
+}
+
+impl Cmp {
+    pub fn render(&self) -> String {
+        format!("{} {} {}", self.lhs.render(), self.op.render(), self.rhs.render())
+    }
+}
+
+// ---- linear forms ---------------------------------------------------------
+
+/// A tracked quantity: a variable or a symbolic collection length.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Atom {
+    Var(String),
+    Len(String),
+}
+
+impl Atom {
+    fn render(&self) -> String {
+        match self {
+            Atom::Var(v) => v.clone(),
+            Atom::Len(b) => format!("{b}.len()"),
+        }
+    }
+
+    /// True when this atom is named by (rooted at) `name` — the
+    /// invalidation key for assignments and mutating calls.
+    fn named(&self, name: &str) -> bool {
+        match self {
+            Atom::Var(v) | Atom::Len(v) => v == name,
+        }
+    }
+}
+
+/// A linear form `k + Σ cᵢ·atomᵢ` (coefficients non-zero).
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Lin {
+    pub k: i128,
+    pub terms: BTreeMap<Atom, i128>,
+}
+
+impl Lin {
+    pub fn constant(k: i128) -> Lin {
+        Lin { k, terms: BTreeMap::new() }
+    }
+
+    pub fn atom(a: Atom) -> Lin {
+        let mut terms = BTreeMap::new();
+        terms.insert(a, 1);
+        Lin { k: 0, terms }
+    }
+
+    pub fn add(&self, other: &Lin) -> Lin {
+        let mut out = self.clone();
+        out.k = out.k.saturating_add(other.k);
+        for (a, c) in &other.terms {
+            let e = out.terms.entry(a.clone()).or_insert(0);
+            *e = e.saturating_add(*c);
+            if *e == 0 {
+                out.terms.remove(a);
+            }
+        }
+        out
+    }
+
+    pub fn scale(&self, c: i128) -> Lin {
+        if c == 0 {
+            return Lin::constant(0);
+        }
+        Lin {
+            k: self.k.saturating_mul(c),
+            terms: self.terms.iter().map(|(a, v)| (a.clone(), v.saturating_mul(c))).collect(),
+        }
+    }
+
+    pub fn sub(&self, other: &Lin) -> Lin {
+        self.add(&other.scale(-1))
+    }
+
+    pub fn mentions(&self, name: &str) -> bool {
+        self.terms.keys().any(|a| a.named(name))
+    }
+
+    /// Renders the fact `self ≤ 0` back as a comparison for messages.
+    pub fn render_le(&self) -> String {
+        let mut lhs: Vec<String> = Vec::new();
+        let mut rhs: Vec<String> = Vec::new();
+        for (a, &c) in &self.terms {
+            let side = if c > 0 { &mut lhs } else { &mut rhs };
+            let mag = c.unsigned_abs();
+            if mag == 1 {
+                side.push(a.render());
+            } else {
+                side.push(format!("{mag}*{}", a.render()));
+            }
+        }
+        if self.k > 0 {
+            lhs.push(self.k.to_string());
+        } else if self.k < 0 {
+            rhs.push((-self.k).to_string());
+        }
+        let fmt = |v: Vec<String>| if v.is_empty() { "0".to_string() } else { v.join(" + ") };
+        format!("{} <= {}", fmt(lhs), fmt(rhs))
+    }
+}
+
+/// Lowers an [`AExpr`] to a linear form when it is linear (sums,
+/// differences, multiplication by a constant).
+pub fn linearize(e: &AExpr) -> Option<Lin> {
+    match e {
+        AExpr::Const(c) => Some(Lin::constant(*c)),
+        AExpr::Var(v) => Some(Lin::atom(Atom::Var(v.clone()))),
+        AExpr::Len(b) => Some(Lin::atom(Atom::Len(b.clone()))),
+        AExpr::Bin(op, a, b) => {
+            let (la, lb) = (linearize(a), linearize(b));
+            match op.as_str() {
+                "+" => Some(la?.add(&lb?)),
+                "-" => Some(la?.sub(&lb?)),
+                "*" => {
+                    let (la, lb) = (la?, lb?);
+                    if la.terms.is_empty() {
+                        Some(lb.scale(la.k))
+                    } else if lb.terms.is_empty() {
+                        Some(la.scale(lb.k))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+// ---- abstract values ------------------------------------------------------
+
+/// Interval + congruence abstraction of one ℕ value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Inclusive lower bound (always ≥ 0 in the ℕ model).
+    pub lo: i128,
+    /// Inclusive upper bound; `None` = unbounded (may be `u64::MAX`).
+    pub hi: Option<i128>,
+    /// The value is a multiple of `mult`. `0` ⇒ the value is exactly
+    /// 0; `1` ⇒ no congruence information.
+    pub mult: u64,
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// The congruence that survives `u64` wrapping: wrapping adds a
+/// multiple of 2⁶⁴, so only power-of-two moduli are preserved.
+fn wrap_mult(m: u64) -> u64 {
+    if m != 0 && m.is_power_of_two() {
+        m
+    } else {
+        1
+    }
+}
+
+/// Largest power of two dividing `m` (alignment component), 1 for 0.
+fn pow2_part(m: u64) -> u64 {
+    if m == 0 {
+        1
+    } else {
+        1 << m.trailing_zeros()
+    }
+}
+
+impl AbsVal {
+    pub fn top() -> AbsVal {
+        AbsVal { lo: 0, hi: None, mult: 1 }
+    }
+
+    pub fn constant(c: i128) -> AbsVal {
+        if !(0..=U64_MAX).contains(&c) {
+            return AbsVal::top();
+        }
+        AbsVal { lo: c, hi: Some(c), mult: c as u64 }
+    }
+
+    fn exact(&self) -> Option<i128> {
+        self.hi.filter(|&h| h == self.lo)
+    }
+
+    /// Join (least upper bound).
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            lo: self.lo.min(other.lo),
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+            mult: gcd(self.mult, other.mult),
+        }
+    }
+
+    /// Widening: unstable bounds jump straight to the extreme; the
+    /// congruence uses `gcd`, whose divisor chains are finite.
+    pub fn widen(&self, next: &AbsVal) -> AbsVal {
+        AbsVal {
+            lo: if next.lo < self.lo { 0 } else { self.lo },
+            hi: match (self.hi, next.hi) {
+                (Some(a), Some(b)) if b <= a => Some(a),
+                _ => None,
+            },
+            mult: gcd(self.mult, next.mult),
+        }
+    }
+
+    /// Abstract binary operation over ℕ with `u64` wrap-soundness.
+    pub fn bin(op: &str, a: AbsVal, b: AbsVal) -> AbsVal {
+        let wrap = |mult: u64| AbsVal { lo: 0, hi: None, mult: wrap_mult(mult) };
+        match op {
+            "+" => match (a.hi, b.hi) {
+                (Some(x), Some(y)) if x + y <= U64_MAX => {
+                    AbsVal { lo: a.lo + b.lo, hi: Some(x + y), mult: gcd(a.mult, b.mult) }
+                }
+                _ => wrap(gcd(a.mult, b.mult)),
+            },
+            "-" => match b.hi {
+                // Underflow impossible only when every lhs ≥ every rhs.
+                Some(bh) if a.lo >= bh => AbsVal {
+                    lo: a.lo - bh,
+                    hi: a.hi.map(|ah| ah - b.lo),
+                    mult: gcd(a.mult, b.mult),
+                },
+                _ => wrap(gcd(a.mult, b.mult)),
+            },
+            "*" => {
+                let mult = a.mult.saturating_mul(b.mult);
+                match (a.hi, b.hi) {
+                    (Some(x), Some(y)) if x.checked_mul(y).is_some_and(|p| p <= U64_MAX) => {
+                        AbsVal { lo: a.lo * b.lo, hi: Some(x * y), mult }
+                    }
+                    _ => wrap(mult),
+                }
+            }
+            "/" => {
+                // Division by zero panics before any claim is reached,
+                // so the divisor may be clamped to ≥ 1.
+                let lo = match b.hi {
+                    Some(bh) if bh >= 1 => a.lo / bh,
+                    _ => 0,
+                };
+                AbsVal { lo, hi: a.hi.map(|ah| ah / b.lo.max(1)), mult: 1 }
+            }
+            "%" => match b.exact() {
+                Some(m) if m >= 1 => {
+                    if a.mult != 0 && m >= 1 && (a.mult as i128 % m == 0) && a.mult as i128 >= m {
+                        // a is a multiple of m ⇒ remainder exactly 0.
+                        AbsVal { lo: 0, hi: Some(0), mult: 0 }
+                    } else if a.hi.is_some_and(|ah| ah < m) {
+                        a // already reduced
+                    } else {
+                        AbsVal { lo: 0, hi: Some(m - 1), mult: 1 }
+                    }
+                }
+                _ => AbsVal { lo: 0, hi: b.hi.map(|bh| (bh - 1).max(0)), mult: 1 },
+            },
+            "&" => {
+                // `x & k` clears bits: bounded by both operands, and
+                // low-bit alignment from either side survives.
+                let hi = match (a.hi, b.hi) {
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                    (Some(x), None) => Some(x),
+                    (None, y) => y,
+                };
+                let align = |v: &AbsVal| match v.exact() {
+                    Some(0) => u64::MAX, // x & 0 == 0
+                    Some(c) => 1u64 << (c as u64).trailing_zeros(),
+                    None => pow2_part(v.mult),
+                };
+                let mult = align(&a).max(align(&b));
+                if mult == u64::MAX {
+                    AbsVal { lo: 0, hi: Some(0), mult: 0 }
+                } else {
+                    AbsVal { lo: 0, hi, mult }
+                }
+            }
+            "|" | "^" => {
+                // a|b ≤ a+b and a^b ≤ a+b; shared low-zero bits survive.
+                let hi = match (a.hi, b.hi) {
+                    (Some(x), Some(y)) if x + y <= U64_MAX => Some(x + y),
+                    _ => None,
+                };
+                AbsVal { lo: 0, hi, mult: pow2_part(gcd(a.mult, b.mult)) }
+            }
+            "<<" => match b.exact() {
+                Some(k) if (0..64).contains(&k) => {
+                    let mult = a.mult.checked_shl(k as u32).unwrap_or(0);
+                    let mult = if mult == 0 { 1 << 63 } else { mult };
+                    match a.hi {
+                        Some(ah) if ah.checked_shl(k as u32).is_some_and(|s| s <= U64_MAX) => {
+                            AbsVal { lo: a.lo << k, hi: Some(ah << k), mult }
+                        }
+                        _ => AbsVal { lo: 0, hi: None, mult: wrap_mult(mult) },
+                    }
+                }
+                _ => AbsVal::top(),
+            },
+            ">>" => match b.exact() {
+                Some(k) if (0..64).contains(&k) => {
+                    AbsVal { lo: a.lo >> k, hi: a.hi.map(|ah| ah >> k), mult: 1 }
+                }
+                _ => AbsVal { lo: 0, hi: a.hi, mult: 1 },
+            },
+            _ => AbsVal::top(),
+        }
+    }
+
+    /// Abstract interpreted-call semantics (`min`/`max`/`saturating_*`).
+    pub fn call(name: &str, a: AbsVal, b: AbsVal) -> AbsVal {
+        match name {
+            "min" => AbsVal {
+                lo: a.lo.min(b.lo),
+                hi: match (a.hi, b.hi) {
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                    (Some(x), None) => Some(x),
+                    (None, y) => y,
+                },
+                mult: gcd(a.mult, b.mult),
+            },
+            "max" => AbsVal {
+                lo: a.lo.max(b.lo),
+                hi: match (a.hi, b.hi) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    _ => None,
+                },
+                mult: gcd(a.mult, b.mult),
+            },
+            // Saturation at 0 yields 0 — a multiple of everything — so
+            // the gcd congruence survives either way.
+            "saturating_sub" => AbsVal {
+                lo: match b.hi {
+                    Some(bh) => (a.lo - bh).max(0),
+                    None => 0,
+                },
+                hi: a.hi.map(|ah| (ah - b.lo).max(0)),
+                mult: gcd(a.mult, b.mult),
+            },
+            "saturating_add" => match (a.hi, b.hi) {
+                (Some(x), Some(y)) if x + y <= U64_MAX => {
+                    AbsVal { lo: a.lo + b.lo, hi: Some(x + y), mult: gcd(a.mult, b.mult) }
+                }
+                _ => AbsVal { lo: a.lo.saturating_add(b.lo).min(U64_MAX), hi: None, mult: 1 },
+            },
+            _ => AbsVal::top(),
+        }
+    }
+
+    /// True when every concrete value of `self` is a multiple of `m`.
+    pub fn multiple_of(&self, m: u64) -> bool {
+        m != 0 && (self.mult == 0 || self.mult.is_multiple_of(m))
+    }
+}
+
+// ---- environment ----------------------------------------------------------
+
+/// Proof that a claim was discharged: the code-token indices of the
+/// guards it leaned on (empty for a pure interval proof).
+#[derive(Clone, Debug, Default)]
+pub struct Proof {
+    pub guards: Vec<u32>,
+}
+
+/// The per-program-point abstract state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Env {
+    /// Interval + congruence per atom; absent ⇒ ⊤ (`[0, ∞)`).
+    pub vars: BTreeMap<Atom, AbsVal>,
+    /// Linear facts `lin ≤ 0`, each tagged with the guard's code-token
+    /// index (minimum across joined paths).
+    pub facts: BTreeMap<Lin, u32>,
+    /// Rendered non-linear dominating conditions (e.g.
+    /// `eps_sq < f64::INFINITY`) for textual contract checks.
+    pub guards: BTreeSet<String>,
+    /// True when contradictory assumptions make this point unreachable
+    /// (claims are then vacuously discharged).
+    pub dead: bool,
+}
+
+impl Env {
+    pub fn value(&self, atom: &Atom) -> AbsVal {
+        self.vars.get(atom).copied().unwrap_or_else(AbsVal::top)
+    }
+
+    /// Interval of a linear form under this environment:
+    /// `(lower, upper)`, `None` = unbounded on that side.
+    pub fn lin_range(&self, lin: &Lin) -> (Option<i128>, Option<i128>) {
+        let (mut lo, mut hi) = (Some(lin.k), Some(lin.k));
+        for (atom, &c) in &lin.terms {
+            let v = self.value(atom);
+            if c > 0 {
+                lo = lo.map(|l| l + c * v.lo);
+                hi = match (hi, v.hi) {
+                    (Some(h), Some(vh)) => Some(h + c * vh),
+                    _ => None,
+                };
+            } else {
+                lo = match (lo, v.hi) {
+                    (Some(l), Some(vh)) => Some(l + c * vh),
+                    _ => None,
+                };
+                hi = hi.map(|h| h + c * v.lo);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Discharges the claim `claim ≤ 0`, returning the guards used.
+    pub fn check_le(&self, claim: &Lin) -> Option<Proof> {
+        if self.dead {
+            return Some(Proof::default());
+        }
+        let holds = |l: &Lin| matches!(self.lin_range(l).1, Some(h) if h <= 0);
+        if holds(claim) {
+            return Some(Proof::default());
+        }
+        let facts: Vec<(&Lin, u32)> = self.facts.iter().map(|(l, &ci)| (l, ci)).collect();
+        for (f, ci) in &facts {
+            if holds(&claim.sub(f)) {
+                return Some(Proof { guards: vec![*ci] });
+            }
+        }
+        // Two-fact combination: one substitution step through a
+        // `let n = xs.len()`-style equality plus the guard proper.
+        for (i, (f1, c1)) in facts.iter().enumerate() {
+            for (f2, c2) in facts.iter().skip(i + 1) {
+                if holds(&claim.sub(f1).sub(f2)) {
+                    let mut guards = vec![*c1, *c2];
+                    guards.sort_unstable();
+                    guards.dedup();
+                    return Some(Proof { guards });
+                }
+            }
+        }
+        None
+    }
+
+    /// Collapses a contradictory environment to the canonical bottom.
+    /// Dead environments must all compare equal: the fixpoint engine
+    /// detects convergence by `Env` equality, and a dead state that
+    /// kept mutating its (meaningless) intervals around a loop back
+    /// edge would register as endless progress and starve live paths.
+    fn collapse_dead(&mut self) {
+        self.vars.clear();
+        self.facts.clear();
+        self.guards.clear();
+        self.dead = true;
+    }
+
+    /// Records `lin ≤ 0` and propagates it into atom intervals.
+    fn add_fact(&mut self, lin: Lin, ci: u32) {
+        if self.dead {
+            return;
+        }
+        if lin.terms.is_empty() {
+            if lin.k > 0 {
+                self.collapse_dead(); // contradictory: k ≤ 0 with k > 0
+            }
+            return;
+        }
+        // Interval refinement: isolate each atom in turn.
+        for (atom, &c) in &lin.terms {
+            let mut rest = lin.clone();
+            rest.terms.remove(atom);
+            let (rlo, _rhi) = self.lin_range(&rest);
+            let Some(rlo) = rlo else { continue };
+            let mut v = self.value(atom);
+            if c > 0 {
+                // c·a ≤ −rest ≤ −rlo ⇒ a ≤ ⌊−rlo / c⌋
+                let bound = (-rlo).div_euclid(c);
+                if v.hi.is_none_or(|h| bound < h) {
+                    v.hi = Some(bound);
+                }
+                if v.hi.is_some_and(|h| h < v.lo) {
+                    self.dead = true;
+                }
+            } else {
+                // (−c)·a ≥ rest ≥ rlo ⇒ a ≥ ⌈rlo / −c⌉
+                let bound = rlo.div_euclid(-c) + i128::from(rlo.rem_euclid(-c) != 0);
+                if bound > v.lo {
+                    v.lo = bound.min(U64_MAX);
+                }
+                if v.hi.is_some_and(|h| h < v.lo) {
+                    self.dead = true;
+                }
+            }
+            self.vars.insert(atom.clone(), v);
+        }
+        if self.dead {
+            self.collapse_dead();
+            return;
+        }
+        let e = self.facts.entry(lin).or_insert(ci);
+        *e = (*e).min(ci);
+    }
+
+    /// Assumes a comparison: linear comparisons become facts and
+    /// interval refinements, non-linear ones are kept as rendered
+    /// guard strings for textual contract checks.
+    pub fn assume(&mut self, cmp: &Cmp) {
+        if self.dead {
+            return;
+        }
+        let (ll, lr) = (linearize(&cmp.lhs), linearize(&cmp.rhs));
+        if let (Some(l), Some(r)) = (ll, lr) {
+            match cmp.op {
+                CmpOp::Le => self.add_fact(l.sub(&r), cmp.ci),
+                CmpOp::Lt => self.add_fact(l.sub(&r).add(&Lin::constant(1)), cmp.ci),
+                CmpOp::Ge => self.add_fact(r.sub(&l), cmp.ci),
+                CmpOp::Gt => self.add_fact(r.sub(&l).add(&Lin::constant(1)), cmp.ci),
+                CmpOp::Eq => {
+                    self.add_fact(l.sub(&r), cmp.ci);
+                    self.add_fact(r.sub(&l), cmp.ci);
+                }
+                CmpOp::Ne => {}
+            }
+        } else {
+            self.guards.insert(cmp.render());
+        }
+    }
+
+    /// Evaluates an [`AExpr`] under this environment.
+    pub fn eval(&self, e: &AExpr) -> AbsVal {
+        match e {
+            AExpr::Const(c) => AbsVal::constant(*c),
+            AExpr::Var(v) => self.value(&Atom::Var(v.clone())),
+            AExpr::Len(b) => self.value(&Atom::Len(b.clone())),
+            AExpr::Bin(op, a, b) => AbsVal::bin(op, self.eval(a), self.eval(b)),
+            AExpr::Un(op, a) => match (op.as_str(), self.eval(a)) {
+                ("!", v) => match v.hi {
+                    Some(h) if h == v.lo && (0..=U64_MAX).contains(&h) => {
+                        AbsVal::constant(U64_MAX - h)
+                    }
+                    _ => AbsVal::top(),
+                },
+                _ => AbsVal::top(),
+            },
+            AExpr::Call(name, args) => match args.as_slice() {
+                [a, b] => AbsVal::call(name, self.eval(a), self.eval(b)),
+                _ => AbsVal::top(),
+            },
+            AExpr::Other(_) => AbsVal::top(),
+        }
+    }
+
+    /// Invalidates everything rooted at `name`: its interval, every
+    /// fact mentioning it, every guard string containing it.
+    pub fn kill(&mut self, name: &str) {
+        self.vars.retain(|a, _| !a.named(name));
+        self.facts.retain(|l, _| !l.mentions(name));
+        self.guards.retain(|g| !g.contains(name));
+    }
+
+    /// Assignment transfer: evaluate, invalidate, bind — and when the
+    /// right-hand side is linear (and not self-referential), keep the
+    /// equality as a pair of facts so lengths substitute through
+    /// `let n = xs.len()`.
+    pub fn assign(&mut self, name: &str, rhs: &AExpr, ci: u32) {
+        if self.dead {
+            return;
+        }
+        let v = self.eval(rhs);
+        let rhs_lin = linearize(rhs).filter(|l| !l.mentions(name));
+        self.kill(name);
+        self.vars.insert(Atom::Var(name.to_string()), v);
+        if let Some(l) = rhs_lin {
+            // The equality is a ℤ-fact, but the concrete machine computes
+            // the rhs mod 2⁶⁴. Since +, − and ·const are exact ring ops
+            // mod 2⁶⁴, the wrapped result equals the ℤ-value whenever
+            // that value provably lies in [0, u64::MAX] — and a bare
+            // atom copy (`let n = xs.len()`) is a u64, always in range.
+            // Anything else (`x2 - 15` with x2 == 0 wraps to 2⁶⁴ − 15)
+            // must not become a fact: it would poison the intervals
+            // into a false contradiction.
+            let pure_copy = l.k == 0 && l.terms.len() == 1 && l.terms.values().all(|&c| c == 1);
+            let no_wrap = || {
+                let (rlo, rhi) = self.lin_range(&l);
+                rlo.is_some_and(|lo| lo >= 0) && rhi.is_some_and(|hi| hi <= U64_MAX)
+            };
+            if pure_copy || no_wrap() {
+                let me = Lin::atom(Atom::Var(name.to_string()));
+                self.add_fact(me.sub(&l), ci);
+                self.add_fact(l.sub(&me), ci);
+            }
+        }
+    }
+
+    /// Join for the dataflow engine (set-intersection on facts and
+    /// guards, interval join per atom).
+    pub fn join(&self, other: &Env) -> Env {
+        if self.dead {
+            return other.clone();
+        }
+        if other.dead {
+            return self.clone();
+        }
+        let mut vars = BTreeMap::new();
+        for (a, v) in &self.vars {
+            if let Some(w) = other.vars.get(a) {
+                vars.insert(a.clone(), v.join(w));
+            }
+        }
+        let mut facts = BTreeMap::new();
+        for (l, &ci) in &self.facts {
+            if let Some(&cj) = other.facts.get(l) {
+                facts.insert(l.clone(), ci.min(cj));
+            }
+        }
+        let guards = self.guards.intersection(&other.guards).cloned().collect();
+        Env { vars, facts, guards, dead: false }
+    }
+
+    /// Widening: like join, but unstable intervals are relaxed with
+    /// [`AbsVal::widen`] so loop fixpoints terminate.
+    pub fn widen(&self, next: &Env) -> Env {
+        if self.dead {
+            return next.clone();
+        }
+        if next.dead {
+            return self.clone();
+        }
+        let mut vars = BTreeMap::new();
+        for (a, v) in &self.vars {
+            if let Some(w) = next.vars.get(a) {
+                vars.insert(a.clone(), v.widen(w));
+            }
+        }
+        let mut facts = BTreeMap::new();
+        for (l, &ci) in &self.facts {
+            if let Some(&cj) = next.facts.get(l) {
+                facts.insert(l.clone(), ci.min(cj));
+            }
+        }
+        let guards = self.guards.intersection(&next.guards).cloned().collect();
+        Env { vars, facts, guards, dead: false }
+    }
+}
+
+/// Discharges a comparison claim under an environment: both sides are
+/// linearized and the implied `lin ≤ 0` claim(s) handed to
+/// [`Env::check_le`] (`==` claims both directions, `!=` is never
+/// dischargeable). Non-linear claims fall back to an exact textual
+/// match against the rendered dominating guards.
+pub fn established(env: &Env, cmp: &Cmp) -> Option<Proof> {
+    if env.dead {
+        return Some(Proof::default());
+    }
+    match (linearize(&cmp.lhs), linearize(&cmp.rhs)) {
+        (Some(l), Some(r)) => {
+            let claims: Vec<Lin> = match cmp.op {
+                CmpOp::Le => vec![l.sub(&r)],
+                CmpOp::Lt => vec![l.sub(&r).add(&Lin::constant(1))],
+                CmpOp::Ge => vec![r.sub(&l)],
+                CmpOp::Gt => vec![r.sub(&l).add(&Lin::constant(1))],
+                CmpOp::Eq => vec![l.sub(&r), r.sub(&l)],
+                CmpOp::Ne => return None,
+            };
+            let mut proof = Proof::default();
+            for c in claims {
+                let p = env.check_le(&c)?;
+                proof.guards.extend(p.guards);
+            }
+            proof.guards.sort_unstable();
+            proof.guards.dedup();
+            Some(proof)
+        }
+        _ if env.guards.contains(&cmp.render()) => Some(Proof::default()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: &str) -> AExpr {
+        AExpr::Var(n.to_string())
+    }
+
+    fn cmp(lhs: AExpr, op: CmpOp, rhs: AExpr) -> Cmp {
+        Cmp { lhs, op, rhs, ci: 7 }
+    }
+
+    #[test]
+    fn constant_folding_and_masking() {
+        let env = Env::default();
+        // (x + 3) & !3 is a multiple of 4 whatever x is.
+        let e = AExpr::Bin(
+            "&".into(),
+            Box::new(AExpr::Bin("+".into(), Box::new(var("x")), Box::new(AExpr::Const(3)))),
+            Box::new(AExpr::Un("!".into(), Box::new(AExpr::Const(3)))),
+        );
+        let v = env.eval(&e);
+        assert!(v.multiple_of(4), "{v:?}");
+    }
+
+    #[test]
+    fn assume_refines_interval_and_discharges() {
+        let mut env = Env::default();
+        env.assume(&cmp(var("i"), CmpOp::Lt, AExpr::Const(10)));
+        let v = env.value(&Atom::Var("i".into()));
+        assert_eq!(v.hi, Some(9));
+        // claim: i + 1 − 10 ≤ 0
+        let claim = Lin::atom(Atom::Var("i".into())).add(&Lin::constant(1 - 10));
+        assert!(env.check_le(&claim).is_some());
+    }
+
+    #[test]
+    fn symbolic_length_fact_discharges_lane_claim() {
+        let mut env = Env::default();
+        // debug_assert!(j + 4 <= dims.len())
+        env.assume(&cmp(
+            AExpr::Bin("+".into(), Box::new(var("j")), Box::new(AExpr::Const(4))),
+            CmpOp::Le,
+            AExpr::Len("dims".into()),
+        ));
+        // claim: j + 4 − dims.len() ≤ 0
+        let claim = Lin::atom(Atom::Var("j".into()))
+            .add(&Lin::constant(4))
+            .sub(&Lin::atom(Atom::Len("dims".into())));
+        let proof = env.check_le(&claim).expect("discharged");
+        assert_eq!(proof.guards, vec![7]);
+        // claim: j + 8 − dims.len() ≤ 0 must NOT discharge.
+        let too_far = claim.add(&Lin::constant(4));
+        assert!(env.check_le(&too_far).is_none());
+    }
+
+    #[test]
+    fn equality_substitution_through_let() {
+        let mut env = Env::default();
+        env.assign("n", &AExpr::Len("xs".into()), 3);
+        env.assume(&cmp(var("i"), CmpOp::Lt, var("n")));
+        // claim: i + 1 − xs.len() ≤ 0 (needs i < n and n == xs.len()).
+        let claim = Lin::atom(Atom::Var("i".into()))
+            .add(&Lin::constant(1))
+            .sub(&Lin::atom(Atom::Len("xs".into())));
+        assert!(env.check_le(&claim).is_some());
+    }
+
+    #[test]
+    fn kill_invalidates_facts() {
+        let mut env = Env::default();
+        env.assume(&cmp(var("i"), CmpOp::Lt, AExpr::Len("xs".into())));
+        env.kill("xs");
+        let claim = Lin::atom(Atom::Var("i".into()))
+            .add(&Lin::constant(1))
+            .sub(&Lin::atom(Atom::Len("xs".into())));
+        assert!(env.check_le(&claim).is_none());
+    }
+
+    #[test]
+    fn join_intersects_widen_terminates() {
+        let mut a = Env::default();
+        a.assume(&cmp(var("i"), CmpOp::Lt, AExpr::Const(4)));
+        let mut b = Env::default();
+        b.assume(&cmp(var("i"), CmpOp::Lt, AExpr::Const(8)));
+        let j = a.join(&b);
+        // Only the weaker interval survives; the i<4 fact does not.
+        assert_eq!(j.value(&Atom::Var("i".into())).hi, Some(7));
+        let w = a.widen(&b);
+        assert_eq!(w.value(&Atom::Var("i".into())).hi, None);
+    }
+
+    #[test]
+    fn wrapping_add_loses_interval_keeps_pow2() {
+        let a = AbsVal { lo: 0, hi: None, mult: 4 };
+        let b = AbsVal::constant(4);
+        let s = AbsVal::bin("+", a, b);
+        assert_eq!(s.hi, None);
+        assert!(s.multiple_of(4));
+        let c = AbsVal { lo: 0, hi: None, mult: 6 };
+        let t = AbsVal::bin("+", c, AbsVal::constant(6));
+        assert_eq!(t.mult, 1, "non-pow2 congruence must not survive potential wrap");
+    }
+
+    #[test]
+    fn wrapping_assignment_keeps_no_z_fact() {
+        // Regression (found by the soundness proptest): `x0 = x2 - 15`
+        // with x2 == 0 wraps to 2⁶⁴ − 15 concretely, so the ℤ-equality
+        // `x0 == x2 − 15` is false — recording it refined x0 to the
+        // empty interval and killed the whole branch as unreachable.
+        let mut env = Env::default();
+        env.assign("x2", &AExpr::Const(0), 1);
+        env.assign(
+            "x0",
+            &AExpr::Bin("-".into(), Box::new(var("x2")), Box::new(AExpr::Const(15))),
+            2,
+        );
+        assert!(!env.dead, "wrapping rhs must not create a contradiction");
+        let v = env.value(&Atom::Var("x0".into()));
+        assert_eq!(v.hi, None, "wrapped value is unknown, not negative: {v:?}");
+        // The pure-copy form stays exact: it is a u64-to-u64 move.
+        let mut env2 = Env::default();
+        env2.assign("n", &AExpr::Len("xs".into()), 3);
+        let fact = Lin::atom(Atom::Var("n".into())).sub(&Lin::atom(Atom::Len("xs".into())));
+        assert!(env2.facts.contains_key(&fact), "copy equality must survive");
+    }
+
+    #[test]
+    fn established_discharges_comparison_claims() {
+        let mut env = Env::default();
+        env.assume(&cmp(
+            AExpr::Bin("+".into(), Box::new(var("j")), Box::new(AExpr::Const(4))),
+            CmpOp::Le,
+            AExpr::Len("dims".into()),
+        ));
+        let claim = cmp(
+            AExpr::Bin("+".into(), Box::new(var("j")), Box::new(AExpr::Const(4))),
+            CmpOp::Le,
+            AExpr::Len("dims".into()),
+        );
+        assert_eq!(established(&env, &claim).expect("discharged").guards, vec![7]);
+        // Non-linear claims fall back to a textual guard match.
+        let mut env2 = Env::default();
+        env2.guards.insert("eps_sq < f64::INFINITY".into());
+        let nl = cmp(var("eps_sq"), CmpOp::Lt, AExpr::Other("f64::INFINITY".into()));
+        assert!(established(&env2, &nl).is_some());
+        assert!(established(&Env::default(), &nl).is_none());
+    }
+
+    #[test]
+    fn contradiction_marks_dead() {
+        let mut env = Env::default();
+        env.assume(&cmp(AExpr::Const(5), CmpOp::Le, AExpr::Const(3)));
+        assert!(env.dead);
+        assert!(env.check_le(&Lin::constant(99)).is_some(), "vacuous discharge when dead");
+    }
+}

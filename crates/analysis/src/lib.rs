@@ -16,6 +16,19 @@
 //! | `determinism` | no clock/RNG in the merge/output modules |
 //! | `error-hygiene` | `pub fn … -> Result` documents an `# Errors` section |
 //! | `sync-facade` | csj-core imports sync primitives via `crate::sync`, keeping them model-checkable |
+//! | `unsafe-discipline` | every `unsafe` block carries a `// SAFETY:` justification |
+//! | `guard-discipline` | buffer-pool pins and RAII guards balance on every CFG path |
+//! | `lock-order` | mutex/`RefCell` acquisition order stays acyclic workspace-wide |
+//! | `io-under-lock` | no disk I/O reachable while a pool borrow or facade lock is held |
+//! | `unsafe-bounds` | raw loads are machine-discharged against value-range analysis or carry checked `BOUNDS` obligations |
+//! | `padding-invariant` | SoA slabs keep 4-lane padded lengths, `+inf` sentinels, finite-ε probes |
+//!
+//! The last two rules run on the abstract-interpretation layer
+//! ([`domain`] + [`dataflow::env_in_states`]): intervals with
+//! congruence (multiple-of) information, symbolic lengths, and linear
+//! facts harvested from dominating guards (DESIGN.md §13). A
+//! discharged claim is reported as a SARIF `pass` note whose
+//! `relatedLocations` point at the discharging guard.
 //!
 //! Findings are suppressible inline with a mandatory reason:
 //! `// csj-lint: allow(<rule>) — <reason>`. See DESIGN.md §8 for the
@@ -31,6 +44,7 @@ pub mod ast;
 pub mod cfg;
 pub mod context;
 pub mod dataflow;
+pub mod domain;
 pub mod lexer;
 pub mod report;
 pub mod rules;

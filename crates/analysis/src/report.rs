@@ -108,6 +108,11 @@ pub fn render_json(report: &WorkspaceReport) -> String {
 /// a physical location. Suppressed findings are by design absent: an
 /// inline `csj-lint: allow` with a reason is a reviewed decision, not
 /// something to re-litigate on every PR.
+///
+/// Discharged bounds claims additionally surface as `kind: "pass"`
+/// results (level `none`) whose `relatedLocations` point at the guard
+/// that discharged them — the machine-readable audit trail linking
+/// every unsafe site to its proof.
 pub fn render_sarif(report: &WorkspaceReport) -> String {
     let mut out = String::from(
         "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \
@@ -134,20 +139,22 @@ pub fn render_sarif(report: &WorkspaceReport) -> String {
     out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
     let mut first = true;
     for file in &report.files {
-        for d in &file.report.diagnostics {
+        for d in file.report.diagnostics.iter().chain(file.report.notes.iter()) {
             if !first {
                 out.push(',');
             }
             first = false;
             // Stable index into the driver's rule array (meta-rule last).
             let rule_index = rules.iter().position(|r| *r == d.rule).unwrap_or(rules.len() - 1);
+            let (kind, level) = if d.pass { ("pass", "none") } else { ("fail", "error") };
             out.push_str(&format!(
                 "\n        {{\n          \"ruleId\": \"{}\",\n          \"ruleIndex\": {},\n          \
-                 \"level\": \"error\",\n          \"message\": {{\"text\": \"{}\"}},\n          \
+                 \"kind\": \"{kind}\",\n          \
+                 \"level\": \"{level}\",\n          \"message\": {{\"text\": \"{}\"}},\n          \
                  \"locations\": [\n            {{\n              \"physicalLocation\": {{\n                \
                  \"artifactLocation\": {{\"uri\": \"{}\"}},\n                \
                  \"region\": {{\"startLine\": {}, \"startColumn\": {}}}\n              }}\n            \
-                 }}\n          ]\n        }}",
+                 }}\n          ]",
                 escape_json(d.rule),
                 rule_index,
                 escape_json(&d.message),
@@ -155,6 +162,26 @@ pub fn render_sarif(report: &WorkspaceReport) -> String {
                 d.line,
                 d.col
             ));
+            if !d.related.is_empty() {
+                out.push_str(",\n          \"relatedLocations\": [");
+                for (k, r) in d.related.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\n            {{\n              \"physicalLocation\": {{\n                \
+                         \"artifactLocation\": {{\"uri\": \"{}\"}},\n                \
+                         \"region\": {{\"startLine\": {}, \"startColumn\": {}}}\n              }},\n              \
+                         \"message\": {{\"text\": \"{}\"}}\n            }}",
+                        escape_json(&d.file),
+                        r.line,
+                        r.col,
+                        escape_json(&r.message)
+                    ));
+                }
+                out.push_str("\n          ]");
+            }
+            out.push_str("\n        }");
         }
     }
     if !first {
@@ -200,13 +227,22 @@ mod tests {
         report.files.push(AnalyzedFile {
             rel_path: "crates/core/src/x.rs".into(),
             report: FileReport {
-                diagnostics: vec![Diagnostic {
-                    rule: "sync-facade",
-                    file: "crates/core/src/x.rs".into(),
-                    line: 7,
-                    col: 5,
-                    message: "a \"quoted\" message".into(),
-                }],
+                diagnostics: vec![Diagnostic::new(
+                    "sync-facade",
+                    "crates/core/src/x.rs".into(),
+                    7,
+                    5,
+                    "a \"quoted\" message".into(),
+                )],
+                notes: vec![Diagnostic::new(
+                    "unsafe-bounds",
+                    "crates/core/src/x.rs".into(),
+                    11,
+                    9,
+                    "claim discharged".into(),
+                )
+                .with_related(9, 13, "discharging guard".into())
+                .passed()],
                 suppressed: 3,
             },
         });
@@ -216,6 +252,13 @@ mod tests {
         assert!(sarif.contains("\"ruleId\": \"sync-facade\""));
         assert!(sarif.contains("\"startLine\": 7, \"startColumn\": 5"));
         assert!(sarif.contains("a \\\"quoted\\\" message"));
+        // Pass notes render as kind pass / level none with the guard
+        // attached as a relatedLocation.
+        assert!(sarif.contains("\"kind\": \"pass\""));
+        assert!(sarif.contains("\"level\": \"none\""));
+        assert!(sarif.contains("\"relatedLocations\""));
+        assert!(sarif.contains("\"startLine\": 9, \"startColumn\": 13"));
+        assert!(sarif.contains("discharging guard"));
         // Every shipped rule plus the meta-rule is declared in the driver.
         for rule in all_rules() {
             assert!(sarif.contains(&format!("\"id\": \"{}\"", rule.name)), "{}", rule.name);

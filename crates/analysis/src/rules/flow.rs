@@ -23,9 +23,11 @@ use crate::ast;
 use crate::cfg::{self, CallInfo, FnCfg, Step};
 use crate::context::{FileCtx, FileRole};
 
-/// Path prefixes the dataflow rules analyze: the out-of-core layer and
-/// everything that feeds it.
-pub const SCOPE: &[&str] = &["crates/storage/src/", "crates/index/src/", "crates/core/src/"];
+/// Path prefixes the dataflow rules analyze: the out-of-core layer,
+/// everything that feeds it, and the sharded-execution supervisor
+/// (whose worker loops hold pins across channel sends).
+pub const SCOPE: &[&str] =
+    &["crates/storage/src/", "crates/index/src/", "crates/core/src/", "crates/shard/src/"];
 
 /// One in-scope file: its context plus lowered CFGs.
 pub struct FlowFile<'c, 'a> {

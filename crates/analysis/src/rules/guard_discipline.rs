@@ -158,6 +158,11 @@ impl Analysis for GuardAnalysis<'_> {
                     }
                 }
             }
+            // Value-range steps carry no guard semantics.
+            Step::Assign { .. }
+            | Step::Assume(_)
+            | Step::PtrAdd { .. }
+            | Step::UncheckedIndex { .. } => {}
         }
     }
 }

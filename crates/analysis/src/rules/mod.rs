@@ -21,8 +21,10 @@ pub mod flow;
 pub mod guard_discipline;
 pub mod io_under_lock;
 pub mod lock_order;
+pub mod padding_invariant;
 pub mod panic_safety;
 pub mod sync_facade;
+pub mod unsafe_bounds;
 pub mod unsafe_discipline;
 
 use std::collections::HashMap;
@@ -31,6 +33,16 @@ use crate::context::FileCtx;
 
 /// Reserved name for suppression-hygiene findings.
 pub const META_RULE: &str = "suppression";
+
+/// A secondary location attached to a diagnostic — e.g. the dominating
+/// guard that discharges (or fails to discharge) a bounds claim.
+/// Rendered as SARIF `relatedLocations`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Related {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
 
 /// One finding, pinned to a file:line:col span.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +54,33 @@ pub struct Diagnostic {
     pub line: u32,
     pub col: u32,
     pub message: String,
+    /// Secondary locations (guards, prior acquisitions).
+    pub related: Vec<Related>,
+    /// A *pass* note rather than a finding: the claim was discharged
+    /// and this records by what. Pass notes never fail the lint; SARIF
+    /// renders them as `kind: "pass"` results, text/JSON omit them.
+    pub pass: bool,
+}
+
+impl Diagnostic {
+    /// A plain (failing) diagnostic with no secondary locations.
+    pub fn new(rule: &'static str, file: String, line: u32, col: u32, message: String) -> Self {
+        Diagnostic { rule, file, line, col, message, related: Vec::new(), pass: false }
+    }
+
+    /// Attaches a secondary location.
+    #[must_use]
+    pub fn with_related(mut self, line: u32, col: u32, message: String) -> Self {
+        self.related.push(Related { line, col, message });
+        self
+    }
+
+    /// Marks this diagnostic as a discharged-claim pass note.
+    #[must_use]
+    pub fn passed(mut self) -> Self {
+        self.pass = true;
+        self
+    }
 }
 
 /// How a rule consumes the workspace.
@@ -128,6 +167,18 @@ pub fn all_rules() -> &'static [Rule] {
             explain: io_under_lock::EXPLAIN,
             check: Check::Workspace(io_under_lock::check),
         },
+        Rule {
+            name: "unsafe-bounds",
+            summary: "raw loads carry machine-discharged bounds claims or BOUNDS obligations",
+            explain: unsafe_bounds::EXPLAIN,
+            check: Check::Workspace(unsafe_bounds::check),
+        },
+        Rule {
+            name: "padding-invariant",
+            summary: "SoA slabs: 4-lane padded lengths, +inf sentinels, finite-ε probes",
+            explain: padding_invariant::EXPLAIN,
+            check: Check::Workspace(padding_invariant::check),
+        },
     ]
 }
 
@@ -141,6 +192,9 @@ pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
 #[derive(Debug, Default)]
 pub struct FileReport {
     pub diagnostics: Vec<Diagnostic>,
+    /// Discharged-claim pass notes (`Diagnostic::pass`): never counted
+    /// as findings, rendered only by SARIF.
+    pub notes: Vec<Diagnostic>,
     pub suppressed: usize,
 }
 
@@ -186,44 +240,50 @@ fn apply_suppressions(ctx: &FileCtx, raw: Vec<Diagnostic>) -> FileReport {
     let mut report = FileReport::default();
     for s in &ctx.suppressions {
         if s.rules.is_empty() {
-            report.diagnostics.push(Diagnostic {
-                rule: META_RULE,
-                file: ctx.rel_path.to_string(),
-                line: s.at_line,
-                col: 1,
-                message: "malformed `csj-lint: allow(...)` — expected \
-                          `allow(<rule>[, <rule>]) — <reason>`"
+            report.diagnostics.push(Diagnostic::new(
+                META_RULE,
+                ctx.rel_path.to_string(),
+                s.at_line,
+                1,
+                "malformed `csj-lint: allow(...)` — expected \
+                 `allow(<rule>[, <rule>]) — <reason>`"
                     .into(),
-            });
+            ));
             continue;
         }
         if s.reason.is_empty() {
-            report.diagnostics.push(Diagnostic {
-                rule: META_RULE,
-                file: ctx.rel_path.to_string(),
-                line: s.at_line,
-                col: 1,
-                message: format!(
+            report.diagnostics.push(Diagnostic::new(
+                META_RULE,
+                ctx.rel_path.to_string(),
+                s.at_line,
+                1,
+                format!(
                     "suppression of `{}` has no justification — a reason after the \
                      rule list is mandatory",
                     s.rules.join(", ")
                 ),
-            });
+            ));
         }
         for r in &s.rules {
             if rule_by_name(r).is_none() {
-                report.diagnostics.push(Diagnostic {
-                    rule: META_RULE,
-                    file: ctx.rel_path.to_string(),
-                    line: s.at_line,
-                    col: 1,
-                    message: format!("suppression names unknown rule `{r}`"),
-                });
+                report.diagnostics.push(Diagnostic::new(
+                    META_RULE,
+                    ctx.rel_path.to_string(),
+                    s.at_line,
+                    1,
+                    format!("suppression names unknown rule `{r}`"),
+                ));
             }
         }
     }
 
     for d in raw {
+        if d.pass {
+            // Discharged-claim notes bypass suppression entirely —
+            // there is nothing to suppress.
+            report.notes.push(d);
+            continue;
+        }
         let suppressed = ctx.suppressions.iter().any(|s| {
             !s.reason.is_empty() && s.covers_line == d.line && s.rules.iter().any(|r| r == d.rule)
         });
@@ -234,11 +294,12 @@ fn apply_suppressions(ctx: &FileCtx, raw: Vec<Diagnostic>) -> FileReport {
         }
     }
     report.diagnostics.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    report.notes.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     report
 }
 
 /// Shared helper: a diagnostic at a code token.
 pub(crate) fn diag_at(ctx: &FileCtx, rule: &'static str, ci: usize, message: String) -> Diagnostic {
     let t = ctx.code_tok(ci);
-    Diagnostic { rule, file: ctx.rel_path.to_string(), line: t.line, col: t.col, message }
+    Diagnostic::new(rule, ctx.rel_path.to_string(), t.line, t.col, message)
 }

@@ -1,0 +1,423 @@
+//! `unsafe-bounds`: value-range machine-checking of the bounds
+//! contracts behind the workspace's raw loads.
+//!
+//! Every `get_unchecked*`, `as_ptr().add(..)`-shaped pointer offset,
+//! SIMD lane load/store intrinsic, and `from_raw_parts*` in the SIMD
+//! and paged-I/O crates carries an implicit claim — the index is in
+//! bounds, the lane span fits, the length matches the allocation. This
+//! rule discharges those claims with the interval + symbolic-length
+//! abstract interpretation in [`crate::domain`]:
+//!
+//! 1. **Machine discharge.** The claim (`offset + LANES ≤ base.len()`,
+//!    `index < base.len()`, …) is checked against the dominating
+//!    guards — `if`/`while` conditions, `assert!`/`debug_assert!`
+//!    bodies, loop-iteration facts, `let`-equalities — collected by
+//!    the dataflow engine. A discharged claim emits a SARIF *pass*
+//!    note whose `relatedLocations` point at the guard(s) used.
+//! 2. **Obligation cross-check.** Claims the analyzer cannot express
+//!    (e.g. the length argument of `from_raw_parts`) may be written
+//!    down as `// SAFETY: … BOUNDS(<expr>)` on the enclosing `unsafe`
+//!    block. The `<expr>` is parsed as a real boolean expression and
+//!    every conjunct must itself be established by the dominating
+//!    guards — an obligation is a claim, not an excuse.
+//! 3. **Residue.** Anything else is a finding; allocation-invariant
+//!    cases (a pointer valid by struct invariant) take a reasoned
+//!    `csj-lint: allow(unsafe-bounds)`.
+
+use crate::ast;
+use crate::cfg::{self, FnCfg, Step};
+use crate::context::{CrateKind, FileCtx, FileRole};
+use crate::dataflow::{env_in_states, env_transfer};
+use crate::domain::{established, AExpr, Cmp, CmpOp, Env, Proof};
+use crate::lexer;
+use crate::rules::{flow, Diagnostic};
+
+pub const EXPLAIN: &str = "\
+unsafe-bounds: machine-checked bounds contracts for raw loads.
+
+Scope: crates/geom, crates/index, crates/storage (non-test code).
+
+Claim sites and their claims:
+  base.as_ptr().add(i)          i <= base.len()   (provenance: one past
+                                the end is the last valid offset)
+  *base.as_ptr().add(i)         i + 1 <= base.len()
+  _mm256_loadu_pd(p)/vld1q_f64  i + LANES <= base.len() for the pointer
+                                offset feeding the intrinsic (LANES = 4
+                                for AVX2 f64, 2 for NEON f64)
+  _mm256_load_pd(p)             additionally: i is a multiple of LANES
+                                (aligned loads)
+  base.get_unchecked(i)         i + 1 <= base.len()
+  slice::from_raw_parts(p, n)   no machine claim — obligation required
+
+A claim is DISCHARGED when the value-range analysis proves it from the
+dominating guards: if/while conditions, assert!/debug_assert! bodies,
+for-loop iteration facts (`for i in 0..n` gives i < n), chunks_exact
+lane facts, and let-equalities (`let n = xs.len()`). Discharged claims
+appear in the SARIF report as kind \"pass\" results whose
+relatedLocations identify the discharging guard — the audit trail from
+every unsafe site to its proof.
+
+When the analysis cannot see the claim (allocation sizes, FFI
+contracts), annotate the enclosing unsafe block:
+
+    // SAFETY: <prose>. BOUNDS(i + 4 <= xs.len())
+    unsafe { ... }
+
+The BOUNDS(<expr>) group is parsed as a boolean expression; every
+conjunct must itself be established by the dominating guards, or the
+obligation is reported as not established. debug_assert! counts as a
+guard: the workspace's tier-1 suite runs debug builds, so a violated
+assert fails CI before the unchecked load can be reached in release.
+
+Residual sites that rest on a struct invariant (e.g. a pointer that is
+valid for PAGE_SIZE bytes by construction) take a reasoned
+`// csj-lint: allow(unsafe-bounds) — <why>`.
+
+False-negative classes (documented, accepted): pointer arithmetic on
+plain pointer locals (only `as_ptr()`/`as_mut_ptr()` chains are
+tracked), claims flowing through function boundaries, and value-flow
+guards (a bool computed from a comparison and branched on later).";
+
+/// Crates whose unsafe sites carry machine-checked contracts.
+const SCOPE: &[&str] = &["crates/geom/src/", "crates/index/src/", "crates/storage/src/"];
+
+/// SIMD lane load/store intrinsics: name, f64 lanes, alignment
+/// required. The unaligned variants still claim the full lane span.
+const LANE_OPS: &[(&str, u64, bool)] = &[
+    ("_mm256_loadu_pd", 4, false),
+    ("_mm256_load_pd", 4, true),
+    ("_mm256_storeu_pd", 4, false),
+    ("_mm256_store_pd", 4, true),
+    ("_mm_loadu_pd", 2, false),
+    ("_mm_load_pd", 2, true),
+    ("vld1q_f64", 2, false),
+    ("vst1q_f64", 2, false),
+];
+
+const RULE: &str = "unsafe-bounds";
+
+pub fn check(ctxs: &[FileCtx]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for ctx in ctxs {
+        if ctx.role != FileRole::Src || !SCOPE.iter().any(|p| ctx.rel_path.starts_with(p)) {
+            continue;
+        }
+        let parsed = ast::parse(ctx);
+        let spans = unsafe_spans(ctx);
+        for fncfg in cfg::lower_file(&parsed) {
+            if flow::in_test(ctx, &fncfg) {
+                continue;
+            }
+            check_fn(ctx, &fncfg, &spans, &mut out);
+        }
+    }
+    out
+}
+
+/// An `unsafe` region (code-token index range) with the BOUNDS
+/// obligations its `// SAFETY:` comment declared. Sites inside the
+/// region inherit the obligations.
+struct UnsafeSpan {
+    lo: usize,
+    hi: usize,
+    obls: Vec<String>,
+}
+
+fn unsafe_spans(ctx: &FileCtx) -> Vec<UnsafeSpan> {
+    let mut out = Vec::new();
+    for i in 0..ctx.code.len() {
+        if ctx.code_text(i as isize) != "unsafe" {
+            continue;
+        }
+        // Find the block this `unsafe` opens (skipping an `unsafe fn`
+        // signature); bail at `;` (unsafe trait/impl declarations).
+        let mut j = i + 1;
+        let open = loop {
+            match ctx.code_text(j as isize) {
+                "{" => break Some(j),
+                ";" | "" => break None,
+                _ => j += 1,
+            }
+        };
+        let Some(open) = open else { continue };
+        let mut depth = 0usize;
+        let mut close = open;
+        for k in open..ctx.code.len() {
+            match ctx.code_text(k as isize) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let line = ctx.code_tok(i).line;
+        let obls = ctx.bounds.get(&line).cloned().unwrap_or_default();
+        out.push(UnsafeSpan { lo: i, hi: close, obls });
+    }
+    out
+}
+
+/// BOUNDS obligations visible at a site: any declared on the site's
+/// own line plus those of every enclosing unsafe region.
+fn obligations_at(ctx: &FileCtx, spans: &[UnsafeSpan], ci: u32) -> Vec<String> {
+    let line = ctx.code_tok(ci as usize).line;
+    let mut out: Vec<String> = ctx.bounds.get(&line).cloned().unwrap_or_default();
+    for s in spans {
+        if (s.lo as u32) <= ci && ci <= s.hi as u32 {
+            out.extend(s.obls.iter().cloned());
+        }
+    }
+    out.dedup();
+    out
+}
+
+/// A tracked `as_ptr().add(..)` awaiting its consumer (a lane
+/// intrinsic strengthens the claim to the full lane span; a deref to
+/// one element; otherwise the provenance claim `offset ≤ len` stands).
+struct PendingPtr {
+    base: String,
+    offset: AExpr,
+    ci: u32,
+    deref: bool,
+}
+
+fn check_fn(ctx: &FileCtx, fncfg: &FnCfg, spans: &[UnsafeSpan], out: &mut Vec<Diagnostic>) {
+    let states = env_in_states(fncfg);
+    for (b, block) in fncfg.blocks.iter().enumerate() {
+        let Some(state) = states.get(b).and_then(|s| s.as_ref()) else { continue };
+        let mut env = state.clone();
+        let mut pending: Vec<PendingPtr> = Vec::new();
+        for step in &block.steps {
+            match step {
+                Step::PtrAdd { base, offset, ci, deref } => {
+                    pending.push(PendingPtr {
+                        base: base.clone(),
+                        offset: offset.clone(),
+                        ci: *ci,
+                        deref: *deref,
+                    });
+                }
+                Step::UncheckedIndex { base, index, ci } => {
+                    let claim = span_claim(base, index, 1);
+                    let what = format!("`{}.get_unchecked({})`", base, index.render());
+                    site(ctx, spans, &env, *ci, Some(&claim), None, &what, out);
+                }
+                Step::Call(c) => {
+                    if let Some(&(_, lanes, aligned)) =
+                        LANE_OPS.iter().find(|(n, _, _)| *n == c.name)
+                    {
+                        let what = format!("`{}` lane span", c.name);
+                        if pending.is_empty() {
+                            // Intrinsic on a pointer the analyzer does
+                            // not track: obligation or finding.
+                            site(ctx, spans, &env, c.ci, None, None, &what, out);
+                        } else {
+                            let p = pending.remove(0);
+                            let claim = span_claim(&p.base, &p.offset, lanes as i128);
+                            let align = aligned.then_some((p.offset.clone(), lanes));
+                            let what = format!("`{}` lane span from `{}`", c.name, p.base);
+                            site(ctx, spans, &env, c.ci, Some(&claim), align, &what, out);
+                        }
+                    } else if !c.is_method
+                        && matches!(c.name.as_str(), "from_raw_parts" | "from_raw_parts_mut")
+                    {
+                        // The pointer/length contract is about the
+                        // allocation, which the domain does not model:
+                        // any embedded pointer offset is covered by the
+                        // same site's obligation.
+                        pending.clear();
+                        let what = format!("`{}` length contract", c.name);
+                        site(ctx, spans, &env, c.ci, None, None, &what, out);
+                    }
+                    env_transfer(step, &mut env);
+                }
+                Step::StmtEnd => {
+                    flush(ctx, spans, &env, &mut pending, out);
+                    env_transfer(step, &mut env);
+                }
+                _ => env_transfer(step, &mut env),
+            }
+        }
+        flush(ctx, spans, &env, &mut pending, out);
+    }
+}
+
+/// The claim `offset + width ≤ base.len()` (plain `offset ≤ len` for
+/// the width-0 provenance claim).
+fn span_claim(base: &str, offset: &AExpr, width: i128) -> Cmp {
+    let lhs = if width == 0 {
+        offset.clone()
+    } else {
+        AExpr::Bin("+".into(), Box::new(offset.clone()), Box::new(AExpr::Const(width)))
+    };
+    Cmp { lhs, op: CmpOp::Le, rhs: AExpr::Len(base.to_string()), ci: 0 }
+}
+
+/// Reports unconsumed pointer offsets: a deref claims one element, a
+/// bare offset claims provenance (`offset ≤ len`).
+fn flush(
+    ctx: &FileCtx,
+    spans: &[UnsafeSpan],
+    env: &Env,
+    pending: &mut Vec<PendingPtr>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for p in pending.drain(..) {
+        let (width, what) = if p.deref {
+            (1, format!("`*{}.as_ptr().add({})`", p.base, p.offset.render()))
+        } else {
+            (0, format!("`{}.as_ptr().add({})` provenance", p.base, p.offset.render()))
+        };
+        let claim = span_claim(&p.base, &p.offset, width);
+        site(ctx, spans, env, p.ci, Some(&claim), None, &what, out);
+    }
+}
+
+/// Discharges one claim site: machine proof first, then the SAFETY
+/// BOUNDS obligation cross-check, then a finding.
+#[allow(clippy::too_many_arguments)]
+fn site(
+    ctx: &FileCtx,
+    spans: &[UnsafeSpan],
+    env: &Env,
+    ci: u32,
+    claim: Option<&Cmp>,
+    align: Option<(AExpr, u64)>,
+    what: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.code_in_test(ci as usize) {
+        return;
+    }
+    let aligned_ok =
+        align.as_ref().is_none_or(|(off, lanes)| env.eval(off).multiple_of(*lanes) || env.dead);
+    if let Some(c) = claim {
+        if let Some(proof) = established(env, c) {
+            if aligned_ok {
+                let msg = format!(
+                    "bounds claim `{}` for {what} discharged by dominating guards",
+                    c.render()
+                );
+                out.push(note(ctx, ci, msg, &proof, c));
+                return;
+            }
+        }
+    }
+    // Machine discharge failed (or there is no machine-expressible
+    // claim): fall back to the site's declared obligations.
+    let obls = obligations_at(ctx, spans, ci);
+    if !obls.is_empty() {
+        for obl in obls {
+            match obligation_cmps(&obl) {
+                Some(cmps) => {
+                    let mut proof = Proof::default();
+                    let mut ok = true;
+                    for c in &cmps {
+                        match established(env, c) {
+                            Some(p) => proof.guards.extend(p.guards),
+                            None => {
+                                ok = false;
+                                out.push(fail(
+                                    ctx,
+                                    ci,
+                                    format!(
+                                        "{what}: SAFETY BOUNDS obligation `{}` is not \
+                                         established by the dominating guards",
+                                        c.render()
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    if ok {
+                        proof.guards.sort_unstable();
+                        proof.guards.dedup();
+                        let msg = format!(
+                            "SAFETY BOUNDS obligation `{obl}` for {what} established by \
+                             dominating guards"
+                        );
+                        let c = claim.cloned().unwrap_or_else(|| Cmp {
+                            lhs: AExpr::Other(obl.clone()),
+                            op: CmpOp::Le,
+                            rhs: AExpr::Const(0),
+                            ci,
+                        });
+                        out.push(note(ctx, ci, msg, &proof, &c));
+                    }
+                }
+                None => out.push(fail(
+                    ctx,
+                    ci,
+                    format!(
+                        "{what}: SAFETY BOUNDS obligation `{obl}` does not parse as a \
+                             boolean expression"
+                    ),
+                )),
+            }
+        }
+        return;
+    }
+    let msg = match claim {
+        Some(c) if !aligned_ok && established(env, c).is_some() => format!(
+            "{what}: alignment claim (offset a multiple of {} lanes) is not established — \
+             guard it, prove it, or annotate `// SAFETY: BOUNDS(<expr>)`",
+            align.map(|(_, l)| l).unwrap_or(0)
+        ),
+        Some(c) => format!(
+            "{what}: bounds claim `{}` is not discharged by any dominating guard — guard \
+             it, annotate `// SAFETY: BOUNDS(<expr>)`, or add a reasoned allow",
+            c.render()
+        ),
+        None => format!(
+            "{what} cannot be machine-checked — annotate the unsafe block with \
+             `// SAFETY: BOUNDS(<expr>)` or add a reasoned allow"
+        ),
+    };
+    out.push(fail(ctx, ci, msg));
+}
+
+fn fail(ctx: &FileCtx, ci: u32, msg: String) -> Diagnostic {
+    let t = ctx.code_tok(ci as usize);
+    Diagnostic::new(RULE, ctx.rel_path.to_string(), t.line, t.col, msg)
+}
+
+/// A pass note carrying the discharging guards as related locations.
+fn note(ctx: &FileCtx, ci: u32, msg: String, proof: &Proof, claim: &Cmp) -> Diagnostic {
+    let t = ctx.code_tok(ci as usize);
+    let mut d = Diagnostic::new(RULE, ctx.rel_path.to_string(), t.line, t.col, msg);
+    for &g in &proof.guards {
+        let gt = ctx.code_tok(g as usize);
+        d = d.with_related(gt.line, gt.col, format!("guard discharging `{}`", claim.render()));
+    }
+    d.passed()
+}
+
+/// Parses a BOUNDS(<expr>) obligation into its conjunct comparisons by
+/// wrapping it in a one-statement function and reusing the real lexer,
+/// parser, and `&&`-splitter — the obligation grammar IS the
+/// expression grammar.
+fn obligation_cmps(expr: &str) -> Option<Vec<Cmp>> {
+    let src = format!("fn __obligation() {{ __claim({expr}); }}");
+    let toks = lexer::lex(&src);
+    let octx = FileCtx::new("obligation.rs", CrateKind::Library, FileRole::Src, &toks);
+    let parsed = ast::parse(&octx);
+    if !parsed.errors.is_empty() {
+        return None;
+    }
+    let fns = parsed.fns();
+    let (_, f) = fns.first()?;
+    let body = f.body.as_ref()?;
+    let Some(ast::Stmt::Expr { expr: e, .. }) = body.stmts.first() else { return None };
+    let ast::ExprKind::Call { args, .. } = &e.kind else { return None };
+    let arg = args.first()?;
+    let cmps = cfg::cmps_of(arg);
+    if cmps.is_empty() {
+        return None;
+    }
+    Some(cmps)
+}

@@ -213,3 +213,73 @@ fn suppression_mechanics() {
     // The reasoned allow and the multi-rule allow suppress one unwrap each.
     assert_eq!(suppressed, 2);
 }
+
+#[test]
+fn unsafe_bounds_bad_fires_on_every_undischarged_claim() {
+    let (fired, _) =
+        run("crates/geom/src/fixture.rs", include_str!("fixtures/unsafe_bounds_bad.rs"));
+    // Unguarded pointer deref, 2-lane guard vs 4-lane load, unguarded
+    // get_unchecked, unestablished BOUNDS obligation, missing alignment.
+    assert_eq!(lines_of(&fired, "unsafe-bounds"), vec![5, 11, 16, 21, 27], "fired: {fired:?}");
+    assert_eq!(fired.len(), 5, "no other rule may fire: {fired:?}");
+}
+
+#[test]
+fn unsafe_bounds_good_discharges_every_claim_with_pass_notes() {
+    let report = analyze_source(
+        "crates/geom/src/fixture.rs",
+        include_str!("fixtures/unsafe_bounds_good.rs"),
+        CrateKind::Library,
+        FileRole::Src,
+    );
+    assert!(report.diagnostics.is_empty(), "diagnostics: {:?}", report.diagnostics);
+    let notes: Vec<(u32, Vec<u32>)> = report
+        .notes
+        .iter()
+        .filter(|n| n.rule == "unsafe-bounds")
+        .map(|n| (n.line, n.related.iter().map(|r| r.line).collect()))
+        .collect();
+    // Each machine-discharged site gets a pass note pointing at the
+    // discharging guard line; the chunks_exact case is discharged by the
+    // iterator's length fact, which has no guard line to point at.
+    assert_eq!(
+        notes,
+        vec![(7, vec![5]), (16, vec![14]), (23, vec![]), (32, vec![30]), (39, vec![36]),],
+        "notes: {notes:?}"
+    );
+}
+
+#[test]
+fn unsafe_bounds_is_scoped_to_simd_and_paging_crates() {
+    // The same bad fixture analyzed outside geom/index/storage stays quiet:
+    // the rule is scoped to where raw SIMD loads and paged I/O live.
+    let (fired, _) =
+        run("crates/shard/src/fixture.rs", include_str!("fixtures/unsafe_bounds_bad.rs"));
+    assert!(lines_of(&fired, "unsafe-bounds").is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn padding_invariant_bad_fires_on_every_contract_breach() {
+    let (fired, _) =
+        run("crates/core/src/fixture.rs", include_str!("fixtures/padding_invariant_bad.rs"));
+    // Zero-filled construction, zero-filled resize, non-4-multiple
+    // slab_len, silent mutation, unguarded fit-mask probe.
+    assert_eq!(lines_of(&fired, "padding-invariant"), vec![4, 9, 13, 17, 21], "fired: {fired:?}");
+    assert_eq!(fired.len(), 5, "no other rule may fire: {fired:?}");
+}
+
+#[test]
+fn padding_invariant_good_is_silent() {
+    let (fired, _) =
+        run("crates/core/src/fixture.rs", include_str!("fixtures/padding_invariant_good.rs"));
+    assert!(fired.is_empty(), "fired: {fired:?}");
+}
+
+#[test]
+fn flow_rules_cover_the_shard_crate() {
+    // Satellite scope extension: the dataflow rules now run over
+    // crates/shard as well, with identical verdicts.
+    let (fired, _) =
+        run("crates/shard/src/fixture.rs", include_str!("fixtures/guard_discipline_bad.rs"));
+    assert_eq!(lines_of(&fired, "guard-discipline"), vec![8, 17, 25, 30], "fired: {fired:?}");
+}

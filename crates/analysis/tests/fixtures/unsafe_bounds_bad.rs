@@ -1,0 +1,28 @@
+//! Fixture: raw loads whose bounds claims are not discharged.
+
+pub fn deref_unguarded(xs: &[f64], i: usize) -> f64 {
+    // SAFETY: caller keeps `i` in bounds (prose only — not checkable).
+    unsafe { *xs.as_ptr().add(i) }
+}
+
+pub fn lane_guard_too_weak(xs: &[f64], i: usize) -> f64 {
+    debug_assert!(i + 2 <= xs.len());
+    // SAFETY: the assert above covers two lanes; the load reads four.
+    unsafe { _mm256_loadu_pd(xs.as_ptr().add(i)) }
+}
+
+pub fn unchecked_unguarded(xs: &[u32], i: usize) -> u32 {
+    // SAFETY: callers index within bounds.
+    unsafe { *xs.get_unchecked(i) }
+}
+
+pub fn obligation_not_established(xs: &[f64], n: usize) -> &[f64] {
+    // SAFETY: BOUNDS(n <= xs.len())
+    unsafe { std::slice::from_raw_parts(xs.as_ptr(), n) }
+}
+
+pub fn aligned_load_without_congruence(xs: &[f64], i: usize) -> f64 {
+    debug_assert!(i + 4 <= xs.len());
+    // SAFETY: the span is asserted above; the alignment is not.
+    unsafe { _mm256_load_pd(xs.as_ptr().add(i)) }
+}

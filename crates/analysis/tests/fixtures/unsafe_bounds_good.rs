@@ -1,0 +1,43 @@
+//! Fixture: raw loads whose bounds claims are machine-discharged (or
+//! carried by an established BOUNDS obligation).
+
+pub fn deref_guarded(xs: &[f64], i: usize) -> f64 {
+    if i < xs.len() {
+        // SAFETY: in bounds by the branch above.
+        unsafe { *xs.as_ptr().add(i) }
+    } else {
+        0.0
+    }
+}
+
+pub fn lane_load_asserted(xs: &[f64], i: usize) -> f64 {
+    debug_assert!(i + 4 <= xs.len());
+    // SAFETY: the assert above covers the full lane span.
+    unsafe { _mm256_loadu_pd(xs.as_ptr().add(i)) }
+}
+
+pub fn chunked(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for c in xs.chunks_exact(4) {
+        // SAFETY: chunks_exact(4) yields exactly-4-long slices.
+        unsafe { acc += _mm256_loadu_pd(c.as_ptr().add(0)) };
+    }
+    acc
+}
+
+pub fn aligned_after_rounding(xs: &[f64], i: usize) -> f64 {
+    let k = (i + 3) & !3;
+    debug_assert!(k + 4 <= xs.len());
+    // SAFETY: span asserted above; `k` is rounded to a whole lane.
+    unsafe { _mm256_load_pd(xs.as_ptr().add(k)) }
+}
+
+pub fn obligation_established(xs: &[f64]) -> &[f64] {
+    let n = xs.len();
+    if n >= 8 {
+        // SAFETY: BOUNDS(8 <= xs.len())
+        unsafe { std::slice::from_raw_parts(xs.as_ptr(), 8) }
+    } else {
+        xs
+    }
+}

@@ -64,7 +64,9 @@ fn every_suppression_names_a_real_rule() {
             "unsafe-discipline",
             "guard-discipline",
             "lock-order",
-            "io-under-lock"
+            "io-under-lock",
+            "unsafe-bounds",
+            "padding-invariant"
         ]
     );
 }

@@ -1,0 +1,377 @@
+//! Soundness property test for the value-range abstract interpreter.
+//!
+//! Random mini-programs over `u64` variables — straight-line arithmetic,
+//! branches, `for` ranges and widened `while` counters — are rendered to
+//! source and pushed through `dataflow::probe_intervals`. The same
+//! program AST is then executed concretely with Rust's wrapping `u64`
+//! semantics. Every concretely observed probe value must fall inside the
+//! abstract interval and respect the congruence: the abstraction may
+//! lose precision, never truth.
+
+use std::collections::HashMap;
+
+use csj_analysis::dataflow::probe_intervals;
+use csj_analysis::domain::AbsVal;
+use proptest::prelude::*;
+
+const N_PARAMS: usize = 3;
+const N_VARS: usize = 4;
+
+#[derive(Clone, Debug)]
+enum Expr {
+    Const(u64),
+    Param(usize),
+    Var(usize),
+    /// Infix binary operator, fully parenthesised on render.
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+    /// Interpreted method call (`min`/`max`/`saturating_*`).
+    Method(&'static str, Box<Expr>, Box<Expr>),
+}
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    /// `x<v> = e;`
+    Assign(usize, Expr),
+    /// `let p<k> = x<v>; probe(p<k>);`
+    Probe(usize, usize),
+    /// `if x<v> <op> <rhs> { .. } else { .. }`
+    If(usize, &'static str, Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for i<id> in lo..hi { x<w> = i<id>; .. }`
+    For(usize, u64, u64, usize, Vec<Stmt>),
+    /// `x<v> = start; while x<v> < bound { ..; x<v> = x<v> + step; }`
+    WhileInc(usize, u64, u64, u64, Vec<Stmt>),
+}
+
+const INFIX: &[&str] = &["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"];
+const METHODS: &[&str] = &["min", "max", "saturating_add", "saturating_sub"];
+const CMPS: &[&str] = &["<", "<=", ">", ">=", "==", "!="];
+
+/// Tiny deterministic generator over a caller-supplied seed stream.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen { state: seed | 1 }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*: cheap, deterministic, good enough to vary shapes.
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn expr(&mut self, depth: u32) -> Expr {
+        let leaf = |g: &mut Gen| match g.below(3) {
+            0 => Expr::Const(g.below(21)),
+            1 => Expr::Param(g.below(N_PARAMS as u64) as usize),
+            _ => Expr::Var(g.below(N_VARS as u64) as usize),
+        };
+        if depth == 0 || self.below(3) == 0 {
+            return leaf(self);
+        }
+        if self.below(4) == 0 {
+            let op = METHODS[self.below(METHODS.len() as u64) as usize];
+            return Expr::Method(
+                op,
+                Box::new(self.expr(depth - 1)),
+                Box::new(self.expr(depth - 1)),
+            );
+        }
+        let op = INFIX[self.below(INFIX.len() as u64) as usize];
+        let rhs = match op {
+            // Constant divisors and shift counts: division by zero would
+            // panic concretely before the probe, and the abstract shift
+            // only refines on exact counts.
+            "/" | "%" => Expr::Const(1 + self.below(8)),
+            "<<" | ">>" => Expr::Const(self.below(9)),
+            _ => self.expr(depth - 1),
+        };
+        Expr::Bin(op, Box::new(self.expr(depth - 1)), Box::new(rhs))
+    }
+
+    /// A statement block. `forbidden` lists loop counters that the body
+    /// must not reassign (that would break concrete termination).
+    fn block(
+        &mut self,
+        depth: u32,
+        len: u64,
+        forbidden: &[usize],
+        probes: &mut usize,
+    ) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        let assignable = |g: &mut Gen, forbidden: &[usize]| -> Option<usize> {
+            let free: Vec<usize> = (0..N_VARS).filter(|v| !forbidden.contains(v)).collect();
+            if free.is_empty() {
+                None
+            } else {
+                Some(free[g.below(free.len() as u64) as usize])
+            }
+        };
+        for _ in 0..len {
+            match self.below(if depth == 0 { 3 } else { 6 }) {
+                0 | 1 => {
+                    if let Some(v) = assignable(self, forbidden) {
+                        let e = self.expr(2);
+                        out.push(Stmt::Assign(v, e));
+                    }
+                }
+                2 => {
+                    let v = self.below(N_VARS as u64) as usize;
+                    out.push(Stmt::Probe(*probes, v));
+                    *probes += 1;
+                }
+                3 => {
+                    let v = self.below(N_VARS as u64) as usize;
+                    let op = CMPS[self.below(CMPS.len() as u64) as usize];
+                    let rhs = if self.below(2) == 0 {
+                        Expr::Const(self.below(33))
+                    } else {
+                        Expr::Var(self.below(N_VARS as u64) as usize)
+                    };
+                    let (tn, en) = (1 + self.below(3), self.below(3));
+                    let then = self.block(depth - 1, tn, forbidden, probes);
+                    let els = self.block(depth - 1, en, forbidden, probes);
+                    out.push(Stmt::If(v, op, rhs, then, els));
+                }
+                4 => {
+                    let lo = self.below(9);
+                    let hi = lo + self.below(17);
+                    if let Some(w) = assignable(self, forbidden) {
+                        let id = *probes; // unique enough for a loop-var name
+                        let bn = 1 + self.below(3);
+                        let body = self.block(depth - 1, bn, forbidden, probes);
+                        out.push(Stmt::For(id, lo, hi, w, body));
+                    }
+                }
+                _ => {
+                    if let Some(v) = assignable(self, forbidden) {
+                        let start = self.below(5);
+                        let bound = self.below(33);
+                        let step = 1 + self.below(4);
+                        let mut inner = forbidden.to_vec();
+                        inner.push(v);
+                        let bn = 1 + self.below(2);
+                        let body = self.block(depth - 1, bn, &inner, probes);
+                        out.push(Stmt::WhileInc(v, start, bound, step, body));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---- rendering -------------------------------------------------------------
+
+fn render_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Const(c) => out.push_str(&c.to_string()),
+        Expr::Param(p) => out.push_str(&format!("v{p}")),
+        Expr::Var(v) => out.push_str(&format!("x{v}")),
+        Expr::Bin(op, a, b) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(&format!(" {op} "));
+            render_expr(b, out);
+            out.push(')');
+        }
+        Expr::Method(m, a, b) => {
+            render_expr(a, out);
+            out.push_str(&format!(".{m}("));
+            render_expr(b, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_block(stmts: &[Stmt], out: &mut String) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                out.push_str(&format!("x{v} = "));
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            Stmt::Probe(k, v) => {
+                out.push_str(&format!("let p{k} = x{v};\nprobe(p{k});\n"));
+            }
+            Stmt::If(v, op, rhs, then, els) => {
+                out.push_str(&format!("if x{v} {op} "));
+                render_expr(rhs, out);
+                out.push_str(" {\n");
+                render_block(then, out);
+                out.push_str("} else {\n");
+                render_block(els, out);
+                out.push_str("}\n");
+            }
+            Stmt::For(id, lo, hi, w, body) => {
+                out.push_str(&format!("for i{id} in {lo}..{hi} {{\nx{w} = i{id};\n"));
+                render_block(body, out);
+                out.push_str("}\n");
+            }
+            Stmt::WhileInc(v, start, bound, step, body) => {
+                out.push_str(&format!("x{v} = {start};\nwhile x{v} < {bound} {{\n"));
+                render_block(body, out);
+                out.push_str(&format!("x{v} = x{v} + {step};\n}}\n"));
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[Stmt]) -> String {
+    let mut src = String::from("fn f(v0: u64, v1: u64, v2: u64) {\n");
+    for v in 0..N_VARS {
+        src.push_str(&format!("let mut x{v} = 0;\n"));
+    }
+    render_block(stmts, &mut src);
+    src.push_str("}\n");
+    src
+}
+
+// ---- concrete interpreter --------------------------------------------------
+
+fn eval(e: &Expr, params: &[u64; N_PARAMS], vars: &[u64; N_VARS]) -> u64 {
+    match e {
+        Expr::Const(c) => *c,
+        Expr::Param(p) => params[*p],
+        Expr::Var(v) => vars[*v],
+        Expr::Bin(op, a, b) => {
+            let (a, b) = (eval(a, params, vars), eval(b, params, vars));
+            match *op {
+                "+" => a.wrapping_add(b),
+                "-" => a.wrapping_sub(b),
+                "*" => a.wrapping_mul(b),
+                "/" => a / b, // divisor is a generated constant ≥ 1
+                "%" => a % b,
+                "&" => a & b,
+                "|" => a | b,
+                "^" => a ^ b,
+                "<<" => a << (b & 63),
+                ">>" => a >> (b & 63),
+                other => unreachable!("op {other}"),
+            }
+        }
+        Expr::Method(m, a, b) => {
+            let (a, b) = (eval(a, params, vars), eval(b, params, vars));
+            match *m {
+                "min" => a.min(b),
+                "max" => a.max(b),
+                "saturating_add" => a.saturating_add(b),
+                "saturating_sub" => a.saturating_sub(b),
+                other => unreachable!("method {other}"),
+            }
+        }
+    }
+}
+
+fn cmp(op: &str, a: u64, b: u64) -> bool {
+    match op {
+        "<" => a < b,
+        "<=" => a <= b,
+        ">" => a > b,
+        ">=" => a >= b,
+        "==" => a == b,
+        _ => a != b,
+    }
+}
+
+fn run_block(
+    stmts: &[Stmt],
+    params: &[u64; N_PARAMS],
+    vars: &mut [u64; N_VARS],
+    observed: &mut Vec<(usize, u64)>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => vars[*v] = eval(e, params, vars),
+            Stmt::Probe(k, v) => observed.push((*k, vars[*v])),
+            Stmt::If(v, op, rhs, then, els) => {
+                let r = eval(rhs, params, vars);
+                if cmp(op, vars[*v], r) {
+                    run_block(then, params, vars, observed);
+                } else {
+                    run_block(els, params, vars, observed);
+                }
+            }
+            Stmt::For(_, lo, hi, w, body) => {
+                for i in *lo..*hi {
+                    vars[*w] = i;
+                    run_block(body, params, vars, observed);
+                }
+            }
+            Stmt::WhileInc(v, start, bound, step, body) => {
+                vars[*v] = *start;
+                while vars[*v] < *bound {
+                    run_block(body, params, vars, observed);
+                    vars[*v] += step; // bound ≤ 32, step ≤ 4: no overflow
+                }
+            }
+        }
+    }
+}
+
+// ---- the property ----------------------------------------------------------
+
+fn check_soundness(seed: u64, inputs: &[[u64; N_PARAMS]]) {
+    let mut gen = Gen::new(seed);
+    let mut probes = 0usize;
+    let depth = 1 + gen.below(2) as u32;
+    let top_len = 3 + gen.below(4);
+    let program = gen.block(depth, top_len, &[], &mut probes);
+    if probes == 0 {
+        return; // nothing to observe
+    }
+    let src = render_program(&program);
+
+    let abstract_vals: HashMap<String, AbsVal> = probe_intervals(&src).into_iter().collect();
+
+    for params in inputs {
+        let mut vars = [0u64; N_VARS];
+        let mut observed = Vec::new();
+        run_block(&program, params, &mut vars, &mut observed);
+        for (k, value) in observed {
+            let name = format!("p{k}");
+            let Some(av) = abstract_vals.get(&name) else {
+                panic!("probe {name} fired concretely but was abstractly unreachable\n{src}");
+            };
+            let v = i128::from(value);
+            assert!(v >= av.lo, "{name}={value} below lo {av:?}\n{src}");
+            if let Some(hi) = av.hi {
+                assert!(v <= hi, "{name}={value} above hi {av:?}\n{src}");
+            }
+            if av.mult == 0 {
+                assert_eq!(value, 0, "{name}: mult 0 claims the constant 0 {av:?}\n{src}");
+            } else if av.mult > 1 {
+                assert_eq!(value % av.mult, 0, "{name}={value} breaks congruence {av:?}\n{src}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For random programs and random inputs, the abstract verdict
+    /// contains every concrete observation.
+    #[test]
+    fn abstract_interpretation_over_approximates_concrete_runs(
+        seed in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+    ) {
+        // Each program runs on the raw inputs and on small ones (small
+        // values actually take the guarded branches and enter loops).
+        check_soundness(seed, &[[a, b, c], [a % 40, b % 40, c % 40], [0, 1, 4]]);
+    }
+}

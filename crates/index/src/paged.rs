@@ -146,6 +146,36 @@ fn corrupt(page: PageId, msg: impl std::fmt::Display) -> StorageError {
     StorageError::Io { op: IoOp::Read, detail: format!("corrupt page {}: {msg}", page.0) }
 }
 
+/// Largest fanout whose nodes (leaf *and* internal — child slots are
+/// the wider of the two) are guaranteed to fit one page.
+const fn max_page_fanout(dims: usize) -> usize {
+    let leaf = (PAGE_SIZE - node_header_len(dims)) / leaf_entry_len(dims);
+    let child = (PAGE_SIZE - node_header_len(dims)) / child_slot_len(dims);
+    if child < leaf {
+        child
+    } else {
+        leaf
+    }
+}
+
+/// Rejects a fanout whose full nodes cannot be paged. Checked up front
+/// by [`PagedTree::from_core`] / [`PagedTree::build_str`] so an
+/// impossible configuration fails before any page is allocated,
+/// instead of mid-build with orphan pages already on disk.
+fn check_fanout(dims: usize, fanout: usize) -> Result<(), StorageError> {
+    let cap = max_page_fanout(dims);
+    if fanout > cap {
+        return Err(StorageError::Io {
+            op: IoOp::Write,
+            detail: format!(
+                "fanout {fanout} cannot be paged: a full {dims}-d node needs more than the \
+                 {PAGE_SIZE}-byte page (max pageable fanout is {cap})"
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Little-endian reader over one page's bytes.
 struct Cursor<'a> {
     buf: &'a [u8],
@@ -222,6 +252,12 @@ fn encode_node<const D: usize>(node: &PagedNode<D>) -> Vec<u8> {
             put_mbr(&mut buf, mbr);
         }
     }
+    debug_assert!(
+        buf.len() <= PAGE_SIZE,
+        "encoded node ({} bytes) exceeds the page — fanout validation let an oversized \
+         node through",
+        buf.len(),
+    );
     buf
 }
 
@@ -683,14 +719,16 @@ impl<const D: usize, Dk: Disk> PagedTree<D, Dk> {
     /// inserts) to `disk`, depth-first, children before parents.
     ///
     /// # Errors
-    /// Returns [`StorageError::Io`] when a node exceeds the page size or
-    /// the disk fails beyond retry.
+    /// Returns [`StorageError::Io`] when the tree's fanout cannot fit a
+    /// page (checked up front, before any page is written) or the disk
+    /// fails beyond retry.
     pub fn from_core(
         core: &RectCore<D>,
         disk: Dk,
         policy: RetryPolicy,
         pool_pages: usize,
     ) -> Result<Self, StorageError> {
+        check_fanout(D, core.config.max_fanout)?;
         let store = PagedStore::new(disk, policy, pool_pages);
         let root = match core.root {
             Some(root) => Some(write_subtree(core, root, &store)?.0),
@@ -716,8 +754,9 @@ impl<const D: usize, Dk: Disk> PagedTree<D, Dk> {
     /// identical to `bulk::str_pack` (same chunking, same child order).
     ///
     /// # Errors
-    /// Returns [`StorageError::Io`] when a node exceeds the page size or
-    /// the disk fails beyond retry.
+    /// Returns [`StorageError::Io`] when the configured fanout cannot
+    /// fit a page (checked up front, before any page is written) or the
+    /// disk fails beyond retry.
     pub fn build_str(
         points: &[Point<D>],
         config: RTreeConfig,
@@ -726,6 +765,7 @@ impl<const D: usize, Dk: Disk> PagedTree<D, Dk> {
         pool_pages: usize,
     ) -> Result<Self, StorageError> {
         config.validate();
+        check_fanout(D, config.max_fanout)?;
         let store = PagedStore::new(disk, policy, pool_pages);
         let cap = config.max_fanout;
         let mut node_pages = 0u64;
@@ -994,6 +1034,25 @@ mod tests {
                 assert_same_structure(core, m, tree, p);
             }
         }
+    }
+
+    #[test]
+    fn unpageable_fanout_is_rejected_up_front() {
+        // Child slots are the wider encoding, so they bound the fanout:
+        // (8192 - 40) / 40 = 203 for 2-d trees.
+        assert_eq!(max_page_fanout(2), 203);
+        let pts = scatter(50);
+        let cfg = RTreeConfig::with_max_fanout(204);
+        let err = PagedTree::build_str(&pts, cfg, SimulatedDisk::new(), RetryPolicy::none(), 8);
+        assert!(err.is_err(), "build_str must reject an unpageable fanout before writing");
+        let core = str_pack(&pts, cfg);
+        let err = PagedTree::from_core(&core, SimulatedDisk::new(), RetryPolicy::none(), 8);
+        assert!(err.is_err(), "from_core must reject an unpageable fanout before writing");
+        // The boundary fanout still builds and reloads.
+        let cfg = RTreeConfig::with_max_fanout(203);
+        let tree =
+            PagedTree::build_str(&pts, cfg, SimulatedDisk::new(), RetryPolicy::none(), 8).unwrap();
+        assert_eq!(tree.meta().num_records, 50);
     }
 
     #[test]

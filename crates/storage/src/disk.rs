@@ -118,12 +118,19 @@ impl AlignedBuf {
     fn as_slice(&self) -> &[u8] {
         // SAFETY: `ptr` points to a live allocation of PAGE_SIZE bytes,
         // initialized at construction and only ever written as bytes.
+        // csj-lint: allow(unsafe-bounds) — struct invariant: `ptr` is a
+        // live `alloc_zeroed(PAGE_SIZE)` allocation owned by this buffer
+        // (freed only in Drop); the length is not derivable from any
+        // dominating guard the value-range analysis can see.
         unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), PAGE_SIZE) }
     }
 
     fn as_mut_slice(&mut self) -> &mut [u8] {
         // SAFETY: as in `as_slice`, plus `&mut self` guarantees
         // exclusive access for the lifetime of the returned slice.
+        // csj-lint: allow(unsafe-bounds) — struct invariant, as in
+        // `as_slice`: the PAGE_SIZE length is an allocation fact, not a
+        // guard-provable one.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), PAGE_SIZE) }
     }
 }

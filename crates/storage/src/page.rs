@@ -32,8 +32,20 @@ impl Page {
         Page { id, data: vec![0; PAGE_SIZE] }
     }
 
-    /// A page with the given contents, padded/truncated to [`PAGE_SIZE`].
+    /// A page with the given contents, zero-padded to [`PAGE_SIZE`].
+    ///
+    /// Contents longer than a page are a logic error in the caller's
+    /// encoder: silently truncating them would corrupt the tail of the
+    /// record on disk, so debug builds panic instead. (Release builds
+    /// still clamp — a torn page is strictly better than an
+    /// out-of-contract page length downstream.)
     pub fn with_data(id: PageId, mut data: Vec<u8>) -> Self {
+        debug_assert!(
+            data.len() <= PAGE_SIZE,
+            "page payload ({} bytes) exceeds PAGE_SIZE ({PAGE_SIZE}) — encoder must split \
+             or reject before reaching the page layer",
+            data.len(),
+        );
         data.resize(PAGE_SIZE, 0);
         Page { id, data }
     }
@@ -52,14 +64,18 @@ mod tests {
     }
 
     #[test]
-    fn with_data_pads_and_truncates() {
+    fn with_data_pads() {
         let p = Page::with_data(PageId(0), vec![1, 2, 3]);
         assert_eq!(p.data.len(), PAGE_SIZE);
         assert_eq!(&p.data[..3], &[1, 2, 3]);
+        assert!(p.data[3..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds PAGE_SIZE")]
+    fn with_data_rejects_oversized_payloads() {
         let big = vec![9u8; PAGE_SIZE + 100];
-        let p = Page::with_data(PageId(1), big);
-        assert_eq!(p.data.len(), PAGE_SIZE);
-        assert!(p.data.iter().all(|&b| b == 9));
+        let _ = Page::with_data(PageId(1), big);
     }
 
     #[test]
